@@ -1,0 +1,88 @@
+// Empirical check of the complexity analysis in Section 3.8: training
+// step cost of ISRec as a function of the sequence length n (expected
+// O(n^2 d) from self-attention), the number of concepts K (O(n K d d')
+// from the per-concept MLPs), and lambda (the GCN term).
+
+#include <benchmark/benchmark.h>
+
+#include "core/isrec.h"
+#include "data/batch.h"
+#include "data/synthetic.h"
+
+namespace isrec {
+namespace {
+
+struct Fixture {
+  data::Dataset dataset;
+  std::unique_ptr<data::LeaveOneOutSplit> split;
+
+  explicit Fixture(Index num_concepts) {
+    data::SyntheticConfig config;
+    config.num_users = 64;
+    config.num_items = 120;
+    config.num_concepts = num_concepts;
+    config.min_sequence_length = 20;
+    config.max_sequence_length = 60;
+    dataset = data::GenerateSyntheticDataset(config);
+    split = std::make_unique<data::LeaveOneOutSplit>(dataset);
+  }
+};
+
+core::IsrecConfig BaseConfig(Index seq_len) {
+  core::IsrecConfig config;
+  config.seq.seq_len = seq_len;
+  config.seq.epochs = 1;
+  config.seq.batch_size = 32;
+  config.num_active = 6;
+  return config;
+}
+
+// One full training epoch (forward + backward + update over all users).
+void BM_IsrecEpochVsSeqLen(benchmark::State& state) {
+  const Index seq_len = state.range(0);
+  Fixture fixture(32);
+  core::IsrecModel model(BaseConfig(seq_len));
+  model.Fit(fixture.dataset, *fixture.split);  // Build + warmup epoch.
+  data::SequenceBatcher batcher(*fixture.split, 32, seq_len);
+  for (auto _ : state) {
+    model.TrainEpoch(batcher);
+  }
+  state.SetLabel("n=" + std::to_string(seq_len));
+}
+BENCHMARK(BM_IsrecEpochVsSeqLen)->Arg(10)->Arg(20)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IsrecEpochVsConcepts(benchmark::State& state) {
+  const Index k = state.range(0);
+  Fixture fixture(k);
+  core::IsrecModel model(BaseConfig(20));
+  model.Fit(fixture.dataset, *fixture.split);
+  data::SequenceBatcher batcher(*fixture.split, 32, 20);
+  for (auto _ : state) {
+    model.TrainEpoch(batcher);
+  }
+  state.SetLabel("K=" + std::to_string(k));
+}
+BENCHMARK(BM_IsrecEpochVsConcepts)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IsrecEpochVsLambda(benchmark::State& state) {
+  const Index lambda = state.range(0);
+  Fixture fixture(32);
+  core::IsrecConfig config = BaseConfig(20);
+  config.num_active = lambda;
+  core::IsrecModel model(config);
+  model.Fit(fixture.dataset, *fixture.split);
+  data::SequenceBatcher batcher(*fixture.split, 32, 20);
+  for (auto _ : state) {
+    model.TrainEpoch(batcher);
+  }
+  state.SetLabel("lambda=" + std::to_string(lambda));
+}
+BENCHMARK(BM_IsrecEpochVsLambda)->Arg(2)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace isrec
+
+BENCHMARK_MAIN();

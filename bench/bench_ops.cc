@@ -1,0 +1,112 @@
+// Kernel micro-benchmarks (google-benchmark): the tensor primitives the
+// models are built from. Useful for regression-testing the substrate
+// and for verifying the sparse-vs-dense GCN design choice (DESIGN.md).
+
+#include <benchmark/benchmark.h>
+
+#include "nn/attention.h"
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
+#include "utils/rng.h"
+
+namespace isrec {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, 1.0f, rng);
+  Tensor b = Tensor::Randn({n, n}, 1.0f, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BatchMatMulTransB(benchmark::State& state) {
+  const Index b = state.range(0);
+  Rng rng(2);
+  Tensor q = Tensor::Randn({b, 20, 32}, 1.0f, rng);
+  Tensor k = Tensor::Randn({b, 20, 32}, 1.0f, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BatchMatMul(q, k, false, true).data());
+  }
+}
+BENCHMARK(BM_BatchMatMulTransB)->Arg(16)->Arg(64);
+
+void BM_Softmax(benchmark::State& state) {
+  const Index rows = state.range(0);
+  Rng rng(3);
+  Tensor x = Tensor::Randn({rows, 101}, 1.0f, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Softmax(x).data());
+  }
+}
+BENCHMARK(BM_Softmax)->Arg(64)->Arg(1024);
+
+void BM_ForwardBackwardMlpChain(benchmark::State& state) {
+  Rng rng(4);
+  Tensor w1 = Tensor::Randn({64, 128}, 0.1f, rng, true);
+  Tensor w2 = Tensor::Randn({128, 64}, 0.1f, rng, true);
+  Tensor x = Tensor::Randn({256, 64}, 1.0f, rng);
+  for (auto _ : state) {
+    Tensor loss = Sum(MatMul(Relu(MatMul(x, w1)), w2));
+    loss.Backward();
+    w1.ZeroGrad();
+    w2.ZeroGrad();
+  }
+}
+BENCHMARK(BM_ForwardBackwardMlpChain);
+
+void BM_GcnSparse(benchmark::State& state) {
+  const Index k = state.range(0);
+  Rng rng(5);
+  std::vector<std::pair<Index, Index>> edges;
+  for (Index i = 0; i < k; ++i) {
+    for (Index d = 1; d <= 3; ++d) edges.push_back({i, (i + d) % k});
+  }
+  SparseMatrix adj = SparseMatrix::NormalizedAdjacency(k, edges);
+  Tensor x = Tensor::Randn({64, k, 8}, 1.0f, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpMM(adj, x).data());
+  }
+}
+BENCHMARK(BM_GcnSparse)->Arg(64)->Arg(256)->Arg(592);
+
+void BM_GcnDenseEquivalent(benchmark::State& state) {
+  // The dense alternative the sparse design is measured against.
+  const Index k = state.range(0);
+  Rng rng(6);
+  Tensor adj = Tensor::Randn({k, k}, 0.1f, rng);
+  Tensor x = Tensor::Randn({64, k, 8}, 1.0f, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BatchMatMul(adj, x).data());
+  }
+}
+BENCHMARK(BM_GcnDenseEquivalent)->Arg(64)->Arg(256)->Arg(592);
+
+void BM_AttentionLayer(benchmark::State& state) {
+  const Index t = state.range(0);
+  Rng rng(7);
+  nn::MultiHeadSelfAttention attn(32, 1, 0.0f, rng);
+  attn.SetTraining(false);
+  Tensor x = Tensor::Randn({32, t, 32}, 1.0f, rng);
+  Tensor mask =
+      nn::MakeAttentionMask(32, t, std::vector<bool>(32 * t, true), true);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attn.Forward(x, mask).data());
+  }
+}
+BENCHMARK(BM_AttentionLayer)->Arg(10)->Arg(20)->Arg(50);
+
+}  // namespace
+}  // namespace isrec
+
+BENCHMARK_MAIN();

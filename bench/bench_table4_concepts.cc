@@ -1,0 +1,57 @@
+// Reproduces Table 4 of the paper: statistics of the preprocessed
+// concepts and the intention graph built from them (here: the
+// ConceptNet-like synthetic graph).
+
+#include <cstdio>
+
+#include "bench/common/paper_tables.h"
+#include "data/synthetic.h"
+#include "utils/table.h"
+
+int main() {
+  using namespace isrec;
+
+  Table table({"Preset", "#Concepts", "#Edges", "Avg.concepts/item",
+               "paper #Concepts", "paper #Edges", "paper Avg.c/item"});
+  const auto presets = data::AllPresets();
+  const auto& paper = bench::Table4();
+
+  std::vector<data::Dataset> datasets;
+  for (size_t i = 0; i < presets.size(); ++i) {
+    datasets.push_back(data::GenerateSyntheticDataset(presets[i]));
+    const data::Dataset& d = datasets.back();
+    table.AddRow({d.name, std::to_string(d.concepts.num_concepts()),
+                  std::to_string(d.concepts.num_edges()),
+                  FormatFloat(d.AverageConceptsPerItem(), 2),
+                  std::to_string(paper[i].concepts),
+                  std::to_string(paper[i].edges),
+                  FormatFloat(paper[i].avg_concepts_per_item, 2)});
+  }
+  std::printf("=== Table 4: concept statistics ===\n%s",
+              table.ToString().c_str());
+
+  auto label = [](bool ok) { return ok ? "PASS" : "FAIL"; };
+  // Shape: Beauty has the largest concept vocabulary; ML-1m the
+  // smallest and the fewest concepts per item (paper: 1.94 vs 4.2-5.5).
+  const auto& beauty = datasets[0];
+  const auto& ml1m = datasets[3];
+  bool beauty_largest = true;
+  for (const auto& d : datasets) {
+    if (d.name != beauty.name &&
+        d.concepts.num_concepts() > beauty.concepts.num_concepts()) {
+      beauty_largest = false;
+    }
+  }
+  std::printf("Shape: Beauty has the most concepts ................. %s\n",
+              label(beauty_largest));
+  bool ml1m_fewest_per_item = true;
+  for (const auto& d : datasets) {
+    if (d.name != ml1m.name &&
+        d.AverageConceptsPerItem() < ml1m.AverageConceptsPerItem()) {
+      ml1m_fewest_per_item = false;
+    }
+  }
+  std::printf("Shape: ML-1m has the fewest concepts per item ....... %s\n",
+              label(ml1m_fewest_per_item));
+  return 0;
+}

@@ -1,0 +1,170 @@
+#include "bench/common/paper_tables.h"
+
+#include <map>
+
+namespace isrec::bench {
+namespace {
+
+using MetricMap = std::map<std::string, std::map<std::string, PaperMetrics>>;
+
+// Verbatim transcription of Table 2 of the paper.
+const MetricMap& Table2Data() {
+  static const MetricMap* const kData = new MetricMap{
+      {"Beauty",
+       {
+           {"PopRec", {0.0077, 0.0392, 0.0762, 0.0230, 0.0349, 0.0437}},
+           {"BPR-MF", {0.0415, 0.1209, 0.1992, 0.0814, 0.1064, 0.1006}},
+           {"NCF", {0.0407, 0.1305, 0.2142, 0.0855, 0.1124, 0.1043}},
+           {"FPMC", {0.0435, 0.1387, 0.2401, 0.0902, 0.1211, 0.1056}},
+           {"GRU4Rec", {0.0402, 0.1315, 0.2343, 0.0812, 0.1074, 0.1023}},
+           {"GRU4Rec+", {0.0551, 0.1781, 0.2654, 0.1172, 0.1453, 0.1299}},
+           {"DGCF", {0.0626, 0.1835, 0.2778, 0.1241, 0.1543, 0.1381}},
+           {"Caser", {0.0475, 0.1625, 0.2590, 0.1050, 0.1360, 0.1205}},
+           {"SASRec", {0.0906, 0.1934, 0.2653, 0.1436, 0.1633, 0.1536}},
+           {"BERT4Rec", {0.0953, 0.2207, 0.3025, 0.1599, 0.1862, 0.1701}},
+           {"ISRec", {0.1233, 0.2734, 0.3594, 0.2020, 0.2296, 0.2081}},
+       }},
+      {"Steam",
+       {
+           {"PopRec", {0.0159, 0.0805, 0.1389, 0.0477, 0.0665, 0.0669}},
+           {"BPR-MF", {0.0314, 0.1177, 0.1993, 0.0744, 0.1005, 0.0942}},
+           {"NCF", {0.0246, 0.1203, 0.2169, 0.0717, 0.1026, 0.0932}},
+           {"FPMC", {0.0358, 0.1517, 0.2551, 0.0945, 0.1283, 0.1139}},
+           {"GRU4Rec", {0.0574, 0.2171, 0.3313, 0.1370, 0.1802, 0.1420}},
+           {"GRU4Rec+", {0.0812, 0.2391, 0.3594, 0.1613, 0.2053, 0.1757}},
+           {"DGCF", {0.0564, 0.1825, 0.2934, 0.1392, 0.1717, 0.1400}},
+           {"Caser", {0.0495, 0.1766, 0.2870, 0.1131, 0.1484, 0.1305}},
+           {"SASRec", {0.0885, 0.2559, 0.3783, 0.1727, 0.2147, 0.1874}},
+           {"BERT4Rec", {0.0957, 0.2710, 0.4013, 0.1842, 0.2261, 0.1949}},
+           {"ISRec", {0.1450, 0.3622, 0.5072, 0.2570, 0.3036, 0.2612}},
+       }},
+      {"Epinions",
+       {
+           {"PopRec", {0.0075, 0.0339, 0.0831, 0.0206, 0.0358, 0.0430}},
+           {"BPR-MF", {0.0151, 0.0472, 0.1005, 0.0316, 0.0464, 0.0540}},
+           {"NCF", {0.0155, 0.0538, 0.0975, 0.0338, 0.0474, 0.0543}},
+           {"FPMC", {0.0162, 0.0578, 0.1083, 0.0373, 0.0512, 0.0546}},
+           {"GRU4Rec", {0.0169, 0.0629, 0.1280, 0.0431, 0.0565, 0.0681}},
+           {"GRU4Rec+", {0.0176, 0.0737, 0.1380, 0.0456, 0.0657, 0.0700}},
+           {"DGCF", {0.0188, 0.0736, 0.1353, 0.0491, 0.0656, 0.0693}},
+           {"Caser", {0.0164, 0.0733, 0.1351, 0.0444, 0.0642, 0.0668}},
+           {"SASRec", {0.0217, 0.0822, 0.1358, 0.0530, 0.0701, 0.0699}},
+           {"BERT4Rec", {0.0220, 0.0866, 0.1462, 0.0534, 0.0724, 0.0705}},
+           {"ISRec", {0.0282, 0.1129, 0.1949, 0.0699, 0.0962, 0.0885}},
+       }},
+      {"ML-1m",
+       {
+           {"PopRec", {0.0141, 0.0715, 0.1358, 0.0416, 0.0621, 0.0627}},
+           {"BPR-MF", {0.0914, 0.2866, 0.4301, 0.1903, 0.2365, 0.2009}},
+           {"NCF", {0.0397, 0.1932, 0.3477, 0.1146, 0.1640, 0.1358}},
+           {"FPMC", {0.1386, 0.4297, 0.5946, 0.2885, 0.3439, 0.2891}},
+           {"GRU4Rec", {0.1583, 0.4673, 0.6207, 0.3196, 0.3627, 0.3041}},
+           {"GRU4Rec+", {0.2092, 0.5103, 0.6351, 0.3705, 0.4064, 0.3462}},
+           {"DGCF", {0.1770, 0.4485, 0.6032, 0.3162, 0.3660, 0.3105}},
+           {"Caser", {0.2194, 0.5353, 0.6692, 0.3832, 0.4268, 0.3648}},
+           {"SASRec", {0.2351, 0.5434, 0.6629, 0.3980, 0.4368, 0.3790}},
+           {"BERT4Rec", {0.2863, 0.5876, 0.6970, 0.4454, 0.4818, 0.4254}},
+           {"ISRec", {0.3184, 0.6262, 0.7363, 0.4831, 0.5189, 0.4589}},
+       }},
+      {"ML-20m",
+       {
+           {"PopRec", {0.0221, 0.0805, 0.1378, 0.0511, 0.0695, 0.0709}},
+           {"BPR-MF", {0.0553, 0.2128, 0.3538, 0.1332, 0.1786, 0.1503}},
+           {"NCF", {0.0231, 0.1358, 0.2922, 0.0771, 0.1271, 0.1072}},
+           {"FPMC", {0.1079, 0.3601, 0.5201, 0.2239, 0.2895, 0.2273}},
+           {"GRU4Rec", {0.1459, 0.4657, 0.5844, 0.3090, 0.3637, 0.2967}},
+           {"GRU4Rec+", {0.2021, 0.5118, 0.6524, 0.3630, 0.4087, 0.3476}},
+           {"DGCF", {0.1760, 0.4361, 0.6252, 0.3267, 0.3809, 0.3278}},
+           {"Caser", {0.1232, 0.3804, 0.5427, 0.2538, 0.3062, 0.2529}},
+           {"SASRec", {0.2544, 0.5727, 0.7136, 0.4208, 0.4665, 0.4026}},
+           {"BERT4Rec", {0.3440, 0.6323, 0.7473, 0.4967, 0.5340, 0.4785}},
+           {"ISRec", {0.3505, 0.6484, 0.7689, 0.5024, 0.5401, 0.4841}},
+       }},
+  };
+  return *kData;
+}
+
+}  // namespace
+
+const std::vector<std::string>& PaperDatasetNames() {
+  static const std::vector<std::string>* const kNames =
+      new std::vector<std::string>{"Beauty", "Steam", "Epinions", "ML-1m",
+                                   "ML-20m"};
+  return *kNames;
+}
+
+const std::vector<std::string>& PaperModelNames() {
+  static const std::vector<std::string>* const kNames =
+      new std::vector<std::string>{"PopRec",   "BPR-MF",  "NCF",     "FPMC",
+                                   "GRU4Rec",  "GRU4Rec+", "DGCF",   "Caser",
+                                   "SASRec",   "BERT4Rec", "ISRec"};
+  return *kNames;
+}
+
+std::optional<PaperMetrics> Table2(const std::string& dataset,
+                                   const std::string& model) {
+  const auto& data = Table2Data();
+  auto it = data.find(dataset);
+  if (it == data.end()) return std::nullopt;
+  auto jt = it->second.find(model);
+  if (jt == it->second.end()) return std::nullopt;
+  return jt->second;
+}
+
+const std::vector<PaperAblationRow>& Table5() {
+  static const std::vector<PaperAblationRow>* const kRows =
+      new std::vector<PaperAblationRow>{
+          {"ISRec", 0.3594, 0.2296, 0.7363, 0.5189},
+          {"ISRec w/o GNN", 0.3311, 0.2095, 0.7222, 0.4978},
+          {"ISRec w/o GNN&Intent", 0.3092, 0.1965, 0.7058, 0.4731},
+          {"BERT4Rec+concept", 0.3037, 0.1886, 0.6987, 0.4824},
+          {"SASRec+concept", 0.3061, 0.1845, 0.6972, 0.4643},
+      };
+  return *kRows;
+}
+
+const std::vector<PaperSeqLenRow>& Table6Beauty() {
+  static const std::vector<PaperSeqLenRow>* const kRows =
+      new std::vector<PaperSeqLenRow>{{10, 0.3591, 0.2298},
+                                      {20, 0.3609, 0.2304},
+                                      {30, 0.3608, 0.2303},
+                                      {40, 0.3598, 0.2301},
+                                      {50, 0.3594, 0.2296}};
+  return *kRows;
+}
+
+const std::vector<PaperSeqLenRow>& Table6Ml1m() {
+  static const std::vector<PaperSeqLenRow>* const kRows =
+      new std::vector<PaperSeqLenRow>{{10, 0.5873, 0.3753},
+                                      {50, 0.7108, 0.4890},
+                                      {100, 0.7230, 0.5059},
+                                      {200, 0.7363, 0.5189},
+                                      {300, 0.7360, 0.5187}};
+  return *kRows;
+}
+
+const std::vector<PaperDatasetStats>& Table3() {
+  static const std::vector<PaperDatasetStats>* const kRows =
+      new std::vector<PaperDatasetStats>{
+          {"Beauty", 40226, 54542, 0.35e6, 8.8, 0.0002},
+          {"Steam", 281428, 13044, 3.5e6, 12.4, 0.0010},
+          {"Epinions", 5015, 8335, 26.9e3, 5.37, 0.0006},
+          {"ML-1m", 6040, 3416, 1.0e6, 163.5, 0.0479},
+          {"ML-20m", 138493, 26744, 20e6, 144.4, 0.0054},
+      };
+  return *kRows;
+}
+
+const std::vector<PaperConceptStats>& Table4() {
+  static const std::vector<PaperConceptStats>* const kRows =
+      new std::vector<PaperConceptStats>{
+          {"Beauty", 592, 2791, 4.45},
+          {"Steam", 229, 472, 4.49},
+          {"Epinions", 114, 467, 5.50},
+          {"ML-1m", 96, 327, 1.94},
+          {"ML-20m", 316, 842, 4.21},
+      };
+  return *kRows;
+}
+
+}  // namespace isrec::bench

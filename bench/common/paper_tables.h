@@ -1,0 +1,64 @@
+#ifndef ISREC_BENCH_COMMON_PAPER_TABLES_H_
+#define ISREC_BENCH_COMMON_PAPER_TABLES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace isrec::bench {
+
+/// One row of the paper's Table 2 (six ranking metrics).
+struct PaperMetrics {
+  double hr1, hr5, hr10, ndcg5, ndcg10, mrr;
+};
+
+/// Paper dataset names in Table 2 order. Index i corresponds to the
+/// simulation preset data::AllPresets()[i].
+const std::vector<std::string>& PaperDatasetNames();
+
+/// Paper model names in Table 2 column order.
+const std::vector<std::string>& PaperModelNames();
+
+/// Reported metrics for (dataset, model), both by Table 2 name. Returns
+/// nullopt for unknown combinations.
+std::optional<PaperMetrics> Table2(const std::string& dataset,
+                                   const std::string& model);
+
+/// Table 5 rows (ablation study): values are {HR@10, NDCG@10} for
+/// Beauty and ML-1m respectively.
+struct PaperAblationRow {
+  std::string model;
+  double beauty_hr10, beauty_ndcg10;
+  double ml1m_hr10, ml1m_ndcg10;
+};
+const std::vector<PaperAblationRow>& Table5();
+
+/// Table 6: performance as a function of the maximum sequence length T.
+struct PaperSeqLenRow {
+  int t;
+  double hr10, ndcg10;
+};
+const std::vector<PaperSeqLenRow>& Table6Beauty();
+const std::vector<PaperSeqLenRow>& Table6Ml1m();
+
+/// Table 3 (dataset statistics), as reported.
+struct PaperDatasetStats {
+  std::string name;
+  long users, items;
+  double interactions;  // Absolute count.
+  double avg_length;
+  double density;  // Fraction, e.g. 0.0002 for 0.02%.
+};
+const std::vector<PaperDatasetStats>& Table3();
+
+/// Table 4 (concept statistics), as reported.
+struct PaperConceptStats {
+  std::string name;
+  long concepts, edges;
+  double avg_concepts_per_item;
+};
+const std::vector<PaperConceptStats>& Table4();
+
+}  // namespace isrec::bench
+
+#endif  // ISREC_BENCH_COMMON_PAPER_TABLES_H_

@@ -1,0 +1,64 @@
+// Explainable e-commerce recommendations: the scenario from the paper's
+// introduction. Trains ISRec on the Beauty-like preset and prints, for
+// a few shoppers, how their underlying intentions evolve along the
+// intention graph while they browse — the explainability payoff of the
+// structured intent transition module (compare the paper's Fig. 2).
+//
+//   $ ./examples/ecommerce_intents
+
+#include <cstdio>
+#include <set>
+
+#include "core/isrec.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+
+int main() {
+  using namespace isrec;
+
+  data::SyntheticConfig preset = data::BeautySimConfig();
+  preset.num_users = 400;  // Trimmed for a fast demo.
+  data::Dataset dataset = data::GenerateSyntheticDataset(preset);
+  data::LeaveOneOutSplit split(dataset);
+
+  core::IsrecConfig config;
+  config.seq.seq_len = 12;
+  config.seq.epochs = 12;
+  config.num_active = 6;
+  core::IsrecModel model(config);
+  std::printf("training ISRec on %s...\n", dataset.name.c_str());
+  model.Fit(dataset, split);
+
+  int shown = 0;
+  for (Index user : split.evaluable_users()) {
+    const auto& history = split.TestHistory(user);
+    if (history.size() < 6) continue;
+    if (++shown > 3) break;
+
+    std::printf("\nshopper %ld -------------------------------------\n",
+                static_cast<long>(user));
+    core::IntentTrace trace = model.TraceIntents(history, 3);
+    std::set<Index> previous;
+    for (const auto& step : trace) {
+      std::printf("  bought item_%-4ld -> inferred intentions now: ",
+                  static_cast<long>(step.item));
+      for (size_t i = 0; i < step.active_intents.size(); ++i) {
+        const Index c = step.active_intents[i];
+        // Mark newly activated intentions with '*'.
+        const bool fresh = previous.count(c) == 0 && !previous.empty();
+        std::printf("%s%s%s", i ? ", " : "",
+                    dataset.concepts.name(c).c_str(), fresh ? "*" : "");
+      }
+      std::printf("\n");
+      previous = std::set<Index>(step.active_intents.begin(),
+                                 step.active_intents.end());
+    }
+    std::printf("  ('*' = intention newly activated by the structured "
+                "transition)\n");
+  }
+
+  eval::MetricReport report = eval::EvaluateRanking(model, dataset, split);
+  std::printf("\noverall accuracy on %s: %s\n", dataset.name.c_str(),
+              report.ToString().c_str());
+  return 0;
+}

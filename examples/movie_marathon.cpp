@@ -1,0 +1,54 @@
+// Long-sequence scenario (MovieLens-like): users with dozens of
+// interactions and slowly drifting tastes. Compares ISRec against
+// SASRec on the same split and shows the effect of the window length T
+// (the paper's Table 6 finding: long-history datasets want larger T).
+//
+//   $ ./examples/movie_marathon
+
+#include <cstdio>
+
+#include "core/isrec.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "models/sasrec.h"
+#include "utils/stopwatch.h"
+
+int main() {
+  using namespace isrec;
+
+  data::SyntheticConfig preset = data::Ml1mSimConfig();
+  preset.num_users = 150;  // Trimmed for a fast demo.
+  data::Dataset dataset = data::GenerateSyntheticDataset(preset);
+  data::LeaveOneOutSplit split(dataset);
+  std::printf("dataset %s: avg sequence length %.1f, density %.1f%%\n",
+              dataset.name.c_str(), dataset.AverageSequenceLength(),
+              100.0 * dataset.Density());
+
+  for (Index seq_len : {10, 40}) {
+    models::SeqModelConfig seq;
+    seq.seq_len = seq_len;
+    seq.epochs = 8;
+
+    Stopwatch sw;
+    models::SasRec sasrec(seq);
+    sasrec.Fit(dataset, split);
+    eval::MetricReport sas_report =
+        eval::EvaluateRanking(sasrec, dataset, split);
+
+    core::IsrecConfig isrec_config;
+    isrec_config.seq = seq;
+    isrec_config.num_active = 4;
+    core::IsrecModel isrec(isrec_config);
+    isrec.Fit(dataset, split);
+    eval::MetricReport isrec_report =
+        eval::EvaluateRanking(isrec, dataset, split);
+
+    std::printf("\nT = %ld (trained both models in %.0fs)\n",
+                static_cast<long>(seq_len), sw.ElapsedSeconds());
+    std::printf("  SASRec : %s\n", sas_report.ToString().c_str());
+    std::printf("  ISRec  : %s\n", isrec_report.ToString().c_str());
+  }
+  std::printf("\nExpected shape (paper Table 6): both models gain a lot "
+              "from the larger window on long-history data.\n");
+  return 0;
+}

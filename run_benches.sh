@@ -1,0 +1,17 @@
+#!/bin/sh
+# Runs every benchmark binary, capturing combined output. Cheap benches
+# first so partial runs still cover most artifacts.
+set -u
+out=/root/repo/bench_output.txt
+: > "$out"
+for b in build/bench/bench_table3_datasets build/bench/bench_table4_concepts \
+         build/bench/bench_ops build/bench/bench_fig2_showcase \
+         build/bench/bench_fig3_dprime build/bench/bench_fig4_lambda \
+         build/bench/bench_design_ablations build/bench/bench_complexity \
+         build/bench/bench_table6_seqlen build/bench/bench_table5_ablation \
+         build/bench/bench_table2; do
+  echo "##### $b #####" >> "$out"
+  "$b" >> "$out" 2>/dev/null
+  echo "" >> "$out"
+done
+echo "ALL BENCHES DONE" >> "$out"

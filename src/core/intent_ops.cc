@@ -1,0 +1,44 @@
+#include "core/intent_ops.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "utils/check.h"
+
+namespace isrec::core {
+
+Tensor TopLambdaMask(const Tensor& scores, Index lambda) {
+  ISREC_CHECK(scores.defined());
+  ISREC_CHECK_GE(scores.ndim(), 1);
+  const Index k = scores.dim(-1);
+  ISREC_CHECK_GT(lambda, 0);
+  ISREC_CHECK_LE(lambda, k);
+  const Index rows = scores.numel() / k;
+
+  Tensor mask = Tensor::Zeros(scores.shape());
+  const float* in = scores.data();
+  float* out = mask.data();
+  std::vector<Index> order(k);
+  for (Index r = 0; r < rows; ++r) {
+    const float* row = in + r * k;
+    std::iota(order.begin(), order.end(), Index{0});
+    std::partial_sort(order.begin(), order.begin() + lambda, order.end(),
+                      [row](Index a, Index b) {
+                        if (row[a] != row[b]) return row[a] > row[b];
+                        return a < b;
+                      });
+    for (Index i = 0; i < lambda; ++i) out[r * k + order[i]] = 1.0f;
+  }
+  return mask;
+}
+
+Tensor GumbelNoiseLike(const Tensor& like, Rng& rng) {
+  ISREC_CHECK(like.defined());
+  Tensor noise = Tensor::Zeros(like.shape());
+  float* p = noise.data();
+  for (Index i = 0; i < noise.numel(); ++i) p[i] = rng.NextGumbel();
+  return noise;
+}
+
+}  // namespace isrec::core

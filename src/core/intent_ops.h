@@ -1,0 +1,24 @@
+#ifndef ISREC_CORE_INTENT_OPS_H_
+#define ISREC_CORE_INTENT_OPS_H_
+
+#include "tensor/tensor.h"
+#include "utils/rng.h"
+
+namespace isrec::core {
+
+/// Hard top-lambda selection over the last axis: returns a constant
+/// (no-grad) 0/1 mask with exactly `lambda` ones per row, at the
+/// positions of the `lambda` largest scores. Ties are broken toward
+/// lower indices. This realizes the paper's activation rule
+/// m_k = 1 iff score_k >= (lambda-th largest).
+Tensor TopLambdaMask(const Tensor& scores, Index lambda);
+
+/// I.i.d. Gumbel(0,1) noise with the same shape as `like` (constant,
+/// no grad). Adding it to logits and taking a top-k realizes the
+/// Gumbel-top-k relaxation of sampling without replacement from the
+/// categorical distribution of Eq. (5).
+Tensor GumbelNoiseLike(const Tensor& like, Rng& rng);
+
+}  // namespace isrec::core
+
+#endif  // ISREC_CORE_INTENT_OPS_H_

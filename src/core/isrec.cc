@@ -1,0 +1,227 @@
+#include "core/isrec.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/intent_ops.h"
+#include "tensor/ops.h"
+#include "utils/check.h"
+
+namespace isrec::core {
+namespace {
+
+models::SeqModelConfig ForceConcepts(models::SeqModelConfig config) {
+  config.use_concepts = true;  // Eq. (1) always includes concepts.
+  return config;
+}
+
+}  // namespace
+
+IsrecModel::IsrecModel(IsrecConfig config)
+    : models::SequentialModelBase(ForceConcepts(config.seq)),
+      isrec_config_(config) {
+  ISREC_CHECK_GT(config.intent_dim, 0);
+  ISREC_CHECK_GT(config.num_active, 0);
+  ISREC_CHECK_GT(config.gcn_layers, 0);
+}
+
+std::string IsrecModel::name() const {
+  if (!isrec_config_.use_intent) return "ISRec w/o GNN&Intent";
+  if (!isrec_config_.use_gnn) return "ISRec w/o GNN";
+  return "ISRec";
+}
+
+void IsrecModel::BuildModel(const data::Dataset& dataset) {
+  num_concepts_ = dataset.concepts.num_concepts();
+  ISREC_CHECK_LE(isrec_config_.num_active, num_concepts_);
+
+  encoder_ = std::make_unique<nn::TransformerEncoder>(
+      config_.num_layers, config_.embed_dim, config_.num_heads,
+      config_.ffn_dim, config_.dropout, rng_);
+  RegisterModule("encoder", encoder_.get());
+
+  if (isrec_config_.use_intent) {
+    intent_encoder_ = std::make_unique<nn::Linear>(
+        config_.embed_dim, num_concepts_ * isrec_config_.intent_dim, rng_);
+    intent_decoder_ = std::make_unique<nn::Linear>(
+        num_concepts_ * isrec_config_.intent_dim, config_.embed_dim, rng_);
+    RegisterModule("intent_encoder", intent_encoder_.get());
+    RegisterModule("intent_decoder", intent_decoder_.get());
+    if (isrec_config_.use_residual) {
+      // Learned gate on the intent path: x_{t+1} = x_t + g * decode(...).
+      // Starting small lets the (noisy, discrete) intent bottleneck ramp
+      // up only where it improves the objective, so the full model
+      // strictly contains its ablations as special cases (g -> 0
+      // recovers "w/o GNN&Intent").
+      residual_gate_ = RegisterParameter("residual_gate",
+                                         Tensor::Full({1}, 0.1f));
+    }
+    if (isrec_config_.use_gnn && isrec_config_.learn_adjacency) {
+      // Learned-relation extension: initialize the adjacency logits so
+      // the initial softmax already prefers the observed graph edges,
+      // then let training reshape it.
+      adjacency_logits_ = Tensor::Full({num_concepts_, num_concepts_}, -2.0f);
+      float* logits = adjacency_logits_.data();
+      for (Index i = 0; i < num_concepts_; ++i) {
+        logits[i * num_concepts_ + i] = 0.0f;
+      }
+      for (auto [a, b] : dataset.concepts.edges()) {
+        logits[a * num_concepts_ + b] = 0.0f;
+        logits[b * num_concepts_ + a] = 0.0f;
+      }
+      adjacency_logits_ =
+          RegisterParameter("adjacency_logits", adjacency_logits_);
+      for (Index l = 0; l < isrec_config_.gcn_layers; ++l) {
+        learned_gcn_linears_.push_back(std::make_unique<nn::Linear>(
+            isrec_config_.intent_dim, isrec_config_.intent_dim, rng_,
+            /*bias=*/false));
+        RegisterModule("learned_gcn" + std::to_string(l),
+                       learned_gcn_linears_.back().get());
+      }
+    } else if (isrec_config_.use_gnn) {
+      adjacency_.emplace(dataset.concepts.NormalizedAdjacency());
+      for (Index l = 0; l < isrec_config_.gcn_layers; ++l) {
+        // ReLU between layers; linear output on the last layer so
+        // feature norms (the activation criterion) are unconstrained.
+        const bool relu = l + 1 < isrec_config_.gcn_layers;
+        gcn_.push_back(std::make_unique<nn::GcnLayer>(
+            isrec_config_.intent_dim, isrec_config_.intent_dim, rng_, relu,
+            isrec_config_.identity_gcn_init));
+        RegisterModule("gcn" + std::to_string(l), gcn_.back().get());
+      }
+    }
+  }
+}
+
+Tensor IsrecModel::ExtractIntentMask(const Tensor& states) {
+  // Eq. (5)-(6): cosine similarity between the sequence state and every
+  // concept embedding, sampled through Gumbel-top-lambda with a
+  // straight-through estimator so concept embeddings receive gradient.
+  Tensor sims = CosineSimilarity(states, concept_embedding_->table());
+  if (tracing_) traced_similarities_ = sims.Detach();
+
+  Tensor logits = MulScalar(sims, 1.0f / isrec_config_.gumbel_tau);
+  Tensor noisy = training() ? Add(logits, GumbelNoiseLike(logits, rng_))
+                            : logits;
+  Tensor hard = TopLambdaMask(noisy.Detach(), isrec_config_.num_active);
+  if (tracing_) traced_extraction_mask_ = hard;
+  return StraightThrough(hard, Softmax(noisy));
+}
+
+Tensor IsrecModel::TransitionAndDecode(const Tensor& states,
+                                       const Tensor& mask, Index batch,
+                                       Index seq_len) {
+  const Index k = num_concepts_;
+  const Index dp = isrec_config_.intent_dim;
+
+  // Eq. (7)-(8): per-concept intent features, zeroed outside the mask.
+  Tensor z = Reshape(intent_encoder_->Forward(states),
+                     {batch, seq_len, k, dp});
+  z = Mul(z, Reshape(mask, {batch, seq_len, k, 1}));
+
+  // Eq. (9)-(10): message passing over the intention graph.
+  if (isrec_config_.use_gnn) {
+    Tensor flat = Reshape(z, {batch * seq_len, k, dp});
+    if (isrec_config_.learn_adjacency) {
+      Tensor learned_adj = Softmax(adjacency_logits_);  // Row-stochastic.
+      for (size_t l = 0; l < learned_gcn_linears_.size(); ++l) {
+        flat = learned_gcn_linears_[l]->Forward(
+            BatchMatMul(learned_adj, flat));
+        if (l + 1 < learned_gcn_linears_.size()) flat = Relu(flat);
+      }
+    } else {
+      for (const auto& layer : gcn_) flat = layer->Forward(*adjacency_, flat);
+    }
+    z = Reshape(flat, {batch, seq_len, k, dp});
+  }
+
+  // Re-activation by feature norm: m_{t+1,k} = 1 iff ||z_{t+1,k}|| is
+  // among the lambda largest.
+  Tensor norms = NormLastDim(z).Detach();  // [B, T, K]
+  Tensor next_mask = TopLambdaMask(norms, isrec_config_.num_active);
+  if (tracing_) traced_transition_mask_ = next_mask;
+  z = Mul(z, Reshape(next_mask, {batch, seq_len, k, 1}));
+
+  // Eq. (11): decode the masked intent features back to sequence space.
+  // The residual form x_{t+1} = x_t + decode(...) preserves the paper's
+  // ablation semantics: removing the intent modules degenerates exactly
+  // to the transformer state x_t (Section 3.9 / Table 5 "w/o ...").
+  Tensor decoded =
+      intent_decoder_->Forward(Reshape(z, {batch, seq_len, k * dp}));
+  if (!isrec_config_.use_residual) return decoded;
+  return Add(states, Mul(decoded, residual_gate_));
+}
+
+Tensor IsrecModel::Encode(const data::SequenceBatch& batch) {
+  Tensor h = EmbedInput(batch);
+  Tensor attn_mask = nn::MakeAttentionMask(batch.batch_size, batch.seq_len,
+                                           batch.valid, /*causal=*/true);
+  Tensor states = encoder_->Forward(h, attn_mask);  // X of Section 3.3.
+
+  if (!isrec_config_.use_intent) return states;  // "w/o GNN&Intent".
+
+  Tensor intent_mask = ExtractIntentMask(states);
+  return TransitionAndDecode(states, intent_mask, batch.batch_size,
+                             batch.seq_len);
+}
+
+IntentTrace IsrecModel::TraceIntents(const std::vector<Index>& history,
+                                     Index num_candidates) {
+  ISREC_CHECK_MSG(dataset_ != nullptr, "TraceIntents called before Fit");
+  ISREC_CHECK_MSG(isrec_config_.use_intent,
+                  "TraceIntents requires the intent modules");
+  ISREC_CHECK(!history.empty());
+
+  NoGradGuard no_grad;
+  const bool was_training = training();
+  SetTraining(false);
+  tracing_ = true;
+  const data::SequenceBatch batch = data::SequenceBatcher::InferenceBatch(
+      {history}, config_.seq_len);
+  (void)Encode(batch);
+  tracing_ = false;
+  SetTraining(was_training);
+
+  const Index t = config_.seq_len;
+  const Index k = num_concepts_;
+  const Index kept = std::min<Index>(static_cast<Index>(history.size()), t);
+  const Index pad = t - kept;
+
+  IntentTrace trace;
+  std::vector<Index> order(k);
+  for (Index pos = pad; pos < t; ++pos) {
+    IntentStep step;
+    step.item = batch.items[pos];
+    // Candidate intents: concepts ranked by similarity at this step.
+    const float* sims = traced_similarities_.data() + pos * k;
+    std::iota(order.begin(), order.end(), Index{0});
+    std::partial_sort(order.begin(),
+                      order.begin() + std::min(num_candidates, k),
+                      order.end(), [sims](Index a, Index b) {
+                        if (sims[a] != sims[b]) return sims[a] > sims[b];
+                        return a < b;
+                      });
+    step.candidate_intents.assign(order.begin(),
+                                  order.begin() + std::min(num_candidates, k));
+    // Activated intents after the structured transition.
+    const float* active = traced_transition_mask_.data() + pos * k;
+    for (Index c = 0; c < k; ++c) {
+      if (active[c] > 0.5f) step.active_intents.push_back(c);
+    }
+    trace.push_back(std::move(step));
+  }
+  return trace;
+}
+
+IsrecConfig WithoutGnn(IsrecConfig config) {
+  config.use_gnn = false;
+  return config;
+}
+
+IsrecConfig WithoutGnnAndIntent(IsrecConfig config) {
+  config.use_gnn = false;
+  config.use_intent = false;
+  return config;
+}
+
+}  // namespace isrec::core

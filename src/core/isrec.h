@@ -1,0 +1,129 @@
+#ifndef ISREC_CORE_ISREC_H_
+#define ISREC_CORE_ISREC_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "models/seq_base.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "tensor/sparse.h"
+
+namespace isrec::core {
+
+/// ISRec hyperparameters. The sequence/training fields come from
+/// SeqModelConfig; the intent-specific ones mirror Section 3 and the
+/// sensitivity studies of Section 4.6.
+struct IsrecConfig {
+  models::SeqModelConfig seq;
+
+  Index intent_dim = 8;   // d' (Fig. 3; paper: best at 8).
+  Index num_active = 10;  // lambda (Fig. 4; paper: best at 10).
+  Index gcn_layers = 2;   // L of the structured transition.
+  /// Temperature of the Gumbel-softmax estimator. Cosine similarities
+  /// live in [-1, 1], so a sub-1 temperature is needed for the
+  /// categorical distribution of Eq. (5) to have usable contrast.
+  float gumbel_tau = 0.2f;
+
+  /// Ablation switches (Table 5). With use_gnn=false the transition is
+  /// the identity (Z_{t+1} = Z_t, "w/o GNN"); with use_intent=false the
+  /// intent modules are bypassed entirely (x_{t+1} = x_t,
+  /// "w/o GNN&Intent", i.e. a concept-augmented transformer).
+  bool use_gnn = true;
+  bool use_intent = true;
+
+  // -- Design choices (ablated in bench_design_ablations) --------------
+
+  /// "Our method can also be extended to ... learning the relation"
+  /// (Section 3.5): replace the fixed ConceptNet-style adjacency with a
+  /// learned dense adjacency (row-softmax of a K x K parameter).
+  bool learn_adjacency = false;
+  /// Residual decode x_{t+1} = x_t + decode(...) (see isrec.cc). Off
+  /// reproduces the pure-bottleneck reading of Eq. (11).
+  bool use_residual = true;
+  /// Near-identity initialization of the GCN weights, so the transition
+  /// starts as pure message passing A_norm * Z.
+  bool identity_gcn_init = true;
+};
+
+/// Per-position explainability record (the data behind Fig. 2).
+struct IntentStep {
+  Index item = -1;
+  /// Concepts ranked as most similar to the sequence state
+  /// (candidate intents, before transition).
+  std::vector<Index> candidate_intents;
+  /// Concepts activated after the structured transition (m_{t+1}).
+  std::vector<Index> active_intents;
+};
+
+using IntentTrace = std::vector<IntentStep>;
+
+/// The Intention-aware Sequential Recommendation model (Section 3):
+/// transformer encoder -> intent extraction (cosine similarity +
+/// Gumbel-top-lambda) -> structured intent transition (per-concept MLPs
+/// + GCN over the intention graph) -> intent decoder -> next-item
+/// softmax.
+class IsrecModel : public models::SequentialModelBase {
+ public:
+  explicit IsrecModel(IsrecConfig config);
+
+  std::string name() const override;
+
+  const IsrecConfig& isrec_config() const { return isrec_config_; }
+
+  /// Explainability API: runs the intent pipeline over a history and
+  /// reports, per step, the top candidate intents and the activated
+  /// intents after transition. Requires Fit() to have run.
+  IntentTrace TraceIntents(const std::vector<Index>& history,
+                           Index num_candidates = 6);
+
+ protected:
+  void BuildModel(const data::Dataset& dataset) override;
+  Tensor Encode(const data::SequenceBatch& batch) override;
+
+ private:
+  /// Intent extraction (Section 3.4): similarity-driven Gumbel-top-k
+  /// mask m_t over concepts. Returns the straight-through mask
+  /// [B, T, K].
+  Tensor ExtractIntentMask(const Tensor& states);
+
+  /// Structured transition (Section 3.5): per-concept features, GCN
+  /// message passing, re-activation by feature norm. Outputs the next
+  /// sequence states via the decoder (Section 3.6), [B, T, d].
+  Tensor TransitionAndDecode(const Tensor& states, const Tensor& mask,
+                             Index batch, Index seq_len);
+
+  IsrecConfig isrec_config_;
+  Index num_concepts_ = 0;
+
+  std::unique_ptr<nn::TransformerEncoder> encoder_;
+  /// Per-concept encoder MLPs fused into one Linear d -> K*d' (Eq. 8).
+  std::unique_ptr<nn::Linear> intent_encoder_;
+  std::vector<std::unique_ptr<nn::GcnLayer>> gcn_;
+  /// Per-concept decoder MLPs fused into one Linear K*d' -> d (Eq. 11).
+  std::unique_ptr<nn::Linear> intent_decoder_;
+  std::optional<SparseMatrix> adjacency_;
+  /// Learned-relation extension: dense adjacency logits [K, K] and the
+  /// per-layer feature transforms that replace the GcnLayers.
+  Tensor adjacency_logits_;
+  std::vector<std::unique_ptr<nn::Linear>> learned_gcn_linears_;
+  /// Learned scalar gate on the intent-path residual.
+  Tensor residual_gate_;
+
+  // Scratch captured by TraceIntents (filled during Encode when
+  // tracing_ is set).
+  bool tracing_ = false;
+  Tensor traced_extraction_mask_;
+  Tensor traced_transition_mask_;
+  Tensor traced_similarities_;
+};
+
+/// Convenience factories for the Table 5 ablations.
+IsrecConfig WithoutGnn(IsrecConfig config);
+IsrecConfig WithoutGnnAndIntent(IsrecConfig config);
+
+}  // namespace isrec::core
+
+#endif  // ISREC_CORE_ISREC_H_

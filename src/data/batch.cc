@@ -1,0 +1,92 @@
+#include "data/batch.h"
+
+#include <algorithm>
+
+#include "utils/check.h"
+
+namespace isrec::data {
+
+SequenceBatcher::SequenceBatcher(const LeaveOneOutSplit& split,
+                                 Index batch_size, Index seq_len)
+    : split_(&split), batch_size_(batch_size), seq_len_(seq_len) {
+  ISREC_CHECK_GT(batch_size, 0);
+  ISREC_CHECK_GT(seq_len, 0);
+  for (Index u = 0; u < split.num_users(); ++u) {
+    // Need at least two items to form one (input, target) pair.
+    if (split.TrainSequence(u).size() >= 2) order_.push_back(u);
+  }
+  ISREC_CHECK_MSG(!order_.empty(), "no trainable users in split");
+}
+
+Index SequenceBatcher::NumBatches() const {
+  return (static_cast<Index>(order_.size()) + batch_size_ - 1) / batch_size_;
+}
+
+void SequenceBatcher::Shuffle(Rng& rng) { rng.Shuffle(order_); }
+
+SequenceBatch SequenceBatcher::GetBatch(Index i) const {
+  ISREC_CHECK_GE(i, 0);
+  ISREC_CHECK_LT(i, NumBatches());
+  const Index begin = i * batch_size_;
+  const Index end = std::min<Index>(begin + batch_size_,
+                                    static_cast<Index>(order_.size()));
+
+  SequenceBatch batch;
+  batch.batch_size = end - begin;
+  batch.seq_len = seq_len_;
+  batch.items.assign(batch.batch_size * seq_len_, -1);
+  batch.targets.assign(batch.batch_size * seq_len_, -1);
+  batch.valid.assign(batch.batch_size * seq_len_, false);
+  batch.users.resize(batch.batch_size);
+
+  for (Index row = 0; row < batch.batch_size; ++row) {
+    const Index user = order_[begin + row];
+    batch.users[row] = user;
+    const auto& seq = split_->TrainSequence(user);
+    // Inputs are seq[0..n-2], targets seq[1..n-1]; keep the trailing
+    // seq_len positions.
+    const Index pairs =
+        std::min<Index>(static_cast<Index>(seq.size()) - 1, seq_len_);
+    const Index src_start = static_cast<Index>(seq.size()) - 1 - pairs;
+    const Index dst_start = seq_len_ - pairs;
+    for (Index t = 0; t < pairs; ++t) {
+      const Index flat = row * seq_len_ + dst_start + t;
+      batch.items[flat] = seq[src_start + t];
+      batch.targets[flat] = seq[src_start + t + 1];
+      batch.valid[flat] = true;
+    }
+  }
+  return batch;
+}
+
+SequenceBatch SequenceBatcher::InferenceBatch(
+    const std::vector<std::vector<Index>>& histories, Index seq_len,
+    const std::vector<Index>& users) {
+  ISREC_CHECK_GT(seq_len, 0);
+  SequenceBatch batch;
+  batch.batch_size = static_cast<Index>(histories.size());
+  batch.seq_len = seq_len;
+  batch.items.assign(batch.batch_size * seq_len, -1);
+  batch.targets.assign(batch.batch_size * seq_len, -1);
+  batch.valid.assign(batch.batch_size * seq_len, false);
+  if (users.empty()) {
+    batch.users.assign(batch.batch_size, -1);
+  } else {
+    ISREC_CHECK_EQ(users.size(), histories.size());
+    batch.users = users;
+  }
+  for (Index row = 0; row < batch.batch_size; ++row) {
+    const auto& h = histories[row];
+    const Index keep = std::min<Index>(static_cast<Index>(h.size()), seq_len);
+    const Index src_start = static_cast<Index>(h.size()) - keep;
+    const Index dst_start = seq_len - keep;
+    for (Index t = 0; t < keep; ++t) {
+      const Index flat = row * seq_len + dst_start + t;
+      batch.items[flat] = h[src_start + t];
+      batch.valid[flat] = true;
+    }
+  }
+  return batch;
+}
+
+}  // namespace isrec::data

@@ -1,0 +1,61 @@
+#ifndef ISREC_DATA_BATCH_H_
+#define ISREC_DATA_BATCH_H_
+
+#include <vector>
+
+#include "data/split.h"
+#include "utils/rng.h"
+
+namespace isrec::data {
+
+/// A padded mini-batch for next-item training (Section 3.7): for each
+/// position t of the input, the target is the item at t+1. Sequences are
+/// left-padded to `seq_len` so the most recent item always sits at the
+/// last position.
+struct SequenceBatch {
+  Index batch_size = 0;
+  Index seq_len = 0;
+
+  /// Flattened [batch_size * seq_len]; -1 marks padding.
+  std::vector<Index> items;
+  /// Flattened next-item targets aligned with `items`; -1 = ignore.
+  std::vector<Index> targets;
+  /// valid[b * seq_len + t]: items[b * seq_len + t] is a real item.
+  std::vector<bool> valid;
+  /// User id per row.
+  std::vector<Index> users;
+};
+
+/// Builds training batches from the leave-one-out split. Each user's
+/// train prefix becomes one row: inputs are the first L-1 items
+/// (truncated to the trailing `seq_len`), targets the next items.
+class SequenceBatcher {
+ public:
+  SequenceBatcher(const LeaveOneOutSplit& split, Index batch_size,
+                  Index seq_len);
+
+  /// Number of batches per epoch.
+  Index NumBatches() const;
+
+  /// Reshuffles user order for a new epoch.
+  void Shuffle(Rng& rng);
+
+  /// Returns the i-th batch (i in [0, NumBatches())).
+  SequenceBatch GetBatch(Index i) const;
+
+  /// Builds a single inference row from an arbitrary history: the last
+  /// `seq_len` items, left-padded; targets are all -1.
+  static SequenceBatch InferenceBatch(
+      const std::vector<std::vector<Index>>& histories, Index seq_len,
+      const std::vector<Index>& users = {});
+
+ private:
+  const LeaveOneOutSplit* split_;
+  Index batch_size_;
+  Index seq_len_;
+  std::vector<Index> order_;  // Users with a non-trivial training row.
+};
+
+}  // namespace isrec::data
+
+#endif  // ISREC_DATA_BATCH_H_

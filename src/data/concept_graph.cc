@@ -1,0 +1,83 @@
+#include "data/concept_graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "utils/check.h"
+
+namespace isrec::data {
+
+ConceptGraph::ConceptGraph(Index num_concepts,
+                           std::vector<std::pair<Index, Index>> edges,
+                           std::vector<std::string> names)
+    : num_concepts_(num_concepts), names_(std::move(names)) {
+  ISREC_CHECK_GT(num_concepts, 0);
+  std::set<std::pair<Index, Index>> unique;
+  for (auto [a, b] : edges) {
+    ISREC_CHECK_GE(a, 0);
+    ISREC_CHECK_LT(a, num_concepts);
+    ISREC_CHECK_GE(b, 0);
+    ISREC_CHECK_LT(b, num_concepts);
+    if (a == b) continue;
+    unique.insert({std::min(a, b), std::max(a, b)});
+  }
+  edges_.assign(unique.begin(), unique.end());
+
+  neighbors_.resize(num_concepts_);
+  for (auto [a, b] : edges_) {
+    neighbors_[a].push_back(b);
+    neighbors_[b].push_back(a);
+  }
+  if (names_.empty()) {
+    names_.reserve(num_concepts_);
+    for (Index i = 0; i < num_concepts_; ++i) {
+      names_.push_back("concept_" + std::to_string(i));
+    }
+  }
+  ISREC_CHECK_EQ(static_cast<Index>(names_.size()), num_concepts_);
+}
+
+ConceptGraph ConceptGraph::GenerateSmallWorld(Index num_concepts,
+                                              Index avg_degree,
+                                              double rewire_prob, Rng& rng) {
+  ISREC_CHECK_GT(num_concepts, 2);
+  ISREC_CHECK_GE(avg_degree, 2);
+  ISREC_CHECK_LT(avg_degree, num_concepts);
+  const Index half = std::max<Index>(1, avg_degree / 2);
+
+  std::vector<std::pair<Index, Index>> edges;
+  for (Index i = 0; i < num_concepts; ++i) {
+    for (Index d = 1; d <= half; ++d) {
+      Index j = (i + d) % num_concepts;
+      if (rng.NextBernoulli(rewire_prob)) {
+        // Rewire to a random non-self target.
+        Index target = rng.NextInt(num_concepts);
+        int attempts = 0;
+        while (target == i && attempts++ < 8) {
+          target = rng.NextInt(num_concepts);
+        }
+        if (target != i) j = target;
+      }
+      edges.emplace_back(i, j);
+    }
+  }
+  return ConceptGraph(num_concepts, std::move(edges));
+}
+
+const std::string& ConceptGraph::name(Index concept_id) const {
+  ISREC_CHECK_GE(concept_id, 0);
+  ISREC_CHECK_LT(concept_id, num_concepts_);
+  return names_[concept_id];
+}
+
+bool ConceptGraph::HasEdge(Index a, Index b) const {
+  if (a < 0 || b < 0 || a >= num_concepts_ || b >= num_concepts_) return false;
+  const auto& nbrs = neighbors_[a];
+  return std::find(nbrs.begin(), nbrs.end(), b) != nbrs.end();
+}
+
+SparseMatrix ConceptGraph::NormalizedAdjacency() const {
+  return SparseMatrix::NormalizedAdjacency(num_concepts_, edges_);
+}
+
+}  // namespace isrec::data

@@ -1,0 +1,63 @@
+#ifndef ISREC_DATA_CONCEPT_GRAPH_H_
+#define ISREC_DATA_CONCEPT_GRAPH_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/sparse.h"
+#include "utils/rng.h"
+
+namespace isrec::data {
+
+/// The intention graph G of the paper (Section 3.5): K concepts plus
+/// undirected semantic relations between them.
+///
+/// The paper builds this from ConceptNet; this library generates a
+/// structurally equivalent stand-in — a small-world relation graph over a
+/// synthetic concept vocabulary (see GenerateSmallWorld). ConceptNet's
+/// neighborhoods are sparse, clustered, and have short path lengths,
+/// which is exactly the Watts-Strogatz regime.
+class ConceptGraph {
+ public:
+  ConceptGraph() = default;
+
+  /// Builds from an explicit edge list (deduplicated, self-loops
+  /// dropped). `names` may be empty, in which case "concept_<i>" is used.
+  ConceptGraph(Index num_concepts,
+               std::vector<std::pair<Index, Index>> edges,
+               std::vector<std::string> names = {});
+
+  /// Watts-Strogatz small-world graph: ring lattice with `avg_degree`
+  /// neighbors per node, each edge rewired with probability
+  /// `rewire_prob`.
+  static ConceptGraph GenerateSmallWorld(Index num_concepts,
+                                         Index avg_degree,
+                                         double rewire_prob, Rng& rng);
+
+  Index num_concepts() const { return num_concepts_; }
+  Index num_edges() const { return static_cast<Index>(edges_.size()); }
+  const std::vector<std::pair<Index, Index>>& edges() const { return edges_; }
+  const std::string& name(Index concept_id) const;
+
+  /// Adjacency lists (symmetric).
+  const std::vector<std::vector<Index>>& neighbors() const {
+    return neighbors_;
+  }
+
+  /// Whether an undirected edge (a, b) exists.
+  bool HasEdge(Index a, Index b) const;
+
+  /// D^{-1/2} (A + I) D^{-1/2} for the GCN (Eq. 10).
+  SparseMatrix NormalizedAdjacency() const;
+
+ private:
+  Index num_concepts_ = 0;
+  std::vector<std::pair<Index, Index>> edges_;
+  std::vector<std::vector<Index>> neighbors_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace isrec::data
+
+#endif  // ISREC_DATA_CONCEPT_GRAPH_H_

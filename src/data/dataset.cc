@@ -1,0 +1,101 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "utils/check.h"
+
+namespace isrec::data {
+
+Index Dataset::NumInteractions() const {
+  Index total = 0;
+  for (const auto& seq : sequences) total += static_cast<Index>(seq.size());
+  return total;
+}
+
+double Dataset::AverageSequenceLength() const {
+  if (sequences.empty()) return 0.0;
+  return static_cast<double>(NumInteractions()) /
+         static_cast<double>(sequences.size());
+}
+
+double Dataset::Density() const {
+  if (num_users == 0 || num_items == 0) return 0.0;
+  return static_cast<double>(NumInteractions()) /
+         (static_cast<double>(num_users) * static_cast<double>(num_items));
+}
+
+double Dataset::AverageConceptsPerItem() const {
+  if (item_concepts.empty()) return 0.0;
+  Index total = 0;
+  for (const auto& c : item_concepts) total += static_cast<Index>(c.size());
+  return static_cast<double>(total) /
+         static_cast<double>(item_concepts.size());
+}
+
+void Dataset::Validate(Index min_sequence_length) const {
+  ISREC_CHECK_EQ(static_cast<Index>(sequences.size()), num_users);
+  ISREC_CHECK_EQ(static_cast<Index>(item_concepts.size()), num_items);
+  for (const auto& seq : sequences) {
+    ISREC_CHECK_GE(static_cast<Index>(seq.size()), min_sequence_length);
+    for (Index item : seq) {
+      ISREC_CHECK_GE(item, 0);
+      ISREC_CHECK_LT(item, num_items);
+    }
+  }
+  for (const auto& cs : item_concepts) {
+    for (Index c : cs) {
+      ISREC_CHECK_GE(c, 0);
+      ISREC_CHECK_LT(c, concepts.num_concepts());
+    }
+  }
+}
+
+void Dataset::FilterRareUsersAndItems(Index min_count) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Count item occurrences.
+    std::vector<Index> item_count(num_items, 0);
+    for (const auto& seq : sequences) {
+      for (Index item : seq) item_count[item]++;
+    }
+    std::vector<Index> item_remap(num_items, -1);
+    Index next_item = 0;
+    for (Index i = 0; i < num_items; ++i) {
+      if (item_count[i] >= min_count) item_remap[i] = next_item++;
+    }
+    if (next_item != num_items) changed = true;
+
+    // Rewrite sequences without dropped items; drop short users.
+    std::vector<std::vector<Index>> new_sequences;
+    new_sequences.reserve(sequences.size());
+    for (auto& seq : sequences) {
+      std::vector<Index> filtered;
+      filtered.reserve(seq.size());
+      for (Index item : seq) {
+        if (item_remap[item] >= 0) filtered.push_back(item_remap[item]);
+      }
+      if (static_cast<Index>(filtered.size()) >= min_count) {
+        new_sequences.push_back(std::move(filtered));
+      } else {
+        changed = true;
+      }
+    }
+
+    // Rebuild item concepts under the new ids.
+    std::vector<std::vector<Index>> new_item_concepts(next_item);
+    for (Index i = 0; i < num_items; ++i) {
+      if (item_remap[i] >= 0) {
+        new_item_concepts[item_remap[i]] = std::move(item_concepts[i]);
+      }
+    }
+
+    sequences = std::move(new_sequences);
+    item_concepts = std::move(new_item_concepts);
+    num_users = static_cast<Index>(sequences.size());
+    num_items = next_item;
+  }
+}
+
+}  // namespace isrec::data

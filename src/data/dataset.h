@@ -1,0 +1,51 @@
+#ifndef ISREC_DATA_DATASET_H_
+#define ISREC_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "data/concept_graph.h"
+
+namespace isrec::data {
+
+/// A sequential-recommendation dataset: per-user chronological item
+/// sequences plus item-side concept annotations (the item-concept matrix
+/// E of the paper) and the intention graph.
+struct Dataset {
+  std::string name;
+  Index num_users = 0;
+  Index num_items = 0;
+
+  /// sequences[u] is S_u, item ids in chronological order.
+  std::vector<std::vector<Index>> sequences;
+
+  /// item_concepts[i] lists the concepts of item i (row i of E).
+  std::vector<std::vector<Index>> item_concepts;
+
+  ConceptGraph concepts;
+
+  // -- Table 3 statistics ----------------------------------------------
+
+  Index NumInteractions() const;
+  double AverageSequenceLength() const;
+  /// #interactions / (#users * #items), as a fraction (not percent).
+  double Density() const;
+
+  // -- Table 4 statistics -----------------------------------------------
+
+  double AverageConceptsPerItem() const;
+
+  /// CHECK-fails unless every recorded id is within range, every user has
+  /// at least `min_sequence_length` interactions, and concept ids are
+  /// valid. Call after construction/generation.
+  void Validate(Index min_sequence_length = 1) const;
+
+  /// Drops users and items with fewer than `min_count` interactions and
+  /// remaps ids densely (the paper's preprocessing step). Iterates until
+  /// a fixed point is reached.
+  void FilterRareUsersAndItems(Index min_count);
+};
+
+}  // namespace isrec::data
+
+#endif  // ISREC_DATA_DATASET_H_

@@ -1,0 +1,161 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "utils/check.h"
+
+namespace isrec::data {
+namespace {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path)
+      : file_(std::fopen(path.c_str(), "w")) {
+    ISREC_CHECK_MSG(file_ != nullptr, "cannot open " << path);
+  }
+  ~CsvWriter() { std::fclose(file_); }
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void Row(const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      std::fprintf(file_, "%s%s", i ? "," : "", cells[i].c_str());
+    }
+    std::fprintf(file_, "\n");
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+// Reads one CSV line into fields; returns false at EOF.
+bool ReadRow(std::FILE* file, std::vector<std::string>* fields) {
+  fields->clear();
+  std::string current;
+  int c;
+  bool any = false;
+  while ((c = std::fgetc(file)) != EOF) {
+    any = true;
+    if (c == '\n') break;
+    if (c == '\r') continue;
+    if (c == ',') {
+      fields->push_back(current);
+      current.clear();
+    } else {
+      current.push_back(static_cast<char>(c));
+    }
+  }
+  if (!any) return false;
+  fields->push_back(current);
+  return true;
+}
+
+Index ToIndex(const std::string& s) {
+  ISREC_CHECK_MSG(!s.empty(), "empty CSV field");
+  return static_cast<Index>(std::stoll(s));
+}
+
+}  // namespace
+
+void SaveDatasetCsv(const Dataset& dataset, const std::string& prefix) {
+  {
+    CsvWriter meta(prefix + ".meta.csv");
+    meta.Row({"name", "num_users", "num_items", "num_concepts"});
+    meta.Row({dataset.name, std::to_string(dataset.num_users),
+              std::to_string(dataset.num_items),
+              std::to_string(dataset.concepts.num_concepts())});
+  }
+  {
+    CsvWriter interactions(prefix + ".interactions.csv");
+    interactions.Row({"user", "position", "item"});
+    for (Index u = 0; u < dataset.num_users; ++u) {
+      for (size_t t = 0; t < dataset.sequences[u].size(); ++t) {
+        interactions.Row({std::to_string(u), std::to_string(t),
+                          std::to_string(dataset.sequences[u][t])});
+      }
+    }
+  }
+  {
+    CsvWriter concepts(prefix + ".concepts.csv");
+    concepts.Row({"item", "concept"});
+    for (Index i = 0; i < dataset.num_items; ++i) {
+      for (Index c : dataset.item_concepts[i]) {
+        concepts.Row({std::to_string(i), std::to_string(c)});
+      }
+    }
+  }
+  {
+    CsvWriter graph(prefix + ".graph.csv");
+    graph.Row({"concept_a", "concept_b"});
+    for (auto [a, b] : dataset.concepts.edges()) {
+      graph.Row({std::to_string(a), std::to_string(b)});
+    }
+  }
+}
+
+bool LoadDatasetCsv(const std::string& prefix, Dataset* dataset) {
+  ISREC_CHECK(dataset != nullptr);
+  std::vector<std::string> fields;
+
+  Index num_concepts = 0;
+  {
+    std::FILE* f = std::fopen((prefix + ".meta.csv").c_str(), "r");
+    if (f == nullptr) return false;
+    ISREC_CHECK(ReadRow(f, &fields));  // Header.
+    ISREC_CHECK(ReadRow(f, &fields));
+    ISREC_CHECK_EQ(fields.size(), 4u);
+    dataset->name = fields[0];
+    dataset->num_users = ToIndex(fields[1]);
+    dataset->num_items = ToIndex(fields[2]);
+    num_concepts = ToIndex(fields[3]);
+    std::fclose(f);
+  }
+  {
+    std::FILE* f = std::fopen((prefix + ".interactions.csv").c_str(), "r");
+    if (f == nullptr) return false;
+    dataset->sequences.assign(dataset->num_users, {});
+    ISREC_CHECK(ReadRow(f, &fields));  // Header.
+    while (ReadRow(f, &fields)) {
+      ISREC_CHECK_EQ(fields.size(), 3u);
+      const Index user = ToIndex(fields[0]);
+      const Index position = ToIndex(fields[1]);
+      const Index item = ToIndex(fields[2]);
+      ISREC_CHECK_LT(user, dataset->num_users);
+      auto& seq = dataset->sequences[user];
+      ISREC_CHECK_EQ(position, static_cast<Index>(seq.size()));
+      seq.push_back(item);
+    }
+    std::fclose(f);
+  }
+  {
+    std::FILE* f = std::fopen((prefix + ".concepts.csv").c_str(), "r");
+    if (f == nullptr) return false;
+    dataset->item_concepts.assign(dataset->num_items, {});
+    ISREC_CHECK(ReadRow(f, &fields));  // Header.
+    while (ReadRow(f, &fields)) {
+      ISREC_CHECK_EQ(fields.size(), 2u);
+      const Index item = ToIndex(fields[0]);
+      ISREC_CHECK_LT(item, dataset->num_items);
+      dataset->item_concepts[item].push_back(ToIndex(fields[1]));
+    }
+    std::fclose(f);
+  }
+  {
+    std::FILE* f = std::fopen((prefix + ".graph.csv").c_str(), "r");
+    if (f == nullptr) return false;
+    std::vector<std::pair<Index, Index>> edges;
+    ISREC_CHECK(ReadRow(f, &fields));  // Header.
+    while (ReadRow(f, &fields)) {
+      ISREC_CHECK_EQ(fields.size(), 2u);
+      edges.emplace_back(ToIndex(fields[0]), ToIndex(fields[1]));
+    }
+    std::fclose(f);
+    dataset->concepts = ConceptGraph(num_concepts, std::move(edges));
+  }
+  dataset->Validate();
+  return true;
+}
+
+}  // namespace isrec::data

@@ -1,0 +1,25 @@
+#ifndef ISREC_DATA_IO_H_
+#define ISREC_DATA_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace isrec::data {
+
+/// Persists a dataset as three CSV files under `prefix`:
+///   <prefix>.interactions.csv  user,position,item
+///   <prefix>.concepts.csv      item,concept          (matrix E)
+///   <prefix>.graph.csv         concept_a,concept_b   (intention graph)
+/// plus a small <prefix>.meta.csv with name and counts. This is the
+/// interchange format for running the library on real logs: export your
+/// interactions in the same shape and point LoadDatasetCsv at them.
+void SaveDatasetCsv(const Dataset& dataset, const std::string& prefix);
+
+/// Loads a dataset saved with SaveDatasetCsv. CHECK-fails on malformed
+/// rows; returns false only if a file cannot be opened.
+bool LoadDatasetCsv(const std::string& prefix, Dataset* dataset);
+
+}  // namespace isrec::data
+
+#endif  // ISREC_DATA_IO_H_

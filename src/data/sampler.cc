@@ -1,0 +1,53 @@
+#include "data/sampler.h"
+
+#include "utils/check.h"
+
+namespace isrec::data {
+
+NegativeSampler::NegativeSampler(const Dataset& dataset)
+    : num_items_(dataset.num_items) {
+  seen_.resize(dataset.num_users);
+  for (Index u = 0; u < dataset.num_users; ++u) {
+    seen_[u].insert(dataset.sequences[u].begin(),
+                    dataset.sequences[u].end());
+  }
+}
+
+std::vector<Index> NegativeSampler::Sample(Index user, Index count,
+                                           Rng& rng) const {
+  ISREC_CHECK_GE(user, 0);
+  ISREC_CHECK_LT(user, static_cast<Index>(seen_.size()));
+  const Index available =
+      num_items_ - static_cast<Index>(seen_[user].size());
+  ISREC_CHECK_MSG(available >= count,
+                  "user " << user << " has only " << available
+                          << " candidate negatives, need " << count);
+  std::unordered_set<Index> picked;
+  std::vector<Index> result;
+  result.reserve(count);
+  while (static_cast<Index>(result.size()) < count) {
+    const Index item = rng.NextInt(num_items_);
+    if (seen_[user].count(item) > 0 || picked.count(item) > 0) continue;
+    picked.insert(item);
+    result.push_back(item);
+  }
+  return result;
+}
+
+Index NegativeSampler::SampleOne(Index user, Rng& rng) const {
+  ISREC_CHECK_GE(user, 0);
+  ISREC_CHECK_LT(user, static_cast<Index>(seen_.size()));
+  ISREC_CHECK_LT(static_cast<Index>(seen_[user].size()), num_items_);
+  while (true) {
+    const Index item = rng.NextInt(num_items_);
+    if (seen_[user].count(item) == 0) return item;
+  }
+}
+
+bool NegativeSampler::Interacted(Index user, Index item) const {
+  ISREC_CHECK_GE(user, 0);
+  ISREC_CHECK_LT(user, static_cast<Index>(seen_.size()));
+  return seen_[user].count(item) > 0;
+}
+
+}  // namespace isrec::data

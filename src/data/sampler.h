@@ -1,0 +1,39 @@
+#ifndef ISREC_DATA_SAMPLER_H_
+#define ISREC_DATA_SAMPLER_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "data/dataset.h"
+#include "utils/rng.h"
+
+namespace isrec::data {
+
+/// Samples items a given user has never interacted with — used both for
+/// the 100-negative ranking protocol (Section 4.2.1) and for pairwise
+/// training losses (BPR).
+class NegativeSampler {
+ public:
+  /// Builds per-user interaction sets from the full dataset (train +
+  /// val + test interactions are all excluded from negatives, following
+  /// the paper's protocol).
+  explicit NegativeSampler(const Dataset& dataset);
+
+  /// `count` distinct items outside user's history. CHECK-fails if not
+  /// enough items exist.
+  std::vector<Index> Sample(Index user, Index count, Rng& rng) const;
+
+  /// One negative item for the user (not necessarily distinct across
+  /// calls) — the cheap path for training losses.
+  Index SampleOne(Index user, Rng& rng) const;
+
+  bool Interacted(Index user, Index item) const;
+
+ private:
+  Index num_items_;
+  std::vector<std::unordered_set<Index>> seen_;
+};
+
+}  // namespace isrec::data
+
+#endif  // ISREC_DATA_SAMPLER_H_

@@ -1,0 +1,60 @@
+#include "data/split.h"
+
+#include "utils/check.h"
+
+namespace isrec::data {
+
+LeaveOneOutSplit::LeaveOneOutSplit(const Dataset& dataset) {
+  const Index n = dataset.num_users;
+  train_sequences_.resize(n);
+  test_histories_.resize(n);
+  valid_targets_.assign(n, -1);
+  test_targets_.assign(n, -1);
+  for (Index u = 0; u < n; ++u) {
+    const auto& seq = dataset.sequences[u];
+    if (seq.size() < 3) {
+      train_sequences_[u] = seq;
+      test_histories_[u] = seq;
+      continue;
+    }
+    train_sequences_[u].assign(seq.begin(), seq.end() - 2);
+    valid_targets_[u] = seq[seq.size() - 2];
+    test_targets_[u] = seq[seq.size() - 1];
+    test_histories_[u].assign(seq.begin(), seq.end() - 1);
+    evaluable_users_.push_back(u);
+  }
+}
+
+const std::vector<Index>& LeaveOneOutSplit::TrainSequence(Index user) const {
+  ISREC_CHECK_GE(user, 0);
+  ISREC_CHECK_LT(user, num_users());
+  return train_sequences_[user];
+}
+
+bool LeaveOneOutSplit::IsEvaluable(Index user) const {
+  ISREC_CHECK_GE(user, 0);
+  ISREC_CHECK_LT(user, num_users());
+  return test_targets_[user] >= 0;
+}
+
+Index LeaveOneOutSplit::ValidTarget(Index user) const {
+  ISREC_CHECK(IsEvaluable(user));
+  return valid_targets_[user];
+}
+
+Index LeaveOneOutSplit::TestTarget(Index user) const {
+  ISREC_CHECK(IsEvaluable(user));
+  return test_targets_[user];
+}
+
+const std::vector<Index>& LeaveOneOutSplit::ValidHistory(Index user) const {
+  return TrainSequence(user);
+}
+
+const std::vector<Index>& LeaveOneOutSplit::TestHistory(Index user) const {
+  ISREC_CHECK_GE(user, 0);
+  ISREC_CHECK_LT(user, num_users());
+  return test_histories_[user];
+}
+
+}  // namespace isrec::data

@@ -1,0 +1,56 @@
+#ifndef ISREC_DATA_SPLIT_H_
+#define ISREC_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace isrec::data {
+
+/// Leave-one-out evaluation split (Section 4.2.1 of the paper): for each
+/// user the last item is the test target, the second-to-last the
+/// validation target, and the remaining prefix is training data. Users
+/// too short to split (< 3 interactions) train on their full sequence
+/// and are excluded from evaluation.
+class LeaveOneOutSplit {
+ public:
+  explicit LeaveOneOutSplit(const Dataset& dataset);
+
+  Index num_users() const {
+    return static_cast<Index>(train_sequences_.size());
+  }
+
+  /// Training prefix for user u (never includes val/test targets).
+  const std::vector<Index>& TrainSequence(Index user) const;
+
+  /// True if the user participates in validation/testing.
+  bool IsEvaluable(Index user) const;
+
+  /// Validation target (second-to-last item). Requires IsEvaluable.
+  Index ValidTarget(Index user) const;
+  /// Test target (last item). Requires IsEvaluable.
+  Index TestTarget(Index user) const;
+
+  /// History visible when predicting the validation target: the train
+  /// prefix.
+  const std::vector<Index>& ValidHistory(Index user) const;
+  /// History visible when predicting the test target: train prefix plus
+  /// the validation item.
+  const std::vector<Index>& TestHistory(Index user) const;
+
+  /// Users with IsEvaluable() == true.
+  const std::vector<Index>& evaluable_users() const {
+    return evaluable_users_;
+  }
+
+ private:
+  std::vector<std::vector<Index>> train_sequences_;
+  std::vector<std::vector<Index>> test_histories_;  // train + valid item.
+  std::vector<Index> valid_targets_;  // -1 when not evaluable.
+  std::vector<Index> test_targets_;   // -1 when not evaluable.
+  std::vector<Index> evaluable_users_;
+};
+
+}  // namespace isrec::data
+
+#endif  // ISREC_DATA_SPLIT_H_

@@ -1,0 +1,70 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+
+#include "utils/check.h"
+
+namespace isrec::eval {
+
+std::vector<std::vector<float>> Recommender::ScoreBatch(
+    const std::vector<Index>& users,
+    const std::vector<std::vector<Index>>& histories,
+    const std::vector<std::vector<Index>>& candidate_lists) {
+  ISREC_CHECK_EQ(users.size(), histories.size());
+  ISREC_CHECK_EQ(users.size(), candidate_lists.size());
+  std::vector<std::vector<float>> result;
+  result.reserve(users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    result.push_back(Score(users[i], histories[i], candidate_lists[i]));
+  }
+  return result;
+}
+
+MetricReport EvaluateRanking(Recommender& model, const data::Dataset& dataset,
+                             const data::LeaveOneOutSplit& split,
+                             const EvalConfig& config) {
+  ISREC_CHECK_GT(config.num_negatives, 0);
+  data::NegativeSampler sampler(dataset);
+  Rng rng(config.seed);
+  MetricAccumulator accumulator;
+
+  const auto& users = split.evaluable_users();
+  ISREC_CHECK_MSG(!users.empty(), "no evaluable users");
+
+  for (size_t start = 0; start < users.size();
+       start += static_cast<size_t>(config.batch_size)) {
+    const size_t end = std::min(users.size(),
+                                start + static_cast<size_t>(config.batch_size));
+    std::vector<Index> batch_users;
+    std::vector<std::vector<Index>> histories;
+    std::vector<std::vector<Index>> candidate_lists;
+    for (size_t i = start; i < end; ++i) {
+      const Index u = users[i];
+      batch_users.push_back(u);
+      histories.push_back(config.use_validation ? split.ValidHistory(u)
+                                                : split.TestHistory(u));
+      const Index positive = config.use_validation ? split.ValidTarget(u)
+                                                   : split.TestTarget(u);
+      // Candidate 0 is always the positive; the rest are negatives.
+      std::vector<Index> candidates = {positive};
+      const std::vector<Index> negatives =
+          sampler.Sample(u, config.num_negatives, rng);
+      candidates.insert(candidates.end(), negatives.begin(), negatives.end());
+      candidate_lists.push_back(std::move(candidates));
+    }
+
+    const auto scores =
+        model.ScoreBatch(batch_users, histories, candidate_lists);
+    ISREC_CHECK_EQ(scores.size(), batch_users.size());
+    for (size_t i = 0; i < scores.size(); ++i) {
+      ISREC_CHECK_EQ(scores[i].size(), candidate_lists[i].size());
+      const float positive_score = scores[i][0];
+      std::vector<float> negative_scores(scores[i].begin() + 1,
+                                         scores[i].end());
+      accumulator.AddRank(RankOfPositive(positive_score, negative_scores));
+    }
+  }
+  return accumulator.Report();
+}
+
+}  // namespace isrec::eval

@@ -1,0 +1,34 @@
+#ifndef ISREC_EVAL_EVALUATOR_H_
+#define ISREC_EVAL_EVALUATOR_H_
+
+#include "data/dataset.h"
+#include "data/sampler.h"
+#include "data/split.h"
+#include "eval/metrics.h"
+#include "eval/recommender.h"
+
+namespace isrec::eval {
+
+/// Sampled-ranking evaluation protocol (Section 4.2.1): for every
+/// evaluable user, rank the held-out positive against `num_negatives`
+/// uniformly sampled unseen items.
+struct EvalConfig {
+  Index num_negatives = 100;
+  uint64_t seed = 777;
+  /// If true, rank the validation target given the train prefix;
+  /// otherwise the test target given train + validation.
+  bool use_validation = false;
+  /// Users scored per ScoreBatch call.
+  Index batch_size = 64;
+};
+
+/// Runs the protocol and aggregates HR/NDCG/MRR over all evaluable
+/// users. Negative samples are drawn deterministically from
+/// `config.seed`, so runs are comparable across models.
+MetricReport EvaluateRanking(Recommender& model, const data::Dataset& dataset,
+                             const data::LeaveOneOutSplit& split,
+                             const EvalConfig& config = {});
+
+}  // namespace isrec::eval
+
+#endif  // ISREC_EVAL_EVALUATOR_H_

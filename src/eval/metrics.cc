@@ -1,0 +1,69 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "utils/check.h"
+#include "utils/table.h"
+
+namespace isrec::eval {
+
+double HitRate(Index rank, Index k) {
+  ISREC_CHECK_GE(rank, 1);
+  return rank <= k ? 1.0 : 0.0;
+}
+
+double Ndcg(Index rank, Index k) {
+  ISREC_CHECK_GE(rank, 1);
+  if (rank > k) return 0.0;
+  return 1.0 / std::log2(static_cast<double>(rank) + 1.0);
+}
+
+double ReciprocalRank(Index rank) {
+  ISREC_CHECK_GE(rank, 1);
+  return 1.0 / static_cast<double>(rank);
+}
+
+Index RankOfPositive(float positive_score,
+                     const std::vector<float>& negative_scores) {
+  Index rank = 1;
+  for (float s : negative_scores) {
+    if (s >= positive_score) ++rank;
+  }
+  return rank;
+}
+
+void MetricAccumulator::AddRank(Index rank) {
+  hr1_ += HitRate(rank, 1);
+  hr5_ += HitRate(rank, 5);
+  hr10_ += HitRate(rank, 10);
+  ndcg5_ += Ndcg(rank, 5);
+  ndcg10_ += Ndcg(rank, 10);
+  mrr_ += ReciprocalRank(rank);
+  ++count_;
+}
+
+MetricReport MetricAccumulator::Report() const {
+  ISREC_CHECK_GT(count_, 0);
+  const double n = static_cast<double>(count_);
+  MetricReport report;
+  report.hr1 = hr1_ / n;
+  report.hr5 = hr5_ / n;
+  report.hr10 = hr10_ / n;
+  report.ndcg5 = ndcg5_ / n;
+  report.ndcg10 = ndcg10_ / n;
+  report.mrr = mrr_ / n;
+  report.num_users = count_;
+  return report;
+}
+
+std::string MetricReport::ToString() const {
+  std::ostringstream out;
+  out << "HR@1=" << FormatFloat(hr1) << " HR@5=" << FormatFloat(hr5)
+      << " HR@10=" << FormatFloat(hr10) << " NDCG@5=" << FormatFloat(ndcg5)
+      << " NDCG@10=" << FormatFloat(ndcg10) << " MRR=" << FormatFloat(mrr)
+      << " (n=" << num_users << ")";
+  return out.str();
+}
+
+}  // namespace isrec::eval

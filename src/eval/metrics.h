@@ -1,0 +1,59 @@
+#ifndef ISREC_EVAL_METRICS_H_
+#define ISREC_EVAL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace isrec::eval {
+
+/// Single-ground-truth ranking metrics (Eqs. 15-17 of the paper).
+/// `rank` is 1-based: 1 means the positive item scored highest.
+
+/// HR@k: 1 if the positive lands in the top-k, else 0.
+double HitRate(Index rank, Index k);
+
+/// NDCG@k: 1 / log2(rank + 1) if rank <= k, else 0. With one relevant
+/// item the ideal DCG is 1, so no further normalization is needed.
+double Ndcg(Index rank, Index k);
+
+/// MRR contribution: 1 / rank.
+double ReciprocalRank(Index rank);
+
+/// Computes the 1-based rank of `positive_score` within the candidate
+/// scores (positive + negatives). Ties are counted above the positive
+/// (pessimistic), matching common implementations.
+Index RankOfPositive(float positive_score,
+                     const std::vector<float>& negative_scores);
+
+/// Aggregated report over many users — the columns of Table 2.
+struct MetricReport {
+  double hr1 = 0.0;
+  double hr5 = 0.0;
+  double hr10 = 0.0;
+  double ndcg5 = 0.0;
+  double ndcg10 = 0.0;
+  double mrr = 0.0;
+  Index num_users = 0;
+
+  std::string ToString() const;
+};
+
+/// Streaming accumulator for MetricReport.
+class MetricAccumulator {
+ public:
+  /// Adds one user's outcome given the positive's 1-based rank.
+  void AddRank(Index rank);
+
+  MetricReport Report() const;
+
+ private:
+  double hr1_ = 0.0, hr5_ = 0.0, hr10_ = 0.0;
+  double ndcg5_ = 0.0, ndcg10_ = 0.0, mrr_ = 0.0;
+  Index count_ = 0;
+};
+
+}  // namespace isrec::eval
+
+#endif  // ISREC_EVAL_METRICS_H_

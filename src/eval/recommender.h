@@ -1,0 +1,42 @@
+#ifndef ISREC_EVAL_RECOMMENDER_H_
+#define ISREC_EVAL_RECOMMENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/split.h"
+#include "tensor/tensor.h"
+
+namespace isrec::eval {
+
+/// Common interface of all recommendation models (ISRec and every
+/// baseline of Table 2).
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  /// Display name as used in the paper's tables (e.g. "SASRec").
+  virtual std::string name() const = 0;
+
+  /// Trains on the split's training prefixes.
+  virtual void Fit(const data::Dataset& dataset,
+                   const data::LeaveOneOutSplit& split) = 0;
+
+  /// Scores `candidates` for a user given their interaction history
+  /// (chronological). Higher is better. Must be callable after Fit.
+  virtual std::vector<float> Score(Index user,
+                                   const std::vector<Index>& history,
+                                   const std::vector<Index>& candidates) = 0;
+
+  /// Batched scoring; the default loops over Score. Neural sequence
+  /// models override this to amortize the encoder forward pass.
+  virtual std::vector<std::vector<float>> ScoreBatch(
+      const std::vector<Index>& users,
+      const std::vector<std::vector<Index>>& histories,
+      const std::vector<std::vector<Index>>& candidate_lists);
+};
+
+}  // namespace isrec::eval
+
+#endif  // ISREC_EVAL_RECOMMENDER_H_

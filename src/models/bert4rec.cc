@@ -1,0 +1,85 @@
+#include "models/bert4rec.h"
+
+#include "tensor/ops.h"
+#include "utils/check.h"
+
+namespace isrec::models {
+
+Bert4Rec::Bert4Rec(SeqModelConfig config, float mask_prob)
+    : SequentialModelBase(config), mask_prob_(mask_prob) {
+  ISREC_CHECK_GT(mask_prob, 0.0f);
+  ISREC_CHECK_LT(mask_prob, 1.0f);
+}
+
+Index Bert4Rec::ItemVocabularySize(const data::Dataset& dataset) const {
+  return dataset.num_items + 1;  // Extra row for the [mask] token.
+}
+
+void Bert4Rec::BuildModel(const data::Dataset& dataset) {
+  mask_token_ = dataset.num_items;
+  encoder_ = std::make_unique<nn::TransformerEncoder>(
+      config_.num_layers, config_.embed_dim, config_.num_heads,
+      config_.ffn_dim, config_.dropout, rng_);
+  RegisterModule("encoder", encoder_.get());
+}
+
+Tensor Bert4Rec::Encode(const data::SequenceBatch& batch) {
+  Tensor h = EmbedInput(batch);
+  Tensor mask = nn::MakeAttentionMask(batch.batch_size, batch.seq_len,
+                                      batch.valid, /*causal=*/false);
+  return encoder_->Forward(h, mask);
+}
+
+Tensor Bert4Rec::ComputeLoss(const data::SequenceBatch& batch) {
+  // Cloze: replace a random subset of valid positions with [mask]; the
+  // target at a masked position is the original item. All other
+  // positions are ignored. A fraction of rows instead mask only the
+  // final position, matching the inference-time pattern (history +
+  // [mask]) as in the original BERT4Rec training recipe.
+  data::SequenceBatch cloze = batch;
+  Index num_masked = 0;
+  for (Index row = 0; row < batch.batch_size; ++row) {
+    const bool last_only = rng_.NextBernoulli(0.2);
+    bool done_last = false;
+    for (Index t = batch.seq_len - 1; t >= 0; --t) {
+      const Index i = row * batch.seq_len + t;
+      cloze.targets[i] = -1;
+      if (!batch.valid[i]) continue;
+      const bool mask_here = last_only
+                                 ? !done_last
+                                 : rng_.NextBernoulli(mask_prob_);
+      if (last_only && !done_last) done_last = true;
+      if (mask_here) {
+        cloze.targets[i] = batch.items[i];
+        cloze.items[i] = mask_token_;
+        ++num_masked;
+      }
+    }
+  }
+  if (num_masked == 0) {
+    // Guarantee at least one supervised position: mask the last valid
+    // item of the first row.
+    for (Index t = batch.seq_len - 1; t >= 0; --t) {
+      if (batch.valid[t]) {
+        cloze.targets[t] = batch.items[t];
+        cloze.items[t] = mask_token_;
+        break;
+      }
+    }
+  }
+  Tensor states = Encode(cloze);
+  Tensor flat = Reshape(states, {batch.batch_size * batch.seq_len,
+                                 config_.embed_dim});
+  Tensor logprobs = LogSoftmax(OutputLogits(flat));
+  return NllLoss(logprobs, cloze.targets, /*ignore_index=*/-1);
+}
+
+std::vector<std::vector<Index>> Bert4Rec::PrepareInferenceHistories(
+    const std::vector<std::vector<Index>>& histories) const {
+  ISREC_CHECK_GE(mask_token_, 0);
+  std::vector<std::vector<Index>> prepared = histories;
+  for (auto& h : prepared) h.push_back(mask_token_);
+  return prepared;
+}
+
+}  // namespace isrec::models

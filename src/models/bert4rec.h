@@ -1,0 +1,41 @@
+#ifndef ISREC_MODELS_BERT4REC_H_
+#define ISREC_MODELS_BERT4REC_H_
+
+#include <memory>
+#include <string>
+
+#include "models/seq_base.h"
+#include "nn/attention.h"
+
+namespace isrec::models {
+
+/// BERT4Rec (Sun et al. 2019): bidirectional transformer trained with a
+/// Cloze objective — random positions are replaced by a [mask] token and
+/// the model reconstructs them. At inference a mask token is appended to
+/// the history and the model predicts the item at that position. With
+/// `config.use_concepts = true` this is "BERT4Rec + concept" (Table 5).
+class Bert4Rec : public SequentialModelBase {
+ public:
+  explicit Bert4Rec(SeqModelConfig config, float mask_prob = 0.3f);
+
+  std::string name() const override {
+    return config().use_concepts ? "BERT4Rec+concept" : "BERT4Rec";
+  }
+
+ protected:
+  void BuildModel(const data::Dataset& dataset) override;
+  Tensor Encode(const data::SequenceBatch& batch) override;
+  Tensor ComputeLoss(const data::SequenceBatch& batch) override;
+  std::vector<std::vector<Index>> PrepareInferenceHistories(
+      const std::vector<std::vector<Index>>& histories) const override;
+  Index ItemVocabularySize(const data::Dataset& dataset) const override;
+
+ private:
+  float mask_prob_;
+  Index mask_token_ = -1;  // Set at build time (== num_items).
+  std::unique_ptr<nn::TransformerEncoder> encoder_;
+};
+
+}  // namespace isrec::models
+
+#endif  // ISREC_MODELS_BERT4REC_H_

@@ -1,0 +1,105 @@
+#include "models/caser.h"
+
+#include "tensor/ops.h"
+#include "utils/check.h"
+
+namespace isrec::models {
+namespace {
+
+SeqModelConfig CaserConfig(SeqModelConfig config) {
+  config.use_positions = false;  // Order is captured by the convolutions.
+  return config;
+}
+
+}  // namespace
+
+Caser::Caser(SeqModelConfig config, Index num_h_filters, Index num_v_filters)
+    : SequentialModelBase(CaserConfig(config)),
+      num_h_filters_(num_h_filters),
+      num_v_filters_(num_v_filters) {
+  ISREC_CHECK_GT(num_h_filters, 0);
+  ISREC_CHECK_GT(num_v_filters, 0);
+}
+
+void Caser::BuildModel(const data::Dataset& dataset) {
+  user_embedding_ =
+      std::make_unique<nn::Embedding>(dataset.num_users, config_.embed_dim,
+                                      rng_);
+  RegisterModule("user_embedding", user_embedding_.get());
+  for (size_t i = 0; i < heights_.size(); ++i) {
+    ISREC_CHECK_LE(heights_[i], config_.seq_len);
+    h_filters_.push_back(std::make_unique<nn::Linear>(
+        heights_[i] * config_.embed_dim, num_h_filters_, rng_));
+    RegisterModule("h_filter" + std::to_string(heights_[i]),
+                   h_filters_.back().get());
+  }
+  v_filter_ = RegisterParameter(
+      "v_filter",
+      Tensor::Randn({num_v_filters_, config_.seq_len}, 0.1f, rng_));
+  const Index fused_dim =
+      static_cast<Index>(heights_.size()) * num_h_filters_ +
+      num_v_filters_ * config_.embed_dim + config_.embed_dim;
+  fc_ = std::make_unique<nn::Linear>(fused_dim, config_.embed_dim, rng_);
+  fc_dropout_ = std::make_unique<nn::Dropout>(config_.dropout, rng_);
+  RegisterModule("fc", fc_.get());
+  RegisterModule("fc_dropout", fc_dropout_.get());
+}
+
+Tensor Caser::EncodeWindow(const data::SequenceBatch& batch) {
+  const Index b = batch.batch_size;
+  const Index t = batch.seq_len;
+  const Index d = config_.embed_dim;
+  ISREC_CHECK_EQ(t, config_.seq_len);
+
+  Tensor x = EmbedInput(batch);  // [B, T, d]
+
+  std::vector<Tensor> features;
+  // Horizontal convolutions: slide a height-h window, max-pool over time.
+  for (size_t hi = 0; hi < heights_.size(); ++hi) {
+    const Index h = heights_[hi];
+    std::vector<Tensor> responses;
+    responses.reserve(t - h + 1);
+    for (Index start = 0; start + h <= t; ++start) {
+      Tensor window = Reshape(Slice(x, 1, start, start + h), {b, h * d});
+      responses.push_back(
+          Reshape(Relu(h_filters_[hi]->Forward(window)),
+                  {b, 1, num_h_filters_}));
+    }
+    Tensor stacked = Concat(responses, 1);      // [B, T-h+1, F]
+    features.push_back(ReduceMax(stacked, 1));  // [B, F]
+  }
+  // Vertical convolution: learned weighted sums over time.
+  Tensor vertical = Reshape(BatchMatMul(v_filter_, x),
+                            {b, num_v_filters_ * d});
+  features.push_back(vertical);
+  // User embedding (general preference path).
+  features.push_back(user_embedding_->Forward(batch.users, {b}));
+
+  Tensor fused = fc_dropout_->Forward(Concat(features, 1));
+  return fc_->Forward(fused);  // [B, d]
+}
+
+Tensor Caser::Encode(const data::SequenceBatch& batch) {
+  // The base scoring path reads the state at the final position; place
+  // the window representation there.
+  Tensor window = Reshape(EncodeWindow(batch),
+                          {batch.batch_size, 1, config_.embed_dim});
+  if (batch.seq_len == 1) return window;
+  Tensor zeros = Tensor::Zeros(
+      {batch.batch_size, batch.seq_len - 1, config_.embed_dim});
+  return Concat({zeros, window}, 1);
+}
+
+Tensor Caser::ComputeLoss(const data::SequenceBatch& batch) {
+  Tensor window = EncodeWindow(batch);  // [B, d]
+  // Supervise only the final position's target (next item after the
+  // window).
+  std::vector<Index> targets(batch.batch_size, -1);
+  for (Index row = 0; row < batch.batch_size; ++row) {
+    targets[row] = batch.targets[(row + 1) * batch.seq_len - 1];
+  }
+  Tensor logprobs = LogSoftmax(OutputLogits(window));
+  return NllLoss(logprobs, targets, /*ignore_index=*/-1);
+}
+
+}  // namespace isrec::models

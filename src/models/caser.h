@@ -1,0 +1,51 @@
+#ifndef ISREC_MODELS_CASER_H_
+#define ISREC_MODELS_CASER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/batch.h"
+#include "models/seq_base.h"
+#include "nn/layers.h"
+
+namespace isrec::models {
+
+/// Caser (Tang & Wang 2018): convolutional sequence embedding. The last
+/// L items form an L x d "image"; horizontal filters (heights 2..4)
+/// capture union-level patterns, vertical filters capture point-level
+/// patterns; their max-pooled features are fused with a user embedding
+/// and projected back to item space.
+///
+/// Unlike the per-position transformer/GRU models, Caser predicts only
+/// from the full window, so its loss supervises the final position.
+class Caser : public SequentialModelBase {
+ public:
+  /// `num_h_filters` horizontal filters per height, `num_v_filters`
+  /// vertical filters.
+  explicit Caser(SeqModelConfig config, Index num_h_filters = 8,
+                 Index num_v_filters = 2);
+
+  std::string name() const override { return "Caser"; }
+
+ protected:
+  void BuildModel(const data::Dataset& dataset) override;
+  Tensor Encode(const data::SequenceBatch& batch) override;
+  Tensor ComputeLoss(const data::SequenceBatch& batch) override;
+
+ private:
+  /// Window representation [B, d] from the embedded batch.
+  Tensor EncodeWindow(const data::SequenceBatch& batch);
+
+  Index num_h_filters_, num_v_filters_;
+  std::vector<Index> heights_ = {2, 3, 4};
+  std::unique_ptr<nn::Embedding> user_embedding_;
+  std::vector<std::unique_ptr<nn::Linear>> h_filters_;
+  Tensor v_filter_;  // [num_v_filters, T]
+  std::unique_ptr<nn::Linear> fc_;
+  std::unique_ptr<nn::Dropout> fc_dropout_;
+};
+
+}  // namespace isrec::models
+
+#endif  // ISREC_MODELS_CASER_H_

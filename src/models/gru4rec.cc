@@ -1,0 +1,84 @@
+#include "models/gru4rec.h"
+
+#include "tensor/ops.h"
+#include "utils/check.h"
+
+namespace isrec::models {
+
+namespace {
+
+SeqModelConfig WithoutPositions(SeqModelConfig config) {
+  config.use_positions = false;  // RNNs encode order recurrently.
+  return config;
+}
+
+}  // namespace
+
+Gru4Rec::Gru4Rec(SeqModelConfig config)
+    : SequentialModelBase(WithoutPositions(config)) {}
+
+void Gru4Rec::BuildModel(const data::Dataset&) {
+  gru_ = std::make_unique<nn::Gru>(config_.embed_dim, config_.embed_dim,
+                                   rng_);
+  output_proj_ = std::make_unique<nn::Linear>(config_.embed_dim,
+                                              config_.embed_dim, rng_);
+  RegisterModule("gru", gru_.get());
+  RegisterModule("output_proj", output_proj_.get());
+}
+
+Tensor Gru4Rec::Encode(const data::SequenceBatch& batch) {
+  Tensor h = EmbedInput(batch);
+  Tensor hidden = gru_->Forward(h, batch.valid);
+  return output_proj_->Forward(hidden);
+}
+
+Gru4RecPlus::Gru4RecPlus(SeqModelConfig config, Index num_negatives,
+                         float bpr_reg)
+    : Gru4Rec(config), num_negatives_(num_negatives), bpr_reg_(bpr_reg) {
+  ISREC_CHECK_GT(num_negatives, 0);
+}
+
+Tensor Gru4RecPlus::ComputeLoss(const data::SequenceBatch& batch) {
+  // BPR-max over sampled negatives:
+  //   L = -log sum_j softmax(s_j) * sigmoid(s_pos - s_j)
+  //       + reg * sum_j softmax(s_j) * s_j^2
+  Tensor states = Encode(batch);  // [B, T, d]
+  const Index n = batch.batch_size * batch.seq_len;
+  Tensor flat = Reshape(states, {n, config_.embed_dim});
+
+  // Keep only positions with real targets.
+  std::vector<Index> kept_rows;
+  std::vector<Index> positives;
+  for (Index i = 0; i < n; ++i) {
+    if (batch.targets[i] >= 0) {
+      kept_rows.push_back(i);
+      positives.push_back(batch.targets[i]);
+    }
+  }
+  ISREC_CHECK(!kept_rows.empty());
+  const Index p = static_cast<Index>(kept_rows.size());
+  Tensor h = IndexSelect(flat, kept_rows);  // [P, d]
+
+  // Positive scores.
+  Tensor pos_emb =
+      EmbeddingLookup(item_embedding_->table(), positives, {p});  // [P, d]
+  Tensor s_pos = Sum(Mul(h, pos_emb), -1, /*keepdim=*/true);  // [P, 1]
+
+  // Sampled negative scores (uniform over the catalogue; collisions with
+  // the positive are rare and act as label smoothing).
+  std::vector<Index> negatives(p * num_negatives_);
+  for (auto& id : negatives) id = rng_.NextInt(dataset_->num_items);
+  Tensor neg_emb = EmbeddingLookup(item_embedding_->table(), negatives,
+                                   {p, num_negatives_});  // [P, k, d]
+  Tensor s_neg = Reshape(
+      BatchMatMul(neg_emb, Reshape(h, {p, config_.embed_dim, 1})),
+      {p, num_negatives_});  // [P, k]
+
+  Tensor w = Softmax(s_neg);  // [P, k]
+  Tensor bpr = Sum(Mul(w, Sigmoid(Sub(s_pos, s_neg))), -1);  // [P]
+  Tensor loss = Mean(Neg(Log(AddScalar(bpr, 1e-8f))));
+  Tensor reg = Mean(Sum(Mul(w, Mul(s_neg, s_neg)), -1));
+  return Add(loss, MulScalar(reg, bpr_reg_));
+}
+
+}  // namespace isrec::models

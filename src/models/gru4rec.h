@@ -1,0 +1,50 @@
+#ifndef ISREC_MODELS_GRU4REC_H_
+#define ISREC_MODELS_GRU4REC_H_
+
+#include <memory>
+#include <string>
+
+#include "models/seq_base.h"
+#include "nn/gru.h"
+
+namespace isrec::models {
+
+/// GRU4Rec (Hidasi et al. 2015): a GRU over the interaction sequence,
+/// trained with the softmax cross-entropy next-item objective. Each user
+/// sequence is treated as one session (Section 4.2.3 of the paper).
+class Gru4Rec : public SequentialModelBase {
+ public:
+  explicit Gru4Rec(SeqModelConfig config);
+
+  std::string name() const override { return "GRU4Rec"; }
+
+ protected:
+  void BuildModel(const data::Dataset& dataset) override;
+  Tensor Encode(const data::SequenceBatch& batch) override;
+
+ private:
+  std::unique_ptr<nn::Gru> gru_;
+  std::unique_ptr<nn::Linear> output_proj_;
+};
+
+/// GRU4Rec+ (Hidasi & Karatzoglou 2018): same recurrent encoder but
+/// trained with the BPR-max loss over additional sampled negatives,
+/// which is what gives it the edge over vanilla GRU4Rec in Table 2.
+class Gru4RecPlus : public Gru4Rec {
+ public:
+  explicit Gru4RecPlus(SeqModelConfig config, Index num_negatives = 16,
+                       float bpr_reg = 1e-2f);
+
+  std::string name() const override { return "GRU4Rec+"; }
+
+ protected:
+  Tensor ComputeLoss(const data::SequenceBatch& batch) override;
+
+ private:
+  Index num_negatives_;
+  float bpr_reg_;
+};
+
+}  // namespace isrec::models
+
+#endif  // ISREC_MODELS_GRU4REC_H_

@@ -1,0 +1,159 @@
+#include "models/mf_models.h"
+
+#include "tensor/ops.h"
+#include "utils/check.h"
+
+namespace isrec::models {
+namespace {
+
+// Row-wise dot product of two [N, d] tensors -> [N].
+Tensor RowDot(const Tensor& a, const Tensor& b) {
+  return Sum(Mul(a, b), -1);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// BPR-MF
+
+BprMf::BprMf(PairwiseConfig config) : PairwiseModelBase(config) {}
+
+void BprMf::BuildModel(const data::Dataset& dataset) {
+  user_embedding_ =
+      std::make_unique<nn::Embedding>(dataset.num_users, config_.dim, rng_);
+  item_embedding_ =
+      std::make_unique<nn::Embedding>(dataset.num_items, config_.dim, rng_);
+  RegisterModule("user_embedding", user_embedding_.get());
+  RegisterModule("item_embedding", item_embedding_.get());
+}
+
+Tensor BprMf::ScoreTriples(const std::vector<Index>& users,
+                           const std::vector<Index>& prevs,
+                           const std::vector<Index>& items) {
+  (void)prevs;  // Non-sequential model.
+  const Index n = static_cast<Index>(users.size());
+  Tensor u = user_embedding_->Forward(users, {n});
+  Tensor v = item_embedding_->Forward(items, {n});
+  return RowDot(u, v);
+}
+
+// ---------------------------------------------------------------------
+// NCF
+
+Ncf::Ncf(PairwiseConfig config) : PairwiseModelBase(config) {}
+
+void Ncf::BuildModel(const data::Dataset& dataset) {
+  user_gmf_ =
+      std::make_unique<nn::Embedding>(dataset.num_users, config_.dim, rng_);
+  item_gmf_ =
+      std::make_unique<nn::Embedding>(dataset.num_items, config_.dim, rng_);
+  user_mlp_ =
+      std::make_unique<nn::Embedding>(dataset.num_users, config_.dim, rng_);
+  item_mlp_ =
+      std::make_unique<nn::Embedding>(dataset.num_items, config_.dim, rng_);
+  mlp_ = std::make_unique<nn::Mlp>(
+      std::vector<Index>{2 * config_.dim, config_.dim, config_.dim / 2},
+      rng_);
+  head_ = std::make_unique<nn::Linear>(config_.dim + config_.dim / 2, 1,
+                                       rng_);
+  RegisterModule("user_gmf", user_gmf_.get());
+  RegisterModule("item_gmf", item_gmf_.get());
+  RegisterModule("user_mlp", user_mlp_.get());
+  RegisterModule("item_mlp", item_mlp_.get());
+  RegisterModule("mlp", mlp_.get());
+  RegisterModule("head", head_.get());
+}
+
+Tensor Ncf::ScoreTriples(const std::vector<Index>& users,
+                         const std::vector<Index>& prevs,
+                         const std::vector<Index>& items) {
+  (void)prevs;
+  const Index n = static_cast<Index>(users.size());
+  Tensor gmf = Mul(user_gmf_->Forward(users, {n}),
+                   item_gmf_->Forward(items, {n}));  // [N, d]
+  Tensor mlp_in = Concat(
+      {user_mlp_->Forward(users, {n}), item_mlp_->Forward(items, {n})}, 1);
+  Tensor mlp_out = Relu(mlp_->Forward(mlp_in));  // [N, d/2]
+  Tensor fused = Concat({gmf, mlp_out}, 1);
+  return Reshape(head_->Forward(fused), {n});
+}
+
+Tensor Ncf::ComputeLoss(const std::vector<Index>& users,
+                        const std::vector<Index>& prevs,
+                        const std::vector<Index>& positives,
+                        const std::vector<Index>& negatives) {
+  // Pointwise binary cross-entropy:
+  //   -log sigmoid(s_pos) - log(1 - sigmoid(s_neg))
+  Tensor s_pos = ScoreTriples(users, prevs, positives);
+  Tensor s_neg = ScoreTriples(users, prevs, negatives);
+  return Add(Mean(Softplus(Neg(s_pos))), Mean(Softplus(s_neg)));
+}
+
+// ---------------------------------------------------------------------
+// FPMC
+
+Fpmc::Fpmc(PairwiseConfig config) : PairwiseModelBase(config) {}
+
+void Fpmc::BuildModel(const data::Dataset& dataset) {
+  user_embedding_ =
+      std::make_unique<nn::Embedding>(dataset.num_users, config_.dim, rng_);
+  item_embedding_ =
+      std::make_unique<nn::Embedding>(dataset.num_items, config_.dim, rng_);
+  prev_embedding_ =
+      std::make_unique<nn::Embedding>(dataset.num_items, config_.dim, rng_);
+  next_embedding_ =
+      std::make_unique<nn::Embedding>(dataset.num_items, config_.dim, rng_);
+  RegisterModule("user_embedding", user_embedding_.get());
+  RegisterModule("item_embedding", item_embedding_.get());
+  RegisterModule("prev_embedding", prev_embedding_.get());
+  RegisterModule("next_embedding", next_embedding_.get());
+}
+
+Tensor Fpmc::ScoreTriples(const std::vector<Index>& users,
+                          const std::vector<Index>& prevs,
+                          const std::vector<Index>& items) {
+  const Index n = static_cast<Index>(users.size());
+  Tensor mf = RowDot(user_embedding_->Forward(users, {n}),
+                     item_embedding_->Forward(items, {n}));
+  // prev == -1 yields a zero embedding row, i.e. no Markov term.
+  Tensor mc = RowDot(prev_embedding_->Forward(prevs, {n}),
+                     next_embedding_->Forward(items, {n}));
+  return Add(mf, mc);
+}
+
+// ---------------------------------------------------------------------
+// DGCF (lightweight)
+
+Dgcf::Dgcf(PairwiseConfig config, Index num_factors)
+    : PairwiseModelBase(config), num_factors_(num_factors) {
+  ISREC_CHECK_GT(num_factors, 0);
+  ISREC_CHECK_EQ(config_.dim % num_factors, 0);
+}
+
+void Dgcf::BuildModel(const data::Dataset& dataset) {
+  user_embedding_ =
+      std::make_unique<nn::Embedding>(dataset.num_users, config_.dim, rng_);
+  item_embedding_ =
+      std::make_unique<nn::Embedding>(dataset.num_items, config_.dim, rng_);
+  RegisterModule("user_embedding", user_embedding_.get());
+  RegisterModule("item_embedding", item_embedding_.get());
+}
+
+Tensor Dgcf::ScoreTriples(const std::vector<Index>& users,
+                          const std::vector<Index>& prevs,
+                          const std::vector<Index>& items) {
+  (void)prevs;
+  const Index n = static_cast<Index>(users.size());
+  const Index chunk = config_.dim / num_factors_;
+  // [N, F, d/F]: per-intent channels.
+  Tensor u = Reshape(user_embedding_->Forward(users, {n}),
+                     {n, num_factors_, chunk});
+  Tensor v = Reshape(item_embedding_->Forward(items, {n}),
+                     {n, num_factors_, chunk});
+  // Normalized per-channel affinity, summed over channels.
+  Tensor dots = Sum(Mul(u, v), -1);                      // [N, F]
+  Tensor norms = Mul(NormLastDim(u), NormLastDim(v));    // [N, F]
+  return Sum(Div(dots, AddScalar(norms, 1e-8f)), -1);    // [N]
+}
+
+}  // namespace isrec::models

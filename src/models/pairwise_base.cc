@@ -1,0 +1,93 @@
+#include "models/pairwise_base.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+#include "utils/check.h"
+#include "utils/logging.h"
+
+namespace isrec::models {
+
+PairwiseModelBase::PairwiseModelBase(PairwiseConfig config)
+    : config_(config), rng_(config.seed) {}
+
+Tensor PairwiseModelBase::ComputeLoss(const std::vector<Index>& users,
+                                      const std::vector<Index>& prevs,
+                                      const std::vector<Index>& positives,
+                                      const std::vector<Index>& negatives) {
+  Tensor s_pos = ScoreTriples(users, prevs, positives);
+  Tensor s_neg = ScoreTriples(users, prevs, negatives);
+  // -log sigmoid(x) == softplus(-x).
+  return Mean(Softplus(Neg(Sub(s_pos, s_neg))));
+}
+
+void PairwiseModelBase::Fit(const data::Dataset& dataset,
+                            const data::LeaveOneOutSplit& split) {
+  dataset_ = &dataset;
+  if (!built_) {
+    BuildModel(dataset);
+    built_ = true;
+  }
+  SetTraining(true);
+  sampler_ = std::make_unique<data::NegativeSampler>(dataset);
+
+  // One example per train interaction, with its predecessor as context.
+  examples_.clear();
+  for (Index u = 0; u < split.num_users(); ++u) {
+    const auto& seq = split.TrainSequence(u);
+    for (size_t t = 0; t < seq.size(); ++t) {
+      examples_.push_back({u, t > 0 ? seq[t - 1] : -1, seq[t]});
+    }
+  }
+  ISREC_CHECK(!examples_.empty());
+
+  nn::Adam optimizer(Parameters(), config_.lr, 0.9f, 0.999f, 1e-8f,
+                     config_.weight_decay);
+  for (Index epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.Shuffle(examples_);
+    double total = 0.0;
+    Index batches = 0;
+    for (size_t start = 0; start < examples_.size();
+         start += static_cast<size_t>(config_.batch_size)) {
+      const size_t end = std::min(
+          examples_.size(), start + static_cast<size_t>(config_.batch_size));
+      std::vector<Index> users, prevs, positives, negatives;
+      users.reserve(end - start);
+      for (size_t i = start; i < end; ++i) {
+        users.push_back(examples_[i].user);
+        prevs.push_back(examples_[i].prev);
+        positives.push_back(examples_[i].pos);
+        negatives.push_back(sampler_->SampleOne(examples_[i].user, rng_));
+      }
+      optimizer.ZeroGrad();
+      Tensor loss = ComputeLoss(users, prevs, positives, negatives);
+      loss.Backward();
+      optimizer.Step();
+      total += loss.item();
+      ++batches;
+    }
+    last_epoch_loss_ = static_cast<float>(total / std::max<Index>(1, batches));
+    if (config_.verbose) {
+      ISREC_LOG(Info) << name() << " epoch " << (epoch + 1) << "/"
+                      << config_.epochs << " loss=" << last_epoch_loss_;
+    }
+  }
+  SetTraining(false);
+}
+
+std::vector<float> PairwiseModelBase::Score(
+    Index user, const std::vector<Index>& history,
+    const std::vector<Index>& candidates) {
+  ISREC_CHECK_MSG(dataset_ != nullptr, "Score called before Fit");
+  NoGradGuard no_grad;
+  const bool was_training = training();
+  SetTraining(false);
+  const Index prev = history.empty() ? -1 : history.back();
+  std::vector<Index> users(candidates.size(), user);
+  std::vector<Index> prevs(candidates.size(), prev);
+  Tensor scores = ScoreTriples(users, prevs, candidates);
+  SetTraining(was_training);
+  return scores.ToVector();
+}
+
+}  // namespace isrec::models

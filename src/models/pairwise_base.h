@@ -1,0 +1,82 @@
+#ifndef ISREC_MODELS_PAIRWISE_BASE_H_
+#define ISREC_MODELS_PAIRWISE_BASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/sampler.h"
+#include "data/split.h"
+#include "eval/recommender.h"
+#include "nn/module.h"
+#include "nn/optim.h"
+#include "tensor/tensor.h"
+#include "utils/rng.h"
+
+namespace isrec::models {
+
+/// Hyperparameters of the matrix-factorization-family baselines
+/// (BPR-MF, NCF, FPMC, DGCF).
+struct PairwiseConfig {
+  Index dim = 32;
+  Index epochs = 20;
+  Index batch_size = 256;
+  float lr = 5e-3f;
+  float weight_decay = 1e-6f;
+  uint64_t seed = 2;
+  bool verbose = false;
+};
+
+/// Base for models scored per (user, previous item, candidate item)
+/// triple and trained on pairwise/pointwise ranking of observed vs
+/// sampled items. `prev` is -1 for models without Markov context.
+class PairwiseModelBase : public eval::Recommender, public nn::Module {
+ public:
+  explicit PairwiseModelBase(PairwiseConfig config);
+
+  void Fit(const data::Dataset& dataset,
+           const data::LeaveOneOutSplit& split) override;
+
+  std::vector<float> Score(Index user, const std::vector<Index>& history,
+                           const std::vector<Index>& candidates) override;
+
+  const PairwiseConfig& config() const { return config_; }
+  float last_epoch_loss() const { return last_epoch_loss_; }
+
+ protected:
+  virtual void BuildModel(const data::Dataset& dataset) = 0;
+
+  /// Scores for parallel triples (users[i], prevs[i], items[i]).
+  /// Returns a [N] tensor. `prevs[i]` may be -1 (no context).
+  virtual Tensor ScoreTriples(const std::vector<Index>& users,
+                              const std::vector<Index>& prevs,
+                              const std::vector<Index>& items) = 0;
+
+  /// Training loss given matched positive/negative triples. Default:
+  /// BPR, -log sigmoid(s_pos - s_neg), via the stable softplus form.
+  virtual Tensor ComputeLoss(const std::vector<Index>& users,
+                             const std::vector<Index>& prevs,
+                             const std::vector<Index>& positives,
+                             const std::vector<Index>& negatives);
+
+  const data::Dataset* dataset_ = nullptr;
+  PairwiseConfig config_;
+  Rng rng_;
+
+ private:
+  struct Example {
+    Index user;
+    Index prev;
+    Index pos;
+  };
+
+  std::vector<Example> examples_;
+  std::unique_ptr<data::NegativeSampler> sampler_;
+  float last_epoch_loss_ = 0.0f;
+  bool built_ = false;
+};
+
+}  // namespace isrec::models
+
+#endif  // ISREC_MODELS_PAIRWISE_BASE_H_

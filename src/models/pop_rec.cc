@@ -1,0 +1,32 @@
+#include "models/pop_rec.h"
+
+#include "utils/check.h"
+
+namespace isrec::models {
+
+void PopRec::Fit(const data::Dataset& dataset,
+                 const data::LeaveOneOutSplit& split) {
+  counts_.assign(dataset.num_items, 0);
+  for (Index u = 0; u < split.num_users(); ++u) {
+    for (Index item : split.TrainSequence(u)) counts_[item]++;
+  }
+}
+
+std::vector<float> PopRec::Score(Index, const std::vector<Index>&,
+                                 const std::vector<Index>& candidates) {
+  ISREC_CHECK_MSG(!counts_.empty(), "Score called before Fit");
+  std::vector<float> scores;
+  scores.reserve(candidates.size());
+  for (Index item : candidates) {
+    scores.push_back(static_cast<float>(popularity(item)));
+  }
+  return scores;
+}
+
+Index PopRec::popularity(Index item) const {
+  ISREC_CHECK_GE(item, 0);
+  ISREC_CHECK_LT(item, static_cast<Index>(counts_.size()));
+  return counts_[item];
+}
+
+}  // namespace isrec::models

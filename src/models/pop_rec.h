@@ -1,0 +1,32 @@
+#ifndef ISREC_MODELS_POP_REC_H_
+#define ISREC_MODELS_POP_REC_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/recommender.h"
+
+namespace isrec::models {
+
+/// PopRec: ranks items by global interaction count in the training data.
+/// The weakest baseline of Table 2, and a sanity anchor for the harness.
+class PopRec : public eval::Recommender {
+ public:
+  std::string name() const override { return "PopRec"; }
+
+  void Fit(const data::Dataset& dataset,
+           const data::LeaveOneOutSplit& split) override;
+
+  std::vector<float> Score(Index user, const std::vector<Index>& history,
+                           const std::vector<Index>& candidates) override;
+
+  /// Training popularity of one item (0 before Fit).
+  Index popularity(Index item) const;
+
+ private:
+  std::vector<Index> counts_;
+};
+
+}  // namespace isrec::models
+
+#endif  // ISREC_MODELS_POP_REC_H_

@@ -1,0 +1,21 @@
+#include "models/sasrec.h"
+
+namespace isrec::models {
+
+SasRec::SasRec(SeqModelConfig config) : SequentialModelBase(config) {}
+
+void SasRec::BuildModel(const data::Dataset&) {
+  encoder_ = std::make_unique<nn::TransformerEncoder>(
+      config_.num_layers, config_.embed_dim, config_.num_heads,
+      config_.ffn_dim, config_.dropout, rng_);
+  RegisterModule("encoder", encoder_.get());
+}
+
+Tensor SasRec::Encode(const data::SequenceBatch& batch) {
+  Tensor h = EmbedInput(batch);
+  Tensor mask = nn::MakeAttentionMask(batch.batch_size, batch.seq_len,
+                                      batch.valid, /*causal=*/true);
+  return encoder_->Forward(h, mask);
+}
+
+}  // namespace isrec::models

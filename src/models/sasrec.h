@@ -1,0 +1,34 @@
+#ifndef ISREC_MODELS_SASREC_H_
+#define ISREC_MODELS_SASREC_H_
+
+#include <memory>
+#include <string>
+
+#include "models/seq_base.h"
+#include "nn/attention.h"
+
+namespace isrec::models {
+
+/// SASRec (Kang & McAuley 2018): unidirectional (causal) transformer
+/// trained to predict the next item at every position. With
+/// `config.use_concepts = true` this becomes the "SASRec + concept"
+/// variant of Table 5.
+class SasRec : public SequentialModelBase {
+ public:
+  explicit SasRec(SeqModelConfig config);
+
+  std::string name() const override {
+    return config().use_concepts ? "SASRec+concept" : "SASRec";
+  }
+
+ protected:
+  void BuildModel(const data::Dataset& dataset) override;
+  Tensor Encode(const data::SequenceBatch& batch) override;
+
+ private:
+  std::unique_ptr<nn::TransformerEncoder> encoder_;
+};
+
+}  // namespace isrec::models
+
+#endif  // ISREC_MODELS_SASREC_H_

@@ -1,0 +1,178 @@
+#include "models/seq_base.h"
+
+#include <algorithm>
+
+#include "nn/optim.h"
+#include "tensor/ops.h"
+#include "utils/check.h"
+#include "utils/logging.h"
+
+namespace isrec::models {
+
+SequentialModelBase::SequentialModelBase(SeqModelConfig config)
+    : config_(config), rng_(config.seed) {}
+
+Index SequentialModelBase::ItemVocabularySize(
+    const data::Dataset& dataset) const {
+  return dataset.num_items;
+}
+
+void SequentialModelBase::BuildCommon(const data::Dataset& dataset) {
+  item_embedding_ = std::make_unique<nn::Embedding>(
+      ItemVocabularySize(dataset), config_.embed_dim, rng_);
+  RegisterModule("item_embedding", item_embedding_.get());
+  if (config_.use_positions) {
+    position_embedding_ = std::make_unique<nn::Embedding>(
+        config_.seq_len, config_.embed_dim, rng_);
+    RegisterModule("position_embedding", position_embedding_.get());
+  }
+  if (config_.use_concepts) {
+    concept_embedding_ = std::make_unique<nn::Embedding>(
+        dataset.concepts.num_concepts(), config_.embed_dim, rng_);
+    RegisterModule("concept_embedding", concept_embedding_.get());
+    // Sparse E: one row per item (only real items, not the mask token).
+    std::vector<Index> rows, cols;
+    std::vector<float> values;
+    for (Index item = 0; item < dataset.num_items; ++item) {
+      for (Index c : dataset.item_concepts[item]) {
+        rows.push_back(item);
+        cols.push_back(c);
+        values.push_back(1.0f);
+      }
+    }
+    item_concepts_.emplace(ItemVocabularySize(dataset),
+                           dataset.concepts.num_concepts(), rows, cols,
+                           values);
+  }
+  embed_dropout_ = std::make_unique<nn::Dropout>(config_.dropout, rng_);
+  RegisterModule("embed_dropout", embed_dropout_.get());
+}
+
+Tensor SequentialModelBase::EmbedInput(
+    const data::SequenceBatch& batch) const {
+  const Index b = batch.batch_size;
+  const Index t = batch.seq_len;
+
+  // Effective lookup table: item embedding plus (optionally) the summed
+  // concept embeddings of each item, E * C (Eq. 1).
+  Tensor table = item_embedding_->table();
+  if (config_.use_concepts) {
+    table = Add(table, SpMM(*item_concepts_, concept_embedding_->table()));
+  }
+  Tensor h = EmbeddingLookup(table, batch.items, {b, t});
+
+  if (config_.use_positions) {
+    // Broadcast positional embeddings [T, d] over the batch.
+    h = Add(h, position_embedding_->table());
+  }
+  return embed_dropout_->Forward(h);
+}
+
+Tensor SequentialModelBase::OutputLogits(const Tensor& states_flat) const {
+  // Tied weights: score against the item table. Only the first
+  // num_items rows are items (a mask token row, if any, is excluded).
+  Tensor table = item_embedding_->table();
+  if (table.dim(0) != dataset_->num_items) {
+    table = Slice(table, 0, 0, dataset_->num_items);
+  }
+  return BatchMatMul(states_flat, table, false, /*trans_b=*/true);
+}
+
+Tensor SequentialModelBase::ComputeLoss(const data::SequenceBatch& batch) {
+  Tensor states = Encode(batch);  // [B, T, d]
+  Tensor flat = Reshape(states, {batch.batch_size * batch.seq_len,
+                                 config_.embed_dim});
+  Tensor logprobs = LogSoftmax(OutputLogits(flat));
+  return NllLoss(logprobs, batch.targets, /*ignore_index=*/-1);
+}
+
+float SequentialModelBase::TrainEpoch(data::SequenceBatcher& batcher) {
+  ISREC_CHECK_MSG(built_, "TrainEpoch called before Fit/BuildModel");
+  SetTraining(true);
+  if (optimizer_ == nullptr) {
+    optimizer_ = std::make_unique<nn::Adam>(Parameters(), config_.lr, 0.9f,
+                                            0.999f, 1e-8f,
+                                            config_.weight_decay);
+  }
+  batcher.Shuffle(rng_);
+  double total = 0.0;
+  for (Index i = 0; i < batcher.NumBatches(); ++i) {
+    const data::SequenceBatch batch = batcher.GetBatch(i);
+    optimizer_->ZeroGrad();
+    Tensor loss = ComputeLoss(batch);
+    loss.Backward();
+    nn::ClipGradNorm(Parameters(), config_.clip_norm);
+    optimizer_->Step();
+    total += loss.item();
+  }
+  last_epoch_loss_ = static_cast<float>(total / batcher.NumBatches());
+  return last_epoch_loss_;
+}
+
+void SequentialModelBase::Fit(const data::Dataset& dataset,
+                              const data::LeaveOneOutSplit& split) {
+  dataset_ = &dataset;
+  if (!built_) {
+    BuildCommon(dataset);
+    BuildModel(dataset);
+    built_ = true;
+  }
+  data::SequenceBatcher batcher(split, config_.batch_size, config_.seq_len);
+  for (Index epoch = 0; epoch < config_.epochs; ++epoch) {
+    TrainEpoch(batcher);
+    if (config_.verbose) {
+      ISREC_LOG(Info) << name() << " epoch " << (epoch + 1) << "/"
+                      << config_.epochs << " loss=" << last_epoch_loss_;
+    }
+  }
+  SetTraining(false);
+}
+
+std::vector<std::vector<Index>>
+SequentialModelBase::PrepareInferenceHistories(
+    const std::vector<std::vector<Index>>& histories) const {
+  return histories;
+}
+
+std::vector<float> SequentialModelBase::Score(
+    Index user, const std::vector<Index>& history,
+    const std::vector<Index>& candidates) {
+  return ScoreBatch({user}, {history}, {candidates})[0];
+}
+
+std::vector<std::vector<float>> SequentialModelBase::ScoreBatch(
+    const std::vector<Index>& users,
+    const std::vector<std::vector<Index>>& histories,
+    const std::vector<std::vector<Index>>& candidate_lists) {
+  ISREC_CHECK_MSG(dataset_ != nullptr, "Score called before Fit");
+  ISREC_CHECK_EQ(users.size(), histories.size());
+  ISREC_CHECK_EQ(users.size(), candidate_lists.size());
+
+  NoGradGuard no_grad;
+  const bool was_training = training();
+  SetTraining(false);
+
+  const auto prepared = PrepareInferenceHistories(histories);
+  const data::SequenceBatch batch = data::SequenceBatcher::InferenceBatch(
+      prepared, config_.seq_len, users);
+  Tensor states = Encode(batch);  // [B, T, d]
+  // The most recent element is always at the last position (left pad).
+  Tensor last = Reshape(
+      Slice(states, 1, config_.seq_len - 1, config_.seq_len),
+      {batch.batch_size, config_.embed_dim});
+
+  std::vector<std::vector<float>> result;
+  result.reserve(users.size());
+  const Tensor& table = item_embedding_->table();
+  for (size_t i = 0; i < users.size(); ++i) {
+    Tensor user_state = Slice(last, 0, static_cast<Index>(i),
+                              static_cast<Index>(i) + 1);  // [1, d]
+    Tensor cand = IndexSelect(table, candidate_lists[i]);  // [C, d]
+    Tensor scores = BatchMatMul(user_state, cand, false, true);  // [1, C]
+    result.push_back(scores.ToVector());
+  }
+  SetTraining(was_training);
+  return result;
+}
+
+}  // namespace isrec::models

@@ -1,0 +1,125 @@
+#ifndef ISREC_MODELS_SEQ_BASE_H_
+#define ISREC_MODELS_SEQ_BASE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/batch.h"
+#include "data/dataset.h"
+#include "data/split.h"
+#include "eval/recommender.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/optim.h"
+#include "tensor/sparse.h"
+#include "tensor/tensor.h"
+#include "utils/rng.h"
+
+namespace isrec::models {
+
+/// Shared hyperparameters of the neural sequential models (SASRec,
+/// BERT4Rec, GRU4Rec, ISRec, ...).
+struct SeqModelConfig {
+  Index embed_dim = 32;   // d of the paper.
+  Index num_layers = 2;   // Transformer / GCN depth.
+  Index num_heads = 1;
+  Index ffn_dim = 64;
+  Index seq_len = 20;     // T, maximum sequence length.
+  float dropout = 0.2f;
+
+  /// Add summed concept embeddings to the input (Eq. 1). Used by ISRec
+  /// and the "+concept" baseline variants of Table 5.
+  bool use_concepts = false;
+  /// Add learned positional embeddings (Eq. 1). Off for RNN models.
+  bool use_positions = true;
+
+  // Training.
+  Index batch_size = 64;
+  Index epochs = 15;
+  float lr = 2e-3f;
+  float weight_decay = 1e-6f;  // alpha of Eq. (14).
+  float clip_norm = 5.0f;
+  uint64_t seed = 1;
+  bool verbose = false;
+};
+
+/// Base class for models that encode a padded item sequence into
+/// per-position output states and train with the next-item NLL objective
+/// (Eqs. 12-14). Subclasses provide Build() and Encode().
+class SequentialModelBase : public eval::Recommender, public nn::Module {
+ public:
+  explicit SequentialModelBase(SeqModelConfig config);
+
+  void Fit(const data::Dataset& dataset,
+           const data::LeaveOneOutSplit& split) override;
+
+  std::vector<float> Score(Index user, const std::vector<Index>& history,
+                           const std::vector<Index>& candidates) override;
+
+  std::vector<std::vector<float>> ScoreBatch(
+      const std::vector<Index>& users,
+      const std::vector<std::vector<Index>>& histories,
+      const std::vector<std::vector<Index>>& candidate_lists) override;
+
+  const SeqModelConfig& config() const { return config_; }
+
+  /// Mean training loss of the last completed epoch (for tests/benches).
+  float last_epoch_loss() const { return last_epoch_loss_; }
+
+  /// Trains one epoch and returns its mean batch loss. Exposed so tests
+  /// can assert the loss decreases without running a full Fit.
+  float TrainEpoch(data::SequenceBatcher& batcher);
+
+ protected:
+  /// Instantiates model-specific modules. Called once per Fit.
+  virtual void BuildModel(const data::Dataset& dataset) = 0;
+
+  /// Maps an embedded batch to output states [B, T, d]; state t is used
+  /// to predict the item at position t's target.
+  virtual Tensor Encode(const data::SequenceBatch& batch) = 0;
+
+  /// Scalar training loss for a batch; default = full-softmax NLL over
+  /// all positions with valid targets.
+  virtual Tensor ComputeLoss(const data::SequenceBatch& batch);
+
+  /// Hook for inference-time history rewriting (BERT4Rec appends the
+  /// mask token). Default: identity.
+  virtual std::vector<std::vector<Index>> PrepareInferenceHistories(
+      const std::vector<std::vector<Index>>& histories) const;
+
+  /// Number of rows in the item embedding table; BERT4Rec adds a mask
+  /// token row. Default: num_items.
+  virtual Index ItemVocabularySize(const data::Dataset& dataset) const;
+
+  /// Eq. (1): item embedding + positions (+ summed concept embeddings),
+  /// followed by dropout. Returns [B, T, d].
+  Tensor EmbedInput(const data::SequenceBatch& batch) const;
+
+  /// Item logits for output states: states [N, d] -> [N, V] using the
+  /// tied item embedding table (first num_items rows).
+  Tensor OutputLogits(const Tensor& states_flat) const;
+
+  const data::Dataset* dataset_ = nullptr;
+  SeqModelConfig config_;
+  Rng rng_;
+
+  std::unique_ptr<nn::Embedding> item_embedding_;
+  std::unique_ptr<nn::Embedding> position_embedding_;
+  std::unique_ptr<nn::Embedding> concept_embedding_;
+  std::unique_ptr<nn::Dropout> embed_dropout_;
+  /// Item-concept incidence E as a sparse [V, K] matrix.
+  std::optional<SparseMatrix> item_concepts_;
+
+ private:
+  void BuildCommon(const data::Dataset& dataset);
+
+  std::unique_ptr<nn::Adam> optimizer_;
+  float last_epoch_loss_ = 0.0f;
+  bool built_ = false;
+};
+
+}  // namespace isrec::models
+
+#endif  // ISREC_MODELS_SEQ_BASE_H_

@@ -1,0 +1,113 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "utils/check.h"
+
+namespace isrec::nn {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(Index dim, Index num_heads,
+                                               float dropout_p, Rng& rng)
+    : dim_(dim), num_heads_(num_heads), head_dim_(dim / num_heads) {
+  ISREC_CHECK_EQ(dim % num_heads, 0);
+  w_q_ = std::make_unique<Linear>(dim, dim, rng, /*bias=*/false);
+  w_k_ = std::make_unique<Linear>(dim, dim, rng, /*bias=*/false);
+  w_v_ = std::make_unique<Linear>(dim, dim, rng, /*bias=*/false);
+  w_o_ = std::make_unique<Linear>(dim, dim, rng, /*bias=*/false);
+  dropout_ = std::make_unique<Dropout>(dropout_p, rng);
+  RegisterModule("w_q", w_q_.get());
+  RegisterModule("w_k", w_k_.get());
+  RegisterModule("w_v", w_v_.get());
+  RegisterModule("w_o", w_o_.get());
+  RegisterModule("dropout", dropout_.get());
+}
+
+Tensor MultiHeadSelfAttention::Forward(const Tensor& x,
+                                       const Tensor& mask) const {
+  ISREC_CHECK_EQ(x.ndim(), 3);
+  const Index batch = x.dim(0);
+  const Index seq = x.dim(1);
+  ISREC_CHECK_EQ(x.dim(2), dim_);
+
+  auto split_heads = [&](const Tensor& t) {
+    // [B, T, D] -> [B, H, T, dh]
+    return Transpose(Reshape(t, {batch, seq, num_heads_, head_dim_}), 1, 2);
+  };
+  Tensor q = split_heads(w_q_->Forward(x));
+  Tensor k = split_heads(w_k_->Forward(x));
+  Tensor v = split_heads(w_v_->Forward(x));
+
+  // [B, H, T, T]
+  Tensor scores = MulScalar(BatchMatMul(q, k, false, /*trans_b=*/true),
+                            1.0f / std::sqrt(static_cast<float>(head_dim_)));
+  if (mask.defined()) {
+    // Broadcast [B, 1, T, T] over heads.
+    scores = Add(scores, Reshape(mask, {batch, 1, seq, seq}));
+  }
+  Tensor weights = dropout_->Forward(Softmax(scores));
+  Tensor context = BatchMatMul(weights, v);  // [B, H, T, dh]
+  context = Reshape(Transpose(context, 1, 2), {batch, seq, dim_});
+  return w_o_->Forward(context);
+}
+
+TransformerBlock::TransformerBlock(Index dim, Index num_heads, Index ffn_dim,
+                                   float dropout_p, Rng& rng) {
+  attention_ =
+      std::make_unique<MultiHeadSelfAttention>(dim, num_heads, dropout_p, rng);
+  ffn1_ = std::make_unique<Linear>(dim, ffn_dim, rng);
+  ffn2_ = std::make_unique<Linear>(ffn_dim, dim, rng);
+  norm1_ = std::make_unique<LayerNorm>(dim);
+  norm2_ = std::make_unique<LayerNorm>(dim);
+  dropout_ = std::make_unique<Dropout>(dropout_p, rng);
+  RegisterModule("attention", attention_.get());
+  RegisterModule("ffn1", ffn1_.get());
+  RegisterModule("ffn2", ffn2_.get());
+  RegisterModule("norm1", norm1_.get());
+  RegisterModule("norm2", norm2_.get());
+  RegisterModule("dropout", dropout_.get());
+}
+
+Tensor TransformerBlock::Forward(const Tensor& x, const Tensor& mask) const {
+  Tensor attended = dropout_->Forward(attention_->Forward(x, mask));
+  Tensor s = norm1_->Forward(Add(x, attended));
+  Tensor ffn = dropout_->Forward(ffn2_->Forward(Relu(ffn1_->Forward(s))));
+  return norm2_->Forward(Add(s, ffn));
+}
+
+TransformerEncoder::TransformerEncoder(Index num_layers, Index dim,
+                                       Index num_heads, Index ffn_dim,
+                                       float dropout_p, Rng& rng) {
+  ISREC_CHECK_GT(num_layers, 0);
+  for (Index l = 0; l < num_layers; ++l) {
+    blocks_.push_back(std::make_unique<TransformerBlock>(
+        dim, num_heads, ffn_dim, dropout_p, rng));
+    RegisterModule("layer" + std::to_string(l), blocks_.back().get());
+  }
+}
+
+Tensor TransformerEncoder::Forward(const Tensor& x, const Tensor& mask) const {
+  Tensor h = x;
+  for (const auto& block : blocks_) h = block->Forward(h, mask);
+  return h;
+}
+
+Tensor MakeAttentionMask(Index batch, Index seq_len,
+                         const std::vector<bool>& valid, bool causal) {
+  ISREC_CHECK_EQ(static_cast<Index>(valid.size()), batch * seq_len);
+  constexpr float kBlocked = -1e9f;
+  Tensor mask = Tensor::Zeros({batch, seq_len, seq_len});
+  float* m = mask.data();
+  for (Index b = 0; b < batch; ++b) {
+    for (Index i = 0; i < seq_len; ++i) {
+      float* row = m + (b * seq_len + i) * seq_len;
+      for (Index j = 0; j < seq_len; ++j) {
+        const bool blocked = (causal && j > i) || !valid[b * seq_len + j];
+        row[j] = blocked ? kBlocked : 0.0f;
+      }
+    }
+  }
+  return mask;
+}
+
+}  // namespace isrec::nn

@@ -1,0 +1,69 @@
+#ifndef ISREC_NN_ATTENTION_H_
+#define ISREC_NN_ATTENTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "utils/rng.h"
+
+namespace isrec::nn {
+
+/// Multi-head scaled dot-product self-attention (Eq. 3 of the paper).
+///
+/// The attention mask is passed per call as an additive float tensor of
+/// shape [B, T, T] (0 = attend, large negative = blocked); it is
+/// broadcast over heads. Use MakeCausalMask / MakePaddingMask below.
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(Index dim, Index num_heads, float dropout_p,
+                         Rng& rng);
+
+  /// x: [B, T, dim]; mask: [B, T, T] additive. Returns [B, T, dim].
+  Tensor Forward(const Tensor& x, const Tensor& mask) const;
+
+ private:
+  Index dim_, num_heads_, head_dim_;
+  std::unique_ptr<Linear> w_q_, w_k_, w_v_, w_o_;
+  std::unique_ptr<Dropout> dropout_;
+};
+
+/// Transformer block: post-LN residual attention + position-wise FFN
+/// (Eqs. 3-4): H^{l+1} = LN(S + FFN(S)), S = LN(X + SA(X)).
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(Index dim, Index num_heads, Index ffn_dim,
+                   float dropout_p, Rng& rng);
+
+  Tensor Forward(const Tensor& x, const Tensor& mask) const;
+
+ private:
+  std::unique_ptr<MultiHeadSelfAttention> attention_;
+  std::unique_ptr<Linear> ffn1_, ffn2_;
+  std::unique_ptr<LayerNorm> norm1_, norm2_;
+  std::unique_ptr<Dropout> dropout_;
+};
+
+/// Stack of TransformerBlocks.
+class TransformerEncoder : public Module {
+ public:
+  TransformerEncoder(Index num_layers, Index dim, Index num_heads,
+                     Index ffn_dim, float dropout_p, Rng& rng);
+
+  Tensor Forward(const Tensor& x, const Tensor& mask) const;
+
+ private:
+  std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+};
+
+/// Additive attention mask [B, T, T] combining causality (query i may
+/// only see keys j <= i) with key validity (`valid[b * T + j]`). When
+/// `causal` is false only validity is applied (BERT4Rec-style).
+Tensor MakeAttentionMask(Index batch, Index seq_len,
+                         const std::vector<bool>& valid, bool causal);
+
+}  // namespace isrec::nn
+
+#endif  // ISREC_NN_ATTENTION_H_

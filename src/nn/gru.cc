@@ -1,0 +1,59 @@
+#include "nn/gru.h"
+
+#include "tensor/ops.h"
+#include "utils/check.h"
+
+namespace isrec::nn {
+
+GruCell::GruCell(Index input_dim, Index hidden_dim, Rng& rng)
+    : hidden_dim_(hidden_dim) {
+  input_proj_ = std::make_unique<Linear>(input_dim, 3 * hidden_dim, rng);
+  hidden_proj_ = std::make_unique<Linear>(hidden_dim, 3 * hidden_dim, rng,
+                                          /*bias=*/false);
+  RegisterModule("input_proj", input_proj_.get());
+  RegisterModule("hidden_proj", hidden_proj_.get());
+}
+
+Tensor GruCell::Forward(const Tensor& x, const Tensor& h) const {
+  const Index hd = hidden_dim_;
+  Tensor gi = input_proj_->Forward(x);   // [B, 3H]
+  Tensor gh = hidden_proj_->Forward(h);  // [B, 3H]
+
+  Tensor r = Sigmoid(Add(Slice(gi, 1, 0, hd), Slice(gh, 1, 0, hd)));
+  Tensor z = Sigmoid(Add(Slice(gi, 1, hd, 2 * hd), Slice(gh, 1, hd, 2 * hd)));
+  Tensor n = Tanh(Add(Slice(gi, 1, 2 * hd, 3 * hd),
+                      Mul(r, Slice(gh, 1, 2 * hd, 3 * hd))));
+  // h' = (1 - z) * n + z * h
+  return Add(Mul(Sub(Tensor::Ones(z.shape()), z), n), Mul(z, h));
+}
+
+Gru::Gru(Index input_dim, Index hidden_dim, Rng& rng) {
+  cell_ = std::make_unique<GruCell>(input_dim, hidden_dim, rng);
+  RegisterModule("cell", cell_.get());
+}
+
+Tensor Gru::Forward(const Tensor& x, const std::vector<bool>& valid) const {
+  ISREC_CHECK_EQ(x.ndim(), 3);
+  const Index batch = x.dim(0);
+  const Index seq = x.dim(1);
+  ISREC_CHECK_EQ(static_cast<Index>(valid.size()), batch * seq);
+
+  Tensor h = Tensor::Zeros({batch, cell_->hidden_dim()});
+  std::vector<Tensor> outputs;
+  outputs.reserve(seq);
+  for (Index t = 0; t < seq; ++t) {
+    Tensor xt = Reshape(Slice(x, 1, t, t + 1), {batch, x.dim(2)});
+    Tensor candidate = cell_->Forward(xt, h);
+    // Per-row gate: keep previous hidden state on pad steps.
+    Tensor keep = Tensor::Zeros({batch, 1});
+    for (Index b = 0; b < batch; ++b) {
+      keep.data()[b] = valid[b * seq + t] ? 0.0f : 1.0f;
+    }
+    Tensor pass = Tensor::Full({batch, 1}, 1.0f);
+    h = Add(Mul(Sub(pass, keep), candidate), Mul(keep, h));
+    outputs.push_back(Reshape(h, {batch, 1, cell_->hidden_dim()}));
+  }
+  return Concat(outputs, 1);
+}
+
+}  // namespace isrec::nn

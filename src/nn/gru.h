@@ -1,0 +1,46 @@
+#ifndef ISREC_NN_GRU_H_
+#define ISREC_NN_GRU_H_
+
+#include <memory>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "utils/rng.h"
+
+namespace isrec::nn {
+
+/// Single gated recurrent unit cell (Cho et al. 2014), the substrate of
+/// the GRU4Rec / GRU4Rec+ baselines.
+class GruCell : public Module {
+ public:
+  GruCell(Index input_dim, Index hidden_dim, Rng& rng);
+
+  /// x: [B, input_dim], h: [B, hidden_dim] -> new hidden [B, hidden_dim].
+  Tensor Forward(const Tensor& x, const Tensor& h) const;
+
+  Index hidden_dim() const { return hidden_dim_; }
+
+ private:
+  Index hidden_dim_;
+  // Fused gate projections: [.., 3H] ordered (reset, update, candidate).
+  std::unique_ptr<Linear> input_proj_, hidden_proj_;
+};
+
+/// Unrolled GRU over a padded sequence.
+class Gru : public Module {
+ public:
+  Gru(Index input_dim, Index hidden_dim, Rng& rng);
+
+  /// x: [B, T, input_dim]. `valid[b * T + t]` marks real (non-pad)
+  /// steps; the hidden state is carried through pad steps unchanged so
+  /// left-padded sequences work. Returns all hidden states [B, T, H].
+  Tensor Forward(const Tensor& x, const std::vector<bool>& valid) const;
+
+ private:
+  std::unique_ptr<GruCell> cell_;
+};
+
+}  // namespace isrec::nn
+
+#endif  // ISREC_NN_GRU_H_

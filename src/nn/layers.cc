@@ -1,0 +1,111 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "utils/check.h"
+
+namespace isrec::nn {
+
+Linear::Linear(Index in_features, Index out_features, Rng& rng, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  ISREC_CHECK_GT(in_features, 0);
+  ISREC_CHECK_GT(out_features, 0);
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(in_features + out_features));
+  weight_ = RegisterParameter(
+      "weight",
+      Tensor::RandUniform({in_features, out_features}, -bound, bound, rng));
+  if (bias) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros({out_features}));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  ISREC_CHECK_EQ(x.dim(-1), in_features_);
+  Tensor y;
+  if (x.ndim() == 2) {
+    y = MatMul(x, weight_);
+  } else {
+    // Flatten leading dims, multiply, restore.
+    Shape out_shape = x.shape();
+    out_shape.back() = out_features_;
+    y = Reshape(MatMul(Reshape(x, {-1, in_features_}), weight_), out_shape);
+  }
+  if (bias_.defined()) y = Add(y, bias_);
+  return y;
+}
+
+Embedding::Embedding(Index count, Index dim, Rng& rng, float init_scale)
+    : count_(count), dim_(dim) {
+  ISREC_CHECK_GT(count, 0);
+  ISREC_CHECK_GT(dim, 0);
+  table_ = RegisterParameter("table",
+                             Tensor::Randn({count, dim}, init_scale, rng));
+}
+
+Tensor Embedding::Forward(const std::vector<Index>& indices,
+                          Shape index_shape) const {
+  return EmbeddingLookup(table_, indices, std::move(index_shape));
+}
+
+LayerNorm::LayerNorm(Index dim, float eps) : eps_(eps) {
+  gamma_ = RegisterParameter("gamma", Tensor::Ones({dim}));
+  beta_ = RegisterParameter("beta", Tensor::Zeros({dim}));
+}
+
+Tensor LayerNorm::Forward(const Tensor& x) const {
+  return LayerNormOp(x, gamma_, beta_, eps_);
+}
+
+Dropout::Dropout(float p, Rng& rng) : p_(p), rng_(&rng) {
+  ISREC_CHECK_GE(p, 0.0f);
+  ISREC_CHECK_LT(p, 1.0f);
+}
+
+Tensor Dropout::Forward(const Tensor& x) const {
+  return DropoutOp(x, p_, training(), *rng_);
+}
+
+Mlp::Mlp(const std::vector<Index>& dims, Rng& rng) {
+  ISREC_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    RegisterModule("layer" + std::to_string(i), layers_.back().get());
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size()) h = Relu(h);
+  }
+  return h;
+}
+
+GcnLayer::GcnLayer(Index in_features, Index out_features, Rng& rng, bool relu,
+                   bool identity_init)
+    : relu_(relu) {
+  linear_ = std::make_unique<Linear>(in_features, out_features, rng,
+                                     /*bias=*/false);
+  RegisterModule("linear", linear_.get());
+  if (identity_init) {
+    ISREC_CHECK_EQ(in_features, out_features);
+    float* w = const_cast<Tensor&>(linear_->weight()).data();
+    for (Index i = 0; i < in_features; ++i) {
+      for (Index j = 0; j < out_features; ++j) {
+        w[i * out_features + j] =
+            (i == j ? 1.0f : 0.0f) + 0.02f * rng.NextGaussian();
+      }
+    }
+  }
+}
+
+Tensor GcnLayer::Forward(const SparseMatrix& adj_norm, const Tensor& x) const {
+  Tensor h = SpMM(adj_norm, x);
+  h = linear_->Forward(h);
+  return relu_ ? Relu(h) : h;
+}
+
+}  // namespace isrec::nn

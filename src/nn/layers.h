@@ -1,0 +1,111 @@
+#ifndef ISREC_NN_LAYERS_H_
+#define ISREC_NN_LAYERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/sparse.h"
+#include "tensor/tensor.h"
+#include "utils/rng.h"
+
+namespace isrec::nn {
+
+/// Affine transform y = x W + b over the last axis.
+/// Input [..., in], output [..., out]. Xavier-uniform initialized.
+class Linear : public Module {
+ public:
+  Linear(Index in_features, Index out_features, Rng& rng, bool bias = true);
+
+  Tensor Forward(const Tensor& x) const;
+
+  Index in_features() const { return in_features_; }
+  Index out_features() const { return out_features_; }
+  const Tensor& weight() const { return weight_; }
+
+ private:
+  Index in_features_, out_features_;
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [out] or undefined
+};
+
+/// Lookup table of `count` embeddings of size `dim`. Negative indices
+/// produce zero rows (padding) and receive no gradient.
+class Embedding : public Module {
+ public:
+  Embedding(Index count, Index dim, Rng& rng, float init_scale = 0.02f);
+
+  /// `indices` are flat row-major wrt `index_shape`; output is
+  /// index_shape + [dim].
+  Tensor Forward(const std::vector<Index>& indices, Shape index_shape) const;
+
+  /// The full table [count, dim] (e.g. for scoring against all items).
+  const Tensor& table() const { return table_; }
+
+  Index count() const { return count_; }
+  Index dim() const { return dim_; }
+
+ private:
+  Index count_, dim_;
+  Tensor table_;
+};
+
+/// Layer normalization over the last axis with learned gain/bias.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(Index dim, float eps = 1e-5f);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  float eps_;
+  Tensor gamma_, beta_;
+};
+
+/// Inverted dropout; identity in eval mode.
+class Dropout : public Module {
+ public:
+  /// `rng` must outlive the module.
+  Dropout(float p, Rng& rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  float p_;
+  Rng* rng_;
+};
+
+/// Multi-layer perceptron: Linear -> ReLU -> ... -> Linear.
+/// `dims` = {in, hidden..., out}; ReLU after every layer except the last.
+class Mlp : public Module {
+ public:
+  Mlp(const std::vector<Index>& dims, Rng& rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+};
+
+/// One GCN layer (Eq. 10): H' = act(A_norm H W). The normalized adjacency
+/// is supplied per call so one layer can serve graphs of the same size.
+class GcnLayer : public Module {
+ public:
+  /// With `identity_init` (requires in == out), the weight starts as
+  /// I + noise so the layer initially computes pure message passing
+  /// A_norm * H — a useful inductive bias when the graph structure
+  /// itself carries the signal (ISRec's intent transition).
+  GcnLayer(Index in_features, Index out_features, Rng& rng,
+           bool relu = true, bool identity_init = false);
+
+  /// x is [..., K, in]; returns [..., K, out].
+  Tensor Forward(const SparseMatrix& adj_norm, const Tensor& x) const;
+
+ private:
+  bool relu_;
+  std::unique_ptr<Linear> linear_;
+};
+
+}  // namespace isrec::nn
+
+#endif  // ISREC_NN_LAYERS_H_

@@ -1,0 +1,126 @@
+#include "nn/module.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+#include "utils/check.h"
+
+namespace isrec::nn {
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> result;
+  for (const auto& [name, tensor] : parameters_) result.push_back(tensor);
+  for (const auto& [name, child] : children_) {
+    for (const Tensor& t : child->Parameters()) result.push_back(t);
+  }
+  return result;
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::NamedParameters() const {
+  std::vector<std::pair<std::string, Tensor>> result;
+  for (const auto& entry : parameters_) result.push_back(entry);
+  for (const auto& [name, child] : children_) {
+    for (const auto& [sub_name, tensor] : child->NamedParameters()) {
+      result.emplace_back(name + "." + sub_name, tensor);
+    }
+  }
+  return result;
+}
+
+Index Module::NumParameters() const {
+  Index total = 0;
+  for (const Tensor& t : Parameters()) total += t.numel();
+  return total;
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->SetTraining(training);
+}
+
+void Module::ZeroGrad() {
+  for (Tensor& t : Parameters()) t.ZeroGrad();
+}
+
+Tensor Module::RegisterParameter(const std::string& name, Tensor tensor) {
+  ISREC_CHECK(tensor.defined());
+  tensor.set_requires_grad(true);
+  parameters_.emplace_back(name, tensor);
+  return tensor;
+}
+
+void Module::RegisterModule(const std::string& name, Module* child) {
+  ISREC_CHECK(child != nullptr);
+  children_.emplace_back(name, child);
+}
+
+namespace {
+constexpr uint32_t kMagic = 0x49535243;  // "ISRC"
+}  // namespace
+
+void SaveParameters(const Module& module, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ISREC_CHECK_MSG(f != nullptr, "cannot open " << path << " for writing");
+  const auto params = module.NamedParameters();
+  const uint32_t magic = kMagic;
+  const uint64_t count = params.size();
+  std::fwrite(&magic, sizeof(magic), 1, f);
+  std::fwrite(&count, sizeof(count), 1, f);
+  for (const auto& [name, tensor] : params) {
+    const uint64_t name_len = name.size();
+    std::fwrite(&name_len, sizeof(name_len), 1, f);
+    std::fwrite(name.data(), 1, name.size(), f);
+    const uint64_t rank = tensor.shape().size();
+    std::fwrite(&rank, sizeof(rank), 1, f);
+    for (Index d : tensor.shape()) {
+      const int64_t dim = d;
+      std::fwrite(&dim, sizeof(dim), 1, f);
+    }
+    std::fwrite(tensor.data(), sizeof(float), tensor.numel(), f);
+  }
+  std::fclose(f);
+}
+
+bool LoadParameters(Module& module, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  ISREC_CHECK_EQ(std::fread(&magic, sizeof(magic), 1, f), 1u);
+  ISREC_CHECK_MSG(magic == kMagic, "not an ISRec parameter file: " << path);
+  ISREC_CHECK_EQ(std::fread(&count, sizeof(count), 1, f), 1u);
+
+  auto params = module.NamedParameters();
+  ISREC_CHECK_MSG(count == params.size(),
+                  "parameter count mismatch: file has "
+                      << count << ", module has " << params.size());
+  for (auto& [expected_name, tensor] : params) {
+    uint64_t name_len = 0;
+    ISREC_CHECK_EQ(std::fread(&name_len, sizeof(name_len), 1, f), 1u);
+    std::string name(name_len, '\0');
+    ISREC_CHECK_EQ(std::fread(name.data(), 1, name_len, f), name_len);
+    ISREC_CHECK_MSG(name == expected_name, "parameter order mismatch: "
+                                               << name << " vs "
+                                               << expected_name);
+    uint64_t rank = 0;
+    ISREC_CHECK_EQ(std::fread(&rank, sizeof(rank), 1, f), 1u);
+    Shape shape(rank);
+    for (uint64_t i = 0; i < rank; ++i) {
+      int64_t dim = 0;
+      ISREC_CHECK_EQ(std::fread(&dim, sizeof(dim), 1, f), 1u);
+      shape[i] = dim;
+    }
+    ISREC_CHECK_MSG(shape == tensor.shape(),
+                    "shape mismatch for " << name << ": file "
+                                          << ShapeToString(shape) << " vs "
+                                          << ShapeToString(tensor.shape()));
+    ISREC_CHECK_EQ(
+        std::fread(tensor.data(), sizeof(float), tensor.numel(), f),
+        static_cast<size_t>(tensor.numel()));
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace isrec::nn

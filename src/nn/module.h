@@ -1,0 +1,68 @@
+#ifndef ISREC_NN_MODULE_H_
+#define ISREC_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace isrec::nn {
+
+/// Base class for neural-network building blocks.
+///
+/// A Module owns its parameters (Tensors with requires_grad) and may own
+/// child modules. Parameters() flattens the whole subtree, which is what
+/// optimizers consume. SetTraining() toggles dropout-style behaviour for
+/// the subtree.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters in this module and its children (depth-first).
+  std::vector<Tensor> Parameters() const;
+
+  /// Parameters with hierarchical names like "encoder.layer0.w_q".
+  std::vector<std::pair<std::string, Tensor>> NamedParameters() const;
+
+  /// Total number of scalar parameters.
+  Index NumParameters() const;
+
+  /// Toggles training mode (affects dropout etc.) for the subtree.
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  /// Zeroes every parameter gradient in the subtree.
+  void ZeroGrad();
+
+ protected:
+  Module() = default;
+
+  /// Registers a parameter; returns it for storage in the subclass.
+  Tensor RegisterParameter(const std::string& name, Tensor tensor);
+
+  /// Registers a child (non-owning; the subclass keeps ownership, e.g. in
+  /// a member or a vector of unique_ptr).
+  void RegisterModule(const std::string& name, Module* child);
+
+ private:
+  std::vector<std::pair<std::string, Tensor>> parameters_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+/// Serializes all parameters of `module` to a flat binary file. The file
+/// records a simple header plus each parameter's name, shape, and data.
+void SaveParameters(const Module& module, const std::string& path);
+
+/// Restores parameters saved with SaveParameters. The module must have an
+/// identical parameter structure (names and shapes). CHECK-fails on
+/// mismatch; returns false only if the file cannot be opened.
+bool LoadParameters(Module& module, const std::string& path);
+
+}  // namespace isrec::nn
+
+#endif  // ISREC_NN_MODULE_H_

@@ -1,0 +1,106 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+#include "utils/check.h"
+
+namespace isrec::nn {
+
+Optimizer::Optimizer(std::vector<Tensor> parameters)
+    : parameters_(std::move(parameters)) {
+  for (const Tensor& p : parameters_) {
+    ISREC_CHECK(p.defined());
+    ISREC_CHECK(p.requires_grad());
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& p : parameters_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Tensor> parameters, float lr, float momentum)
+    : Optimizer(std::move(parameters)), lr_(lr), momentum_(momentum) {
+  velocity_.resize(parameters_.size());
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    Tensor& p = parameters_[i];
+    if (!p.has_grad()) continue;
+    float* data = p.data();
+    const float* grad = p.grad();
+    const Index n = p.numel();
+    if (momentum_ > 0.0f) {
+      auto& vel = velocity_[i];
+      if (vel.size() != static_cast<size_t>(n)) vel.assign(n, 0.0f);
+      for (Index j = 0; j < n; ++j) {
+        vel[j] = momentum_ * vel[j] + grad[j];
+        data[j] -= lr_ * vel[j];
+      }
+    } else {
+      for (Index j = 0; j < n; ++j) data[j] -= lr_ * grad[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> parameters, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(parameters)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(parameters_.size());
+  v_.resize(parameters_.size());
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    Tensor& p = parameters_[i];
+    if (!p.has_grad()) continue;
+    float* data = p.data();
+    const float* grad = p.grad();
+    const Index n = p.numel();
+    auto& m = m_[i];
+    auto& v = v_[i];
+    if (m.size() != static_cast<size_t>(n)) {
+      m.assign(n, 0.0f);
+      v.assign(n, 0.0f);
+    }
+    for (Index j = 0; j < n; ++j) {
+      // Decoupled weight decay (L2 term of Eq. 14).
+      const float g = grad[j] + weight_decay_ * data[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      data[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+float ClipGradNorm(const std::vector<Tensor>& parameters, float max_norm) {
+  ISREC_CHECK_GT(max_norm, 0.0f);
+  double total_sq = 0.0;
+  for (const Tensor& p : parameters) {
+    if (!p.has_grad()) continue;
+    const float* g = p.grad();
+    for (Index j = 0; j < p.numel(); ++j) total_sq += g[j] * g[j];
+  }
+  const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm) {
+    const float scale = max_norm / (norm + 1e-6f);
+    for (const Tensor& p : parameters) {
+      if (!p.has_grad()) continue;
+      float* g = const_cast<Tensor&>(p).grad();
+      for (Index j = 0; j < p.numel(); ++j) g[j] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace isrec::nn

@@ -1,0 +1,73 @@
+#ifndef ISREC_NN_OPTIM_H_
+#define ISREC_NN_OPTIM_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace isrec::nn {
+
+/// Base class for first-order optimizers over a fixed parameter list.
+/// Parameters whose gradient buffer was never materialized in the current
+/// step are skipped.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> parameters);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the gradients currently stored in the
+  /// parameters.
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  const std::vector<Tensor>& parameters() const { return parameters_; }
+
+ protected:
+  std::vector<Tensor> parameters_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> parameters, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_, momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) with decoupled L2 regularization. With
+/// `weight_decay` > 0 this realizes the alpha * ||Theta||^2 term of
+/// Eq. (14) without adding the penalty to the loss graph.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> parameters, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  int64_t step_count_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+float ClipGradNorm(const std::vector<Tensor>& parameters, float max_norm);
+
+}  // namespace isrec::nn
+
+#endif  // ISREC_NN_OPTIM_H_

@@ -1,0 +1,135 @@
+#ifndef ISREC_TENSOR_OPS_H_
+#define ISREC_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "utils/rng.h"
+
+namespace isrec {
+
+// All ops are pure: they allocate a fresh result and (when grad mode is on
+// and an input requires grad) record a backward closure. Binary
+// elementwise ops support NumPy-style broadcasting.
+
+// -- Elementwise binary ------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+
+inline Tensor operator+(const Tensor& a, const Tensor& b) { return Add(a, b); }
+inline Tensor operator-(const Tensor& a, const Tensor& b) { return Sub(a, b); }
+inline Tensor operator*(const Tensor& a, const Tensor& b) { return Mul(a, b); }
+inline Tensor operator/(const Tensor& a, const Tensor& b) { return Div(a, b); }
+
+// -- Elementwise with scalar ------------------------------------------
+
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+Tensor PowScalar(const Tensor& a, float exponent);  // a must be positive
+                                                    // for non-integer exp.
+
+// -- Elementwise unary -------------------------------------------------
+
+Tensor Neg(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);  // Clamped at 1e-12 for stability.
+Tensor Sqrt(const Tensor& a);
+Tensor Relu(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+/// log(1 + exp(x)), computed stably. Note -Softplus(-x) == log(sigmoid(x)).
+Tensor Softplus(const Tensor& a);
+
+// -- Linear algebra ----------------------------------------------------
+
+/// 2-D matrix product: [m, k] x [k, n] -> [m, n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Batched matrix product over the last two axes. Leading (batch)
+/// dimensions must match exactly, or one operand may be rank-2 in which
+/// case it is broadcast across the other's batch dims. `trans_a` /
+/// `trans_b` transpose the trailing two axes before multiplying.
+Tensor BatchMatMul(const Tensor& a, const Tensor& b, bool trans_a = false,
+                   bool trans_b = false);
+
+// -- Shape manipulation -------------------------------------------------
+
+/// Returns a reshaped copy. At most one entry of `new_shape` may be -1
+/// (inferred).
+Tensor Reshape(const Tensor& a, Shape new_shape);
+
+/// Swaps two axes (materializing copy).
+Tensor Transpose(const Tensor& a, int axis0, int axis1);
+
+/// Slices [start, end) along `axis`.
+Tensor Slice(const Tensor& a, int axis, Index start, Index end);
+
+/// Concatenates along `axis`. All other dims must match.
+Tensor Concat(const std::vector<Tensor>& tensors, int axis);
+
+/// Gathers rows (along axis 0): result[i, ...] = a[indices[i], ...].
+Tensor IndexSelect(const Tensor& a, const std::vector<Index>& indices);
+
+// -- Reductions ----------------------------------------------------------
+
+Tensor Sum(const Tensor& a);                              // -> scalar
+Tensor Sum(const Tensor& a, int axis, bool keepdim = false);
+Tensor Mean(const Tensor& a);                             // -> scalar
+Tensor Mean(const Tensor& a, int axis, bool keepdim = false);
+/// Max over `axis` (values only; gradient routed to the argmax element).
+Tensor ReduceMax(const Tensor& a, int axis, bool keepdim = false);
+
+/// L2 norm over the last axis: [..., d] -> [...]. Stabilized by eps.
+Tensor NormLastDim(const Tensor& a, float eps = 1e-12f);
+
+// -- Neural-net primitives ------------------------------------------------
+
+/// Softmax over the last axis.
+Tensor Softmax(const Tensor& a);
+
+/// Log-softmax over the last axis (numerically stable).
+Tensor LogSoftmax(const Tensor& a);
+
+/// Fused layer normalization over the last axis with affine parameters.
+/// `gamma` and `beta` must be rank-1 of size a.dim(-1).
+Tensor LayerNormOp(const Tensor& a, const Tensor& gamma, const Tensor& beta,
+                   float eps = 1e-5f);
+
+/// Inverted dropout. Identity when `training` is false or p == 0.
+Tensor DropoutOp(const Tensor& a, float p, bool training, Rng& rng);
+
+/// Embedding lookup: table is [V, d]; result is index_shape + [d].
+/// Gradient scatter-adds into the table. `indices` are flat, row-major
+/// with respect to `index_shape`; each must be in [0, V). A negative
+/// index yields a zero row (padding) and receives no gradient.
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<Index>& indices,
+                       Shape index_shape);
+
+/// Mean negative log-likelihood: logprobs is [N, C]; targets has N
+/// entries; entries equal to `ignore_index` are excluded from the mean.
+Tensor NllLoss(const Tensor& logprobs, const std::vector<Index>& targets,
+               Index ignore_index = -1);
+
+/// Cosine similarity between each row of `a` ([..., d]) and each row of
+/// `b` ([K, d]): result is [..., K]. Matches Eq. (6) of the paper.
+Tensor CosineSimilarity(const Tensor& a, const Tensor& b, float eps = 1e-8f);
+
+/// Straight-through estimator: forward value of `hard`, gradient of
+/// `soft`. Shapes must match.
+Tensor StraightThrough(const Tensor& hard, const Tensor& soft);
+
+// -- Broadcast helpers (exposed for tests) --------------------------------
+
+/// Computes the broadcast result shape; CHECK-fails on incompatibility.
+Shape BroadcastShape(const Shape& a, const Shape& b);
+
+/// Reduces `grad` (shaped `from`) back to `to` by summing broadcast axes.
+std::vector<float> ReduceGradToShape(const std::vector<float>& grad,
+                                     const Shape& from, const Shape& to);
+
+}  // namespace isrec
+
+#endif  // ISREC_TENSOR_OPS_H_

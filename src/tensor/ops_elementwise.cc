@@ -1,0 +1,295 @@
+#include <cmath>
+#include <functional>
+
+#include "tensor/ops.h"
+#include "utils/check.h"
+
+namespace isrec {
+namespace {
+
+// Strides of `shape` when broadcast up to `out`, right-aligned; broadcast
+// axes get stride 0 so the same element is revisited.
+std::vector<Index> BroadcastStrides(const Shape& shape, const Shape& out) {
+  const int out_rank = static_cast<int>(out.size());
+  const int rank = static_cast<int>(shape.size());
+  std::vector<Index> strides(out_rank, 0);
+  Index running = 1;
+  for (int i = rank - 1; i >= 0; --i) {
+    const int out_axis = out_rank - (rank - i);
+    if (shape[i] != 1) strides[out_axis] = running;
+    running *= shape[i];
+  }
+  return strides;
+}
+
+// Applies fn(out_linear_index, a_offset, b_offset) over the broadcast
+// iteration space of `out`.
+template <typename Fn>
+void ForEachBroadcast(const Shape& out, const std::vector<Index>& sa,
+                      const std::vector<Index>& sb, Fn&& fn) {
+  const Index n = NumElements(out);
+  const int rank = static_cast<int>(out.size());
+  if (rank == 0) {
+    if (n == 1) fn(0, 0, 0);
+    return;
+  }
+  std::vector<Index> idx(rank, 0);
+  Index off_a = 0;
+  Index off_b = 0;
+  for (Index i = 0; i < n; ++i) {
+    fn(i, off_a, off_b);
+    for (int d = rank - 1; d >= 0; --d) {
+      ++idx[d];
+      off_a += sa[d];
+      off_b += sb[d];
+      if (idx[d] < out[d]) break;
+      idx[d] = 0;
+      off_a -= sa[d] * out[d];
+      off_b -= sb[d] * out[d];
+    }
+  }
+}
+
+// Generic broadcasting binary op.
+//
+// fwd(a, b) -> out
+// da(a, b, g) -> gradient contribution to a
+// db(a, b, g) -> gradient contribution to b
+template <typename Fwd, typename Da, typename Db>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, Da da, Db db) {
+  ISREC_CHECK(a.defined());
+  ISREC_CHECK(b.defined());
+  const Shape out_shape = BroadcastShape(a.shape(), b.shape());
+
+  Tensor result = internal::MakeOpResult(
+      out_shape, {a, b},
+      [&](internal::TensorImpl* out)
+          -> std::function<void()> {
+        auto ia = a.impl();
+        auto ib = b.impl();
+        return [ia, ib, out, da, db]() {
+          const std::vector<Index> sa = BroadcastStrides(ia->shape, out->shape);
+          const std::vector<Index> sb = BroadcastStrides(ib->shape, out->shape);
+          const bool need_a = ia->requires_grad;
+          const bool need_b = ib->requires_grad;
+          if (need_a) ia->EnsureGrad();
+          if (need_b) ib->EnsureGrad();
+          ForEachBroadcast(out->shape, sa, sb,
+                           [&](Index i, Index oa, Index ob) {
+                             const float g = out->grad[i];
+                             const float av = ia->data[oa];
+                             const float bv = ib->data[ob];
+                             if (need_a) ia->grad[oa] += da(av, bv, g);
+                             if (need_b) ib->grad[ob] += db(av, bv, g);
+                           });
+        };
+      });
+
+  // Forward pass.
+  {
+    auto ia = a.impl();
+    auto ib = b.impl();
+    const std::vector<Index> sa = BroadcastStrides(ia->shape, out_shape);
+    const std::vector<Index> sb = BroadcastStrides(ib->shape, out_shape);
+    float* out = result.data();
+    // Fast path: identical shapes.
+    if (ia->shape == ib->shape) {
+      const float* pa = ia->data.data();
+      const float* pb = ib->data.data();
+      const Index n = result.numel();
+      for (Index i = 0; i < n; ++i) out[i] = fwd(pa[i], pb[i]);
+    } else {
+      ForEachBroadcast(out_shape, sa, sb, [&](Index i, Index oa, Index ob) {
+        out[i] = fwd(ia->data[oa], ib->data[ob]);
+      });
+    }
+  }
+  return result;
+}
+
+// Generic elementwise unary op. bwd(x, y, g) -> gradient wrt x.
+template <typename Fwd, typename Bwd>
+Tensor UnaryOp(const Tensor& a, Fwd fwd, Bwd bwd) {
+  ISREC_CHECK(a.defined());
+  Tensor result = internal::MakeOpResult(
+      a.shape(), {a},
+      [&](internal::TensorImpl* out)
+          -> std::function<void()> {
+        auto ia = a.impl();
+        return [ia, out, bwd]() {
+          if (!ia->requires_grad) return;
+          ia->EnsureGrad();
+          const Index n = static_cast<Index>(out->data.size());
+          for (Index i = 0; i < n; ++i) {
+            ia->grad[i] += bwd(ia->data[i], out->data[i], out->grad[i]);
+          }
+        };
+      });
+  const float* in = a.data();
+  float* out = result.data();
+  const Index n = a.numel();
+  for (Index i = 0; i < n; ++i) out[i] = fwd(in[i]);
+  return result;
+}
+
+}  // namespace
+
+Shape BroadcastShape(const Shape& a, const Shape& b) {
+  const int rank = static_cast<int>(std::max(a.size(), b.size()));
+  Shape out(rank);
+  for (int i = 0; i < rank; ++i) {
+    const Index da =
+        i < rank - static_cast<int>(a.size()) ? 1 : a[i - (rank - a.size())];
+    const Index db =
+        i < rank - static_cast<int>(b.size()) ? 1 : b[i - (rank - b.size())];
+    ISREC_CHECK_MSG(da == db || da == 1 || db == 1,
+                    "incompatible broadcast: " << ShapeToString(a) << " vs "
+                                               << ShapeToString(b));
+    out[i] = std::max(da, db);
+  }
+  return out;
+}
+
+std::vector<float> ReduceGradToShape(const std::vector<float>& grad,
+                                     const Shape& from, const Shape& to) {
+  ISREC_CHECK_EQ(static_cast<Index>(grad.size()), NumElements(from));
+  std::vector<float> reduced(NumElements(to), 0.0f);
+  const std::vector<Index> st = BroadcastStrides(to, from);
+  const std::vector<Index> sf = BroadcastStrides(from, from);
+  ForEachBroadcast(from, st, sf, [&](Index, Index to_off, Index from_off) {
+    reduced[to_off] += grad[from_off];
+  });
+  return reduced;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x + y; },
+      [](float, float, float g) { return g; },
+      [](float, float, float g) { return g; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x - y; },
+      [](float, float, float g) { return g; },
+      [](float, float, float g) { return -g; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x * y; },
+      [](float, float y, float g) { return g * y; },
+      [](float x, float, float g) { return g * x; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x / y; },
+      [](float, float y, float g) { return g / y; },
+      [](float x, float y, float g) { return -g * x / (y * y); });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x + s; },
+      [](float, float, float g) { return g; });
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x * s; },
+      [s](float, float, float g) { return g * s; });
+}
+
+Tensor PowScalar(const Tensor& a, float exponent) {
+  return UnaryOp(
+      a, [exponent](float x) { return std::pow(x, exponent); },
+      [exponent](float x, float, float g) {
+        return g * exponent * std::pow(x, exponent - 1.0f);
+      });
+}
+
+Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y, float g) { return g * y; });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::log(std::max(x, 1e-12f)); },
+      [](float x, float, float g) { return g / std::max(x, 1e-12f); });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::sqrt(x); },
+      [](float, float y, float g) { return y > 0 ? g / (2.0f * y) : 0.0f; });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0 ? x : 0.0f; },
+      [](float x, float, float g) { return x > 0 ? g : 0.0f; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        if (x >= 0) {
+          return 1.0f / (1.0f + std::exp(-x));
+        }
+        const float e = std::exp(x);
+        return e / (1.0f + e);
+      },
+      [](float, float y, float g) { return g * y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y, float g) { return g * (1.0f - y * y); });
+}
+
+Tensor Softplus(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        // Stable: log(1 + e^x) = max(x, 0) + log1p(e^{-|x|}).
+        return std::max(x, 0.0f) + std::log1p(std::exp(-std::abs(x)));
+      },
+      [](float x, float, float g) {
+        // d/dx softplus = sigmoid(x).
+        if (x >= 0) return g / (1.0f + std::exp(-x));
+        const float e = std::exp(x);
+        return g * e / (1.0f + e);
+      });
+}
+
+Tensor StraightThrough(const Tensor& hard, const Tensor& soft) {
+  ISREC_CHECK(hard.shape() == soft.shape());
+  // value(hard) + (soft - detach(soft)) has the value of `hard` only if
+  // hard == soft forward; instead we copy hard's values and route the
+  // gradient entirely to `soft`.
+  Tensor result = internal::MakeOpResult(
+      hard.shape(), {soft},
+      [&](internal::TensorImpl* out)
+          -> std::function<void()> {
+        auto is = soft.impl();
+        return [is, out]() {
+          if (!is->requires_grad) return;
+          is->EnsureGrad();
+          for (size_t i = 0; i < out->grad.size(); ++i) {
+            is->grad[i] += out->grad[i];
+          }
+        };
+      });
+  std::copy(hard.data(), hard.data() + hard.numel(), result.data());
+  return result;
+}
+
+}  // namespace isrec

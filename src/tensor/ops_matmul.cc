@@ -1,0 +1,192 @@
+#include <cstring>
+
+#include "tensor/ops.h"
+#include "utils/check.h"
+
+namespace isrec {
+namespace {
+
+// C[m, n] += A[m, k] * B[k, n], with optional transposes interpreted on
+// the logical (pre-transpose) layouts:
+//   trans_a: A is stored [k, m]
+//   trans_b: B is stored [n, k]
+void GemmAccumulate(const float* a, const float* b, float* c, Index m, Index n,
+                    Index k, bool trans_a, bool trans_b) {
+  if (!trans_a && !trans_b) {
+    // i-k-j loop order for cache friendliness.
+    for (Index i = 0; i < m; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (Index p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = b + p * n;
+        for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (!trans_a && trans_b) {
+    for (Index i = 0; i < m; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (Index j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float acc = 0.0f;
+        for (Index p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] += acc;
+      }
+    }
+  } else if (trans_a && !trans_b) {
+    for (Index p = 0; p < k; ++p) {
+      const float* arow = a + p * m;
+      const float* brow = b + p * n;
+      for (Index i = 0; i < m; ++i) {
+        const float av = arow[i];
+        if (av == 0.0f) continue;
+        float* crow = c + i * n;
+        for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else {
+    for (Index i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      for (Index j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float acc = 0.0f;
+        for (Index p = 0; p < k; ++p) acc += a[p * m + i] * brow[p];
+        crow[j] += acc;
+      }
+    }
+  }
+}
+
+struct MatMulDims {
+  Index batch_a = 1;  // Number of batch matrices in a (1 if rank-2).
+  Index batch_b = 1;
+  Index batch = 1;    // Output batch count.
+  Index m = 0, n = 0, k = 0;
+};
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  ISREC_CHECK_EQ(a.ndim(), 2);
+  ISREC_CHECK_EQ(b.ndim(), 2);
+  return BatchMatMul(a, b, /*trans_a=*/false, /*trans_b=*/false);
+}
+
+Tensor BatchMatMul(const Tensor& a, const Tensor& b, bool trans_a,
+                   bool trans_b) {
+  ISREC_CHECK(a.defined());
+  ISREC_CHECK(b.defined());
+  ISREC_CHECK_GE(a.ndim(), 2);
+  ISREC_CHECK_GE(b.ndim(), 2);
+
+  const Shape& sa = a.shape();
+  const Shape& sb = b.shape();
+
+  MatMulDims dims;
+  const Index a_rows = sa[sa.size() - 2];
+  const Index a_cols = sa[sa.size() - 1];
+  const Index b_rows = sb[sb.size() - 2];
+  const Index b_cols = sb[sb.size() - 1];
+  dims.m = trans_a ? a_cols : a_rows;
+  dims.k = trans_a ? a_rows : a_cols;
+  const Index k2 = trans_b ? b_cols : b_rows;
+  dims.n = trans_b ? b_rows : b_cols;
+  ISREC_CHECK_MSG(dims.k == k2, "matmul inner dims mismatch: "
+                                    << ShapeToString(sa) << " x "
+                                    << ShapeToString(sb));
+
+  Shape batch_shape;
+  if (a.ndim() > 2 && b.ndim() > 2) {
+    ISREC_CHECK_MSG(
+        Shape(sa.begin(), sa.end() - 2) == Shape(sb.begin(), sb.end() - 2),
+        "batch dims mismatch: " << ShapeToString(sa) << " x "
+                                << ShapeToString(sb));
+    batch_shape.assign(sa.begin(), sa.end() - 2);
+  } else if (a.ndim() > 2) {
+    batch_shape.assign(sa.begin(), sa.end() - 2);
+  } else if (b.ndim() > 2) {
+    batch_shape.assign(sb.begin(), sb.end() - 2);
+  }
+  dims.batch = NumElements(batch_shape);
+  dims.batch_a = a.ndim() > 2 ? dims.batch : 1;
+  dims.batch_b = b.ndim() > 2 ? dims.batch : 1;
+
+  Shape out_shape = batch_shape;
+  out_shape.push_back(dims.m);
+  out_shape.push_back(dims.n);
+
+  const Index a_mat = a_rows * a_cols;
+  const Index b_mat = b_rows * b_cols;
+  const Index o_mat = dims.m * dims.n;
+
+  Tensor result = internal::MakeOpResult(
+      out_shape, {a, b},
+      [&](internal::TensorImpl* out)
+          -> std::function<void()> {
+        auto ia = a.impl();
+        auto ib = b.impl();
+        return [ia, ib, out, dims, trans_a, trans_b, a_mat, b_mat, o_mat]() {
+          // Gradients (for the untransposed case):
+          //   dA = dC * B^T;  dB = A^T * dC
+          // With transposes this becomes a small case analysis; we express
+          // each dX as a GemmAccumulate with the right operand order and
+          // transpose flags.
+          if (ia->requires_grad) {
+            ia->EnsureGrad();
+            for (Index bi = 0; bi < dims.batch; ++bi) {
+              const float* g = out->grad.data() + bi * o_mat;
+              const float* bp =
+                  ib->data.data() + (dims.batch_b == 1 ? 0 : bi * b_mat);
+              float* ga = ia->grad.data() + (dims.batch_a == 1 ? 0 : bi * a_mat);
+              if (!trans_a) {
+                // A is [m, k]: dA = dC (.) B with B effectively transposed
+                // unless trans_b, in which case dA = dC * B.
+                GemmAccumulate(g, bp, ga, dims.m, dims.k, dims.n,
+                               /*trans_a=*/false, /*trans_b=*/!trans_b);
+              } else {
+                // A stored as [k, m]: dA_storage = (dC^T (.) B)^T handled by
+                // computing dA_storage[k, m] = B (.) dC^T.
+                GemmAccumulate(bp, g, ga, dims.k, dims.m, dims.n,
+                               /*trans_a=*/trans_b, /*trans_b=*/true);
+              }
+            }
+          }
+          if (ib->requires_grad) {
+            ib->EnsureGrad();
+            for (Index bi = 0; bi < dims.batch; ++bi) {
+              const float* g = out->grad.data() + bi * o_mat;
+              const float* ap =
+                  ia->data.data() + (dims.batch_a == 1 ? 0 : bi * a_mat);
+              float* gb = ib->grad.data() + (dims.batch_b == 1 ? 0 : bi * b_mat);
+              if (!trans_b) {
+                // B is [k, n]: dB = A^T (.) dC.
+                GemmAccumulate(ap, g, gb, dims.k, dims.n, dims.m,
+                               /*trans_a=*/!trans_a, /*trans_b=*/false);
+              } else {
+                // B stored as [n, k]: dB_storage[n, k] = dC^T (.) A.
+                GemmAccumulate(g, ap, gb, dims.n, dims.k, dims.m,
+                               /*trans_a=*/true, /*trans_b=*/trans_a);
+              }
+            }
+          }
+        };
+      });
+
+  // Forward.
+  {
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = result.data();
+    std::memset(pc, 0, sizeof(float) * result.numel());
+    for (Index bi = 0; bi < dims.batch; ++bi) {
+      GemmAccumulate(pa + (dims.batch_a == 1 ? 0 : bi * a_mat),
+                     pb + (dims.batch_b == 1 ? 0 : bi * b_mat), pc + bi * o_mat,
+                     dims.m, dims.n, dims.k, trans_a, trans_b);
+    }
+  }
+  return result;
+}
+
+}  // namespace isrec

@@ -1,0 +1,334 @@
+#include <cmath>
+#include <cstring>
+#include <memory>
+
+#include "tensor/ops.h"
+#include "utils/check.h"
+
+namespace isrec {
+namespace {
+
+// Rows/cols decomposition for ops over the last axis.
+void LastAxisExtents(const Shape& shape, Index* rows, Index* cols) {
+  ISREC_CHECK(!shape.empty());
+  *cols = shape.back();
+  *rows = 1;
+  for (size_t i = 0; i + 1 < shape.size(); ++i) *rows *= shape[i];
+}
+
+}  // namespace
+
+Tensor Softmax(const Tensor& a) {
+  ISREC_CHECK(a.defined());
+  Index rows, cols;
+  LastAxisExtents(a.shape(), &rows, &cols);
+
+  Tensor result = internal::MakeOpResult(
+      a.shape(), {a},
+      [&](internal::TensorImpl* out)
+          -> std::function<void()> {
+        auto ia = a.impl();
+        return [ia, out, rows, cols]() {
+          if (!ia->requires_grad) return;
+          ia->EnsureGrad();
+          for (Index r = 0; r < rows; ++r) {
+            const float* y = out->data.data() + r * cols;
+            const float* g = out->grad.data() + r * cols;
+            float* gi = ia->grad.data() + r * cols;
+            float dot = 0.0f;
+            for (Index c = 0; c < cols; ++c) dot += g[c] * y[c];
+            for (Index c = 0; c < cols; ++c) gi[c] += y[c] * (g[c] - dot);
+          }
+        };
+      });
+  {
+    const float* in = a.data();
+    float* out = result.data();
+    for (Index r = 0; r < rows; ++r) {
+      const float* x = in + r * cols;
+      float* y = out + r * cols;
+      float max_v = x[0];
+      for (Index c = 1; c < cols; ++c) max_v = std::max(max_v, x[c]);
+      float total = 0.0f;
+      for (Index c = 0; c < cols; ++c) {
+        y[c] = std::exp(x[c] - max_v);
+        total += y[c];
+      }
+      const float inv = 1.0f / total;
+      for (Index c = 0; c < cols; ++c) y[c] *= inv;
+    }
+  }
+  return result;
+}
+
+Tensor LogSoftmax(const Tensor& a) {
+  ISREC_CHECK(a.defined());
+  Index rows, cols;
+  LastAxisExtents(a.shape(), &rows, &cols);
+
+  Tensor result = internal::MakeOpResult(
+      a.shape(), {a},
+      [&](internal::TensorImpl* out)
+          -> std::function<void()> {
+        auto ia = a.impl();
+        return [ia, out, rows, cols]() {
+          if (!ia->requires_grad) return;
+          ia->EnsureGrad();
+          for (Index r = 0; r < rows; ++r) {
+            const float* y = out->data.data() + r * cols;
+            const float* g = out->grad.data() + r * cols;
+            float* gi = ia->grad.data() + r * cols;
+            float g_sum = 0.0f;
+            for (Index c = 0; c < cols; ++c) g_sum += g[c];
+            for (Index c = 0; c < cols; ++c) {
+              gi[c] += g[c] - std::exp(y[c]) * g_sum;
+            }
+          }
+        };
+      });
+  {
+    const float* in = a.data();
+    float* out = result.data();
+    for (Index r = 0; r < rows; ++r) {
+      const float* x = in + r * cols;
+      float* y = out + r * cols;
+      float max_v = x[0];
+      for (Index c = 1; c < cols; ++c) max_v = std::max(max_v, x[c]);
+      float total = 0.0f;
+      for (Index c = 0; c < cols; ++c) total += std::exp(x[c] - max_v);
+      const float lse = max_v + std::log(total);
+      for (Index c = 0; c < cols; ++c) y[c] = x[c] - lse;
+    }
+  }
+  return result;
+}
+
+Tensor LayerNormOp(const Tensor& a, const Tensor& gamma, const Tensor& beta,
+                   float eps) {
+  ISREC_CHECK(a.defined());
+  Index rows, cols;
+  LastAxisExtents(a.shape(), &rows, &cols);
+  ISREC_CHECK_EQ(gamma.numel(), cols);
+  ISREC_CHECK_EQ(beta.numel(), cols);
+
+  // Cache per-row statistics for the backward pass.
+  auto mean = std::make_shared<std::vector<float>>(rows);
+  auto inv_std = std::make_shared<std::vector<float>>(rows);
+
+  Tensor result = internal::MakeOpResult(
+      a.shape(), {a, gamma, beta},
+      [&](internal::TensorImpl* out)
+          -> std::function<void()> {
+        auto ia = a.impl();
+        auto ig = gamma.impl();
+        auto ib = beta.impl();
+        return [ia, ig, ib, out, mean, inv_std, rows, cols]() {
+          const bool need_a = ia->requires_grad;
+          const bool need_g = ig->requires_grad;
+          const bool need_b = ib->requires_grad;
+          if (need_a) ia->EnsureGrad();
+          if (need_g) ig->EnsureGrad();
+          if (need_b) ib->EnsureGrad();
+          const float inv_n = 1.0f / static_cast<float>(cols);
+          for (Index r = 0; r < rows; ++r) {
+            const float* x = ia->data.data() + r * cols;
+            const float* g = out->grad.data() + r * cols;
+            const float mu = (*mean)[r];
+            const float is = (*inv_std)[r];
+            // dxhat and the two row-means needed for dx.
+            float mean_dxhat = 0.0f;
+            float mean_dxhat_xhat = 0.0f;
+            for (Index c = 0; c < cols; ++c) {
+              const float xhat = (x[c] - mu) * is;
+              const float dxhat = g[c] * ig->data[c];
+              mean_dxhat += dxhat;
+              mean_dxhat_xhat += dxhat * xhat;
+              if (need_g) ig->grad[c] += g[c] * xhat;
+              if (need_b) ib->grad[c] += g[c];
+            }
+            mean_dxhat *= inv_n;
+            mean_dxhat_xhat *= inv_n;
+            if (need_a) {
+              float* gi = ia->grad.data() + r * cols;
+              for (Index c = 0; c < cols; ++c) {
+                const float xhat = (x[c] - mu) * is;
+                const float dxhat = g[c] * ig->data[c];
+                gi[c] += is * (dxhat - mean_dxhat - xhat * mean_dxhat_xhat);
+              }
+            }
+          }
+        };
+      });
+  {
+    const float* in = a.data();
+    const float* gm = gamma.data();
+    const float* bt = beta.data();
+    float* out = result.data();
+    for (Index r = 0; r < rows; ++r) {
+      const float* x = in + r * cols;
+      float* y = out + r * cols;
+      float mu = 0.0f;
+      for (Index c = 0; c < cols; ++c) mu += x[c];
+      mu /= static_cast<float>(cols);
+      float var = 0.0f;
+      for (Index c = 0; c < cols; ++c) {
+        const float d = x[c] - mu;
+        var += d * d;
+      }
+      var /= static_cast<float>(cols);
+      const float is = 1.0f / std::sqrt(var + eps);
+      (*mean)[r] = mu;
+      (*inv_std)[r] = is;
+      for (Index c = 0; c < cols; ++c) {
+        y[c] = (x[c] - mu) * is * gm[c] + bt[c];
+      }
+    }
+  }
+  return result;
+}
+
+Tensor DropoutOp(const Tensor& a, float p, bool training, Rng& rng) {
+  ISREC_CHECK(a.defined());
+  ISREC_CHECK_GE(p, 0.0f);
+  ISREC_CHECK_LT(p, 1.0f);
+  if (!training || p == 0.0f) return a;
+
+  const float scale = 1.0f / (1.0f - p);
+  auto mask = std::make_shared<std::vector<float>>(a.numel());
+  for (auto& m : *mask) m = rng.NextFloat() < p ? 0.0f : scale;
+
+  Tensor result = internal::MakeOpResult(
+      a.shape(), {a},
+      [&](internal::TensorImpl* out)
+          -> std::function<void()> {
+        auto ia = a.impl();
+        return [ia, out, mask]() {
+          if (!ia->requires_grad) return;
+          ia->EnsureGrad();
+          for (size_t i = 0; i < out->grad.size(); ++i) {
+            ia->grad[i] += out->grad[i] * (*mask)[i];
+          }
+        };
+      });
+  {
+    const float* in = a.data();
+    float* out = result.data();
+    for (Index i = 0; i < a.numel(); ++i) out[i] = in[i] * (*mask)[i];
+  }
+  return result;
+}
+
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<Index>& indices,
+                       Shape index_shape) {
+  ISREC_CHECK(table.defined());
+  ISREC_CHECK_EQ(table.ndim(), 2);
+  ISREC_CHECK_EQ(NumElements(index_shape),
+                 static_cast<Index>(indices.size()));
+  const Index vocab = table.dim(0);
+  const Index dim = table.dim(1);
+
+  Shape out_shape = std::move(index_shape);
+  out_shape.push_back(dim);
+
+  Tensor result = internal::MakeOpResult(
+      out_shape, {table},
+      [&](internal::TensorImpl* out)
+          -> std::function<void()> {
+        auto it = table.impl();
+        auto idx = indices;
+        return [it, out, idx, dim]() {
+          if (!it->requires_grad) return;
+          it->EnsureGrad();
+          for (size_t r = 0; r < idx.size(); ++r) {
+            if (idx[r] < 0) continue;  // Padding: no gradient.
+            const float* g = out->grad.data() + r * dim;
+            float* gt = it->grad.data() + idx[r] * dim;
+            for (Index i = 0; i < dim; ++i) gt[i] += g[i];
+          }
+        };
+      });
+  {
+    const float* tab = table.data();
+    float* out = result.data();
+    for (size_t r = 0; r < indices.size(); ++r) {
+      const Index id = indices[r];
+      if (id < 0) {
+        std::memset(out + r * dim, 0, sizeof(float) * dim);
+      } else {
+        ISREC_CHECK_LT(id, vocab);
+        std::memcpy(out + r * dim, tab + id * dim, sizeof(float) * dim);
+      }
+    }
+  }
+  return result;
+}
+
+Tensor NllLoss(const Tensor& logprobs, const std::vector<Index>& targets,
+               Index ignore_index) {
+  ISREC_CHECK(logprobs.defined());
+  ISREC_CHECK_EQ(logprobs.ndim(), 2);
+  const Index n = logprobs.dim(0);
+  const Index classes = logprobs.dim(1);
+  ISREC_CHECK_EQ(n, static_cast<Index>(targets.size()));
+
+  Index valid = 0;
+  for (Index t : targets) {
+    if (t != ignore_index) ++valid;
+  }
+  ISREC_CHECK_MSG(valid > 0, "NllLoss: all targets ignored");
+  const float inv_valid = 1.0f / static_cast<float>(valid);
+
+  Tensor result = internal::MakeOpResult(
+      {}, {logprobs},
+      [&](internal::TensorImpl* out)
+          -> std::function<void()> {
+        auto il = logprobs.impl();
+        auto tg = targets;
+        return [il, out, tg, classes, ignore_index, inv_valid]() {
+          if (!il->requires_grad) return;
+          il->EnsureGrad();
+          const float g = out->grad[0];
+          for (size_t r = 0; r < tg.size(); ++r) {
+            if (tg[r] == ignore_index) continue;
+            il->grad[r * classes + tg[r]] -= g * inv_valid;
+          }
+        };
+      });
+  {
+    const float* lp = logprobs.data();
+    double acc = 0.0;
+    for (Index r = 0; r < n; ++r) {
+      if (targets[r] == ignore_index) continue;
+      ISREC_CHECK_GE(targets[r], 0);
+      ISREC_CHECK_LT(targets[r], classes);
+      acc -= lp[r * classes + targets[r]];
+    }
+    result.data()[0] = static_cast<float>(acc * inv_valid);
+  }
+  return result;
+}
+
+Tensor CosineSimilarity(const Tensor& a, const Tensor& b, float eps) {
+  ISREC_CHECK(a.defined());
+  ISREC_CHECK(b.defined());
+  ISREC_CHECK_EQ(b.ndim(), 2);
+  const Index d = a.dim(-1);
+  ISREC_CHECK_EQ(b.dim(1), d);
+  const Index k = b.dim(0);
+
+  Shape lead(a.shape().begin(), a.shape().end() - 1);
+  const Index rows = NumElements(lead);
+
+  // Composed from differentiable primitives (Eq. 6).
+  Tensor a2 = Reshape(a, {rows, d});
+  Tensor dots = BatchMatMul(a2, b, /*trans_a=*/false, /*trans_b=*/true);
+  Tensor na = Reshape(NormLastDim(a2, eps), {rows, 1});
+  Tensor nb = Reshape(NormLastDim(b, eps), {1, k});
+  Tensor sims = Div(dots, Mul(na, nb));
+
+  Shape out_shape = lead;
+  out_shape.push_back(k);
+  return Reshape(sims, out_shape);
+}
+
+}  // namespace isrec

@@ -1,0 +1,169 @@
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.h"
+#include "utils/check.h"
+
+namespace isrec {
+namespace {
+
+int NormalizeAxis(int axis, int rank) {
+  if (axis < 0) axis += rank;
+  ISREC_CHECK_GE(axis, 0);
+  ISREC_CHECK_LT(axis, rank);
+  return axis;
+}
+
+// Decomposes a reduction over `axis` into [outer, axis, inner] extents.
+void ReduceExtents(const Shape& shape, int axis, Index* outer, Index* mid,
+                   Index* inner) {
+  *outer = 1;
+  *inner = 1;
+  for (int i = 0; i < axis; ++i) *outer *= shape[i];
+  *mid = shape[axis];
+  for (size_t i = axis + 1; i < shape.size(); ++i) *inner *= shape[i];
+}
+
+Shape ReducedShape(const Shape& shape, int axis, bool keepdim) {
+  Shape out = shape;
+  if (keepdim) {
+    out[axis] = 1;
+  } else {
+    out.erase(out.begin() + axis);
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor Sum(const Tensor& a) {
+  ISREC_CHECK(a.defined());
+  Tensor result = internal::MakeOpResult(
+      {}, {a},
+      [&](internal::TensorImpl* out)
+          -> std::function<void()> {
+        auto ia = a.impl();
+        return [ia, out]() {
+          if (!ia->requires_grad) return;
+          ia->EnsureGrad();
+          const float g = out->grad[0];
+          for (auto& gi : ia->grad) gi += g;
+        };
+      });
+  const float* in = a.data();
+  double acc = 0.0;
+  for (Index i = 0; i < a.numel(); ++i) acc += in[i];
+  result.data()[0] = static_cast<float>(acc);
+  return result;
+}
+
+Tensor Mean(const Tensor& a) {
+  ISREC_CHECK_GT(a.numel(), 0);
+  return MulScalar(Sum(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor Sum(const Tensor& a, int axis, bool keepdim) {
+  ISREC_CHECK(a.defined());
+  axis = NormalizeAxis(axis, a.ndim());
+  Index outer, mid, inner;
+  ReduceExtents(a.shape(), axis, &outer, &mid, &inner);
+  const Shape out_shape = ReducedShape(a.shape(), axis, keepdim);
+
+  Tensor result = internal::MakeOpResult(
+      out_shape, {a},
+      [&](internal::TensorImpl* out)
+          -> std::function<void()> {
+        auto ia = a.impl();
+        return [ia, out, outer, mid, inner]() {
+          if (!ia->requires_grad) return;
+          ia->EnsureGrad();
+          for (Index o = 0; o < outer; ++o) {
+            for (Index m = 0; m < mid; ++m) {
+              float* gi = ia->grad.data() + (o * mid + m) * inner;
+              const float* g = out->grad.data() + o * inner;
+              for (Index i = 0; i < inner; ++i) gi[i] += g[i];
+            }
+          }
+        };
+      });
+  {
+    const float* in = a.data();
+    float* out = result.data();
+    std::fill(out, out + result.numel(), 0.0f);
+    for (Index o = 0; o < outer; ++o) {
+      for (Index m = 0; m < mid; ++m) {
+        const float* row = in + (o * mid + m) * inner;
+        float* orow = out + o * inner;
+        for (Index i = 0; i < inner; ++i) orow[i] += row[i];
+      }
+    }
+  }
+  return result;
+}
+
+Tensor Mean(const Tensor& a, int axis, bool keepdim) {
+  const int norm_axis = NormalizeAxis(axis, a.ndim());
+  const Index n = a.dim(norm_axis);
+  ISREC_CHECK_GT(n, 0);
+  return MulScalar(Sum(a, axis, keepdim), 1.0f / static_cast<float>(n));
+}
+
+Tensor ReduceMax(const Tensor& a, int axis, bool keepdim) {
+  ISREC_CHECK(a.defined());
+  axis = NormalizeAxis(axis, a.ndim());
+  Index outer, mid, inner;
+  ReduceExtents(a.shape(), axis, &outer, &mid, &inner);
+  ISREC_CHECK_GT(mid, 0);
+  const Shape out_shape = ReducedShape(a.shape(), axis, keepdim);
+
+  // argmax indices recorded during forward, shared with backward.
+  auto argmax = std::make_shared<std::vector<Index>>(outer * inner, 0);
+
+  Tensor result = internal::MakeOpResult(
+      out_shape, {a},
+      [&](internal::TensorImpl* out)
+          -> std::function<void()> {
+        auto ia = a.impl();
+        return [ia, out, argmax, outer, mid, inner]() {
+          if (!ia->requires_grad) return;
+          ia->EnsureGrad();
+          for (Index o = 0; o < outer; ++o) {
+            for (Index i = 0; i < inner; ++i) {
+              const Index m = (*argmax)[o * inner + i];
+              ia->grad[(o * mid + m) * inner + i] +=
+                  out->grad[o * inner + i];
+            }
+          }
+        };
+      });
+  {
+    const float* in = a.data();
+    float* out = result.data();
+    for (Index o = 0; o < outer; ++o) {
+      for (Index i = 0; i < inner; ++i) {
+        float best = -std::numeric_limits<float>::infinity();
+        Index best_m = 0;
+        for (Index m = 0; m < mid; ++m) {
+          const float v = in[(o * mid + m) * inner + i];
+          if (v > best) {
+            best = v;
+            best_m = m;
+          }
+        }
+        out[o * inner + i] = best;
+        (*argmax)[o * inner + i] = best_m;
+      }
+    }
+  }
+  return result;
+}
+
+Tensor NormLastDim(const Tensor& a, float eps) {
+  // sqrt(sum(x^2) + eps) over the last axis, composed from primitives so
+  // the gradient comes for free.
+  Tensor squared = Mul(a, a);
+  Tensor sum = Sum(squared, -1, /*keepdim=*/false);
+  return Sqrt(AddScalar(sum, eps));
+}
+
+}  // namespace isrec

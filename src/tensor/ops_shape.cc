@@ -1,0 +1,270 @@
+#include <cstring>
+#include <numeric>
+
+#include "tensor/ops.h"
+#include "utils/check.h"
+
+namespace isrec {
+namespace {
+
+// Row-major strides for `shape`.
+std::vector<Index> ContiguousStrides(const Shape& shape) {
+  std::vector<Index> strides(shape.size());
+  Index running = 1;
+  for (int i = static_cast<int>(shape.size()) - 1; i >= 0; --i) {
+    strides[i] = running;
+    running *= shape[i];
+  }
+  return strides;
+}
+
+int NormalizeAxis(int axis, int rank) {
+  if (axis < 0) axis += rank;
+  ISREC_CHECK_GE(axis, 0);
+  ISREC_CHECK_LT(axis, rank);
+  return axis;
+}
+
+}  // namespace
+
+Tensor Reshape(const Tensor& a, Shape new_shape) {
+  ISREC_CHECK(a.defined());
+  // Resolve a single -1 placeholder.
+  Index known = 1;
+  int infer_axis = -1;
+  for (size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      ISREC_CHECK_MSG(infer_axis == -1, "multiple -1 dims in reshape");
+      infer_axis = static_cast<int>(i);
+    } else {
+      known *= new_shape[i];
+    }
+  }
+  if (infer_axis >= 0) {
+    ISREC_CHECK_GT(known, 0);
+    ISREC_CHECK_EQ(a.numel() % known, 0);
+    new_shape[infer_axis] = a.numel() / known;
+  }
+  ISREC_CHECK_MSG(NumElements(new_shape) == a.numel(),
+                  "reshape " << ShapeToString(a.shape()) << " -> "
+                             << ShapeToString(new_shape));
+
+  Tensor result = internal::MakeOpResult(
+      new_shape, {a},
+      [&](internal::TensorImpl* out)
+          -> std::function<void()> {
+        auto ia = a.impl();
+        return [ia, out]() {
+          if (!ia->requires_grad) return;
+          ia->EnsureGrad();
+          for (size_t i = 0; i < out->grad.size(); ++i) {
+            ia->grad[i] += out->grad[i];
+          }
+        };
+      });
+  std::memcpy(result.data(), a.data(), sizeof(float) * a.numel());
+  return result;
+}
+
+Tensor Transpose(const Tensor& a, int axis0, int axis1) {
+  ISREC_CHECK(a.defined());
+  const int rank = a.ndim();
+  axis0 = NormalizeAxis(axis0, rank);
+  axis1 = NormalizeAxis(axis1, rank);
+
+  Shape out_shape = a.shape();
+  std::swap(out_shape[axis0], out_shape[axis1]);
+
+  const std::vector<Index> in_strides = ContiguousStrides(a.shape());
+  // Stride of the output's axis d in the *input* buffer.
+  std::vector<Index> src_strides = in_strides;
+  std::swap(src_strides[axis0], src_strides[axis1]);
+
+  auto for_each = [out_shape, src_strides](auto&& fn) {
+    const Index n = NumElements(out_shape);
+    const int rank = static_cast<int>(out_shape.size());
+    std::vector<Index> idx(rank, 0);
+    Index src = 0;
+    for (Index i = 0; i < n; ++i) {
+      fn(i, src);
+      for (int d = rank - 1; d >= 0; --d) {
+        ++idx[d];
+        src += src_strides[d];
+        if (idx[d] < out_shape[d]) break;
+        idx[d] = 0;
+        src -= src_strides[d] * out_shape[d];
+      }
+    }
+  };
+
+  Tensor result = internal::MakeOpResult(
+      out_shape, {a},
+      [&](internal::TensorImpl* out)
+          -> std::function<void()> {
+        auto ia = a.impl();
+        return [ia, out, for_each]() {
+          if (!ia->requires_grad) return;
+          ia->EnsureGrad();
+          for_each([&](Index out_i, Index src_i) {
+            ia->grad[src_i] += out->grad[out_i];
+          });
+        };
+      });
+  {
+    const float* in = a.data();
+    float* out = result.data();
+    for_each([&](Index out_i, Index src_i) { out[out_i] = in[src_i]; });
+  }
+  return result;
+}
+
+Tensor Slice(const Tensor& a, int axis, Index start, Index end) {
+  ISREC_CHECK(a.defined());
+  const int rank = a.ndim();
+  axis = NormalizeAxis(axis, rank);
+  ISREC_CHECK_GE(start, 0);
+  ISREC_CHECK_LE(end, a.dim(axis));
+  ISREC_CHECK_LT(start, end);
+
+  Shape out_shape = a.shape();
+  out_shape[axis] = end - start;
+
+  // Views are [outer, axis, inner] with inner contiguous.
+  Index outer = 1, inner = 1;
+  for (int i = 0; i < axis; ++i) outer *= a.dim(i);
+  for (int i = axis + 1; i < rank; ++i) inner *= a.dim(i);
+  const Index in_axis = a.dim(axis);
+  const Index out_axis = end - start;
+
+  Tensor result = internal::MakeOpResult(
+      out_shape, {a},
+      [&](internal::TensorImpl* out)
+          -> std::function<void()> {
+        auto ia = a.impl();
+        return [ia, out, outer, inner, in_axis, out_axis, start]() {
+          if (!ia->requires_grad) return;
+          ia->EnsureGrad();
+          for (Index o = 0; o < outer; ++o) {
+            const float* g = out->grad.data() + o * out_axis * inner;
+            float* ga = ia->grad.data() + (o * in_axis + start) * inner;
+            for (Index i = 0; i < out_axis * inner; ++i) ga[i] += g[i];
+          }
+        };
+      });
+  {
+    const float* in = a.data();
+    float* out = result.data();
+    for (Index o = 0; o < outer; ++o) {
+      std::memcpy(out + o * out_axis * inner,
+                  in + (o * in_axis + start) * inner,
+                  sizeof(float) * out_axis * inner);
+    }
+  }
+  return result;
+}
+
+Tensor Concat(const std::vector<Tensor>& tensors, int axis) {
+  ISREC_CHECK(!tensors.empty());
+  const int rank = tensors[0].ndim();
+  axis = NormalizeAxis(axis, rank);
+
+  Shape out_shape = tensors[0].shape();
+  Index axis_total = 0;
+  for (const Tensor& t : tensors) {
+    ISREC_CHECK_EQ(t.ndim(), rank);
+    for (int d = 0; d < rank; ++d) {
+      if (d != axis) ISREC_CHECK_EQ(t.dim(d), out_shape[d]);
+    }
+    axis_total += t.dim(axis);
+  }
+  out_shape[axis] = axis_total;
+
+  Index outer = 1, inner = 1;
+  for (int i = 0; i < axis; ++i) outer *= out_shape[i];
+  for (int i = axis + 1; i < rank; ++i) inner *= out_shape[i];
+
+  std::vector<Index> axis_sizes;
+  axis_sizes.reserve(tensors.size());
+  for (const Tensor& t : tensors) axis_sizes.push_back(t.dim(axis));
+
+  Tensor result = internal::MakeOpResult(
+      out_shape, tensors,
+      [&](internal::TensorImpl* out)
+          -> std::function<void()> {
+        std::vector<std::shared_ptr<internal::TensorImpl>> impls;
+        impls.reserve(tensors.size());
+        for (const Tensor& t : tensors) impls.push_back(t.impl());
+        return [impls, out, outer, inner, axis_sizes, axis_total]() {
+          Index offset = 0;
+          for (size_t ti = 0; ti < impls.size(); ++ti) {
+            auto& impl = impls[ti];
+            const Index sz = axis_sizes[ti];
+            if (impl->requires_grad) {
+              impl->EnsureGrad();
+              for (Index o = 0; o < outer; ++o) {
+                const float* g =
+                    out->grad.data() + (o * axis_total + offset) * inner;
+                float* gi = impl->grad.data() + o * sz * inner;
+                for (Index i = 0; i < sz * inner; ++i) gi[i] += g[i];
+              }
+            }
+            offset += sz;
+          }
+        };
+      });
+  {
+    float* out = result.data();
+    Index offset = 0;
+    for (size_t ti = 0; ti < tensors.size(); ++ti) {
+      const Index sz = axis_sizes[ti];
+      const float* in = tensors[ti].data();
+      for (Index o = 0; o < outer; ++o) {
+        std::memcpy(out + (o * axis_total + offset) * inner,
+                    in + o * sz * inner, sizeof(float) * sz * inner);
+      }
+      offset += sz;
+    }
+  }
+  return result;
+}
+
+Tensor IndexSelect(const Tensor& a, const std::vector<Index>& indices) {
+  ISREC_CHECK(a.defined());
+  ISREC_CHECK_GE(a.ndim(), 1);
+  const Index rows = a.dim(0);
+  Index row_size = 1;
+  for (int i = 1; i < a.ndim(); ++i) row_size *= a.dim(i);
+
+  Shape out_shape = a.shape();
+  out_shape[0] = static_cast<Index>(indices.size());
+
+  Tensor result = internal::MakeOpResult(
+      out_shape, {a},
+      [&](internal::TensorImpl* out)
+          -> std::function<void()> {
+        auto ia = a.impl();
+        auto idx = indices;
+        return [ia, out, idx, row_size]() {
+          if (!ia->requires_grad) return;
+          ia->EnsureGrad();
+          for (size_t r = 0; r < idx.size(); ++r) {
+            const float* g = out->grad.data() + r * row_size;
+            float* gi = ia->grad.data() + idx[r] * row_size;
+            for (Index i = 0; i < row_size; ++i) gi[i] += g[i];
+          }
+        };
+      });
+  {
+    const float* in = a.data();
+    float* out = result.data();
+    for (size_t r = 0; r < indices.size(); ++r) {
+      ISREC_CHECK_GE(indices[r], 0);
+      ISREC_CHECK_LT(indices[r], rows);
+      std::memcpy(out + r * row_size, in + indices[r] * row_size,
+                  sizeof(float) * row_size);
+    }
+  }
+  return result;
+}
+
+}  // namespace isrec

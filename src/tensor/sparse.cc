@@ -1,0 +1,155 @@
+#include "tensor/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+
+#include "utils/check.h"
+
+namespace isrec {
+namespace {
+
+// Builds CSR arrays from (row, col) -> value map.
+void BuildCsr(Index num_rows, const std::map<std::pair<Index, Index>, float>& m,
+              std::vector<Index>* row_ptr, std::vector<Index>* col_idx,
+              std::vector<float>* values) {
+  row_ptr->assign(num_rows + 1, 0);
+  col_idx->clear();
+  values->clear();
+  col_idx->reserve(m.size());
+  values->reserve(m.size());
+  for (const auto& [rc, v] : m) {
+    (*row_ptr)[rc.first + 1]++;
+  }
+  for (Index r = 0; r < num_rows; ++r) (*row_ptr)[r + 1] += (*row_ptr)[r];
+  for (const auto& [rc, v] : m) {
+    col_idx->push_back(rc.second);
+    values->push_back(v);
+  }
+}
+
+}  // namespace
+
+SparseMatrix::SparseMatrix(Index num_rows, Index num_cols,
+                           const std::vector<Index>& rows,
+                           const std::vector<Index>& cols,
+                           const std::vector<float>& values)
+    : num_rows_(num_rows), num_cols_(num_cols) {
+  ISREC_CHECK_EQ(rows.size(), cols.size());
+  ISREC_CHECK_EQ(rows.size(), values.size());
+  std::map<std::pair<Index, Index>, float> forward;
+  std::map<std::pair<Index, Index>, float> transpose;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ISREC_CHECK_GE(rows[i], 0);
+    ISREC_CHECK_LT(rows[i], num_rows);
+    ISREC_CHECK_GE(cols[i], 0);
+    ISREC_CHECK_LT(cols[i], num_cols);
+    forward[{rows[i], cols[i]}] += values[i];
+    transpose[{cols[i], rows[i]}] += values[i];
+  }
+  BuildCsr(num_rows_, forward, &row_ptr_, &col_idx_, &values_);
+  BuildCsr(num_cols_, transpose, &t_row_ptr_, &t_col_idx_, &t_values_);
+}
+
+SparseMatrix SparseMatrix::NormalizedAdjacency(
+    Index num_nodes, const std::vector<std::pair<Index, Index>>& edges) {
+  // A_hat = A + I (undirected), then D^{-1/2} A_hat D^{-1/2}.
+  std::map<std::pair<Index, Index>, float> adj;
+  for (Index i = 0; i < num_nodes; ++i) adj[{i, i}] = 1.0f;
+  for (const auto& [a, b] : edges) {
+    ISREC_CHECK_GE(a, 0);
+    ISREC_CHECK_LT(a, num_nodes);
+    ISREC_CHECK_GE(b, 0);
+    ISREC_CHECK_LT(b, num_nodes);
+    if (a == b) continue;  // Self loop already added.
+    adj[{a, b}] = 1.0f;
+    adj[{b, a}] = 1.0f;
+  }
+  std::vector<float> degree(num_nodes, 0.0f);
+  for (const auto& [rc, v] : adj) degree[rc.first] += v;
+
+  std::vector<Index> rows, cols;
+  std::vector<float> values;
+  rows.reserve(adj.size());
+  cols.reserve(adj.size());
+  values.reserve(adj.size());
+  for (const auto& [rc, v] : adj) {
+    rows.push_back(rc.first);
+    cols.push_back(rc.second);
+    values.push_back(v / std::sqrt(degree[rc.first] * degree[rc.second]));
+  }
+  return SparseMatrix(num_nodes, num_nodes, rows, cols, values);
+}
+
+void SparseMatrix::Multiply(const float* x, Index cols, float* y) const {
+  std::memset(y, 0, sizeof(float) * num_rows_ * cols);
+  for (Index r = 0; r < num_rows_; ++r) {
+    float* yr = y + r * cols;
+    for (Index p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      const float v = values_[p];
+      const float* xr = x + col_idx_[p] * cols;
+      for (Index c = 0; c < cols; ++c) yr[c] += v * xr[c];
+    }
+  }
+}
+
+void SparseMatrix::MultiplyTranspose(const float* x, Index cols,
+                                     float* y) const {
+  std::memset(y, 0, sizeof(float) * num_cols_ * cols);
+  for (Index r = 0; r < num_cols_; ++r) {
+    float* yr = y + r * cols;
+    for (Index p = t_row_ptr_[r]; p < t_row_ptr_[r + 1]; ++p) {
+      const float v = t_values_[p];
+      const float* xr = x + t_col_idx_[p] * cols;
+      for (Index c = 0; c < cols; ++c) yr[c] += v * xr[c];
+    }
+  }
+}
+
+Tensor SpMM(const SparseMatrix& adj, const Tensor& x) {
+  ISREC_CHECK(x.defined());
+  ISREC_CHECK_GE(x.ndim(), 2);
+  const Index k = x.dim(-2);
+  const Index d = x.dim(-1);
+  ISREC_CHECK_EQ(k, adj.num_cols());
+
+  Shape out_shape = x.shape();
+  out_shape[out_shape.size() - 2] = adj.num_rows();
+  Index batch = 1;
+  for (int i = 0; i + 2 < x.ndim(); ++i) batch *= x.dim(i);
+  const Index in_mat = k * d;
+  const Index out_mat = adj.num_rows() * d;
+
+  // The adjacency outlives any reasonable graph (owned by the caller for
+  // the duration of training); capture by pointer.
+  const SparseMatrix* adj_ptr = &adj;
+
+  Tensor result = internal::MakeOpResult(
+      out_shape, {x},
+      [&](internal::TensorImpl* out)
+          -> std::function<void()> {
+        auto ix = x.impl();
+        return [ix, out, adj_ptr, batch, in_mat, out_mat, d]() {
+          if (!ix->requires_grad) return;
+          ix->EnsureGrad();
+          std::vector<float> buffer(in_mat);
+          for (Index b = 0; b < batch; ++b) {
+            adj_ptr->MultiplyTranspose(out->grad.data() + b * out_mat, d,
+                                       buffer.data());
+            float* gx = ix->grad.data() + b * in_mat;
+            for (Index i = 0; i < in_mat; ++i) gx[i] += buffer[i];
+          }
+        };
+      });
+  {
+    const float* in = x.data();
+    float* out = result.data();
+    for (Index b = 0; b < batch; ++b) {
+      adj.Multiply(in + b * in_mat, d, out + b * out_mat);
+    }
+  }
+  return result;
+}
+
+}  // namespace isrec

@@ -1,0 +1,65 @@
+#ifndef ISREC_TENSOR_SPARSE_H_
+#define ISREC_TENSOR_SPARSE_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace isrec {
+
+/// Compressed-sparse-row matrix used for GCN message passing over the
+/// concept graph (the adjacency is tiny but very sparse, so dense matmul
+/// would waste most of the work).
+///
+/// Construction also builds the transpose so that SpMM can backpropagate
+/// (dX = A^T * dY) without re-sorting at every step.
+class SparseMatrix {
+ public:
+  /// Builds from COO triplets. Duplicate entries are summed.
+  SparseMatrix(Index num_rows, Index num_cols,
+               const std::vector<Index>& rows, const std::vector<Index>& cols,
+               const std::vector<float>& values);
+
+  /// GCN-style symmetric normalization of an adjacency with self loops:
+  ///   D^{-1/2} (A + I) D^{-1/2}  -- Eq. (10) of the paper.
+  /// `edges` holds undirected pairs (i, j); both directions are added.
+  static SparseMatrix NormalizedAdjacency(
+      Index num_nodes, const std::vector<std::pair<Index, Index>>& edges);
+
+  Index num_rows() const { return num_rows_; }
+  Index num_cols() const { return num_cols_; }
+  Index nnz() const { return static_cast<Index>(values_.size()); }
+
+  // CSR accessors (row_ptr has num_rows + 1 entries).
+  const std::vector<Index>& row_ptr() const { return row_ptr_; }
+  const std::vector<Index>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+  /// y[r] = sum_c A[r, c] * x[c] for a dense row-major x with `cols`
+  /// columns; x has num_cols() rows, y has num_rows() rows.
+  void Multiply(const float* x, Index cols, float* y) const;
+
+  /// Same with A^T.
+  void MultiplyTranspose(const float* x, Index cols, float* y) const;
+
+ private:
+  SparseMatrix() = default;
+
+  Index num_rows_ = 0;
+  Index num_cols_ = 0;
+  std::vector<Index> row_ptr_, col_idx_;
+  std::vector<float> values_;
+  // Transpose in CSR form (row_ptr over columns of the original).
+  std::vector<Index> t_row_ptr_, t_col_idx_;
+  std::vector<float> t_values_;
+};
+
+/// Sparse-dense product with autograd: result[b] = adj * x[b].
+/// `x` is [K, d] or [batch..., K, d] with K == adj.num_cols();
+/// the result replaces K with adj.num_rows().
+/// The SparseMatrix itself is a constant (no gradient).
+Tensor SpMM(const SparseMatrix& adj, const Tensor& x);
+
+}  // namespace isrec
+
+#endif  // ISREC_TENSOR_SPARSE_H_

@@ -1,0 +1,303 @@
+#include "tensor/tensor.h"
+
+#include <malloc.h>
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "utils/check.h"
+
+namespace isrec {
+
+namespace {
+thread_local bool g_grad_mode = true;
+
+// Training allocates and frees many multi-hundred-KB buffers per step;
+// with glibc's default 128 KiB mmap threshold each one becomes an
+// mmap/munmap pair and the process spends most of its time in the
+// kernel. Raising the thresholds keeps those buffers on the heap.
+struct MallocTuner {
+  MallocTuner() {
+    mallopt(M_MMAP_THRESHOLD, 64 << 20);
+    mallopt(M_TRIM_THRESHOLD, 128 << 20);
+  }
+};
+const MallocTuner g_malloc_tuner;
+}  // namespace
+
+bool GradModeEnabled() { return g_grad_mode; }
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_mode) { g_grad_mode = false; }
+NoGradGuard::~NoGradGuard() { g_grad_mode = previous_; }
+
+Index NumElements(const Shape& shape) {
+  Index n = 1;
+  for (Index d : shape) {
+    ISREC_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+namespace internal {
+
+void TensorImpl::EnsureGrad() {
+  if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+}
+
+Tensor MakeOpResult(Shape shape, std::vector<Tensor> parents,
+                    std::function<void()>* out_grad_fn_slot) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data.resize(NumElements(impl->shape));
+
+  bool any_grad = false;
+  if (g_grad_mode) {
+    for (const Tensor& p : parents) {
+      if (p.defined() && p.requires_grad()) {
+        any_grad = true;
+        break;
+      }
+    }
+  }
+  if (any_grad) {
+    impl->requires_grad = true;
+    for (const Tensor& p : parents) {
+      if (p.defined()) impl->parents.push_back(p.impl());
+    }
+    *out_grad_fn_slot = nullptr;  // Caller installs via returned tensor.
+  }
+  return Tensor::FromImpl(std::move(impl));
+}
+
+Tensor MakeOpResult(
+    Shape shape, std::vector<Tensor> parents,
+    const std::function<std::function<void()>(TensorImpl*)>& attach) {
+  std::function<void()> unused;
+  Tensor result = MakeOpResult(std::move(shape), std::move(parents), &unused);
+  if (result.requires_grad()) {
+    result.impl()->grad_fn = attach(result.impl().get());
+  }
+  return result;
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------
+// Factories
+
+Tensor Tensor::FromImpl(std::shared_ptr<internal::TensorImpl> impl) {
+  Tensor t;
+  t.impl_ = std::move(impl);
+  return t;
+}
+
+Tensor Tensor::Zeros(Shape shape, bool requires_grad) {
+  return Full(std::move(shape), 0.0f, requires_grad);
+}
+
+Tensor Tensor::Ones(Shape shape, bool requires_grad) {
+  return Full(std::move(shape), 1.0f, requires_grad);
+}
+
+Tensor Tensor::Full(Shape shape, float value, bool requires_grad) {
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data.assign(NumElements(impl->shape), value);
+  impl->requires_grad = requires_grad;
+  return FromImpl(std::move(impl));
+}
+
+Tensor Tensor::FromData(Shape shape, std::vector<float> values,
+                        bool requires_grad) {
+  ISREC_CHECK_EQ(NumElements(shape), static_cast<Index>(values.size()));
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(values);
+  impl->requires_grad = requires_grad;
+  return FromImpl(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return FromData({}, {value}, requires_grad);
+}
+
+Tensor Tensor::Randn(Shape shape, float stddev, Rng& rng, bool requires_grad) {
+  Tensor t = Zeros(std::move(shape), requires_grad);
+  float* p = t.data();
+  for (Index i = 0; i < t.numel(); ++i) p[i] = stddev * rng.NextGaussian();
+  return t;
+}
+
+Tensor Tensor::RandUniform(Shape shape, float lo, float hi, Rng& rng,
+                           bool requires_grad) {
+  ISREC_CHECK_LT(lo, hi);
+  Tensor t = Zeros(std::move(shape), requires_grad);
+  float* p = t.data();
+  for (Index i = 0; i < t.numel(); ++i) p[i] = lo + (hi - lo) * rng.NextFloat();
+  return t;
+}
+
+// ---------------------------------------------------------------------
+// Introspection
+
+const Shape& Tensor::shape() const {
+  ISREC_CHECK(defined());
+  return impl_->shape;
+}
+
+int Tensor::ndim() const { return static_cast<int>(shape().size()); }
+
+Index Tensor::dim(int axis) const {
+  const int rank = ndim();
+  if (axis < 0) axis += rank;
+  ISREC_CHECK_GE(axis, 0);
+  ISREC_CHECK_LT(axis, rank);
+  return impl_->shape[axis];
+}
+
+Index Tensor::numel() const {
+  ISREC_CHECK(defined());
+  return impl_->numel();
+}
+
+bool Tensor::requires_grad() const {
+  ISREC_CHECK(defined());
+  return impl_->requires_grad;
+}
+
+void Tensor::set_requires_grad(bool value) {
+  ISREC_CHECK(defined());
+  impl_->requires_grad = value;
+}
+
+float* Tensor::data() {
+  ISREC_CHECK(defined());
+  return impl_->data.data();
+}
+
+const float* Tensor::data() const {
+  ISREC_CHECK(defined());
+  return impl_->data.data();
+}
+
+float* Tensor::grad() {
+  ISREC_CHECK(defined());
+  ISREC_CHECK_MSG(has_grad(), "no gradient materialized for this tensor");
+  return impl_->grad.data();
+}
+
+const float* Tensor::grad() const {
+  return const_cast<Tensor*>(this)->grad();
+}
+
+bool Tensor::has_grad() const {
+  ISREC_CHECK(defined());
+  return impl_->grad.size() == impl_->data.size() && !impl_->data.empty();
+}
+
+float Tensor::item() const {
+  ISREC_CHECK_EQ(numel(), 1);
+  return impl_->data[0];
+}
+
+std::vector<float> Tensor::ToVector() const {
+  ISREC_CHECK(defined());
+  return impl_->data;
+}
+
+float Tensor::at(Index flat_index) const {
+  ISREC_CHECK_GE(flat_index, 0);
+  ISREC_CHECK_LT(flat_index, numel());
+  return impl_->data[flat_index];
+}
+
+std::string Tensor::DebugString() const {
+  if (!defined()) return "Tensor(undefined)";
+  std::ostringstream out;
+  out << "Tensor" << ShapeToString(impl_->shape);
+  out << " {";
+  const Index n = std::min<Index>(numel(), 8);
+  for (Index i = 0; i < n; ++i) {
+    if (i > 0) out << ", ";
+    out << impl_->data[i];
+  }
+  if (numel() > n) out << ", ...";
+  out << "}";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------
+// Autograd
+
+void Tensor::Backward() {
+  ISREC_CHECK(defined());
+  ISREC_CHECK_MSG(impl_->requires_grad,
+                  "Backward() on a tensor that does not require grad");
+
+  // Seed gradient.
+  impl_->EnsureGrad();
+  std::fill(impl_->grad.begin(), impl_->grad.end(), 1.0f);
+
+  // Iterative post-order topological sort over the graph.
+  std::vector<internal::TensorImpl*> order;
+  std::unordered_set<internal::TensorImpl*> visited;
+  struct Frame {
+    internal::TensorImpl* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({impl_.get(), 0});
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      internal::TensorImpl* parent =
+          frame.node->parents[frame.next_parent++].get();
+      if (visited.insert(parent).second) stack.push_back({parent, 0});
+    } else {
+      order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+
+  // Reverse topological order: outputs before inputs.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::TensorImpl* node = *it;
+    if (node->grad_fn && node->grad.size() == node->data.size()) {
+      node->grad_fn();
+    }
+  }
+}
+
+void Tensor::ZeroGrad() {
+  ISREC_CHECK(defined());
+  if (!impl_->grad.empty()) {
+    std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+  }
+}
+
+Tensor Tensor::Detach() const {
+  ISREC_CHECK(defined());
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;  // Copy keeps semantics simple and safe.
+  impl->requires_grad = false;
+  return FromImpl(std::move(impl));
+}
+
+Tensor Tensor::Clone() const { return Detach(); }
+
+}  // namespace isrec

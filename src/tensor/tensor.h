@@ -1,0 +1,158 @@
+#ifndef ISREC_TENSOR_TENSOR_H_
+#define ISREC_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "utils/rng.h"
+
+namespace isrec {
+
+using Index = int64_t;
+using Shape = std::vector<Index>;
+
+/// Returns the number of elements implied by `shape` (1 for rank-0).
+Index NumElements(const Shape& shape);
+
+/// Human-readable shape string, e.g. "[2, 3]".
+std::string ShapeToString(const Shape& shape);
+
+namespace internal {
+
+/// Reference-counted tensor node: storage + autograd bookkeeping.
+/// Users interact through the value-semantic `Tensor` handle below.
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // Allocated lazily during backward.
+  bool requires_grad = false;
+
+  // Autograd graph edges. `grad_fn` propagates `grad` into the parents'
+  // grad buffers; `parents` keeps the upstream graph alive.
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  std::function<void()> grad_fn;
+
+  Index numel() const { return static_cast<Index>(data.size()); }
+  void EnsureGrad();  // Allocates a zero-filled grad buffer if absent.
+};
+
+}  // namespace internal
+
+/// When false (see NoGradGuard), newly created ops do not record the
+/// autograd graph, which makes inference cheaper.
+bool GradModeEnabled();
+
+/// RAII guard that disables autograd recording within its scope.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Dense float tensor with reverse-mode automatic differentiation.
+///
+/// `Tensor` is a cheap shared handle: copies alias the same storage. All
+/// shapes are row-major and contiguous. Ops (see tensor/ops.h) build a
+/// define-by-run graph; calling Backward() on a scalar result fills the
+/// `grad()` buffers of every reachable tensor with requires_grad() set.
+class Tensor {
+ public:
+  /// Default-constructed tensors are empty (no storage); most operations
+  /// on them are invalid. Use the factory functions below.
+  Tensor() = default;
+
+  // -- Factories ------------------------------------------------------
+
+  static Tensor Zeros(Shape shape, bool requires_grad = false);
+  static Tensor Ones(Shape shape, bool requires_grad = false);
+  static Tensor Full(Shape shape, float value, bool requires_grad = false);
+  /// Takes ownership of `values`; size must match the shape.
+  static Tensor FromData(Shape shape, std::vector<float> values,
+                         bool requires_grad = false);
+  /// Scalar (rank-0) tensor.
+  static Tensor Scalar(float value, bool requires_grad = false);
+  /// I.i.d. Gaussian entries with the given standard deviation.
+  static Tensor Randn(Shape shape, float stddev, Rng& rng,
+                      bool requires_grad = false);
+  /// I.i.d. uniform entries in [lo, hi).
+  static Tensor RandUniform(Shape shape, float lo, float hi, Rng& rng,
+                            bool requires_grad = false);
+
+  // -- Introspection ---------------------------------------------------
+
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const;
+  int ndim() const;
+  Index dim(int axis) const;  // Supports negative axes.
+  Index numel() const;
+  bool requires_grad() const;
+  void set_requires_grad(bool value);
+
+  float* data();
+  const float* data() const;
+  /// Gradient buffer; CHECK-fails if no gradient has been materialized.
+  float* grad();
+  const float* grad() const;
+  bool has_grad() const;
+
+  /// Value of a rank-0 or single-element tensor.
+  float item() const;
+  /// Copies the contents into a new vector.
+  std::vector<float> ToVector() const;
+  /// Element access by flat index (debug/test convenience).
+  float at(Index flat_index) const;
+
+  std::string DebugString() const;
+
+  // -- Autograd --------------------------------------------------------
+
+  /// Runs reverse-mode autodiff from this tensor. If the tensor is not a
+  /// scalar, the seed gradient is all-ones.
+  void Backward();
+
+  /// Zeroes this tensor's grad buffer if present.
+  void ZeroGrad();
+
+  /// Returns a tensor sharing the same data but cut off from the graph.
+  Tensor Detach() const;
+
+  /// Deep copy of the data (no graph history).
+  Tensor Clone() const;
+
+  // Internal: used by op implementations.
+  const std::shared_ptr<internal::TensorImpl>& impl() const { return impl_; }
+  static Tensor FromImpl(std::shared_ptr<internal::TensorImpl> impl);
+
+ private:
+  std::shared_ptr<internal::TensorImpl> impl_;
+};
+
+namespace internal {
+
+/// Creates a result tensor for an op: allocates storage and, when grad
+/// mode is on and any parent requires grad, wires up the graph edge.
+Tensor MakeOpResult(Shape shape, std::vector<Tensor> parents,
+                    std::function<void()>* out_grad_fn_slot);
+
+/// Convenience wrapper: builds the result, then lets `attach` install the
+/// grad_fn. `attach` receives a raw pointer to the result impl — the
+/// returned closure must capture it raw (never as shared_ptr, which
+/// would create a self-cycle and leak the graph); grad_fn only runs
+/// while the impl is alive. If no parent requires grad (or grad mode is
+/// off), `attach` is not called.
+Tensor MakeOpResult(
+    Shape shape, std::vector<Tensor> parents,
+    const std::function<std::function<void()>(TensorImpl*)>& attach);
+
+}  // namespace internal
+}  // namespace isrec
+
+#endif  // ISREC_TENSOR_TENSOR_H_

@@ -1,0 +1,57 @@
+#ifndef ISREC_UTILS_CHECK_H_
+#define ISREC_UTILS_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace isrec::internal {
+
+/// Formats and prints a fatal check failure, then aborts the process.
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* condition,
+                                   const std::string& message) {
+  std::fprintf(stderr, "[ISREC CHECK FAILED] %s:%d: %s %s\n", file, line,
+               condition, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace isrec::internal
+
+/// Aborts with a diagnostic if `condition` is false. Used for programmer
+/// errors (precondition violations); never for recoverable runtime errors.
+#define ISREC_CHECK(condition)                                          \
+  do {                                                                  \
+    if (!(condition)) {                                                 \
+      ::isrec::internal::CheckFail(__FILE__, __LINE__, #condition, ""); \
+    }                                                                   \
+  } while (0)
+
+/// Like ISREC_CHECK but appends a streamed message on failure:
+///   ISREC_CHECK_MSG(a == b, "got " << a << " vs " << b);
+#define ISREC_CHECK_MSG(condition, stream_expr)                        \
+  do {                                                                 \
+    if (!(condition)) {                                                \
+      std::ostringstream isrec_check_oss_;                             \
+      isrec_check_oss_ << stream_expr;                                 \
+      ::isrec::internal::CheckFail(__FILE__, __LINE__, #condition,     \
+                                   isrec_check_oss_.str());            \
+    }                                                                  \
+  } while (0)
+
+#define ISREC_CHECK_EQ(a, b) \
+  ISREC_CHECK_MSG((a) == (b), "expected " << (a) << " == " << (b))
+#define ISREC_CHECK_NE(a, b) \
+  ISREC_CHECK_MSG((a) != (b), "expected " << (a) << " != " << (b))
+#define ISREC_CHECK_LT(a, b) \
+  ISREC_CHECK_MSG((a) < (b), "expected " << (a) << " < " << (b))
+#define ISREC_CHECK_LE(a, b) \
+  ISREC_CHECK_MSG((a) <= (b), "expected " << (a) << " <= " << (b))
+#define ISREC_CHECK_GT(a, b) \
+  ISREC_CHECK_MSG((a) > (b), "expected " << (a) << " > " << (b))
+#define ISREC_CHECK_GE(a, b) \
+  ISREC_CHECK_MSG((a) >= (b), "expected " << (a) << " >= " << (b))
+
+#endif  // ISREC_UTILS_CHECK_H_

@@ -1,0 +1,44 @@
+#ifndef ISREC_UTILS_LOGGING_H_
+#define ISREC_UTILS_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace isrec {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Returns the process-wide minimum level that will be emitted.
+LogLevel GetLogLevel();
+
+/// Sets the process-wide minimum level. Messages below it are dropped.
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// RAII message builder: streams into a buffer, emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace isrec
+
+#define ISREC_LOG(level)                                                     \
+  ::isrec::internal::LogMessage(::isrec::LogLevel::k##level, __FILE__,       \
+                                __LINE__)                                    \
+      .stream()
+
+#endif  // ISREC_UTILS_LOGGING_H_

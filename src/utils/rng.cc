@@ -1,0 +1,115 @@
+#include "utils/rng.h"
+
+#include <cmath>
+
+#include "utils/check.h"
+
+namespace isrec {
+namespace {
+
+// SplitMix64, used to expand the seed into the xoshiro state.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::NextFloat() {
+  return static_cast<float>(NextUint64() >> 40) * 0x1.0p-24f;
+}
+
+int64_t Rng::NextInt(int64_t n) {
+  ISREC_CHECK_GT(n, 0);
+  return static_cast<int64_t>(NextUint64() % static_cast<uint64_t>(n));
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  ISREC_CHECK_LT(lo, hi);
+  return lo + NextInt(hi - lo);
+}
+
+float Rng::NextGaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  float u1 = NextFloat();
+  float u2 = NextFloat();
+  // Avoid log(0).
+  if (u1 < 1e-12f) u1 = 1e-12f;
+  const float radius = std::sqrt(-2.0f * std::log(u1));
+  const float angle = 2.0f * static_cast<float>(M_PI) * u2;
+  spare_gaussian_ = radius * std::sin(angle);
+  has_spare_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+float Rng::NextGumbel() {
+  float u = NextFloat();
+  if (u < 1e-12f) u = 1e-12f;
+  if (u > 1.0f - 1e-7f) u = 1.0f - 1e-7f;
+  return -std::log(-std::log(u));
+}
+
+bool Rng::NextBernoulli(double p) { return NextDouble() < p; }
+
+int64_t Rng::NextCategorical(const std::vector<double>& weights) {
+  ISREC_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    ISREC_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  ISREC_CHECK_GT(total, 0.0);
+  double r = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return static_cast<int64_t>(i);
+  }
+  return static_cast<int64_t>(weights.size()) - 1;
+}
+
+int64_t Rng::NextZipf(int64_t n, double exponent) {
+  ISREC_CHECK_GT(n, 0);
+  // Inverse-CDF over the (small) discrete support. n is at most a few
+  // thousand in this library, so the linear scan is fine.
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+  }
+  double r = NextDouble() * total;
+  for (int64_t i = 0; i < n; ++i) {
+    r -= 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    if (r <= 0.0) return i;
+  }
+  return n - 1;
+}
+
+}  // namespace isrec

@@ -1,0 +1,85 @@
+#include "utils/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "utils/check.h"
+
+namespace isrec {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  ISREC_CHECK(!header_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  ISREC_CHECK_LE(row.size(), header_.size());
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::AddSeparator() { rows_.emplace_back(); }
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells,
+                         std::ostringstream& out) {
+    out << "|";
+    for (size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  auto render_separator = [&](std::ostringstream& out) {
+    out << "+";
+    for (size_t c = 0; c < header_.size(); ++c) {
+      out << std::string(widths[c] + 2, '-') << "+";
+    }
+    out << "\n";
+  };
+
+  std::ostringstream out;
+  render_separator(out);
+  render_line(header_, out);
+  render_separator(out);
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      render_separator(out);
+    } else {
+      render_line(row, out);
+    }
+  }
+  render_separator(out);
+  return out.str();
+}
+
+std::string Table::ToCsv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << ",";
+      out << cells[c];
+    }
+    out << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) {
+    if (!row.empty()) emit(row);
+  }
+  return out.str();
+}
+
+std::string FormatFloat(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+}  // namespace isrec

@@ -1,0 +1,43 @@
+#ifndef ISREC_UTILS_TABLE_H_
+#define ISREC_UTILS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace isrec {
+
+/// Plain-text table renderer for benchmark and experiment output.
+///
+/// Usage:
+///   Table t({"Dataset", "Metric", "ISRec"});
+///   t.AddRow({"Beauty", "HR@10", "0.3594"});
+///   std::cout << t.ToString();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row. Rows shorter than the header are padded with "".
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Renders the table with aligned columns.
+  std::string ToString() const;
+
+  /// Renders as comma-separated values (no alignment, no separators).
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+/// Formats a float with `digits` decimal places (e.g. metric values).
+std::string FormatFloat(double value, int digits = 4);
+
+}  // namespace isrec
+
+#endif  // ISREC_UTILS_TABLE_H_

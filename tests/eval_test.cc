@@ -1,0 +1,172 @@
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+#include "eval/recommender.h"
+#include "gtest/gtest.h"
+
+namespace isrec::eval {
+namespace {
+
+TEST(MetricsTest, HitRateBoundary) {
+  EXPECT_EQ(HitRate(1, 1), 1.0);
+  EXPECT_EQ(HitRate(5, 5), 1.0);
+  EXPECT_EQ(HitRate(6, 5), 0.0);
+  EXPECT_EQ(HitRate(10, 10), 1.0);
+  EXPECT_EQ(HitRate(11, 10), 0.0);
+}
+
+TEST(MetricsTest, NdcgValues) {
+  EXPECT_DOUBLE_EQ(Ndcg(1, 10), 1.0);
+  EXPECT_DOUBLE_EQ(Ndcg(2, 10), 1.0 / std::log2(3.0));
+  EXPECT_DOUBLE_EQ(Ndcg(11, 10), 0.0);
+}
+
+TEST(MetricsTest, NdcgAtOneEqualsHitRateAtOne) {
+  for (Index rank = 1; rank <= 20; ++rank) {
+    EXPECT_DOUBLE_EQ(Ndcg(rank, 1), HitRate(rank, 1));
+  }
+}
+
+TEST(MetricsTest, ReciprocalRank) {
+  EXPECT_DOUBLE_EQ(ReciprocalRank(1), 1.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank(4), 0.25);
+}
+
+TEST(MetricsTest, RankOfPositiveCountsTiesPessimistically) {
+  EXPECT_EQ(RankOfPositive(0.9f, {0.1f, 0.2f}), 1);
+  EXPECT_EQ(RankOfPositive(0.15f, {0.1f, 0.2f}), 2);
+  EXPECT_EQ(RankOfPositive(0.05f, {0.1f, 0.2f}), 3);
+  EXPECT_EQ(RankOfPositive(0.1f, {0.1f, 0.2f}), 3);  // Tie counts above.
+}
+
+TEST(MetricsTest, AccumulatorAverages) {
+  MetricAccumulator acc;
+  acc.AddRank(1);
+  acc.AddRank(3);
+  MetricReport r = acc.Report();
+  EXPECT_EQ(r.num_users, 2);
+  EXPECT_DOUBLE_EQ(r.hr1, 0.5);
+  EXPECT_DOUBLE_EQ(r.hr5, 1.0);
+  EXPECT_DOUBLE_EQ(r.mrr, (1.0 + 1.0 / 3.0) / 2.0);
+  EXPECT_DOUBLE_EQ(r.ndcg5, (1.0 + 1.0 / std::log2(4.0)) / 2.0);
+}
+
+// Metric invariants over a sweep of ranks.
+class MetricInvariantTest : public ::testing::TestWithParam<Index> {};
+
+TEST_P(MetricInvariantTest, Invariants) {
+  const Index rank = GetParam();
+  // HR monotone in k.
+  EXPECT_LE(HitRate(rank, 1), HitRate(rank, 5));
+  EXPECT_LE(HitRate(rank, 5), HitRate(rank, 10));
+  // NDCG@k <= HR@k.
+  EXPECT_LE(Ndcg(rank, 5), HitRate(rank, 5));
+  EXPECT_LE(Ndcg(rank, 10), HitRate(rank, 10));
+  // MRR in (0, 1].
+  EXPECT_GT(ReciprocalRank(rank), 0.0);
+  EXPECT_LE(ReciprocalRank(rank), 1.0);
+  // NDCG monotone in k.
+  EXPECT_LE(Ndcg(rank, 5), Ndcg(rank, 10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, MetricInvariantTest,
+                         ::testing::Values(1, 2, 3, 5, 6, 10, 11, 50, 101));
+
+/// Oracle that always scores the held-out target highest.
+class OracleRecommender : public Recommender {
+ public:
+  explicit OracleRecommender(const data::LeaveOneOutSplit& split)
+      : split_(&split) {}
+  std::string name() const override { return "Oracle"; }
+  void Fit(const data::Dataset&, const data::LeaveOneOutSplit&) override {}
+  std::vector<float> Score(Index user, const std::vector<Index>&,
+                           const std::vector<Index>& candidates) override {
+    std::vector<float> scores;
+    for (Index c : candidates) {
+      scores.push_back(c == split_->TestTarget(user) ? 1.0f : 0.0f);
+    }
+    return scores;
+  }
+
+ private:
+  const data::LeaveOneOutSplit* split_;
+};
+
+/// Scores every candidate identically 0 — worst case under pessimistic
+/// tie-breaking.
+class UselessRecommender : public Recommender {
+ public:
+  std::string name() const override { return "Useless"; }
+  void Fit(const data::Dataset&, const data::LeaveOneOutSplit&) override {}
+  std::vector<float> Score(Index, const std::vector<Index>&,
+                           const std::vector<Index>& candidates) override {
+    return std::vector<float>(candidates.size(), 0.0f);
+  }
+};
+
+class FixtureTest : public ::testing::Test {
+ protected:
+  FixtureTest() {
+    data::SyntheticConfig config;
+    config.num_users = 60;
+    config.num_items = 150;
+    dataset_ = data::GenerateSyntheticDataset(config);
+    split_ = std::make_unique<data::LeaveOneOutSplit>(dataset_);
+  }
+  data::Dataset dataset_;
+  std::unique_ptr<data::LeaveOneOutSplit> split_;
+};
+
+TEST_F(FixtureTest, OracleGetsPerfectScores) {
+  OracleRecommender oracle(*split_);
+  MetricReport r = EvaluateRanking(oracle, dataset_, *split_);
+  EXPECT_DOUBLE_EQ(r.hr1, 1.0);
+  EXPECT_DOUBLE_EQ(r.hr10, 1.0);
+  EXPECT_DOUBLE_EQ(r.ndcg10, 1.0);
+  EXPECT_DOUBLE_EQ(r.mrr, 1.0);
+  EXPECT_EQ(r.num_users,
+            static_cast<Index>(split_->evaluable_users().size()));
+}
+
+TEST_F(FixtureTest, UselessModelRanksLast) {
+  UselessRecommender useless;
+  MetricReport r = EvaluateRanking(useless, dataset_, *split_);
+  // All ties -> positive ranked 101 of 101.
+  EXPECT_DOUBLE_EQ(r.hr10, 0.0);
+  EXPECT_NEAR(r.mrr, 1.0 / 101.0, 1e-9);
+}
+
+TEST_F(FixtureTest, EvaluationIsDeterministicAcrossRuns) {
+  OracleRecommender oracle(*split_);
+  EvalConfig config;
+  MetricReport a = EvaluateRanking(oracle, dataset_, *split_, config);
+  MetricReport b = EvaluateRanking(oracle, dataset_, *split_, config);
+  EXPECT_EQ(a.num_users, b.num_users);
+  EXPECT_DOUBLE_EQ(a.mrr, b.mrr);
+}
+
+TEST_F(FixtureTest, ValidationModeUsesValidTarget) {
+  // An oracle keyed to test targets should do poorly in validation mode.
+  OracleRecommender oracle(*split_);
+  EvalConfig config;
+  config.use_validation = true;
+  MetricReport r = EvaluateRanking(oracle, dataset_, *split_, config);
+  EXPECT_LT(r.hr1, 0.5);  // Test target rarely equals valid target.
+}
+
+TEST_F(FixtureTest, BatchAndSingleScoringAgree) {
+  OracleRecommender oracle(*split_);
+  EvalConfig small_batches;
+  small_batches.batch_size = 3;
+  EvalConfig one_batch;
+  one_batch.batch_size = 4096;
+  MetricReport a = EvaluateRanking(oracle, dataset_, *split_, small_batches);
+  MetricReport b = EvaluateRanking(oracle, dataset_, *split_, one_batch);
+  EXPECT_DOUBLE_EQ(a.mrr, b.mrr);
+  EXPECT_DOUBLE_EQ(a.hr10, b.hr10);
+}
+
+}  // namespace
+}  // namespace isrec::eval

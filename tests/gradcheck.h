@@ -1,0 +1,54 @@
+#ifndef ISREC_TESTS_GRADCHECK_H_
+#define ISREC_TESTS_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace isrec::testing {
+
+/// Compares autograd gradients of `fn` (which must map `inputs` to a
+/// scalar tensor) against central finite differences.
+///
+/// `fn` is invoked many times; it must be a pure function of the input
+/// *values* (re-reading them each call).
+inline void ExpectGradientsMatch(
+    std::vector<Tensor> inputs,
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    float eps = 1e-2f, float rtol = 5e-2f, float atol = 1e-2f) {
+  for (Tensor& t : inputs) t.set_requires_grad(true);
+
+  Tensor loss = fn(inputs);
+  ASSERT_EQ(loss.numel(), 1) << "gradcheck requires a scalar loss";
+  loss.Backward();
+
+  for (size_t which = 0; which < inputs.size(); ++which) {
+    Tensor& input = inputs[which];
+    ASSERT_TRUE(input.has_grad())
+        << "input " << which << " received no gradient";
+    for (Index i = 0; i < input.numel(); ++i) {
+      const float saved = input.data()[i];
+
+      input.data()[i] = saved + eps;
+      const float up = fn(inputs).item();
+      input.data()[i] = saved - eps;
+      const float down = fn(inputs).item();
+      input.data()[i] = saved;
+
+      const float numeric = (up - down) / (2.0f * eps);
+      const float analytic = input.grad()[i];
+      const float tolerance =
+          atol + rtol * std::max(std::abs(numeric), std::abs(analytic));
+      EXPECT_NEAR(analytic, numeric, tolerance)
+          << "input " << which << " element " << i;
+    }
+  }
+}
+
+}  // namespace isrec::testing
+
+#endif  // ISREC_TESTS_GRADCHECK_H_

@@ -1,0 +1,85 @@
+#include "data/io.h"
+
+#include <cstdio>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+
+namespace isrec::data {
+namespace {
+
+std::string TempPrefix(const std::string& tag) {
+  return ::testing::TempDir() + "/isrec_io_" + tag;
+}
+
+void RemoveFiles(const std::string& prefix) {
+  for (const char* suffix :
+       {".meta.csv", ".interactions.csv", ".concepts.csv", ".graph.csv"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+TEST(DatasetIoTest, RoundTripPreservesEverything) {
+  SyntheticConfig config;
+  config.num_users = 40;
+  config.num_items = 30;
+  config.num_concepts = 12;
+  Dataset original = GenerateSyntheticDataset(config);
+
+  const std::string prefix = TempPrefix("roundtrip");
+  SaveDatasetCsv(original, prefix);
+  Dataset loaded;
+  ASSERT_TRUE(LoadDatasetCsv(prefix, &loaded));
+
+  EXPECT_EQ(loaded.name, original.name);
+  EXPECT_EQ(loaded.num_users, original.num_users);
+  EXPECT_EQ(loaded.num_items, original.num_items);
+  EXPECT_EQ(loaded.sequences, original.sequences);
+  EXPECT_EQ(loaded.item_concepts, original.item_concepts);
+  EXPECT_EQ(loaded.concepts.num_concepts(),
+            original.concepts.num_concepts());
+  EXPECT_EQ(loaded.concepts.edges(), original.concepts.edges());
+  RemoveFiles(prefix);
+}
+
+TEST(DatasetIoTest, RoundTripStatisticsMatch) {
+  SyntheticConfig config;
+  config.num_users = 25;
+  config.num_items = 20;
+  Dataset original = GenerateSyntheticDataset(config);
+  const std::string prefix = TempPrefix("stats");
+  SaveDatasetCsv(original, prefix);
+  Dataset loaded;
+  ASSERT_TRUE(LoadDatasetCsv(prefix, &loaded));
+  EXPECT_EQ(loaded.NumInteractions(), original.NumInteractions());
+  EXPECT_DOUBLE_EQ(loaded.Density(), original.Density());
+  EXPECT_DOUBLE_EQ(loaded.AverageConceptsPerItem(),
+                   original.AverageConceptsPerItem());
+  RemoveFiles(prefix);
+}
+
+TEST(DatasetIoTest, MissingFilesReturnFalse) {
+  Dataset dataset;
+  EXPECT_FALSE(LoadDatasetCsv("/nonexistent/isrec_prefix", &dataset));
+}
+
+TEST(DatasetIoTest, LoadedDatasetIsUsableDownstream) {
+  SyntheticConfig config;
+  config.num_users = 30;
+  config.num_items = 25;
+  Dataset original = GenerateSyntheticDataset(config);
+  const std::string prefix = TempPrefix("downstream");
+  SaveDatasetCsv(original, prefix);
+  Dataset loaded;
+  ASSERT_TRUE(LoadDatasetCsv(prefix, &loaded));
+  // Split and adjacency construction must work on loaded data.
+  LeaveOneOutSplit split(loaded);
+  EXPECT_GT(split.evaluable_users().size(), 0u);
+  SparseMatrix adj = loaded.concepts.NormalizedAdjacency();
+  EXPECT_EQ(adj.num_rows(), loaded.concepts.num_concepts());
+  RemoveFiles(prefix);
+}
+
+}  // namespace
+}  // namespace isrec::data

@@ -1,0 +1,223 @@
+#include "core/isrec.h"
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "core/intent_ops.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+
+namespace isrec::core {
+namespace {
+
+TEST(IntentOpsTest, TopLambdaMaskSelectsLargest) {
+  Tensor scores = Tensor::FromData({2, 4}, {0.1f, 0.9f, 0.5f, 0.2f,  //
+                                            -1.0f, -3.0f, -2.0f, -0.5f});
+  Tensor mask = TopLambdaMask(scores, 2);
+  EXPECT_EQ(mask.ToVector(),
+            (std::vector<float>{0, 1, 1, 0, 1, 0, 0, 1}));
+}
+
+TEST(IntentOpsTest, TopLambdaMaskRowSumsEqualLambda) {
+  Rng rng(3);
+  Tensor scores = Tensor::Randn({5, 16}, 1.0f, rng);
+  for (Index lambda : {1, 3, 8, 16}) {
+    Tensor mask = TopLambdaMask(scores, lambda);
+    for (Index r = 0; r < 5; ++r) {
+      float sum = 0;
+      for (Index k = 0; k < 16; ++k) sum += mask.at(r * 16 + k);
+      EXPECT_EQ(sum, static_cast<float>(lambda));
+    }
+  }
+}
+
+TEST(IntentOpsTest, TopLambdaMaskBreaksTiesDeterministically) {
+  Tensor scores = Tensor::FromData({1, 4}, {1.0f, 1.0f, 1.0f, 1.0f});
+  Tensor mask = TopLambdaMask(scores, 2);
+  EXPECT_EQ(mask.ToVector(), (std::vector<float>{1, 1, 0, 0}));
+}
+
+TEST(IntentOpsTest, TopLambdaMaskIsConstant) {
+  Tensor scores = Tensor::Ones({2, 3}, /*requires_grad=*/true);
+  Tensor mask = TopLambdaMask(scores, 1);
+  EXPECT_FALSE(mask.requires_grad());
+}
+
+TEST(IntentOpsTest, GumbelNoiseHasGumbelMoments) {
+  Rng rng(7);
+  Tensor like = Tensor::Zeros({20000});
+  Tensor noise = GumbelNoiseLike(like, rng);
+  double mean = 0.0;
+  for (Index i = 0; i < noise.numel(); ++i) mean += noise.at(i);
+  mean /= noise.numel();
+  // Gumbel(0,1) mean is the Euler-Mascheroni constant ~ 0.5772.
+  EXPECT_NEAR(mean, 0.5772, 0.05);
+}
+
+class IsrecTest : public ::testing::Test {
+ protected:
+  IsrecTest() {
+    data::SyntheticConfig config;
+    config.num_users = 80;
+    config.num_items = 60;
+    config.num_concepts = 24;
+    config.intent_shift_prob = 0.6;
+    dataset_ = data::GenerateSyntheticDataset(config);
+    split_ = std::make_unique<data::LeaveOneOutSplit>(dataset_);
+  }
+
+  IsrecConfig SmallConfig() const {
+    IsrecConfig c;
+    c.seq.embed_dim = 16;
+    c.seq.num_layers = 1;
+    c.seq.ffn_dim = 32;
+    c.seq.seq_len = 8;
+    c.seq.epochs = 2;
+    c.intent_dim = 4;
+    c.num_active = 5;
+    return c;
+  }
+
+  data::Dataset dataset_;
+  std::unique_ptr<data::LeaveOneOutSplit> split_;
+};
+
+TEST_F(IsrecTest, NamesReflectAblations) {
+  EXPECT_EQ(IsrecModel(SmallConfig()).name(), "ISRec");
+  EXPECT_EQ(IsrecModel(WithoutGnn(SmallConfig())).name(), "ISRec w/o GNN");
+  EXPECT_EQ(IsrecModel(WithoutGnnAndIntent(SmallConfig())).name(),
+            "ISRec w/o GNN&Intent");
+}
+
+TEST_F(IsrecTest, FitsAndScoresFinite) {
+  IsrecModel model(SmallConfig());
+  model.Fit(dataset_, *split_);
+  EXPECT_TRUE(std::isfinite(model.last_epoch_loss()));
+  const Index user = split_->evaluable_users()[0];
+  auto scores = model.Score(user, split_->TestHistory(user), {0, 1, 2});
+  for (float s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST_F(IsrecTest, AllAblationsTrain) {
+  for (auto config : {SmallConfig(), WithoutGnn(SmallConfig()),
+                      WithoutGnnAndIntent(SmallConfig())}) {
+    IsrecModel model(config);
+    model.Fit(dataset_, *split_);
+    EXPECT_TRUE(std::isfinite(model.last_epoch_loss())) << model.name();
+    EXPECT_GT(model.last_epoch_loss(), 0.0f) << model.name();
+  }
+}
+
+TEST_F(IsrecTest, LossDecreasesWithTraining) {
+  IsrecConfig config = SmallConfig();
+  config.seq.epochs = 1;
+  IsrecModel model(config);
+  model.Fit(dataset_, *split_);
+  const float first = model.last_epoch_loss();
+  data::SequenceBatcher batcher(*split_, config.seq.batch_size,
+                                config.seq.seq_len);
+  for (int i = 0; i < 5; ++i) model.TrainEpoch(batcher);
+  EXPECT_LT(model.last_epoch_loss(), first);
+}
+
+TEST_F(IsrecTest, TraceReportsLambdaActiveIntents) {
+  IsrecModel model(SmallConfig());
+  model.Fit(dataset_, *split_);
+  const Index user = split_->evaluable_users()[0];
+  const auto& history = split_->TestHistory(user);
+  IntentTrace trace = model.TraceIntents(history, /*num_candidates=*/4);
+
+  const size_t expected_steps =
+      std::min<size_t>(history.size(),
+                       static_cast<size_t>(model.config().seq_len));
+  ASSERT_EQ(trace.size(), expected_steps);
+  for (const IntentStep& step : trace) {
+    EXPECT_GE(step.item, 0);
+    EXPECT_EQ(step.candidate_intents.size(), 4u);
+    EXPECT_EQ(step.active_intents.size(),
+              static_cast<size_t>(model.isrec_config().num_active));
+    // Intent ids must be valid concepts.
+    for (Index c : step.candidate_intents) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, dataset_.concepts.num_concepts());
+    }
+    // Active set entries are unique.
+    std::set<Index> unique(step.active_intents.begin(),
+                           step.active_intents.end());
+    EXPECT_EQ(unique.size(), step.active_intents.size());
+  }
+}
+
+TEST_F(IsrecTest, TraceItemsMatchHistorySuffix) {
+  IsrecModel model(SmallConfig());
+  model.Fit(dataset_, *split_);
+  const Index user = split_->evaluable_users()[0];
+  const auto& history = split_->TestHistory(user);
+  IntentTrace trace = model.TraceIntents(history);
+  const size_t offset = history.size() - trace.size();
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].item, history[offset + i]);
+  }
+}
+
+TEST_F(IsrecTest, TraceIsDeterministicAtInference) {
+  IsrecModel model(SmallConfig());
+  model.Fit(dataset_, *split_);
+  const Index user = split_->evaluable_users()[0];
+  const auto& history = split_->TestHistory(user);
+  IntentTrace a = model.TraceIntents(history);
+  IntentTrace b = model.TraceIntents(history);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].active_intents, b[i].active_intents);
+    EXPECT_EQ(a[i].candidate_intents, b[i].candidate_intents);
+  }
+}
+
+TEST_F(IsrecTest, WithoutIntentMatchesConceptTransformerBehaviour) {
+  // "w/o GNN&Intent" must not construct intent modules; parameter count
+  // is strictly smaller than full ISRec.
+  IsrecModel full(SmallConfig());
+  IsrecModel stripped(WithoutGnnAndIntent(SmallConfig()));
+  full.Fit(dataset_, *split_);
+  stripped.Fit(dataset_, *split_);
+  EXPECT_GT(full.NumParameters(), stripped.NumParameters());
+}
+
+TEST_F(IsrecTest, WithoutGnnHasNoGcnParameters) {
+  IsrecModel full(SmallConfig());
+  IsrecModel no_gnn(WithoutGnn(SmallConfig()));
+  full.Fit(dataset_, *split_);
+  no_gnn.Fit(dataset_, *split_);
+  EXPECT_GT(full.NumParameters(), no_gnn.NumParameters());
+  // But both keep the intent encoder/decoder.
+  bool has_intent_encoder = false;
+  for (const auto& [name, tensor] : no_gnn.NamedParameters()) {
+    if (name.find("intent_encoder") != std::string::npos) {
+      has_intent_encoder = true;
+    }
+    EXPECT_EQ(name.find("gcn"), std::string::npos);
+  }
+  EXPECT_TRUE(has_intent_encoder);
+}
+
+TEST_F(IsrecTest, LambdaSweepKeepsActiveCountInvariant) {
+  for (Index lambda : {2, 5, 10}) {
+    IsrecConfig config = SmallConfig();
+    config.num_active = lambda;
+    IsrecModel model(config);
+    model.Fit(dataset_, *split_);
+    const Index user = split_->evaluable_users()[0];
+    IntentTrace trace = model.TraceIntents(split_->TestHistory(user));
+    for (const auto& step : trace) {
+      // Sum_k m_{t,k} == lambda at every step (Section 3.5 invariant).
+      EXPECT_EQ(step.active_intents.size(), static_cast<size_t>(lambda));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace isrec::core

@@ -1,0 +1,245 @@
+#include <cmath>
+#include <memory>
+
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "gtest/gtest.h"
+#include "models/bert4rec.h"
+#include "models/caser.h"
+#include "models/gru4rec.h"
+#include "models/mf_models.h"
+#include "models/pop_rec.h"
+#include "models/sasrec.h"
+
+namespace isrec::models {
+namespace {
+
+// Small dataset shared across model tests.
+class ModelTest : public ::testing::Test {
+ protected:
+  ModelTest() {
+    data::SyntheticConfig config;
+    config.num_users = 80;
+    config.num_items = 60;
+    config.num_concepts = 24;
+    dataset_ = data::GenerateSyntheticDataset(config);
+    split_ = std::make_unique<data::LeaveOneOutSplit>(dataset_);
+  }
+
+  SeqModelConfig SmallSeqConfig() const {
+    SeqModelConfig c;
+    c.embed_dim = 16;
+    c.num_layers = 1;
+    c.ffn_dim = 32;
+    c.seq_len = 8;
+    c.epochs = 2;
+    return c;
+  }
+
+  PairwiseConfig SmallPairConfig() const {
+    PairwiseConfig c;
+    c.dim = 16;
+    c.epochs = 3;
+    return c;
+  }
+
+  data::Dataset dataset_;
+  std::unique_ptr<data::LeaveOneOutSplit> split_;
+};
+
+TEST_F(ModelTest, PopRecCountsAndScores) {
+  PopRec model;
+  model.Fit(dataset_, *split_);
+  Index total = 0;
+  for (Index i = 0; i < dataset_.num_items; ++i) total += model.popularity(i);
+  // PopRec counts exactly the training interactions.
+  Index expected = 0;
+  for (Index u = 0; u < split_->num_users(); ++u) {
+    expected += static_cast<Index>(split_->TrainSequence(u).size());
+  }
+  EXPECT_EQ(total, expected);
+
+  auto scores = model.Score(0, {}, {0, 1, 2});
+  EXPECT_EQ(scores.size(), 3u);
+  EXPECT_EQ(scores[0], static_cast<float>(model.popularity(0)));
+}
+
+// Every neural model must (a) produce finite scores of the right size
+// and (b) reduce its training loss over epochs.
+template <typename ModelT>
+void CheckFitAndScore(ModelT& model, const data::Dataset& dataset,
+                      const data::LeaveOneOutSplit& split) {
+  model.Fit(dataset, split);
+  const float loss_after = model.last_epoch_loss();
+  EXPECT_TRUE(std::isfinite(loss_after));
+  EXPECT_GT(loss_after, 0.0f);
+
+  const Index user = split.evaluable_users()[0];
+  auto scores = model.Score(user, split.TestHistory(user), {0, 1, 2, 3});
+  ASSERT_EQ(scores.size(), 4u);
+  for (float s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST_F(ModelTest, SasRecFitsAndScores) {
+  SasRec model(SmallSeqConfig());
+  EXPECT_EQ(model.name(), "SASRec");
+  CheckFitAndScore(model, dataset_, *split_);
+}
+
+TEST_F(ModelTest, SasRecWithConceptsUsesConceptTable) {
+  SeqModelConfig config = SmallSeqConfig();
+  config.use_concepts = true;
+  SasRec model(config);
+  EXPECT_EQ(model.name(), "SASRec+concept");
+  CheckFitAndScore(model, dataset_, *split_);
+}
+
+TEST_F(ModelTest, Bert4RecFitsAndScores) {
+  Bert4Rec model(SmallSeqConfig());
+  EXPECT_EQ(model.name(), "BERT4Rec");
+  CheckFitAndScore(model, dataset_, *split_);
+}
+
+TEST_F(ModelTest, Gru4RecFitsAndScores) {
+  Gru4Rec model(SmallSeqConfig());
+  CheckFitAndScore(model, dataset_, *split_);
+}
+
+TEST_F(ModelTest, Gru4RecPlusFitsAndScores) {
+  Gru4RecPlus model(SmallSeqConfig());
+  EXPECT_EQ(model.name(), "GRU4Rec+");
+  CheckFitAndScore(model, dataset_, *split_);
+}
+
+TEST_F(ModelTest, CaserFitsAndScores) {
+  Caser model(SmallSeqConfig());
+  CheckFitAndScore(model, dataset_, *split_);
+}
+
+TEST_F(ModelTest, BprMfFitsAndScores) {
+  BprMf model(SmallPairConfig());
+  CheckFitAndScore(model, dataset_, *split_);
+}
+
+TEST_F(ModelTest, NcfFitsAndScores) {
+  Ncf model(SmallPairConfig());
+  CheckFitAndScore(model, dataset_, *split_);
+}
+
+TEST_F(ModelTest, FpmcFitsAndScores) {
+  Fpmc model(SmallPairConfig());
+  CheckFitAndScore(model, dataset_, *split_);
+}
+
+TEST_F(ModelTest, DgcfFitsAndScores) {
+  Dgcf model(SmallPairConfig());
+  CheckFitAndScore(model, dataset_, *split_);
+}
+
+TEST_F(ModelTest, SeqModelLossDecreasesOverEpochs) {
+  SeqModelConfig config = SmallSeqConfig();
+  config.epochs = 1;
+  SasRec model(config);
+  model.Fit(dataset_, *split_);
+  const float first = model.last_epoch_loss();
+  data::SequenceBatcher batcher(*split_, config.batch_size, config.seq_len);
+  for (int i = 0; i < 4; ++i) model.TrainEpoch(batcher);
+  EXPECT_LT(model.last_epoch_loss(), first);
+}
+
+TEST_F(ModelTest, PairwiseLossDecreasesOverEpochs) {
+  PairwiseConfig one_epoch = SmallPairConfig();
+  one_epoch.epochs = 1;
+  BprMf short_run(one_epoch);
+  short_run.Fit(dataset_, *split_);
+  const float after_one = short_run.last_epoch_loss();
+
+  PairwiseConfig many = SmallPairConfig();
+  many.epochs = 8;
+  BprMf long_run(many);
+  long_run.Fit(dataset_, *split_);
+  EXPECT_LT(long_run.last_epoch_loss(), after_one);
+}
+
+TEST_F(ModelTest, ScoreBatchMatchesSingleScore) {
+  SasRec model(SmallSeqConfig());
+  model.Fit(dataset_, *split_);
+  const auto& users = split_->evaluable_users();
+  std::vector<Index> batch_users(users.begin(), users.begin() + 3);
+  std::vector<std::vector<Index>> histories;
+  std::vector<std::vector<Index>> candidates;
+  for (Index u : batch_users) {
+    histories.push_back(split_->TestHistory(u));
+    candidates.push_back({0, 1, 2, 3, 4});
+  }
+  auto batch_scores = model.ScoreBatch(batch_users, histories, candidates);
+  for (size_t i = 0; i < batch_users.size(); ++i) {
+    auto single = model.Score(batch_users[i], histories[i], candidates[i]);
+    for (size_t c = 0; c < single.size(); ++c) {
+      EXPECT_NEAR(batch_scores[i][c], single[c], 1e-4);
+    }
+  }
+}
+
+TEST_F(ModelTest, ScoringIsDeterministicAfterFit) {
+  Gru4Rec model(SmallSeqConfig());
+  model.Fit(dataset_, *split_);
+  const Index user = split_->evaluable_users()[0];
+  auto a = model.Score(user, split_->TestHistory(user), {1, 2, 3});
+  auto b = model.Score(user, split_->TestHistory(user), {1, 2, 3});
+  EXPECT_EQ(a, b);  // Dropout must be off at inference.
+}
+
+TEST_F(ModelTest, IdenticalSeedsGiveIdenticalModels) {
+  SasRec a(SmallSeqConfig());
+  SasRec b(SmallSeqConfig());
+  a.Fit(dataset_, *split_);
+  b.Fit(dataset_, *split_);
+  const Index user = split_->evaluable_users()[0];
+  auto sa = a.Score(user, split_->TestHistory(user), {1, 2, 3});
+  auto sb = b.Score(user, split_->TestHistory(user), {1, 2, 3});
+  for (size_t i = 0; i < sa.size(); ++i) EXPECT_FLOAT_EQ(sa[i], sb[i]);
+}
+
+TEST_F(ModelTest, TrainedSasRecBeatsUntrainedOnMrr) {
+  eval::EvalConfig eval_config;
+  eval_config.num_negatives = 40;  // The tiny catalogue has 60 items.
+  SeqModelConfig config = SmallSeqConfig();
+  config.epochs = 6;
+  SasRec trained(config);
+  trained.Fit(dataset_, *split_);
+  auto trained_report =
+      eval::EvaluateRanking(trained, dataset_, *split_, eval_config);
+
+  // PopRec as the reference floor for a *useful* sequential model.
+  PopRec pop;
+  pop.Fit(dataset_, *split_);
+  auto pop_report = eval::EvaluateRanking(pop, dataset_, *split_, eval_config);
+  EXPECT_GT(trained_report.mrr, pop_report.mrr * 0.8)
+      << "trained=" << trained_report.ToString()
+      << " pop=" << pop_report.ToString();
+}
+
+TEST_F(ModelTest, FpmcUsesMarkovContext) {
+  Fpmc model(SmallPairConfig());
+  model.Fit(dataset_, *split_);
+  // Scores must differ when the previous item changes.
+  auto with_prev_a = model.Score(0, {1}, {5, 6, 7});
+  auto with_prev_b = model.Score(0, {2}, {5, 6, 7});
+  bool any_diff = false;
+  for (size_t i = 0; i < with_prev_a.size(); ++i) {
+    if (with_prev_a[i] != with_prev_b[i]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(ModelTest, BprMfIgnoresSequenceOrder) {
+  BprMf model(SmallPairConfig());
+  model.Fit(dataset_, *split_);
+  auto a = model.Score(0, {1, 2, 3}, {5, 6});
+  auto b = model.Score(0, {3, 2, 1}, {5, 6});
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace isrec::models

@@ -1,0 +1,189 @@
+// Cross-module property tests: parameterized sweeps over configuration
+// grids, checking invariants rather than fixed values.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/intent_ops.h"
+#include "data/batch.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+
+namespace isrec {
+namespace {
+
+// ---------------------------------------------------------------------
+// Generator invariants across the (shift, jump, noise) grid.
+
+struct GenCase {
+  double shift, jump, noise;
+};
+
+class GeneratorPropertyTest : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorPropertyTest, InvariantsHoldAcrossProcessParameters) {
+  const GenCase& c = GetParam();
+  data::SyntheticConfig config;
+  config.num_users = 60;
+  config.num_items = 50;
+  config.num_concepts = 20;
+  config.intent_shift_prob = c.shift;
+  config.intent_jump_prob = c.jump;
+  config.noise_prob = c.noise;
+  config.concept_observation_dropout = 0.3;
+  data::Dataset d = data::GenerateSyntheticDataset(config);
+  d.Validate(config.min_sequence_length);
+
+  // Every item keeps at least one observed concept even under dropout.
+  for (const auto& tags : d.item_concepts) {
+    EXPECT_GE(tags.size(), 1u);
+    std::set<Index> unique(tags.begin(), tags.end());
+    EXPECT_EQ(unique.size(), tags.size());
+  }
+  // The split always produces evaluable users at these lengths.
+  data::LeaveOneOutSplit split(d);
+  EXPECT_GT(split.evaluable_users().size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GeneratorPropertyTest,
+    ::testing::Values(GenCase{0.0, 0.0, 0.0}, GenCase{0.3, 0.0, 0.1},
+                      GenCase{0.7, 0.1, 0.05}, GenCase{1.0, 0.3, 0.5},
+                      GenCase{0.5, 1.0, 0.0}),
+    [](const auto& info) {
+      return "s" + std::to_string(int(info.param.shift * 10)) + "_j" +
+             std::to_string(int(info.param.jump * 10)) + "_n" +
+             std::to_string(int(info.param.noise * 10));
+    });
+
+// ---------------------------------------------------------------------
+// Batcher invariants across (batch_size, seq_len) grid.
+
+class BatcherPropertyTest
+    : public ::testing::TestWithParam<std::pair<Index, Index>> {};
+
+TEST_P(BatcherPropertyTest, BatchesAreWellFormed) {
+  auto [batch_size, seq_len] = GetParam();
+  data::SyntheticConfig config;
+  config.num_users = 83;  // Deliberately not a multiple of batch sizes.
+  config.num_items = 60;
+  data::Dataset d = data::GenerateSyntheticDataset(config);
+  data::LeaveOneOutSplit split(d);
+  data::SequenceBatcher batcher(split, batch_size, seq_len);
+
+  Index total_rows = 0;
+  for (Index i = 0; i < batcher.NumBatches(); ++i) {
+    const data::SequenceBatch batch = batcher.GetBatch(i);
+    total_rows += batch.batch_size;
+    EXPECT_LE(batch.batch_size, batch_size);
+    EXPECT_EQ(batch.seq_len, seq_len);
+    for (Index row = 0; row < batch.batch_size; ++row) {
+      bool seen_valid = false;
+      Index num_pairs = 0;
+      for (Index t = 0; t < seq_len; ++t) {
+        const Index flat = row * seq_len + t;
+        if (batch.valid[flat]) {
+          seen_valid = true;
+          EXPECT_GE(batch.items[flat], 0);
+          EXPECT_LT(batch.items[flat], d.num_items);
+          EXPECT_GE(batch.targets[flat], 0);
+          ++num_pairs;
+          // Target must be the next item of the training sequence.
+          const auto& seq = split.TrainSequence(batch.users[row]);
+          auto it = std::search(seq.begin(), seq.end(),
+                                &batch.items[flat], &batch.items[flat] + 1);
+          EXPECT_NE(it, seq.end());
+        } else {
+          // Left padding: no valid position may precede an invalid one.
+          EXPECT_FALSE(seen_valid)
+              << "hole in the middle of a padded sequence";
+          EXPECT_EQ(batch.items[flat], -1);
+          EXPECT_EQ(batch.targets[flat], -1);
+        }
+      }
+      EXPECT_GE(num_pairs, 1);
+    }
+  }
+  // Epoch covers each trainable user exactly once.
+  Index trainable = 0;
+  for (Index u = 0; u < split.num_users(); ++u) {
+    if (split.TrainSequence(u).size() >= 2) ++trainable;
+  }
+  EXPECT_EQ(total_rows, trainable);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, BatcherPropertyTest,
+                         ::testing::Values(std::make_pair<Index, Index>(1, 4),
+                                           std::make_pair<Index, Index>(7, 8),
+                                           std::make_pair<Index, Index>(64, 3),
+                                           std::make_pair<Index, Index>(256,
+                                                                        16)),
+                         [](const auto& info) {
+                           return "b" + std::to_string(info.param.first) +
+                                  "_t" + std::to_string(info.param.second);
+                         });
+
+// ---------------------------------------------------------------------
+// Ranking metric consistency against a brute-force reference.
+
+TEST(RankPropertyTest, RankMatchesBruteForceSorting) {
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    const float positive = rng.NextGaussian();
+    std::vector<float> negatives(20);
+    for (auto& v : negatives) v = rng.NextGaussian();
+
+    const Index fast = eval::RankOfPositive(positive, negatives);
+
+    // Brute force: sort descending (ties above the positive).
+    Index reference = 1;
+    for (float v : negatives) {
+      if (v >= positive) ++reference;
+    }
+    EXPECT_EQ(fast, reference);
+    EXPECT_GE(fast, 1);
+    EXPECT_LE(fast, static_cast<Index>(negatives.size()) + 1);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Gradient-reduction property: ReduceGradToShape conserves mass.
+
+TEST(BroadcastPropertyTest, ReduceGradConservesSum) {
+  Rng rng(33);
+  const Shape from = {3, 4, 5};
+  const Shape to = {4, 1};
+  std::vector<float> grad(NumElements(from));
+  for (auto& g : grad) g = rng.NextGaussian();
+  const auto reduced = ReduceGradToShape(grad, from, to);
+  double total_in = 0, total_out = 0;
+  for (float g : grad) total_in += g;
+  for (float g : reduced) total_out += g;
+  EXPECT_NEAR(total_in, total_out, 1e-3);
+  EXPECT_EQ(reduced.size(), static_cast<size_t>(NumElements(to)));
+}
+
+// ---------------------------------------------------------------------
+// TopLambdaMask composed with softmax keeps the probability argmax.
+
+TEST(IntentPropertyTest, MaskContainsArgmaxOfScores) {
+  Rng rng(35);
+  for (int trial = 0; trial < 20; ++trial) {
+    Tensor scores = Tensor::Randn({4, 12}, 1.0f, rng);
+    Tensor mask = core::TopLambdaMask(scores, 3);
+    for (Index r = 0; r < 4; ++r) {
+      Index argmax = 0;
+      for (Index k = 1; k < 12; ++k) {
+        if (scores.at(r * 12 + k) > scores.at(r * 12 + argmax)) argmax = k;
+      }
+      EXPECT_EQ(mask.at(r * 12 + argmax), 1.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace isrec

@@ -1,0 +1,103 @@
+#include "tensor/sparse.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+#include "tests/gradcheck.h"
+#include "utils/rng.h"
+
+namespace isrec {
+namespace {
+
+TEST(SparseTest, CooConstructionSumsDuplicates) {
+  SparseMatrix m(2, 2, {0, 0, 1}, {1, 1, 0}, {1.0f, 2.0f, 5.0f});
+  EXPECT_EQ(m.nnz(), 2);
+  std::vector<float> x = {1, 1};
+  std::vector<float> y(2);
+  m.Multiply(x.data(), 1, y.data());
+  EXPECT_FLOAT_EQ(y[0], 3.0f);  // 1+2 on (0,1)
+  EXPECT_FLOAT_EQ(y[1], 5.0f);
+}
+
+TEST(SparseTest, MultiplyMatchesDense) {
+  // A = [[1, 0, 2], [0, 3, 0]]
+  SparseMatrix m(2, 3, {0, 0, 1}, {0, 2, 1}, {1, 2, 3});
+  std::vector<float> x = {1, 2, 3, 4, 5, 6};  // 3x2 dense
+  std::vector<float> y(4);
+  m.Multiply(x.data(), 2, y.data());
+  EXPECT_FLOAT_EQ(y[0], 1 * 1 + 2 * 5);
+  EXPECT_FLOAT_EQ(y[1], 1 * 2 + 2 * 6);
+  EXPECT_FLOAT_EQ(y[2], 3 * 3);
+  EXPECT_FLOAT_EQ(y[3], 3 * 4);
+}
+
+TEST(SparseTest, TransposeMultiplyMatchesDense) {
+  SparseMatrix m(2, 3, {0, 0, 1}, {0, 2, 1}, {1, 2, 3});
+  std::vector<float> x = {1, 2, 3, 4};  // 2x2
+  std::vector<float> y(6);
+  m.MultiplyTranspose(x.data(), 2, y.data());
+  // A^T = [[1,0],[0,3],[2,0]]
+  EXPECT_FLOAT_EQ(y[0], 1.0f);
+  EXPECT_FLOAT_EQ(y[1], 2.0f);
+  EXPECT_FLOAT_EQ(y[2], 3 * 3.0f);
+  EXPECT_FLOAT_EQ(y[3], 3 * 4.0f);
+  EXPECT_FLOAT_EQ(y[4], 2 * 1.0f);
+  EXPECT_FLOAT_EQ(y[5], 2 * 2.0f);
+}
+
+TEST(SparseTest, NormalizedAdjacencyRowPropertiesHold) {
+  // Path graph 0-1-2 with self loops.
+  SparseMatrix m =
+      SparseMatrix::NormalizedAdjacency(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(m.num_rows(), 3);
+  // deg_hat = [2, 3, 2]. Entry (0,0) = 1/2; (0,1) = 1/sqrt(6).
+  std::vector<float> x = {1, 0, 0};
+  std::vector<float> y(3);
+  m.Multiply(x.data(), 1, y.data());
+  EXPECT_NEAR(y[0], 0.5f, 1e-6);
+  EXPECT_NEAR(y[1], 1.0f / std::sqrt(6.0f), 1e-6);
+  EXPECT_NEAR(y[2], 0.0f, 1e-6);
+}
+
+TEST(SparseTest, NormalizedAdjacencyIsSymmetric) {
+  SparseMatrix m = SparseMatrix::NormalizedAdjacency(
+      4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  // Symmetry <=> Multiply and MultiplyTranspose agree on any input.
+  Rng rng(9);
+  std::vector<float> x(4), y1(4), y2(4);
+  for (auto& v : x) v = rng.NextGaussian();
+  m.Multiply(x.data(), 1, y1.data());
+  m.MultiplyTranspose(x.data(), 1, y2.data());
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-6);
+}
+
+TEST(SparseTest, SpMMForwardBatched) {
+  SparseMatrix m(2, 2, {0, 1}, {1, 0}, {1.0f, 1.0f});  // Swap matrix.
+  Tensor x = Tensor::FromData({2, 2, 1}, {1, 2, 3, 4});
+  Tensor y = SpMM(m, x);
+  EXPECT_EQ(y.shape(), (Shape{2, 2, 1}));
+  EXPECT_FLOAT_EQ(y.at(0), 2.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(2), 4.0f);
+  EXPECT_FLOAT_EQ(y.at(3), 3.0f);
+}
+
+TEST(SparseTest, SpMMGradcheck) {
+  SparseMatrix adj = SparseMatrix::NormalizedAdjacency(
+      4, {{0, 1}, {1, 2}, {2, 3}});
+  // Keep the matrix alive through the lambda by reference; it outlives
+  // the check.
+  testing::ExpectGradientsMatch(
+      {Tensor::FromData({2, 4, 3},
+                        {0.1f, 0.2f, 0.3f, 0.4f, 0.5f, 0.6f, 0.7f, 0.8f,
+                         0.9f, 1.0f, 1.1f, 1.2f, 1.3f, 1.4f, 1.5f, 1.6f,
+                         1.7f, 1.8f, 1.9f, 2.0f, 2.1f, 2.2f, 2.3f, 2.4f})},
+      [&adj](const std::vector<Tensor>& in) {
+        Tensor y = SpMM(adj, in[0]);
+        return Sum(Mul(y, y));
+      });
+}
+
+}  // namespace
+}  // namespace isrec

@@ -1,0 +1,133 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+#include "utils/rng.h"
+
+namespace isrec {
+namespace {
+
+TEST(TensorTest, FactoriesProduceExpectedContents) {
+  Tensor z = Tensor::Zeros({2, 3});
+  EXPECT_EQ(z.numel(), 6);
+  for (Index i = 0; i < 6; ++i) EXPECT_EQ(z.at(i), 0.0f);
+
+  Tensor o = Tensor::Ones({4});
+  for (Index i = 0; i < 4; ++i) EXPECT_EQ(o.at(i), 1.0f);
+
+  Tensor f = Tensor::Full({2, 2}, 2.5f);
+  for (Index i = 0; i < 4; ++i) EXPECT_EQ(f.at(i), 2.5f);
+
+  Tensor d = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(d.at(3), 4.0f);
+
+  Tensor s = Tensor::Scalar(7.0f);
+  EXPECT_EQ(s.ndim(), 0);
+  EXPECT_EQ(s.item(), 7.0f);
+}
+
+TEST(TensorTest, ShapeIntrospection) {
+  Tensor t = Tensor::Zeros({2, 3, 4});
+  EXPECT_EQ(t.ndim(), 3);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.dim(-2), 3);
+  EXPECT_EQ(t.numel(), 24);
+  EXPECT_EQ(ShapeToString(t.shape()), "[2, 3, 4]");
+}
+
+TEST(TensorTest, RandnIsDeterministicGivenSeed) {
+  Rng rng1(42), rng2(42);
+  Tensor a = Tensor::Randn({16}, 1.0f, rng1);
+  Tensor b = Tensor::Randn({16}, 1.0f, rng2);
+  for (Index i = 0; i < 16; ++i) EXPECT_EQ(a.at(i), b.at(i));
+}
+
+TEST(TensorTest, RandUniformRespectsBounds) {
+  Rng rng(7);
+  Tensor a = Tensor::RandUniform({1000}, -0.5f, 0.5f, rng);
+  for (Index i = 0; i < a.numel(); ++i) {
+    EXPECT_GE(a.at(i), -0.5f);
+    EXPECT_LT(a.at(i), 0.5f);
+  }
+}
+
+TEST(TensorTest, DetachCutsGraph) {
+  Tensor a = Tensor::Ones({2}, /*requires_grad=*/true);
+  Tensor b = MulScalar(a, 3.0f);
+  Tensor c = b.Detach();
+  EXPECT_FALSE(c.requires_grad());
+  EXPECT_EQ(c.at(0), 3.0f);
+  // Mutating the detached copy must not touch the original.
+  c.data()[0] = 99.0f;
+  EXPECT_EQ(b.at(0), 3.0f);
+}
+
+TEST(TensorTest, BackwardThroughSimpleChain) {
+  // y = sum((2x + 1)^2), dy/dx = 2 * (2x+1) * 2.
+  Tensor x = Tensor::FromData({3}, {1, 2, 3}, /*requires_grad=*/true);
+  Tensor y = AddScalar(MulScalar(x, 2.0f), 1.0f);
+  Tensor loss = Sum(Mul(y, y));
+  loss.Backward();
+  ASSERT_TRUE(x.has_grad());
+  EXPECT_FLOAT_EQ(x.grad()[0], 2 * 3 * 2);
+  EXPECT_FLOAT_EQ(x.grad()[1], 2 * 5 * 2);
+  EXPECT_FLOAT_EQ(x.grad()[2], 2 * 7 * 2);
+}
+
+TEST(TensorTest, GradAccumulatesWhenTensorUsedTwice) {
+  Tensor x = Tensor::FromData({1}, {3}, /*requires_grad=*/true);
+  Tensor loss = Sum(Add(x, x));  // d/dx = 2
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+}
+
+TEST(TensorTest, ZeroGradClearsBuffer) {
+  Tensor x = Tensor::FromData({1}, {3}, /*requires_grad=*/true);
+  Sum(Mul(x, x)).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0f);
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(TensorTest, NoGradGuardDisablesGraphRecording) {
+  Tensor x = Tensor::Ones({2}, /*requires_grad=*/true);
+  {
+    NoGradGuard guard;
+    Tensor y = MulScalar(x, 2.0f);
+    EXPECT_FALSE(y.requires_grad());
+  }
+  Tensor y = MulScalar(x, 2.0f);
+  EXPECT_TRUE(y.requires_grad());
+}
+
+TEST(TensorTest, BackwardOnDiamondGraph) {
+  // z = a*b + a, reuses `a` along two paths.
+  Tensor a = Tensor::FromData({1}, {2}, true);
+  Tensor b = Tensor::FromData({1}, {5}, true);
+  Tensor z = Sum(Add(Mul(a, b), a));
+  z.Backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 6.0f);  // b + 1
+  EXPECT_FLOAT_EQ(b.grad()[0], 2.0f);  // a
+}
+
+TEST(TensorTest, BroadcastShapeRules) {
+  EXPECT_EQ(BroadcastShape({2, 3}, {3}), (Shape{2, 3}));
+  EXPECT_EQ(BroadcastShape({2, 1}, {1, 4}), (Shape{2, 4}));
+  EXPECT_EQ(BroadcastShape({5}, {}), (Shape{5}));
+  EXPECT_EQ(BroadcastShape({4, 1, 3}, {2, 1}), (Shape{4, 2, 3}));
+}
+
+TEST(TensorDeathTest, IncompatibleBroadcastAborts) {
+  EXPECT_DEATH(BroadcastShape({2, 3}, {4}), "incompatible broadcast");
+}
+
+TEST(TensorDeathTest, ItemOnMultiElementAborts) {
+  Tensor t = Tensor::Zeros({2});
+  EXPECT_DEATH(t.item(), "");
+}
+
+}  // namespace
+}  // namespace isrec

@@ -1,0 +1,147 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "utils/check.h"
+#include "utils/rng.h"
+#include "utils/stopwatch.h"
+#include "utils/table.h"
+
+namespace isrec {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.NextUint64() != b.NextUint64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, NextIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInt(10);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10);
+    const int64_t w = rng.NextInt(5, 8);
+    EXPECT_GE(w, 5);
+    EXPECT_LT(w, 8);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(13);
+  const int n = 20000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> weights = {0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) counts[rng.NextCategorical(weights)]++;
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.3);
+}
+
+TEST(RngTest, ZipfFavorsSmallIndices) {
+  Rng rng(19);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) counts[rng.NextZipf(10, 1.0)]++;
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, original);  // Overwhelmingly likely.
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, BernoulliFrequencyTracksP) {
+  Rng rng(29);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"A", "Metric"});
+  t.AddRow({"x", "1.0"});
+  t.AddSeparator();
+  t.AddRow({"longer", "2.0"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| A      | Metric |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 2.0    |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 3u);  // Separator counts as a row slot.
+}
+
+TEST(TableTest, CsvOmitsSeparators) {
+  Table t({"A", "B"});
+  t.AddRow({"1", "2"});
+  t.AddSeparator();
+  t.AddRow({"3", "4"});
+  EXPECT_EQ(t.ToCsv(), "A,B\n1,2\n3,4\n");
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t({"A", "B", "C"});
+  t.AddRow({"only"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| only |"), std::string::npos);
+}
+
+TEST(FormatFloatTest, RespectsDigits) {
+  EXPECT_EQ(FormatFloat(0.35944, 4), "0.3594");
+  EXPECT_EQ(FormatFloat(1.5, 2), "1.50");
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeTime) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 10000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+  EXPECT_GE(sw.ElapsedMillis(), sw.ElapsedSeconds() * 1e3 - 1.0);
+  (void)sink;
+}
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH(ISREC_CHECK(false), "CHECK FAILED");
+  EXPECT_DEATH(ISREC_CHECK_EQ(1, 2), "expected 1 == 2");
+}
+
+}  // namespace
+}  // namespace isrec

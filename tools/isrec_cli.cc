@@ -1,0 +1,228 @@
+// Command-line interface: train and evaluate any model in the library
+// on a built-in preset or on CSV data exported in the data/io.h format.
+//
+// Usage:
+//   isrec_cli [--model NAME] [--dataset PRESET | --csv PREFIX]
+//             [--epochs N] [--seq-len N] [--embed-dim N]
+//             [--lambda N] [--intent-dim N] [--trace-user U]
+//             [--save PATH]
+//
+//   --model: isrec (default), isrec-wognn, isrec-wointent, sasrec,
+//            bert4rec, gru4rec, gru4rec+, caser, bprmf, ncf, fpmc,
+//            dgcf, poprec
+//   --dataset: beauty_sim (default), steam_sim, epinions_sim,
+//              ml1m_sim, ml20m_sim
+//
+// Example:
+//   isrec_cli --model isrec --dataset beauty_sim --epochs 10 \
+//             --trace-user 3
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/isrec.h"
+#include "data/io.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "models/bert4rec.h"
+#include "models/caser.h"
+#include "models/gru4rec.h"
+#include "models/mf_models.h"
+#include "models/pop_rec.h"
+#include "models/sasrec.h"
+#include "utils/stopwatch.h"
+
+namespace isrec {
+namespace {
+
+struct CliOptions {
+  std::string model = "isrec";
+  std::string dataset = "beauty_sim";
+  std::string csv_prefix;
+  std::string save_path;
+  Index epochs = 10;
+  Index seq_len = 12;
+  Index embed_dim = 32;
+  Index lambda = 8;
+  Index intent_dim = 8;
+  Index trace_user = -1;
+};
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  auto next_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) return nullptr;
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value = nullptr;
+    if (flag == "--help" || flag == "-h") return false;
+    if ((value = next_value(i)) == nullptr) {
+      std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+      return false;
+    }
+    if (flag == "--model") {
+      options->model = value;
+    } else if (flag == "--dataset") {
+      options->dataset = value;
+    } else if (flag == "--csv") {
+      options->csv_prefix = value;
+    } else if (flag == "--save") {
+      options->save_path = value;
+    } else if (flag == "--epochs") {
+      options->epochs = std::atol(value);
+    } else if (flag == "--seq-len") {
+      options->seq_len = std::atol(value);
+    } else if (flag == "--embed-dim") {
+      options->embed_dim = std::atol(value);
+    } else if (flag == "--lambda") {
+      options->lambda = std::atol(value);
+    } else if (flag == "--intent-dim") {
+      options->intent_dim = std::atol(value);
+    } else if (flag == "--trace-user") {
+      options->trace_user = std::atol(value);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<eval::Recommender> BuildModel(const CliOptions& options,
+                                              Index num_concepts) {
+  models::SeqModelConfig seq;
+  seq.embed_dim = options.embed_dim;
+  seq.seq_len = options.seq_len;
+  seq.ffn_dim = options.embed_dim * 2;
+  seq.epochs = options.epochs;
+
+  models::PairwiseConfig pair;
+  pair.dim = options.embed_dim;
+  pair.epochs = options.epochs;
+
+  core::IsrecConfig isrec_config;
+  isrec_config.seq = seq;
+  isrec_config.intent_dim = options.intent_dim;
+  isrec_config.num_active = std::min(options.lambda, num_concepts);
+
+  const std::string& m = options.model;
+  if (m == "isrec") return std::make_unique<core::IsrecModel>(isrec_config);
+  if (m == "isrec-wognn") {
+    return std::make_unique<core::IsrecModel>(
+        core::WithoutGnn(isrec_config));
+  }
+  if (m == "isrec-wointent") {
+    return std::make_unique<core::IsrecModel>(
+        core::WithoutGnnAndIntent(isrec_config));
+  }
+  if (m == "sasrec") return std::make_unique<models::SasRec>(seq);
+  if (m == "bert4rec") return std::make_unique<models::Bert4Rec>(seq);
+  if (m == "gru4rec") return std::make_unique<models::Gru4Rec>(seq);
+  if (m == "gru4rec+") return std::make_unique<models::Gru4RecPlus>(seq);
+  if (m == "caser") return std::make_unique<models::Caser>(seq);
+  if (m == "bprmf") return std::make_unique<models::BprMf>(pair);
+  if (m == "ncf") return std::make_unique<models::Ncf>(pair);
+  if (m == "fpmc") return std::make_unique<models::Fpmc>(pair);
+  if (m == "dgcf") return std::make_unique<models::Dgcf>(pair);
+  if (m == "poprec") return std::make_unique<models::PopRec>();
+  return nullptr;
+}
+
+int Run(const CliOptions& options) {
+  data::Dataset dataset;
+  if (!options.csv_prefix.empty()) {
+    if (!data::LoadDatasetCsv(options.csv_prefix, &dataset)) {
+      std::fprintf(stderr, "cannot load CSV dataset at prefix %s\n",
+                   options.csv_prefix.c_str());
+      return 1;
+    }
+  } else {
+    bool found = false;
+    for (const auto& preset : data::AllPresets()) {
+      if (preset.name == options.dataset) {
+        dataset = data::GenerateSyntheticDataset(preset);
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown dataset preset %s\n",
+                   options.dataset.c_str());
+      return 1;
+    }
+  }
+  std::printf("dataset %s: %ld users, %ld items, %ld interactions\n",
+              dataset.name.c_str(), static_cast<long>(dataset.num_users),
+              static_cast<long>(dataset.num_items),
+              static_cast<long>(dataset.NumInteractions()));
+
+  auto model = BuildModel(options, dataset.concepts.num_concepts());
+  if (model == nullptr) {
+    std::fprintf(stderr, "unknown model %s\n", options.model.c_str());
+    return 1;
+  }
+
+  data::LeaveOneOutSplit split(dataset);
+  Stopwatch sw;
+  std::printf("training %s...\n", model->name().c_str());
+  model->Fit(dataset, split);
+  std::printf("trained in %.1fs\n", sw.ElapsedSeconds());
+
+  eval::MetricReport report =
+      eval::EvaluateRanking(*model, dataset, split);
+  std::printf("test: %s\n", report.ToString().c_str());
+
+  if (options.trace_user >= 0) {
+    auto* isrec_model = dynamic_cast<core::IsrecModel*>(model.get());
+    if (isrec_model == nullptr || !isrec_model->isrec_config().use_intent) {
+      std::fprintf(stderr,
+                   "--trace-user requires an intent-enabled isrec model\n");
+      return 1;
+    }
+    if (!split.IsEvaluable(options.trace_user)) {
+      std::fprintf(stderr, "user %ld is not evaluable\n",
+                   static_cast<long>(options.trace_user));
+      return 1;
+    }
+    const core::IntentTrace trace =
+        isrec_model->TraceIntents(split.TestHistory(options.trace_user), 4);
+    std::printf("intent trace for user %ld:\n",
+                static_cast<long>(options.trace_user));
+    for (const auto& step : trace) {
+      std::printf("  item_%-5ld active:", static_cast<long>(step.item));
+      for (Index c : step.active_intents) {
+        std::printf(" %s", dataset.concepts.name(c).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+
+  if (!options.save_path.empty()) {
+    auto* module = dynamic_cast<nn::Module*>(model.get());
+    if (module == nullptr) {
+      std::fprintf(stderr, "--save is only supported for neural models\n");
+      return 1;
+    }
+    nn::SaveParameters(*module, options.save_path);
+    std::printf("parameters saved to %s\n", options.save_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace isrec
+
+int main(int argc, char** argv) {
+  isrec::CliOptions options;
+  if (!isrec::ParseArgs(argc, argv, &options)) {
+    std::fprintf(stderr,
+                 "usage: %s [--model NAME] [--dataset PRESET | --csv PREFIX]"
+                 " [--epochs N] [--seq-len N] [--embed-dim N] [--lambda N]"
+                 " [--intent-dim N] [--trace-user U] [--save PATH]\n",
+                 argv[0]);
+    return 2;
+  }
+  return isrec::Run(options);
+}
