@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_showcase.dir/bench_fig2_showcase.cc.o"
+  "CMakeFiles/bench_fig2_showcase.dir/bench_fig2_showcase.cc.o.d"
+  "bench_fig2_showcase"
+  "bench_fig2_showcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_showcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_dprime.dir/bench_fig3_dprime.cc.o"
+  "CMakeFiles/bench_fig3_dprime.dir/bench_fig3_dprime.cc.o.d"
+  "bench_fig3_dprime"
+  "bench_fig3_dprime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_dprime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_concepts.dir/bench_table4_concepts.cc.o"
+  "CMakeFiles/bench_table4_concepts.dir/bench_table4_concepts.cc.o.d"
+  "bench_table4_concepts"
+  "bench_table4_concepts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_concepts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table6_seqlen.cc" "bench/CMakeFiles/bench_table6_seqlen.dir/bench_table6_seqlen.cc.o" "gcc" "bench/CMakeFiles/bench_table6_seqlen.dir/bench_table6_seqlen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/isrec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/isrec_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/isrec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/isrec_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/isrec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/isrec_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/utils/CMakeFiles/isrec_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

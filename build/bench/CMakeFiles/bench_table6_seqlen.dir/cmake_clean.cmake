@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_seqlen.dir/bench_table6_seqlen.cc.o"
+  "CMakeFiles/bench_table6_seqlen.dir/bench_table6_seqlen.cc.o.d"
+  "bench_table6_seqlen"
+  "bench_table6_seqlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_seqlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

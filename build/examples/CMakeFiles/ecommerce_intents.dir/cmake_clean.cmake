@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce_intents.dir/ecommerce_intents.cpp.o"
+  "CMakeFiles/ecommerce_intents.dir/ecommerce_intents.cpp.o.d"
+  "ecommerce_intents"
+  "ecommerce_intents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce_intents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

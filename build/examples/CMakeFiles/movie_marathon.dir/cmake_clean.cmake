@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_marathon.dir/movie_marathon.cpp.o"
+  "CMakeFiles/movie_marathon.dir/movie_marathon.cpp.o.d"
+  "movie_marathon"
+  "movie_marathon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_marathon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isrec_core.dir/intent_ops.cc.o"
+  "CMakeFiles/isrec_core.dir/intent_ops.cc.o.d"
+  "CMakeFiles/isrec_core.dir/isrec.cc.o"
+  "CMakeFiles/isrec_core.dir/isrec.cc.o.d"
+  "libisrec_core.a"
+  "libisrec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isrec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isrec_data.dir/batch.cc.o"
+  "CMakeFiles/isrec_data.dir/batch.cc.o.d"
+  "CMakeFiles/isrec_data.dir/concept_graph.cc.o"
+  "CMakeFiles/isrec_data.dir/concept_graph.cc.o.d"
+  "CMakeFiles/isrec_data.dir/dataset.cc.o"
+  "CMakeFiles/isrec_data.dir/dataset.cc.o.d"
+  "CMakeFiles/isrec_data.dir/io.cc.o"
+  "CMakeFiles/isrec_data.dir/io.cc.o.d"
+  "CMakeFiles/isrec_data.dir/sampler.cc.o"
+  "CMakeFiles/isrec_data.dir/sampler.cc.o.d"
+  "CMakeFiles/isrec_data.dir/split.cc.o"
+  "CMakeFiles/isrec_data.dir/split.cc.o.d"
+  "CMakeFiles/isrec_data.dir/synthetic.cc.o"
+  "CMakeFiles/isrec_data.dir/synthetic.cc.o.d"
+  "libisrec_data.a"
+  "libisrec_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isrec_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isrec_eval.dir/evaluator.cc.o"
+  "CMakeFiles/isrec_eval.dir/evaluator.cc.o.d"
+  "CMakeFiles/isrec_eval.dir/metrics.cc.o"
+  "CMakeFiles/isrec_eval.dir/metrics.cc.o.d"
+  "libisrec_eval.a"
+  "libisrec_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isrec_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

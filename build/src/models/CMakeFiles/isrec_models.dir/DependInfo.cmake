@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/bert4rec.cc" "src/models/CMakeFiles/isrec_models.dir/bert4rec.cc.o" "gcc" "src/models/CMakeFiles/isrec_models.dir/bert4rec.cc.o.d"
+  "/root/repo/src/models/caser.cc" "src/models/CMakeFiles/isrec_models.dir/caser.cc.o" "gcc" "src/models/CMakeFiles/isrec_models.dir/caser.cc.o.d"
+  "/root/repo/src/models/gru4rec.cc" "src/models/CMakeFiles/isrec_models.dir/gru4rec.cc.o" "gcc" "src/models/CMakeFiles/isrec_models.dir/gru4rec.cc.o.d"
+  "/root/repo/src/models/mf_models.cc" "src/models/CMakeFiles/isrec_models.dir/mf_models.cc.o" "gcc" "src/models/CMakeFiles/isrec_models.dir/mf_models.cc.o.d"
+  "/root/repo/src/models/pairwise_base.cc" "src/models/CMakeFiles/isrec_models.dir/pairwise_base.cc.o" "gcc" "src/models/CMakeFiles/isrec_models.dir/pairwise_base.cc.o.d"
+  "/root/repo/src/models/pop_rec.cc" "src/models/CMakeFiles/isrec_models.dir/pop_rec.cc.o" "gcc" "src/models/CMakeFiles/isrec_models.dir/pop_rec.cc.o.d"
+  "/root/repo/src/models/sasrec.cc" "src/models/CMakeFiles/isrec_models.dir/sasrec.cc.o" "gcc" "src/models/CMakeFiles/isrec_models.dir/sasrec.cc.o.d"
+  "/root/repo/src/models/seq_base.cc" "src/models/CMakeFiles/isrec_models.dir/seq_base.cc.o" "gcc" "src/models/CMakeFiles/isrec_models.dir/seq_base.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/isrec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/isrec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/isrec_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/isrec_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/utils/CMakeFiles/isrec_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

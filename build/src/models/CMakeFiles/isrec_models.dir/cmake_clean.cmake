@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isrec_models.dir/bert4rec.cc.o"
+  "CMakeFiles/isrec_models.dir/bert4rec.cc.o.d"
+  "CMakeFiles/isrec_models.dir/caser.cc.o"
+  "CMakeFiles/isrec_models.dir/caser.cc.o.d"
+  "CMakeFiles/isrec_models.dir/gru4rec.cc.o"
+  "CMakeFiles/isrec_models.dir/gru4rec.cc.o.d"
+  "CMakeFiles/isrec_models.dir/mf_models.cc.o"
+  "CMakeFiles/isrec_models.dir/mf_models.cc.o.d"
+  "CMakeFiles/isrec_models.dir/pairwise_base.cc.o"
+  "CMakeFiles/isrec_models.dir/pairwise_base.cc.o.d"
+  "CMakeFiles/isrec_models.dir/pop_rec.cc.o"
+  "CMakeFiles/isrec_models.dir/pop_rec.cc.o.d"
+  "CMakeFiles/isrec_models.dir/sasrec.cc.o"
+  "CMakeFiles/isrec_models.dir/sasrec.cc.o.d"
+  "CMakeFiles/isrec_models.dir/seq_base.cc.o"
+  "CMakeFiles/isrec_models.dir/seq_base.cc.o.d"
+  "libisrec_models.a"
+  "libisrec_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isrec_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isrec_nn.dir/attention.cc.o"
+  "CMakeFiles/isrec_nn.dir/attention.cc.o.d"
+  "CMakeFiles/isrec_nn.dir/gru.cc.o"
+  "CMakeFiles/isrec_nn.dir/gru.cc.o.d"
+  "CMakeFiles/isrec_nn.dir/layers.cc.o"
+  "CMakeFiles/isrec_nn.dir/layers.cc.o.d"
+  "CMakeFiles/isrec_nn.dir/module.cc.o"
+  "CMakeFiles/isrec_nn.dir/module.cc.o.d"
+  "CMakeFiles/isrec_nn.dir/optim.cc.o"
+  "CMakeFiles/isrec_nn.dir/optim.cc.o.d"
+  "libisrec_nn.a"
+  "libisrec_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isrec_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

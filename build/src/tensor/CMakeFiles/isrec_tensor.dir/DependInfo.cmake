@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/ops_elementwise.cc" "src/tensor/CMakeFiles/isrec_tensor.dir/ops_elementwise.cc.o" "gcc" "src/tensor/CMakeFiles/isrec_tensor.dir/ops_elementwise.cc.o.d"
+  "/root/repo/src/tensor/ops_matmul.cc" "src/tensor/CMakeFiles/isrec_tensor.dir/ops_matmul.cc.o" "gcc" "src/tensor/CMakeFiles/isrec_tensor.dir/ops_matmul.cc.o.d"
+  "/root/repo/src/tensor/ops_nn.cc" "src/tensor/CMakeFiles/isrec_tensor.dir/ops_nn.cc.o" "gcc" "src/tensor/CMakeFiles/isrec_tensor.dir/ops_nn.cc.o.d"
+  "/root/repo/src/tensor/ops_reduce.cc" "src/tensor/CMakeFiles/isrec_tensor.dir/ops_reduce.cc.o" "gcc" "src/tensor/CMakeFiles/isrec_tensor.dir/ops_reduce.cc.o.d"
+  "/root/repo/src/tensor/ops_shape.cc" "src/tensor/CMakeFiles/isrec_tensor.dir/ops_shape.cc.o" "gcc" "src/tensor/CMakeFiles/isrec_tensor.dir/ops_shape.cc.o.d"
+  "/root/repo/src/tensor/sparse.cc" "src/tensor/CMakeFiles/isrec_tensor.dir/sparse.cc.o" "gcc" "src/tensor/CMakeFiles/isrec_tensor.dir/sparse.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/tensor/CMakeFiles/isrec_tensor.dir/tensor.cc.o" "gcc" "src/tensor/CMakeFiles/isrec_tensor.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/utils/CMakeFiles/isrec_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

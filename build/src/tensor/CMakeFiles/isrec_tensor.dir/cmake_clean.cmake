@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isrec_tensor.dir/ops_elementwise.cc.o"
+  "CMakeFiles/isrec_tensor.dir/ops_elementwise.cc.o.d"
+  "CMakeFiles/isrec_tensor.dir/ops_matmul.cc.o"
+  "CMakeFiles/isrec_tensor.dir/ops_matmul.cc.o.d"
+  "CMakeFiles/isrec_tensor.dir/ops_nn.cc.o"
+  "CMakeFiles/isrec_tensor.dir/ops_nn.cc.o.d"
+  "CMakeFiles/isrec_tensor.dir/ops_reduce.cc.o"
+  "CMakeFiles/isrec_tensor.dir/ops_reduce.cc.o.d"
+  "CMakeFiles/isrec_tensor.dir/ops_shape.cc.o"
+  "CMakeFiles/isrec_tensor.dir/ops_shape.cc.o.d"
+  "CMakeFiles/isrec_tensor.dir/sparse.cc.o"
+  "CMakeFiles/isrec_tensor.dir/sparse.cc.o.d"
+  "CMakeFiles/isrec_tensor.dir/tensor.cc.o"
+  "CMakeFiles/isrec_tensor.dir/tensor.cc.o.d"
+  "libisrec_tensor.a"
+  "libisrec_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isrec_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libisrec_tensor.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isrec_utils.dir/logging.cc.o"
+  "CMakeFiles/isrec_utils.dir/logging.cc.o.d"
+  "CMakeFiles/isrec_utils.dir/rng.cc.o"
+  "CMakeFiles/isrec_utils.dir/rng.cc.o.d"
+  "CMakeFiles/isrec_utils.dir/table.cc.o"
+  "CMakeFiles/isrec_utils.dir/table.cc.o.d"
+  "libisrec_utils.a"
+  "libisrec_utils.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isrec_utils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

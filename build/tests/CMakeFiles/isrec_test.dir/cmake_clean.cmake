@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isrec_test.dir/isrec_test.cc.o"
+  "CMakeFiles/isrec_test.dir/isrec_test.cc.o.d"
+  "isrec_test"
+  "isrec_test.pdb"
+  "isrec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isrec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isrec_cli.dir/isrec_cli.cc.o"
+  "CMakeFiles/isrec_cli.dir/isrec_cli.cc.o.d"
+  "isrec_cli"
+  "isrec_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isrec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
