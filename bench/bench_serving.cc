@@ -1,0 +1,180 @@
+// Serving-engine benchmark: throughput and latency of the micro-batching
+// ServingEngine across worker/batch configurations, against the
+// sequential per-request Score baseline every configuration is verified
+// to match exactly.
+//
+// Prints a utils::Table and writes a machine-readable summary to
+// BENCH_serving.json (override with --out PATH). On a single hardware
+// core the entire speedup comes from micro-batching amortization (one
+// ScoreBatch forward instead of B per-request forwards); multi-core
+// machines additionally overlap batches across workers.
+
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/isrec.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "serve/engine.h"
+#include "utils/stopwatch.h"
+#include "utils/table.h"
+
+namespace isrec {
+namespace {
+
+struct GridPoint {
+  Index threads;
+  Index max_batch;
+  Index window_us;
+};
+
+struct GridResult {
+  GridPoint point;
+  serve::ServeStats stats;
+  bool identical = false;
+};
+
+int Run(const std::string& out_path) {
+  data::Dataset dataset;
+  for (const auto& preset : data::AllPresets()) {
+    if (preset.name == "beauty_sim") {
+      dataset = data::GenerateSyntheticDataset(preset);
+    }
+  }
+  data::LeaveOneOutSplit split(dataset);
+
+  core::IsrecConfig config;
+  config.seq.seq_len = 12;
+  config.seq.epochs = 1;
+  config.seq.verbose = false;
+  core::IsrecModel model(config);
+  std::printf("training %s on %s (1 epoch, %ld items)...\n",
+              model.name().c_str(), dataset.name.c_str(),
+              static_cast<long>(dataset.num_items));
+  model.Fit(dataset, split);
+  model.SetTraining(false);
+
+  // Workload: leave-one-out test histories cycled to a fixed size.
+  const Index kRequests = 1500;
+  const Index kTopK = 10;
+  const std::vector<Index>& users = split.evaluable_users();
+  std::vector<serve::Request> requests;
+  requests.reserve(kRequests);
+  for (Index i = 0; i < kRequests; ++i) {
+    const Index u = users[i % users.size()];
+    requests.push_back({u, split.TestHistory(u), kTopK, {}});
+  }
+
+  // Sequential baseline: one Score call per request, like a server
+  // without batching would issue. Kept for comparison AND verification.
+  std::vector<Index> catalog(dataset.num_items);
+  for (Index i = 0; i < dataset.num_items; ++i) catalog[i] = i;
+  const Index baseline_n = std::min<Index>(kRequests, users.size());
+  std::vector<serve::Recommendation> baseline(baseline_n);
+  Stopwatch sw;
+  for (Index i = 0; i < baseline_n; ++i) {
+    baseline[i] = serve::TopK(
+        model.Score(requests[i].user, requests[i].history, catalog), catalog,
+        kTopK);
+  }
+  const double baseline_qps = baseline_n / sw.ElapsedSeconds();
+
+  const std::vector<GridPoint> grid = {
+      {1, 1, 0},      // No batching: isolates pure engine overhead.
+      {4, 32, 500},   // Default-ish online configuration.
+      {8, 128, 2000}, // Throughput-oriented.
+      {8, 256, 2000}, // Diminishing batched returns beyond ~128.
+  };
+  std::vector<GridResult> results;
+  for (const GridPoint& point : grid) {
+    serve::EngineConfig engine_config;
+    engine_config.num_threads = point.threads;
+    engine_config.max_batch_size = point.max_batch;
+    engine_config.batch_window_us = point.window_us;
+    serve::ServingEngine engine(model, dataset.num_items, engine_config);
+    engine.ResetStats();
+    std::vector<std::future<serve::Recommendation>> futures;
+    futures.reserve(requests.size());
+    for (const serve::Request& request : requests) {
+      futures.push_back(engine.RecommendAsync(request));
+    }
+    std::vector<serve::Recommendation> responses;
+    responses.reserve(futures.size());
+    for (auto& future : futures) responses.push_back(future.get());
+
+    GridResult result;
+    result.point = point;
+    result.stats = engine.Stats();
+    result.identical = true;
+    for (Index i = 0; i < baseline_n; ++i) {
+      if (responses[i].items != baseline[i].items) result.identical = false;
+    }
+    results.push_back(std::move(result));
+  }
+
+  Table table({"threads", "max_batch", "window_us", "qps", "p50_ms", "p95_ms",
+               "p99_ms", "mean_batch", "speedup", "identical"});
+  table.AddRow({"1 (sequential Score)", "-", "-", FormatFloat(baseline_qps, 1),
+                "-", "-", "-", "-", "1.00", "ref"});
+  for (const GridResult& r : results) {
+    table.AddRow({std::to_string(r.point.threads),
+                  std::to_string(r.point.max_batch),
+                  std::to_string(r.point.window_us),
+                  FormatFloat(r.stats.qps, 1), FormatFloat(r.stats.p50_ms, 2),
+                  FormatFloat(r.stats.p95_ms, 2),
+                  FormatFloat(r.stats.p99_ms, 2),
+                  FormatFloat(r.stats.mean_batch_size, 1),
+                  FormatFloat(r.stats.qps / baseline_qps, 2),
+                  r.identical ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"dataset\": \"%s\",\n", dataset.name.c_str());
+  std::fprintf(out, "  \"requests\": %ld,\n  \"k\": %ld,\n",
+               static_cast<long>(kRequests), static_cast<long>(kTopK));
+  std::fprintf(out, "  \"baseline_qps\": %.1f,\n", baseline_qps);
+  std::fprintf(out, "  \"configs\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const GridResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"threads\": %ld, \"max_batch\": %ld, "
+                 "\"window_us\": %ld, \"qps\": %.1f, \"p50_ms\": %.3f, "
+                 "\"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+                 "\"mean_batch_size\": %.2f, \"speedup\": %.2f, "
+                 "\"identical_topk\": %s}%s\n",
+                 static_cast<long>(r.point.threads),
+                 static_cast<long>(r.point.max_batch),
+                 static_cast<long>(r.point.window_us), r.stats.qps,
+                 r.stats.p50_ms, r.stats.p95_ms, r.stats.p99_ms,
+                 r.stats.mean_batch_size, r.stats.qps / baseline_qps,
+                 r.identical ? "true" : "false",
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  for (const GridResult& r : results) {
+    if (!r.identical) return 1;  // Batched top-K must match sequential.
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace isrec
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_serving.json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--out") out_path = argv[i + 1];
+  }
+  return isrec::Run(out_path);
+}

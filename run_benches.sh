@@ -9,7 +9,7 @@ for b in build/bench/bench_table3_datasets build/bench/bench_table4_concepts \
          build/bench/bench_fig3_dprime build/bench/bench_fig4_lambda \
          build/bench/bench_design_ablations build/bench/bench_complexity \
          build/bench/bench_table6_seqlen build/bench/bench_table5_ablation \
-         build/bench/bench_table2; do
+         build/bench/bench_table2 build/bench/bench_serving; do
   echo "##### $b #####" >> "$out"
   "$b" >> "$out" 2>/dev/null
   echo "" >> "$out"

@@ -129,6 +129,15 @@ Tensor IsrecModel::TransitionAndDecode(const Tensor& states,
             BatchMatMul(learned_adj, flat));
         if (l + 1 < learned_gcn_linears_.size()) flat = Relu(flat);
       }
+    } else if (!GradModeEnabled() && batch * seq_len > 1) {
+      // Inference fast path: concept-major layout turns the per-sample
+      // SpMM loop into one SpMM over all samples (bitwise equal, see
+      // GcnLayer::ForwardConceptMajor).
+      Tensor t = Transpose(flat, 0, 1);  // [K, S, dp]
+      for (const auto& layer : gcn_) {
+        t = layer->ForwardConceptMajor(*adjacency_, t);
+      }
+      flat = Transpose(t, 0, 1);
     } else {
       for (const auto& layer : gcn_) flat = layer->Forward(*adjacency_, flat);
     }
@@ -163,6 +172,21 @@ Tensor IsrecModel::Encode(const data::SequenceBatch& batch) {
   Tensor intent_mask = ExtractIntentMask(states);
   return TransitionAndDecode(states, intent_mask, batch.batch_size,
                              batch.seq_len);
+}
+
+Tensor IsrecModel::EncodeLastState(const data::SequenceBatch& batch) {
+  Tensor h = EmbedInput(batch);
+  Tensor attn_mask = nn::MakeAttentionMask(batch.batch_size, batch.seq_len,
+                                           batch.valid, /*causal=*/true);
+  // [B, 1, d]: the final transformer layer and every intent stage are
+  // per-position, so compute only the position that gets scored.
+  Tensor last = encoder_->ForwardLastState(h, attn_mask);
+  if (isrec_config_.use_intent) {
+    Tensor intent_mask = ExtractIntentMask(last);
+    last = TransitionAndDecode(last, intent_mask, batch.batch_size,
+                               /*seq_len=*/1);
+  }
+  return Reshape(last, {batch.batch_size, config_.embed_dim});
 }
 
 IntentTrace IsrecModel::TraceIntents(const std::vector<Index>& history,

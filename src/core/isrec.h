@@ -83,6 +83,13 @@ class IsrecModel : public models::SequentialModelBase {
   void BuildModel(const data::Dataset& dataset) override;
   Tensor Encode(const data::SequenceBatch& batch) override;
 
+  /// Serving fast path: the transformer still attends over the full
+  /// history, but the intent pipeline (extraction, GCN transition,
+  /// decode) is per-position, so at inference it runs only on the last
+  /// position — the one ScoreBatch scores. Identical output to slicing
+  /// the full Encode.
+  Tensor EncodeLastState(const data::SequenceBatch& batch) override;
+
  private:
   /// Intent extraction (Section 3.4): similarity-driven Gumbel-top-k
   /// mask m_t over concepts. Returns the straight-through mask

@@ -29,8 +29,15 @@ class Recommender {
                                    const std::vector<Index>& history,
                                    const std::vector<Index>& candidates) = 0;
 
-  /// Batched scoring; the default loops over Score. Neural sequence
-  /// models override this to amortize the encoder forward pass.
+  /// Batched scoring. The default implementation reserves the output and
+  /// loops over Score one request at a time — it exists only so trivial
+  /// models (PopRec, MF baselines) work out of the box. Neural sequence
+  /// models MUST override it to run one batched encoder forward over all
+  /// histories (see SequentialModelBase::ScoreBatch); the serving engine
+  /// and the evaluator both funnel every request through this entry
+  /// point, so a per-request fallback forfeits the entire micro-batching
+  /// speedup. Results must equal per-request Score exactly (asserted by
+  /// serve_test.ScoreBatchMatchesScore).
   virtual std::vector<std::vector<float>> ScoreBatch(
       const std::vector<Index>& users,
       const std::vector<std::vector<Index>>& histories,

@@ -1,5 +1,7 @@
 #include "models/sasrec.h"
 
+#include "tensor/ops.h"
+
 namespace isrec::models {
 
 SasRec::SasRec(SeqModelConfig config) : SequentialModelBase(config) {}
@@ -16,6 +18,14 @@ Tensor SasRec::Encode(const data::SequenceBatch& batch) {
   Tensor mask = nn::MakeAttentionMask(batch.batch_size, batch.seq_len,
                                       batch.valid, /*causal=*/true);
   return encoder_->Forward(h, mask);
+}
+
+Tensor SasRec::EncodeLastState(const data::SequenceBatch& batch) {
+  Tensor h = EmbedInput(batch);
+  Tensor mask = nn::MakeAttentionMask(batch.batch_size, batch.seq_len,
+                                      batch.valid, /*causal=*/true);
+  return Reshape(encoder_->ForwardLastState(h, mask),
+                 {batch.batch_size, config_.embed_dim});
 }
 
 }  // namespace isrec::models

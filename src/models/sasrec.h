@@ -25,6 +25,10 @@ class SasRec : public SequentialModelBase {
   void BuildModel(const data::Dataset& dataset) override;
   Tensor Encode(const data::SequenceBatch& batch) override;
 
+  /// Serving fast path: only the final transformer layer's last
+  /// position is ever scored, so skip the other T-1 queries there.
+  Tensor EncodeLastState(const data::SequenceBatch& batch) override;
+
  private:
   std::unique_ptr<nn::TransformerEncoder> encoder_;
 };

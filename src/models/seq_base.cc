@@ -109,6 +109,16 @@ float SequentialModelBase::TrainEpoch(data::SequenceBatcher& batcher) {
   return last_epoch_loss_;
 }
 
+void SequentialModelBase::Build(const data::Dataset& dataset) {
+  dataset_ = &dataset;
+  if (!built_) {
+    BuildCommon(dataset);
+    BuildModel(dataset);
+    built_ = true;
+  }
+  SetTraining(false);
+}
+
 void SequentialModelBase::Fit(const data::Dataset& dataset,
                               const data::LeaveOneOutSplit& split) {
   dataset_ = &dataset;
@@ -134,6 +144,14 @@ SequentialModelBase::PrepareInferenceHistories(
   return histories;
 }
 
+Tensor SequentialModelBase::EncodeLastState(
+    const data::SequenceBatch& batch) {
+  Tensor states = Encode(batch);  // [B, T, d]
+  // The most recent element is always at the last position (left pad).
+  return Reshape(Slice(states, 1, batch.seq_len - 1, batch.seq_len),
+                 {batch.batch_size, config_.embed_dim});
+}
+
 std::vector<float> SequentialModelBase::Score(
     Index user, const std::vector<Index>& history,
     const std::vector<Index>& candidates) {
@@ -149,29 +167,48 @@ std::vector<std::vector<float>> SequentialModelBase::ScoreBatch(
   ISREC_CHECK_EQ(users.size(), candidate_lists.size());
 
   NoGradGuard no_grad;
+  // Only toggle training mode when needed: in serving steady state the
+  // model is permanently in eval mode and concurrent ScoreBatch calls
+  // must not write any shared state.
   const bool was_training = training();
-  SetTraining(false);
+  if (was_training) SetTraining(false);
 
   const auto prepared = PrepareInferenceHistories(histories);
   const data::SequenceBatch batch = data::SequenceBatcher::InferenceBatch(
       prepared, config_.seq_len, users);
-  Tensor states = Encode(batch);  // [B, T, d]
-  // The most recent element is always at the last position (left pad).
-  Tensor last = Reshape(
-      Slice(states, 1, config_.seq_len - 1, config_.seq_len),
-      {batch.batch_size, config_.embed_dim});
+  Tensor last = EncodeLastState(batch);  // [B, d]
 
   std::vector<std::vector<float>> result;
   result.reserve(users.size());
   const Tensor& table = item_embedding_->table();
-  for (size_t i = 0; i < users.size(); ++i) {
-    Tensor user_state = Slice(last, 0, static_cast<Index>(i),
-                              static_cast<Index>(i) + 1);  // [1, d]
-    Tensor cand = IndexSelect(table, candidate_lists[i]);  // [C, d]
-    Tensor scores = BatchMatMul(user_state, cand, false, true);  // [1, C]
-    result.push_back(scores.ToVector());
+
+  // Serving fast path: when every request ranks the same candidates
+  // (e.g. the full catalog), one [B, d] x [C, d]^T matmul scores the
+  // whole batch instead of B per-request table gathers.
+  const bool shared_candidates =
+      users.size() > 1 &&
+      std::all_of(candidate_lists.begin() + 1, candidate_lists.end(),
+                  [&](const std::vector<Index>& c) {
+                    return c == candidate_lists[0];
+                  });
+  if (shared_candidates) {
+    Tensor cand = IndexSelect(table, candidate_lists[0]);        // [C, d]
+    Tensor scores = BatchMatMul(last, cand, false, true);        // [B, C]
+    const float* data = scores.data();
+    const size_t c = candidate_lists[0].size();
+    for (size_t i = 0; i < users.size(); ++i) {
+      result.emplace_back(data + i * c, data + (i + 1) * c);
+    }
+  } else {
+    for (size_t i = 0; i < users.size(); ++i) {
+      Tensor user_state = Slice(last, 0, static_cast<Index>(i),
+                                static_cast<Index>(i) + 1);  // [1, d]
+      Tensor cand = IndexSelect(table, candidate_lists[i]);  // [C, d]
+      Tensor scores = BatchMatMul(user_state, cand, false, true);  // [1, C]
+      result.push_back(scores.ToVector());
+    }
   }
-  SetTraining(was_training);
+  if (was_training) SetTraining(true);
   return result;
 }
 

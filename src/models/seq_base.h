@@ -55,15 +55,31 @@ class SequentialModelBase : public eval::Recommender, public nn::Module {
   void Fit(const data::Dataset& dataset,
            const data::LeaveOneOutSplit& split) override;
 
+  /// Instantiates every module for `dataset` WITHOUT training, so that
+  /// parameters saved from an identically-configured model can be
+  /// restored with nn::LoadParameters and the model scored immediately
+  /// (the checkpoint path of serve::LoadCheckpoint). The dataset must
+  /// outlive the model. Idempotent: a later Fit on the same dataset
+  /// reuses the built modules.
+  void Build(const data::Dataset& dataset);
+
   std::vector<float> Score(Index user, const std::vector<Index>& history,
                            const std::vector<Index>& candidates) override;
 
+  /// Batched scoring with one Encode over all histories. Thread-safe for
+  /// concurrent calls once the model is out of training mode (inference
+  /// only reads parameters; autograd mode is thread-local): this is what
+  /// serve::ServingEngine relies on.
   std::vector<std::vector<float>> ScoreBatch(
       const std::vector<Index>& users,
       const std::vector<std::vector<Index>>& histories,
       const std::vector<std::vector<Index>>& candidate_lists) override;
 
   const SeqModelConfig& config() const { return config_; }
+
+  /// Dataset bound by Fit/Build (nullptr before either). Checkpointing
+  /// uses it to persist the vocabulary alongside the parameters.
+  const data::Dataset* dataset() const { return dataset_; }
 
   /// Mean training loss of the last completed epoch (for tests/benches).
   float last_epoch_loss() const { return last_epoch_loss_; }
@@ -79,6 +95,15 @@ class SequentialModelBase : public eval::Recommender, public nn::Module {
   /// Maps an embedded batch to output states [B, T, d]; state t is used
   /// to predict the item at position t's target.
   virtual Tensor Encode(const data::SequenceBatch& batch) = 0;
+
+  /// Inference-time encoder: only the LAST position's output state
+  /// [B, d] (histories are left-padded, so that is the state that scores
+  /// the next item). Default slices Encode's full [B, T, d] output;
+  /// models whose post-encoder stages are per-position (ISRec's intent
+  /// pipeline) override this to skip the T-1 positions that are never
+  /// scored — the serving hot path. Must produce bitwise-identical
+  /// states to the default.
+  virtual Tensor EncodeLastState(const data::SequenceBatch& batch);
 
   /// Scalar training loss for a batch; default = full-softmax NLL over
   /// all positions with valid targets.

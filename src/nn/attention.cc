@@ -51,6 +51,33 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x,
   return w_o_->Forward(context);
 }
 
+Tensor MultiHeadSelfAttention::ForwardLastQuery(const Tensor& x,
+                                                const Tensor& mask_last) const {
+  ISREC_CHECK_EQ(x.ndim(), 3);
+  const Index batch = x.dim(0);
+  const Index seq = x.dim(1);
+  ISREC_CHECK_EQ(x.dim(2), dim_);
+
+  auto split_heads = [&](const Tensor& t, Index t_len) {
+    // [B, t_len, D] -> [B, H, t_len, dh]
+    return Transpose(Reshape(t, {batch, t_len, num_heads_, head_dim_}), 1, 2);
+  };
+  Tensor q = split_heads(w_q_->Forward(Slice(x, 1, seq - 1, seq)), 1);
+  Tensor k = split_heads(w_k_->Forward(x), seq);
+  Tensor v = split_heads(w_v_->Forward(x), seq);
+
+  // [B, H, 1, T]
+  Tensor scores = MulScalar(BatchMatMul(q, k, false, /*trans_b=*/true),
+                            1.0f / std::sqrt(static_cast<float>(head_dim_)));
+  if (mask_last.defined()) {
+    scores = Add(scores, Reshape(mask_last, {batch, 1, 1, seq}));
+  }
+  Tensor weights = dropout_->Forward(Softmax(scores));
+  Tensor context = BatchMatMul(weights, v);  // [B, H, 1, dh]
+  context = Reshape(Transpose(context, 1, 2), {batch, 1, dim_});
+  return w_o_->Forward(context);
+}
+
 TransformerBlock::TransformerBlock(Index dim, Index num_heads, Index ffn_dim,
                                    float dropout_p, Rng& rng) {
   attention_ =
@@ -75,6 +102,16 @@ Tensor TransformerBlock::Forward(const Tensor& x, const Tensor& mask) const {
   return norm2_->Forward(Add(s, ffn));
 }
 
+Tensor TransformerBlock::ForwardLastQuery(const Tensor& x,
+                                          const Tensor& mask_last) const {
+  const Index seq = x.dim(1);
+  Tensor attended =
+      dropout_->Forward(attention_->ForwardLastQuery(x, mask_last));
+  Tensor s = norm1_->Forward(Add(Slice(x, 1, seq - 1, seq), attended));
+  Tensor ffn = dropout_->Forward(ffn2_->Forward(Relu(ffn1_->Forward(s))));
+  return norm2_->Forward(Add(s, ffn));
+}
+
 TransformerEncoder::TransformerEncoder(Index num_layers, Index dim,
                                        Index num_heads, Index ffn_dim,
                                        float dropout_p, Rng& rng) {
@@ -90,6 +127,18 @@ Tensor TransformerEncoder::Forward(const Tensor& x, const Tensor& mask) const {
   Tensor h = x;
   for (const auto& block : blocks_) h = block->Forward(h, mask);
   return h;
+}
+
+Tensor TransformerEncoder::ForwardLastState(const Tensor& x,
+                                            const Tensor& mask) const {
+  Tensor h = x;
+  for (size_t l = 0; l + 1 < blocks_.size(); ++l) {
+    h = blocks_[l]->Forward(h, mask);
+  }
+  const Index seq = x.dim(1);
+  Tensor mask_last =
+      mask.defined() ? Slice(mask, 1, seq - 1, seq) : mask;  // [B, 1, T]
+  return blocks_.back()->ForwardLastQuery(h, mask_last);
 }
 
 Tensor MakeAttentionMask(Index batch, Index seq_len,

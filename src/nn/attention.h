@@ -24,6 +24,13 @@ class MultiHeadSelfAttention : public Module {
   /// x: [B, T, dim]; mask: [B, T, T] additive. Returns [B, T, dim].
   Tensor Forward(const Tensor& x, const Tensor& mask) const;
 
+  /// Serving fast path: attends with only the last position as query
+  /// (keys/values still cover the full sequence). mask_last is the last
+  /// query row of the full mask, [B, 1, T]. Returns [B, 1, dim],
+  /// bitwise equal to row T-1 of Forward(x, mask): every op involved
+  /// (projections, scores, softmax, context) is row-independent.
+  Tensor ForwardLastQuery(const Tensor& x, const Tensor& mask_last) const;
+
  private:
   Index dim_, num_heads_, head_dim_;
   std::unique_ptr<Linear> w_q_, w_k_, w_v_, w_o_;
@@ -39,6 +46,11 @@ class TransformerBlock : public Module {
 
   Tensor Forward(const Tensor& x, const Tensor& mask) const;
 
+  /// Last-query variant of Forward: returns [B, 1, dim], bitwise equal
+  /// to position T-1 of the full block output (attention, residuals,
+  /// LayerNorm and the FFN are all per-position).
+  Tensor ForwardLastQuery(const Tensor& x, const Tensor& mask_last) const;
+
  private:
   std::unique_ptr<MultiHeadSelfAttention> attention_;
   std::unique_ptr<Linear> ffn1_, ffn2_;
@@ -53,6 +65,13 @@ class TransformerEncoder : public Module {
                      Index ffn_dim, float dropout_p, Rng& rng);
 
   Tensor Forward(const Tensor& x, const Tensor& mask) const;
+
+  /// Serving fast path: all blocks but the last run over the full
+  /// sequence (later layers need their outputs as keys/values); the
+  /// final block computes only the last query position. Returns
+  /// [B, 1, dim], bitwise equal to slicing position T-1 out of
+  /// Forward(x, mask).
+  Tensor ForwardLastState(const Tensor& x, const Tensor& mask) const;
 
  private:
   std::vector<std::unique_ptr<TransformerBlock>> blocks_;

@@ -108,4 +108,15 @@ Tensor GcnLayer::Forward(const SparseMatrix& adj_norm, const Tensor& x) const {
   return relu_ ? Relu(h) : h;
 }
 
+Tensor GcnLayer::ForwardConceptMajor(const SparseMatrix& adj_norm,
+                                     const Tensor& x) const {
+  ISREC_CHECK_EQ(x.ndim(), 3);
+  const Index k = x.dim(0);
+  const Index s = x.dim(1);
+  const Index d = x.dim(2);
+  Tensor h = SpMM(adj_norm, Reshape(x, {k, s * d}));
+  h = linear_->Forward(Reshape(h, {adj_norm.num_rows(), s, d}));
+  return relu_ ? Relu(h) : h;
+}
+
 }  // namespace isrec::nn

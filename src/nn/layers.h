@@ -101,6 +101,15 @@ class GcnLayer : public Module {
   /// x is [..., K, in]; returns [..., K, out].
   Tensor Forward(const SparseMatrix& adj_norm, const Tensor& x) const;
 
+  /// Concept-major variant for batched inference: x is [K, S, in] (S
+  /// samples side by side), returns [K, S, out]. Runs ONE SpMM over all
+  /// S * in columns instead of one per sample; each CSR row accumulates
+  /// its neighbours in the same order as Forward, and the linear + relu
+  /// act per (k, s) row, so results are bitwise equal to Forward on the
+  /// sample-major layout (up to the axis permutation).
+  Tensor ForwardConceptMajor(const SparseMatrix& adj_norm,
+                             const Tensor& x) const;
+
  private:
   bool relu_;
   std::unique_ptr<Linear> linear_;

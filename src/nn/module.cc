@@ -59,9 +59,8 @@ namespace {
 constexpr uint32_t kMagic = 0x49535243;  // "ISRC"
 }  // namespace
 
-void SaveParameters(const Module& module, const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  ISREC_CHECK_MSG(f != nullptr, "cannot open " << path << " for writing");
+void SaveParameters(const Module& module, std::FILE* f) {
+  ISREC_CHECK(f != nullptr);
   const auto params = module.NamedParameters();
   const uint32_t magic = kMagic;
   const uint64_t count = params.size();
@@ -79,46 +78,86 @@ void SaveParameters(const Module& module, const std::string& path) {
     }
     std::fwrite(tensor.data(), sizeof(float), tensor.numel(), f);
   }
+}
+
+void SaveParameters(const Module& module, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ISREC_CHECK_MSG(f != nullptr, "cannot open " << path << " for writing");
+  SaveParameters(module, f);
   std::fclose(f);
+}
+
+bool TryLoadParameters(Module& module, std::FILE* f, std::string* error) {
+  ISREC_CHECK(f != nullptr);
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  if (std::fread(&magic, sizeof(magic), 1, f) != 1u) {
+    return fail("truncated parameter blob (missing magic)");
+  }
+  if (magic != kMagic) return fail("not an ISRec parameter blob");
+  if (std::fread(&count, sizeof(count), 1, f) != 1u) {
+    return fail("truncated parameter blob (missing count)");
+  }
+
+  auto params = module.NamedParameters();
+  if (count != params.size()) {
+    return fail("parameter count mismatch: file has " +
+                std::to_string(count) + ", module has " +
+                std::to_string(params.size()));
+  }
+  for (auto& [expected_name, tensor] : params) {
+    uint64_t name_len = 0;
+    if (std::fread(&name_len, sizeof(name_len), 1, f) != 1u ||
+        name_len > (1u << 20)) {
+      return fail("truncated parameter blob (bad name length)");
+    }
+    std::string name(name_len, '\0');
+    if (std::fread(name.data(), 1, name_len, f) != name_len) {
+      return fail("truncated parameter blob (short name)");
+    }
+    if (name != expected_name) {
+      return fail("parameter order mismatch: " + name + " vs " +
+                  expected_name);
+    }
+    uint64_t rank = 0;
+    if (std::fread(&rank, sizeof(rank), 1, f) != 1u || rank > 16) {
+      return fail("truncated parameter blob (bad rank for " + name + ")");
+    }
+    Shape shape(rank);
+    for (uint64_t i = 0; i < rank; ++i) {
+      int64_t dim = 0;
+      if (std::fread(&dim, sizeof(dim), 1, f) != 1u) {
+        return fail("truncated parameter blob (short shape for " + name +
+                    ")");
+      }
+      shape[i] = dim;
+    }
+    if (shape != tensor.shape()) {
+      return fail("shape mismatch for " + name + ": file " +
+                  ShapeToString(shape) + " vs " +
+                  ShapeToString(tensor.shape()));
+    }
+    if (std::fread(tensor.data(), sizeof(float), tensor.numel(), f) !=
+        static_cast<size_t>(tensor.numel())) {
+      return fail("truncated parameter blob (short data for " + name + ")");
+    }
+  }
+  return true;
+}
+
+void LoadParameters(Module& module, std::FILE* f) {
+  std::string error;
+  ISREC_CHECK_MSG(TryLoadParameters(module, f, &error), error);
 }
 
 bool LoadParameters(Module& module, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return false;
-  uint32_t magic = 0;
-  uint64_t count = 0;
-  ISREC_CHECK_EQ(std::fread(&magic, sizeof(magic), 1, f), 1u);
-  ISREC_CHECK_MSG(magic == kMagic, "not an ISRec parameter file: " << path);
-  ISREC_CHECK_EQ(std::fread(&count, sizeof(count), 1, f), 1u);
-
-  auto params = module.NamedParameters();
-  ISREC_CHECK_MSG(count == params.size(),
-                  "parameter count mismatch: file has "
-                      << count << ", module has " << params.size());
-  for (auto& [expected_name, tensor] : params) {
-    uint64_t name_len = 0;
-    ISREC_CHECK_EQ(std::fread(&name_len, sizeof(name_len), 1, f), 1u);
-    std::string name(name_len, '\0');
-    ISREC_CHECK_EQ(std::fread(name.data(), 1, name_len, f), name_len);
-    ISREC_CHECK_MSG(name == expected_name, "parameter order mismatch: "
-                                               << name << " vs "
-                                               << expected_name);
-    uint64_t rank = 0;
-    ISREC_CHECK_EQ(std::fread(&rank, sizeof(rank), 1, f), 1u);
-    Shape shape(rank);
-    for (uint64_t i = 0; i < rank; ++i) {
-      int64_t dim = 0;
-      ISREC_CHECK_EQ(std::fread(&dim, sizeof(dim), 1, f), 1u);
-      shape[i] = dim;
-    }
-    ISREC_CHECK_MSG(shape == tensor.shape(),
-                    "shape mismatch for " << name << ": file "
-                                          << ShapeToString(shape) << " vs "
-                                          << ShapeToString(tensor.shape()));
-    ISREC_CHECK_EQ(
-        std::fread(tensor.data(), sizeof(float), tensor.numel(), f),
-        static_cast<size_t>(tensor.numel()));
-  }
+  LoadParameters(module, f);
   std::fclose(f);
   return true;
 }

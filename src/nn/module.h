@@ -1,6 +1,7 @@
 #ifndef ISREC_NN_MODULE_H_
 #define ISREC_NN_MODULE_H_
 
+#include <cstdio>
 #include <string>
 #include <utility>
 #include <vector>
@@ -62,6 +63,19 @@ void SaveParameters(const Module& module, const std::string& path);
 /// identical parameter structure (names and shapes). CHECK-fails on
 /// mismatch; returns false only if the file cannot be opened.
 bool LoadParameters(Module& module, const std::string& path);
+
+/// Stream variants: write/read the same parameter blob at the current
+/// position of an already-open file, so a larger container format (e.g.
+/// serve::SaveCheckpoint) can embed the parameters as one section.
+void SaveParameters(const Module& module, std::FILE* file);
+void LoadParameters(Module& module, std::FILE* file);
+
+/// As LoadParameters(module, file), but reports a truncated or malformed
+/// blob by returning false (diagnostic in *error) instead of
+/// CHECK-failing, so callers holding untrusted files (e.g.
+/// serve::LoadCheckpoint) can reject them gracefully. On failure the
+/// module's parameters may be partially overwritten.
+bool TryLoadParameters(Module& module, std::FILE* file, std::string* error);
 
 }  // namespace isrec::nn
 

@@ -1,0 +1,54 @@
+#ifndef ISREC_SERVE_CHECKPOINT_H_
+#define ISREC_SERVE_CHECKPOINT_H_
+
+#include <memory>
+#include <string>
+
+#include "core/isrec.h"
+#include "data/dataset.h"
+
+namespace isrec::serve {
+
+/// Version of the checkpoint container format. Bump whenever the layout
+/// below changes; LoadCheckpoint rejects files with a different version
+/// (forward/backward migration is out of scope — retrain or re-save).
+///
+/// Layout (all integers little-endian, strings length-prefixed u64):
+///   u32 magic "ISCK"
+///   u32 version
+///   config section : every IsrecConfig/SeqModelConfig field, fixed order
+///   vocab section  : dataset name, num_users, num_items,
+///                    item->concept lists (matrix E),
+///                    concept graph (count, names, edge list)
+///   param section  : nn::SaveParameters blob (own magic + name/shape
+///                    per tensor)
+/// User sequences are deliberately NOT stored: serving requests carry
+/// their own histories, and at production scale the interaction log does
+/// not belong in a model artifact.
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+/// A model restored from a checkpoint, ready to Score. The dataset owns
+/// the vocabulary (item-concept matrix + intention graph) the model was
+/// built against and must stay alive as long as the model (the model
+/// keeps a pointer), hence the bundle.
+struct ServableModel {
+  std::unique_ptr<data::Dataset> dataset;
+  std::unique_ptr<core::IsrecModel> model;
+};
+
+/// Serializes a trained IsrecModel — config, vocabulary, and all
+/// parameters — into one versioned binary file at `path`. The model must
+/// have been Fit (or Build+LoadParameters) so it is bound to a dataset.
+void SaveCheckpoint(const core::IsrecModel& model, const std::string& path);
+
+/// Restores a checkpoint written by SaveCheckpoint: rebuilds the model
+/// from the stored config and vocabulary, then restores the parameters.
+/// Scores from the result are bitwise-identical to the saved model's.
+/// Returns {nullptr, nullptr} (with a logged warning) if the file cannot
+/// be opened, is not a checkpoint, has a different version, or is
+/// truncated/corrupt in any section.
+ServableModel LoadCheckpoint(const std::string& path);
+
+}  // namespace isrec::serve
+
+#endif  // ISREC_SERVE_CHECKPOINT_H_

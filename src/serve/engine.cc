@@ -1,0 +1,229 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "utils/check.h"
+
+namespace isrec::serve {
+namespace {
+
+// FNV-1a, mixing every field that determines the response.
+uint64_t HashCombine(uint64_t hash, uint64_t value) {
+  constexpr uint64_t kPrime = 1099511628211ull;
+  for (int shift = 0; shift < 64; shift += 8) {
+    hash = (hash ^ ((value >> shift) & 0xff)) * kPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+Recommendation TopK(const std::vector<float>& scores,
+                    const std::vector<Index>& candidates, Index k) {
+  ISREC_CHECK_EQ(scores.size(), candidates.size());
+  const Index n = static_cast<Index>(candidates.size());
+  const Index kk = std::min(k, n);
+  // Scratch reused across calls; workers call this once per request.
+  thread_local std::vector<Index> order;
+  order.resize(n);
+  std::iota(order.begin(), order.end(), 0);
+  const auto better = [&](Index a, Index b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return candidates[a] < candidates[b];
+  };
+  std::partial_sort(order.begin(), order.begin() + kk, order.end(), better);
+  Recommendation result;
+  result.items.reserve(kk);
+  result.scores.reserve(kk);
+  for (Index i = 0; i < kk; ++i) {
+    result.items.push_back(candidates[order[i]]);
+    result.scores.push_back(scores[order[i]]);
+  }
+  return result;
+}
+
+ServingEngine::ServingEngine(eval::Recommender& model, Index num_items,
+                             EngineConfig config)
+    : model_(model), config_(config) {
+  ISREC_CHECK_GT(config.num_threads, 0);
+  ISREC_CHECK_GT(config.max_batch_size, 0);
+  ISREC_CHECK_GT(config.queue_capacity, 0);
+  ISREC_CHECK_GE(config.batch_window_us, 0);
+  ISREC_CHECK_GT(num_items, 0);
+  full_catalog_.resize(num_items);
+  std::iota(full_catalog_.begin(), full_catalog_.end(), 0);
+  if (config.cache_capacity > 0) {
+    cache_ = std::make_unique<LruCache<uint64_t, Recommendation>>(
+        config.cache_capacity);
+  }
+  pool_ = std::make_unique<utils::ThreadPool>(config.num_threads);
+  for (Index i = 0; i < config.num_threads; ++i) {
+    pool_->Submit([this] { WorkerLoop(); });
+  }
+}
+
+ServingEngine::~ServingEngine() {
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    closed_ = true;
+  }
+  queue_not_empty_.notify_all();
+  queue_not_full_.notify_all();
+  pool_.reset();  // Joins workers after they drain the queue.
+}
+
+uint64_t ServingEngine::CacheKey(const Request& request) const {
+  uint64_t hash = 14695981039346656037ull;
+  hash = HashCombine(hash, static_cast<uint64_t>(request.user));
+  hash = HashCombine(hash, static_cast<uint64_t>(request.k));
+  hash = HashCombine(hash, request.history.size());
+  for (Index item : request.history) {
+    hash = HashCombine(hash, static_cast<uint64_t>(item));
+  }
+  hash = HashCombine(hash, request.candidates.size());
+  for (Index item : request.candidates) {
+    hash = HashCombine(hash, static_cast<uint64_t>(item));
+  }
+  return hash;
+}
+
+std::future<Recommendation> ServingEngine::RecommendAsync(Request request) {
+  const auto start = std::chrono::steady_clock::now();
+  Pending pending;
+  pending.enqueued_at = start;
+  if (cache_ != nullptr) {
+    pending.cache_key = CacheKey(request);
+    if (std::optional<Recommendation> hit = cache_->Get(pending.cache_key)) {
+      hit->from_cache = true;
+      stats_.RecordRequest(
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count(),
+          /*cache_hit=*/true);
+      std::promise<Recommendation> ready;
+      ready.set_value(*std::move(hit));
+      return ready.get_future();
+    }
+  }
+  pending.request = std::move(request);
+  std::future<Recommendation> future = pending.promise.get_future();
+  bool was_empty;
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    queue_not_full_.wait(lock, [this] {
+      return closed_ ||
+             static_cast<Index>(queue_.size()) < config_.queue_capacity;
+    });
+    ISREC_CHECK_MSG(!closed_, "Recommend on a shut-down ServingEngine");
+    was_empty = queue_.empty();
+    queue_.push_back(std::move(pending));
+  }
+  // Only the empty -> non-empty transition needs a wakeup: a lingering
+  // worker drains the queue at its batch deadline anyway, and waking it
+  // per request would cost a context switch each time.
+  if (was_empty) queue_not_empty_.notify_one();
+  return future;
+}
+
+Recommendation ServingEngine::Recommend(const Request& request) {
+  return RecommendAsync(request).get();
+}
+
+void ServingEngine::WorkerLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    bool leftover;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_not_empty_.wait(lock,
+                            [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Closed and drained.
+      // Micro-batching: grab what is already waiting, then (optionally)
+      // linger up to the batch window for concurrent requests to arrive.
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(config_.batch_window_us);
+      while (static_cast<Index>(batch.size()) < config_.max_batch_size) {
+        if (!queue_.empty()) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+          continue;
+        }
+        if (closed_ || config_.batch_window_us == 0) break;
+        if (queue_not_empty_.wait_until(lock, deadline) ==
+                std::cv_status::timeout &&
+            queue_.empty()) {
+          break;
+        }
+      }
+      leftover = !queue_.empty();
+    }
+    queue_not_full_.notify_all();
+    // Producers skip the wakeup while the queue is non-empty, so hand
+    // any overflow beyond this batch to a sibling worker explicitly.
+    if (leftover) queue_not_empty_.notify_one();
+    ProcessBatch(std::move(batch));
+  }
+}
+
+void ServingEngine::ProcessBatch(std::vector<Pending> batch) {
+  // Second cache lookup: a duplicate request that was still in flight at
+  // submit time (so its first lookup missed) may have completed while
+  // this one waited in the queue. Bursts of repeated requests otherwise
+  // never hit the cache at all.
+  if (cache_ != nullptr) {
+    std::vector<Pending> misses;
+    misses.reserve(batch.size());
+    const auto now = std::chrono::steady_clock::now();
+    for (Pending& pending : batch) {
+      std::optional<Recommendation> hit = cache_->Get(pending.cache_key);
+      if (!hit.has_value()) {
+        misses.push_back(std::move(pending));
+        continue;
+      }
+      hit->from_cache = true;
+      stats_.RecordRequest(std::chrono::duration<double, std::milli>(
+                               now - pending.enqueued_at)
+                               .count(),
+                           /*cache_hit=*/true);
+      pending.promise.set_value(*std::move(hit));
+    }
+    batch = std::move(misses);
+    if (batch.empty()) return;
+  }
+  std::vector<Index> users;
+  std::vector<std::vector<Index>> histories;
+  std::vector<std::vector<Index>> candidate_lists;
+  users.reserve(batch.size());
+  histories.reserve(batch.size());
+  candidate_lists.reserve(batch.size());
+  for (const Pending& pending : batch) {
+    users.push_back(pending.request.user);
+    histories.push_back(pending.request.history);
+    candidate_lists.push_back(pending.request.candidates.empty()
+                                  ? full_catalog_
+                                  : pending.request.candidates);
+  }
+  const std::vector<std::vector<float>> scores =
+      model_.ScoreBatch(users, histories, candidate_lists);
+  const auto done = std::chrono::steady_clock::now();
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(batch.size());
+  for (const Pending& pending : batch) {
+    latencies_ms.push_back(std::chrono::duration<double, std::milli>(
+                               done - pending.enqueued_at)
+                               .count());
+  }
+  // Record before fulfilling any promise so a caller that wakes on its
+  // future never observes stats missing its own request.
+  stats_.RecordProcessedBatch(static_cast<Index>(batch.size()), latencies_ms);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Recommendation rec =
+        TopK(scores[i], candidate_lists[i], batch[i].request.k);
+    if (cache_ != nullptr) cache_->Put(batch[i].cache_key, rec);
+    batch[i].promise.set_value(std::move(rec));
+  }
+}
+
+}  // namespace isrec::serve

@@ -1,0 +1,129 @@
+#ifndef ISREC_SERVE_ENGINE_H_
+#define ISREC_SERVE_ENGINE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "eval/recommender.h"
+#include "serve/lru_cache.h"
+#include "serve/stats.h"
+#include "utils/thread_pool.h"
+
+namespace isrec::serve {
+
+struct EngineConfig {
+  /// Worker threads draining the request queue. Even with one hardware
+  /// core, multiple workers overlap queue waiting with scoring; the main
+  /// speedup over per-request Score comes from micro-batching.
+  Index num_threads = 4;
+  /// Largest number of requests scored in one ScoreBatch call.
+  Index max_batch_size = 32;
+  /// After popping the first request of a batch, a worker waits up to
+  /// this long for more requests to coalesce. 0 = score immediately.
+  Index batch_window_us = 200;
+  /// Bound of the MPMC request queue; Recommend blocks when full
+  /// (backpressure instead of unbounded memory growth).
+  Index queue_capacity = 4096;
+  /// Entries in the (user, history, k, candidates)-keyed LRU response
+  /// cache. 0 disables caching.
+  Index cache_capacity = 0;
+};
+
+struct Request {
+  Index user = 0;
+  std::vector<Index> history;
+  Index k = 10;
+  /// Candidate items to rank; empty means the full catalog.
+  std::vector<Index> candidates;
+};
+
+struct Recommendation {
+  /// Top-K item ids, best first. Ties broken by ascending item id so
+  /// results are deterministic across batch compositions.
+  std::vector<Index> items;
+  std::vector<float> scores;  // Aligned with items.
+  bool from_cache = false;
+};
+
+/// Deterministic top-k selection: highest score first, ties broken by
+/// ascending item id. Shared by the engine and its sequential baselines
+/// so "identical top-K" comparisons are exact.
+Recommendation TopK(const std::vector<float>& scores,
+                    const std::vector<Index>& candidates, Index k);
+
+/// Online inference engine over a trained Recommender.
+///
+/// Callers from any thread submit requests; workers from an owned
+/// utils::ThreadPool pop up to max_batch_size requests from a bounded
+/// MPMC queue (waiting batch_window_us to coalesce concurrent traffic)
+/// and answer them with ONE ScoreBatch call, amortizing the encoder
+/// forward pass — the difference between per-request and batched scoring
+/// is the main throughput lever. An optional LRU cache short-circuits
+/// repeat requests before they reach the queue.
+///
+/// The model must be in eval mode and its ScoreBatch must be safe for
+/// concurrent calls (SequentialModelBase qualifies; see its header).
+class ServingEngine {
+ public:
+  /// `model` must outlive the engine. `num_items` bounds the full-catalog
+  /// candidate set used when a request does not supply its own.
+  ServingEngine(eval::Recommender& model, Index num_items,
+                EngineConfig config = {});
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Blocking request/response. Thread-safe.
+  Recommendation Recommend(const Request& request);
+
+  /// Asynchronous variant; the future resolves when a worker has scored
+  /// the micro-batch containing this request (or on a cache hit,
+  /// immediately).
+  std::future<Recommendation> RecommendAsync(Request request);
+
+  ServeStats Stats() const { return stats_.Snapshot(); }
+  void ResetStats() { stats_.Reset(); }
+
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    Request request;
+    std::promise<Recommendation> promise;
+    std::chrono::steady_clock::time_point enqueued_at;
+    uint64_t cache_key = 0;
+  };
+
+  void WorkerLoop();
+  void ProcessBatch(std::vector<Pending> batch);
+  uint64_t CacheKey(const Request& request) const;
+
+  eval::Recommender& model_;
+  const EngineConfig config_;
+  std::vector<Index> full_catalog_;
+
+  // Bounded MPMC queue. Close() (from the destructor) wakes everything;
+  // workers drain remaining requests before exiting.
+  std::mutex queue_mutex_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable queue_not_full_;
+  std::deque<Pending> queue_;
+  bool closed_ = false;
+
+  std::unique_ptr<LruCache<uint64_t, Recommendation>> cache_;
+  StatsRecorder stats_;
+
+  // Last member so workers die before the members they use.
+  std::unique_ptr<utils::ThreadPool> pool_;
+};
+
+}  // namespace isrec::serve
+
+#endif  // ISREC_SERVE_ENGINE_H_

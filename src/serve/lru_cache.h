@@ -1,0 +1,88 @@
+#ifndef ISREC_SERVE_LRU_CACHE_H_
+#define ISREC_SERVE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "utils/check.h"
+
+namespace isrec::serve {
+
+/// Thread-safe least-recently-used cache with hit/miss counters.
+///
+/// Get promotes the entry to most-recently-used and returns a copy of the
+/// value (entries may be evicted by other threads at any time, so
+/// references into the cache would dangle). Put inserts or refreshes and
+/// evicts the LRU entry once size exceeds capacity.
+template <typename K, typename V>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {
+    ISREC_CHECK_GT(capacity, 0u);
+  }
+
+  std::optional<V> Get(const K& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return it->second->second;
+  }
+
+  void Put(const K& key, V value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return;
+    }
+    entries_.emplace_front(key, std::move(value));
+    index_[key] = entries_.begin();
+    if (index_.size() > capacity_) {
+      index_.erase(entries_.back().first);
+      entries_.pop_back();
+    }
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    index_.clear();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index_.size();
+  }
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  /// Most-recently-used entry first.
+  std::list<std::pair<K, V>> entries_;
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace isrec::serve
+
+#endif  // ISREC_SERVE_LRU_CACHE_H_

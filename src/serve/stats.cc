@@ -1,0 +1,123 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "utils/table.h"
+
+namespace isrec::serve {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+void StatsRecorder::RecordRequest(double latency_ms, bool cache_hit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (start_seconds_ < 0.0) start_seconds_ = NowSeconds();
+  latencies_ms_.push_back(latency_ms);
+  if (cache_hit) {
+    ++cache_hits_;
+  } else {
+    ++cache_misses_;
+  }
+}
+
+void StatsRecorder::RecordBatch(Index batch_size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (batch_size_histogram_.size() <= static_cast<size_t>(batch_size)) {
+    batch_size_histogram_.resize(batch_size + 1, 0);
+  }
+  ++batch_size_histogram_[batch_size];
+  ++num_batches_;
+}
+
+void StatsRecorder::RecordProcessedBatch(
+    Index batch_size, const std::vector<double>& latencies_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (start_seconds_ < 0.0) start_seconds_ = NowSeconds();
+  if (batch_size_histogram_.size() <= static_cast<size_t>(batch_size)) {
+    batch_size_histogram_.resize(batch_size + 1, 0);
+  }
+  ++batch_size_histogram_[batch_size];
+  ++num_batches_;
+  latencies_ms_.insert(latencies_ms_.end(), latencies_ms.begin(),
+                       latencies_ms.end());
+  cache_misses_ += latencies_ms.size();
+}
+
+void StatsRecorder::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  latencies_ms_.clear();
+  batch_size_histogram_.clear();
+  cache_hits_ = 0;
+  cache_misses_ = 0;
+  num_batches_ = 0;
+  start_seconds_ = NowSeconds();
+}
+
+ServeStats StatsRecorder::Snapshot() const {
+  ServeStats stats;
+  std::vector<double> latencies;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    latencies = latencies_ms_;
+    stats.batch_size_histogram = batch_size_histogram_;
+    stats.cache_hits = cache_hits_;
+    stats.cache_misses = cache_misses_;
+    stats.num_batches = num_batches_;
+    stats.elapsed_seconds =
+        start_seconds_ < 0.0 ? 0.0 : NowSeconds() - start_seconds_;
+  }
+  stats.num_requests = latencies.size();
+  if (stats.elapsed_seconds > 0.0) {
+    stats.qps = stats.num_requests / stats.elapsed_seconds;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  stats.p50_ms = Percentile(latencies, 0.50);
+  stats.p95_ms = Percentile(latencies, 0.95);
+  stats.p99_ms = Percentile(latencies, 0.99);
+  uint64_t batched_requests = 0;
+  for (size_t b = 0; b < stats.batch_size_histogram.size(); ++b) {
+    batched_requests += b * stats.batch_size_histogram[b];
+  }
+  stats.mean_batch_size =
+      stats.num_batches == 0
+          ? 0.0
+          : static_cast<double>(batched_requests) / stats.num_batches;
+  return stats;
+}
+
+std::string ServeStats::ToTableString() const {
+  Table table({"serve_stat", "value"});
+  table.AddRow({"requests", std::to_string(num_requests)});
+  table.AddRow({"elapsed_s", FormatFloat(elapsed_seconds, 3)});
+  table.AddRow({"qps", FormatFloat(qps, 1)});
+  table.AddRow({"p50_ms", FormatFloat(p50_ms, 3)});
+  table.AddRow({"p95_ms", FormatFloat(p95_ms, 3)});
+  table.AddRow({"p99_ms", FormatFloat(p99_ms, 3)});
+  table.AddRow({"batches", std::to_string(num_batches)});
+  table.AddRow({"mean_batch_size", FormatFloat(mean_batch_size, 2)});
+  table.AddRow({"cache_hits", std::to_string(cache_hits)});
+  table.AddRow({"cache_misses", std::to_string(cache_misses)});
+  table.AddRow({"cache_hit_rate", FormatFloat(cache_hit_rate(), 3)});
+  table.AddSeparator();
+  for (size_t b = 1; b < batch_size_histogram.size(); ++b) {
+    if (batch_size_histogram[b] == 0) continue;
+    table.AddRow({"batch_size=" + std::to_string(b),
+                  std::to_string(batch_size_histogram[b])});
+  }
+  return table.ToString();
+}
+
+}  // namespace isrec::serve

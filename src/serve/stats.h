@@ -1,0 +1,73 @@
+#ifndef ISREC_SERVE_STATS_H_
+#define ISREC_SERVE_STATS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace isrec::serve {
+
+/// Immutable snapshot of the engine's serving statistics (the
+/// `serve_stats` of the design doc): throughput, latency percentiles, the
+/// micro-batch size histogram, and cache effectiveness.
+struct ServeStats {
+  uint64_t num_requests = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t num_batches = 0;
+  double elapsed_seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_batch_size = 0.0;
+  /// histogram[b] = number of micro-batches that scored exactly b
+  /// requests (index 0 unused).
+  std::vector<uint64_t> batch_size_histogram;
+
+  double cache_hit_rate() const {
+    const uint64_t lookups = cache_hits + cache_misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(cache_hits) / lookups;
+  }
+
+  /// Renders the stats as a two-column utils::Table plus the batch-size
+  /// histogram.
+  std::string ToTableString() const;
+};
+
+/// Thread-safe accumulator the engine records into; Snapshot() computes
+/// the derived numbers (percentiles, qps) on demand.
+class StatsRecorder {
+ public:
+  void RecordRequest(double latency_ms, bool cache_hit);
+  void RecordBatch(Index batch_size);
+
+  /// Records one processed micro-batch — its size plus the latency of
+  /// every request in it (all cache misses) — under a single lock
+  /// acquisition, so the hot path pays one mutex per batch instead of
+  /// one per request.
+  void RecordProcessedBatch(Index batch_size,
+                            const std::vector<double>& latencies_ms);
+
+  /// Marks the start of the measurement window (defaults to construction
+  /// time); also clears all recorded samples.
+  void Reset();
+
+  ServeStats Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> latencies_ms_;
+  std::vector<uint64_t> batch_size_histogram_;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+  uint64_t num_batches_ = 0;
+  double start_seconds_ = -1.0;  // Monotonic; set lazily on first record.
+};
+
+}  // namespace isrec::serve
+
+#endif  // ISREC_SERVE_STATS_H_

@@ -24,6 +24,12 @@ std::vector<Index> BroadcastStrides(const Shape& shape, const Shape& out) {
 
 // Applies fn(out_linear_index, a_offset, b_offset) over the broadcast
 // iteration space of `out`.
+//
+// Adjacent dims whose a/b strides are jointly contiguous (or jointly
+// broadcast) are merged first, so typical patterns like
+// [B, T, d] + [T, d] or [B, T, K, d] * [B, T, K, 1] run as a two-level
+// loop with a tight inner sweep instead of advancing a per-element
+// odometer over the full rank.
 template <typename Fn>
 void ForEachBroadcast(const Shape& out, const std::vector<Index>& sa,
                       const std::vector<Index>& sb, Fn&& fn) {
@@ -33,19 +39,48 @@ void ForEachBroadcast(const Shape& out, const std::vector<Index>& sa,
     if (n == 1) fn(0, 0, 0);
     return;
   }
-  std::vector<Index> idx(rank, 0);
+  Shape ext;
+  std::vector<Index> ca, cb;  // Collapsed strides.
+  ext.reserve(rank);
+  ca.reserve(rank);
+  cb.reserve(rank);
+  for (int d = 0; d < rank; ++d) {
+    const bool mergeable =
+        !ext.empty() && ca.back() == out[d] * sa[d] &&
+        cb.back() == out[d] * sb[d];
+    if (mergeable) {
+      ext.back() *= out[d];
+      ca.back() = sa[d];
+      cb.back() = sb[d];
+    } else {
+      ext.push_back(out[d]);
+      ca.push_back(sa[d]);
+      cb.push_back(sb[d]);
+    }
+  }
+  const int crank = static_cast<int>(ext.size());
+  const Index inner = ext[crank - 1];
+  const Index ia_step = ca[crank - 1];
+  const Index ib_step = cb[crank - 1];
+  std::vector<Index> idx(crank, 0);
   Index off_a = 0;
   Index off_b = 0;
-  for (Index i = 0; i < n; ++i) {
-    fn(i, off_a, off_b);
-    for (int d = rank - 1; d >= 0; --d) {
+  for (Index i = 0; i < n;) {
+    Index oa = off_a;
+    Index ob = off_b;
+    for (Index j = 0; j < inner; ++j) {
+      fn(i++, oa, ob);
+      oa += ia_step;
+      ob += ib_step;
+    }
+    for (int d = crank - 2; d >= 0; --d) {
       ++idx[d];
-      off_a += sa[d];
-      off_b += sb[d];
-      if (idx[d] < out[d]) break;
+      off_a += ca[d];
+      off_b += cb[d];
+      if (idx[d] < ext[d]) break;
       idx[d] = 0;
-      off_a -= sa[d] * out[d];
-      off_b -= sb[d] * out[d];
+      off_a -= ca[d] * ext[d];
+      off_b -= cb[d] * ext[d];
     }
   }
 }

@@ -75,19 +75,62 @@ Tensor Transpose(const Tensor& a, int axis0, int axis1) {
   Shape out_shape = a.shape();
   std::swap(out_shape[axis0], out_shape[axis1]);
 
+  // Swapping never reorders memory when at least one swapped dim has
+  // size 1 and — unless both do — every dim strictly between them is
+  // also size 1 (a size-1 axis contributes nothing to the linear
+  // index). Attention's head split/merge with few heads hits this
+  // constantly; a flat copy is much cheaper than the strided walk.
+  {
+    const int lo = std::min(axis0, axis1);
+    const int hi = std::max(axis0, axis1);
+    bool order_preserved = a.dim(axis0) == 1 || a.dim(axis1) == 1;
+    if (order_preserved && !(a.dim(axis0) == 1 && a.dim(axis1) == 1)) {
+      for (int d = lo + 1; d < hi; ++d) {
+        if (a.dim(d) != 1) {
+          order_preserved = false;
+          break;
+        }
+      }
+    }
+    if (order_preserved) {
+      Tensor result = internal::MakeOpResult(
+          out_shape, {a},
+          [&](internal::TensorImpl* out)
+              -> std::function<void()> {
+            auto ia = a.impl();
+            return [ia, out]() {
+              if (!ia->requires_grad) return;
+              ia->EnsureGrad();
+              for (size_t i = 0; i < out->grad.size(); ++i) {
+                ia->grad[i] += out->grad[i];
+              }
+            };
+          });
+      std::memcpy(result.data(), a.data(), sizeof(float) * a.numel());
+      return result;
+    }
+  }
+
   const std::vector<Index> in_strides = ContiguousStrides(a.shape());
   // Stride of the output's axis d in the *input* buffer.
   std::vector<Index> src_strides = in_strides;
   std::swap(src_strides[axis0], src_strides[axis1]);
 
-  auto for_each = [out_shape, src_strides](auto&& fn) {
-    const Index n = NumElements(out_shape);
-    const int rank = static_cast<int>(out_shape.size());
-    std::vector<Index> idx(rank, 0);
+  // Axes after the last swapped one keep their layout, so they form a
+  // contiguous run shared by input and output; walk the odometer over
+  // the leading axes only and move `inner` elements per step.
+  const int hi = std::max(axis0, axis1);
+  Index inner = 1;
+  for (int d = hi + 1; d < rank; ++d) inner *= out_shape[d];
+
+  auto for_each_run = [out_shape, src_strides, hi](auto&& fn) {
+    Index runs = 1;
+    for (int d = 0; d <= hi; ++d) runs *= out_shape[d];
+    std::vector<Index> idx(hi + 1, 0);
     Index src = 0;
-    for (Index i = 0; i < n; ++i) {
-      fn(i, src);
-      for (int d = rank - 1; d >= 0; --d) {
+    for (Index r = 0; r < runs; ++r) {
+      fn(r, src);
+      for (int d = hi; d >= 0; --d) {
         ++idx[d];
         src += src_strides[d];
         if (idx[d] < out_shape[d]) break;
@@ -102,18 +145,22 @@ Tensor Transpose(const Tensor& a, int axis0, int axis1) {
       [&](internal::TensorImpl* out)
           -> std::function<void()> {
         auto ia = a.impl();
-        return [ia, out, for_each]() {
+        return [ia, out, for_each_run, inner]() {
           if (!ia->requires_grad) return;
           ia->EnsureGrad();
-          for_each([&](Index out_i, Index src_i) {
-            ia->grad[src_i] += out->grad[out_i];
+          for_each_run([&](Index run, Index src) {
+            const float* g = out->grad.data() + run * inner;
+            float* ga = ia->grad.data() + src;
+            for (Index i = 0; i < inner; ++i) ga[i] += g[i];
           });
         };
       });
   {
     const float* in = a.data();
     float* out = result.data();
-    for_each([&](Index out_i, Index src_i) { out[out_i] = in[src_i]; });
+    for_each_run([&](Index run, Index src) {
+      std::memcpy(out + run * inner, in + src, sizeof(float) * inner);
+    });
   }
   return result;
 }

@@ -1,0 +1,65 @@
+#include "utils/thread_pool.h"
+
+#include "utils/check.h"
+
+namespace isrec::utils {
+
+ThreadPool::ThreadPool(Index num_threads) {
+  ISREC_CHECK_GT(num_threads, 0);
+  workers_.reserve(num_threads);
+  for (Index i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  ISREC_CHECK(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ISREC_CHECK_MSG(!shutdown_, "Submit on a shut-down ThreadPool");
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown_ and fully drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    try {
+      task();
+    } catch (...) {
+      // SubmitWithResult routes exceptions through the future; a bare
+      // Submit task that throws is dropped here so the worker survives.
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace isrec::utils

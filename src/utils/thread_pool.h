@@ -1,0 +1,68 @@
+#ifndef ISREC_UTILS_THREAD_POOL_H_
+#define ISREC_UTILS_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace isrec::utils {
+
+/// Fixed-size pool of worker threads consuming a FIFO task queue.
+///
+/// Tasks are submitted either fire-and-forget (Submit) or with a future
+/// (SubmitWithResult); an exception thrown by a SubmitWithResult task is
+/// captured in its future, and one thrown by a Submit task is swallowed
+/// after unwinding the task — a throwing task never takes down a worker
+/// thread. The destructor drains all queued tasks, then joins.
+class ThreadPool {
+ public:
+  explicit ThreadPool(Index num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks (the queue is unbounded; bounded
+  /// admission belongs to the caller, e.g. serve::BoundedQueue).
+  void Submit(std::function<void()> task);
+
+  /// Enqueues a task and returns a future for its result; exceptions
+  /// propagate through the future.
+  template <typename F>
+  auto SubmitWithResult(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    Submit([task]() { (*task)(); });
+    return result;
+  }
+
+  /// Blocks until every task submitted so far has finished.
+  void WaitIdle();
+
+  Index num_threads() const { return static_cast<Index>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  Index active_ = 0;     // Tasks currently executing.
+  bool shutdown_ = false;
+};
+
+}  // namespace isrec::utils
+
+#endif  // ISREC_UTILS_THREAD_POOL_H_

@@ -1,0 +1,110 @@
+// Tests of the serving engine's LRU response cache.
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "serve/lru_cache.h"
+
+namespace isrec::serve {
+namespace {
+
+TEST(LruCacheTest, GetReturnsPutValue) {
+  LruCache<int, std::string> cache(4);
+  cache.Put(1, "one");
+  auto hit = cache.Get(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "one");
+  EXPECT_FALSE(cache.Get(2).has_value());
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(3);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(3, 30);
+  cache.Put(4, 40);  // Evicts 1 (oldest, never touched).
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_TRUE(cache.Get(2).has_value());
+  EXPECT_TRUE(cache.Get(3).has_value());
+  EXPECT_TRUE(cache.Get(4).has_value());
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(LruCacheTest, GetPromotesEntry) {
+  LruCache<int, int> cache(3);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(3, 30);
+  ASSERT_TRUE(cache.Get(1).has_value());  // 1 becomes most recent.
+  cache.Put(4, 40);                       // Evicts 2, not 1.
+  EXPECT_TRUE(cache.Get(1).has_value());
+  EXPECT_FALSE(cache.Get(2).has_value());
+}
+
+TEST(LruCacheTest, PutRefreshesExistingKey) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(1, 11);  // Refresh, not insert: nothing evicted.
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(*cache.Get(1), 11);
+  cache.Put(3, 30);  // Now 2 is the LRU entry.
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_TRUE(cache.Get(1).has_value());
+}
+
+TEST(LruCacheTest, CountsHitsAndMisses) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  (void)cache.Get(1);  // Hit.
+  (void)cache.Get(1);  // Hit.
+  (void)cache.Get(9);  // Miss.
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCacheTest, ClearEmptiesButKeepsCounters) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  (void)cache.Get(1);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCacheTest, CapacityOneKeepsOnlyNewestEntry) {
+  LruCache<int, int> cache(1);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_EQ(*cache.Get(2), 20);
+}
+
+TEST(LruCacheTest, ConcurrentReadersAndWritersAreSafe) {
+  LruCache<int, int> cache(16);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        const int key = (t * 31 + i) % 64;
+        cache.Put(key, key * 2);
+        auto hit = cache.Get(key);
+        if (hit.has_value()) {
+          // Values are a function of the key, so concurrent evictions
+          // can drop entries but never corrupt them.
+          EXPECT_EQ(*hit, key * 2);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_LE(cache.size(), 16u);
+  EXPECT_EQ(cache.hits() + cache.misses(), 4u * 500u);
+}
+
+}  // namespace
+}  // namespace isrec::serve

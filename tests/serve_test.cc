@@ -1,0 +1,424 @@
+// Tests of the isrec::serve subsystem: checkpoint round-trips, the
+// ScoreBatch == Score contract the engine relies on, the serving-only
+// EncodeLastState fast paths, the engine's identical-top-K guarantee,
+// and the LRU response cache wiring.
+
+#include <fstream>
+#include <future>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/isrec.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "models/sasrec.h"
+#include "serve/checkpoint.h"
+#include "serve/engine.h"
+
+namespace isrec::serve {
+namespace {
+
+std::string TempPath(const std::string& tag) {
+  return ::testing::TempDir() + "/isrec_serve_" + tag;
+}
+
+data::Dataset BeautySim() {
+  for (const auto& preset : data::AllPresets()) {
+    if (preset.name == "beauty_sim") {
+      return data::GenerateSyntheticDataset(preset);
+    }
+  }
+  ADD_FAILURE() << "beauty_sim preset missing";
+  return {};
+}
+
+core::IsrecConfig SmallIsrecConfig(Index epochs) {
+  core::IsrecConfig config;
+  config.seq.embed_dim = 16;
+  config.seq.num_layers = 2;
+  config.seq.ffn_dim = 32;
+  config.seq.seq_len = 8;
+  config.seq.epochs = epochs;
+  config.seq.batch_size = 64;
+  config.seq.seed = 7;
+  config.intent_dim = 4;
+  config.num_active = 6;
+  return config;
+}
+
+// Ten short probe histories over a 600-item catalog.
+std::vector<std::vector<Index>> ProbeHistories() {
+  std::vector<std::vector<Index>> probes;
+  for (Index p = 0; p < 10; ++p) {
+    std::vector<Index> h;
+    for (Index i = 0; i <= p % 5; ++i) h.push_back((37 * p + 11 * i) % 600);
+    probes.push_back(std::move(h));
+  }
+  return probes;
+}
+
+TEST(CheckpointTest, RoundTripIsBitwiseIdentical) {
+  data::Dataset dataset = BeautySim();
+  data::LeaveOneOutSplit split(dataset);
+
+  core::IsrecModel model(SmallIsrecConfig(/*epochs=*/2));
+  model.Fit(dataset, split);
+  model.SetTraining(false);
+
+  const std::string path = TempPath("roundtrip.isrec");
+  SaveCheckpoint(model, path);
+  ServableModel restored = LoadCheckpoint(path);
+  ASSERT_NE(restored.model, nullptr);
+  EXPECT_EQ(restored.model->name(), model.name());
+  EXPECT_EQ(restored.dataset->num_items, dataset.num_items);
+
+  std::vector<Index> candidates(dataset.num_items);
+  for (Index i = 0; i < dataset.num_items; ++i) candidates[i] = i;
+  for (const std::vector<Index>& history : ProbeHistories()) {
+    const std::vector<float> expected = model.Score(0, history, candidates);
+    const std::vector<float> actual =
+        restored.model->Score(0, history, candidates);
+    ASSERT_EQ(expected.size(), actual.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      // Bitwise: the checkpoint stores raw parameter bits and scoring is
+      // deterministic, so not even the last ulp may differ.
+      ASSERT_EQ(expected[i], actual[i]) << "score " << i;
+    }
+  }
+}
+
+TEST(CheckpointTest, LoadOfMissingFileReturnsNull) {
+  ServableModel missing = LoadCheckpoint(TempPath("does_not_exist"));
+  EXPECT_EQ(missing.model, nullptr);
+  EXPECT_EQ(missing.dataset, nullptr);
+}
+
+TEST(CheckpointTest, RejectsTruncatedAndCorruptFiles) {
+  data::Dataset dataset = BeautySim();
+  core::IsrecModel model(SmallIsrecConfig(/*epochs=*/1));
+  model.Build(dataset);  // untrained parameters are fine for this test
+
+  const std::string path = TempPath("corrupt.isrec");
+  SaveCheckpoint(model, path);
+  std::ifstream in(path, std::ios::binary);
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 4000u);
+
+  auto write_and_load = [&path](const std::string& contents) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.close();
+    return LoadCheckpoint(path);
+  };
+
+  // Truncation at every section: header, config, vocab, and params.
+  for (const size_t keep :
+       {size_t{2}, size_t{40}, size_t{2000}, bytes.size() - 8}) {
+    ServableModel loaded = write_and_load(bytes.substr(0, keep));
+    EXPECT_EQ(loaded.model, nullptr) << "truncated to " << keep << " bytes";
+  }
+
+  std::string bad_magic = bytes;
+  bad_magic[0] = static_cast<char>(bad_magic[0] ^ 0x5a);
+  EXPECT_EQ(write_and_load(bad_magic).model, nullptr);
+
+  std::string bad_version = bytes;
+  bad_version[4] = static_cast<char>(bad_version[4] + 1);
+  EXPECT_EQ(write_and_load(bad_version).model, nullptr);
+
+  // The original bytes still load — the rejections above were not luck.
+  EXPECT_NE(write_and_load(bytes).model, nullptr);
+}
+
+// The engine answers a micro-batch with one ScoreBatch call and promises
+// results identical to per-request Score; these tests pin that contract
+// for both model families, including heterogeneous histories and
+// per-request candidate lists.
+template <typename Model>
+void ExpectScoreBatchMatchesScore(Model& model, Index num_items) {
+  model.SetTraining(false);
+  std::vector<Index> users;
+  std::vector<std::vector<Index>> histories = ProbeHistories();
+  std::vector<std::vector<Index>> candidate_lists;
+  for (size_t r = 0; r < histories.size(); ++r) {
+    users.push_back(static_cast<Index>(r));
+    std::vector<Index> candidates;
+    if (r % 2 == 0) {  // Full catalog on even requests ...
+      for (Index i = 0; i < num_items; ++i) candidates.push_back(i);
+    } else {  // ... a request-specific subset on odd ones.
+      for (Index i = static_cast<Index>(r); i < num_items; i += 7) {
+        candidates.push_back(i);
+      }
+    }
+    candidate_lists.push_back(std::move(candidates));
+  }
+
+  const std::vector<std::vector<float>> batched =
+      model.ScoreBatch(users, histories, candidate_lists);
+  ASSERT_EQ(batched.size(), histories.size());
+  for (size_t r = 0; r < histories.size(); ++r) {
+    const std::vector<float> single =
+        model.Score(users[r], histories[r], candidate_lists[r]);
+    ASSERT_EQ(batched[r].size(), single.size());
+    for (size_t i = 0; i < single.size(); ++i) {
+      ASSERT_EQ(batched[r][i], single[i]) << "request " << r << " score " << i;
+    }
+  }
+}
+
+TEST(ScoreBatchTest, MatchesScoreForIsrec) {
+  data::Dataset dataset = BeautySim();
+  data::LeaveOneOutSplit split(dataset);
+  core::IsrecModel model(SmallIsrecConfig(/*epochs=*/1));
+  model.Fit(dataset, split);
+  ExpectScoreBatchMatchesScore(model, dataset.num_items);
+}
+
+TEST(ScoreBatchTest, MatchesScoreForSasRec) {
+  data::Dataset dataset = BeautySim();
+  data::LeaveOneOutSplit split(dataset);
+  models::SeqModelConfig config;
+  config.embed_dim = 16;
+  config.num_layers = 2;
+  config.ffn_dim = 32;
+  config.seq_len = 8;
+  config.epochs = 1;
+  config.seed = 7;
+  models::SasRec model(config);
+  model.Fit(dataset, split);
+  ExpectScoreBatchMatchesScore(model, dataset.num_items);
+}
+
+// Reverts EncodeLastState to the base-class implementation (full Encode
+// of every position, then slice the last), so the serving fast path can
+// be compared against the reference it claims to equal.
+class FullEncodeIsrec : public core::IsrecModel {
+ public:
+  explicit FullEncodeIsrec(core::IsrecConfig config)
+      : core::IsrecModel(config) {}
+
+ protected:
+  Tensor EncodeLastState(const data::SequenceBatch& batch) override {
+    return models::SequentialModelBase::EncodeLastState(batch);
+  }
+};
+
+class FullEncodeSasRec : public models::SasRec {
+ public:
+  explicit FullEncodeSasRec(models::SeqModelConfig config)
+      : models::SasRec(config) {}
+
+ protected:
+  Tensor EncodeLastState(const data::SequenceBatch& batch) override {
+    return models::SequentialModelBase::EncodeLastState(batch);
+  }
+};
+
+// The last-query attention path (TransformerEncoder::ForwardLastState)
+// must be bitwise equal to encoding the full sequence and keeping the
+// final position — every op it skips is row-independent.
+TEST(EncodeLastStateTest, LastQueryPathMatchesFullEncode) {
+  data::Dataset dataset = BeautySim();
+  data::LeaveOneOutSplit split(dataset);
+  const core::IsrecConfig config = SmallIsrecConfig(/*epochs=*/1);
+
+  core::IsrecModel fast(config);
+  fast.Fit(dataset, split);
+  FullEncodeIsrec reference(config);
+  reference.Fit(dataset, split);  // Same seed: identical parameters.
+  fast.SetTraining(false);
+  reference.SetTraining(false);
+
+  std::vector<Index> candidates(dataset.num_items);
+  for (Index i = 0; i < dataset.num_items; ++i) candidates[i] = i;
+  for (const std::vector<Index>& history : ProbeHistories()) {
+    const std::vector<float> a = fast.Score(0, history, candidates);
+    const std::vector<float> b = reference.Score(0, history, candidates);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(EncodeLastStateTest, LastQueryPathMatchesFullEncodeSasRec) {
+  data::Dataset dataset = BeautySim();
+  data::LeaveOneOutSplit split(dataset);
+  models::SeqModelConfig config;
+  config.embed_dim = 16;
+  config.num_layers = 3;  // Exercise >1 full layer before the last.
+  config.ffn_dim = 32;
+  config.seq_len = 8;
+  config.epochs = 1;
+  config.seed = 11;
+
+  models::SasRec fast(config);
+  fast.Fit(dataset, split);
+  FullEncodeSasRec reference(config);
+  reference.Fit(dataset, split);
+  fast.SetTraining(false);
+  reference.SetTraining(false);
+
+  std::vector<Index> candidates(dataset.num_items);
+  for (Index i = 0; i < dataset.num_items; ++i) candidates[i] = i;
+  for (const std::vector<Index>& history : ProbeHistories()) {
+    const std::vector<float> a = fast.Score(0, history, candidates);
+    const std::vector<float> b = reference.Score(0, history, candidates);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(TopKTest, SortsByScoreThenItemId) {
+  const std::vector<Index> candidates = {10, 20, 30, 40, 50};
+  const std::vector<float> scores = {0.5f, 0.9f, 0.5f, 0.1f, 0.9f};
+  const Recommendation rec = TopK(scores, candidates, 4);
+  // Ties at 0.9 (items 20, 50) and 0.5 (items 10, 30) break by id.
+  EXPECT_EQ(rec.items, (std::vector<Index>{20, 50, 10, 30}));
+  EXPECT_EQ(rec.scores, (std::vector<float>{0.9f, 0.9f, 0.5f, 0.5f}));
+}
+
+TEST(TopKTest, KLargerThanCandidatesReturnsAll) {
+  const Recommendation rec = TopK({1.0f, 2.0f}, {7, 3}, 10);
+  EXPECT_EQ(rec.items, (std::vector<Index>{3, 7}));
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = BeautySim();
+    split_ = std::make_unique<data::LeaveOneOutSplit>(dataset_);
+    model_ = std::make_unique<core::IsrecModel>(SmallIsrecConfig(1));
+    model_->Fit(dataset_, *split_);
+    model_->SetTraining(false);
+  }
+
+  std::vector<Request> MakeRequests(Index n) const {
+    const std::vector<Index>& users = split_->evaluable_users();
+    std::vector<Request> requests;
+    for (Index i = 0; i < n; ++i) {
+      const Index u = users[i % users.size()];
+      requests.push_back({u, split_->TestHistory(u), 10, {}});
+    }
+    return requests;
+  }
+
+  data::Dataset dataset_;
+  std::unique_ptr<data::LeaveOneOutSplit> split_;
+  std::unique_ptr<core::IsrecModel> model_;
+};
+
+TEST_F(EngineTest, ConcurrentBatchedResultsMatchSequential) {
+  EngineConfig config;
+  config.num_threads = 2;
+  config.max_batch_size = 16;
+  config.batch_window_us = 500;
+  ServingEngine engine(*model_, dataset_.num_items, config);
+
+  const std::vector<Request> requests = MakeRequests(48);
+  std::vector<std::future<Recommendation>> futures;
+  for (const Request& request : requests) {
+    futures.push_back(engine.RecommendAsync(request));
+  }
+
+  std::vector<Index> catalog(dataset_.num_items);
+  for (Index i = 0; i < dataset_.num_items; ++i) catalog[i] = i;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const Recommendation got = futures[i].get();
+    const Recommendation want =
+        TopK(model_->Score(requests[i].user, requests[i].history, catalog),
+             catalog, requests[i].k);
+    ASSERT_EQ(got.items, want.items) << "request " << i;
+    ASSERT_EQ(got.scores, want.scores) << "request " << i;
+    EXPECT_FALSE(got.from_cache);
+  }
+
+  const ServeStats stats = engine.Stats();
+  EXPECT_EQ(stats.num_requests, 48u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_GE(stats.num_batches, 1u);
+  EXPECT_GT(stats.mean_batch_size, 1.0);  // Micro-batching engaged.
+  uint64_t histogram_total = 0;
+  for (size_t b = 1; b < stats.batch_size_histogram.size(); ++b) {
+    histogram_total += b * stats.batch_size_histogram[b];
+  }
+  EXPECT_EQ(histogram_total, 48u);
+}
+
+TEST_F(EngineTest, RepeatRequestsHitTheCache) {
+  EngineConfig config;
+  config.num_threads = 1;
+  config.batch_window_us = 0;
+  config.cache_capacity = 64;
+  ServingEngine engine(*model_, dataset_.num_items, config);
+
+  const Request request = MakeRequests(1)[0];
+  const Recommendation first = engine.Recommend(request);
+  EXPECT_FALSE(first.from_cache);
+  const Recommendation second = engine.Recommend(request);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(second.items, first.items);
+  EXPECT_EQ(second.scores, first.scores);
+
+  // A different history must not hit the same entry.
+  Request other = request;
+  other.history.push_back((other.history.back() + 1) % dataset_.num_items);
+  EXPECT_FALSE(engine.Recommend(other).from_cache);
+
+  const ServeStats stats = engine.Stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 2u);
+  EXPECT_GT(stats.cache_hit_rate(), 0.0);
+}
+
+TEST_F(EngineTest, InFlightDuplicateIsServedFromCache) {
+  EngineConfig config;
+  config.num_threads = 1;
+  config.max_batch_size = 1;  // The duplicate can never share A's batch.
+  config.batch_window_us = 0;
+  config.cache_capacity = 64;
+  ServingEngine engine(*model_, dataset_.num_items, config);
+
+  // Submit the duplicate while the original may still be in flight. Its
+  // submit-time lookup can miss, but the single worker processes it
+  // strictly after the original's Put, so the batch-time lookup hits.
+  const Request request = MakeRequests(1)[0];
+  std::future<Recommendation> first = engine.RecommendAsync(request);
+  std::future<Recommendation> second = engine.RecommendAsync(request);
+  const Recommendation a = first.get();
+  const Recommendation b = second.get();
+  EXPECT_FALSE(a.from_cache);
+  EXPECT_TRUE(b.from_cache);
+  EXPECT_EQ(b.items, a.items);
+  EXPECT_EQ(b.scores, a.scores);
+
+  const ServeStats stats = engine.Stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.num_requests, 2u);
+}
+
+TEST_F(EngineTest, PerRequestCandidateListsAreRespected)  {
+  EngineConfig config;
+  config.num_threads = 1;
+  config.batch_window_us = 0;
+  ServingEngine engine(*model_, dataset_.num_items, config);
+
+  Request request = MakeRequests(1)[0];
+  request.candidates = {5, 17, 42, 99, 256};
+  request.k = 3;
+  const Recommendation rec = engine.Recommend(request);
+  ASSERT_EQ(rec.items.size(), 3u);
+  for (Index item : rec.items) {
+    EXPECT_TRUE(std::find(request.candidates.begin(),
+                          request.candidates.end(),
+                          item) != request.candidates.end());
+  }
+}
+
+}  // namespace
+}  // namespace isrec::serve

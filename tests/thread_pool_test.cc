@@ -1,0 +1,100 @@
+// Tests of utils::ThreadPool, the fixed pool backing the serving
+// engine's workers.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "utils/thread_pool.h"
+
+namespace isrec::utils {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&counter] { ++counter; });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, SubmitWithResultReturnsValue) {
+  ThreadPool pool(2);
+  std::future<int> result = pool.SubmitWithResult([] { return 6 * 7; });
+  EXPECT_EQ(result.get(), 42);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> result = pool.SubmitWithResult(
+      []() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(result.get(), std::runtime_error);
+  // The worker survives the throwing task.
+  EXPECT_EQ(pool.SubmitWithResult([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, ThrowingFireAndForgetTaskDoesNotKillWorkers) {
+  ThreadPool pool(1);
+  pool.Submit([] { throw std::runtime_error("swallowed"); });
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  pool.WaitIdle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++counter;
+      });
+    }
+  }  // Destructor joins after the queue is empty.
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersAreSafe) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &counter] {
+      for (int i = 0; i < 50; ++i) {
+        pool.Submit([&counter] { ++counter; });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, WaitIdleBlocksUntilInFlightTasksFinish) {
+  ThreadPool pool(2);
+  std::atomic<bool> finished{false};
+  pool.Submit([&finished] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    finished = true;
+  });
+  pool.WaitIdle();
+  EXPECT_TRUE(finished.load());
+}
+
+TEST(ThreadPoolTest, ReportsConfiguredThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+}
+
+}  // namespace
+}  // namespace isrec::utils

@@ -5,7 +5,13 @@
 //   isrec_cli [--model NAME] [--dataset PRESET | --csv PREFIX]
 //             [--epochs N] [--seq-len N] [--embed-dim N]
 //             [--lambda N] [--intent-dim N] [--trace-user U]
-//             [--save PATH]
+//             [--save PATH] [--load PATH]
+//
+//   --save: after training, write a full serving checkpoint (config +
+//           vocab + parameters) for isrec models, or a bare parameter
+//           blob for other neural models.
+//   --load: skip training; restore an isrec checkpoint written by
+//           --save and evaluate it on the given dataset.
 //
 //   --model: isrec (default), isrec-wognn, isrec-wointent, sasrec,
 //            bert4rec, gru4rec, gru4rec+, caser, bprmf, ncf, fpmc,
@@ -14,8 +20,7 @@
 //              ml1m_sim, ml20m_sim
 //
 // Example:
-//   isrec_cli --model isrec --dataset beauty_sim --epochs 10 \
-//             --trace-user 3
+//   isrec_cli --model isrec --dataset beauty_sim --epochs 10 --trace-user 3
 
 #include <cstdio>
 #include <cstring>
@@ -24,6 +29,7 @@
 
 #include "core/isrec.h"
 #include "data/io.h"
+#include "serve/checkpoint.h"
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
 #include "models/bert4rec.h"
@@ -42,6 +48,7 @@ struct CliOptions {
   std::string dataset = "beauty_sim";
   std::string csv_prefix;
   std::string save_path;
+  std::string load_path;
   Index epochs = 10;
   Index seq_len = 12;
   Index embed_dim = 32;
@@ -71,6 +78,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->csv_prefix = value;
     } else if (flag == "--save") {
       options->save_path = value;
+    } else if (flag == "--load") {
+      options->load_path = value;
     } else if (flag == "--epochs") {
       options->epochs = std::atol(value);
     } else if (flag == "--seq-len") {
@@ -158,13 +167,37 @@ int Run(const CliOptions& options) {
               static_cast<long>(dataset.num_items),
               static_cast<long>(dataset.NumInteractions()));
 
+  data::LeaveOneOutSplit split(dataset);
+
+  if (!options.load_path.empty()) {
+    serve::ServableModel loaded = serve::LoadCheckpoint(options.load_path);
+    if (loaded.model == nullptr) {
+      std::fprintf(stderr, "cannot load checkpoint %s\n",
+                   options.load_path.c_str());
+      return 1;
+    }
+    if (loaded.dataset->num_items != dataset.num_items) {
+      std::fprintf(stderr,
+                   "checkpoint vocabulary (%ld items) does not match the "
+                   "dataset (%ld items)\n",
+                   static_cast<long>(loaded.dataset->num_items),
+                   static_cast<long>(dataset.num_items));
+      return 1;
+    }
+    std::printf("loaded %s from %s (no training)\n",
+                loaded.model->name().c_str(), options.load_path.c_str());
+    eval::MetricReport report =
+        eval::EvaluateRanking(*loaded.model, dataset, split);
+    std::printf("test: %s\n", report.ToString().c_str());
+    return 0;
+  }
+
   auto model = BuildModel(options, dataset.concepts.num_concepts());
   if (model == nullptr) {
     std::fprintf(stderr, "unknown model %s\n", options.model.c_str());
     return 1;
   }
 
-  data::LeaveOneOutSplit split(dataset);
   Stopwatch sw;
   std::printf("training %s...\n", model->name().c_str());
   model->Fit(dataset, split);
@@ -200,13 +233,18 @@ int Run(const CliOptions& options) {
   }
 
   if (!options.save_path.empty()) {
-    auto* module = dynamic_cast<nn::Module*>(model.get());
-    if (module == nullptr) {
+    if (auto* isrec_model = dynamic_cast<core::IsrecModel*>(model.get())) {
+      serve::SaveCheckpoint(*isrec_model, options.save_path);
+      std::printf("checkpoint saved to %s (serve with: isrec_serve "
+                  "--checkpoint %s)\n",
+                  options.save_path.c_str(), options.save_path.c_str());
+    } else if (auto* module = dynamic_cast<nn::Module*>(model.get())) {
+      nn::SaveParameters(*module, options.save_path);
+      std::printf("parameters saved to %s\n", options.save_path.c_str());
+    } else {
       std::fprintf(stderr, "--save is only supported for neural models\n");
       return 1;
     }
-    nn::SaveParameters(*module, options.save_path);
-    std::printf("parameters saved to %s\n", options.save_path.c_str());
   }
   return 0;
 }
@@ -220,7 +258,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [--model NAME] [--dataset PRESET | --csv PREFIX]"
                  " [--epochs N] [--seq-len N] [--embed-dim N] [--lambda N]"
-                 " [--intent-dim N] [--trace-user U] [--save PATH]\n",
+                 " [--intent-dim N] [--trace-user U] [--save PATH]"
+                 " [--load PATH]\n",
                  argv[0]);
     return 2;
   }

@@ -1,0 +1,195 @@
+// Online inference server harness: loads a checkpoint written by
+// `isrec_cli --save`, replays a request workload through the
+// ServingEngine, and reports serve_stats plus the speedup over
+// sequential per-request Score calls.
+//
+// Usage:
+//   isrec_serve --checkpoint PATH [--dataset PRESET] [--threads N]
+//               [--requests N] [--k K] [--max-batch B]
+//               [--batch-window-us W] [--cache CAP] [--no-verify]
+//
+// The workload is built from the preset's leave-one-out test histories
+// (cycled to --requests). With verification on (default), every engine
+// top-K is compared against a sequential Score baseline computed with
+// the cache off — they must be identical.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "serve/checkpoint.h"
+#include "serve/engine.h"
+#include "utils/stopwatch.h"
+
+namespace isrec {
+namespace {
+
+struct ServeOptions {
+  std::string checkpoint;
+  std::string dataset = "beauty_sim";
+  Index threads = 8;
+  Index requests = 2000;
+  Index k = 10;
+  Index max_batch = 32;
+  Index batch_window_us = 200;
+  Index cache_capacity = 0;
+  bool verify = true;
+};
+
+bool ParseArgs(int argc, char** argv, ServeOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") return false;
+    if (flag == "--no-verify") {
+      options->verify = false;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+      return false;
+    }
+    const char* value = argv[++i];
+    if (flag == "--checkpoint") {
+      options->checkpoint = value;
+    } else if (flag == "--dataset") {
+      options->dataset = value;
+    } else if (flag == "--threads") {
+      options->threads = std::atol(value);
+    } else if (flag == "--requests") {
+      options->requests = std::atol(value);
+    } else if (flag == "--k") {
+      options->k = std::atol(value);
+    } else if (flag == "--max-batch") {
+      options->max_batch = std::atol(value);
+    } else if (flag == "--batch-window-us") {
+      options->batch_window_us = std::atol(value);
+    } else if (flag == "--cache") {
+      options->cache_capacity = std::atol(value);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return !options->checkpoint.empty();
+}
+
+int Run(const ServeOptions& options) {
+  serve::ServableModel loaded = serve::LoadCheckpoint(options.checkpoint);
+  if (loaded.model == nullptr) {
+    std::fprintf(stderr, "cannot load checkpoint %s\n",
+                 options.checkpoint.c_str());
+    return 1;
+  }
+  std::printf("checkpoint %s: model %s, %ld items, %ld concepts\n",
+              options.checkpoint.c_str(), loaded.model->name().c_str(),
+              static_cast<long>(loaded.dataset->num_items),
+              static_cast<long>(loaded.dataset->concepts.num_concepts()));
+
+  // Workload: the preset's test histories, cycled to --requests.
+  data::Dataset workload_dataset;
+  bool found = false;
+  for (const auto& preset : data::AllPresets()) {
+    if (preset.name == options.dataset) {
+      workload_dataset = data::GenerateSyntheticDataset(preset);
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown dataset preset %s\n",
+                 options.dataset.c_str());
+    return 1;
+  }
+  if (workload_dataset.num_items != loaded.dataset->num_items) {
+    std::fprintf(stderr,
+                 "workload dataset has %ld items but checkpoint was trained "
+                 "on %ld — use the matching --dataset\n",
+                 static_cast<long>(workload_dataset.num_items),
+                 static_cast<long>(loaded.dataset->num_items));
+    return 1;
+  }
+  data::LeaveOneOutSplit split(workload_dataset);
+  const std::vector<Index>& users = split.evaluable_users();
+  std::vector<serve::Request> requests;
+  requests.reserve(options.requests);
+  for (Index i = 0; i < options.requests; ++i) {
+    const Index u = users[i % users.size()];
+    requests.push_back({u, split.TestHistory(u), options.k, {}});
+  }
+
+  // Sequential baseline: one Score (i.e. batch-of-one) call per request.
+  const Index baseline_n =
+      std::min<Index>(options.requests, std::max<Index>(1, users.size()));
+  std::vector<Index> catalog(loaded.dataset->num_items);
+  for (Index i = 0; i < loaded.dataset->num_items; ++i) catalog[i] = i;
+  std::vector<serve::Recommendation> baseline(baseline_n);
+  Stopwatch sw;
+  for (Index i = 0; i < baseline_n; ++i) {
+    const std::vector<float> scores = loaded.model->Score(
+        requests[i].user, requests[i].history, catalog);
+    baseline[i] = serve::TopK(scores, catalog, options.k);
+  }
+  const double baseline_qps = baseline_n / sw.ElapsedSeconds();
+  std::printf("sequential baseline: %.1f qps (%ld requests)\n", baseline_qps,
+              static_cast<long>(baseline_n));
+
+  serve::EngineConfig engine_config;
+  engine_config.num_threads = options.threads;
+  engine_config.max_batch_size = options.max_batch;
+  engine_config.batch_window_us = options.batch_window_us;
+  engine_config.cache_capacity = options.cache_capacity;
+  serve::ServingEngine engine(*loaded.model, loaded.dataset->num_items,
+                              engine_config);
+
+  // Fire the whole workload asynchronously so the batch window has
+  // concurrent traffic to coalesce, then harvest.
+  engine.ResetStats();
+  std::vector<std::future<serve::Recommendation>> futures;
+  futures.reserve(requests.size());
+  for (const serve::Request& request : requests) {
+    futures.push_back(engine.RecommendAsync(request));
+  }
+  std::vector<serve::Recommendation> responses;
+  responses.reserve(futures.size());
+  for (auto& future : futures) responses.push_back(future.get());
+  const serve::ServeStats stats = engine.Stats();
+
+  std::printf("%s\n", stats.ToTableString().c_str());
+  std::printf("speedup over sequential Score: %.2fx\n",
+              stats.qps / baseline_qps);
+
+  if (options.verify) {
+    if (options.cache_capacity > 0) {
+      std::printf("verify: skipped (cache on; rerun with --cache 0)\n");
+      return 0;
+    }
+    Index mismatches = 0;
+    for (Index i = 0; i < baseline_n; ++i) {
+      if (responses[i].items != baseline[i].items) ++mismatches;
+    }
+    std::printf("verify: %ld/%ld top-%ld lists identical to sequential\n",
+                static_cast<long>(baseline_n - mismatches),
+                static_cast<long>(baseline_n), static_cast<long>(options.k));
+    if (mismatches > 0) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace isrec
+
+int main(int argc, char** argv) {
+  isrec::ServeOptions options;
+  if (!isrec::ParseArgs(argc, argv, &options)) {
+    std::fprintf(
+        stderr,
+        "usage: %s --checkpoint PATH [--dataset PRESET] [--threads N]"
+        " [--requests N] [--k K] [--max-batch B] [--batch-window-us W]"
+        " [--cache CAP] [--no-verify]\n",
+        argv[0]);
+    return 2;
+  }
+  return isrec::Run(options);
+}
