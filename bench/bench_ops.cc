@@ -1,12 +1,30 @@
-// Kernel micro-benchmarks (google-benchmark): the tensor primitives the
-// models are built from. Useful for regression-testing the substrate
-// and for verifying the sparse-vs-dense GCN design choice (DESIGN.md).
+// Kernel micro-benchmarks: the tensor primitives the models are built
+// from. Two parts:
+//
+//  1. A deterministic thread-count sweep (1/2/4/8) over training- and
+//    serving-shaped GEMM/SpMM workloads, writing BENCH_tensor_ops.json
+//    (override with --sweep-out PATH) and asserting that every parallel
+//    result is BITWISE identical to the single-thread run — the
+//    enforceable half of the determinism contract in DESIGN.md
+//    "Threading model". Exits nonzero on any mismatch.
+//  2. The google-benchmark suite, for regression-testing the substrate
+//    and the sparse-vs-dense GCN design choice.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "nn/attention.h"
 #include "tensor/ops.h"
 #include "tensor/sparse.h"
+#include "utils/parallel.h"
 #include "utils/rng.h"
 
 namespace isrec {
@@ -106,7 +124,195 @@ void BM_AttentionLayer(benchmark::State& state) {
 }
 BENCHMARK(BM_AttentionLayer)->Arg(10)->Arg(20)->Arg(50);
 
+// -- Thread sweep -------------------------------------------------------
+
+/// One sweep workload: runs a kernel and returns every output byte that
+/// must be thread-count independent (forward results, and gradients for
+/// the fwd+bwd workload).
+struct SweepKernel {
+  std::string name;
+  std::string shape;
+  std::function<std::vector<float>()> run;
+};
+
+std::vector<SweepKernel> SweepKernels() {
+  std::vector<SweepKernel> kernels;
+
+  // Training-shaped GEMM: one transformer FFN matmul over a [B*T, d]
+  // activation block.
+  kernels.push_back(
+      {"gemm_train", "[1280,64]x[64,256]", [] {
+         Rng rng(101);
+         Tensor a = Tensor::Randn({1280, 64}, 1.0f, rng);
+         Tensor b = Tensor::Randn({64, 256}, 1.0f, rng);
+         NoGradGuard no_grad;
+         return BatchMatMul(a, b, false, false).ToVector();
+       }});
+
+  // Tied-weight output logits, the dominant training matmul: states
+  // [B*T, d] against the item table [V, d] transposed.
+  kernels.push_back(
+      {"gemm_logits_trans_b", "[1280,64]x[3706,64]^T", [] {
+         Rng rng(102);
+         Tensor states = Tensor::Randn({1280, 64}, 1.0f, rng);
+         Tensor table = Tensor::Randn({3706, 64}, 1.0f, rng);
+         NoGradGuard no_grad;
+         return BatchMatMul(states, table, false, true).ToVector();
+       }});
+
+  // Serving-shaped GEMM: one micro-batch of last-states against the
+  // full catalog.
+  kernels.push_back(
+      {"gemm_serving", "[32,64]x[3706,64]^T", [] {
+         Rng rng(103);
+         Tensor states = Tensor::Randn({32, 64}, 1.0f, rng);
+         Tensor table = Tensor::Randn({3706, 64}, 1.0f, rng);
+         NoGradGuard no_grad;
+         return BatchMatMul(states, table, false, true).ToVector();
+       }});
+
+  // Forward + backward: the backward GEMMs exercise the trans_a /
+  // trans_b row-partitioned variants with gradient operands.
+  kernels.push_back(
+      {"gemm_fwd_bwd", "[512,64]x[64,128]+grads", [] {
+         Rng rng(104);
+         Tensor a = Tensor::Randn({512, 64}, 1.0f, rng, true);
+         Tensor b = Tensor::Randn({64, 128}, 1.0f, rng, true);
+         Sum(MatMul(a, b)).Backward();
+         std::vector<float> out(a.grad(), a.grad() + a.numel());
+         out.insert(out.end(), b.grad(), b.grad() + b.numel());
+         return out;
+       }});
+
+  // SpMM over a concept-graph-sized normalized adjacency (row-
+  // partitioned CSR), batch of GCN activations.
+  kernels.push_back(
+      {"spmm_gcn", "adj[600,600] * x[64,600,32]", [] {
+         Rng rng(105);
+         std::vector<std::pair<Index, Index>> edges;
+         for (Index i = 0; i < 600; ++i) {
+           for (Index d = 1; d <= 3; ++d) edges.push_back({i, (i + d) % 600});
+         }
+         const SparseMatrix adj = SparseMatrix::NormalizedAdjacency(600, edges);
+         Tensor x = Tensor::Randn({64, 600, 32}, 1.0f, rng);
+         NoGradGuard no_grad;
+         return SpMM(adj, x).ToVector();
+       }});
+  return kernels;
+}
+
+/// Best-of-N wall time in milliseconds; `out` receives the last result.
+double TimeKernel(const SweepKernel& kernel, std::vector<float>* out) {
+  constexpr int kReps = 5;
+  double best = 1e30;
+  for (int r = 0; r < kReps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<float> v = kernel.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+    *out = std::move(v);
+  }
+  return best;
+}
+
+int RunThreadSweep(const std::string& out_path) {
+  struct Point {
+    Index threads;
+    double ms;
+    bool identical;
+  };
+  struct Row {
+    SweepKernel kernel;
+    std::vector<Point> points;
+  };
+
+  const unsigned num_cores = std::thread::hardware_concurrency();
+  std::printf("== thread sweep (%u hardware core%s) ==\n", num_cores,
+              num_cores == 1 ? "" : "s");
+  int mismatches = 0;
+  std::vector<Row> rows;
+  for (const SweepKernel& kernel : SweepKernels()) {
+    Row row{kernel, {}};
+    std::vector<float> reference;
+    for (const Index threads : {1, 2, 4, 8}) {
+      utils::SetNumThreads(threads);
+      std::vector<float> result;
+      const double ms = TimeKernel(kernel, &result);
+      bool identical = true;
+      if (threads == 1) {
+        reference = std::move(result);
+      } else {
+        identical = result.size() == reference.size() &&
+                    std::memcmp(result.data(), reference.data(),
+                                reference.size() * sizeof(float)) == 0;
+        if (!identical) ++mismatches;
+      }
+      std::printf("  %-20s %-24s threads=%ld  %8.3f ms  %s\n",
+                  kernel.name.c_str(), kernel.shape.c_str(),
+                  static_cast<long>(threads), ms,
+                  identical ? "bitwise==serial" : "MISMATCH");
+      row.points.push_back({threads, ms, identical});
+    }
+    rows.push_back(std::move(row));
+  }
+  utils::SetNumThreads(1);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"tensor_ops_thread_sweep\",\n");
+  std::fprintf(f, "  \"num_hardware_cores\": %u,\n", num_cores);
+  std::fprintf(f, "  \"kernels\": [\n");
+  for (size_t k = 0; k < rows.size(); ++k) {
+    const Row& row = rows[k];
+    std::fprintf(f, "    {\"name\": \"%s\", \"shape\": \"%s\", \"results\": [",
+                 row.kernel.name.c_str(), row.kernel.shape.c_str());
+    for (size_t p = 0; p < row.points.size(); ++p) {
+      const Point& pt = row.points[p];
+      std::fprintf(
+          f,
+          "%s\n      {\"threads\": %ld, \"ms\": %.4f, \"speedup\": %.3f, "
+          "\"identical\": %s}",
+          p == 0 ? "" : ",", static_cast<long>(pt.threads), pt.ms,
+          row.points[0].ms / pt.ms, pt.identical ? "true" : "false");
+    }
+    std::fprintf(f, "\n    ]}%s\n", k + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  if (mismatches > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d parallel result(s) differ from the serial run\n",
+                 mismatches);
+  }
+  return mismatches == 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace isrec
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string sweep_out = "BENCH_tensor_ops.json";
+  std::vector<char*> bench_args = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sweep-out") == 0 && i + 1 < argc) {
+      sweep_out = argv[++i];
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+  const int sweep_status = isrec::RunThreadSweep(sweep_out);
+
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return sweep_status;
+}

@@ -4,8 +4,15 @@
 set -u
 out=/root/repo/bench_output.txt
 : > "$out"
+# bench_ops also runs the thread-count sweep and regenerates
+# BENCH_tensor_ops.json (exits nonzero if any parallel kernel result
+# is not bitwise identical to the serial run).
+echo "##### build/bench/bench_ops (thread sweep) #####" >> "$out"
+build/bench/bench_ops --sweep-out /root/repo/BENCH_tensor_ops.json \
+  >> "$out" 2>/dev/null
+echo "" >> "$out"
 for b in build/bench/bench_table3_datasets build/bench/bench_table4_concepts \
-         build/bench/bench_ops build/bench/bench_fig2_showcase \
+         build/bench/bench_fig2_showcase \
          build/bench/bench_fig3_dprime build/bench/bench_fig4_lambda \
          build/bench/bench_design_ablations build/bench/bench_complexity \
          build/bench/bench_table6_seqlen build/bench/bench_table5_ablation \

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "utils/check.h"
+#include "utils/parallel.h"
 
 namespace isrec::eval {
 
@@ -31,18 +32,26 @@ MetricReport EvaluateRanking(Recommender& model, const data::Dataset& dataset,
   const auto& users = split.evaluable_users();
   ISREC_CHECK_MSG(!users.empty(), "no evaluable users");
 
+  // Phase 1 (serial): materialize every batch. Negative sampling draws
+  // from the shared rng in exactly the order of the original serial
+  // loop, so each user's candidate list is deterministic regardless of
+  // how scoring is scheduled below.
+  struct Batch {
+    std::vector<Index> users;
+    std::vector<std::vector<Index>> histories;
+    std::vector<std::vector<Index>> candidate_lists;
+  };
+  std::vector<Batch> batches;
   for (size_t start = 0; start < users.size();
        start += static_cast<size_t>(config.batch_size)) {
     const size_t end = std::min(users.size(),
                                 start + static_cast<size_t>(config.batch_size));
-    std::vector<Index> batch_users;
-    std::vector<std::vector<Index>> histories;
-    std::vector<std::vector<Index>> candidate_lists;
+    Batch batch;
     for (size_t i = start; i < end; ++i) {
       const Index u = users[i];
-      batch_users.push_back(u);
-      histories.push_back(config.use_validation ? split.ValidHistory(u)
-                                                : split.TestHistory(u));
+      batch.users.push_back(u);
+      batch.histories.push_back(config.use_validation ? split.ValidHistory(u)
+                                                      : split.TestHistory(u));
       const Index positive = config.use_validation ? split.ValidTarget(u)
                                                    : split.TestTarget(u);
       // Candidate 0 is always the positive; the rest are negatives.
@@ -50,14 +59,31 @@ MetricReport EvaluateRanking(Recommender& model, const data::Dataset& dataset,
       const std::vector<Index> negatives =
           sampler.Sample(u, config.num_negatives, rng);
       candidates.insert(candidates.end(), negatives.begin(), negatives.end());
-      candidate_lists.push_back(std::move(candidates));
+      batch.candidate_lists.push_back(std::move(candidates));
     }
+    batches.push_back(std::move(batch));
+  }
 
-    const auto scores =
-        model.ScoreBatch(batch_users, histories, candidate_lists);
-    ISREC_CHECK_EQ(scores.size(), batch_users.size());
+  // Phase 2 (parallel): batches are independent ScoreBatch calls, so
+  // they shard across the intra-op pool (inside a shard, each call's own
+  // kernels then run serially — nested ParallelFor is inline).
+  std::vector<std::vector<std::vector<float>>> all_scores(batches.size());
+  utils::ParallelFor(
+      0, static_cast<Index>(batches.size()), 1, [&](Index b0, Index b1) {
+        for (Index b = b0; b < b1; ++b) {
+          all_scores[b] = model.ScoreBatch(batches[b].users,
+                                           batches[b].histories,
+                                           batches[b].candidate_lists);
+        }
+      });
+
+  // Phase 3 (serial): accumulate in batch order, keeping the metric
+  // reduction order identical to the serial implementation.
+  for (size_t b = 0; b < batches.size(); ++b) {
+    const auto& scores = all_scores[b];
+    ISREC_CHECK_EQ(scores.size(), batches[b].users.size());
     for (size_t i = 0; i < scores.size(); ++i) {
-      ISREC_CHECK_EQ(scores[i].size(), candidate_lists[i].size());
+      ISREC_CHECK_EQ(scores[i].size(), batches[b].candidate_lists[i].size());
       const float positive_score = scores[i][0];
       std::vector<float> negative_scores(scores[i].begin() + 1,
                                          scores[i].end());

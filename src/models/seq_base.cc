@@ -169,9 +169,17 @@ std::vector<std::vector<float>> SequentialModelBase::ScoreBatch(
   NoGradGuard no_grad;
   // Only toggle training mode when needed: in serving steady state the
   // model is permanently in eval mode and concurrent ScoreBatch calls
-  // must not write any shared state.
-  const bool was_training = training();
-  if (was_training) SetTraining(false);
+  // must not write any shared state. The toggle is refcounted so
+  // concurrent calls that do arrive mid-training (parallel evaluation
+  // between epochs) cannot flip the mode back on under a sibling's
+  // forward pass.
+  {
+    std::lock_guard<std::mutex> lock(score_mode_mutex_);
+    if (score_depth_++ == 0) {
+      resume_training_ = training();
+      if (resume_training_) SetTraining(false);
+    }
+  }
 
   const auto prepared = PrepareInferenceHistories(histories);
   const data::SequenceBatch batch = data::SequenceBatcher::InferenceBatch(
@@ -200,15 +208,36 @@ std::vector<std::vector<float>> SequentialModelBase::ScoreBatch(
       result.emplace_back(data + i * c, data + (i + 1) * c);
     }
   } else {
-    for (size_t i = 0; i < users.size(); ++i) {
-      Tensor user_state = Slice(last, 0, static_cast<Index>(i),
-                                static_cast<Index>(i) + 1);  // [1, d]
-      Tensor cand = IndexSelect(table, candidate_lists[i]);  // [C, d]
-      Tensor scores = BatchMatMul(user_state, cand, false, true);  // [1, C]
-      result.push_back(scores.ToVector());
+    // Mixed-candidate traffic: one padded [B, C_max, d] gather plus a
+    // single batched matmul, instead of B Slice+IndexSelect+BatchMatMul
+    // dispatches. Short lists pad with item 0; the padded scores are
+    // computed and dropped. Each kept score is the same d-term dot
+    // product as the per-request path, so results are bitwise identical.
+    const Index b_n = static_cast<Index>(users.size());
+    Index c_max = 0;
+    for (const std::vector<Index>& c : candidate_lists) {
+      c_max = std::max(c_max, static_cast<Index>(c.size()));
+    }
+    std::vector<Index> flat;
+    flat.reserve(static_cast<size_t>(b_n) * c_max);
+    for (const std::vector<Index>& c : candidate_lists) {
+      flat.insert(flat.end(), c.begin(), c.end());
+      flat.resize(flat.size() + (c_max - static_cast<Index>(c.size())), 0);
+    }
+    Tensor cand = Reshape(IndexSelect(table, flat),
+                          {b_n, c_max, config_.embed_dim});  // [B, C_max, d]
+    Tensor states = Reshape(last, {b_n, 1, config_.embed_dim});
+    Tensor scores = BatchMatMul(states, cand, false, true);  // [B, 1, C_max]
+    const float* data = scores.data();
+    for (Index i = 0; i < b_n; ++i) {
+      const size_t c = candidate_lists[i].size();
+      result.emplace_back(data + i * c_max, data + i * c_max + c);
     }
   }
-  if (was_training) SetTraining(true);
+  {
+    std::lock_guard<std::mutex> lock(score_mode_mutex_);
+    if (--score_depth_ == 0 && resume_training_) SetTraining(true);
+  }
   return result;
 }
 

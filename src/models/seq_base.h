@@ -2,6 +2,7 @@
 #define ISREC_MODELS_SEQ_BASE_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -67,9 +68,10 @@ class SequentialModelBase : public eval::Recommender, public nn::Module {
                            const std::vector<Index>& candidates) override;
 
   /// Batched scoring with one Encode over all histories. Thread-safe for
-  /// concurrent calls once the model is out of training mode (inference
-  /// only reads parameters; autograd mode is thread-local): this is what
-  /// serve::ServingEngine relies on.
+  /// concurrent calls (inference only reads parameters; autograd mode is
+  /// thread-local; the train/eval mode toggle is refcounted so the first
+  /// in-flight call flips to eval and the last restores): this is what
+  /// serve::ServingEngine and the parallel eval::EvaluateRanking rely on.
   std::vector<std::vector<float>> ScoreBatch(
       const std::vector<Index>& users,
       const std::vector<std::vector<Index>>& histories,
@@ -143,6 +145,13 @@ class SequentialModelBase : public eval::Recommender, public nn::Module {
   std::unique_ptr<nn::Adam> optimizer_;
   float last_epoch_loss_ = 0.0f;
   bool built_ = false;
+
+  // Concurrent-ScoreBatch bookkeeping: SetTraining writes module state
+  // shared by every thread, so the toggle is refcounted under a mutex
+  // instead of per-call (see ScoreBatch).
+  std::mutex score_mode_mutex_;
+  Index score_depth_ = 0;
+  bool resume_training_ = false;
 };
 
 }  // namespace isrec::models

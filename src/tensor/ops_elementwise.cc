@@ -3,6 +3,7 @@
 
 #include "tensor/ops.h"
 #include "utils/check.h"
+#include "utils/parallel.h"
 
 namespace isrec {
 namespace {
@@ -127,12 +128,19 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, Da da, Db db) {
     const std::vector<Index> sa = BroadcastStrides(ia->shape, out_shape);
     const std::vector<Index> sb = BroadcastStrides(ib->shape, out_shape);
     float* out = result.data();
-    // Fast path: identical shapes.
+    // Fast path: identical shapes. Elements are independent, so the
+    // range shards directly; the broadcast path below stays serial (its
+    // odometer walk is stateful and broadcast axes revisit elements).
     if (ia->shape == ib->shape) {
       const float* pa = ia->data.data();
       const float* pb = ib->data.data();
       const Index n = result.numel();
-      for (Index i = 0; i < n; ++i) out[i] = fwd(pa[i], pb[i]);
+      utils::ParallelFor(0, n, utils::GrainForCost(1),
+                         [&](Index i0, Index i1) {
+                           for (Index i = i0; i < i1; ++i) {
+                             out[i] = fwd(pa[i], pb[i]);
+                           }
+                         });
     } else {
       ForEachBroadcast(out_shape, sa, sb, [&](Index i, Index oa, Index ob) {
         out[i] = fwd(ia->data[oa], ib->data[ob]);
@@ -155,15 +163,20 @@ Tensor UnaryOp(const Tensor& a, Fwd fwd, Bwd bwd) {
           if (!ia->requires_grad) return;
           ia->EnsureGrad();
           const Index n = static_cast<Index>(out->data.size());
-          for (Index i = 0; i < n; ++i) {
-            ia->grad[i] += bwd(ia->data[i], out->data[i], out->grad[i]);
-          }
+          utils::ParallelFor(
+              0, n, utils::GrainForCost(1), [&](Index i0, Index i1) {
+                for (Index i = i0; i < i1; ++i) {
+                  ia->grad[i] += bwd(ia->data[i], out->data[i], out->grad[i]);
+                }
+              });
         };
       });
   const float* in = a.data();
   float* out = result.data();
   const Index n = a.numel();
-  for (Index i = 0; i < n; ++i) out[i] = fwd(in[i]);
+  utils::ParallelFor(0, n, utils::GrainForCost(1), [&](Index i0, Index i1) {
+    for (Index i = i0; i < i1; ++i) out[i] = fwd(in[i]);
+  });
   return result;
 }
 

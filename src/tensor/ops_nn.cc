@@ -4,6 +4,7 @@
 
 #include "tensor/ops.h"
 #include "utils/check.h"
+#include "utils/parallel.h"
 
 namespace isrec {
 namespace {
@@ -31,32 +32,42 @@ Tensor Softmax(const Tensor& a) {
         return [ia, out, rows, cols]() {
           if (!ia->requires_grad) return;
           ia->EnsureGrad();
-          for (Index r = 0; r < rows; ++r) {
-            const float* y = out->data.data() + r * cols;
-            const float* g = out->grad.data() + r * cols;
-            float* gi = ia->grad.data() + r * cols;
-            float dot = 0.0f;
-            for (Index c = 0; c < cols; ++c) dot += g[c] * y[c];
-            for (Index c = 0; c < cols; ++c) gi[c] += y[c] * (g[c] - dot);
-          }
+          // Rows are independent (disjoint gi ranges): safe to shard.
+          utils::ParallelFor(
+              0, rows, utils::GrainForCost(3 * cols),
+              [&](Index r0, Index r1) {
+                for (Index r = r0; r < r1; ++r) {
+                  const float* y = out->data.data() + r * cols;
+                  const float* g = out->grad.data() + r * cols;
+                  float* gi = ia->grad.data() + r * cols;
+                  float dot = 0.0f;
+                  for (Index c = 0; c < cols; ++c) dot += g[c] * y[c];
+                  for (Index c = 0; c < cols; ++c) {
+                    gi[c] += y[c] * (g[c] - dot);
+                  }
+                }
+              });
         };
       });
   {
     const float* in = a.data();
     float* out = result.data();
-    for (Index r = 0; r < rows; ++r) {
-      const float* x = in + r * cols;
-      float* y = out + r * cols;
-      float max_v = x[0];
-      for (Index c = 1; c < cols; ++c) max_v = std::max(max_v, x[c]);
-      float total = 0.0f;
-      for (Index c = 0; c < cols; ++c) {
-        y[c] = std::exp(x[c] - max_v);
-        total += y[c];
-      }
-      const float inv = 1.0f / total;
-      for (Index c = 0; c < cols; ++c) y[c] *= inv;
-    }
+    utils::ParallelFor(
+        0, rows, utils::GrainForCost(4 * cols), [&](Index r0, Index r1) {
+          for (Index r = r0; r < r1; ++r) {
+            const float* x = in + r * cols;
+            float* y = out + r * cols;
+            float max_v = x[0];
+            for (Index c = 1; c < cols; ++c) max_v = std::max(max_v, x[c]);
+            float total = 0.0f;
+            for (Index c = 0; c < cols; ++c) {
+              y[c] = std::exp(x[c] - max_v);
+              total += y[c];
+            }
+            const float inv = 1.0f / total;
+            for (Index c = 0; c < cols; ++c) y[c] *= inv;
+          }
+        });
   }
   return result;
 }
@@ -74,31 +85,38 @@ Tensor LogSoftmax(const Tensor& a) {
         return [ia, out, rows, cols]() {
           if (!ia->requires_grad) return;
           ia->EnsureGrad();
-          for (Index r = 0; r < rows; ++r) {
-            const float* y = out->data.data() + r * cols;
-            const float* g = out->grad.data() + r * cols;
-            float* gi = ia->grad.data() + r * cols;
-            float g_sum = 0.0f;
-            for (Index c = 0; c < cols; ++c) g_sum += g[c];
-            for (Index c = 0; c < cols; ++c) {
-              gi[c] += g[c] - std::exp(y[c]) * g_sum;
-            }
-          }
+          utils::ParallelFor(
+              0, rows, utils::GrainForCost(3 * cols),
+              [&](Index r0, Index r1) {
+                for (Index r = r0; r < r1; ++r) {
+                  const float* y = out->data.data() + r * cols;
+                  const float* g = out->grad.data() + r * cols;
+                  float* gi = ia->grad.data() + r * cols;
+                  float g_sum = 0.0f;
+                  for (Index c = 0; c < cols; ++c) g_sum += g[c];
+                  for (Index c = 0; c < cols; ++c) {
+                    gi[c] += g[c] - std::exp(y[c]) * g_sum;
+                  }
+                }
+              });
         };
       });
   {
     const float* in = a.data();
     float* out = result.data();
-    for (Index r = 0; r < rows; ++r) {
-      const float* x = in + r * cols;
-      float* y = out + r * cols;
-      float max_v = x[0];
-      for (Index c = 1; c < cols; ++c) max_v = std::max(max_v, x[c]);
-      float total = 0.0f;
-      for (Index c = 0; c < cols; ++c) total += std::exp(x[c] - max_v);
-      const float lse = max_v + std::log(total);
-      for (Index c = 0; c < cols; ++c) y[c] = x[c] - lse;
-    }
+    utils::ParallelFor(
+        0, rows, utils::GrainForCost(4 * cols), [&](Index r0, Index r1) {
+          for (Index r = r0; r < r1; ++r) {
+            const float* x = in + r * cols;
+            float* y = out + r * cols;
+            float max_v = x[0];
+            for (Index c = 1; c < cols; ++c) max_v = std::max(max_v, x[c]);
+            float total = 0.0f;
+            for (Index c = 0; c < cols; ++c) total += std::exp(x[c] - max_v);
+            const float lse = max_v + std::log(total);
+            for (Index c = 0; c < cols; ++c) y[c] = x[c] - lse;
+          }
+        });
   }
   return result;
 }
@@ -164,25 +182,30 @@ Tensor LayerNormOp(const Tensor& a, const Tensor& gamma, const Tensor& beta,
     const float* gm = gamma.data();
     const float* bt = beta.data();
     float* out = result.data();
-    for (Index r = 0; r < rows; ++r) {
-      const float* x = in + r * cols;
-      float* y = out + r * cols;
-      float mu = 0.0f;
-      for (Index c = 0; c < cols; ++c) mu += x[c];
-      mu /= static_cast<float>(cols);
-      float var = 0.0f;
-      for (Index c = 0; c < cols; ++c) {
-        const float d = x[c] - mu;
-        var += d * d;
-      }
-      var /= static_cast<float>(cols);
-      const float is = 1.0f / std::sqrt(var + eps);
-      (*mean)[r] = mu;
-      (*inv_std)[r] = is;
-      for (Index c = 0; c < cols; ++c) {
-        y[c] = (x[c] - mu) * is * gm[c] + bt[c];
-      }
-    }
+    // Forward rows are independent; the backward stays serial because
+    // every row accumulates into the shared gamma/beta gradients.
+    utils::ParallelFor(
+        0, rows, utils::GrainForCost(4 * cols), [&](Index r0, Index r1) {
+          for (Index r = r0; r < r1; ++r) {
+            const float* x = in + r * cols;
+            float* y = out + r * cols;
+            float mu = 0.0f;
+            for (Index c = 0; c < cols; ++c) mu += x[c];
+            mu /= static_cast<float>(cols);
+            float var = 0.0f;
+            for (Index c = 0; c < cols; ++c) {
+              const float d = x[c] - mu;
+              var += d * d;
+            }
+            var /= static_cast<float>(cols);
+            const float is = 1.0f / std::sqrt(var + eps);
+            (*mean)[r] = mu;
+            (*inv_std)[r] = is;
+            for (Index c = 0; c < cols; ++c) {
+              y[c] = (x[c] - mu) * is * gm[c] + bt[c];
+            }
+          }
+        });
   }
   return result;
 }
@@ -250,15 +273,21 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<Index>& indices,
   {
     const float* tab = table.data();
     float* out = result.data();
-    for (size_t r = 0; r < indices.size(); ++r) {
-      const Index id = indices[r];
-      if (id < 0) {
-        std::memset(out + r * dim, 0, sizeof(float) * dim);
-      } else {
-        ISREC_CHECK_LT(id, vocab);
-        std::memcpy(out + r * dim, tab + id * dim, sizeof(float) * dim);
-      }
-    }
+    // Gather rows are disjoint; the backward scatter-add stays serial
+    // because duplicate indices would race on the same table row.
+    utils::ParallelFor(
+        0, static_cast<Index>(indices.size()), utils::GrainForCost(dim),
+        [&](Index r0, Index r1) {
+          for (Index r = r0; r < r1; ++r) {
+            const Index id = indices[r];
+            if (id < 0) {
+              std::memset(out + r * dim, 0, sizeof(float) * dim);
+            } else {
+              ISREC_CHECK_LT(id, vocab);
+              std::memcpy(out + r * dim, tab + id * dim, sizeof(float) * dim);
+            }
+          }
+        });
   }
   return result;
 }

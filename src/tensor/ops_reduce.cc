@@ -3,6 +3,7 @@
 
 #include "tensor/ops.h"
 #include "utils/check.h"
+#include "utils/parallel.h"
 
 namespace isrec {
 namespace {
@@ -77,26 +78,36 @@ Tensor Sum(const Tensor& a, int axis, bool keepdim) {
         return [ia, out, outer, mid, inner]() {
           if (!ia->requires_grad) return;
           ia->EnsureGrad();
-          for (Index o = 0; o < outer; ++o) {
-            for (Index m = 0; m < mid; ++m) {
-              float* gi = ia->grad.data() + (o * mid + m) * inner;
-              const float* g = out->grad.data() + o * inner;
-              for (Index i = 0; i < inner; ++i) gi[i] += g[i];
-            }
-          }
+          // Each outer slice touches a disjoint gi range: shardable.
+          utils::ParallelFor(
+              0, outer, utils::GrainForCost(mid * inner),
+              [&](Index o0, Index o1) {
+                for (Index o = o0; o < o1; ++o) {
+                  for (Index m = 0; m < mid; ++m) {
+                    float* gi = ia->grad.data() + (o * mid + m) * inner;
+                    const float* g = out->grad.data() + o * inner;
+                    for (Index i = 0; i < inner; ++i) gi[i] += g[i];
+                  }
+                }
+              });
         };
       });
   {
     const float* in = a.data();
     float* out = result.data();
     std::fill(out, out + result.numel(), 0.0f);
-    for (Index o = 0; o < outer; ++o) {
-      for (Index m = 0; m < mid; ++m) {
-        const float* row = in + (o * mid + m) * inner;
-        float* orow = out + o * inner;
-        for (Index i = 0; i < inner; ++i) orow[i] += row[i];
-      }
-    }
+    // Each output slice accumulates its mid terms in ascending order
+    // within one shard, so sharding over `outer` is bitwise identical.
+    utils::ParallelFor(
+        0, outer, utils::GrainForCost(mid * inner), [&](Index o0, Index o1) {
+          for (Index o = o0; o < o1; ++o) {
+            for (Index m = 0; m < mid; ++m) {
+              const float* row = in + (o * mid + m) * inner;
+              float* orow = out + o * inner;
+              for (Index i = 0; i < inner; ++i) orow[i] += row[i];
+            }
+          }
+        });
   }
   return result;
 }
@@ -139,21 +150,24 @@ Tensor ReduceMax(const Tensor& a, int axis, bool keepdim) {
   {
     const float* in = a.data();
     float* out = result.data();
-    for (Index o = 0; o < outer; ++o) {
-      for (Index i = 0; i < inner; ++i) {
-        float best = -std::numeric_limits<float>::infinity();
-        Index best_m = 0;
-        for (Index m = 0; m < mid; ++m) {
-          const float v = in[(o * mid + m) * inner + i];
-          if (v > best) {
-            best = v;
-            best_m = m;
+    utils::ParallelFor(
+        0, outer, utils::GrainForCost(mid * inner), [&](Index o0, Index o1) {
+          for (Index o = o0; o < o1; ++o) {
+            for (Index i = 0; i < inner; ++i) {
+              float best = -std::numeric_limits<float>::infinity();
+              Index best_m = 0;
+              for (Index m = 0; m < mid; ++m) {
+                const float v = in[(o * mid + m) * inner + i];
+                if (v > best) {
+                  best = v;
+                  best_m = m;
+                }
+              }
+              out[o * inner + i] = best;
+              (*argmax)[o * inner + i] = best_m;
+            }
           }
-        }
-        out[o * inner + i] = best;
-        (*argmax)[o * inner + i] = best_m;
-      }
-    }
+        });
   }
   return result;
 }

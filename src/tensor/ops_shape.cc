@@ -3,6 +3,7 @@
 
 #include "tensor/ops.h"
 #include "utils/check.h"
+#include "utils/parallel.h"
 
 namespace isrec {
 namespace {
@@ -304,12 +305,18 @@ Tensor IndexSelect(const Tensor& a, const std::vector<Index>& indices) {
   {
     const float* in = a.data();
     float* out = result.data();
-    for (size_t r = 0; r < indices.size(); ++r) {
-      ISREC_CHECK_GE(indices[r], 0);
-      ISREC_CHECK_LT(indices[r], rows);
-      std::memcpy(out + r * row_size, in + indices[r] * row_size,
-                  sizeof(float) * row_size);
-    }
+    // Gathered rows are disjoint; the backward scatter stays serial
+    // because duplicate indices would race on the same source row.
+    utils::ParallelFor(
+        0, static_cast<Index>(indices.size()), utils::GrainForCost(row_size),
+        [&](Index r0, Index r1) {
+          for (Index r = r0; r < r1; ++r) {
+            ISREC_CHECK_GE(indices[r], 0);
+            ISREC_CHECK_LT(indices[r], rows);
+            std::memcpy(out + r * row_size, in + indices[r] * row_size,
+                        sizeof(float) * row_size);
+          }
+        });
   }
   return result;
 }

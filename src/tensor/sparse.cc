@@ -6,9 +6,36 @@
 #include <map>
 
 #include "utils/check.h"
+#include "utils/parallel.h"
 
 namespace isrec {
 namespace {
+
+// Shared row-partitioned CSR * dense kernel: y[r] = sum_p v[p] * x[col[p]]
+// for r in a shard. Output rows are disjoint across shards and each
+// element accumulates in ascending CSR order, so results are bitwise
+// identical to the serial loop at any thread count.
+void CsrMultiply(const std::vector<Index>& row_ptr,
+                 const std::vector<Index>& col_idx,
+                 const std::vector<float>& values, Index num_rows,
+                 const float* x, Index cols, float* y) {
+  const Index nnz = static_cast<Index>(values.size());
+  const Index cost_per_row =
+      num_rows == 0 ? 1 : (nnz * cols) / num_rows + cols;
+  utils::ParallelFor(
+      0, num_rows, utils::GrainForCost(cost_per_row),
+      [&](Index r0, Index r1) {
+        std::memset(y + r0 * cols, 0, sizeof(float) * (r1 - r0) * cols);
+        for (Index r = r0; r < r1; ++r) {
+          float* yr = y + r * cols;
+          for (Index p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+            const float v = values[p];
+            const float* xr = x + col_idx[p] * cols;
+            for (Index c = 0; c < cols; ++c) yr[c] += v * xr[c];
+          }
+        }
+      });
+}
 
 // Builds CSR arrays from (row, col) -> value map.
 void BuildCsr(Index num_rows, const std::map<std::pair<Index, Index>, float>& m,
@@ -83,28 +110,12 @@ SparseMatrix SparseMatrix::NormalizedAdjacency(
 }
 
 void SparseMatrix::Multiply(const float* x, Index cols, float* y) const {
-  std::memset(y, 0, sizeof(float) * num_rows_ * cols);
-  for (Index r = 0; r < num_rows_; ++r) {
-    float* yr = y + r * cols;
-    for (Index p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
-      const float v = values_[p];
-      const float* xr = x + col_idx_[p] * cols;
-      for (Index c = 0; c < cols; ++c) yr[c] += v * xr[c];
-    }
-  }
+  CsrMultiply(row_ptr_, col_idx_, values_, num_rows_, x, cols, y);
 }
 
 void SparseMatrix::MultiplyTranspose(const float* x, Index cols,
                                      float* y) const {
-  std::memset(y, 0, sizeof(float) * num_cols_ * cols);
-  for (Index r = 0; r < num_cols_; ++r) {
-    float* yr = y + r * cols;
-    for (Index p = t_row_ptr_[r]; p < t_row_ptr_[r + 1]; ++p) {
-      const float v = t_values_[p];
-      const float* xr = x + t_col_idx_[p] * cols;
-      for (Index c = 0; c < cols; ++c) yr[c] += v * xr[c];
-    }
-  }
+  CsrMultiply(t_row_ptr_, t_col_idx_, t_values_, num_cols_, x, cols, y);
 }
 
 Tensor SpMM(const SparseMatrix& adj, const Tensor& x) {
@@ -145,9 +156,13 @@ Tensor SpMM(const SparseMatrix& adj, const Tensor& x) {
   {
     const float* in = x.data();
     float* out = result.data();
-    for (Index b = 0; b < batch; ++b) {
-      adj.Multiply(in + b * in_mat, d, out + b * out_mat);
-    }
+    utils::ParallelFor(0, batch,
+                       utils::GrainForCost(adj.nnz() * d + out_mat),
+                       [&](Index b0, Index b1) {
+                         for (Index b = b0; b < b1; ++b) {
+                           adj.Multiply(in + b * in_mat, d, out + b * out_mat);
+                         }
+                       });
   }
   return result;
 }

@@ -1,0 +1,142 @@
+#include "utils/parallel.h"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "utils/check.h"
+#include "utils/thread_pool.h"
+
+namespace isrec::utils {
+namespace {
+
+constexpr Index kMinOpsPerShard = 65536;
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;  // Workers only; caller is thread 0.
+Index g_num_threads = 0;             // 0 = not resolved yet.
+
+Index DefaultNumThreads() {
+  if (const char* env = std::getenv("ISREC_NUM_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    ISREC_CHECK_MSG(end != env && *end == '\0' && parsed > 0,
+                    "bad ISREC_NUM_THREADS: " << env);
+    return static_cast<Index>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<Index>(hw);
+}
+
+Index NumThreadsLocked() {
+  if (g_num_threads == 0) g_num_threads = DefaultNumThreads();
+  return g_num_threads;
+}
+
+// Returns the pool (creating it at num_threads - 1 workers if needed),
+// or nullptr when the configuration is single-threaded.
+ThreadPool* PoolForDispatch(Index* num_threads) {
+  std::unique_lock<std::mutex> lock(g_pool_mutex);
+  *num_threads = NumThreadsLocked();
+  if (*num_threads <= 1) return nullptr;
+  if (g_pool == nullptr) {
+    g_pool = std::make_unique<ThreadPool>(*num_threads - 1);
+  }
+  return g_pool.get();
+}
+
+// Per-ParallelFor completion tracker. Shards decrement `remaining`; the
+// caller waits for zero, then rethrows the first captured exception.
+// Heap-allocated and shared so a shard finishing after an exception in
+// another shard never touches a dead stack frame.
+struct ShardSync {
+  std::mutex mutex;
+  std::condition_variable done;
+  Index remaining = 0;
+  std::exception_ptr error;
+
+  void Finish(std::exception_ptr e) {
+    std::unique_lock<std::mutex> lock(mutex);
+    if (e != nullptr && error == nullptr) error = std::move(e);
+    if (--remaining == 0) done.notify_one();
+  }
+};
+
+}  // namespace
+
+Index GetNumThreads() {
+  std::unique_lock<std::mutex> lock(g_pool_mutex);
+  return NumThreadsLocked();
+}
+
+void SetNumThreads(Index n) {
+  ISREC_CHECK_GT(n, 0);
+  ISREC_CHECK_MSG(!ThreadPool::InWorkerThread(),
+                  "SetNumThreads from inside a pool worker");
+  std::unique_ptr<ThreadPool> old;
+  {
+    std::unique_lock<std::mutex> lock(g_pool_mutex);
+    g_num_threads = n;
+    old = std::move(g_pool);  // Joined outside the lock.
+  }
+}
+
+Index GrainForCost(Index cost_per_item) {
+  if (cost_per_item <= 0) cost_per_item = 1;
+  const Index grain = kMinOpsPerShard / cost_per_item;
+  return grain < 1 ? 1 : grain;
+}
+
+void ParallelFor(Index begin, Index end, Index grain,
+                 const std::function<void(Index, Index)>& fn) {
+  if (begin >= end) return;
+  ISREC_CHECK_GT(grain, 0);
+  const Index n = end - begin;
+
+  Index num_threads = 1;
+  ThreadPool* pool = n <= grain ? nullptr : PoolForDispatch(&num_threads);
+  // A global-pool worker must not block-wait on its own pool; its nested
+  // ParallelFor runs inline (it is already one shard of an outer loop).
+  if (pool == nullptr || pool->InThisPool()) {
+    fn(begin, end);
+    return;
+  }
+
+  const Index max_shards = (n + grain - 1) / grain;
+  const Index shards = num_threads < max_shards ? num_threads : max_shards;
+  const Index chunk = (n + shards - 1) / shards;
+
+  auto sync = std::make_shared<ShardSync>();
+  sync->remaining = shards;
+  for (Index s = 1; s < shards; ++s) {
+    const Index s_begin = begin + s * chunk;
+    const Index s_end = s_begin + chunk < end ? s_begin + chunk : end;
+    pool->Submit([sync, &fn, s_begin, s_end] {
+      std::exception_ptr error;
+      try {
+        fn(s_begin, s_end);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      sync->Finish(std::move(error));
+    });
+  }
+  // The caller is shard 0: it contributes compute instead of idling.
+  {
+    std::exception_ptr error;
+    try {
+      fn(begin, begin + chunk < end ? begin + chunk : end);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    sync->Finish(std::move(error));
+  }
+  std::unique_lock<std::mutex> lock(sync->mutex);
+  sync->done.wait(lock, [&] { return sync->remaining == 0; });
+  if (sync->error != nullptr) std::rethrow_exception(sync->error);
+}
+
+}  // namespace isrec::utils

@@ -1,0 +1,52 @@
+#ifndef ISREC_UTILS_PARALLEL_H_
+#define ISREC_UTILS_PARALLEL_H_
+
+#include <functional>
+
+#include "tensor/tensor.h"
+
+namespace isrec::utils {
+
+/// Intra-op parallelism for the tensor kernels (DESIGN.md "Threading
+/// model"). A single process-wide ThreadPool is created lazily on the
+/// first ParallelFor that decides to go parallel; its size comes from
+/// SetNumThreads, else the ISREC_NUM_THREADS environment variable, else
+/// std::thread::hardware_concurrency.
+///
+/// Determinism contract: ParallelFor only partitions an index range into
+/// disjoint shards; callers must ensure each shard writes disjoint
+/// output (e.g. distinct rows of C in a GEMM) and keeps the per-element
+/// accumulation order of the serial loop. Under that discipline results
+/// are bitwise identical to serial execution at any thread count.
+
+/// Total intra-op concurrency (calling thread included), always >= 1.
+Index GetNumThreads();
+
+/// Overrides the thread count (takes precedence over ISREC_NUM_THREADS).
+/// Tears down the current global pool; it is rebuilt lazily at the new
+/// size. Must not be called concurrently with a running ParallelFor or
+/// from inside a pool worker.
+void SetNumThreads(Index n);
+
+/// Runs fn(shard_begin, shard_end) over disjoint shards covering
+/// [begin, end). Serial (one inline fn(begin, end) call, no pool touch)
+/// when the range is empty, fits in one grain, the thread count is 1, or
+/// the caller is itself a global-pool worker (a nested ParallelFor must
+/// not block-wait on its own pool — that can deadlock it). Workers of
+/// *other* pools (e.g. a ServingEngine worker) may fan out onto the
+/// global pool: global-pool shards never block, so no wait cycle can
+/// form. The first exception thrown by any shard is rethrown on the
+/// calling thread after every shard has finished.
+void ParallelFor(Index begin, Index end, Index grain,
+                 const std::function<void(Index, Index)>& fn);
+
+/// Grain-size heuristic: the number of items per shard so that one shard
+/// amounts to at least ~64K scalar operations (below that the dispatch
+/// overhead outweighs the win). `cost_per_item` is the approximate op
+/// count of one item, e.g. n * k for one output row of an [m, n, k]
+/// GEMM.
+Index GrainForCost(Index cost_per_item);
+
+}  // namespace isrec::utils
+
+#endif  // ISREC_UTILS_PARALLEL_H_

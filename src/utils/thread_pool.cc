@@ -3,6 +3,18 @@
 #include "utils/check.h"
 
 namespace isrec::utils {
+namespace {
+
+// Which pool (if any) owns the calling thread; set for the lifetime of
+// WorkerLoop. Lets WaitIdle detect same-pool reentrancy and ParallelFor
+// run nested calls inline instead of deadlocking.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
+
+bool ThreadPool::InWorkerThread() { return tls_worker_pool != nullptr; }
+
+bool ThreadPool::InThisPool() const { return tls_worker_pool == this; }
 
 ThreadPool::ThreadPool(Index num_threads) {
   ISREC_CHECK_GT(num_threads, 0);
@@ -32,11 +44,15 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::WaitIdle() {
+  ISREC_CHECK_MSG(!InThisPool(),
+                  "WaitIdle from a worker of the same ThreadPool would "
+                  "deadlock (the waiting task never finishes)");
   std::unique_lock<std::mutex> lock(mutex_);
   idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {

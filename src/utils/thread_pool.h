@@ -23,6 +23,14 @@ namespace isrec::utils {
 /// captured in its future, and one thrown by a Submit task is swallowed
 /// after unwinding the task — a throwing task never takes down a worker
 /// thread. The destructor drains all queued tasks, then joins.
+///
+/// Reentrancy: Submit from inside a worker task is safe (it only
+/// enqueues; the task runs later, possibly on the submitting worker).
+/// WaitIdle from inside a worker of the *same* pool would deadlock — the
+/// waiting task counts as active, so the pool can never go idle — and
+/// fails loudly with ISREC_CHECK instead. Code that wants to fan out
+/// from a worker should use utils::ParallelFor, whose nested calls run
+/// inline on the calling worker.
 class ThreadPool {
  public:
   explicit ThreadPool(Index num_threads);
@@ -46,10 +54,17 @@ class ThreadPool {
     return result;
   }
 
-  /// Blocks until every task submitted so far has finished.
+  /// Blocks until every task submitted so far has finished. CHECK-fails
+  /// when called from one of this pool's own workers (see class comment).
   void WaitIdle();
 
   Index num_threads() const { return static_cast<Index>(workers_.size()); }
+
+  /// True when the calling thread is a worker of any ThreadPool.
+  static bool InWorkerThread();
+
+  /// True when the calling thread is a worker of *this* pool.
+  bool InThisPool() const;
 
  private:
   void WorkerLoop();

@@ -1,0 +1,377 @@
+// Tests of utils::ParallelFor and of the determinism contract of the
+// parallel tensor kernels (DESIGN.md "Threading model"): every kernel
+// partitions disjoint output rows and keeps the serial per-element
+// accumulation order, so results must be bitwise identical to serial
+// execution at any thread count.
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "gtest/gtest.h"
+#include "models/sasrec.h"
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
+#include "utils/parallel.h"
+#include "utils/thread_pool.h"
+
+namespace isrec {
+namespace {
+
+// Restores the ambient thread count on scope exit so tests stay
+// order-independent.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(utils::GetNumThreads()) {}
+  ~ThreadCountGuard() { utils::SetNumThreads(saved_); }
+
+ private:
+  Index saved_;
+};
+
+TEST(ParallelForTest, EmptyRangeNeverInvokesBody) {
+  ThreadCountGuard guard;
+  utils::SetNumThreads(4);
+  int calls = 0;
+  utils::ParallelFor(3, 3, 1, [&](Index, Index) { ++calls; });
+  utils::ParallelFor(5, 2, 1, [&](Index, Index) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, GrainLargerThanRangeRunsOneInlineShard) {
+  ThreadCountGuard guard;
+  utils::SetNumThreads(4);
+  const auto caller = std::this_thread::get_id();
+  int calls = 0;
+  Index begin = -1, end = -1;
+  utils::ParallelFor(2, 12, 64, [&](Index b, Index e) {
+    ++calls;
+    begin = b;
+    end = e;
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(begin, 2);
+  EXPECT_EQ(end, 12);
+}
+
+TEST(ParallelForTest, ShardsCoverRangeExactlyOnce) {
+  ThreadCountGuard guard;
+  for (Index threads : {1, 2, 4, 7}) {
+    utils::SetNumThreads(threads);
+    std::vector<int> touched(1000, 0);
+    // Shards are disjoint, so the unsynchronized writes cannot race.
+    utils::ParallelFor(0, 1000, 1, [&](Index b, Index e) {
+      for (Index i = b; i < e; ++i) ++touched[i];
+    });
+    for (int count : touched) ASSERT_EQ(count, 1);
+  }
+}
+
+TEST(ParallelForTest, ExceptionInCallerShardPropagates) {
+  ThreadCountGuard guard;
+  utils::SetNumThreads(4);
+  // Shard 0 (which contains index 0) always runs inline on the caller.
+  EXPECT_THROW(utils::ParallelFor(0, 100, 1,
+                                  [](Index b, Index) {
+                                    if (b == 0) {
+                                      throw std::runtime_error("caller shard");
+                                    }
+                                  }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, ExceptionInWorkerShardPropagates) {
+  ThreadCountGuard guard;
+  utils::SetNumThreads(4);
+  EXPECT_THROW(utils::ParallelFor(0, 100, 1,
+                                  [](Index b, Index) {
+                                    if (b != 0) {
+                                      throw std::runtime_error("worker shard");
+                                    }
+                                  }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, NestedCallFromPoolWorkerRunsInline) {
+  ThreadCountGuard guard;
+  utils::SetNumThreads(4);
+  std::atomic<int> worker_shards{0};
+  utils::ParallelFor(0, 8, 1, [&](Index, Index) {
+    // Shard 0 runs on the caller (not a pool worker); only the shards
+    // that landed on global-pool workers must run their nested loop
+    // inline — going parallel there could deadlock the pool.
+    if (!utils::ThreadPool::InWorkerThread()) return;
+    ++worker_shards;
+    const auto outer_thread = std::this_thread::get_id();
+    int calls = 0;
+    utils::ParallelFor(0, 64, 1, [&](Index b, Index e) {
+      ++calls;
+      EXPECT_EQ(b, 0);
+      EXPECT_EQ(e, 64);
+      EXPECT_EQ(std::this_thread::get_id(), outer_thread);
+    });
+    EXPECT_EQ(calls, 1);
+  });
+  EXPECT_GT(worker_shards.load(), 0);
+}
+
+TEST(ParallelForTest, SetNumThreadsRebuildsThePool) {
+  ThreadCountGuard guard;
+  utils::SetNumThreads(2);
+  EXPECT_EQ(utils::GetNumThreads(), 2);
+  utils::SetNumThreads(5);
+  EXPECT_EQ(utils::GetNumThreads(), 5);
+  std::vector<int> touched(64, 0);
+  utils::ParallelFor(0, 64, 1, [&](Index b, Index e) {
+    for (Index i = b; i < e; ++i) ++touched[i];
+  });
+  for (int count : touched) ASSERT_EQ(count, 1);
+}
+
+// -- Bitwise identity of the parallel kernels ---------------------------
+
+// Runs `make` under each thread count and requires the exact bytes of
+// the serial result.
+void ExpectBitwiseIdentical(const std::function<std::vector<float>()>& make) {
+  ThreadCountGuard guard;
+  utils::SetNumThreads(1);
+  const std::vector<float> reference = make();
+  for (Index threads : {2, 4, 7}) {
+    utils::SetNumThreads(threads);
+    const std::vector<float> got = make();
+    ASSERT_EQ(got.size(), reference.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      // EQ (not NEAR): the determinism contract is bitwise.
+      ASSERT_EQ(got[i], reference[i])
+          << "threads=" << threads << " index=" << i;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, GemmPlain) {
+  ExpectBitwiseIdentical([] {
+    Rng rng(7);
+    Tensor a = Tensor::Randn({200, 48}, 1.0f, rng);
+    Tensor b = Tensor::Randn({48, 80}, 1.0f, rng);
+    NoGradGuard no_grad;
+    return BatchMatMul(a, b, false, false).ToVector();
+  });
+}
+
+TEST(ParallelDeterminismTest, GemmTransB) {
+  ExpectBitwiseIdentical([] {
+    Rng rng(8);
+    Tensor a = Tensor::Randn({200, 48}, 1.0f, rng);
+    Tensor b = Tensor::Randn({80, 48}, 1.0f, rng);
+    NoGradGuard no_grad;
+    return BatchMatMul(a, b, false, true).ToVector();
+  });
+}
+
+TEST(ParallelDeterminismTest, GemmTransA) {
+  ExpectBitwiseIdentical([] {
+    Rng rng(9);
+    Tensor a = Tensor::Randn({48, 200}, 1.0f, rng);
+    Tensor b = Tensor::Randn({48, 80}, 1.0f, rng);
+    NoGradGuard no_grad;
+    return BatchMatMul(a, b, true, false).ToVector();
+  });
+}
+
+TEST(ParallelDeterminismTest, GemmTransAB) {
+  ExpectBitwiseIdentical([] {
+    Rng rng(10);
+    Tensor a = Tensor::Randn({48, 200}, 1.0f, rng);
+    Tensor b = Tensor::Randn({80, 48}, 1.0f, rng);
+    NoGradGuard no_grad;
+    return BatchMatMul(a, b, true, true).ToVector();
+  });
+}
+
+TEST(ParallelDeterminismTest, GemmBackwardAllVariants) {
+  // Backward GEMMs exercise the transpose variants with gradients as
+  // operands; the concatenated dA/dB bytes must not depend on threads.
+  for (const auto& [trans_a, trans_b] :
+       std::vector<std::pair<bool, bool>>{
+           {false, false}, {false, true}, {true, false}, {true, true}}) {
+    ExpectBitwiseIdentical([trans_a = trans_a, trans_b = trans_b] {
+      Rng rng(11);
+      const Shape sa = trans_a ? Shape{48, 120} : Shape{120, 48};
+      const Shape sb = trans_b ? Shape{80, 48} : Shape{48, 80};
+      Tensor a = Tensor::Randn(sa, 1.0f, rng, /*requires_grad=*/true);
+      Tensor b = Tensor::Randn(sb, 1.0f, rng, /*requires_grad=*/true);
+      Sum(BatchMatMul(a, b, trans_a, trans_b)).Backward();
+      std::vector<float> grads(a.grad(), a.grad() + a.numel());
+      grads.insert(grads.end(), b.grad(), b.grad() + b.numel());
+      return grads;
+    });
+  }
+}
+
+TEST(ParallelDeterminismTest, BatchedGemmForward) {
+  ExpectBitwiseIdentical([] {
+    Rng rng(12);
+    Tensor a = Tensor::Randn({24, 20, 32}, 1.0f, rng);
+    Tensor b = Tensor::Randn({24, 20, 32}, 1.0f, rng);
+    NoGradGuard no_grad;
+    return BatchMatMul(a, b, false, true).ToVector();
+  });
+}
+
+TEST(ParallelDeterminismTest, SpMMForwardAndBackward) {
+  ExpectBitwiseIdentical([] {
+    Rng rng(13);
+    std::vector<std::pair<Index, Index>> edges;
+    for (Index i = 0; i < 200; ++i) {
+      for (Index d = 1; d <= 3; ++d) edges.push_back({i, (i + d) % 200});
+    }
+    const SparseMatrix adj = SparseMatrix::NormalizedAdjacency(200, edges);
+    Tensor x = Tensor::Randn({4, 200, 16}, 1.0f, rng, /*requires_grad=*/true);
+    Tensor y = SpMM(adj, x);
+    Sum(y).Backward();
+    std::vector<float> out = y.ToVector();
+    out.insert(out.end(), x.grad(), x.grad() + x.numel());
+    return out;
+  });
+}
+
+TEST(ParallelDeterminismTest, LogSoftmaxForwardAndBackward) {
+  ExpectBitwiseIdentical([] {
+    Rng rng(14);
+    Tensor x = Tensor::Randn({300, 101}, 2.0f, rng, /*requires_grad=*/true);
+    Tensor w = Tensor::Randn({300, 101}, 1.0f, rng);
+    Tensor y = LogSoftmax(x);
+    Sum(Mul(y, w)).Backward();
+    std::vector<float> out = y.ToVector();
+    out.insert(out.end(), x.grad(), x.grad() + x.numel());
+    return out;
+  });
+}
+
+TEST(ParallelDeterminismTest, SoftmaxAndLayerNormAndReduce) {
+  ExpectBitwiseIdentical([] {
+    Rng rng(15);
+    Tensor x = Tensor::Randn({128, 64}, 1.0f, rng);
+    Tensor gamma = Tensor::Ones({64});
+    Tensor beta = Tensor::Zeros({64});
+    NoGradGuard no_grad;
+    std::vector<float> out = Softmax(x).ToVector();
+    const std::vector<float> ln = LayerNormOp(x, gamma, beta).ToVector();
+    out.insert(out.end(), ln.begin(), ln.end());
+    const std::vector<float> sums = Sum(x, -1).ToVector();
+    out.insert(out.end(), sums.begin(), sums.end());
+    const std::vector<float> maxes = ReduceMax(x, 0).ToVector();
+    out.insert(out.end(), maxes.begin(), maxes.end());
+    return out;
+  });
+}
+
+// -- End-to-end: training, evaluation, and serving-style scoring --------
+
+data::Dataset SmallDataset() {
+  data::SyntheticConfig config;
+  config.name = "parallel_test";
+  config.num_users = 60;
+  config.num_items = 50;
+  config.num_concepts = 12;
+  config.min_sequence_length = 5;
+  config.max_sequence_length = 10;
+  config.seed = 21;
+  return data::GenerateSyntheticDataset(config);
+}
+
+models::SeqModelConfig SmallModelConfig() {
+  models::SeqModelConfig config;
+  config.embed_dim = 16;
+  config.num_layers = 1;
+  config.ffn_dim = 32;
+  config.seq_len = 8;
+  config.batch_size = 16;
+  config.epochs = 0;
+  config.seed = 5;
+  return config;
+}
+
+TEST(ParallelDeterminismTest, TrainEpochLossAndEvalMetricsMatchAcrossThreads) {
+  ThreadCountGuard guard;
+  const data::Dataset dataset = SmallDataset();
+  const data::LeaveOneOutSplit split(dataset);
+
+  auto run = [&](Index threads) {
+    utils::SetNumThreads(threads);
+    models::SasRec model(SmallModelConfig());
+    model.Fit(dataset, split);  // 0 epochs: builds only.
+    data::SequenceBatcher batcher(split, model.config().batch_size,
+                                  model.config().seq_len);
+    std::vector<float> losses;
+    for (int epoch = 0; epoch < 2; ++epoch) {
+      losses.push_back(model.TrainEpoch(batcher));
+    }
+    model.SetTraining(false);
+    eval::EvalConfig eval_config;
+    eval_config.num_negatives = 20;
+    eval_config.batch_size = 16;
+    const eval::MetricReport report =
+        eval::EvaluateRanking(model, dataset, split, eval_config);
+    return std::make_pair(losses, report);
+  };
+
+  const auto [losses1, report1] = run(1);
+  const auto [losses4, report4] = run(4);
+  ASSERT_EQ(losses1.size(), losses4.size());
+  for (size_t i = 0; i < losses1.size(); ++i) {
+    EXPECT_EQ(losses1[i], losses4[i]) << "epoch " << i;
+  }
+  EXPECT_EQ(report1.hr10, report4.hr10);
+  EXPECT_EQ(report1.ndcg10, report4.ndcg10);
+  EXPECT_EQ(report1.mrr, report4.mrr);
+  EXPECT_EQ(report1.num_users, report4.num_users);
+}
+
+TEST(ParallelDeterminismTest, MixedCandidateScoreBatchMatchesPerRequestScore) {
+  ThreadCountGuard guard;
+  const data::Dataset dataset = SmallDataset();
+  const data::LeaveOneOutSplit split(dataset);
+  models::SeqModelConfig config = SmallModelConfig();
+  config.epochs = 1;
+  models::SasRec model(config);
+  model.Fit(dataset, split);
+
+  // Candidate lists of different lengths force the padded-gather path.
+  std::vector<Index> users = {0, 1, 2, 3};
+  std::vector<std::vector<Index>> histories;
+  std::vector<std::vector<Index>> candidates;
+  for (Index u : users) {
+    histories.push_back(split.TestHistory(u));
+    std::vector<Index> c;
+    for (Index i = 0; i <= 5 + 7 * u; ++i) c.push_back(i % dataset.num_items);
+    candidates.push_back(std::move(c));
+  }
+
+  auto run_batch = [&](Index threads) {
+    utils::SetNumThreads(threads);
+    return model.ScoreBatch(users, histories, candidates);
+  };
+  const auto batched1 = run_batch(1);
+  const auto batched4 = run_batch(4);
+
+  for (size_t i = 0; i < users.size(); ++i) {
+    const std::vector<float> individual =
+        model.Score(users[i], histories[i], candidates[i]);
+    ASSERT_EQ(batched1[i].size(), candidates[i].size());
+    ASSERT_EQ(batched4[i].size(), candidates[i].size());
+    for (size_t j = 0; j < individual.size(); ++j) {
+      EXPECT_EQ(batched1[i][j], individual[j]);
+      EXPECT_EQ(batched4[i][j], batched1[i][j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace isrec

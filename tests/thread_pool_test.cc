@@ -96,5 +96,52 @@ TEST(ThreadPoolTest, ReportsConfiguredThreadCount) {
   EXPECT_EQ(pool.num_threads(), 3);
 }
 
+TEST(ThreadPoolTest, SubmitFromWorkerIsSafe) {
+  // A task may enqueue follow-up work onto its own pool: Submit never
+  // blocks, so no wait cycle can form.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::future<void> outer = pool.SubmitWithResult([&pool, &counter] {
+    EXPECT_TRUE(ThreadPool::InWorkerThread());
+    EXPECT_TRUE(pool.InThisPool());
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+  });
+  outer.get();
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, InThisPoolDistinguishesPools) {
+  ThreadPool a(1);
+  ThreadPool b(1);
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+  EXPECT_FALSE(a.InThisPool());
+  std::future<void> checked = a.SubmitWithResult([&a, &b] {
+    EXPECT_TRUE(ThreadPool::InWorkerThread());
+    EXPECT_TRUE(a.InThisPool());
+    // A worker of pool `a` is NOT a worker of pool `b`, so it may still
+    // block on `b` (the serving engine's workers fanning out onto the
+    // global intra-op pool rely on this).
+    EXPECT_FALSE(b.InThisPool());
+  });
+  checked.get();
+}
+
+TEST(ThreadPoolDeathTest, WaitIdleFromOwnWorkerFailsLoudly) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  // WaitIdle from a worker of the same pool would deadlock (the waiting
+  // task itself never finishes), so it must abort with a clear message
+  // instead of hanging. The pool is constructed inside the death
+  // statement because fork() does not duplicate worker threads.
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(1);
+        pool.SubmitWithResult([&pool] { pool.WaitIdle(); }).get();
+      },
+      "WaitIdle from a worker");
+}
+
 }  // namespace
 }  // namespace isrec::utils

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Builds and runs the concurrency-sensitive tests under a sanitizer.
+#
+#   tools/run_sanitized.sh [thread|address]     (default: thread)
+#
+# Uses a separate build tree (build-<san>san) so the normal Release
+# build stays untouched. Exercises the thread pool, the intra-op
+# ParallelFor kernels, and the serving engine — the code paths where a
+# data race would silently break the determinism contract.
+set -eu
+cd "$(dirname "$0")/.."
+
+san="${1:-thread}"
+case "$san" in
+  thread|address) ;;
+  *) echo "usage: $0 [thread|address]" >&2; exit 2 ;;
+esac
+
+build="build-${san}san"
+cmake -B "$build" -S . -DISREC_SANITIZE="$san" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+cmake --build "$build" -j \
+      --target thread_pool_test parallel_ops_test serve_test
+
+# Death tests fork, which TSan flags as a potential deadlock; they are
+# covered by the regular build, so skip them here.
+filter='-*DeathTest*'
+status=0
+for t in thread_pool_test parallel_ops_test serve_test; do
+  echo "== $san sanitizer: $t =="
+  "$build/tests/$t" --gtest_filter="$filter" || status=1
+done
+exit $status
