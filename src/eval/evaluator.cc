@@ -32,62 +32,71 @@ MetricReport EvaluateRanking(Recommender& model, const data::Dataset& dataset,
   const auto& users = split.evaluable_users();
   ISREC_CHECK_MSG(!users.empty(), "no evaluable users");
 
-  // Phase 1 (serial): materialize every batch. Negative sampling draws
-  // from the shared rng in exactly the order of the original serial
-  // loop, so each user's candidate list is deterministic regardless of
-  // how scoring is scheduled below.
+  // Batches are materialized, scored, and accumulated in bounded windows
+  // so peak memory stays O(window) instead of O(split). Each window runs
+  // three phases:
+  //   1 (serial): materialize its batches. Windows are built in user
+  //     order and the window size is a multiple of batch_size, so batch
+  //     composition and the shared rng's negative-sampling draws are
+  //     identical to the fully serial loop.
+  //   2 (parallel): batches are independent ScoreBatch calls, so they
+  //     shard across the intra-op pool (inside a shard, each call's own
+  //     kernels then run serially — nested ParallelFor is inline).
+  //   3 (serial): accumulate in batch order, keeping the metric
+  //     reduction order identical to the serial implementation.
   struct Batch {
     std::vector<Index> users;
     std::vector<std::vector<Index>> histories;
     std::vector<std::vector<Index>> candidate_lists;
   };
-  std::vector<Batch> batches;
-  for (size_t start = 0; start < users.size();
-       start += static_cast<size_t>(config.batch_size)) {
-    const size_t end = std::min(users.size(),
-                                start + static_cast<size_t>(config.batch_size));
-    Batch batch;
-    for (size_t i = start; i < end; ++i) {
-      const Index u = users[i];
-      batch.users.push_back(u);
-      batch.histories.push_back(config.use_validation ? split.ValidHistory(u)
-                                                      : split.TestHistory(u));
-      const Index positive = config.use_validation ? split.ValidTarget(u)
-                                                   : split.TestTarget(u);
-      // Candidate 0 is always the positive; the rest are negatives.
-      std::vector<Index> candidates = {positive};
-      const std::vector<Index> negatives =
-          sampler.Sample(u, config.num_negatives, rng);
-      candidates.insert(candidates.end(), negatives.begin(), negatives.end());
-      batch.candidate_lists.push_back(std::move(candidates));
+  const size_t batch_size = static_cast<size_t>(config.batch_size);
+  const size_t window_users =
+      batch_size * 4 * static_cast<size_t>(std::max<Index>(
+                           Index{1}, utils::GetNumThreads()));
+  for (size_t window = 0; window < users.size(); window += window_users) {
+    const size_t window_end = std::min(users.size(), window + window_users);
+    std::vector<Batch> batches;
+    for (size_t start = window; start < window_end; start += batch_size) {
+      const size_t end = std::min(window_end, start + batch_size);
+      Batch batch;
+      for (size_t i = start; i < end; ++i) {
+        const Index u = users[i];
+        batch.users.push_back(u);
+        batch.histories.push_back(config.use_validation ? split.ValidHistory(u)
+                                                        : split.TestHistory(u));
+        const Index positive = config.use_validation ? split.ValidTarget(u)
+                                                     : split.TestTarget(u);
+        // Candidate 0 is always the positive; the rest are negatives.
+        std::vector<Index> candidates = {positive};
+        const std::vector<Index> negatives =
+            sampler.Sample(u, config.num_negatives, rng);
+        candidates.insert(candidates.end(), negatives.begin(),
+                          negatives.end());
+        batch.candidate_lists.push_back(std::move(candidates));
+      }
+      batches.push_back(std::move(batch));
     }
-    batches.push_back(std::move(batch));
-  }
 
-  // Phase 2 (parallel): batches are independent ScoreBatch calls, so
-  // they shard across the intra-op pool (inside a shard, each call's own
-  // kernels then run serially — nested ParallelFor is inline).
-  std::vector<std::vector<std::vector<float>>> all_scores(batches.size());
-  utils::ParallelFor(
-      0, static_cast<Index>(batches.size()), 1, [&](Index b0, Index b1) {
-        for (Index b = b0; b < b1; ++b) {
-          all_scores[b] = model.ScoreBatch(batches[b].users,
-                                           batches[b].histories,
-                                           batches[b].candidate_lists);
-        }
-      });
+    std::vector<std::vector<std::vector<float>>> all_scores(batches.size());
+    utils::ParallelFor(
+        0, static_cast<Index>(batches.size()), 1, [&](Index b0, Index b1) {
+          for (Index b = b0; b < b1; ++b) {
+            all_scores[b] = model.ScoreBatch(batches[b].users,
+                                             batches[b].histories,
+                                             batches[b].candidate_lists);
+          }
+        });
 
-  // Phase 3 (serial): accumulate in batch order, keeping the metric
-  // reduction order identical to the serial implementation.
-  for (size_t b = 0; b < batches.size(); ++b) {
-    const auto& scores = all_scores[b];
-    ISREC_CHECK_EQ(scores.size(), batches[b].users.size());
-    for (size_t i = 0; i < scores.size(); ++i) {
-      ISREC_CHECK_EQ(scores[i].size(), batches[b].candidate_lists[i].size());
-      const float positive_score = scores[i][0];
-      std::vector<float> negative_scores(scores[i].begin() + 1,
-                                         scores[i].end());
-      accumulator.AddRank(RankOfPositive(positive_score, negative_scores));
+    for (size_t b = 0; b < batches.size(); ++b) {
+      const auto& scores = all_scores[b];
+      ISREC_CHECK_EQ(scores.size(), batches[b].users.size());
+      for (size_t i = 0; i < scores.size(); ++i) {
+        ISREC_CHECK_EQ(scores[i].size(), batches[b].candidate_lists[i].size());
+        const float positive_score = scores[i][0];
+        std::vector<float> negative_scores(scores[i].begin() + 1,
+                                           scores[i].end());
+        accumulator.AddRank(RankOfPositive(positive_score, negative_scores));
+      }
     }
   }
   return accumulator.Report();

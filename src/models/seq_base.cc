@@ -172,14 +172,25 @@ std::vector<std::vector<float>> SequentialModelBase::ScoreBatch(
   // must not write any shared state. The toggle is refcounted so
   // concurrent calls that do arrive mid-training (parallel evaluation
   // between epochs) cannot flip the mode back on under a sibling's
-  // forward pass.
-  {
-    std::lock_guard<std::mutex> lock(score_mode_mutex_);
-    if (score_depth_++ == 0) {
-      resume_training_ = training();
-      if (resume_training_) SetTraining(false);
+  // forward pass. RAII, because ParallelFor rethrows shard exceptions:
+  // the decrement must survive unwinding out of the forward pass, or the
+  // model stays stuck in eval mode for every later call.
+  struct ScoreModeGuard {
+    SequentialModelBase* model;
+    explicit ScoreModeGuard(SequentialModelBase* m) : model(m) {
+      std::lock_guard<std::mutex> lock(model->score_mode_mutex_);
+      if (model->score_depth_++ == 0) {
+        model->resume_training_ = model->training();
+        if (model->resume_training_) model->SetTraining(false);
+      }
     }
-  }
+    ~ScoreModeGuard() {
+      std::lock_guard<std::mutex> lock(model->score_mode_mutex_);
+      if (--model->score_depth_ == 0 && model->resume_training_) {
+        model->SetTraining(true);
+      }
+    }
+  } score_mode_guard(this);
 
   const auto prepared = PrepareInferenceHistories(histories);
   const data::SequenceBatch batch = data::SequenceBatcher::InferenceBatch(
@@ -233,10 +244,6 @@ std::vector<std::vector<float>> SequentialModelBase::ScoreBatch(
       const size_t c = candidate_lists[i].size();
       result.emplace_back(data + i * c_max, data + i * c_max + c);
     }
-  }
-  {
-    std::lock_guard<std::mutex> lock(score_mode_mutex_);
-    if (--score_depth_ == 0 && resume_training_) SetTraining(true);
   }
   return result;
 }

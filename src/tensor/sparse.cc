@@ -25,6 +25,9 @@ void CsrMultiply(const std::vector<Index>& row_ptr,
   utils::ParallelFor(
       0, num_rows, utils::GrainForCost(cost_per_row),
       [&](Index r0, Index r1) {
+        // Defense in depth: an empty/inverted shard must not reach the
+        // memset, whose size argument would wrap to a huge size_t.
+        if (r1 <= r0) return;
         std::memset(y + r0 * cols, 0, sizeof(float) * (r1 - r0) * cols);
         for (Index r = r0; r < r1; ++r) {
           float* yr = y + r * cols;

@@ -106,8 +106,12 @@ void ParallelFor(Index begin, Index end, Index grain,
   }
 
   const Index max_shards = (n + grain - 1) / grain;
-  const Index shards = num_threads < max_shards ? num_threads : max_shards;
-  const Index chunk = (n + shards - 1) / shards;
+  const Index target = num_threads < max_shards ? num_threads : max_shards;
+  const Index chunk = (n + target - 1) / target;
+  // Rounding chunk up can make the last target shards empty (e.g. n=10,
+  // target=7 -> chunk=2 covers n in 5 shards). Re-derive the shard count
+  // from chunk so every shard satisfies begin <= s_begin < s_end <= end.
+  const Index shards = (n + chunk - 1) / chunk;
 
   auto sync = std::make_shared<ShardSync>();
   sync->remaining = shards;

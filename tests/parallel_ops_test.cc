@@ -73,6 +73,35 @@ TEST(ParallelForTest, ShardsCoverRangeExactlyOnce) {
   }
 }
 
+TEST(ParallelForTest, ShardBoundsStayWithinRangeForAwkwardSizes) {
+  ThreadCountGuard guard;
+  // Regression: with shards = min(threads, ceil(n/grain)) and the chunk
+  // rounded up, the trailing shards could start at or past `end` (e.g.
+  // n=10, threads=7, grain=1 gave chunk=2 and dispatched fn(10, 10) and
+  // fn(12, 10)), violating the begin <= b < e <= end contract.
+  for (Index threads : {3, 4, 7, 8}) {
+    utils::SetNumThreads(threads);
+    for (Index n : {2, 3, 5, 9, 10, 11, 13}) {
+      const Index begin = 5;
+      std::vector<int> touched(n, 0);
+      std::atomic<int> bad_shards{0};
+      utils::ParallelFor(begin, begin + n, 1, [&](Index b, Index e) {
+        if (b < begin || e > begin + n || b >= e) {
+          ++bad_shards;
+          return;
+        }
+        // Shards are disjoint, so the unsynchronized writes cannot race.
+        for (Index i = b; i < e; ++i) ++touched[i - begin];
+      });
+      EXPECT_EQ(bad_shards.load(), 0) << "threads=" << threads << " n=" << n;
+      for (Index i = 0; i < n; ++i) {
+        ASSERT_EQ(touched[i], 1)
+            << "threads=" << threads << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
 TEST(ParallelForTest, ExceptionInCallerShardPropagates) {
   ThreadCountGuard guard;
   utils::SetNumThreads(4);
@@ -332,6 +361,49 @@ TEST(ParallelDeterminismTest, TrainEpochLossAndEvalMetricsMatchAcrossThreads) {
   EXPECT_EQ(report1.ndcg10, report4.ndcg10);
   EXPECT_EQ(report1.mrr, report4.mrr);
   EXPECT_EQ(report1.num_users, report4.num_users);
+}
+
+// Injects a failure into ScoreBatch after the eval-mode toggle has been
+// taken, to exercise the RAII restore path.
+class ThrowingSasRec : public models::SasRec {
+ public:
+  using models::SasRec::SasRec;
+  mutable bool throw_once = false;
+
+ protected:
+  std::vector<std::vector<Index>> PrepareInferenceHistories(
+      const std::vector<std::vector<Index>>& histories) const override {
+    if (throw_once) {
+      throw_once = false;
+      throw std::runtime_error("injected failure");
+    }
+    return histories;
+  }
+};
+
+TEST(ScoreBatchTest, ExceptionRestoresTrainingModeAndRefcount) {
+  ThreadCountGuard guard;
+  utils::SetNumThreads(2);
+  const data::Dataset dataset = SmallDataset();
+  const data::LeaveOneOutSplit split(dataset);
+  ThrowingSasRec model(SmallModelConfig());
+  model.Fit(dataset, split);
+  model.SetTraining(true);
+
+  const std::vector<Index> users = {0};
+  const std::vector<std::vector<Index>> histories = {split.TestHistory(0)};
+  const std::vector<std::vector<Index>> candidates = {{0, 1, 2}};
+
+  model.throw_once = true;
+  EXPECT_THROW(model.ScoreBatch(users, histories, candidates),
+               std::runtime_error);
+  // Unwinding must restore training mode (not leave the model stuck in
+  // eval) and drop the refcount back to zero so later calls still toggle.
+  EXPECT_TRUE(model.training());
+  const auto scores = model.ScoreBatch(users, histories, candidates);
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_EQ(scores[0].size(), 3u);
+  EXPECT_TRUE(model.training());
 }
 
 TEST(ParallelDeterminismTest, MixedCandidateScoreBatchMatchesPerRequestScore) {
