@@ -9,6 +9,12 @@
 //    "Threading model". Exits nonzero on any mismatch.
 //  2. The google-benchmark suite, for regression-testing the substrate
 //    and the sparse-vs-dense GCN design choice.
+//
+// The sweep JSON also carries an "obs_overhead" block (instrumentation
+// cost, disabled vs enabled, on the dominant training GEMM — the sweep
+// itself runs with obs disabled so timings stay comparable) and a
+// "metrics" block (the obs registry snapshot from one instrumented pass
+// over the sweep kernels).
 
 #include <benchmark/benchmark.h>
 
@@ -22,6 +28,8 @@
 #include <vector>
 
 #include "nn/attention.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "tensor/sparse.h"
 #include "utils/parallel.h"
@@ -124,6 +132,26 @@ void BM_AttentionLayer(benchmark::State& state) {
 }
 BENCHMARK(BM_AttentionLayer)->Arg(10)->Arg(20)->Arg(50);
 
+void BM_DisabledTraceSpan(benchmark::State& state) {
+  // Per-site cost of an ISREC_TRACE_SPAN on the disabled path: one
+  // branch on one relaxed atomic load (the obs overhead contract).
+  obs::EnableTracing(false);
+  for (auto _ : state) {
+    ISREC_TRACE_SPAN("bench.disabled");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_DisabledTraceSpan);
+
+void BM_DisabledMetricsGuard(benchmark::State& state) {
+  obs::EnableMetrics(false);
+  for (auto _ : state) {
+    bool enabled = obs::MetricsEnabled();
+    benchmark::DoNotOptimize(enabled);
+  }
+}
+BENCHMARK(BM_DisabledMetricsGuard);
+
 // -- Thread sweep -------------------------------------------------------
 
 /// One sweep workload: runs a kernel and returns every output byte that
@@ -216,6 +244,58 @@ double TimeKernel(const SweepKernel& kernel, std::vector<float>* out) {
   return best;
 }
 
+// A/B measurement of the obs instrumentation cost on the dominant
+// training GEMM. `disabled_ms` vs `enabled_ms` bounds the overhead of
+// the *recording* path; the disabled path does strictly less work (the
+// guard branch only), so it is bounded by the same figure. The per-site
+// disabled cost is measured separately (BM_DisabledTraceSpan /
+// BM_DisabledMetricsGuard, nanoseconds per call).
+struct ObsOverhead {
+  double disabled_ms = 0.0;
+  double enabled_ms = 0.0;
+  double overhead_pct = 0.0;
+  double disabled_span_ns = 0.0;
+};
+
+ObsOverhead MeasureObsOverhead() {
+  obs::EnableMetrics(false);
+  obs::EnableTracing(false);
+  utils::SetNumThreads(2);  // Exercise the sharded ParallelFor path.
+  const SweepKernel kernel = SweepKernels()[1];  // gemm_logits_trans_b.
+  std::vector<float> scratch;
+  constexpr int kPasses = 3;  // TimeKernel is already best-of-5.
+  ObsOverhead result;
+  result.disabled_ms = 1e30;
+  result.enabled_ms = 1e30;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    result.disabled_ms = std::min(result.disabled_ms,
+                                  TimeKernel(kernel, &scratch));
+  }
+  obs::EnableMetrics(true);
+  obs::EnableTracing(true);
+  for (int pass = 0; pass < kPasses; ++pass) {
+    result.enabled_ms = std::min(result.enabled_ms,
+                                 TimeKernel(kernel, &scratch));
+  }
+  obs::EnableMetrics(false);
+  obs::EnableTracing(false);
+  obs::ClearTrace();
+  utils::SetNumThreads(1);
+  result.overhead_pct =
+      (result.enabled_ms / result.disabled_ms - 1.0) * 100.0;
+
+  // Tight-loop cost of a span construction/destruction while disabled.
+  constexpr int kSpans = 1 << 22;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kSpans; ++i) {
+    ISREC_TRACE_SPAN("bench.disabled");
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.disabled_span_ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() / kSpans;
+  return result;
+}
+
 int RunThreadSweep(const std::string& out_path) {
   struct Point {
     Index threads;
@@ -258,6 +338,26 @@ int RunThreadSweep(const std::string& out_path) {
   }
   utils::SetNumThreads(1);
 
+  // The sweep above runs with obs disabled so its timings stay
+  // comparable across revisions; the instrumentation cost is measured
+  // explicitly here, and a separate instrumented pass populates the
+  // registry snapshot attached to the JSON.
+  const ObsOverhead overhead = MeasureObsOverhead();
+  std::printf(
+      "  obs overhead (gemm_logits_trans_b, 2 threads): disabled %.3f ms, "
+      "enabled %.3f ms (%+.2f%%); disabled span %.2f ns\n",
+      overhead.disabled_ms, overhead.enabled_ms, overhead.overhead_pct,
+      overhead.disabled_span_ns);
+
+  obs::ResetAllMetrics();
+  obs::EnableMetrics(true);
+  for (const Row& row : rows) {
+    std::vector<float> scratch = row.kernel.run();
+    (void)scratch;
+  }
+  obs::EnableMetrics(false);
+  const std::string metrics_json = obs::DumpMetricsJson();
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -281,7 +381,14 @@ int RunThreadSweep(const std::string& out_path) {
     }
     std::fprintf(f, "\n    ]}%s\n", k + 1 == rows.size() ? "" : ",");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"obs_overhead\": {\"kernel\": \"gemm_logits_trans_b\", "
+               "\"disabled_ms\": %.4f, \"enabled_ms\": %.4f, "
+               "\"overhead_pct\": %.3f, \"disabled_span_ns\": %.2f},\n",
+               overhead.disabled_ms, overhead.enabled_ms,
+               overhead.overhead_pct, overhead.disabled_span_ns);
+  std::fprintf(f, "  \"metrics\": %s}\n", metrics_json.c_str());
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
   if (mismatches > 0) {

@@ -4,7 +4,9 @@
 // to match exactly.
 //
 // Prints a utils::Table and writes a machine-readable summary to
-// BENCH_serving.json (override with --out PATH). On a single hardware
+// BENCH_serving.json (override with --out PATH), including a "metrics"
+// block with the obs registry snapshot (engine queue/latency/batch-size
+// instruments plus train.* from the one-epoch fit). On a single hardware
 // core the entire speedup comes from micro-batching amortization (one
 // ScoreBatch forward instead of B per-request forwards); multi-core
 // machines additionally overlap batches across workers.
@@ -18,6 +20,7 @@
 #include "core/isrec.h"
 #include "data/split.h"
 #include "data/synthetic.h"
+#include "obs/metrics.h"
 #include "serve/engine.h"
 #include "utils/stopwatch.h"
 #include "utils/table.h"
@@ -38,6 +41,10 @@ struct GridResult {
 };
 
 int Run(const std::string& out_path) {
+  // The engine's own registry mirror (queue depth, latency/batch-size
+  // histograms) is attached to the JSON as a "metrics" block. Training
+  // below is also instrumented, so the snapshot carries train.* too.
+  obs::EnableMetrics(true);
   data::Dataset dataset;
   for (const auto& preset : data::AllPresets()) {
     if (preset.name == "beauty_sim") {
@@ -158,7 +165,8 @@ int Run(const std::string& out_path) {
                  r.identical ? "true" : "false",
                  i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"metrics\": %s}\n", obs::DumpMetricsJson().c_str());
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
 

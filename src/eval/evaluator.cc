@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "utils/check.h"
 #include "utils/parallel.h"
+#include "utils/stopwatch.h"
 
 namespace isrec::eval {
 
@@ -53,40 +56,67 @@ MetricReport EvaluateRanking(Recommender& model, const data::Dataset& dataset,
   const size_t window_users =
       batch_size * 4 * static_cast<size_t>(std::max<Index>(
                            Index{1}, utils::GetNumThreads()));
+  // Phase telemetry: per-window sampling/scoring/accumulation wall time
+  // plus a scored-user counter. Clock reads only — the evaluation
+  // protocol (rng draw order, batch composition, reduction order) is
+  // unchanged, so metrics are bitwise identical with obs on or off.
+  ISREC_TRACE_SPAN("eval.ranking");
+  const bool metrics = obs::MetricsEnabled();
+  Stopwatch phase_sw;
   for (size_t window = 0; window < users.size(); window += window_users) {
     const size_t window_end = std::min(users.size(), window + window_users);
+    if (metrics) phase_sw.Restart();
+    ISREC_TRACE_SPAN("eval.window");
     std::vector<Batch> batches;
-    for (size_t start = window; start < window_end; start += batch_size) {
-      const size_t end = std::min(window_end, start + batch_size);
-      Batch batch;
-      for (size_t i = start; i < end; ++i) {
-        const Index u = users[i];
-        batch.users.push_back(u);
-        batch.histories.push_back(config.use_validation ? split.ValidHistory(u)
-                                                        : split.TestHistory(u));
-        const Index positive = config.use_validation ? split.ValidTarget(u)
-                                                     : split.TestTarget(u);
-        // Candidate 0 is always the positive; the rest are negatives.
-        std::vector<Index> candidates = {positive};
-        const std::vector<Index> negatives =
-            sampler.Sample(u, config.num_negatives, rng);
-        candidates.insert(candidates.end(), negatives.begin(),
-                          negatives.end());
-        batch.candidate_lists.push_back(std::move(candidates));
+    {
+      ISREC_TRACE_SPAN("eval.sample");
+      for (size_t start = window; start < window_end; start += batch_size) {
+        const size_t end = std::min(window_end, start + batch_size);
+        Batch batch;
+        for (size_t i = start; i < end; ++i) {
+          const Index u = users[i];
+          batch.users.push_back(u);
+          batch.histories.push_back(config.use_validation
+                                        ? split.ValidHistory(u)
+                                        : split.TestHistory(u));
+          const Index positive = config.use_validation ? split.ValidTarget(u)
+                                                       : split.TestTarget(u);
+          // Candidate 0 is always the positive; the rest are negatives.
+          std::vector<Index> candidates = {positive};
+          const std::vector<Index> negatives =
+              sampler.Sample(u, config.num_negatives, rng);
+          candidates.insert(candidates.end(), negatives.begin(),
+                            negatives.end());
+          batch.candidate_lists.push_back(std::move(candidates));
+        }
+        batches.push_back(std::move(batch));
       }
-      batches.push_back(std::move(batch));
+    }
+    double sample_ms = 0.0;
+    if (metrics) {
+      sample_ms = phase_sw.ElapsedMillis();
+      phase_sw.Restart();
     }
 
     std::vector<std::vector<std::vector<float>>> all_scores(batches.size());
-    utils::ParallelFor(
-        0, static_cast<Index>(batches.size()), 1, [&](Index b0, Index b1) {
-          for (Index b = b0; b < b1; ++b) {
-            all_scores[b] = model.ScoreBatch(batches[b].users,
-                                             batches[b].histories,
-                                             batches[b].candidate_lists);
-          }
-        });
+    {
+      ISREC_TRACE_SPAN("eval.score");
+      utils::ParallelFor(
+          0, static_cast<Index>(batches.size()), 1, [&](Index b0, Index b1) {
+            for (Index b = b0; b < b1; ++b) {
+              all_scores[b] = model.ScoreBatch(batches[b].users,
+                                               batches[b].histories,
+                                               batches[b].candidate_lists);
+            }
+          });
+    }
+    double score_ms = 0.0;
+    if (metrics) {
+      score_ms = phase_sw.ElapsedMillis();
+      phase_sw.Restart();
+    }
 
+    ISREC_TRACE_SPAN("eval.accumulate");
     for (size_t b = 0; b < batches.size(); ++b) {
       const auto& scores = all_scores[b];
       ISREC_CHECK_EQ(scores.size(), batches[b].users.size());
@@ -97,6 +127,19 @@ MetricReport EvaluateRanking(Recommender& model, const data::Dataset& dataset,
                                            scores[i].end());
         accumulator.AddRank(RankOfPositive(positive_score, negative_scores));
       }
+    }
+    if (metrics) {
+      static obs::Histogram& sample_hist = obs::GetHistogram(
+          "eval.sample_ms", obs::LatencyBucketsMs());
+      static obs::Histogram& score_hist = obs::GetHistogram(
+          "eval.score_ms", obs::LatencyBucketsMs());
+      static obs::Histogram& accumulate_hist = obs::GetHistogram(
+          "eval.accumulate_ms", obs::LatencyBucketsMs());
+      static obs::Counter& scored_users = obs::GetCounter("eval.users");
+      sample_hist.Observe(sample_ms);
+      score_hist.Observe(score_ms);
+      accumulate_hist.Observe(phase_sw.ElapsedMillis());
+      scored_users.Add(window_end - window);
     }
   }
   return accumulator.Report();

@@ -1,0 +1,203 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace isrec::obs {
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  uint64_t start_ns;
+  uint64_t dur_ns;
+};
+
+/// One thread's span storage. The owner appends under `mutex` (always
+/// uncontended except while an export is copying), so exports see a
+/// consistent ring without stopping the world.
+struct ThreadBuffer {
+  explicit ThreadBuffer(uint32_t id) : tid(id) {}
+
+  const uint32_t tid;
+  std::mutex mutex;
+  std::vector<TraceEvent> events;  // Ring once size reaches capacity.
+  size_t next = 0;                 // Oldest slot once wrapped.
+  uint64_t dropped = 0;
+
+  void Push(const TraceEvent& event) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (events.size() < kTraceRingCapacity) {
+      events.push_back(event);
+      return;
+    }
+    events[next] = event;
+    next = (next + 1) % kTraceRingCapacity;
+    ++dropped;
+  }
+};
+
+// Leaked (never destroyed): the ISREC_TRACE exit flush below runs during
+// static destruction and must still find live buffers.
+struct TraceState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  uint32_t next_tid = 1;
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();
+  return *state;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    auto b = std::make_shared<ThreadBuffer>(state.next_tid++);
+    state.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+std::vector<std::shared_ptr<ThreadBuffer>> AllBuffers() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.buffers;
+}
+
+// ISREC_TRACE=path.json: tracing on from process start, chrome trace
+// written at exit. Constructed during static init (so ~everything is
+// traced); the destructor runs after main, when the leaked buffers are
+// still alive.
+struct TraceEnvInit {
+  std::string out_path;
+  TraceEnvInit() {
+    if (const char* env = std::getenv("ISREC_TRACE");
+        env != nullptr && env[0] != '\0') {
+      out_path = env;
+      EnableTracing(true);
+    }
+  }
+  ~TraceEnvInit() {
+    if (out_path.empty()) return;
+    if (WriteChromeTrace(out_path)) {
+      std::fprintf(stderr, "[obs] trace written to %s\n", out_path.c_str());
+    } else {
+      std::fprintf(stderr, "[obs] cannot write trace to %s\n",
+                   out_path.c_str());
+    }
+  }
+} g_trace_env_init;
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+uint64_t TraceNowNs() {
+  // Epoch = first call, so exported timestamps stay small and stable.
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns) {
+  LocalBuffer().Push(
+      {name, start_ns, end_ns >= start_ns ? end_ns - start_ns : 0});
+}
+
+}  // namespace internal
+
+void EnableTracing(bool on) {
+  internal::g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+size_t TraceEventCount() {
+  size_t total = 0;
+  for (const auto& buffer : AllBuffers()) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+uint64_t TraceDroppedCount() {
+  uint64_t total = 0;
+  for (const auto& buffer : AllBuffers()) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+void ClearTrace() {
+  for (const auto& buffer : AllBuffers()) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    buffer->events.clear();
+    buffer->next = 0;
+    buffer->dropped = 0;
+  }
+}
+
+std::string DumpChromeTraceJson() {
+  struct Exported {
+    TraceEvent event;
+    uint32_t tid;
+  };
+  std::vector<Exported> exported;
+  uint64_t dropped = 0;
+  for (const auto& buffer : AllBuffers()) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    dropped += buffer->dropped;
+    // Oldest-first ring order: [next, end) then [0, next).
+    const size_t n = buffer->events.size();
+    for (size_t i = 0; i < n; ++i) {
+      const size_t slot = n < kTraceRingCapacity ? i : (buffer->next + i) % n;
+      exported.push_back({buffer->events[slot], buffer->tid});
+    }
+  }
+  std::stable_sort(exported.begin(), exported.end(),
+                   [](const Exported& a, const Exported& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.event.start_ns < b.event.start_ns;
+                   });
+
+  // Trace Event Format, JSON-object form. ts/dur are microseconds.
+  std::string out = "{\n\"displayTimeUnit\": \"ms\",\n";
+  out += "\"isrecDroppedEvents\": " + std::to_string(dropped) + ",\n";
+  out += "\"traceEvents\": [";
+  char line[256];
+  for (size_t i = 0; i < exported.size(); ++i) {
+    const Exported& e = exported[i];
+    std::snprintf(line, sizeof(line),
+                  "%s\n{\"name\": \"%s\", \"cat\": \"isrec\", \"ph\": \"X\", "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
+                  i == 0 ? "" : ",", e.event.name,
+                  static_cast<double>(e.event.start_ns) / 1000.0,
+                  static_cast<double>(e.event.dur_ns) / 1000.0, e.tid);
+    out += line;
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = DumpChromeTraceJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = written == json.size() && std::fclose(f) == 0;
+  return ok;
+}
+
+}  // namespace isrec::obs

@@ -1,0 +1,93 @@
+#ifndef ISREC_OBS_TRACE_H_
+#define ISREC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace isrec::obs {
+
+/// Scoped trace spans (DESIGN.md "Observability"): RAII markers around
+/// named code regions, recorded into per-thread ring buffers and
+/// exportable as chrome://tracing JSON ("Trace Event Format", complete
+/// events). Controlled by ISREC_TRACE=out.json (enables tracing and
+/// writes the trace at process exit) or programmatically.
+///
+/// Overhead contract: a span on the disabled path is one branch on one
+/// relaxed atomic load in the constructor and a null check in the
+/// destructor. Recording only reads the steady clock and appends to a
+/// thread-local buffer, so traced code computes bitwise-identical
+/// results with tracing on or off.
+
+namespace internal {
+extern std::atomic<bool> g_tracing_enabled;
+
+/// Nanoseconds on the steady clock since the process trace epoch.
+uint64_t TraceNowNs();
+
+/// Appends one complete span to the calling thread's ring buffer.
+void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns);
+}  // namespace internal
+
+/// True when span recording is on.
+inline bool TracingEnabled() {
+  return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns span recording on/off process-wide.
+void EnableTracing(bool on);
+
+/// RAII span. `name` must have static storage duration (string literal):
+/// the buffer stores the pointer, not a copy.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : name_(TracingEnabled() ? name : nullptr),
+        start_ns_(name_ != nullptr ? internal::TraceNowNs() : 0) {}
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      internal::RecordSpan(name_, start_ns_, internal::TraceNowNs());
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t start_ns_;
+};
+
+/// Events recorded per thread before the ring buffer wraps (oldest
+/// events are then overwritten and counted as dropped).
+inline constexpr size_t kTraceRingCapacity = 1 << 16;
+
+/// Total events currently buffered across all threads.
+size_t TraceEventCount();
+
+/// Spans overwritten by ring-buffer wrap-around since the last Clear.
+uint64_t TraceDroppedCount();
+
+/// Discards every buffered event (thread ids are kept).
+void ClearTrace();
+
+/// Renders all buffered events as chrome://tracing JSON ({"traceEvents":
+/// [...]} object form). Events are sorted by (tid, start) so the output
+/// is deterministic modulo the timing values themselves.
+std::string DumpChromeTraceJson();
+
+/// Writes DumpChromeTraceJson() to `path`; false on I/O failure.
+bool WriteChromeTrace(const std::string& path);
+
+}  // namespace isrec::obs
+
+#define ISREC_OBS_CONCAT_INNER(a, b) a##b
+#define ISREC_OBS_CONCAT(a, b) ISREC_OBS_CONCAT_INNER(a, b)
+
+/// Traces the enclosing scope as a complete event named `name` (a string
+/// literal).
+#define ISREC_TRACE_SPAN(name) \
+  ::isrec::obs::ScopedSpan ISREC_OBS_CONCAT(isrec_trace_span_, __LINE__)(name)
+
+#endif  // ISREC_OBS_TRACE_H_

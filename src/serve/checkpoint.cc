@@ -6,8 +6,11 @@
 #include <vector>
 
 #include "nn/module.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "utils/check.h"
 #include "utils/logging.h"
+#include "utils/stopwatch.h"
 
 namespace isrec::serve {
 namespace {
@@ -245,6 +248,8 @@ std::unique_ptr<data::Dataset> ReadVocab(Reader& r) {
 }  // namespace
 
 void SaveCheckpoint(const core::IsrecModel& model, const std::string& path) {
+  ISREC_TRACE_SPAN("checkpoint.save");
+  const Stopwatch sw;
   const data::Dataset* dataset = model.dataset();
   ISREC_CHECK_MSG(dataset != nullptr,
                   "SaveCheckpoint requires a Fit (or Build) model");
@@ -256,9 +261,16 @@ void SaveCheckpoint(const core::IsrecModel& model, const std::string& path) {
   WriteVocab(f, *dataset);
   nn::SaveParameters(model, f);
   std::fclose(f);
+  if (obs::MetricsEnabled()) {
+    static obs::Histogram& save_ms = obs::GetHistogram(
+        "serve.checkpoint_save_ms", obs::LatencyBucketsMs());
+    save_ms.Observe(sw.ElapsedMillis());
+  }
 }
 
-ServableModel LoadCheckpoint(const std::string& path) {
+namespace {
+
+ServableModel LoadCheckpointImpl(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return {};
   Reader r{f};
@@ -304,6 +316,23 @@ ServableModel LoadCheckpoint(const std::string& path) {
     return {};
   }
   std::fclose(f);
+  return result;
+}
+
+}  // namespace
+
+ServableModel LoadCheckpoint(const std::string& path) {
+  ISREC_TRACE_SPAN("checkpoint.load");
+  const Stopwatch sw;
+  ServableModel result = LoadCheckpointImpl(path);
+  if (obs::MetricsEnabled()) {
+    static obs::Histogram& load_ms = obs::GetHistogram(
+        "serve.checkpoint_load_ms", obs::LatencyBucketsMs());
+    static obs::Counter& failures =
+        obs::GetCounter("serve.checkpoint_load_failures");
+    load_ms.Observe(sw.ElapsedMillis());
+    if (result.model == nullptr) failures.Add(1);
+  }
   return result;
 }
 

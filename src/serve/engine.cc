@@ -4,10 +4,20 @@
 #include <numeric>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "utils/check.h"
 
 namespace isrec::serve {
 namespace {
+
+// Queue-depth gauge, written inside the queue lock on every transition
+// so the snapshot is an exact instantaneous depth.
+void SetQueueDepth(size_t depth) {
+  if (!obs::MetricsEnabled()) return;
+  static obs::Gauge& gauge = obs::GetGauge("serve.queue_depth");
+  gauge.Set(static_cast<double>(depth));
+}
 
 // FNV-1a, mixing every field that determines the response.
 uint64_t HashCombine(uint64_t hash, uint64_t value) {
@@ -119,6 +129,7 @@ std::future<Recommendation> ServingEngine::RecommendAsync(Request request) {
     ISREC_CHECK_MSG(!closed_, "Recommend on a shut-down ServingEngine");
     was_empty = queue_.empty();
     queue_.push_back(std::move(pending));
+    SetQueueDepth(queue_.size());
   }
   // Only the empty -> non-empty transition needs a wakeup: a lingering
   // worker drains the queue at its batch deadline anyway, and waking it
@@ -142,6 +153,7 @@ void ServingEngine::WorkerLoop() {
       if (queue_.empty()) return;  // Closed and drained.
       // Micro-batching: grab what is already waiting, then (optionally)
       // linger up to the batch window for concurrent requests to arrive.
+      ISREC_TRACE_SPAN("serve.batch_assembly");
       const auto deadline = std::chrono::steady_clock::now() +
                             std::chrono::microseconds(config_.batch_window_us);
       while (static_cast<Index>(batch.size()) < config_.max_batch_size) {
@@ -151,6 +163,7 @@ void ServingEngine::WorkerLoop() {
           continue;
         }
         if (closed_ || config_.batch_window_us == 0) break;
+        ISREC_TRACE_SPAN("serve.linger");
         if (queue_not_empty_.wait_until(lock, deadline) ==
                 std::cv_status::timeout &&
             queue_.empty()) {
@@ -158,6 +171,7 @@ void ServingEngine::WorkerLoop() {
         }
       }
       leftover = !queue_.empty();
+      SetQueueDepth(queue_.size());
     }
     queue_not_full_.notify_all();
     // Producers skip the wakeup while the queue is non-empty, so hand
@@ -205,8 +219,11 @@ void ServingEngine::ProcessBatch(std::vector<Pending> batch) {
                                   ? full_catalog_
                                   : pending.request.candidates);
   }
-  const std::vector<std::vector<float>> scores =
-      model_.ScoreBatch(users, histories, candidate_lists);
+  std::vector<std::vector<float>> scores;
+  {
+    ISREC_TRACE_SPAN("serve.score_batch");
+    scores = model_.ScoreBatch(users, histories, candidate_lists);
+  }
   const auto done = std::chrono::steady_clock::now();
   std::vector<double> latencies_ms;
   latencies_ms.reserve(batch.size());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.h"
 #include "utils/table.h"
 
 namespace isrec::serve {
@@ -20,50 +21,129 @@ double Percentile(std::vector<double> sorted, double p) {
   return sorted[std::min(rank, sorted.size() - 1)];
 }
 
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Shared-registry mirrors (obs::MetricsEnabled() checked by callers).
+obs::Counter& RequestsCounter() {
+  static obs::Counter& c = obs::GetCounter("serve.requests");
+  return c;
+}
+obs::Counter& CacheHitsCounter() {
+  static obs::Counter& c = obs::GetCounter("serve.cache_hits");
+  return c;
+}
+obs::Counter& CacheMissesCounter() {
+  static obs::Counter& c = obs::GetCounter("serve.cache_misses");
+  return c;
+}
+obs::Counter& BatchesCounter() {
+  static obs::Counter& c = obs::GetCounter("serve.batches");
+  return c;
+}
+obs::Histogram& LatencyHistogram() {
+  static obs::Histogram& h =
+      obs::GetHistogram("serve.latency_ms", obs::LatencyBucketsMs());
+  return h;
+}
+obs::Histogram& BatchSizeHistogram() {
+  static obs::Histogram& h =
+      obs::GetHistogram("serve.batch_size", obs::LinearBuckets(1.0, 1.0, 64));
+  return h;
+}
+
 }  // namespace
 
-void StatsRecorder::RecordRequest(double latency_ms, bool cache_hit) {
-  std::lock_guard<std::mutex> lock(mutex_);
+void StatsRecorder::RecordLatencyLocked(double latency_ms) {
   if (start_seconds_ < 0.0) start_seconds_ = NowSeconds();
-  latencies_ms_.push_back(latency_ms);
-  if (cache_hit) {
-    ++cache_hits_;
-  } else {
-    ++cache_misses_;
+  ++num_latencies_;
+  // Vitter's algorithm R: once the reservoir is full, the i-th sample
+  // (1-based) replaces a uniformly drawn slot with probability cap/i, so
+  // every sample seen so far is retained with equal probability.
+  if (latency_reservoir_.size() < kReservoirCapacity) {
+    latency_reservoir_.push_back(latency_ms);
+    return;
+  }
+  const uint64_t slot = SplitMix64(&reservoir_rng_) % num_latencies_;
+  if (slot < kReservoirCapacity) {
+    latency_reservoir_[static_cast<size_t>(slot)] = latency_ms;
+  }
+}
+
+void StatsRecorder::RecordRequest(double latency_ms, bool cache_hit) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RecordLatencyLocked(latency_ms);
+    if (cache_hit) {
+      ++cache_hits_;
+    } else {
+      ++cache_misses_;
+    }
+  }
+  if (obs::MetricsEnabled()) {
+    RequestsCounter().Add(1);
+    (cache_hit ? CacheHitsCounter() : CacheMissesCounter()).Add(1);
+    LatencyHistogram().Observe(latency_ms);
   }
 }
 
 void StatsRecorder::RecordBatch(Index batch_size) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (batch_size_histogram_.size() <= static_cast<size_t>(batch_size)) {
-    batch_size_histogram_.resize(batch_size + 1, 0);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (batch_size_histogram_.size() <= static_cast<size_t>(batch_size)) {
+      batch_size_histogram_.resize(batch_size + 1, 0);
+    }
+    ++batch_size_histogram_[batch_size];
+    ++num_batches_;
   }
-  ++batch_size_histogram_[batch_size];
-  ++num_batches_;
+  if (obs::MetricsEnabled()) {
+    BatchesCounter().Add(1);
+    BatchSizeHistogram().Observe(static_cast<double>(batch_size));
+  }
 }
 
 void StatsRecorder::RecordProcessedBatch(
     Index batch_size, const std::vector<double>& latencies_ms) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (start_seconds_ < 0.0) start_seconds_ = NowSeconds();
-  if (batch_size_histogram_.size() <= static_cast<size_t>(batch_size)) {
-    batch_size_histogram_.resize(batch_size + 1, 0);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (batch_size_histogram_.size() <= static_cast<size_t>(batch_size)) {
+      batch_size_histogram_.resize(batch_size + 1, 0);
+    }
+    ++batch_size_histogram_[batch_size];
+    ++num_batches_;
+    for (const double latency_ms : latencies_ms) {
+      RecordLatencyLocked(latency_ms);
+    }
+    cache_misses_ += latencies_ms.size();
   }
-  ++batch_size_histogram_[batch_size];
-  ++num_batches_;
-  latencies_ms_.insert(latencies_ms_.end(), latencies_ms.begin(),
-                       latencies_ms.end());
-  cache_misses_ += latencies_ms.size();
+  if (obs::MetricsEnabled()) {
+    BatchesCounter().Add(1);
+    BatchSizeHistogram().Observe(static_cast<double>(batch_size));
+    RequestsCounter().Add(latencies_ms.size());
+    CacheMissesCounter().Add(latencies_ms.size());
+    for (const double latency_ms : latencies_ms) {
+      LatencyHistogram().Observe(latency_ms);
+    }
+  }
 }
 
 void StatsRecorder::Reset() {
   std::lock_guard<std::mutex> lock(mutex_);
-  latencies_ms_.clear();
+  latency_reservoir_.clear();
+  num_latencies_ = 0;
+  reservoir_rng_ = 0x9e3779b97f4a7c15ull;
   batch_size_histogram_.clear();
   cache_hits_ = 0;
   cache_misses_ = 0;
   num_batches_ = 0;
-  start_seconds_ = NowSeconds();
+  // Lazy re-arm: the window restarts at the next recorded event, not at
+  // Reset() time, so a long idle gap before the next burst does not
+  // deflate qps (see header contract; pinned by serve_test).
+  start_seconds_ = -1.0;
 }
 
 ServeStats StatsRecorder::Snapshot() const {
@@ -71,7 +151,8 @@ ServeStats StatsRecorder::Snapshot() const {
   std::vector<double> latencies;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    latencies = latencies_ms_;
+    latencies = latency_reservoir_;
+    stats.num_requests = num_latencies_;
     stats.batch_size_histogram = batch_size_histogram_;
     stats.cache_hits = cache_hits_;
     stats.cache_misses = cache_misses_;
@@ -79,7 +160,6 @@ ServeStats StatsRecorder::Snapshot() const {
     stats.elapsed_seconds =
         start_seconds_ < 0.0 ? 0.0 : NowSeconds() - start_seconds_;
   }
-  stats.num_requests = latencies.size();
   if (stats.elapsed_seconds > 0.0) {
     stats.qps = stats.num_requests / stats.elapsed_seconds;
   }

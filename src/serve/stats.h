@@ -40,8 +40,21 @@ struct ServeStats {
 
 /// Thread-safe accumulator the engine records into; Snapshot() computes
 /// the derived numbers (percentiles, qps) on demand.
+///
+/// Latency storage is a fixed-size uniform reservoir (Vitter's
+/// algorithm R, deterministic internal RNG), so memory stays O(1) no
+/// matter how long the engine runs; p50/p95/p99 are estimates whose
+/// error shrinks with the reservoir size (bounded-tolerance tested in
+/// serve_test). When obs::MetricsEnabled(), every record is mirrored
+/// into the process-wide registry (serve.requests, serve.cache_hits,
+/// serve.cache_misses, serve.batches counters; serve.latency_ms and
+/// serve.batch_size histograms), making serve_stats one view of the
+/// shared obs data.
 class StatsRecorder {
  public:
+  /// Latency samples kept for the percentile estimates.
+  static constexpr size_t kReservoirCapacity = 4096;
+
   void RecordRequest(double latency_ms, bool cache_hit);
   void RecordBatch(Index batch_size);
 
@@ -52,15 +65,24 @@ class StatsRecorder {
   void RecordProcessedBatch(Index batch_size,
                             const std::vector<double>& latencies_ms);
 
-  /// Marks the start of the measurement window (defaults to construction
-  /// time); also clears all recorded samples.
+  /// Clears all recorded samples and restarts the measurement window.
+  /// The window start is lazy — it is (re)armed at the NEXT recorded
+  /// event, exactly like a freshly constructed recorder — so
+  /// `elapsed_seconds`/`qps` measure the busy interval and stay
+  /// well-defined for idle-then-burst workloads.
   void Reset();
 
   ServeStats Snapshot() const;
 
  private:
+  // Mutex held: reservoir-samples latency_ms and mirrors the window
+  // start.
+  void RecordLatencyLocked(double latency_ms);
+
   mutable std::mutex mutex_;
-  std::vector<double> latencies_ms_;
+  std::vector<double> latency_reservoir_;
+  uint64_t num_latencies_ = 0;   // Total recorded, >= reservoir size.
+  uint64_t reservoir_rng_ = 0x9e3779b97f4a7c15ull;  // splitmix64 state.
   std::vector<uint64_t> batch_size_histogram_;
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;

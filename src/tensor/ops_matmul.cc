@@ -1,5 +1,7 @@
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "utils/check.h"
 #include "utils/parallel.h"
@@ -269,6 +271,14 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b, bool trans_a,
   // parallelizes directly; per-batch GEMMs called from a shard run their
   // own row partition inline (nested ParallelFor is serial).
   {
+    ISREC_TRACE_SPAN("gemm");
+    if (obs::MetricsEnabled()) {
+      static obs::Counter& calls = obs::GetCounter("tensor.gemm_calls");
+      static obs::Counter& flops = obs::GetCounter("tensor.gemm_flops");
+      calls.Add(1);
+      flops.Add(static_cast<uint64_t>(2 * dims.batch * dims.m * dims.n *
+                                      dims.k));
+    }
     const float* pa = a.data();
     const float* pb = b.data();
     float* pc = result.data();  // Fresh op outputs are already zeroed.

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "utils/check.h"
 #include "utils/parallel.h"
 
@@ -157,6 +159,11 @@ Tensor SpMM(const SparseMatrix& adj, const Tensor& x) {
         };
       });
   {
+    ISREC_TRACE_SPAN("spmm");
+    if (obs::MetricsEnabled()) {
+      static obs::Counter& calls = obs::GetCounter("tensor.spmm_calls");
+      calls.Add(1);
+    }
     const float* in = x.data();
     float* out = result.data();
     utils::ParallelFor(0, batch,

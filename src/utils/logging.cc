@@ -1,12 +1,27 @@
 #include "utils/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace isrec {
 namespace {
 
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+// Initial level from ISREC_LOG_LEVEL, resolved once before main(). The
+// reader lives in this TU next to g_log_level, so linking any log call
+// retains it.
+int InitialLogLevel() {
+  LogLevel level = LogLevel::kInfo;
+  if (const char* env = std::getenv("ISREC_LOG_LEVEL")) {
+    ParseLogLevel(env, &level);
+  }
+  return static_cast<int>(level);
+}
+
+std::atomic<int> g_log_level{InitialLogLevel()};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,11 +37,59 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+// Seconds since the first log line of the process (monotonic clock, so
+// two timestamps in the same log always order correctly).
+double MonotonicSeconds() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
+// Small dense thread ids (1, 2, ...) assigned in first-log order; easier
+// to read and grep than the platform's opaque std::thread::id.
+int LogThreadId() {
+  static std::atomic<int> next{1};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+bool EqualsIgnoreCase(const char* a, const char* b) {
+  for (; *a && *b; ++a, ++b) {
+    if (std::tolower(static_cast<unsigned char>(*a)) !=
+        std::tolower(static_cast<unsigned char>(*b))) {
+      return false;
+    }
+  }
+  return *a == *b;
+}
+
 }  // namespace
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
 
 void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
+
+bool ParseLogLevel(const char* text, LogLevel* out) {
+  if (text == nullptr || *text == '\0') return false;
+  if (text[1] == '\0' && text[0] >= '0' && text[0] <= '3') {
+    *out = static_cast<LogLevel>(text[0] - '0');
+    return true;
+  }
+  if (EqualsIgnoreCase(text, "debug")) {
+    *out = LogLevel::kDebug;
+  } else if (EqualsIgnoreCase(text, "info")) {
+    *out = LogLevel::kInfo;
+  } else if (EqualsIgnoreCase(text, "warn") ||
+             EqualsIgnoreCase(text, "warning")) {
+    *out = LogLevel::kWarning;
+  } else if (EqualsIgnoreCase(text, "error")) {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 namespace internal {
 
@@ -37,7 +100,10 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  char prefix[96];
+  std::snprintf(prefix, sizeof(prefix), "[%s %.6f t%d ", LevelName(level),
+                MonotonicSeconds(), LogThreadId());
+  stream_ << prefix << base << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

@@ -9,11 +9,19 @@ namespace isrec {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Returns the process-wide minimum level that will be emitted.
+/// Returns the process-wide minimum level that will be emitted. The
+/// initial level comes from the ISREC_LOG_LEVEL environment variable
+/// (see ParseLogLevel; unset or unparseable -> Info), so long benchmark
+/// runs can be made quiet or verbose without code changes.
 LogLevel GetLogLevel();
 
 /// Sets the process-wide minimum level. Messages below it are dropped.
+/// Takes precedence over ISREC_LOG_LEVEL.
 void SetLogLevel(LogLevel level);
+
+/// Parses "debug" / "info" / "warning" ("warn") / "error" (any case) or
+/// a numeric level "0".."3" into `out`; false (out untouched) otherwise.
+bool ParseLogLevel(const char* text, LogLevel* out);
 
 namespace internal {
 

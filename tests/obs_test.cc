@@ -1,0 +1,470 @@
+// Tests for the obs subsystem: exact concurrent aggregation, histogram
+// percentile accuracy, trace export schema, the disabled-path guarantees,
+// and the headline contract — training and evaluation produce bitwise
+// identical numbers with observability on or off.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "data/batch.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "models/sasrec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace isrec {
+namespace {
+
+// RAII: leaves obs exactly as the test found it (disabled, clean).
+struct ObsGuard {
+  ObsGuard() {
+    obs::EnableMetrics(false);
+    obs::EnableTracing(false);
+    obs::ClearTrace();
+  }
+  ~ObsGuard() {
+    obs::EnableMetrics(false);
+    obs::EnableTracing(false);
+    obs::ClearTrace();
+    obs::ResetAllMetrics();
+  }
+};
+
+// -- Minimal JSON parser (schema checks on the exporters) ---------------
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        out->push_back(text_[pos_++]);  // Good enough for our exporters.
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::kObject;
+      SkipWs();
+      if (Consume('}')) return true;
+      for (;;) {
+        SkipWs();
+        std::string key;
+        if (!ParseString(&key)) return false;
+        SkipWs();
+        if (!Consume(':')) return false;
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->object.emplace(std::move(key), std::move(value));
+        SkipWs();
+        if (Consume(',')) continue;
+        return Consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::kArray;
+      SkipWs();
+      if (Consume(']')) return true;
+      for (;;) {
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->array.push_back(std::move(value));
+        SkipWs();
+        if (Consume(',')) continue;
+        return Consume(']');
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::kString;
+      return ParseString(&out->str);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->kind = JsonValue::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->kind = JsonValue::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      out->kind = JsonValue::kNull;
+      pos_ += 4;
+      return true;
+    }
+    char* end = nullptr;
+    const std::string buffer(text_.substr(pos_));
+    out->number = std::strtod(buffer.c_str(), &end);
+    if (end == buffer.c_str()) return false;
+    out->kind = JsonValue::kNumber;
+    pos_ += end - buffer.c_str();
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// -- Counters, gauges, histograms ---------------------------------------
+
+TEST(ObsMetricsTest, ConcurrentCounterIncrementsSumExactly) {
+  ObsGuard guard;
+  obs::EnableMetrics(true);
+  obs::Counter& counter = obs::GetCounter("test.concurrent_counter");
+  counter.Reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsMetricsTest, ConcurrentHistogramObservationsSumExactly) {
+  ObsGuard guard;
+  obs::EnableMetrics(true);
+  obs::Histogram& hist = obs::GetHistogram(
+      "test.concurrent_hist", obs::LinearBuckets(1.0, 1.0, 8));
+  hist.Reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.Observe(static_cast<double>(t % 4));  // Buckets 0..3.
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(hist.TotalCount(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  const std::vector<uint64_t> counts = hist.BucketCounts();
+  ASSERT_EQ(counts.size(), hist.bounds().size() + 1);
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  EXPECT_EQ(total, hist.TotalCount());
+  // Values 0..3 all fall at or below bound 4; nothing overflows.
+  EXPECT_EQ(counts.back(), 0u);
+  // Each residue 0..3 is observed by two threads: sum = 2*(0+1+2+3)*N.
+  EXPECT_DOUBLE_EQ(hist.Sum(), 12.0 * kPerThread);
+}
+
+TEST(ObsMetricsTest, GaugeHoldsLastValueAndAddAccumulates) {
+  ObsGuard guard;
+  obs::EnableMetrics(true);
+  obs::Gauge& gauge = obs::GetGauge("test.gauge");
+  gauge.Set(3.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 3.5);
+  gauge.Add(1.25);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 4.75);
+  gauge.Reset();
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+}
+
+TEST(ObsMetricsTest, GetReturnsStableReferencePerName) {
+  ObsGuard guard;
+  obs::Counter& a = obs::GetCounter("test.stable");
+  obs::Counter& b = obs::GetCounter("test.stable");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &obs::GetCounter("test.stable2"));
+}
+
+TEST(ObsMetricsTest, HistogramPercentilesWithinBucketResolution) {
+  ObsGuard guard;
+  obs::EnableMetrics(true);
+  // Uniform 0..1000 into buckets of width 10: interpolation keeps the
+  // estimate within one bucket width of the exact percentile.
+  obs::Histogram& hist = obs::GetHistogram(
+      "test.percentiles", obs::LinearBuckets(10.0, 10.0, 100));
+  hist.Reset();
+  for (int i = 0; i < 10000; ++i) {
+    hist.Observe(static_cast<double>(i % 1000));
+  }
+  obs::MetricsSnapshot snapshot = obs::SnapshotMetrics();
+  const obs::HistogramSnapshot* h = nullptr;
+  for (const auto& candidate : snapshot.histograms) {
+    if (candidate.name == "test.percentiles") h = &candidate;
+  }
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->total_count, 10000u);
+  EXPECT_NEAR(h->Mean(), 499.5, 1e-6);
+  EXPECT_NEAR(h->Percentile(0.50), 500.0, 10.0);
+  EXPECT_NEAR(h->Percentile(0.95), 950.0, 10.0);
+  EXPECT_NEAR(h->Percentile(0.99), 990.0, 10.0);
+}
+
+TEST(ObsMetricsTest, OverflowBucketClampsToLastBound) {
+  ObsGuard guard;
+  obs::EnableMetrics(true);
+  obs::Histogram& hist = obs::GetHistogram(
+      "test.overflow", obs::LinearBuckets(1.0, 1.0, 4));
+  hist.Reset();
+  for (int i = 0; i < 100; ++i) hist.Observe(1e9);
+  obs::MetricsSnapshot snapshot = obs::SnapshotMetrics();
+  for (const auto& h : snapshot.histograms) {
+    if (h.name != "test.overflow") continue;
+    EXPECT_EQ(h.counts.back(), 100u);
+    EXPECT_DOUBLE_EQ(h.Percentile(0.99), 4.0);
+  }
+}
+
+TEST(ObsMetricsTest, BucketGenerators) {
+  const std::vector<double> exp = obs::ExponentialBuckets(1.0, 2.0, 4);
+  ASSERT_EQ(exp.size(), 4u);
+  EXPECT_DOUBLE_EQ(exp[0], 1.0);
+  EXPECT_DOUBLE_EQ(exp[3], 8.0);
+  const std::vector<double> lin = obs::LinearBuckets(5.0, 2.5, 3);
+  ASSERT_EQ(lin.size(), 3u);
+  EXPECT_DOUBLE_EQ(lin[2], 10.0);
+}
+
+TEST(ObsMetricsTest, DumpMetricsJsonIsValidAndDeterministic) {
+  ObsGuard guard;
+  obs::EnableMetrics(true);
+  obs::GetCounter("test.json_counter").Add(7);
+  obs::GetGauge("test.json_gauge").Set(1.5);
+  obs::GetHistogram("test.json_hist", obs::LinearBuckets(1.0, 1.0, 3))
+      .Observe(2.0);
+  const std::string dump = obs::DumpMetricsJson();
+  EXPECT_EQ(dump, obs::DumpMetricsJson());  // Deterministic.
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(dump).Parse(&root)) << dump;
+  ASSERT_EQ(root.kind, JsonValue::kObject);
+  ASSERT_TRUE(root.object.count("counters"));
+  ASSERT_TRUE(root.object.count("gauges"));
+  ASSERT_TRUE(root.object.count("histograms"));
+  const JsonValue& counter = root.object["counters"].object["test.json_counter"];
+  EXPECT_EQ(counter.kind, JsonValue::kNumber);
+  EXPECT_DOUBLE_EQ(counter.number, 7.0);
+  const JsonValue& hist = root.object["histograms"].object["test.json_hist"];
+  ASSERT_EQ(hist.kind, JsonValue::kObject);
+  EXPECT_TRUE(hist.object.count("count"));
+  EXPECT_TRUE(hist.object.count("p99"));
+  EXPECT_TRUE(hist.object.count("bucket_counts"));
+}
+
+TEST(ObsMetricsTest, DisabledMetricsIsSingleRelaxedLoad) {
+  ObsGuard guard;
+  obs::EnableMetrics(false);
+  EXPECT_FALSE(obs::MetricsEnabled());
+  obs::EnableMetrics(true);
+  EXPECT_TRUE(obs::MetricsEnabled());
+}
+
+// -- Trace spans --------------------------------------------------------
+
+TEST(ObsTraceTest, DisabledSpanRecordsNothing) {
+  ObsGuard guard;
+  obs::EnableTracing(false);
+  {
+    ISREC_TRACE_SPAN("test.disabled");
+  }
+  EXPECT_EQ(obs::TraceEventCount(), 0u);
+}
+
+TEST(ObsTraceTest, SpansRecordAndClear) {
+  ObsGuard guard;
+  obs::EnableTracing(true);
+  {
+    ISREC_TRACE_SPAN("test.outer");
+    ISREC_TRACE_SPAN("test.inner");
+  }
+  obs::EnableTracing(false);
+  EXPECT_EQ(obs::TraceEventCount(), 2u);
+  obs::ClearTrace();
+  EXPECT_EQ(obs::TraceEventCount(), 0u);
+}
+
+TEST(ObsTraceTest, RingBufferDropsOldestBeyondCapacity) {
+  ObsGuard guard;
+  obs::EnableTracing(true);
+  const size_t n = obs::kTraceRingCapacity + 100;
+  for (size_t i = 0; i < n; ++i) {
+    ISREC_TRACE_SPAN("test.flood");
+  }
+  obs::EnableTracing(false);
+  EXPECT_EQ(obs::TraceEventCount(), obs::kTraceRingCapacity);
+  EXPECT_GE(obs::TraceDroppedCount(), 100u);
+}
+
+TEST(ObsTraceTest, ChromeTraceExportIsSchemaValidJson) {
+  ObsGuard guard;
+  obs::EnableTracing(true);
+  {
+    ISREC_TRACE_SPAN("test.main_thread");
+  }
+  std::thread other([] {
+    ISREC_TRACE_SPAN("test.other_thread");
+  });
+  other.join();
+  obs::EnableTracing(false);
+  const std::string json = obs::DumpChromeTraceJson();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
+  ASSERT_EQ(root.kind, JsonValue::kObject);
+  ASSERT_TRUE(root.object.count("traceEvents"));
+  const JsonValue& events = root.object["traceEvents"];
+  ASSERT_EQ(events.kind, JsonValue::kArray);
+  ASSERT_EQ(events.array.size(), 2u);
+  bool saw_main = false;
+  bool saw_other = false;
+  for (const JsonValue& event : events.array) {
+    ASSERT_EQ(event.kind, JsonValue::kObject);
+    auto& fields = event.object;
+    ASSERT_TRUE(fields.count("name"));
+    ASSERT_TRUE(fields.count("ph"));
+    ASSERT_TRUE(fields.count("ts"));
+    ASSERT_TRUE(fields.count("dur"));
+    ASSERT_TRUE(fields.count("pid"));
+    ASSERT_TRUE(fields.count("tid"));
+    EXPECT_EQ(fields.at("ph").str, "X");  // Complete events only.
+    EXPECT_EQ(fields.at("ts").kind, JsonValue::kNumber);
+    EXPECT_GE(fields.at("dur").number, 0.0);
+    saw_main |= fields.at("name").str == "test.main_thread";
+    saw_other |= fields.at("name").str == "test.other_thread";
+  }
+  EXPECT_TRUE(saw_main);
+  EXPECT_TRUE(saw_other);
+}
+
+// -- The headline contract: obs never perturbs numerics -----------------
+
+data::Dataset SmallDataset() {
+  data::SyntheticConfig config;
+  config.name = "obs_test";
+  config.num_users = 60;
+  config.num_items = 50;
+  config.num_concepts = 12;
+  config.min_sequence_length = 5;
+  config.max_sequence_length = 10;
+  config.seed = 21;
+  return data::GenerateSyntheticDataset(config);
+}
+
+models::SeqModelConfig SmallModelConfig() {
+  models::SeqModelConfig config;
+  config.embed_dim = 16;
+  config.num_layers = 1;
+  config.ffn_dim = 32;
+  config.seq_len = 8;
+  config.batch_size = 16;
+  config.epochs = 0;
+  config.seed = 5;
+  return config;
+}
+
+TEST(ObsDeterminismTest, TrainAndEvalBitwiseIdenticalWithObsOnOrOff) {
+  ObsGuard guard;
+  const data::Dataset dataset = SmallDataset();
+  const data::LeaveOneOutSplit split(dataset);
+
+  auto run = [&](bool obs_on) {
+    obs::EnableMetrics(obs_on);
+    obs::EnableTracing(obs_on);
+    models::SasRec model(SmallModelConfig());
+    model.Fit(dataset, split);  // 0 epochs: builds only.
+    data::SequenceBatcher batcher(split, model.config().batch_size,
+                                  model.config().seq_len);
+    std::vector<float> losses;
+    for (int epoch = 0; epoch < 2; ++epoch) {
+      losses.push_back(model.TrainEpoch(batcher));
+    }
+    model.SetTraining(false);
+    eval::EvalConfig eval_config;
+    eval_config.num_negatives = 20;
+    eval_config.batch_size = 16;
+    const eval::MetricReport report =
+        eval::EvaluateRanking(model, dataset, split, eval_config);
+    obs::EnableMetrics(false);
+    obs::EnableTracing(false);
+    return std::make_pair(losses, report);
+  };
+
+  const auto [losses_off, report_off] = run(false);
+  const auto [losses_on, report_on] = run(true);
+
+  ASSERT_EQ(losses_off.size(), losses_on.size());
+  for (size_t i = 0; i < losses_off.size(); ++i) {
+    EXPECT_EQ(losses_off[i], losses_on[i]) << "epoch " << i;
+  }
+  EXPECT_EQ(report_off.hr1, report_on.hr1);
+  EXPECT_EQ(report_off.hr5, report_on.hr5);
+  EXPECT_EQ(report_off.hr10, report_on.hr10);
+  EXPECT_EQ(report_off.ndcg5, report_on.ndcg5);
+  EXPECT_EQ(report_off.ndcg10, report_on.ndcg10);
+  EXPECT_EQ(report_off.mrr, report_on.mrr);
+
+  // The instrumented run actually recorded: proves the comparison is
+  // obs-on vs obs-off, not off vs off.
+  EXPECT_GT(obs::TraceEventCount(), 0u);
+  EXPECT_GT(obs::GetCounter("train.batches").Value(), 0u);
+  EXPECT_GT(obs::GetCounter("eval.users").Value(), 0u);
+}
+
+}  // namespace
+}  // namespace isrec

@@ -3,11 +3,13 @@
 // EncodeLastState fast paths, the engine's identical-top-K guarantee,
 // and the LRU response cache wiring.
 
+#include <chrono>
 #include <fstream>
 #include <future>
 #include <iterator>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/isrec.h"
@@ -17,6 +19,7 @@
 #include "models/sasrec.h"
 #include "serve/checkpoint.h"
 #include "serve/engine.h"
+#include "serve/stats.h"
 
 namespace isrec::serve {
 namespace {
@@ -418,6 +421,73 @@ TEST_F(EngineTest, PerRequestCandidateListsAreRespected)  {
                           request.candidates.end(),
                           item) != request.candidates.end());
   }
+}
+
+// -- StatsRecorder: reservoir percentiles and the lazy window -----------
+
+TEST(StatsRecorderTest, ReservoirPercentilesWithinTolerance) {
+  StatsRecorder recorder;
+  // 20000 latencies cycling through every residue of [0, 1000) exactly
+  // 20 times (37 is coprime to 1000), so the true percentiles are known:
+  // p50 = 500, p95 = 950, p99 = 990. The reservoir keeps 4096 uniform
+  // samples with a deterministic RNG, so the estimates are reproducible
+  // and land well inside a few-sigma band of the truth.
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    recorder.RecordRequest(static_cast<double>((i * 37) % 1000),
+                           /*cache_hit=*/false);
+  }
+  const ServeStats stats = recorder.Snapshot();
+  EXPECT_EQ(stats.num_requests, static_cast<uint64_t>(kSamples));
+  EXPECT_NEAR(stats.p50_ms, 500.0, 50.0);
+  EXPECT_NEAR(stats.p95_ms, 950.0, 30.0);
+  EXPECT_NEAR(stats.p99_ms, 990.0, 15.0);
+}
+
+TEST(StatsRecorderTest, MemoryStaysBoundedBeyondReservoirCapacity) {
+  StatsRecorder recorder;
+  const int n = static_cast<int>(StatsRecorder::kReservoirCapacity) * 3;
+  for (int i = 0; i < n; ++i) {
+    recorder.RecordRequest(1.0, /*cache_hit=*/false);
+  }
+  const ServeStats stats = recorder.Snapshot();
+  // Every request is counted even though only kReservoirCapacity latency
+  // samples are retained.
+  EXPECT_EQ(stats.num_requests, static_cast<uint64_t>(n));
+  EXPECT_EQ(stats.cache_misses, static_cast<uint64_t>(n));
+  EXPECT_DOUBLE_EQ(stats.p50_ms, 1.0);
+}
+
+TEST(StatsRecorderTest, WindowStartIsLazyForIdleThenBurst) {
+  StatsRecorder recorder;
+  // Idle gap BEFORE the first record must not count toward the window:
+  // the clock arms at the first recorded event.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  for (int i = 0; i < 100; ++i) {
+    recorder.RecordRequest(0.5, /*cache_hit=*/false);
+  }
+  const ServeStats stats = recorder.Snapshot();
+  EXPECT_LT(stats.elapsed_seconds, 0.15);
+  EXPECT_GT(stats.qps, 0.0);
+}
+
+TEST(StatsRecorderTest, ResetReArmsTheWindowLazily) {
+  StatsRecorder recorder;
+  recorder.RecordRequest(1.0, /*cache_hit=*/false);
+  recorder.Reset();
+  // Everything is cleared...
+  ServeStats cleared = recorder.Snapshot();
+  EXPECT_EQ(cleared.num_requests, 0u);
+  EXPECT_DOUBLE_EQ(cleared.elapsed_seconds, 0.0);
+  // ...and the idle gap between Reset and the next burst is excluded,
+  // exactly like a freshly constructed recorder (pins the documented
+  // lazy re-arm contract).
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  recorder.RecordRequest(2.0, /*cache_hit=*/true);
+  const ServeStats stats = recorder.Snapshot();
+  EXPECT_EQ(stats.num_requests, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_LT(stats.elapsed_seconds, 0.15);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include "gtest/gtest.h"
 #include "utils/check.h"
+#include "utils/logging.h"
 #include "utils/rng.h"
 #include "utils/stopwatch.h"
 #include "utils/table.h"
@@ -141,6 +142,45 @@ TEST(StopwatchTest, MeasuresNonNegativeTime) {
 TEST(CheckDeathTest, FailedCheckAborts) {
   EXPECT_DEATH(ISREC_CHECK(false), "CHECK FAILED");
   EXPECT_DEATH(ISREC_CHECK_EQ(1, 2), "expected 1 == 2");
+}
+
+TEST(ParseLogLevelTest, AcceptsNamesCaseInsensitively) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("Warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("WARNING", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+}
+
+TEST(ParseLogLevelTest, AcceptsNumericLevels) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_TRUE(ParseLogLevel("0", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("3", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+}
+
+TEST(ParseLogLevelTest, RejectsGarbageAndLeavesOutputUntouched) {
+  LogLevel level = LogLevel::kWarning;
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel(nullptr, &level));
+  EXPECT_FALSE(ParseLogLevel("4", &level));
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("infoo", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+}
+
+TEST(LogLevelTest, SetAndGetRoundTrip) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(before);
 }
 
 }  // namespace

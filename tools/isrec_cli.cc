@@ -6,6 +6,14 @@
 //             [--epochs N] [--seq-len N] [--embed-dim N]
 //             [--lambda N] [--intent-dim N] [--trace-user U]
 //             [--save PATH] [--load PATH]
+//             [--metrics-json PATH] [--trace-out PATH]
+//
+//   --metrics-json: enable obs metrics, print the metrics table after
+//                   the run, and write the registry snapshot as JSON.
+//   --trace-out: enable obs tracing and write a chrome://tracing JSON
+//                trace of the run (open via chrome://tracing or
+//                ui.perfetto.dev). Equivalent env controls: ISREC_METRICS=1
+//                and ISREC_TRACE=out.json.
 //
 //   --save: after training, write a full serving checkpoint (config +
 //           vocab + parameters) for isrec models, or a bare parameter
@@ -29,6 +37,8 @@
 
 #include "core/isrec.h"
 #include "data/io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/checkpoint.h"
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
@@ -49,6 +59,8 @@ struct CliOptions {
   std::string csv_prefix;
   std::string save_path;
   std::string load_path;
+  std::string metrics_json_path;
+  std::string trace_out_path;
   Index epochs = 10;
   Index seq_len = 12;
   Index embed_dim = 32;
@@ -80,6 +92,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->save_path = value;
     } else if (flag == "--load") {
       options->load_path = value;
+    } else if (flag == "--metrics-json") {
+      options->metrics_json_path = value;
+    } else if (flag == "--trace-out") {
+      options->trace_out_path = value;
     } else if (flag == "--epochs") {
       options->epochs = std::atol(value);
     } else if (flag == "--seq-len") {
@@ -140,7 +156,41 @@ std::unique_ptr<eval::Recommender> BuildModel(const CliOptions& options,
   return nullptr;
 }
 
+// Enables obs systems up front and exports on destruction, so every
+// return path of Run() (including --load early exit) still flushes.
+struct ObsExporter {
+  explicit ObsExporter(const CliOptions& options)
+      : metrics_path(options.metrics_json_path),
+        trace_path(options.trace_out_path) {
+    if (!metrics_path.empty()) obs::EnableMetrics(true);
+    if (!trace_path.empty()) obs::EnableTracing(true);
+  }
+  ~ObsExporter() {
+    if (!metrics_path.empty()) {
+      std::printf("%s", obs::DumpMetricsTable().c_str());
+      if (obs::WriteMetricsJson(metrics_path)) {
+        std::printf("metrics written to %s\n", metrics_path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write metrics to %s\n",
+                     metrics_path.c_str());
+      }
+    }
+    if (!trace_path.empty()) {
+      if (obs::WriteChromeTrace(trace_path)) {
+        std::printf("trace written to %s (open in chrome://tracing)\n",
+                    trace_path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write trace to %s\n",
+                     trace_path.c_str());
+      }
+    }
+  }
+  std::string metrics_path;
+  std::string trace_path;
+};
+
 int Run(const CliOptions& options) {
+  ObsExporter exporter(options);
   data::Dataset dataset;
   if (!options.csv_prefix.empty()) {
     if (!data::LoadDatasetCsv(options.csv_prefix, &dataset)) {
@@ -259,7 +309,7 @@ int main(int argc, char** argv) {
                  "usage: %s [--model NAME] [--dataset PRESET | --csv PREFIX]"
                  " [--epochs N] [--seq-len N] [--embed-dim N] [--lambda N]"
                  " [--intent-dim N] [--trace-user U] [--save PATH]"
-                 " [--load PATH]\n",
+                 " [--load PATH] [--metrics-json PATH] [--trace-out PATH]\n",
                  argv[0]);
     return 2;
   }

@@ -7,6 +7,13 @@
 //   isrec_serve --checkpoint PATH [--dataset PRESET] [--threads N]
 //               [--requests N] [--k K] [--max-batch B]
 //               [--batch-window-us W] [--cache CAP] [--no-verify]
+//               [--metrics-json PATH] [--trace-out PATH]
+//
+//   --metrics-json: enable obs metrics (queue depth, latency/batch-size
+//                   histograms, checkpoint timings), print the metrics
+//                   table, and write the registry snapshot as JSON.
+//   --trace-out: enable obs tracing and write a chrome://tracing JSON
+//                timeline of batch assembly, lingering, and scoring.
 //
 // The workload is built from the preset's leave-one-out test histories
 // (cycled to --requests). With verification on (default), every engine
@@ -20,6 +27,8 @@
 
 #include "data/split.h"
 #include "data/synthetic.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/checkpoint.h"
 #include "serve/engine.h"
 #include "utils/stopwatch.h"
@@ -30,6 +39,8 @@ namespace {
 struct ServeOptions {
   std::string checkpoint;
   std::string dataset = "beauty_sim";
+  std::string metrics_json_path;
+  std::string trace_out_path;
   Index threads = 8;
   Index requests = 2000;
   Index k = 10;
@@ -54,6 +65,10 @@ bool ParseArgs(int argc, char** argv, ServeOptions* options) {
     const char* value = argv[++i];
     if (flag == "--checkpoint") {
       options->checkpoint = value;
+    } else if (flag == "--metrics-json") {
+      options->metrics_json_path = value;
+    } else if (flag == "--trace-out") {
+      options->trace_out_path = value;
     } else if (flag == "--dataset") {
       options->dataset = value;
     } else if (flag == "--threads") {
@@ -76,7 +91,41 @@ bool ParseArgs(int argc, char** argv, ServeOptions* options) {
   return !options->checkpoint.empty();
 }
 
+// Enables obs systems up front and exports on destruction, so every
+// return path of Run() still flushes.
+struct ObsExporter {
+  explicit ObsExporter(const ServeOptions& options)
+      : metrics_path(options.metrics_json_path),
+        trace_path(options.trace_out_path) {
+    if (!metrics_path.empty()) obs::EnableMetrics(true);
+    if (!trace_path.empty()) obs::EnableTracing(true);
+  }
+  ~ObsExporter() {
+    if (!metrics_path.empty()) {
+      std::printf("%s", obs::DumpMetricsTable().c_str());
+      if (obs::WriteMetricsJson(metrics_path)) {
+        std::printf("metrics written to %s\n", metrics_path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write metrics to %s\n",
+                     metrics_path.c_str());
+      }
+    }
+    if (!trace_path.empty()) {
+      if (obs::WriteChromeTrace(trace_path)) {
+        std::printf("trace written to %s (open in chrome://tracing)\n",
+                    trace_path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write trace to %s\n",
+                     trace_path.c_str());
+      }
+    }
+  }
+  std::string metrics_path;
+  std::string trace_path;
+};
+
 int Run(const ServeOptions& options) {
+  ObsExporter exporter(options);
   serve::ServableModel loaded = serve::LoadCheckpoint(options.checkpoint);
   if (loaded.model == nullptr) {
     std::fprintf(stderr, "cannot load checkpoint %s\n",
@@ -187,7 +236,8 @@ int main(int argc, char** argv) {
         stderr,
         "usage: %s --checkpoint PATH [--dataset PRESET] [--threads N]"
         " [--requests N] [--k K] [--max-batch B] [--batch-window-us W]"
-        " [--cache CAP] [--no-verify]\n",
+        " [--cache CAP] [--no-verify] [--metrics-json PATH]"
+        " [--trace-out PATH]\n",
         argv[0]);
     return 2;
   }

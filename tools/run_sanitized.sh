@@ -5,8 +5,9 @@
 #
 # Uses a separate build tree (build-<san>san) so the normal Release
 # build stays untouched. Exercises the thread pool, the intra-op
-# ParallelFor kernels, and the serving engine — the code paths where a
-# data race would silently break the determinism contract.
+# ParallelFor kernels, the serving engine, and the obs registry/trace
+# buffers — the code paths where a data race would silently break the
+# determinism contract.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -20,13 +21,13 @@ build="build-${san}san"
 cmake -B "$build" -S . -DISREC_SANITIZE="$san" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build "$build" -j \
-      --target thread_pool_test parallel_ops_test serve_test
+      --target thread_pool_test parallel_ops_test serve_test obs_test
 
 # Death tests fork, which TSan flags as a potential deadlock; they are
 # covered by the regular build, so skip them here.
 filter='-*DeathTest*'
 status=0
-for t in thread_pool_test parallel_ops_test serve_test; do
+for t in thread_pool_test parallel_ops_test serve_test obs_test; do
   echo "== $san sanitizer: $t =="
   "$build/tests/$t" --gtest_filter="$filter" || status=1
 done
