@@ -72,7 +72,7 @@ int Run(const std::string& out_path) {
   requests.reserve(kRequests);
   for (Index i = 0; i < kRequests; ++i) {
     const Index u = users[i % users.size()];
-    requests.push_back({u, split.TestHistory(u), kTopK, {}});
+    requests.push_back({u, split.TestHistory(u), kTopK, {}, {}});
   }
 
   // Sequential baseline: one Score call per request, like a server
@@ -103,21 +103,26 @@ int Run(const std::string& out_path) {
     engine_config.batch_window_us = point.window_us;
     serve::ServingEngine engine(model, dataset.num_items, engine_config);
     engine.ResetStats();
-    std::vector<std::future<serve::Recommendation>> futures;
+    std::vector<std::future<Outcome<serve::Recommendation>>> futures;
     futures.reserve(requests.size());
     for (const serve::Request& request : requests) {
       futures.push_back(engine.RecommendAsync(request));
     }
-    std::vector<serve::Recommendation> responses;
+    std::vector<Outcome<serve::Recommendation>> responses;
     responses.reserve(futures.size());
     for (auto& future : futures) responses.push_back(future.get());
 
     GridResult result;
     result.point = point;
     result.stats = engine.Stats();
+    // No deadlines, watermarks, or faults are configured, so every
+    // outcome must be OK and bitwise identical to the sequential ranking.
     result.identical = true;
     for (Index i = 0; i < baseline_n; ++i) {
-      if (responses[i].items != baseline[i].items) result.identical = false;
+      if (!responses[i].ok() ||
+          responses[i].value().items != baseline[i].items) {
+        result.identical = false;
+      }
     }
     results.push_back(std::move(result));
   }

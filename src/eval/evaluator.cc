@@ -24,6 +24,19 @@ std::vector<std::vector<float>> Recommender::ScoreBatch(
   return result;
 }
 
+Outcome<std::vector<std::vector<float>>> Recommender::TryScoreBatch(
+    const std::vector<Index>& users,
+    const std::vector<std::vector<Index>>& histories,
+    const std::vector<std::vector<Index>>& candidate_lists) {
+  try {
+    return ScoreBatch(users, histories, candidate_lists);
+  } catch (const std::exception& e) {
+    return Status::ModelError(name() + ": " + e.what());
+  } catch (...) {
+    return Status::ModelError(name() + ": non-standard exception");
+  }
+}
+
 MetricReport EvaluateRanking(Recommender& model, const data::Dataset& dataset,
                              const data::LeaveOneOutSplit& split,
                              const EvalConfig& config) {

@@ -7,6 +7,7 @@
 #include "data/dataset.h"
 #include "data/split.h"
 #include "tensor/tensor.h"
+#include "utils/status.h"
 
 namespace isrec::eval {
 
@@ -39,6 +40,17 @@ class Recommender {
   /// speedup. Results must equal per-request Score exactly (asserted by
   /// serve_test.ScoreBatchMatchesScore).
   virtual std::vector<std::vector<float>> ScoreBatch(
+      const std::vector<Index>& users,
+      const std::vector<std::vector<Index>>& histories,
+      const std::vector<std::vector<Index>>& candidate_lists);
+
+  /// Non-throwing batched scoring, the entry point the serving engine
+  /// uses. The default wraps ScoreBatch and converts any thrown
+  /// std::exception into StatusCode::kModelError, so a failing model
+  /// surfaces as a typed outcome instead of unwinding through a serving
+  /// worker thread. Models that can detect failure more cheaply than via
+  /// exceptions may override. Must never throw.
+  virtual Outcome<std::vector<std::vector<float>>> TryScoreBatch(
       const std::vector<Index>& users,
       const std::vector<std::vector<Index>>& histories,
       const std::vector<std::vector<Index>>& candidate_lists);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -10,6 +11,8 @@
 
 namespace isrec::serve {
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 // Queue-depth gauge, written inside the queue lock on every transition
 // so the snapshot is an exact instantaneous depth.
@@ -28,7 +31,26 @@ uint64_t HashCombine(uint64_t hash, uint64_t value) {
   return hash;
 }
 
+double MsSince(Clock::time_point start, Clock::time_point end) {
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
 }  // namespace
+
+size_t RequestKeyHash::operator()(const RequestKey& key) const {
+  uint64_t hash = 14695981039346656037ull;
+  hash = HashCombine(hash, static_cast<uint64_t>(key.user));
+  hash = HashCombine(hash, static_cast<uint64_t>(key.k));
+  hash = HashCombine(hash, key.history.size());
+  for (Index item : key.history) {
+    hash = HashCombine(hash, static_cast<uint64_t>(item));
+  }
+  hash = HashCombine(hash, key.candidates.size());
+  for (Index item : key.candidates) {
+    hash = HashCombine(hash, static_cast<uint64_t>(item));
+  }
+  return static_cast<size_t>(hash);
+}
 
 Recommendation TopK(const std::vector<float>& scores,
                     const std::vector<Index>& candidates, Index k) {
@@ -56,17 +78,25 @@ Recommendation TopK(const std::vector<float>& scores,
 
 ServingEngine::ServingEngine(eval::Recommender& model, Index num_items,
                              EngineConfig config)
-    : model_(model), config_(config) {
+    : model_(model),
+      config_(config),
+      fault_(config.fault.enabled() ? config.fault : FaultConfigFromEnv()) {
   ISREC_CHECK_GT(config.num_threads, 0);
   ISREC_CHECK_GT(config.max_batch_size, 0);
   ISREC_CHECK_GT(config.queue_capacity, 0);
   ISREC_CHECK_GE(config.batch_window_us, 0);
   ISREC_CHECK_GT(num_items, 0);
+  if (config.shed_high_watermark > 0) {
+    ISREC_CHECK_GE(config.shed_low_watermark, 0);
+    ISREC_CHECK_LE(config.shed_low_watermark, config.shed_high_watermark);
+    ISREC_CHECK_LE(config.shed_high_watermark, config.queue_capacity);
+  }
   full_catalog_.resize(num_items);
   std::iota(full_catalog_.begin(), full_catalog_.end(), 0);
   if (config.cache_capacity > 0) {
-    cache_ = std::make_unique<LruCache<uint64_t, Recommendation>>(
-        config.cache_capacity);
+    cache_ =
+        std::make_unique<LruCache<RequestKey, Recommendation, RequestKeyHash>>(
+            config.cache_capacity);
   }
   pool_ = std::make_unique<utils::ThreadPool>(config.num_threads);
   for (Index i = 0; i < config.num_threads; ++i) {
@@ -81,55 +111,188 @@ ServingEngine::~ServingEngine() {
   }
   queue_not_empty_.notify_all();
   queue_not_full_.notify_all();
-  pool_.reset();  // Joins workers after they drain the queue.
+  pool_.reset();  // Workers answer everything still queued, then exit.
+  // Belt and braces: workers drain the queue before exiting, so this is
+  // normally empty — but a promise must never break, even if a worker
+  // died abnormally.
+  std::deque<Pending> leftovers;
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    leftovers.swap(queue_);
+  }
+  for (Pending& pending : leftovers) {
+    Answer(std::move(pending),
+           FailOrDegrade(pending.request,
+                         Status::Overloaded("engine shut down")));
+  }
 }
 
-uint64_t ServingEngine::CacheKey(const Request& request) const {
-  uint64_t hash = 14695981039346656037ull;
-  hash = HashCombine(hash, static_cast<uint64_t>(request.user));
-  hash = HashCombine(hash, static_cast<uint64_t>(request.k));
-  hash = HashCombine(hash, request.history.size());
+Status ServingEngine::ValidateRequest(const Request& request) const {
+  if (request.k <= 0) {
+    return Status::InvalidArgument("k must be > 0, got " +
+                                   std::to_string(request.k));
+  }
+  if (request.options.deadline_ms < 0.0) {
+    return Status::InvalidArgument("deadline_ms must be >= 0");
+  }
+  const Index num_items = static_cast<Index>(full_catalog_.size());
   for (Index item : request.history) {
-    hash = HashCombine(hash, static_cast<uint64_t>(item));
+    if (item < 0 || item >= num_items) {
+      return Status::InvalidArgument(
+          "history item " + std::to_string(item) + " outside catalog [0, " +
+          std::to_string(num_items) + ")");
+    }
   }
-  hash = HashCombine(hash, request.candidates.size());
   for (Index item : request.candidates) {
-    hash = HashCombine(hash, static_cast<uint64_t>(item));
+    if (item < 0 || item >= num_items) {
+      return Status::InvalidArgument(
+          "candidate item " + std::to_string(item) + " outside catalog [0, " +
+          std::to_string(num_items) + ")");
+    }
   }
-  return hash;
+  return Status::Ok();
 }
 
-std::future<Recommendation> ServingEngine::RecommendAsync(Request request) {
-  const auto start = std::chrono::steady_clock::now();
+Recommendation ServingEngine::FallbackRecommendation(
+    const Request& request) const {
+  const std::vector<Index>& candidates =
+      request.candidates.empty() ? full_catalog_ : request.candidates;
+  std::vector<float> scores;
+  scores.reserve(candidates.size());
+  const Index known = static_cast<Index>(config_.fallback_scores.size());
+  for (Index item : candidates) {
+    scores.push_back(item < known ? config_.fallback_scores[item] : 0.0f);
+  }
+  return TopK(scores, candidates, request.k);
+}
+
+Outcome<Recommendation> ServingEngine::FailOrDegrade(const Request& request,
+                                                     Status error) {
+  if (request.options.allow_degraded && !config_.fallback_scores.empty()) {
+    return Outcome<Recommendation>(
+        Status::Degraded("popularity-prior fallback (" + error.ToString() +
+                         ")"),
+        FallbackRecommendation(request));
+  }
+  return Outcome<Recommendation>(std::move(error));
+}
+
+void ServingEngine::Answer(Pending&& pending,
+                           Outcome<Recommendation> outcome) {
+  stats_.RecordOutcome(outcome.code());  // No-op for kOk.
+  pending.promise.set_value(std::move(outcome));
+}
+
+std::future<Outcome<Recommendation>> ServingEngine::RecommendAsync(
+    Request request) {
+  const auto start = Clock::now();
+  if (Status invalid = ValidateRequest(request); !invalid.ok()) {
+    Pending rejected;
+    rejected.request = std::move(request);
+    std::future<Outcome<Recommendation>> future =
+        rejected.promise.get_future();
+    Answer(std::move(rejected), Outcome<Recommendation>(std::move(invalid)));
+    return future;
+  }
   Pending pending;
   pending.enqueued_at = start;
+  pending.deadline =
+      request.options.deadline_ms > 0.0
+          ? start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double, std::milli>(
+                            request.options.deadline_ms))
+          : Clock::time_point::max();
   if (cache_ != nullptr) {
-    pending.cache_key = CacheKey(request);
+    pending.cache_key =
+        RequestKey{request.user, request.k, request.history,
+                   request.candidates};
     if (std::optional<Recommendation> hit = cache_->Get(pending.cache_key)) {
       hit->from_cache = true;
-      stats_.RecordRequest(
-          std::chrono::duration<double, std::milli>(
-              std::chrono::steady_clock::now() - start)
-              .count(),
-          /*cache_hit=*/true);
-      std::promise<Recommendation> ready;
-      ready.set_value(*std::move(hit));
+      stats_.RecordRequest(MsSince(start, Clock::now()), /*cache_hit=*/true);
+      std::promise<Outcome<Recommendation>> ready;
+      ready.set_value(Outcome<Recommendation>(*std::move(hit)));
       return ready.get_future();
     }
   }
   pending.request = std::move(request);
-  std::future<Recommendation> future = pending.promise.get_future();
-  bool was_empty;
+  std::future<Outcome<Recommendation>> future = pending.promise.get_future();
+
+  bool was_empty = false;
+  bool admitted = true;
+  Status reject_reason;
+  std::optional<Pending> shed_victim;
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
-    queue_not_full_.wait(lock, [this] {
-      return closed_ ||
-             static_cast<Index>(queue_.size()) < config_.queue_capacity;
-    });
-    ISREC_CHECK_MSG(!closed_, "Recommend on a shut-down ServingEngine");
-    was_empty = queue_.empty();
-    queue_.push_back(std::move(pending));
+    if (config_.shed_high_watermark > 0) {
+      // Admission control: never block a producer. Depth crossing the
+      // high watermark enters shedding mode; falling back to the low
+      // watermark exits it (hysteresis, so the engine does not flap at
+      // the boundary).
+      if (closed_) {
+        admitted = false;
+        reject_reason = Status::Overloaded("engine shut down");
+      } else {
+        const Index depth = static_cast<Index>(queue_.size());
+        if (!shedding_ && depth >= config_.shed_high_watermark) {
+          shedding_ = true;
+        }
+        if (shedding_ && depth <= config_.shed_low_watermark) {
+          shedding_ = false;
+        }
+        if (shedding_) {
+          // Shed the lowest-priority request: a strictly lower-priority
+          // queued victim is displaced, otherwise the newcomer itself is
+          // shed (ties shed the newest arrival).
+          auto victim = queue_.begin();
+          for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if (it->request.options.priority <
+                victim->request.options.priority) {
+              victim = it;
+            }
+          }
+          if (!queue_.empty() && victim->request.options.priority <
+                                     pending.request.options.priority) {
+            shed_victim = std::move(*victim);
+            queue_.erase(victim);
+            queue_.push_back(std::move(pending));
+          } else {
+            admitted = false;
+            reject_reason = Status::Overloaded(
+                "queue depth at shed watermark (" +
+                std::to_string(config_.shed_high_watermark) + ")");
+          }
+        } else {
+          was_empty = queue_.empty();
+          queue_.push_back(std::move(pending));
+        }
+      }
+    } else {
+      // Blocking backpressure (the v1 default): wait for queue room.
+      queue_not_full_.wait(lock, [this] {
+        return closed_ ||
+               static_cast<Index>(queue_.size()) < config_.queue_capacity;
+      });
+      if (closed_) {
+        admitted = false;
+        reject_reason = Status::Overloaded("engine shut down");
+      } else {
+        was_empty = queue_.empty();
+        queue_.push_back(std::move(pending));
+      }
+    }
     SetQueueDepth(queue_.size());
+  }
+  if (shed_victim.has_value()) {
+    Outcome<Recommendation> outcome = FailOrDegrade(
+        shed_victim->request, Status::Overloaded("displaced by higher-"
+                                                 "priority request"));
+    Answer(std::move(*shed_victim), std::move(outcome));
+  }
+  if (!admitted) {
+    Outcome<Recommendation> outcome =
+        FailOrDegrade(pending.request, std::move(reject_reason));
+    Answer(std::move(pending), std::move(outcome));
+    return future;
   }
   // Only the empty -> non-empty transition needs a wakeup: a lingering
   // worker drains the queue at its batch deadline anyway, and waking it
@@ -138,46 +301,82 @@ std::future<Recommendation> ServingEngine::RecommendAsync(Request request) {
   return future;
 }
 
-Recommendation ServingEngine::Recommend(const Request& request) {
+Outcome<Recommendation> ServingEngine::Recommend(const Request& request) {
   return RecommendAsync(request).get();
 }
 
 void ServingEngine::WorkerLoop() {
   for (;;) {
     std::vector<Pending> batch;
-    bool leftover;
+    std::vector<Pending> expired;
+    std::vector<Pending> drained;
+    bool leftover = false;
+    bool shutting_down = false;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_not_empty_.wait(lock,
                             [this] { return closed_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // Closed and drained.
-      // Micro-batching: grab what is already waiting, then (optionally)
-      // linger up to the batch window for concurrent requests to arrive.
-      ISREC_TRACE_SPAN("serve.batch_assembly");
-      const auto deadline = std::chrono::steady_clock::now() +
-                            std::chrono::microseconds(config_.batch_window_us);
-      while (static_cast<Index>(batch.size()) < config_.max_batch_size) {
-        if (!queue_.empty()) {
-          batch.push_back(std::move(queue_.front()));
+      if (closed_) {
+        shutting_down = true;
+        // Shutdown: ANSWER everything still queued (kOverloaded or a
+        // degraded fallback), never score it, never drop it.
+        while (!queue_.empty()) {
+          drained.push_back(std::move(queue_.front()));
           queue_.pop_front();
-          continue;
         }
-        if (closed_ || config_.batch_window_us == 0) break;
-        ISREC_TRACE_SPAN("serve.linger");
-        if (queue_not_empty_.wait_until(lock, deadline) ==
-                std::cv_status::timeout &&
-            queue_.empty()) {
-          break;
+        SetQueueDepth(0);
+      } else {
+        // Micro-batching: grab what is already waiting, then (optionally)
+        // linger up to the batch window for concurrent requests to
+        // arrive. Requests found already past their deadline are set
+        // aside and answered kDeadlineExceeded without scoring.
+        ISREC_TRACE_SPAN("serve.batch_assembly");
+        const auto deadline =
+            Clock::now() + std::chrono::microseconds(config_.batch_window_us);
+        while (static_cast<Index>(batch.size()) < config_.max_batch_size) {
+          if (!queue_.empty()) {
+            Pending pending = std::move(queue_.front());
+            queue_.pop_front();
+            // The clock is only read for requests that carry a deadline,
+            // so the happy path stays syscall-free here.
+            if (pending.deadline != Clock::time_point::max() &&
+                pending.deadline <= Clock::now()) {
+              expired.push_back(std::move(pending));
+            } else {
+              batch.push_back(std::move(pending));
+            }
+            continue;
+          }
+          if (closed_ || config_.batch_window_us == 0) break;
+          ISREC_TRACE_SPAN("serve.linger");
+          if (queue_not_empty_.wait_until(lock, deadline) ==
+                  std::cv_status::timeout &&
+              queue_.empty()) {
+            break;
+          }
         }
+        leftover = !queue_.empty();
+        SetQueueDepth(queue_.size());
       }
-      leftover = !queue_.empty();
-      SetQueueDepth(queue_.size());
+    }
+    if (shutting_down) {
+      for (Pending& pending : drained) {
+        Answer(std::move(pending),
+               FailOrDegrade(pending.request,
+                             Status::Overloaded("engine shut down")));
+      }
+      return;
     }
     queue_not_full_.notify_all();
     // Producers skip the wakeup while the queue is non-empty, so hand
     // any overflow beyond this batch to a sibling worker explicitly.
     if (leftover) queue_not_empty_.notify_one();
-    ProcessBatch(std::move(batch));
+    for (Pending& pending : expired) {
+      Answer(std::move(pending),
+             Outcome<Recommendation>(Status::DeadlineExceeded(
+                 "deadline expired while queued")));
+    }
+    if (!batch.empty()) ProcessBatch(std::move(batch));
   }
 }
 
@@ -189,7 +388,7 @@ void ServingEngine::ProcessBatch(std::vector<Pending> batch) {
   if (cache_ != nullptr) {
     std::vector<Pending> misses;
     misses.reserve(batch.size());
-    const auto now = std::chrono::steady_clock::now();
+    const auto now = Clock::now();
     for (Pending& pending : batch) {
       std::optional<Recommendation> hit = cache_->Get(pending.cache_key);
       if (!hit.has_value()) {
@@ -197,11 +396,9 @@ void ServingEngine::ProcessBatch(std::vector<Pending> batch) {
         continue;
       }
       hit->from_cache = true;
-      stats_.RecordRequest(std::chrono::duration<double, std::milli>(
-                               now - pending.enqueued_at)
-                               .count(),
+      stats_.RecordRequest(MsSince(pending.enqueued_at, now),
                            /*cache_hit=*/true);
-      pending.promise.set_value(*std::move(hit));
+      Answer(std::move(pending), Outcome<Recommendation>(*std::move(hit)));
     }
     batch = std::move(misses);
     if (batch.empty()) return;
@@ -219,18 +416,33 @@ void ServingEngine::ProcessBatch(std::vector<Pending> batch) {
                                   ? full_catalog_
                                   : pending.request.candidates);
   }
-  std::vector<std::vector<float>> scores;
-  {
+  Outcome<std::vector<std::vector<float>>> scored = [&] {
     ISREC_TRACE_SPAN("serve.score_batch");
-    scores = model_.ScoreBatch(users, histories, candidate_lists);
+    try {
+      fault_.OnScore();
+    } catch (const std::exception& e) {
+      return Outcome<std::vector<std::vector<float>>>(
+          Status::ModelError(e.what()));
+    }
+    return model_.TryScoreBatch(users, histories, candidate_lists);
+  }();
+  if (!scored.has_value()) {
+    // Model failure: the whole batch fails over as one — degraded
+    // fallbacks where allowed, kModelError otherwise.
+    Status error = scored.status().ok()
+                       ? Status::ModelError("scoring returned no value")
+                       : scored.status();
+    for (Pending& pending : batch) {
+      Answer(std::move(pending), FailOrDegrade(pending.request, error));
+    }
+    return;
   }
-  const auto done = std::chrono::steady_clock::now();
+  const std::vector<std::vector<float>>& scores = *scored;
+  const auto done = Clock::now();
   std::vector<double> latencies_ms;
   latencies_ms.reserve(batch.size());
   for (const Pending& pending : batch) {
-    latencies_ms.push_back(std::chrono::duration<double, std::milli>(
-                               done - pending.enqueued_at)
-                               .count());
+    latencies_ms.push_back(MsSince(pending.enqueued_at, done));
   }
   // Record before fulfilling any promise so a caller that wakes on its
   // future never observes stats missing its own request.
@@ -238,8 +450,20 @@ void ServingEngine::ProcessBatch(std::vector<Pending> batch) {
   for (size_t i = 0; i < batch.size(); ++i) {
     Recommendation rec =
         TopK(scores[i], candidate_lists[i], batch[i].request.k);
+    // Cache even a too-late result: it is correct, and the next
+    // identical request gets it instantly.
     if (cache_ != nullptr) cache_->Put(batch[i].cache_key, rec);
-    batch[i].promise.set_value(std::move(rec));
+    if (batch[i].deadline != Clock::time_point::max() &&
+        batch[i].deadline <= done) {
+      // Post-score enforcement: the work happened but the caller's
+      // deadline did not survive it; the contract is a typed outcome,
+      // not a late answer.
+      Answer(std::move(batch[i]),
+             Outcome<Recommendation>(
+                 Status::DeadlineExceeded("scored past deadline")));
+      continue;
+    }
+    Answer(std::move(batch[i]), Outcome<Recommendation>(std::move(rec)));
   }
 }
 

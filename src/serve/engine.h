@@ -11,8 +11,10 @@
 #include <vector>
 
 #include "eval/recommender.h"
+#include "serve/fault.h"
 #include "serve/lru_cache.h"
 #include "serve/stats.h"
+#include "utils/status.h"
 #include "utils/thread_pool.h"
 
 namespace isrec::serve {
@@ -28,11 +30,51 @@ struct EngineConfig {
   /// this long for more requests to coalesce. 0 = score immediately.
   Index batch_window_us = 200;
   /// Bound of the MPMC request queue; Recommend blocks when full
-  /// (backpressure instead of unbounded memory growth).
+  /// (backpressure instead of unbounded memory growth) UNLESS admission
+  /// control is on (shed_high_watermark > 0), in which case producers
+  /// never block — excess traffic is shed with kOverloaded instead.
   Index queue_capacity = 4096;
   /// Entries in the (user, history, k, candidates)-keyed LRU response
   /// cache. 0 disables caching.
   Index cache_capacity = 0;
+
+  /// Admission control. When shed_high_watermark > 0: once queue depth
+  /// reaches the high watermark the engine enters shedding mode and stays
+  /// there until depth falls to shed_low_watermark (hysteresis). While
+  /// shedding, an arriving request either displaces a strictly
+  /// lower-priority queued request (which is answered kOverloaded, or a
+  /// kDegraded fallback if it allows one) or is itself shed the same way.
+  /// 0 disables admission control (blocking backpressure, the default).
+  Index shed_high_watermark = 0;
+  Index shed_low_watermark = 0;
+
+  /// Popularity-prior scores per item id (e.g. training interaction
+  /// counts, exactly what models::PopRec ranks by). When non-empty,
+  /// requests with allow_degraded that would otherwise fail with
+  /// kOverloaded or kModelError are answered with a deterministic TopK
+  /// over this prior, tagged kDegraded. Items beyond the vector score 0.
+  std::vector<float> fallback_scores;
+
+  /// Deterministic fault injection (tests, benches, chaos drills). When
+  /// left default-disabled, the ISREC_FAULT environment spec is used,
+  /// so faults can be injected into any binary without a rebuild.
+  FaultConfig fault;
+};
+
+/// Per-request serving options (the v2 API surface).
+struct RequestOptions {
+  /// Soft deadline relative to submit time, in milliseconds; 0 = none.
+  /// An expired request is ANSWERED kDeadlineExceeded — at dequeue
+  /// (before any scoring work) or after a too-slow score — never
+  /// silently dropped.
+  double deadline_ms = 0.0;
+  /// Admission-control priority: under overload, strictly lower-priority
+  /// traffic is shed first. Ties shed the newest arrival.
+  int priority = 0;
+  /// Under overload shedding or model failure, accept a popularity-prior
+  /// fallback ranking (status kDegraded) instead of an error, when the
+  /// engine was configured with fallback_scores.
+  bool allow_degraded = false;
 };
 
 struct Request {
@@ -41,6 +83,7 @@ struct Request {
   Index k = 10;
   /// Candidate items to rank; empty means the full catalog.
   std::vector<Index> candidates;
+  RequestOptions options;
 };
 
 struct Recommendation {
@@ -49,6 +92,22 @@ struct Recommendation {
   std::vector<Index> items;
   std::vector<float> scores;  // Aligned with items.
   bool from_cache = false;
+};
+
+/// The full response-cache key. The cache indexes entries by this key's
+/// equality (the FNV hash below only buckets them), so a 64-bit hash
+/// collision can never serve one user another user's recommendations.
+struct RequestKey {
+  Index user = 0;
+  Index k = 0;
+  std::vector<Index> history;
+  std::vector<Index> candidates;
+
+  friend bool operator==(const RequestKey&, const RequestKey&) = default;
+};
+
+struct RequestKeyHash {
+  size_t operator()(const RequestKey& key) const;
 };
 
 /// Deterministic top-k selection: highest score first, ties broken by
@@ -62,10 +121,20 @@ Recommendation TopK(const std::vector<float>& scores,
 /// Callers from any thread submit requests; workers from an owned
 /// utils::ThreadPool pop up to max_batch_size requests from a bounded
 /// MPMC queue (waiting batch_window_us to coalesce concurrent traffic)
-/// and answer them with ONE ScoreBatch call, amortizing the encoder
-/// forward pass — the difference between per-request and batched scoring
-/// is the main throughput lever. An optional LRU cache short-circuits
-/// repeat requests before they reach the queue.
+/// and answer them with ONE scoring call, amortizing the encoder forward
+/// pass — the difference between per-request and batched scoring is the
+/// main throughput lever. An optional LRU cache short-circuits repeat
+/// requests before they reach the queue.
+///
+/// v2 outcome contract: every submitted request's future resolves with
+/// exactly one Outcome<Recommendation> — kOk (scored), kDegraded
+/// (popularity fallback under overload/model failure), kDeadlineExceeded,
+/// kOverloaded (shed, or engine shut down first), kInvalidArgument, or
+/// kModelError. Futures are never left with a broken promise, including
+/// through ~ServingEngine: a batch already popped by a worker is still
+/// scored ("drained result"), and everything still queued at shutdown is
+/// answered kOverloaded. With no deadline, no faults, and admission
+/// control off, results are bitwise identical to the v1 engine.
 ///
 /// The model must be in eval mode and its ScoreBatch must be safe for
 /// concurrent calls (SequentialModelBase qualifies; see its header).
@@ -81,12 +150,16 @@ class ServingEngine {
   ServingEngine& operator=(const ServingEngine&) = delete;
 
   /// Blocking request/response. Thread-safe.
-  Recommendation Recommend(const Request& request);
+  Outcome<Recommendation> Recommend(const Request& request);
 
   /// Asynchronous variant; the future resolves when a worker has scored
-  /// the micro-batch containing this request (or on a cache hit,
-  /// immediately).
-  std::future<Recommendation> RecommendAsync(Request request);
+  /// the micro-batch containing this request, or immediately on a cache
+  /// hit, an invalid argument, or admission-control shedding.
+  std::future<Outcome<Recommendation>> RecommendAsync(Request request);
+
+  /// The engine's fault-injection seam (programmatic equivalent of the
+  /// ISREC_FAULT env spec). Install test hooks before traffic flows.
+  FaultInjector& fault_injector() { return fault_; }
 
   ServeStats Stats() const { return stats_.Snapshot(); }
   void ResetStats() { stats_.Reset(); }
@@ -96,28 +169,40 @@ class ServingEngine {
  private:
   struct Pending {
     Request request;
-    std::promise<Recommendation> promise;
+    std::promise<Outcome<Recommendation>> promise;
     std::chrono::steady_clock::time_point enqueued_at;
-    uint64_t cache_key = 0;
+    /// Absolute deadline; time_point::max() = none.
+    std::chrono::steady_clock::time_point deadline;
+    RequestKey cache_key;  // Filled only when the cache is enabled.
   };
 
   void WorkerLoop();
   void ProcessBatch(std::vector<Pending> batch);
-  uint64_t CacheKey(const Request& request) const;
+  Status ValidateRequest(const Request& request) const;
+  /// kDegraded fallback if the request allows one and the engine has a
+  /// prior, else the given error. `why` names the trigger for messages.
+  Outcome<Recommendation> FailOrDegrade(const Request& request, Status error);
+  Recommendation FallbackRecommendation(const Request& request) const;
+  /// Resolves a pending with `outcome`, recording its status code.
+  void Answer(Pending&& pending, Outcome<Recommendation> outcome);
 
   eval::Recommender& model_;
   const EngineConfig config_;
   std::vector<Index> full_catalog_;
+  FaultInjector fault_;
 
   // Bounded MPMC queue. Close() (from the destructor) wakes everything;
-  // workers drain remaining requests before exiting.
+  // workers answer remaining queued requests with kOverloaded before
+  // exiting (never drop, never a broken promise).
   std::mutex queue_mutex_;
   std::condition_variable queue_not_empty_;
   std::condition_variable queue_not_full_;
   std::deque<Pending> queue_;
   bool closed_ = false;
+  /// Admission-control hysteresis state (guarded by queue_mutex_).
+  bool shedding_ = false;
 
-  std::unique_ptr<LruCache<uint64_t, Recommendation>> cache_;
+  std::unique_ptr<LruCache<RequestKey, Recommendation, RequestKeyHash>> cache_;
   StatsRecorder stats_;
 
   // Last member so workers die before the members they use.

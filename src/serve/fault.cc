@@ -1,0 +1,110 @@
+#include "serve/fault.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+namespace isrec::serve {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Uniform double in [0, 1) from the top 53 bits.
+double UniformUnit(uint64_t* state) {
+  return static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseUint64(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+bool ParseFaultSpec(const std::string& spec, FaultConfig* config) {
+  FaultConfig parsed;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string pair = spec.substr(pos, comma - pos);
+    const size_t colon = pair.find(':');
+    if (colon == std::string::npos) return false;
+    const std::string key = pair.substr(0, colon);
+    const std::string value = pair.substr(colon + 1);
+    if (key == "score_throw") {
+      if (!ParseDouble(value, &parsed.score_throw)) return false;
+      if (parsed.score_throw < 0.0 || parsed.score_throw > 1.0) return false;
+    } else if (key == "score_delay_ms") {
+      if (!ParseDouble(value, &parsed.score_delay_ms)) return false;
+      if (parsed.score_delay_ms < 0.0) return false;
+    } else if (key == "seed") {
+      if (!ParseUint64(value, &parsed.seed)) return false;
+    } else {
+      return false;
+    }
+    pos = comma + 1;
+  }
+  *config = parsed;
+  return true;
+}
+
+FaultConfig FaultConfigFromEnv() {
+  const char* spec = std::getenv("ISREC_FAULT");
+  if (spec == nullptr || spec[0] == '\0') return {};
+  FaultConfig config;
+  if (!ParseFaultSpec(spec, &config)) {
+    std::fprintf(stderr,
+                 "ignoring malformed ISREC_FAULT spec '%s' (grammar: "
+                 "score_throw:P,score_delay_ms:MS,seed:N)\n",
+                 spec);
+    return {};
+  }
+  return config;
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config)
+    : config_(config), rng_state_(config.seed) {}
+
+void FaultInjector::set_before_score(std::function<void()> hook) {
+  before_score_ = std::move(hook);
+}
+
+void FaultInjector::OnScore() {
+  score_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (before_score_) before_score_();
+  if (config_.score_delay_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(config_.score_delay_ms));
+  }
+  if (config_.score_throw > 0.0) {
+    bool fire;
+    {
+      std::lock_guard<std::mutex> lock(rng_mutex_);
+      fire = UniformUnit(&rng_state_) < config_.score_throw;
+    }
+    if (fire) throw std::runtime_error("injected score fault");
+  }
+}
+
+}  // namespace isrec::serve

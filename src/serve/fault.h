@@ -1,0 +1,79 @@
+#ifndef ISREC_SERVE_FAULT_H_
+#define ISREC_SERVE_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+namespace isrec::serve {
+
+/// Deterministic fault injection for the serving engine (DESIGN.md §10).
+/// Lets tests and benches prove every outcome path — slow models, model
+/// exceptions — without depending on real hardware misbehavior.
+struct FaultConfig {
+  /// Probability in [0, 1] that a ScoreBatch call throws
+  /// std::runtime_error("injected score fault"). Drawn from a
+  /// deterministic splitmix64 stream seeded by `seed`, so a given
+  /// (seed, call-sequence) always faults the same calls.
+  double score_throw = 0.0;
+  /// Fixed sleep before every ScoreBatch call, simulating a slow model.
+  double score_delay_ms = 0.0;
+  /// Seed of the throw-decision stream.
+  uint64_t seed = 0x9e3779b97f4a7c15ull;
+
+  bool enabled() const { return score_throw > 0.0 || score_delay_ms > 0.0; }
+};
+
+/// Parses the ISREC_FAULT grammar: comma-separated key:value pairs over
+/// the keys {score_throw, score_delay_ms, seed}, e.g.
+/// "score_throw:0.01,score_delay_ms:50". Whitespace is not allowed.
+/// Returns false (leaving *config untouched) on an unknown key, a
+/// malformed number, or an out-of-range probability.
+bool ParseFaultSpec(const std::string& spec, FaultConfig* config);
+
+/// FaultConfig from the ISREC_FAULT environment variable; default
+/// (no faults) when unset or empty. A malformed spec is reported on
+/// stderr and ignored — a typo must not change serving behavior
+/// silently, and must not take the server down either.
+FaultConfig FaultConfigFromEnv();
+
+/// The engine-side injection point. Thread-safe: OnScore may be called
+/// concurrently from every serving worker.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(const FaultConfig& config);
+
+  /// Programmatic seam for tests: invoked at the top of every OnScore
+  /// call, before the configured delay and throw decision. A blocking
+  /// hook holds the calling worker mid-"score", which is how tests pin
+  /// queue buildup deterministically. Set before traffic flows.
+  void set_before_score(std::function<void()> hook);
+
+  /// Called by the engine immediately before each model scoring call:
+  /// runs the hook, sleeps score_delay_ms, then throws std::runtime_error
+  /// with probability score_throw. Increments score_calls() first, so
+  /// "this request was never scored" is observable even across faults.
+  void OnScore();
+
+  /// Number of OnScore calls so far (i.e. scoring attempts, including
+  /// ones that then threw).
+  uint64_t score_calls() const {
+    return score_calls_.load(std::memory_order_relaxed);
+  }
+
+  const FaultConfig& config() const { return config_; }
+
+ private:
+  FaultConfig config_;
+  std::function<void()> before_score_;
+  std::atomic<uint64_t> score_calls_{0};
+  std::mutex rng_mutex_;
+  uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;
+};
+
+}  // namespace isrec::serve
+
+#endif  // ISREC_SERVE_FAULT_H_

@@ -18,7 +18,12 @@ namespace isrec::serve {
 /// value (entries may be evicted by other threads at any time, so
 /// references into the cache would dangle). Put inserts or refreshes and
 /// evicts the LRU entry once size exceeds capacity.
-template <typename K, typename V>
+///
+/// Entries are stored under the FULL key K and looked up by equality;
+/// `Hash` only places them in buckets. Two distinct keys that hash to
+/// the same value therefore coexist — one can never be served the
+/// other's entry (pinned by lru_cache_test with a constant hash).
+template <typename K, typename V, typename Hash = std::hash<K>>
 class LruCache {
  public:
   explicit LruCache(size_t capacity) : capacity_(capacity) {
@@ -78,7 +83,8 @@ class LruCache {
   mutable std::mutex mutex_;
   /// Most-recently-used entry first.
   std::list<std::pair<K, V>> entries_;
-  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator> index_;
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash>
+      index_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
 };

@@ -55,6 +55,26 @@ obs::Histogram& BatchSizeHistogram() {
       obs::GetHistogram("serve.batch_size", obs::LinearBuckets(1.0, 1.0, 64));
   return h;
 }
+obs::Counter& RejectedCounter() {
+  static obs::Counter& c = obs::GetCounter("serve.rejected");
+  return c;
+}
+obs::Counter& DeadlineExceededCounter() {
+  static obs::Counter& c = obs::GetCounter("serve.deadline_exceeded");
+  return c;
+}
+obs::Counter& DegradedCounter() {
+  static obs::Counter& c = obs::GetCounter("serve.degraded");
+  return c;
+}
+obs::Counter& InvalidArgumentsCounter() {
+  static obs::Counter& c = obs::GetCounter("serve.invalid_arguments");
+  return c;
+}
+obs::Counter& ModelErrorsCounter() {
+  static obs::Counter& c = obs::GetCounter("serve.model_errors");
+  return c;
+}
 
 }  // namespace
 
@@ -131,6 +151,53 @@ void StatsRecorder::RecordProcessedBatch(
   }
 }
 
+void StatsRecorder::RecordOutcome(StatusCode code) {
+  if (code == StatusCode::kOk) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    switch (code) {
+      case StatusCode::kOverloaded:
+        ++rejected_;
+        break;
+      case StatusCode::kDeadlineExceeded:
+        ++deadline_exceeded_;
+        break;
+      case StatusCode::kDegraded:
+        ++degraded_;
+        break;
+      case StatusCode::kInvalidArgument:
+        ++invalid_arguments_;
+        break;
+      case StatusCode::kModelError:
+        ++model_errors_;
+        break;
+      case StatusCode::kOk:
+        break;
+    }
+  }
+  if (obs::MetricsEnabled()) {
+    switch (code) {
+      case StatusCode::kOverloaded:
+        RejectedCounter().Add(1);
+        break;
+      case StatusCode::kDeadlineExceeded:
+        DeadlineExceededCounter().Add(1);
+        break;
+      case StatusCode::kDegraded:
+        DegradedCounter().Add(1);
+        break;
+      case StatusCode::kInvalidArgument:
+        InvalidArgumentsCounter().Add(1);
+        break;
+      case StatusCode::kModelError:
+        ModelErrorsCounter().Add(1);
+        break;
+      case StatusCode::kOk:
+        break;
+    }
+  }
+}
+
 void StatsRecorder::Reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   latency_reservoir_.clear();
@@ -140,6 +207,11 @@ void StatsRecorder::Reset() {
   cache_hits_ = 0;
   cache_misses_ = 0;
   num_batches_ = 0;
+  rejected_ = 0;
+  deadline_exceeded_ = 0;
+  degraded_ = 0;
+  invalid_arguments_ = 0;
+  model_errors_ = 0;
   // Lazy re-arm: the window restarts at the next recorded event, not at
   // Reset() time, so a long idle gap before the next burst does not
   // deflate qps (see header contract; pinned by serve_test).
@@ -157,6 +229,11 @@ ServeStats StatsRecorder::Snapshot() const {
     stats.cache_hits = cache_hits_;
     stats.cache_misses = cache_misses_;
     stats.num_batches = num_batches_;
+    stats.rejected = rejected_;
+    stats.deadline_exceeded = deadline_exceeded_;
+    stats.degraded = degraded_;
+    stats.invalid_arguments = invalid_arguments_;
+    stats.model_errors = model_errors_;
     stats.elapsed_seconds =
         start_seconds_ < 0.0 ? 0.0 : NowSeconds() - start_seconds_;
   }
@@ -191,6 +268,11 @@ std::string ServeStats::ToTableString() const {
   table.AddRow({"cache_hits", std::to_string(cache_hits)});
   table.AddRow({"cache_misses", std::to_string(cache_misses)});
   table.AddRow({"cache_hit_rate", FormatFloat(cache_hit_rate(), 3)});
+  table.AddRow({"rejected", std::to_string(rejected)});
+  table.AddRow({"deadline_exceeded", std::to_string(deadline_exceeded)});
+  table.AddRow({"degraded", std::to_string(degraded)});
+  table.AddRow({"invalid_arguments", std::to_string(invalid_arguments)});
+  table.AddRow({"model_errors", std::to_string(model_errors)});
   table.AddSeparator();
   for (size_t b = 1; b < batch_size_histogram.size(); ++b) {
     if (batch_size_histogram[b] == 0) continue;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "utils/status.h"
 
 namespace isrec::serve {
 
@@ -27,6 +28,15 @@ struct ServeStats {
   /// histogram[b] = number of micro-batches that scored exactly b
   /// requests (index 0 unused).
   std::vector<uint64_t> batch_size_histogram;
+
+  /// Outcome counters of the v2 API (DESIGN.md §10): every non-ok
+  /// terminal answer bumps exactly one of these. kOk answers are the
+  /// `num_requests` above.
+  uint64_t rejected = 0;            // kOverloaded (shed or shutdown).
+  uint64_t deadline_exceeded = 0;   // kDeadlineExceeded.
+  uint64_t degraded = 0;            // kDegraded fallbacks served.
+  uint64_t invalid_arguments = 0;   // kInvalidArgument.
+  uint64_t model_errors = 0;        // kModelError.
 
   double cache_hit_rate() const {
     const uint64_t lookups = cache_hits + cache_misses;
@@ -65,6 +75,13 @@ class StatsRecorder {
   void RecordProcessedBatch(Index batch_size,
                             const std::vector<double>& latencies_ms);
 
+  /// Counts a terminal outcome code. kOk is a no-op (ok answers are
+  /// recorded by the latency paths above); every other code bumps its
+  /// dedicated counter and, when obs::MetricsEnabled(), the matching
+  /// registry counter (serve.rejected, serve.deadline_exceeded,
+  /// serve.degraded, serve.invalid_arguments, serve.model_errors).
+  void RecordOutcome(StatusCode code);
+
   /// Clears all recorded samples and restarts the measurement window.
   /// The window start is lazy — it is (re)armed at the NEXT recorded
   /// event, exactly like a freshly constructed recorder — so
@@ -87,6 +104,11 @@ class StatsRecorder {
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;
   uint64_t num_batches_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t deadline_exceeded_ = 0;
+  uint64_t degraded_ = 0;
+  uint64_t invalid_arguments_ = 0;
+  uint64_t model_errors_ = 0;
   double start_seconds_ = -1.0;  // Monotonic; set lazily on first record.
 };
 

@@ -1,0 +1,153 @@
+#ifndef ISREC_UTILS_STATUS_H_
+#define ISREC_UTILS_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "utils/check.h"
+
+namespace isrec {
+
+/// Typed outcome codes of the serving/eval API (DESIGN.md §10). Two of
+/// them carry a usable result — kOk (the requested answer) and kDegraded
+/// (a popularity-prior fallback produced under overload or model
+/// failure) — every other code is an error with no payload.
+enum class StatusCode {
+  kOk = 0,
+  kDeadlineExceeded,
+  kOverloaded,
+  kInvalidArgument,
+  kModelError,
+  kDegraded,
+};
+
+/// Stable upper-snake name of a code ("DEADLINE_EXCEEDED", ...), used in
+/// logs and serve_stats output.
+inline std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kModelError:
+      return "MODEL_ERROR";
+    case StatusCode::kDegraded:
+      return "DEGRADED";
+  }
+  return "UNKNOWN";
+}
+
+/// Code + human-readable message. Cheap to copy on the happy path: an
+/// ok status carries no message allocation.
+class Status {
+ public:
+  Status() = default;  // kOk.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+  explicit Status(StatusCode code) : code_(code) {}
+
+  static Status Ok() { return Status(); }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Overloaded(std::string message) {
+    return Status(StatusCode::kOverloaded, std::move(message));
+  }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status ModelError(std::string message) {
+    return Status(StatusCode::kModelError, std::move(message));
+  }
+  static Status Degraded(std::string message) {
+    return Status(StatusCode::kDegraded, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "DEADLINE_EXCEEDED: queued past deadline".
+  std::string ToString() const {
+    std::string out(StatusCodeName(code_));
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A Status plus, when the status admits one, a value of type T. The
+/// result type of the serving/eval v2 surface (Recommend, TryScoreBatch):
+///
+///   - Outcome(T)            -> kOk with a value
+///   - Outcome(Status)       -> a non-ok status with NO value
+///   - Outcome(Status, T)    -> a non-ok status that still carries a
+///                              usable value (kDegraded fallbacks)
+///
+/// `ok()` asks "is this the requested answer" (code == kOk);
+/// `has_value()` asks "is there anything usable" (kOk or a degraded
+/// payload). value() CHECK-fails when has_value() is false, so callers
+/// cannot silently consume an error as data.
+template <typename T>
+class Outcome {
+ public:
+  Outcome(T value) : value_(std::move(value)) {}  // NOLINT: implicit ok.
+  Outcome(Status status) : status_(std::move(status)) {  // NOLINT
+    ISREC_CHECK_MSG(!status_.ok(),
+                    "ok Outcome must be built from a value, not Status::Ok");
+  }
+  Outcome(Status status, T value)
+      : status_(std::move(status)), value_(std::move(value)) {
+    ISREC_CHECK_MSG(!status_.ok(),
+                    "ok Outcome must be built from a value alone");
+  }
+
+  bool ok() const { return status_.ok(); }
+  bool has_value() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+  StatusCode code() const { return status_.code(); }
+
+  T& value() {
+    ISREC_CHECK_MSG(has_value(),
+                    "Outcome::value on " << status_.ToString());
+    return *value_;
+  }
+  const T& value() const {
+    ISREC_CHECK_MSG(has_value(),
+                    "Outcome::value on " << status_.ToString());
+    return *value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// The value if present, else `fallback`.
+  T ValueOr(T fallback) const {
+    return has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // Default-constructed = kOk.
+  std::optional<T> value_;
+};
+
+}  // namespace isrec
+
+#endif  // ISREC_UTILS_STATUS_H_

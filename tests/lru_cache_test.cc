@@ -84,6 +84,33 @@ TEST(LruCacheTest, CapacityOneKeepsOnlyNewestEntry) {
   EXPECT_EQ(*cache.Get(2), 20);
 }
 
+// Regression: the cache used to be keyed on a bare 64-bit hash of the
+// request, so two distinct requests whose hashes collided would silently
+// serve each other's cached response. Entries are now stored under the
+// full key and looked up by equality — the hash only buckets them. A
+// constant hash forces every key into one bucket, the worst case.
+struct ConstantHash {
+  size_t operator()(int) const { return 42; }
+};
+
+TEST(LruCacheTest, HashCollisionsNeverAliasDistinctKeys) {
+  LruCache<int, std::string, ConstantHash> cache(4);
+  cache.Put(1, "one");
+  cache.Put(2, "two");
+  cache.Put(3, "three");
+  ASSERT_TRUE(cache.Get(1).has_value());
+  EXPECT_EQ(*cache.Get(1), "one");
+  EXPECT_EQ(*cache.Get(2), "two");
+  EXPECT_EQ(*cache.Get(3), "three");
+  // Eviction under full collision still removes exactly the LRU entry.
+  (void)cache.Get(1);
+  cache.Put(4, "four");
+  cache.Put(5, "five");  // Evicts 2 (1 was promoted above, 3/4 newer).
+  EXPECT_TRUE(cache.Get(1).has_value());
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_EQ(*cache.Get(5), "five");
+}
+
 TEST(LruCacheTest, ConcurrentReadersAndWritersAreSafe) {
   LruCache<int, int> cache(16);
   std::vector<std::thread> threads;

@@ -1,13 +1,19 @@
 // Tests of the isrec::serve subsystem: checkpoint round-trips, the
 // ScoreBatch == Score contract the engine relies on, the serving-only
 // EncodeLastState fast paths, the engine's identical-top-K guarantee,
-// and the LRU response cache wiring.
+// the LRU response cache wiring, and the v2 outcome contract — request
+// deadlines, admission-control shedding, degraded fallbacks, fault
+// injection, and the answer-everything shutdown guarantee.
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <fstream>
 #include <future>
 #include <iterator>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,10 +22,14 @@
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "gtest/gtest.h"
+#include "models/pop_rec.h"
 #include "models/sasrec.h"
+#include "obs/metrics.h"
 #include "serve/checkpoint.h"
 #include "serve/engine.h"
+#include "serve/fault.h"
 #include "serve/stats.h"
+#include "utils/status.h"
 
 namespace isrec::serve {
 namespace {
@@ -305,7 +315,7 @@ class EngineTest : public ::testing::Test {
     std::vector<Request> requests;
     for (Index i = 0; i < n; ++i) {
       const Index u = users[i % users.size()];
-      requests.push_back({u, split_->TestHistory(u), 10, {}});
+      requests.push_back({u, split_->TestHistory(u), 10, {}, {}});
     }
     return requests;
   }
@@ -315,6 +325,10 @@ class EngineTest : public ::testing::Test {
   std::unique_ptr<core::IsrecModel> model_;
 };
 
+// The v2 happy-path pin: with no deadline, no faults, and admission
+// control off, every outcome is kOk and the top-K lists (items AND
+// scores) are bitwise identical to sequential per-request Score — the
+// robustness machinery must be invisible when unused.
 TEST_F(EngineTest, ConcurrentBatchedResultsMatchSequential) {
   EngineConfig config;
   config.num_threads = 2;
@@ -323,7 +337,7 @@ TEST_F(EngineTest, ConcurrentBatchedResultsMatchSequential) {
   ServingEngine engine(*model_, dataset_.num_items, config);
 
   const std::vector<Request> requests = MakeRequests(48);
-  std::vector<std::future<Recommendation>> futures;
+  std::vector<std::future<Outcome<Recommendation>>> futures;
   for (const Request& request : requests) {
     futures.push_back(engine.RecommendAsync(request));
   }
@@ -331,7 +345,10 @@ TEST_F(EngineTest, ConcurrentBatchedResultsMatchSequential) {
   std::vector<Index> catalog(dataset_.num_items);
   for (Index i = 0; i < dataset_.num_items; ++i) catalog[i] = i;
   for (size_t i = 0; i < requests.size(); ++i) {
-    const Recommendation got = futures[i].get();
+    const Outcome<Recommendation> outcome = futures[i].get();
+    ASSERT_TRUE(outcome.ok()) << "request " << i << ": "
+                              << outcome.status().ToString();
+    const Recommendation& got = outcome.value();
     const Recommendation want =
         TopK(model_->Score(requests[i].user, requests[i].history, catalog),
              catalog, requests[i].k);
@@ -360,17 +377,19 @@ TEST_F(EngineTest, RepeatRequestsHitTheCache) {
   ServingEngine engine(*model_, dataset_.num_items, config);
 
   const Request request = MakeRequests(1)[0];
-  const Recommendation first = engine.Recommend(request);
-  EXPECT_FALSE(first.from_cache);
-  const Recommendation second = engine.Recommend(request);
-  EXPECT_TRUE(second.from_cache);
-  EXPECT_EQ(second.items, first.items);
-  EXPECT_EQ(second.scores, first.scores);
+  const Outcome<Recommendation> first = engine.Recommend(request);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.value().from_cache);
+  const Outcome<Recommendation> second = engine.Recommend(request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().from_cache);
+  EXPECT_EQ(second.value().items, first.value().items);
+  EXPECT_EQ(second.value().scores, first.value().scores);
 
   // A different history must not hit the same entry.
   Request other = request;
   other.history.push_back((other.history.back() + 1) % dataset_.num_items);
-  EXPECT_FALSE(engine.Recommend(other).from_cache);
+  EXPECT_FALSE(engine.Recommend(other).value().from_cache);
 
   const ServeStats stats = engine.Stats();
   EXPECT_EQ(stats.cache_hits, 1u);
@@ -390,10 +409,10 @@ TEST_F(EngineTest, InFlightDuplicateIsServedFromCache) {
   // submit-time lookup can miss, but the single worker processes it
   // strictly after the original's Put, so the batch-time lookup hits.
   const Request request = MakeRequests(1)[0];
-  std::future<Recommendation> first = engine.RecommendAsync(request);
-  std::future<Recommendation> second = engine.RecommendAsync(request);
-  const Recommendation a = first.get();
-  const Recommendation b = second.get();
+  std::future<Outcome<Recommendation>> first = engine.RecommendAsync(request);
+  std::future<Outcome<Recommendation>> second = engine.RecommendAsync(request);
+  const Recommendation a = first.get().value();
+  const Recommendation b = second.get().value();
   EXPECT_FALSE(a.from_cache);
   EXPECT_TRUE(b.from_cache);
   EXPECT_EQ(b.items, a.items);
@@ -414,13 +433,341 @@ TEST_F(EngineTest, PerRequestCandidateListsAreRespected)  {
   Request request = MakeRequests(1)[0];
   request.candidates = {5, 17, 42, 99, 256};
   request.k = 3;
-  const Recommendation rec = engine.Recommend(request);
+  const Recommendation rec = engine.Recommend(request).value();
   ASSERT_EQ(rec.items.size(), 3u);
   for (Index item : rec.items) {
     EXPECT_TRUE(std::find(request.candidates.begin(),
                           request.candidates.end(),
                           item) != request.candidates.end());
   }
+}
+
+// -- The v2 outcome contract: deadlines, shedding, degradation ----------
+//
+// These tests pin every non-OK path deterministically: a Gate installed
+// as the FaultInjector's before-score hook holds the single worker
+// mid-"score", so queue buildup, deadline expiry, and shutdown ordering
+// are under test control instead of timing luck.
+
+// Deterministic scoring stand-in: score(c) = c % 97, so TopK output is
+// known and cheap. The engine's robustness paths never depend on what
+// the model computes, only on when and whether scoring happens.
+class FakeModel : public eval::Recommender {
+ public:
+  std::string name() const override { return "fake"; }
+  void Fit(const data::Dataset&, const data::LeaveOneOutSplit&) override {}
+  std::vector<float> Score(Index, const std::vector<Index>&,
+                           const std::vector<Index>& candidates) override {
+    std::vector<float> scores;
+    scores.reserve(candidates.size());
+    for (Index c : candidates) scores.push_back(static_cast<float>(c % 97));
+    return scores;
+  }
+};
+
+// Reusable open/closed latch for before-score hooks.
+class Gate {
+ public:
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+// Spins until the engine has started `n` scoring calls (i.e. the worker
+// is blocked inside the Gate hook).
+void WaitForScoreCalls(ServingEngine& engine, uint64_t n) {
+  while (engine.fault_injector().score_calls() < n) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+EngineConfig SingleWorkerConfig() {
+  EngineConfig config;
+  config.num_threads = 1;
+  config.max_batch_size = 1;
+  config.batch_window_us = 0;
+  return config;
+}
+
+TEST(EngineOutcomeTest, InvalidArgumentsAreAnsweredImmediately) {
+  FakeModel model;
+  ServingEngine engine(model, /*num_items=*/100, SingleWorkerConfig());
+
+  Request bad_k{0, {1, 2}, 0, {}, {}};
+  EXPECT_EQ(engine.Recommend(bad_k).code(), StatusCode::kInvalidArgument);
+
+  Request bad_history{0, {100}, 10, {}, {}};  // Item id == num_items.
+  EXPECT_EQ(engine.Recommend(bad_history).code(),
+            StatusCode::kInvalidArgument);
+
+  Request bad_candidate{0, {1}, 10, {-1}, {}};
+  EXPECT_EQ(engine.Recommend(bad_candidate).code(),
+            StatusCode::kInvalidArgument);
+
+  Request bad_deadline{0, {1}, 10, {}, {-5.0, 0, false}};
+  EXPECT_EQ(engine.Recommend(bad_deadline).code(),
+            StatusCode::kInvalidArgument);
+
+  const ServeStats stats = engine.Stats();
+  EXPECT_EQ(stats.invalid_arguments, 4u);
+  EXPECT_EQ(stats.num_requests, 0u);  // None of them reached scoring.
+}
+
+TEST(EngineOutcomeTest, DeadlineExpiredBeforeDequeueIsAnsweredNotScored) {
+  FakeModel model;
+  ServingEngine engine(model, /*num_items=*/100, SingleWorkerConfig());
+  Gate gate;
+  engine.fault_injector().set_before_score([&gate] { gate.Wait(); });
+
+  // A occupies the single worker inside the gate; B's deadline expires
+  // while it can only sit in the queue.
+  std::future<Outcome<Recommendation>> a =
+      engine.RecommendAsync({0, {1, 2}, 5, {}, {}});
+  WaitForScoreCalls(engine, 1);
+  std::future<Outcome<Recommendation>> b =
+      engine.RecommendAsync({1, {3, 4}, 5, {}, {/*deadline_ms=*/1.0, 0,
+                                               false}});
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  gate.Open();
+
+  EXPECT_TRUE(a.get().ok());
+  const Outcome<Recommendation> expired = b.get();
+  EXPECT_EQ(expired.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(expired.has_value());
+  // The expired request was answered at dequeue, before any scoring:
+  // only A's batch ever reached the model.
+  EXPECT_EQ(engine.fault_injector().score_calls(), 1u);
+  EXPECT_EQ(engine.Stats().deadline_exceeded, 1u);
+}
+
+TEST(EngineOutcomeTest, RequestScoredPastDeadlineIsAnsweredExceeded) {
+  FakeModel model;
+  ServingEngine engine(model, /*num_items=*/100, SingleWorkerConfig());
+  Gate gate;
+  engine.fault_injector().set_before_score([&gate] { gate.Wait(); });
+
+  // The worker dequeues A well inside its 300ms deadline, then the gate
+  // holds the "model" past it: the work completed, the deadline did not
+  // survive it, and the contract is a typed outcome, not a late answer.
+  std::future<Outcome<Recommendation>> a =
+      engine.RecommendAsync({0, {1, 2}, 5, {}, {/*deadline_ms=*/300.0, 0,
+                                               false}});
+  WaitForScoreCalls(engine, 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  gate.Open();
+
+  const Outcome<Recommendation> outcome = a.get();
+  EXPECT_EQ(outcome.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(engine.fault_injector().score_calls(), 1u);  // It WAS scored.
+  EXPECT_EQ(engine.Stats().deadline_exceeded, 1u);
+}
+
+TEST(EngineOutcomeTest, WatermarkSheddingShedsLowestPriorityFirst) {
+  FakeModel model;
+  EngineConfig config = SingleWorkerConfig();
+  config.shed_high_watermark = 2;
+  config.shed_low_watermark = 1;
+  ServingEngine engine(model, /*num_items=*/100, config);
+  Gate gate;
+  engine.fault_injector().set_before_score([&gate] { gate.Wait(); });
+
+  // A blocks the worker; B and C fill the queue to the high watermark.
+  std::future<Outcome<Recommendation>> a =
+      engine.RecommendAsync({0, {1}, 5, {}, {0.0, /*priority=*/0, false}});
+  WaitForScoreCalls(engine, 1);
+  std::future<Outcome<Recommendation>> b =
+      engine.RecommendAsync({1, {2}, 5, {}, {0.0, /*priority=*/1, false}});
+  std::future<Outcome<Recommendation>> c =
+      engine.RecommendAsync({2, {3}, 5, {}, {0.0, /*priority=*/1, false}});
+
+  // D (priority 0) arrives at the watermark: no queued request has
+  // strictly lower priority, so D itself is shed — immediately, without
+  // blocking the producer.
+  std::future<Outcome<Recommendation>> d =
+      engine.RecommendAsync({3, {4}, 5, {}, {0.0, /*priority=*/0, false}});
+  ASSERT_EQ(d.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  const Outcome<Recommendation> shed = d.get();
+  EXPECT_EQ(shed.code(), StatusCode::kOverloaded);
+
+  // E (priority 2) displaces the oldest priority-1 request (B), which is
+  // answered kOverloaded in E's place.
+  std::future<Outcome<Recommendation>> e =
+      engine.RecommendAsync({4, {5}, 5, {}, {0.0, /*priority=*/2, false}});
+  ASSERT_EQ(b.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(b.get().code(), StatusCode::kOverloaded);
+
+  gate.Open();
+  EXPECT_TRUE(a.get().ok());
+  EXPECT_TRUE(c.get().ok());
+  EXPECT_TRUE(e.get().ok());
+  EXPECT_EQ(engine.Stats().rejected, 2u);  // D and the displaced B.
+}
+
+TEST(EngineOutcomeTest, ModelFaultWithoutFallbackIsModelError) {
+  FakeModel model;
+  EngineConfig config = SingleWorkerConfig();
+  config.fault.score_throw = 1.0;  // Every scoring call throws.
+  ServingEngine engine(model, /*num_items=*/100, config);
+
+  const Outcome<Recommendation> outcome =
+      engine.Recommend({0, {1, 2}, 5, {}, {}});
+  EXPECT_EQ(outcome.code(), StatusCode::kModelError);
+  EXPECT_FALSE(outcome.has_value());
+  EXPECT_EQ(engine.Stats().model_errors, 1u);
+}
+
+TEST(EngineOutcomeTest, DegradedFallbackMatchesPopRecOrdering) {
+  data::Dataset dataset = BeautySim();
+  data::LeaveOneOutSplit split(dataset);
+  models::PopRec pop_rec;
+  pop_rec.Fit(dataset, split);
+
+  FakeModel model;
+  EngineConfig config = SingleWorkerConfig();
+  config.fault.score_throw = 1.0;
+  config.fallback_scores.reserve(dataset.num_items);
+  for (Index i = 0; i < dataset.num_items; ++i) {
+    config.fallback_scores.push_back(
+        static_cast<float>(pop_rec.popularity(i)));
+  }
+  ServingEngine engine(model, dataset.num_items, config);
+
+  const Index user = split.evaluable_users()[0];
+  const Request request{user, split.TestHistory(user), 10, {},
+                        {0.0, 0, /*allow_degraded=*/true}};
+  const Outcome<Recommendation> outcome = engine.Recommend(request);
+  EXPECT_FALSE(outcome.ok());
+  ASSERT_TRUE(outcome.has_value());  // Degraded still carries an answer.
+  EXPECT_EQ(outcome.code(), StatusCode::kDegraded);
+
+  // The fallback ranking IS PopRec: same scores, same shared TopK
+  // tie-breaking, so the lists are identical, not merely similar.
+  std::vector<Index> catalog(dataset.num_items);
+  for (Index i = 0; i < dataset.num_items; ++i) catalog[i] = i;
+  const Recommendation want =
+      TopK(pop_rec.Score(user, request.history, catalog), catalog, 10);
+  EXPECT_EQ(outcome.value().items, want.items);
+  EXPECT_EQ(outcome.value().scores, want.scores);
+  EXPECT_EQ(engine.Stats().degraded, 1u);
+}
+
+TEST(EngineOutcomeTest, DestructorAnswersEveryQueuedRequest) {
+  FakeModel model;
+  EngineConfig config = SingleWorkerConfig();
+  config.fallback_scores = {1.0f, 3.0f, 2.0f};  // For the degraded D.
+  auto engine =
+      std::make_unique<ServingEngine>(model, /*num_items=*/100, config);
+  Gate gate;
+  engine->fault_injector().set_before_score([&gate] { gate.Wait(); });
+
+  // A is mid-score when the destructor starts; B, C, D are still queued.
+  std::future<Outcome<Recommendation>> a =
+      engine->RecommendAsync({0, {1}, 5, {}, {}});
+  WaitForScoreCalls(*engine, 1);
+  std::future<Outcome<Recommendation>> b =
+      engine->RecommendAsync({1, {2}, 5, {}, {}});
+  std::future<Outcome<Recommendation>> c =
+      engine->RecommendAsync({2, {3}, 5, {}, {}});
+  std::future<Outcome<Recommendation>> d = engine->RecommendAsync(
+      {3, {4}, 2, {}, {0.0, 0, /*allow_degraded=*/true}});
+
+  std::thread destroyer([&engine] { engine.reset(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  gate.Open();
+  destroyer.join();
+
+  // Every future resolved — no drops, no broken promises. The popped
+  // batch (A) was still scored; queued work was answered kOverloaded,
+  // or with the degraded fallback where the request allows one.
+  EXPECT_TRUE(a.get().ok());
+  EXPECT_EQ(b.get().code(), StatusCode::kOverloaded);
+  EXPECT_EQ(c.get().code(), StatusCode::kOverloaded);
+  const Outcome<Recommendation> degraded = d.get();
+  EXPECT_EQ(degraded.code(), StatusCode::kDegraded);
+  ASSERT_TRUE(degraded.has_value());
+  EXPECT_EQ(degraded.value().items, (std::vector<Index>{1, 2}));
+}
+
+TEST(EngineOutcomeTest, ProducerBlockedOnFullQueueIsReleasedAtShutdown) {
+  FakeModel model;
+  EngineConfig config = SingleWorkerConfig();
+  config.queue_capacity = 1;  // Blocking backpressure engages instantly.
+  auto engine =
+      std::make_unique<ServingEngine>(model, /*num_items=*/100, config);
+  Gate gate;
+  engine->fault_injector().set_before_score([&gate] { gate.Wait(); });
+
+  // A occupies the worker, B fills the one-slot queue, so C's producer
+  // blocks in the v1 backpressure wait. v1 CHECK-aborted when shutdown
+  // raced a submit; v2 releases the producer with kOverloaded.
+  std::future<Outcome<Recommendation>> a =
+      engine->RecommendAsync({0, {1}, 5, {}, {}});
+  WaitForScoreCalls(*engine, 1);
+  std::future<Outcome<Recommendation>> b =
+      engine->RecommendAsync({1, {2}, 5, {}, {}});
+  std::optional<Outcome<Recommendation>> c;
+  std::thread producer(
+      [&] { c = engine->Recommend({2, {3}, 5, {}, {}}); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::thread destroyer([&engine] { engine.reset(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  gate.Open();
+  producer.join();
+  destroyer.join();
+
+  EXPECT_TRUE(a.get().ok());  // Popped before shutdown: still scored.
+  EXPECT_EQ(b.get().code(), StatusCode::kOverloaded);
+  ASSERT_TRUE(c.has_value());  // The producer returned — no hang.
+  EXPECT_EQ(c->code(), StatusCode::kOverloaded);
+}
+
+TEST(EngineOutcomeTest, ObsOutcomeCountersMatchServeStats) {
+  obs::EnableMetrics(true);
+  obs::ResetAllMetrics();
+  {
+    FakeModel model;
+    EngineConfig config = SingleWorkerConfig();
+    config.fault.score_throw = 1.0;
+    config.fallback_scores = {1.0f, 2.0f, 3.0f};
+    ServingEngine engine(model, /*num_items=*/100, config);
+
+    // One of each: degraded, model error, invalid argument.
+    EXPECT_EQ(engine.Recommend({0, {1}, 5, {}, {0.0, 0, true}}).code(),
+              StatusCode::kDegraded);
+    EXPECT_EQ(engine.Recommend({1, {2}, 5, {}, {}}).code(),
+              StatusCode::kModelError);
+    EXPECT_EQ(engine.Recommend({2, {3}, 0, {}, {}}).code(),
+              StatusCode::kInvalidArgument);
+
+    // The obs mirrors count exactly what ServeStats counts — one bump
+    // per terminal non-OK answer, no double counting.
+    const ServeStats stats = engine.Stats();
+    EXPECT_EQ(stats.degraded, 1u);
+    EXPECT_EQ(stats.model_errors, 1u);
+    EXPECT_EQ(stats.invalid_arguments, 1u);
+    EXPECT_EQ(obs::GetCounter("serve.degraded").Value(), stats.degraded);
+    EXPECT_EQ(obs::GetCounter("serve.model_errors").Value(),
+              stats.model_errors);
+    EXPECT_EQ(obs::GetCounter("serve.invalid_arguments").Value(),
+              stats.invalid_arguments);
+    EXPECT_EQ(obs::GetCounter("serve.rejected").Value(), 0u);
+    EXPECT_EQ(obs::GetCounter("serve.deadline_exceeded").Value(), 0u);
+  }
+  obs::EnableMetrics(false);
 }
 
 // -- StatsRecorder: reservoir percentiles and the lazy window -----------

@@ -1,0 +1,203 @@
+// Tests of the typed error model (isrec::Status / Outcome<T>) and the
+// deterministic fault-injection machinery the serving engine's v2
+// outcome contract is built on.
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "serve/fault.h"
+#include "utils/status.h"
+
+namespace isrec {
+namespace {
+
+TEST(StatusTest, DefaultIsOkWithNoMessage) {
+  const Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_TRUE(status.message().empty());
+  EXPECT_EQ(status.ToString(), "OK");
+  EXPECT_EQ(status, Status::Ok());
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status status = Status::DeadlineExceeded("queued past deadline");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(status.message(), "queued past deadline");
+  EXPECT_EQ(status.ToString(), "DEADLINE_EXCEEDED: queued past deadline");
+
+  EXPECT_EQ(Status::Overloaded("x").code(), StatusCode::kOverloaded);
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::ModelError("x").code(), StatusCode::kModelError);
+  EXPECT_EQ(Status::Degraded("x").code(), StatusCode::kDegraded);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  // serve_stats output and log grepping rely on these exact spellings.
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+            "DEADLINE_EXCEEDED");
+  EXPECT_EQ(StatusCodeName(StatusCode::kOverloaded), "OVERLOADED");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument),
+            "INVALID_ARGUMENT");
+  EXPECT_EQ(StatusCodeName(StatusCode::kModelError), "MODEL_ERROR");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDegraded), "DEGRADED");
+}
+
+TEST(OutcomeTest, ValueConstructionIsOk) {
+  const Outcome<int> outcome(42);
+  EXPECT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome.code(), StatusCode::kOk);
+  EXPECT_EQ(outcome.value(), 42);
+  EXPECT_EQ(*outcome, 42);
+  EXPECT_EQ(outcome.ValueOr(0), 42);
+}
+
+TEST(OutcomeTest, ErrorConstructionHasNoValue) {
+  const Outcome<int> outcome(Status::Overloaded("shed"));
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_FALSE(outcome.has_value());
+  EXPECT_EQ(outcome.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(outcome.status().message(), "shed");
+  EXPECT_EQ(outcome.ValueOr(-1), -1);
+}
+
+TEST(OutcomeTest, DegradedCarriesBothStatusAndValue) {
+  // The kDegraded shape: not the requested answer (ok() is false), but
+  // still something usable (has_value() is true) — callers must be able
+  // to distinguish "fallback" from both success and hard failure.
+  const Outcome<std::vector<int>> outcome(Status::Degraded("fallback"),
+                                          std::vector<int>{3, 1});
+  EXPECT_FALSE(outcome.ok());
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome.code(), StatusCode::kDegraded);
+  EXPECT_EQ(outcome.value(), (std::vector<int>{3, 1}));
+  EXPECT_EQ(outcome->size(), 2u);
+}
+
+// -- ISREC_FAULT spec grammar -------------------------------------------
+
+TEST(ParseFaultSpecTest, ParsesFullSpec) {
+  serve::FaultConfig config;
+  ASSERT_TRUE(serve::ParseFaultSpec(
+      "score_throw:0.25,score_delay_ms:50,seed:42", &config));
+  EXPECT_DOUBLE_EQ(config.score_throw, 0.25);
+  EXPECT_DOUBLE_EQ(config.score_delay_ms, 50.0);
+  EXPECT_EQ(config.seed, 42u);
+  EXPECT_TRUE(config.enabled());
+}
+
+TEST(ParseFaultSpecTest, PartialSpecKeepsDefaultsForOtherKeys) {
+  serve::FaultConfig config;
+  ASSERT_TRUE(serve::ParseFaultSpec("score_delay_ms:5", &config));
+  EXPECT_DOUBLE_EQ(config.score_throw, 0.0);
+  EXPECT_DOUBLE_EQ(config.score_delay_ms, 5.0);
+  EXPECT_TRUE(config.enabled());
+}
+
+TEST(ParseFaultSpecTest, MalformedSpecsAreRejectedAndLeaveConfigAlone) {
+  serve::FaultConfig config;
+  config.score_throw = 0.5;  // Sentinel: must survive failed parses.
+  const std::vector<std::string> bad = {
+      "score_throw",          // No colon.
+      "score_throw:",         // Empty value.
+      "score_throw:abc",      // Not a number.
+      "score_throw:1.5",      // Probability out of [0, 1].
+      "score_throw:-0.1",     // Negative probability.
+      "score_delay_ms:-1",    // Negative delay.
+      "seed:abc",             // Not an integer.
+      "unknown_key:1",        // Unknown key.
+      "score_throw:0.1,bad",  // Valid pair followed by junk.
+  };
+  for (const std::string& spec : bad) {
+    EXPECT_FALSE(serve::ParseFaultSpec(spec, &config)) << spec;
+    EXPECT_DOUBLE_EQ(config.score_throw, 0.5) << spec;
+  }
+}
+
+TEST(ParseFaultSpecTest, EnvIsReadAndMalformedEnvIsIgnored) {
+  ASSERT_EQ(setenv("ISREC_FAULT", "score_throw:1,seed:7", 1), 0);
+  serve::FaultConfig config = serve::FaultConfigFromEnv();
+  EXPECT_DOUBLE_EQ(config.score_throw, 1.0);
+  EXPECT_EQ(config.seed, 7u);
+
+  // A typo'd spec must not change behavior silently — it is reported and
+  // ignored, leaving the no-fault default.
+  ASSERT_EQ(setenv("ISREC_FAULT", "score_throw=oops", 1), 0);
+  config = serve::FaultConfigFromEnv();
+  EXPECT_FALSE(config.enabled());
+
+  ASSERT_EQ(unsetenv("ISREC_FAULT"), 0);
+  EXPECT_FALSE(serve::FaultConfigFromEnv().enabled());
+}
+
+// -- FaultInjector determinism ------------------------------------------
+
+TEST(FaultInjectorTest, ThrowProbabilityOneAlwaysThrows) {
+  serve::FaultConfig config;
+  config.score_throw = 1.0;
+  serve::FaultInjector injector(config);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_THROW(injector.OnScore(), std::runtime_error);
+  }
+  EXPECT_EQ(injector.score_calls(), 20u);  // Attempts count even on throw.
+}
+
+TEST(FaultInjectorTest, ThrowProbabilityZeroNeverThrows) {
+  serve::FaultInjector injector(serve::FaultConfig{});
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_NO_THROW(injector.OnScore());
+  }
+  EXPECT_EQ(injector.score_calls(), 20u);
+}
+
+TEST(FaultInjectorTest, SameSeedFaultsTheSameCalls) {
+  serve::FaultConfig config;
+  config.score_throw = 0.5;
+  config.seed = 1234;
+  const auto throw_pattern = [](serve::FaultInjector& injector) {
+    std::vector<bool> pattern;
+    for (int i = 0; i < 64; ++i) {
+      bool threw = false;
+      try {
+        injector.OnScore();
+      } catch (const std::runtime_error&) {
+        threw = true;
+      }
+      pattern.push_back(threw);
+    }
+    return pattern;
+  };
+
+  serve::FaultInjector a(config);
+  serve::FaultInjector b(config);
+  const std::vector<bool> pattern = throw_pattern(a);
+  EXPECT_EQ(pattern, throw_pattern(b));  // Same (seed, call-index) stream.
+
+  // Sanity: p=0.5 over 64 draws produces both outcomes.
+  EXPECT_NE(std::count(pattern.begin(), pattern.end(), true), 0);
+  EXPECT_NE(std::count(pattern.begin(), pattern.end(), true), 64);
+
+  config.seed = 5678;  // A different seed faults different calls.
+  serve::FaultInjector c(config);
+  EXPECT_NE(pattern, throw_pattern(c));
+}
+
+TEST(FaultInjectorTest, BeforeScoreHookRunsOnEveryCall) {
+  serve::FaultInjector injector(serve::FaultConfig{});
+  int calls = 0;
+  injector.set_before_score([&calls] { ++calls; });
+  injector.OnScore();
+  injector.OnScore();
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace isrec

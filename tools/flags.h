@@ -1,0 +1,159 @@
+#ifndef ISREC_TOOLS_FLAGS_H_
+#define ISREC_TOOLS_FLAGS_H_
+
+// Minimal shared command-line flag parser for the isrec tools, so every
+// flag (notably the serving v2 set: --deadline-ms, --shed-watermark,
+// --allow-degraded, --fault) is defined in exactly one place instead of
+// being duplicated across isrec_cli and isrec_serve parsing loops.
+//
+// Usage:
+//   FlagParser parser;
+//   parser.String("--model", &options.model);
+//   parser.Int("--epochs", &options.epochs);
+//   parser.Bool("--no-verify", &options.no_verify);   // presence flag
+//   if (!parser.Parse(argc, argv)) { print usage; return 2; }
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "serve/engine.h"
+#include "tensor/tensor.h"
+
+namespace isrec::tools {
+
+class FlagParser {
+ public:
+  /// Flag taking a string value: `--name VALUE`.
+  void String(const char* name, std::string* target) {
+    specs_.push_back({name, Kind::kString, target});
+  }
+  /// Flag taking an integer value: `--name N`.
+  void Int(const char* name, Index* target) {
+    specs_.push_back({name, Kind::kInt, target});
+  }
+  /// Flag taking a floating-point value: `--name X`.
+  void Double(const char* name, double* target) {
+    specs_.push_back({name, Kind::kDouble, target});
+  }
+  /// Valueless presence flag: `--name` sets *target = true.
+  void Bool(const char* name, bool* target) {
+    specs_.push_back({name, Kind::kBool, target});
+  }
+
+  /// Parses argv. Returns false — with a diagnostic on stderr for
+  /// anything except an explicit --help/-h — on an unknown flag or a
+  /// missing value, so callers can print usage and exit.
+  bool Parse(int argc, char** argv) const {
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      if (flag == "--help" || flag == "-h") return false;
+      const Spec* spec = Find(flag);
+      if (spec == nullptr) {
+        std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+        return false;
+      }
+      if (spec->kind == Kind::kBool) {
+        *static_cast<bool*>(spec->target) = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        return false;
+      }
+      const char* value = argv[++i];
+      switch (spec->kind) {
+        case Kind::kString:
+          *static_cast<std::string*>(spec->target) = value;
+          break;
+        case Kind::kInt:
+          *static_cast<Index*>(spec->target) = std::atol(value);
+          break;
+        case Kind::kDouble:
+          *static_cast<double*>(spec->target) = std::atof(value);
+          break;
+        case Kind::kBool:
+          break;  // Handled above.
+      }
+    }
+    return true;
+  }
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kBool };
+  struct Spec {
+    std::string name;
+    Kind kind;
+    void* target;
+  };
+
+  const Spec* Find(const std::string& name) const {
+    for (const Spec& spec : specs_) {
+      if (spec.name == name) return &spec;
+    }
+    return nullptr;
+  }
+
+  std::vector<Spec> specs_;
+};
+
+/// The serving-engine flag set shared by isrec_serve and any future
+/// serving harness: Register() defines the flags once, ToEngineConfig()
+/// maps them onto a serve::EngineConfig. The v2 robustness knobs:
+///
+///   --deadline-ms D      per-request deadline (0 = none)
+///   --shed-watermark H   admission control: shed above depth H
+///                        (low watermark = H/2; 0 = blocking backpressure)
+///   --allow-degraded     requests accept a popularity-prior fallback
+///   --fault SPEC         ISREC_FAULT grammar, e.g. score_delay_ms:5
+struct EngineFlags {
+  Index threads = 8;
+  Index max_batch = 32;
+  Index batch_window_us = 200;
+  Index cache_capacity = 0;
+  double deadline_ms = 0.0;
+  Index shed_watermark = 0;
+  bool allow_degraded = false;
+  std::string fault_spec;
+
+  void Register(FlagParser& parser) {
+    parser.Int("--threads", &threads);
+    parser.Int("--max-batch", &max_batch);
+    parser.Int("--batch-window-us", &batch_window_us);
+    parser.Int("--cache", &cache_capacity);
+    parser.Double("--deadline-ms", &deadline_ms);
+    parser.Int("--shed-watermark", &shed_watermark);
+    parser.Bool("--allow-degraded", &allow_degraded);
+    parser.String("--fault", &fault_spec);
+  }
+
+  /// Maps the flags onto an EngineConfig; false (with a diagnostic) on a
+  /// malformed --fault spec.
+  bool ToEngineConfig(serve::EngineConfig* config) const {
+    config->num_threads = threads;
+    config->max_batch_size = max_batch;
+    config->batch_window_us = batch_window_us;
+    config->cache_capacity = cache_capacity;
+    config->shed_high_watermark = shed_watermark;
+    config->shed_low_watermark = shed_watermark / 2;
+    if (!fault_spec.empty() &&
+        !serve::ParseFaultSpec(fault_spec, &config->fault)) {
+      std::fprintf(stderr, "malformed --fault spec '%s'\n",
+                   fault_spec.c_str());
+      return false;
+    }
+    return true;
+  }
+
+  serve::RequestOptions ToRequestOptions() const {
+    serve::RequestOptions options;
+    options.deadline_ms = deadline_ms;
+    options.allow_degraded = allow_degraded;
+    return options;
+  }
+};
+
+}  // namespace isrec::tools
+
+#endif  // ISREC_TOOLS_FLAGS_H_

@@ -48,6 +48,7 @@
 #include "models/mf_models.h"
 #include "models/pop_rec.h"
 #include "models/sasrec.h"
+#include "flags.h"
 #include "utils/stopwatch.h"
 
 namespace isrec {
@@ -70,50 +71,21 @@ struct CliOptions {
 };
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
-  auto next_value = [&](int& i) -> const char* {
-    if (i + 1 >= argc) return nullptr;
-    return argv[++i];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    const char* value = nullptr;
-    if (flag == "--help" || flag == "-h") return false;
-    if ((value = next_value(i)) == nullptr) {
-      std::fprintf(stderr, "missing value for %s\n", flag.c_str());
-      return false;
-    }
-    if (flag == "--model") {
-      options->model = value;
-    } else if (flag == "--dataset") {
-      options->dataset = value;
-    } else if (flag == "--csv") {
-      options->csv_prefix = value;
-    } else if (flag == "--save") {
-      options->save_path = value;
-    } else if (flag == "--load") {
-      options->load_path = value;
-    } else if (flag == "--metrics-json") {
-      options->metrics_json_path = value;
-    } else if (flag == "--trace-out") {
-      options->trace_out_path = value;
-    } else if (flag == "--epochs") {
-      options->epochs = std::atol(value);
-    } else if (flag == "--seq-len") {
-      options->seq_len = std::atol(value);
-    } else if (flag == "--embed-dim") {
-      options->embed_dim = std::atol(value);
-    } else if (flag == "--lambda") {
-      options->lambda = std::atol(value);
-    } else if (flag == "--intent-dim") {
-      options->intent_dim = std::atol(value);
-    } else if (flag == "--trace-user") {
-      options->trace_user = std::atol(value);
-    } else {
-      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
-      return false;
-    }
-  }
-  return true;
+  tools::FlagParser parser;
+  parser.String("--model", &options->model);
+  parser.String("--dataset", &options->dataset);
+  parser.String("--csv", &options->csv_prefix);
+  parser.String("--save", &options->save_path);
+  parser.String("--load", &options->load_path);
+  parser.String("--metrics-json", &options->metrics_json_path);
+  parser.String("--trace-out", &options->trace_out_path);
+  parser.Int("--epochs", &options->epochs);
+  parser.Int("--seq-len", &options->seq_len);
+  parser.Int("--embed-dim", &options->embed_dim);
+  parser.Int("--lambda", &options->lambda);
+  parser.Int("--intent-dim", &options->intent_dim);
+  parser.Int("--trace-user", &options->trace_user);
+  return parser.Parse(argc, argv);
 }
 
 std::unique_ptr<eval::Recommender> BuildModel(const CliOptions& options,

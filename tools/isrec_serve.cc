@@ -7,21 +7,34 @@
 //   isrec_serve --checkpoint PATH [--dataset PRESET] [--threads N]
 //               [--requests N] [--k K] [--max-batch B]
 //               [--batch-window-us W] [--cache CAP] [--no-verify]
-//               [--metrics-json PATH] [--trace-out PATH]
+//               [--deadline-ms D] [--shed-watermark H] [--allow-degraded]
+//               [--fault SPEC] [--metrics-json PATH] [--trace-out PATH]
 //
+//   --deadline-ms: per-request deadline; late requests are answered
+//                  DEADLINE_EXCEEDED instead of arriving late.
+//   --shed-watermark: admission control — above this queue depth the
+//                  engine sheds lowest-priority traffic with OVERLOADED
+//                  instead of blocking producers (low watermark = H/2).
+//   --allow-degraded: shed/failed requests accept a popularity-prior
+//                  fallback ranking (status DEGRADED).
+//   --fault: deterministic fault injection, ISREC_FAULT grammar
+//                  (e.g. score_throw:0.01,score_delay_ms:50).
 //   --metrics-json: enable obs metrics (queue depth, latency/batch-size
-//                   histograms, checkpoint timings), print the metrics
+//                   histograms, outcome counters), print the metrics
 //                   table, and write the registry snapshot as JSON.
 //   --trace-out: enable obs tracing and write a chrome://tracing JSON
 //                timeline of batch assembly, lingering, and scoring.
 //
 // The workload is built from the preset's leave-one-out test histories
-// (cycled to --requests). With verification on (default), every engine
-// top-K is compared against a sequential Score baseline computed with
-// the cache off — they must be identical.
+// (cycled to --requests). With verification on (default), every OK
+// engine top-K is compared against a sequential Score baseline computed
+// with the cache off — they must be identical; any non-OK outcome also
+// fails verification (outcomes other than OK only appear when the
+// robustness flags above are in play).
 
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -31,6 +44,7 @@
 #include "obs/trace.h"
 #include "serve/checkpoint.h"
 #include "serve/engine.h"
+#include "flags.h"
 #include "utils/stopwatch.h"
 
 namespace isrec {
@@ -41,53 +55,23 @@ struct ServeOptions {
   std::string dataset = "beauty_sim";
   std::string metrics_json_path;
   std::string trace_out_path;
-  Index threads = 8;
   Index requests = 2000;
   Index k = 10;
-  Index max_batch = 32;
-  Index batch_window_us = 200;
-  Index cache_capacity = 0;
-  bool verify = true;
+  bool no_verify = false;
+  tools::EngineFlags engine;
 };
 
 bool ParseArgs(int argc, char** argv, ServeOptions* options) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    if (flag == "--help" || flag == "-h") return false;
-    if (flag == "--no-verify") {
-      options->verify = false;
-      continue;
-    }
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "missing value for %s\n", flag.c_str());
-      return false;
-    }
-    const char* value = argv[++i];
-    if (flag == "--checkpoint") {
-      options->checkpoint = value;
-    } else if (flag == "--metrics-json") {
-      options->metrics_json_path = value;
-    } else if (flag == "--trace-out") {
-      options->trace_out_path = value;
-    } else if (flag == "--dataset") {
-      options->dataset = value;
-    } else if (flag == "--threads") {
-      options->threads = std::atol(value);
-    } else if (flag == "--requests") {
-      options->requests = std::atol(value);
-    } else if (flag == "--k") {
-      options->k = std::atol(value);
-    } else if (flag == "--max-batch") {
-      options->max_batch = std::atol(value);
-    } else if (flag == "--batch-window-us") {
-      options->batch_window_us = std::atol(value);
-    } else if (flag == "--cache") {
-      options->cache_capacity = std::atol(value);
-    } else {
-      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
-      return false;
-    }
-  }
+  tools::FlagParser parser;
+  parser.String("--checkpoint", &options->checkpoint);
+  parser.String("--dataset", &options->dataset);
+  parser.String("--metrics-json", &options->metrics_json_path);
+  parser.String("--trace-out", &options->trace_out_path);
+  parser.Int("--requests", &options->requests);
+  parser.Int("--k", &options->k);
+  parser.Bool("--no-verify", &options->no_verify);
+  options->engine.Register(parser);
+  if (!parser.Parse(argc, argv)) return false;
   return !options->checkpoint.empty();
 }
 
@@ -161,11 +145,14 @@ int Run(const ServeOptions& options) {
   }
   data::LeaveOneOutSplit split(workload_dataset);
   const std::vector<Index>& users = split.evaluable_users();
+  const serve::RequestOptions request_options =
+      options.engine.ToRequestOptions();
   std::vector<serve::Request> requests;
   requests.reserve(options.requests);
   for (Index i = 0; i < options.requests; ++i) {
     const Index u = users[i % users.size()];
-    requests.push_back({u, split.TestHistory(u), options.k, {}});
+    requests.push_back(
+        {u, split.TestHistory(u), options.k, {}, request_options});
   }
 
   // Sequential baseline: one Score (i.e. batch-of-one) call per request.
@@ -185,22 +172,28 @@ int Run(const ServeOptions& options) {
               static_cast<long>(baseline_n));
 
   serve::EngineConfig engine_config;
-  engine_config.num_threads = options.threads;
-  engine_config.max_batch_size = options.max_batch;
-  engine_config.batch_window_us = options.batch_window_us;
-  engine_config.cache_capacity = options.cache_capacity;
+  if (!options.engine.ToEngineConfig(&engine_config)) return 2;
+  if (options.engine.allow_degraded) {
+    // Popularity prior for degraded fallbacks: training interaction
+    // counts of the workload dataset, exactly what models::PopRec ranks.
+    std::vector<float> popularity(workload_dataset.num_items, 0.0f);
+    for (Index u = 0; u < split.num_users(); ++u) {
+      for (Index item : split.TrainSequence(u)) popularity[item] += 1.0f;
+    }
+    engine_config.fallback_scores = std::move(popularity);
+  }
   serve::ServingEngine engine(*loaded.model, loaded.dataset->num_items,
                               engine_config);
 
   // Fire the whole workload asynchronously so the batch window has
   // concurrent traffic to coalesce, then harvest.
   engine.ResetStats();
-  std::vector<std::future<serve::Recommendation>> futures;
+  std::vector<std::future<Outcome<serve::Recommendation>>> futures;
   futures.reserve(requests.size());
   for (const serve::Request& request : requests) {
     futures.push_back(engine.RecommendAsync(request));
   }
-  std::vector<serve::Recommendation> responses;
+  std::vector<Outcome<serve::Recommendation>> responses;
   responses.reserve(futures.size());
   for (auto& future : futures) responses.push_back(future.get());
   const serve::ServeStats stats = engine.Stats();
@@ -208,15 +201,27 @@ int Run(const ServeOptions& options) {
   std::printf("%s\n", stats.ToTableString().c_str());
   std::printf("speedup over sequential Score: %.2fx\n",
               stats.qps / baseline_qps);
+  std::map<std::string, Index> outcome_counts;
+  for (const auto& response : responses) {
+    ++outcome_counts[std::string(StatusCodeName(response.code()))];
+  }
+  std::printf("outcomes:");
+  for (const auto& [code, count] : outcome_counts) {
+    std::printf(" %s=%ld", code.c_str(), static_cast<long>(count));
+  }
+  std::printf("\n");
 
-  if (options.verify) {
-    if (options.cache_capacity > 0) {
+  if (!options.no_verify) {
+    if (options.engine.cache_capacity > 0) {
       std::printf("verify: skipped (cache on; rerun with --cache 0)\n");
       return 0;
     }
     Index mismatches = 0;
     for (Index i = 0; i < baseline_n; ++i) {
-      if (responses[i].items != baseline[i].items) ++mismatches;
+      if (!responses[i].ok() ||
+          responses[i].value().items != baseline[i].items) {
+        ++mismatches;
+      }
     }
     std::printf("verify: %ld/%ld top-%ld lists identical to sequential\n",
                 static_cast<long>(baseline_n - mismatches),
@@ -236,7 +241,8 @@ int main(int argc, char** argv) {
         stderr,
         "usage: %s --checkpoint PATH [--dataset PRESET] [--threads N]"
         " [--requests N] [--k K] [--max-batch B] [--batch-window-us W]"
-        " [--cache CAP] [--no-verify] [--metrics-json PATH]"
+        " [--cache CAP] [--no-verify] [--deadline-ms D] [--shed-watermark H]"
+        " [--allow-degraded] [--fault SPEC] [--metrics-json PATH]"
         " [--trace-out PATH]\n",
         argv[0]);
     return 2;

@@ -1,33 +1,38 @@
 #!/bin/sh
 # Builds and runs the concurrency-sensitive tests under a sanitizer.
 #
-#   tools/run_sanitized.sh [thread|address]     (default: thread)
+#   tools/run_sanitized.sh [thread|address|address+undefined]
+#                          (default: thread)
 #
 # Uses a separate build tree (build-<san>san) so the normal Release
 # build stays untouched. Exercises the thread pool, the intra-op
-# ParallelFor kernels, the serving engine, and the obs registry/trace
-# buffers — the code paths where a data race would silently break the
-# determinism contract.
+# ParallelFor kernels, the serving engine (including the v2 outcome
+# paths: deadlines, shedding, fault injection, shutdown draining), the
+# status/fault primitives, and the obs registry/trace buffers — the
+# code paths where a data race would silently break the determinism
+# contract or leave a promise unresolved.
 set -eu
 cd "$(dirname "$0")/.."
 
 san="${1:-thread}"
 case "$san" in
-  thread|address) ;;
-  *) echo "usage: $0 [thread|address]" >&2; exit 2 ;;
+  thread|address|address+undefined) ;;
+  *) echo "usage: $0 [thread|address|address+undefined]" >&2; exit 2 ;;
 esac
 
-build="build-${san}san"
+build="build-$(echo "$san" | tr -d '+')san"
 cmake -B "$build" -S . -DISREC_SANITIZE="$san" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
-cmake --build "$build" -j \
-      --target thread_pool_test parallel_ops_test serve_test obs_test
+tests="thread_pool_test parallel_ops_test lru_cache_test status_test \
+serve_test obs_test"
+# shellcheck disable=SC2086  # Word-splitting the target list is intended.
+cmake --build "$build" -j --target $tests
 
 # Death tests fork, which TSan flags as a potential deadlock; they are
 # covered by the regular build, so skip them here.
 filter='-*DeathTest*'
 status=0
-for t in thread_pool_test parallel_ops_test serve_test obs_test; do
+for t in $tests; do
   echo "== $san sanitizer: $t =="
   "$build/tests/$t" --gtest_filter="$filter" || status=1
 done
