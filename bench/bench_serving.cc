@@ -11,16 +11,22 @@
 // ScoreBatch forward instead of B per-request forwards); multi-core
 // machines additionally overlap batches across workers.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/isrec.h"
 #include "data/split.h"
 #include "data/synthetic.h"
+#include "obs/admin_server.h"
+#include "obs/http.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/engine.h"
 #include "utils/stopwatch.h"
 #include "utils/table.h"
@@ -39,6 +45,27 @@ struct GridResult {
   serve::ServeStats stats;
   bool identical = false;
 };
+
+/// Drives `requests` through a fresh engine at the default online
+/// configuration {4, 32, 500} and returns the measured qps. Shared by
+/// the admin-plane A/B below so both arms run identical code.
+double RunDefaultConfigQps(core::IsrecModel& model,
+                           const data::Dataset& dataset,
+                           const std::vector<serve::Request>& requests) {
+  serve::EngineConfig engine_config;
+  engine_config.num_threads = 4;
+  engine_config.max_batch_size = 32;
+  engine_config.batch_window_us = 500;
+  serve::ServingEngine engine(model, dataset.num_items, engine_config);
+  engine.ResetStats();
+  std::vector<std::future<Outcome<serve::Recommendation>>> futures;
+  futures.reserve(requests.size());
+  for (const serve::Request& request : requests) {
+    futures.push_back(engine.RecommendAsync(request));
+  }
+  for (auto& future : futures) future.get();
+  return engine.Stats().qps;
+}
 
 int Run(const std::string& out_path) {
   // The engine's own registry mirror (queue depth, latency/batch-size
@@ -127,6 +154,54 @@ int Run(const std::string& out_path) {
     results.push_back(std::move(result));
   }
 
+  // A/B: the default online configuration with the admin plane off vs
+  // on — tracing + request tracing enabled and /metrics scraped at
+  // 10 Hz, the realistic "a Prometheus server is watching" deployment.
+  // The ISSUE acceptance bar is <2% throughput delta; like the
+  // bench_ops obs_overhead check this records and warns rather than
+  // hard-failing, because single-run qps deltas are noisy.
+  const double kAdminAcceptancePct = 2.0;
+  const double qps_admin_off = RunDefaultConfigQps(model, dataset, requests);
+  double qps_admin_on = 0.0;
+  {
+    obs::EnableTracing(true);
+    obs::EnableRequestTracing(true);
+    obs::AdminServer admin;
+    if (!admin.Start()) {
+      std::fprintf(stderr, "cannot start admin server for the A/B\n");
+      return 1;
+    }
+    std::atomic<bool> stop_scraper{false};
+    std::thread scraper([&] {
+      while (!stop_scraper.load()) {
+        int status = 0;
+        std::string body;
+        obs::HttpGet("127.0.0.1", admin.port(), "/metrics", &status, &body);
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    });
+    qps_admin_on = RunDefaultConfigQps(model, dataset, requests);
+    stop_scraper.store(true);
+    scraper.join();
+    admin.Stop();
+    obs::EnableRequestTracing(false);
+    obs::EnableTracing(false);
+  }
+  const double admin_delta_pct =
+      qps_admin_off > 0.0
+          ? (qps_admin_off - qps_admin_on) / qps_admin_off * 100.0
+          : 0.0;
+  const bool admin_within = admin_delta_pct < kAdminAcceptancePct;
+  std::printf(
+      "admin plane A/B (4 threads, batch 32, 10 Hz scrape): "
+      "off %.1f qps, on %.1f qps, delta %.2f%%\n",
+      qps_admin_off, qps_admin_on, admin_delta_pct);
+  if (!admin_within) {
+    std::printf("WARNING: admin overhead %.2f%% exceeds the %.1f%% "
+                "acceptance bar\n",
+                admin_delta_pct, kAdminAcceptancePct);
+  }
+
   Table table({"threads", "max_batch", "window_us", "qps", "p50_ms", "p95_ms",
                "p99_ms", "mean_batch", "speedup", "identical"});
   table.AddRow({"1 (sequential Score)", "-", "-", FormatFloat(baseline_qps, 1),
@@ -171,6 +246,12 @@ int Run(const std::string& out_path) {
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"admin_overhead\": {\"qps_admin_off\": %.1f, "
+               "\"qps_admin_on\": %.1f, \"delta_pct\": %.2f, "
+               "\"acceptance_pct\": %.1f, \"within_acceptance\": %s},\n",
+               qps_admin_off, qps_admin_on, admin_delta_pct,
+               kAdminAcceptancePct, admin_within ? "true" : "false");
   std::fprintf(out, "  \"metrics\": %s}\n", obs::DumpMetricsJson().c_str());
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());

@@ -1,0 +1,298 @@
+#include "obs/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace isrec::obs {
+namespace {
+
+// Caps one request's header block; admin requests are a few hundred
+// bytes, so anything larger is garbage or abuse.
+constexpr size_t kMaxRequestBytes = 16 * 1024;
+constexpr int kSocketTimeoutS = 5;
+
+void SetSocketTimeouts(int fd) {
+  timeval tv{};
+  tv.tv_sec = kSocketTimeoutS;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Writes all of `data`, swallowing SIGPIPE (the peer may hang up).
+bool SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default:  return "Unknown";
+  }
+}
+
+char HexNibble(char c) {
+  if (c >= '0' && c <= '9') return static_cast<char>(c - '0');
+  if (c >= 'a' && c <= 'f') return static_cast<char>(c - 'a' + 10);
+  if (c >= 'A' && c <= 'F') return static_cast<char>(c - 'A' + 10);
+  return -1;
+}
+
+std::string UrlDecode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const char hi = HexNibble(s[i + 1]);
+      const char lo = HexNibble(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(s[i] == '+' ? ' ' : s[i]);
+  }
+  return out;
+}
+
+/// Parses "GET /path?a=1&b=2 HTTP/1.1" into `out`; false on malformed
+/// request lines (no two spaces, empty path, ...).
+bool ParseRequestLine(const std::string& line, HttpRequest* out) {
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || sp2 == sp1 + 1) return false;
+  out->method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (target.empty() || target[0] != '/') return false;
+  const size_t qmark = target.find('?');
+  out->path = UrlDecode(target.substr(0, qmark));
+  if (qmark != std::string::npos) {
+    std::string qs = target.substr(qmark + 1);
+    size_t pos = 0;
+    while (pos <= qs.size()) {
+      size_t amp = qs.find('&', pos);
+      if (amp == std::string::npos) amp = qs.size();
+      const std::string pair = qs.substr(pos, amp - pos);
+      if (!pair.empty()) {
+        const size_t eq = pair.find('=');
+        if (eq == std::string::npos) {
+          out->query[UrlDecode(pair)] = "";
+        } else {
+          out->query[UrlDecode(pair.substr(0, eq))] =
+              UrlDecode(pair.substr(eq + 1));
+        }
+      }
+      pos = amp + 1;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { Stop(); }
+
+bool HttpServer::Start(const std::string& bind_address, int port,
+                       HttpHandler handler) {
+  if (listen_fd_ >= 0) return false;  // Already started.
+  handler_ = std::move(handler);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "[obs] http: socket() failed: %s\n",
+                 std::strerror(errno));
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "[obs] http: bad bind address '%s'\n",
+                 bind_address.c_str());
+    ::close(fd);
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "[obs] http: cannot bind %s:%d: %s\n",
+                 bind_address.c_str(), port, std::strerror(errno));
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 16) != 0) {
+    std::fprintf(stderr, "[obs] http: listen() failed: %s\n",
+                 std::strerror(errno));
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+  listen_fd_ = fd;
+  thread_ = std::thread([this] { ServeLoop(); });
+  return true;
+}
+
+void HttpServer::Stop() {
+  if (listen_fd_ < 0) return;
+  // shutdown() wakes the blocked accept() (which then fails and exits
+  // the loop); close after the join so the fd can't be reused while the
+  // serve thread still references it.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+void HttpServer::ServeLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // Listener shut down (EINVAL) or broken: stop serving.
+    }
+    SetSocketTimeouts(fd);
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  std::string raw;
+  char chunk[4096];
+  // Headers only — admin endpoints are GET, bodies are ignored.
+  while (raw.find("\r\n\r\n") == std::string::npos) {
+    if (raw.size() > kMaxRequestBytes) return;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // Timeout or hangup before a full request arrived.
+    }
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+
+  HttpResponse response;
+  HttpRequest request;
+  const std::string request_line = raw.substr(0, raw.find("\r\n"));
+  if (!ParseRequestLine(request_line, &request)) {
+    response.status = 400;
+    response.body = "bad request\n";
+  } else if (request.method != "GET" && request.method != "HEAD") {
+    response.status = 405;
+    response.body = "only GET is supported\n";
+  } else {
+    try {
+      response = handler_(request);
+    } catch (const std::exception& e) {
+      response = HttpResponse{};
+      response.status = 500;
+      response.body = std::string("handler error: ") + e.what() + "\n";
+    } catch (...) {
+      response = HttpResponse{};
+      response.status = 500;
+      response.body = "handler error\n";
+    }
+  }
+  if (MetricsEnabled()) {
+    static Counter& requests = GetCounter("http.requests");
+    requests.Add(1);
+  }
+
+  char header[256];
+  std::snprintf(header, sizeof(header),
+                "HTTP/1.1 %d %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n"
+                "\r\n",
+                response.status, StatusText(response.status),
+                response.content_type.c_str(), response.body.size());
+  if (!SendAll(fd, header, std::strlen(header))) return;
+  if (request.method != "HEAD") {
+    SendAll(fd, response.body.data(), response.body.size());
+  }
+}
+
+bool HttpGet(const std::string& host, int port, const std::string& target,
+             int* status, std::string* body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  SetSocketTimeouts(fd);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+
+  char request[512];
+  std::snprintf(request, sizeof(request),
+                "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n",
+                target.c_str(), host.c_str());
+  if (!SendAll(fd, request, std::strlen(request))) {
+    ::close(fd);
+    return false;
+  }
+
+  std::string raw;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.1 200 OK\r\n...\r\n\r\n<body>"
+  if (raw.rfind("HTTP/1.", 0) != 0) return false;
+  const size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) return false;
+  const int parsed_status = std::atoi(raw.c_str() + sp + 1);
+  if (parsed_status < 100) return false;
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) return false;
+  if (status != nullptr) *status = parsed_status;
+  if (body != nullptr) *body = raw.substr(header_end + 4);
+  return true;
+}
+
+}  // namespace isrec::obs

@@ -1,0 +1,81 @@
+#ifndef ISREC_OBS_HTTP_H_
+#define ISREC_OBS_HTTP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace isrec::obs {
+
+/// Minimal dependency-free HTTP/1.1 server (DESIGN.md "Admin server &
+/// request tracing"). Blocking sockets, one background accept thread,
+/// one connection served at a time, `Connection: close` on every
+/// response — deliberately the simplest thing that a browser, curl, and
+/// a Prometheus scraper can all talk to. Not a general-purpose server:
+/// it exists to expose in-process introspection endpoints.
+
+/// A parsed request line: method, path, and decoded query parameters
+/// ("/tracez?format=json" → path "/tracez", query {{"format","json"}}).
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::map<std::string, std::string> query;
+
+  /// Query value or `fallback` when the key is absent.
+  const std::string& QueryOr(const std::string& key,
+                             const std::string& fallback) const {
+    auto it = query.find(key);
+    return it == query.end() ? fallback : it->second;
+  }
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Produces the response for one request. Runs on the server thread;
+/// exceptions become a 500.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds `bind_address:port` (port 0 picks an ephemeral port, readable
+  /// afterwards via port()) and starts the accept thread. False (with a
+  /// log line) when the socket can't be bound.
+  bool Start(const std::string& bind_address, int port, HttpHandler handler);
+
+  /// Stops accepting, closes the listener, joins the thread. Idempotent.
+  void Stop();
+
+  /// The bound port; 0 before a successful Start.
+  int port() const { return port_; }
+
+ private:
+  void ServeLoop();
+  void ServeConnection(int fd);
+
+  HttpHandler handler_;
+  std::thread thread_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+};
+
+/// Blocking GET client for tests, benches, and in-process smoke checks:
+/// fetches http://host:port{target}, fills `status` and `body`. False on
+/// connect/read failure. 5s socket timeouts.
+bool HttpGet(const std::string& host, int port, const std::string& target,
+             int* status, std::string* body);
+
+}  // namespace isrec::obs
+
+#endif  // ISREC_OBS_HTTP_H_

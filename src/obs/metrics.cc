@@ -267,6 +267,16 @@ double HistogramSnapshot::Percentile(double p) const {
   return bounds.empty() ? 0.0 : bounds.back();
 }
 
+std::vector<uint64_t> HistogramSnapshot::CumulativeCounts() const {
+  std::vector<uint64_t> cumulative(counts.size(), 0);
+  uint64_t running = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    running += counts[b];
+    cumulative[b] = running;
+  }
+  return cumulative;
+}
+
 MetricsSnapshot SnapshotMetrics() {
   Registry& registry = GetRegistry();
   std::lock_guard<std::mutex> lock(registry.mutex);

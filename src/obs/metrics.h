@@ -133,6 +133,10 @@ struct HistogramSnapshot {
   /// Estimated value at quantile p in [0, 1]; 0 when empty. Values in
   /// the overflow bucket clamp to the last finite bound.
   double Percentile(double p) const;
+  /// Running totals per bucket, length counts.size(): element i is the
+  /// number of observations <= bounds[i] (last element == total_count,
+  /// the implicit +Inf bucket). The Prometheus exposition convention.
+  std::vector<uint64_t> CumulativeCounts() const;
 };
 
 struct MetricsSnapshot {

@@ -1,0 +1,98 @@
+#include "obs/rollup.h"
+
+#include <algorithm>
+
+namespace isrec::obs {
+namespace {
+
+/// counts_b - counts_a elementwise, clamped at 0 (a mid-window
+/// ResetAllMetrics makes the "newer" counts smaller; a negative delta
+/// would corrupt percentile math, an understated one only softens it).
+uint64_t ClampedDelta(uint64_t newer, uint64_t older) {
+  return newer >= older ? newer - older : 0;
+}
+
+}  // namespace
+
+void RollingAggregator::AddSample(int64_t t_ms,
+                                  const MetricsSnapshot& snapshot) {
+  Sample sample;
+  sample.t_ms = t_ms;
+  sample.counters = snapshot.counters;
+  sample.histograms = snapshot.histograms;
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.push_back(std::move(sample));
+  while (samples_.size() > capacity_) samples_.pop_front();
+}
+
+WindowView RollingAggregator::Window(double seconds) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WindowView view;
+  if (samples_.size() < 2 || seconds <= 0.0) return view;
+
+  const Sample& newest = samples_.back();
+  const int64_t cutoff_ms =
+      newest.t_ms - static_cast<int64_t>(seconds * 1000.0);
+  // Base = the oldest retained sample not older than the cutoff; when
+  // uptime is shorter than the window this is simply the oldest sample.
+  const Sample* base = &samples_.front();
+  for (const Sample& s : samples_) {
+    if (s.t_ms >= cutoff_ms) {
+      base = &s;
+      break;
+    }
+  }
+  if (base == &newest || newest.t_ms <= base->t_ms) return view;
+
+  view.valid = true;
+  view.seconds = static_cast<double>(newest.t_ms - base->t_ms) / 1000.0;
+
+  // Counters in both samples are name-sorted; merge-join them. Names
+  // only ever appear (instruments register once), so a name missing
+  // from the base sample counts from 0.
+  size_t bi = 0;
+  for (const auto& [name, value] : newest.counters) {
+    while (bi < base->counters.size() && base->counters[bi].first < name) {
+      ++bi;
+    }
+    const uint64_t before =
+        (bi < base->counters.size() && base->counters[bi].first == name)
+            ? base->counters[bi].second
+            : 0;
+    view.counter_rates.emplace_back(
+        name, static_cast<double>(ClampedDelta(value, before)) / view.seconds);
+  }
+
+  size_t hi = 0;
+  for (const HistogramSnapshot& h : newest.histograms) {
+    while (hi < base->histograms.size() && base->histograms[hi].name < h.name) {
+      ++hi;
+    }
+    const HistogramSnapshot* before =
+        (hi < base->histograms.size() && base->histograms[hi].name == h.name)
+            ? &base->histograms[hi]
+            : nullptr;
+    HistogramSnapshot delta;
+    delta.name = h.name;
+    delta.bounds = h.bounds;
+    delta.counts.resize(h.counts.size(), 0);
+    const bool comparable =
+        before != nullptr && before->counts.size() == h.counts.size();
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      delta.counts[b] =
+          ClampedDelta(h.counts[b], comparable ? before->counts[b] : 0);
+      delta.total_count += delta.counts[b];
+    }
+    delta.sum = h.sum - (comparable ? before->sum : 0.0);
+    if (delta.sum < 0.0) delta.sum = 0.0;
+    view.histograms.push_back(std::move(delta));
+  }
+  return view;
+}
+
+size_t RollingAggregator::sample_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_.size();
+}
+
+}  // namespace isrec::obs

@@ -1,0 +1,64 @@
+#ifndef ISREC_OBS_ROLLUP_H_
+#define ISREC_OBS_ROLLUP_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace isrec::obs {
+
+/// Time-windowed view over the metrics registry (DESIGN.md "Admin
+/// server & request tracing"): the admin server samples SnapshotMetrics
+/// periodically into a RollingAggregator, and /statusz renders each
+/// window as rates and windowed percentiles instead of lifetime totals.
+
+/// Deltas over one trailing window, derived from two stored samples.
+struct WindowView {
+  bool valid = false;   // False when fewer than 2 samples span the window.
+  double seconds = 0.0;  // Actual span covered (may be < the requested one).
+  /// Per-second counter increase over the window, name-sorted.
+  std::vector<std::pair<std::string, double>> counter_rates;
+  /// Per-histogram bucket-count deltas over the window; Percentile()
+  /// and Mean() on these give the window's distribution, not lifetime's.
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// Bounded ring of timestamped registry snapshots. Thread-safe: the
+/// sampler thread Adds while /statusz handlers call Window. Gauges are
+/// instantaneous and excluded (read them from a live snapshot instead).
+class RollingAggregator {
+ public:
+  /// `capacity` samples retained (default: 61 one-second samples covers
+  /// a 60 s trailing window).
+  explicit RollingAggregator(size_t capacity = 61) : capacity_(capacity) {}
+
+  /// Records `snapshot` taken at `t_ms` (any monotonic millisecond
+  /// clock; samples must be added in nondecreasing t_ms order).
+  void AddSample(int64_t t_ms, const MetricsSnapshot& snapshot);
+
+  /// The trailing window ending at the newest sample and reaching back
+  /// `seconds` (or to the oldest retained sample, whichever is nearer).
+  WindowView Window(double seconds) const;
+
+  size_t sample_count() const;
+
+ private:
+  struct Sample {
+    int64_t t_ms = 0;
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<HistogramSnapshot> histograms;
+  };
+
+  mutable std::mutex mutex_;
+  size_t capacity_;
+  std::deque<Sample> samples_;
+};
+
+}  // namespace isrec::obs
+
+#endif  // ISREC_OBS_ROLLUP_H_

@@ -8,6 +8,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace isrec::obs {
 namespace {
 
@@ -15,7 +17,16 @@ struct TraceEvent {
   const char* name;
   uint64_t start_ns;
   uint64_t dur_ns;
+  uint64_t request_id;
 };
+
+/// Overwritten ring-buffer spans, exposed in the registry so a live
+/// scrape can see trace loss without waiting for the exit export.
+void CountRingDrop() {
+  if (!MetricsEnabled()) return;
+  static Counter& dropped = GetCounter("obs.trace.dropped");
+  dropped.Add(1);
+}
 
 /// One thread's span storage. The owner appends under `mutex` (always
 /// uncontended except while an export is copying), so exports see a
@@ -38,6 +49,7 @@ struct ThreadBuffer {
     events[next] = event;
     next = (next + 1) % kTraceRingCapacity;
     ++dropped;
+    CountRingDrop();
   }
 };
 
@@ -69,6 +81,66 @@ std::vector<std::shared_ptr<ThreadBuffer>> AllBuffers() {
   TraceState& state = State();
   std::lock_guard<std::mutex> lock(state.mutex);
   return state.buffers;
+}
+
+// -- Request-timeline index ---------------------------------------------
+
+/// One slot of the bounded request_id → spans index. Sampled request ids
+/// map to slots round-robin; a newer id evicts the older occupant, and
+/// late spans for the evicted id are dropped (counted, never blocked).
+struct TimelineSlot {
+  std::mutex mutex;
+  uint64_t request_id = 0;  // 0 = empty.
+  uint64_t seq = 0;         // Claim order, for newest-first snapshots.
+  std::vector<RequestSpan> spans;
+};
+
+// Leaked for the same static-destruction reason as TraceState.
+struct RequestTraceState {
+  std::atomic<bool> enabled{false};
+  std::atomic<uint64_t> sample_every{1};
+  std::atomic<uint64_t> next_seq{1};
+  std::atomic<uint64_t> dropped{0};
+  TimelineSlot slots[kRequestTimelineSlots];
+};
+
+RequestTraceState& ReqState() {
+  static RequestTraceState* state = new RequestTraceState();
+  return *state;
+}
+
+void CountTimelineDrop() {
+  ReqState().dropped.fetch_add(1, std::memory_order_relaxed);
+  if (!MetricsEnabled()) return;
+  static Counter& dropped = GetCounter("obs.trace.request_dropped");
+  dropped.Add(1);
+}
+
+/// Indexes one completed span under `request_id`. The id is already
+/// known to be sampled; `tid` is the recording thread's trace tid.
+void IndexRequestSpan(const char* name, uint64_t start_ns, uint64_t dur_ns,
+                      uint64_t request_id, uint32_t tid) {
+  RequestTraceState& state = ReqState();
+  const uint64_t every =
+      std::max<uint64_t>(1, state.sample_every.load(std::memory_order_relaxed));
+  TimelineSlot& slot =
+      state.slots[((request_id - 1) / every) % kRequestTimelineSlots];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  if (slot.request_id != request_id) {
+    if (request_id < slot.request_id) {
+      // Late span for a request this slot already evicted.
+      CountTimelineDrop();
+      return;
+    }
+    slot.request_id = request_id;
+    slot.seq = state.next_seq.fetch_add(1, std::memory_order_relaxed);
+    slot.spans.clear();
+  }
+  if (slot.spans.size() >= kRequestTimelineSpanCap) {
+    CountTimelineDrop();
+    return;
+  }
+  slot.spans.push_back({name, start_ns, dur_ns, tid});
 }
 
 // ISREC_TRACE=path.json: tracing on from process start, chrome trace
@@ -111,15 +183,86 @@ uint64_t TraceNowNs() {
           .count());
 }
 
-void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns) {
-  LocalBuffer().Push(
-      {name, start_ns, end_ns >= start_ns ? end_ns - start_ns : 0});
+void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns,
+                uint64_t request_id) {
+  ThreadBuffer& buffer = LocalBuffer();
+  const uint64_t dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  buffer.Push({name, start_ns, dur_ns, request_id});
+  if (request_id != 0 && RequestTracingEnabled()) {
+    RequestTraceState& state = ReqState();
+    const uint64_t every = std::max<uint64_t>(
+        1, state.sample_every.load(std::memory_order_relaxed));
+    if ((request_id - 1) % every == 0) {
+      IndexRequestSpan(name, start_ns, dur_ns, request_id, buffer.tid);
+    }
+  }
 }
 
 }  // namespace internal
 
 void EnableTracing(bool on) {
   internal::g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool RequestTracingEnabled() {
+  return ReqState().enabled.load(std::memory_order_relaxed);
+}
+
+void EnableRequestTracing(bool on) {
+  ReqState().enabled.store(on, std::memory_order_relaxed);
+}
+
+void SetRequestSampleEvery(uint64_t n) {
+  ReqState().sample_every.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+}
+
+uint64_t TraceClockNs() { return internal::TraceNowNs(); }
+
+void RecordRequestSpan(const char* name, uint64_t start_ns, uint64_t end_ns,
+                       uint64_t request_id) {
+  if (!TracingEnabled() || request_id == 0) return;
+  internal::RecordSpan(name, start_ns, end_ns, request_id);
+}
+
+std::vector<RequestTimeline> SnapshotRequestTimelines() {
+  RequestTraceState& state = ReqState();
+  struct Entry {
+    uint64_t seq;
+    RequestTimeline timeline;
+  };
+  std::vector<Entry> entries;
+  for (TimelineSlot& slot : state.slots) {
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (slot.request_id == 0 || slot.spans.empty()) continue;
+    entries.push_back({slot.seq, {slot.request_id, slot.spans}});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.seq > b.seq; });
+  std::vector<RequestTimeline> out;
+  out.reserve(entries.size());
+  for (Entry& e : entries) {
+    std::stable_sort(e.timeline.spans.begin(), e.timeline.spans.end(),
+                     [](const RequestSpan& a, const RequestSpan& b) {
+                       return a.start_ns < b.start_ns;
+                     });
+    out.push_back(std::move(e.timeline));
+  }
+  return out;
+}
+
+uint64_t RequestTimelineDropped() {
+  return ReqState().dropped.load(std::memory_order_relaxed);
+}
+
+void ClearRequestTimelines() {
+  RequestTraceState& state = ReqState();
+  for (TimelineSlot& slot : state.slots) {
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    slot.request_id = 0;
+    slot.seq = 0;
+    slot.spans.clear();
+  }
+  state.dropped.store(0, std::memory_order_relaxed);
 }
 
 size_t TraceEventCount() {
@@ -176,15 +319,20 @@ std::string DumpChromeTraceJson() {
   std::string out = "{\n\"displayTimeUnit\": \"ms\",\n";
   out += "\"isrecDroppedEvents\": " + std::to_string(dropped) + ",\n";
   out += "\"traceEvents\": [";
-  char line[256];
+  char line[384];
   for (size_t i = 0; i < exported.size(); ++i) {
     const Exported& e = exported[i];
+    char args[64] = "";
+    if (e.event.request_id != 0) {
+      std::snprintf(args, sizeof(args), ", \"args\": {\"request_id\": %llu}",
+                    static_cast<unsigned long long>(e.event.request_id));
+    }
     std::snprintf(line, sizeof(line),
                   "%s\n{\"name\": \"%s\", \"cat\": \"isrec\", \"ph\": \"X\", "
-                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u%s}",
                   i == 0 ? "" : ",", e.event.name,
                   static_cast<double>(e.event.start_ns) / 1000.0,
-                  static_cast<double>(e.event.dur_ns) / 1000.0, e.tid);
+                  static_cast<double>(e.event.dur_ns) / 1000.0, e.tid, args);
     out += line;
   }
   out += "\n]\n}\n";

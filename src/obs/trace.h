@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace isrec::obs {
 
@@ -13,6 +14,12 @@ namespace isrec::obs {
 /// exportable as chrome://tracing JSON ("Trace Event Format", complete
 /// events). Controlled by ISREC_TRACE=out.json (enables tracing and
 /// writes the trace at process exit) or programmatically.
+///
+/// Spans may optionally carry a request context (a nonzero request_id,
+/// DESIGN.md "Admin server & request tracing"): such spans additionally
+/// feed a bounded per-request timeline index so a single request's
+/// enqueue→dequeue→score→respond path can be reconstructed live from
+/// the admin server's /tracez endpoint.
 ///
 /// Overhead contract: a span on the disabled path is one branch on one
 /// relaxed atomic load in the constructor and a null check in the
@@ -27,7 +34,10 @@ extern std::atomic<bool> g_tracing_enabled;
 uint64_t TraceNowNs();
 
 /// Appends one complete span to the calling thread's ring buffer.
-void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns);
+/// A nonzero request_id tags the span with its request context (and,
+/// when request tracing is on, indexes it into the request timelines).
+void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns,
+                uint64_t request_id = 0);
 }  // namespace internal
 
 /// True when span recording is on.
@@ -39,15 +49,18 @@ inline bool TracingEnabled() {
 void EnableTracing(bool on);
 
 /// RAII span. `name` must have static storage duration (string literal):
-/// the buffer stores the pointer, not a copy.
+/// the buffer stores the pointer, not a copy. A nonzero `request_id`
+/// attaches the span to that request's timeline (see RecordRequestSpan).
 class ScopedSpan {
  public:
-  explicit ScopedSpan(const char* name)
+  explicit ScopedSpan(const char* name, uint64_t request_id = 0)
       : name_(TracingEnabled() ? name : nullptr),
-        start_ns_(name_ != nullptr ? internal::TraceNowNs() : 0) {}
+        start_ns_(name_ != nullptr ? internal::TraceNowNs() : 0),
+        request_id_(request_id) {}
   ~ScopedSpan() {
     if (name_ != nullptr) {
-      internal::RecordSpan(name_, start_ns_, internal::TraceNowNs());
+      internal::RecordSpan(name_, start_ns_, internal::TraceNowNs(),
+                           request_id_);
     }
   }
 
@@ -57,6 +70,7 @@ class ScopedSpan {
  private:
   const char* name_;
   uint64_t start_ns_;
+  uint64_t request_id_;
 };
 
 /// Events recorded per thread before the ring buffer wraps (oldest
@@ -80,6 +94,68 @@ std::string DumpChromeTraceJson();
 /// Writes DumpChromeTraceJson() to `path`; false on I/O failure.
 bool WriteChromeTrace(const std::string& path);
 
+// -- Per-request timelines ----------------------------------------------
+//
+// A bounded index from request_id to the spans recorded for it, so the
+// admin server's /tracez can reconstruct a single request's
+// enqueue→queued→score→respond path while the process runs. Capacity is
+// fixed (kRequestTimelineSlots slots of kRequestTimelineSpanCap spans,
+// per-slot mutexes): a newer sampled request evicts the older one that
+// hashes to its slot, and spans that can't be stored (evicted timeline,
+// full slot) are counted, never blocked on.
+
+/// Slots in the request-timeline index (concurrent, each own mutex).
+inline constexpr size_t kRequestTimelineSlots = 128;
+/// Max spans retained per request timeline.
+inline constexpr size_t kRequestTimelineSpanCap = 64;
+
+/// One span inside a request timeline.
+struct RequestSpan {
+  const char* name;
+  uint64_t start_ns;
+  uint64_t dur_ns;
+  uint32_t tid;
+};
+
+/// All spans captured for one sampled request, in record order.
+struct RequestTimeline {
+  uint64_t request_id = 0;
+  std::vector<RequestSpan> spans;
+};
+
+/// True when request-timeline indexing is on (requires TracingEnabled()
+/// for spans to be recorded at all).
+bool RequestTracingEnabled();
+
+/// Turns request-timeline indexing on/off process-wide.
+void EnableRequestTracing(bool on);
+
+/// Index every n-th request id (ids where (id-1) % n == 0). n <= 1
+/// samples every request (the default).
+void SetRequestSampleEvery(uint64_t n);
+
+/// Reads the trace clock (nanoseconds since the process trace epoch).
+/// For callers that need to split one region into multiple spans.
+uint64_t TraceClockNs();
+
+/// Records a completed span for `request_id`: always into the calling
+/// thread's ring buffer (like ISREC_TRACE_SPAN), and additionally into
+/// the request-timeline index when request tracing is on and the id is
+/// sampled. No-op when tracing is disabled or request_id is 0.
+void RecordRequestSpan(const char* name, uint64_t start_ns, uint64_t end_ns,
+                       uint64_t request_id);
+
+/// Copies the currently indexed timelines, newest request first. Spans
+/// within a timeline are sorted by start time.
+std::vector<RequestTimeline> SnapshotRequestTimelines();
+
+/// Spans that could not be indexed since the last Clear (timeline
+/// evicted, span cap reached, or unsampled slot conflict).
+uint64_t RequestTimelineDropped();
+
+/// Empties the timeline index and zeroes the dropped counter.
+void ClearRequestTimelines();
+
 }  // namespace isrec::obs
 
 #define ISREC_OBS_CONCAT_INNER(a, b) a##b
@@ -89,5 +165,11 @@ bool WriteChromeTrace(const std::string& path);
 /// literal).
 #define ISREC_TRACE_SPAN(name) \
   ::isrec::obs::ScopedSpan ISREC_OBS_CONCAT(isrec_trace_span_, __LINE__)(name)
+
+/// Same, tagged with a request id so the span joins that request's
+/// timeline (admin /tracez).
+#define ISREC_TRACE_SPAN_REQ(name, request_id)                             \
+  ::isrec::obs::ScopedSpan ISREC_OBS_CONCAT(isrec_trace_span_, __LINE__)( \
+      name, request_id)
 
 #endif  // ISREC_OBS_TRACE_H_

@@ -1,10 +1,12 @@
 #include "serve/engine.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <numeric>
 #include <string>
 #include <utility>
 
+#include "obs/admin_server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "utils/check.h"
@@ -179,13 +181,19 @@ Outcome<Recommendation> ServingEngine::FailOrDegrade(const Request& request,
 
 void ServingEngine::Answer(Pending&& pending,
                            Outcome<Recommendation> outcome) {
-  stats_.RecordOutcome(outcome.code());  // No-op for kOk.
+  stats_.RecordOutcome(outcome.code());
   pending.promise.set_value(std::move(outcome));
 }
 
 std::future<Outcome<Recommendation>> ServingEngine::RecommendAsync(
     Request request) {
   const auto start = Clock::now();
+  // The request id travels through every span the pipeline emits for
+  // this request (enqueue → queued → score → respond), keying its
+  // /tracez timeline. Callers may pre-assign ids; 0 draws the next one.
+  if (request.id == 0) {
+    request.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  }
   if (Status invalid = ValidateRequest(request); !invalid.ok()) {
     Pending rejected;
     rejected.request = std::move(request);
@@ -196,6 +204,7 @@ std::future<Outcome<Recommendation>> ServingEngine::RecommendAsync(
   }
   Pending pending;
   pending.enqueued_at = start;
+  pending.trace_submit_ns = obs::TracingEnabled() ? obs::TraceClockNs() : 0;
   pending.deadline =
       request.options.deadline_ms > 0.0
           ? start + std::chrono::duration_cast<Clock::duration>(
@@ -209,11 +218,18 @@ std::future<Outcome<Recommendation>> ServingEngine::RecommendAsync(
     if (std::optional<Recommendation> hit = cache_->Get(pending.cache_key)) {
       hit->from_cache = true;
       stats_.RecordRequest(MsSince(start, Clock::now()), /*cache_hit=*/true);
+      stats_.RecordOutcome(StatusCode::kOk);
+      if (pending.trace_submit_ns != 0) {
+        obs::RecordRequestSpan("serve.req.cache_hit", pending.trace_submit_ns,
+                               obs::TraceClockNs(), request.id);
+      }
       std::promise<Outcome<Recommendation>> ready;
       ready.set_value(Outcome<Recommendation>(*std::move(hit)));
       return ready.get_future();
     }
   }
+  const uint64_t rid = request.id;
+  const uint64_t submit_ns = pending.trace_submit_ns;
   pending.request = std::move(request);
   std::future<Outcome<Recommendation>> future = pending.promise.get_future();
 
@@ -283,16 +299,28 @@ std::future<Outcome<Recommendation>> ServingEngine::RecommendAsync(
     SetQueueDepth(queue_.size());
   }
   if (shed_victim.has_value()) {
+    if (shed_victim->trace_submit_ns != 0) {
+      obs::RecordRequestSpan("serve.req.shed", shed_victim->trace_submit_ns,
+                             obs::TraceClockNs(), shed_victim->request.id);
+    }
     Outcome<Recommendation> outcome = FailOrDegrade(
         shed_victim->request, Status::Overloaded("displaced by higher-"
                                                  "priority request"));
     Answer(std::move(*shed_victim), std::move(outcome));
   }
   if (!admitted) {
+    if (submit_ns != 0) {
+      obs::RecordRequestSpan("serve.req.shed", submit_ns, obs::TraceClockNs(),
+                             rid);
+    }
     Outcome<Recommendation> outcome =
         FailOrDegrade(pending.request, std::move(reject_reason));
     Answer(std::move(pending), std::move(outcome));
     return future;
+  }
+  if (submit_ns != 0) {
+    obs::RecordRequestSpan("serve.req.enqueue", submit_ns, obs::TraceClockNs(),
+                           rid);
   }
   // Only the empty -> non-empty transition needs a wakeup: a lingering
   // worker drains the queue at its batch deadline anyway, and waking it
@@ -337,8 +365,12 @@ void ServingEngine::WorkerLoop() {
           if (!queue_.empty()) {
             Pending pending = std::move(queue_.front());
             queue_.pop_front();
-            // The clock is only read for requests that carry a deadline,
-            // so the happy path stays syscall-free here.
+            // Clocks are only read here for requests that carry a
+            // deadline or a trace context, so the happy path (no
+            // deadline, tracing off) stays syscall-free in this lock.
+            if (pending.trace_submit_ns != 0 && obs::TracingEnabled()) {
+              pending.trace_dequeue_ns = obs::TraceClockNs();
+            }
             if (pending.deadline != Clock::time_point::max() &&
                 pending.deadline <= Clock::now()) {
               expired.push_back(std::move(pending));
@@ -371,6 +403,23 @@ void ServingEngine::WorkerLoop() {
     // Producers skip the wakeup while the queue is non-empty, so hand
     // any overflow beyond this batch to a sibling worker explicitly.
     if (leftover) queue_not_empty_.notify_one();
+    if (obs::TracingEnabled()) {
+      // Per-request wait + assembly spans, outside the queue lock.
+      const uint64_t assembled_ns = obs::TraceClockNs();
+      for (const Pending& pending : expired) {
+        if (pending.trace_dequeue_ns == 0) continue;
+        obs::RecordRequestSpan("serve.req.queued", pending.trace_submit_ns,
+                               pending.trace_dequeue_ns, pending.request.id);
+      }
+      for (const Pending& pending : batch) {
+        if (pending.trace_dequeue_ns == 0) continue;
+        obs::RecordRequestSpan("serve.req.queued", pending.trace_submit_ns,
+                               pending.trace_dequeue_ns, pending.request.id);
+        obs::RecordRequestSpan("serve.req.batch_assembly",
+                               pending.trace_dequeue_ns, assembled_ns,
+                               pending.request.id);
+      }
+    }
     for (Pending& pending : expired) {
       Answer(std::move(pending),
              Outcome<Recommendation>(Status::DeadlineExceeded(
@@ -398,6 +447,11 @@ void ServingEngine::ProcessBatch(std::vector<Pending> batch) {
       hit->from_cache = true;
       stats_.RecordRequest(MsSince(pending.enqueued_at, now),
                            /*cache_hit=*/true);
+      if (pending.trace_dequeue_ns != 0) {
+        obs::RecordRequestSpan("serve.req.cache_hit",
+                               pending.trace_dequeue_ns, obs::TraceClockNs(),
+                               pending.request.id);
+      }
       Answer(std::move(pending), Outcome<Recommendation>(*std::move(hit)));
     }
     batch = std::move(misses);
@@ -416,6 +470,8 @@ void ServingEngine::ProcessBatch(std::vector<Pending> batch) {
                                   ? full_catalog_
                                   : pending.request.candidates);
   }
+  const uint64_t score_start_ns =
+      obs::TracingEnabled() ? obs::TraceClockNs() : 0;
   Outcome<std::vector<std::vector<float>>> scored = [&] {
     ISREC_TRACE_SPAN("serve.score_batch");
     try {
@@ -426,6 +482,17 @@ void ServingEngine::ProcessBatch(std::vector<Pending> batch) {
     }
     return model_.TryScoreBatch(users, histories, candidate_lists);
   }();
+  const uint64_t score_end_ns = score_start_ns != 0 ? obs::TraceClockNs() : 0;
+  if (score_end_ns != 0) {
+    // The batch is scored by one shared ScoreBatch call; every member's
+    // timeline gets the same score span (that sharing is the point of
+    // micro-batching, and /tracez should show it).
+    for (const Pending& pending : batch) {
+      if (pending.trace_submit_ns == 0) continue;
+      obs::RecordRequestSpan("serve.req.score", score_start_ns, score_end_ns,
+                             pending.request.id);
+    }
+  }
   if (!scored.has_value()) {
     // Model failure: the whole batch fails over as one — degraded
     // fallbacks where allowed, kModelError otherwise.
@@ -433,7 +500,13 @@ void ServingEngine::ProcessBatch(std::vector<Pending> batch) {
                        ? Status::ModelError("scoring returned no value")
                        : scored.status();
     for (Pending& pending : batch) {
+      const uint64_t rid = pending.request.id;
+      const bool traced = pending.trace_submit_ns != 0 && score_end_ns != 0;
       Answer(std::move(pending), FailOrDegrade(pending.request, error));
+      if (traced) {
+        obs::RecordRequestSpan("serve.req.respond", score_end_ns,
+                               obs::TraceClockNs(), rid);
+      }
     }
     return;
   }
@@ -448,6 +521,8 @@ void ServingEngine::ProcessBatch(std::vector<Pending> batch) {
   // future never observes stats missing its own request.
   stats_.RecordProcessedBatch(static_cast<Index>(batch.size()), latencies_ms);
   for (size_t i = 0; i < batch.size(); ++i) {
+    const uint64_t rid = batch[i].request.id;
+    const bool traced = batch[i].trace_submit_ns != 0 && score_end_ns != 0;
     Recommendation rec =
         TopK(scores[i], candidate_lists[i], batch[i].request.k);
     // Cache even a too-late result: it is correct, and the next
@@ -461,10 +536,60 @@ void ServingEngine::ProcessBatch(std::vector<Pending> batch) {
       Answer(std::move(batch[i]),
              Outcome<Recommendation>(
                  Status::DeadlineExceeded("scored past deadline")));
-      continue;
+    } else {
+      Answer(std::move(batch[i]), Outcome<Recommendation>(std::move(rec)));
     }
-    Answer(std::move(batch[i]), Outcome<Recommendation>(std::move(rec)));
+    if (traced) {
+      obs::RecordRequestSpan("serve.req.respond", score_end_ns,
+                             obs::TraceClockNs(), rid);
+    }
   }
+}
+
+void RegisterAdminSections(obs::AdminServer& admin, ServingEngine& engine) {
+  admin.AddVarzSection("serve_stats", [&engine] {
+    return ServeStatsJson(engine.Stats());
+  });
+  admin.AddStatuszSection("Serving", [&engine] {
+    const ServeStats stats = engine.Stats();
+    const EngineConfig& config = engine.config();
+    char line[192];
+    auto row = [&line](const char* name, const std::string& value) {
+      std::snprintf(line, sizeof(line), "<tr><td>%s</td><td>%s</td></tr>",
+                    name, value.c_str());
+      return std::string(line);
+    };
+    auto num = [&line](double v) {
+      std::snprintf(line, sizeof(line), "%.4g", v);
+      return std::string(line);
+    };
+    std::string html = "<table><tr><th>serve_stat</th><th>value</th></tr>";
+    html += row("requests", std::to_string(stats.num_requests));
+    html += row("qps", num(stats.qps));
+    html += row("p50_ms", num(stats.p50_ms));
+    html += row("p95_ms", num(stats.p95_ms));
+    html += row("p99_ms", num(stats.p99_ms));
+    html += row("mean_batch_size", num(stats.mean_batch_size));
+    html += row("cache_hit_rate", num(stats.cache_hit_rate()));
+    html += row("ok", std::to_string(stats.ok));
+    html += row("rejected", std::to_string(stats.rejected));
+    html += row("deadline_exceeded", std::to_string(stats.deadline_exceeded));
+    html += row("degraded", std::to_string(stats.degraded));
+    html += row("invalid_arguments", std::to_string(stats.invalid_arguments));
+    html += row("model_errors", std::to_string(stats.model_errors));
+    html += "</table><table><tr><th>engine config</th><th>value</th></tr>";
+    html += row("num_threads", std::to_string(config.num_threads));
+    html += row("max_batch_size", std::to_string(config.max_batch_size));
+    html += row("batch_window_us", std::to_string(config.batch_window_us));
+    html += row("queue_capacity", std::to_string(config.queue_capacity));
+    html += row("shed_high_watermark",
+                std::to_string(config.shed_high_watermark));
+    html += row("shed_low_watermark",
+                std::to_string(config.shed_low_watermark));
+    html += row("cache_capacity", std::to_string(config.cache_capacity));
+    html += "</table>";
+    return html;
+  });
 }
 
 }  // namespace isrec::serve

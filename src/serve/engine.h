@@ -1,6 +1,7 @@
 #ifndef ISREC_SERVE_ENGINE_H_
 #define ISREC_SERVE_ENGINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -16,6 +17,10 @@
 #include "serve/stats.h"
 #include "utils/status.h"
 #include "utils/thread_pool.h"
+
+namespace isrec::obs {
+class AdminServer;
+}  // namespace isrec::obs
 
 namespace isrec::serve {
 
@@ -84,6 +89,12 @@ struct Request {
   /// Candidate items to rank; empty means the full catalog.
   std::vector<Index> candidates;
   RequestOptions options;
+  /// Request id threaded through the serving pipeline for tracing
+  /// (DESIGN.md "Admin server & request tracing"): every span the
+  /// engine emits for this request carries it, so /tracez can
+  /// reconstruct the request's timeline. 0 (the default) lets the
+  /// engine assign the next id from its own monotonic sequence.
+  uint64_t id = 0;
 };
 
 struct Recommendation {
@@ -174,6 +185,10 @@ class ServingEngine {
     /// Absolute deadline; time_point::max() = none.
     std::chrono::steady_clock::time_point deadline;
     RequestKey cache_key;  // Filled only when the cache is enabled.
+    /// Trace-clock timestamps for the request's timeline spans; 0 when
+    /// tracing was off at submit (then no spans are emitted for it).
+    uint64_t trace_submit_ns = 0;
+    uint64_t trace_dequeue_ns = 0;
   };
 
   void WorkerLoop();
@@ -190,6 +205,8 @@ class ServingEngine {
   const EngineConfig config_;
   std::vector<Index> full_catalog_;
   FaultInjector fault_;
+  /// Next auto-assigned Request::id (requests arriving with id 0).
+  std::atomic<uint64_t> next_request_id_{1};
 
   // Bounded MPMC queue. Close() (from the destructor) wakes everything;
   // workers answer remaining queued requests with kOverloaded before
@@ -208,6 +225,14 @@ class ServingEngine {
   // Last member so workers die before the members they use.
   std::unique_ptr<utils::ThreadPool> pool_;
 };
+
+/// Wires `engine` into an obs::AdminServer: a "serve_stats" /varz
+/// section (the canonical ServeStatsJson) and a "Serving" /statusz
+/// section (outcome table, reservoir percentiles, shed/queue
+/// watermarks). One shared registration point, so the tool, the tests,
+/// and any future embedder expose identical surfaces. The engine must
+/// outlive the admin server — or the server must be Stop()ped first.
+void RegisterAdminSections(obs::AdminServer& admin, ServingEngine& engine);
 
 }  // namespace isrec::serve
 

@@ -55,6 +55,10 @@ obs::Histogram& BatchSizeHistogram() {
       obs::GetHistogram("serve.batch_size", obs::LinearBuckets(1.0, 1.0, 64));
   return h;
 }
+obs::Counter& OkCounter() {
+  static obs::Counter& c = obs::GetCounter("serve.ok");
+  return c;
+}
 obs::Counter& RejectedCounter() {
   static obs::Counter& c = obs::GetCounter("serve.rejected");
   return c;
@@ -152,10 +156,12 @@ void StatsRecorder::RecordProcessedBatch(
 }
 
 void StatsRecorder::RecordOutcome(StatusCode code) {
-  if (code == StatusCode::kOk) return;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     switch (code) {
+      case StatusCode::kOk:
+        ++ok_;
+        break;
       case StatusCode::kOverloaded:
         ++rejected_;
         break;
@@ -171,12 +177,13 @@ void StatsRecorder::RecordOutcome(StatusCode code) {
       case StatusCode::kModelError:
         ++model_errors_;
         break;
-      case StatusCode::kOk:
-        break;
     }
   }
   if (obs::MetricsEnabled()) {
     switch (code) {
+      case StatusCode::kOk:
+        OkCounter().Add(1);
+        break;
       case StatusCode::kOverloaded:
         RejectedCounter().Add(1);
         break;
@@ -192,8 +199,6 @@ void StatsRecorder::RecordOutcome(StatusCode code) {
       case StatusCode::kModelError:
         ModelErrorsCounter().Add(1);
         break;
-      case StatusCode::kOk:
-        break;
     }
   }
 }
@@ -207,6 +212,7 @@ void StatsRecorder::Reset() {
   cache_hits_ = 0;
   cache_misses_ = 0;
   num_batches_ = 0;
+  ok_ = 0;
   rejected_ = 0;
   deadline_exceeded_ = 0;
   degraded_ = 0;
@@ -229,6 +235,7 @@ ServeStats StatsRecorder::Snapshot() const {
     stats.cache_hits = cache_hits_;
     stats.cache_misses = cache_misses_;
     stats.num_batches = num_batches_;
+    stats.ok = ok_;
     stats.rejected = rejected_;
     stats.deadline_exceeded = deadline_exceeded_;
     stats.degraded = degraded_;
@@ -268,6 +275,7 @@ std::string ServeStats::ToTableString() const {
   table.AddRow({"cache_hits", std::to_string(cache_hits)});
   table.AddRow({"cache_misses", std::to_string(cache_misses)});
   table.AddRow({"cache_hit_rate", FormatFloat(cache_hit_rate(), 3)});
+  table.AddRow({"ok", std::to_string(ok)});
   table.AddRow({"rejected", std::to_string(rejected)});
   table.AddRow({"deadline_exceeded", std::to_string(deadline_exceeded)});
   table.AddRow({"degraded", std::to_string(degraded)});
@@ -280,6 +288,51 @@ std::string ServeStats::ToTableString() const {
                   std::to_string(batch_size_histogram[b])});
   }
   return table.ToString();
+}
+
+std::string ServeStatsJson(const ServeStats& stats) {
+  char buffer[64];
+  auto num = [&buffer](double v) {
+    std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+    return std::string(buffer);
+  };
+  std::string out = "{";
+  out += "\"requests\": " + std::to_string(stats.num_requests);
+  out += ", \"elapsed_s\": " + num(stats.elapsed_seconds);
+  out += ", \"qps\": " + num(stats.qps);
+  out += ", \"p50_ms\": " + num(stats.p50_ms);
+  out += ", \"p95_ms\": " + num(stats.p95_ms);
+  out += ", \"p99_ms\": " + num(stats.p99_ms);
+  out += ", \"batches\": " + std::to_string(stats.num_batches);
+  out += ", \"mean_batch_size\": " + num(stats.mean_batch_size);
+  out += ", \"cache_hits\": " + std::to_string(stats.cache_hits);
+  out += ", \"cache_misses\": " + std::to_string(stats.cache_misses);
+  out += ", \"cache_hit_rate\": " + num(stats.cache_hit_rate());
+  out += ", \"ok\": " + std::to_string(stats.ok);
+  out += ", \"rejected\": " + std::to_string(stats.rejected);
+  out += ", \"deadline_exceeded\": " + std::to_string(stats.deadline_exceeded);
+  out += ", \"degraded\": " + std::to_string(stats.degraded);
+  out += ", \"invalid_arguments\": " + std::to_string(stats.invalid_arguments);
+  out += ", \"model_errors\": " + std::to_string(stats.model_errors);
+  out += ", \"batch_size_histogram\": [";
+  for (size_t b = 0; b < stats.batch_size_histogram.size(); ++b) {
+    if (b > 0) out += ", ";
+    out += std::to_string(stats.batch_size_histogram[b]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string OutcomesLine(const ServeStats& stats) {
+  // Every StatusCode in declaration order, named by StatusCodeName.
+  std::string out = "outcomes:";
+  out += " OK=" + std::to_string(stats.ok);
+  out += " DEADLINE_EXCEEDED=" + std::to_string(stats.deadline_exceeded);
+  out += " OVERLOADED=" + std::to_string(stats.rejected);
+  out += " INVALID_ARGUMENT=" + std::to_string(stats.invalid_arguments);
+  out += " MODEL_ERROR=" + std::to_string(stats.model_errors);
+  out += " DEGRADED=" + std::to_string(stats.degraded);
+  return out;
 }
 
 }  // namespace isrec::serve

@@ -29,9 +29,11 @@ struct ServeStats {
   /// requests (index 0 unused).
   std::vector<uint64_t> batch_size_histogram;
 
-  /// Outcome counters of the v2 API (DESIGN.md §10): every non-ok
-  /// terminal answer bumps exactly one of these. kOk answers are the
-  /// `num_requests` above.
+  /// Outcome counters of the v2 API (DESIGN.md §10): every terminal
+  /// answer bumps exactly one of these. `ok` can differ from
+  /// `num_requests`: a scored request whose deadline expired post-score
+  /// has a recorded latency but a kDeadlineExceeded outcome.
+  uint64_t ok = 0;                  // kOk terminal answers.
   uint64_t rejected = 0;            // kOverloaded (shed or shutdown).
   uint64_t deadline_exceeded = 0;   // kDeadlineExceeded.
   uint64_t degraded = 0;            // kDegraded fallbacks served.
@@ -47,6 +49,18 @@ struct ServeStats {
   /// histogram.
   std::string ToTableString() const;
 };
+
+/// Canonical JSON rendering of a ServeStats snapshot: fixed key order,
+/// fixed float formatting. Every surface that exports serve_stats as
+/// JSON (--metrics-json files, the admin server's /varz) embeds THIS
+/// string, so the surfaces cannot drift (pinned by the parity test).
+std::string ServeStatsJson(const ServeStats& stats);
+
+/// Canonical `outcomes:` line: every StatusCode in declaration order,
+/// "outcomes: OK=.. DEADLINE_EXCEEDED=.. OVERLOADED=..
+/// INVALID_ARGUMENT=.. MODEL_ERROR=.. DEGRADED=..". The CLI harness
+/// prints this verbatim (same parity contract as ServeStatsJson).
+std::string OutcomesLine(const ServeStats& stats);
 
 /// Thread-safe accumulator the engine records into; Snapshot() computes
 /// the derived numbers (percentiles, qps) on demand.
@@ -75,11 +89,12 @@ class StatsRecorder {
   void RecordProcessedBatch(Index batch_size,
                             const std::vector<double>& latencies_ms);
 
-  /// Counts a terminal outcome code. kOk is a no-op (ok answers are
-  /// recorded by the latency paths above); every other code bumps its
-  /// dedicated counter and, when obs::MetricsEnabled(), the matching
-  /// registry counter (serve.rejected, serve.deadline_exceeded,
-  /// serve.degraded, serve.invalid_arguments, serve.model_errors).
+  /// Counts a terminal outcome code: every code (kOk included) bumps
+  /// its dedicated counter and, when obs::MetricsEnabled(), the
+  /// matching registry counter (serve.ok, serve.rejected,
+  /// serve.deadline_exceeded, serve.degraded, serve.invalid_arguments,
+  /// serve.model_errors). The engine calls this exactly once per
+  /// terminal answer, so the six counters sum to answered requests.
   void RecordOutcome(StatusCode code);
 
   /// Clears all recorded samples and restarts the measurement window.
@@ -104,6 +119,7 @@ class StatsRecorder {
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;
   uint64_t num_batches_ = 0;
+  uint64_t ok_ = 0;
   uint64_t rejected_ = 0;
   uint64_t deadline_exceeded_ = 0;
   uint64_t degraded_ = 0;

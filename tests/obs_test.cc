@@ -1,16 +1,14 @@
 // Tests for the obs subsystem: exact concurrent aggregation, histogram
-// percentile accuracy, trace export schema, the disabled-path guarantees,
-// and the headline contract — training and evaluation produce bitwise
-// identical numbers with observability on or off.
+// percentile accuracy, trace export schema, request-timeline indexing,
+// the disabled-path guarantees, and the headline contract — training and
+// evaluation produce bitwise identical numbers with observability on or
+// off.
 
 #include <gtest/gtest.h>
 
-#include <cctype>
-#include <cstdlib>
-#include <map>
 #include <string>
-#include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "data/batch.h"
@@ -20,148 +18,30 @@
 #include "models/sasrec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tests/test_json.h"
 
 namespace isrec {
 namespace {
 
+using isrec::testing::JsonParser;
+using isrec::testing::JsonValue;
+
 // RAII: leaves obs exactly as the test found it (disabled, clean).
 struct ObsGuard {
-  ObsGuard() {
-    obs::EnableMetrics(false);
-    obs::EnableTracing(false);
-    obs::ClearTrace();
-  }
+  ObsGuard() { Restore(); }
   ~ObsGuard() {
-    obs::EnableMetrics(false);
-    obs::EnableTracing(false);
-    obs::ClearTrace();
+    Restore();
     obs::ResetAllMetrics();
   }
-};
 
-// -- Minimal JSON parser (schema checks on the exporters) ---------------
-
-struct JsonValue {
-  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  bool Parse(JsonValue* out) {
-    SkipWs();
-    if (!ParseValue(out)) return false;
-    SkipWs();
-    return pos_ == text_.size();
+  static void Restore() {
+    obs::EnableMetrics(false);
+    obs::EnableTracing(false);
+    obs::EnableRequestTracing(false);
+    obs::SetRequestSampleEvery(1);
+    obs::ClearTrace();
+    obs::ClearRequestTimelines();
   }
-
- private:
-  void SkipWs() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool ParseString(std::string* out) {
-    if (!Consume('"')) return false;
-    out->clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return false;
-        out->push_back(text_[pos_++]);  // Good enough for our exporters.
-      } else {
-        out->push_back(c);
-      }
-    }
-    return false;
-  }
-
-  bool ParseValue(JsonValue* out) {
-    SkipWs();
-    if (pos_ >= text_.size()) return false;
-    const char c = text_[pos_];
-    if (c == '{') {
-      ++pos_;
-      out->kind = JsonValue::kObject;
-      SkipWs();
-      if (Consume('}')) return true;
-      for (;;) {
-        SkipWs();
-        std::string key;
-        if (!ParseString(&key)) return false;
-        SkipWs();
-        if (!Consume(':')) return false;
-        JsonValue value;
-        if (!ParseValue(&value)) return false;
-        out->object.emplace(std::move(key), std::move(value));
-        SkipWs();
-        if (Consume(',')) continue;
-        return Consume('}');
-      }
-    }
-    if (c == '[') {
-      ++pos_;
-      out->kind = JsonValue::kArray;
-      SkipWs();
-      if (Consume(']')) return true;
-      for (;;) {
-        JsonValue value;
-        if (!ParseValue(&value)) return false;
-        out->array.push_back(std::move(value));
-        SkipWs();
-        if (Consume(',')) continue;
-        return Consume(']');
-      }
-    }
-    if (c == '"') {
-      out->kind = JsonValue::kString;
-      return ParseString(&out->str);
-    }
-    if (text_.compare(pos_, 4, "true") == 0) {
-      out->kind = JsonValue::kBool;
-      out->boolean = true;
-      pos_ += 4;
-      return true;
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      out->kind = JsonValue::kBool;
-      pos_ += 5;
-      return true;
-    }
-    if (text_.compare(pos_, 4, "null") == 0) {
-      out->kind = JsonValue::kNull;
-      pos_ += 4;
-      return true;
-    }
-    char* end = nullptr;
-    const std::string buffer(text_.substr(pos_));
-    out->number = std::strtod(buffer.c_str(), &end);
-    if (end == buffer.c_str()) return false;
-    out->kind = JsonValue::kNumber;
-    pos_ += end - buffer.c_str();
-    return true;
-  }
-
-  std::string_view text_;
-  size_t pos_ = 0;
 };
 
 // -- Counters, gauges, histograms ---------------------------------------
@@ -273,6 +153,21 @@ TEST(ObsMetricsTest, OverflowBucketClampsToLastBound) {
   }
 }
 
+TEST(ObsMetricsTest, CumulativeCountsFollowPrometheusConvention) {
+  obs::HistogramSnapshot snapshot;
+  snapshot.name = "test.cumulative";
+  snapshot.bounds = {1.0, 2.0, 3.0};
+  snapshot.counts = {1, 0, 1, 1};  // Last is the overflow (+Inf) bucket.
+  snapshot.total_count = 3;
+  snapshot.sum = 13.0;
+  const std::vector<uint64_t> cumulative = snapshot.CumulativeCounts();
+  ASSERT_EQ(cumulative.size(), 4u);
+  EXPECT_EQ(cumulative[0], 1u);  // Observations <= 1.
+  EXPECT_EQ(cumulative[1], 1u);  // Observations <= 2.
+  EXPECT_EQ(cumulative[2], 2u);  // Observations <= 3.
+  EXPECT_EQ(cumulative[3], snapshot.total_count);  // +Inf bucket.
+}
+
 TEST(ObsMetricsTest, BucketGenerators) {
   const std::vector<double> exp = obs::ExponentialBuckets(1.0, 2.0, 4);
   ASSERT_EQ(exp.size(), 4u);
@@ -352,6 +247,38 @@ TEST(ObsTraceTest, RingBufferDropsOldestBeyondCapacity) {
   EXPECT_GE(obs::TraceDroppedCount(), 100u);
 }
 
+TEST(ObsTraceTest, RingDropsAreExposedAsMetricCounter) {
+  ObsGuard guard;
+  obs::EnableMetrics(true);
+  obs::EnableTracing(true);
+  obs::Counter& dropped = obs::GetCounter("obs.trace.dropped");
+  dropped.Reset();
+  const size_t n = obs::kTraceRingCapacity + 50;
+  for (size_t i = 0; i < n; ++i) {
+    ISREC_TRACE_SPAN("test.counted_flood");
+  }
+  obs::EnableTracing(false);
+  // Every wrap-around overwrite is visible to scrapers, not only to
+  // callers of TraceDroppedCount.
+  EXPECT_EQ(dropped.Value(), obs::TraceDroppedCount());
+  EXPECT_GE(dropped.Value(), 50u);
+}
+
+TEST(ObsTraceTest, DefaultSizedRunDropsNothing) {
+  ObsGuard guard;
+  obs::EnableMetrics(true);
+  obs::EnableTracing(true);
+  obs::GetCounter("obs.trace.dropped").Reset();
+  // A workload well under the ring capacity: the dropped counter must
+  // stay exactly zero (the "scraped metrics are trustworthy" contract).
+  for (int i = 0; i < 1000; ++i) {
+    ISREC_TRACE_SPAN("test.modest");
+  }
+  obs::EnableTracing(false);
+  EXPECT_EQ(obs::TraceDroppedCount(), 0u);
+  EXPECT_EQ(obs::GetCounter("obs.trace.dropped").Value(), 0u);
+}
+
 TEST(ObsTraceTest, ChromeTraceExportIsSchemaValidJson) {
   ObsGuard guard;
   obs::EnableTracing(true);
@@ -390,6 +317,165 @@ TEST(ObsTraceTest, ChromeTraceExportIsSchemaValidJson) {
   }
   EXPECT_TRUE(saw_main);
   EXPECT_TRUE(saw_other);
+}
+
+// -- Per-request timelines ----------------------------------------------
+
+TEST(ObsRequestTraceTest, RecordsAndSnapshotsTimelines) {
+  ObsGuard guard;
+  obs::EnableTracing(true);
+  obs::EnableRequestTracing(true);
+  obs::RecordRequestSpan("test.req.score", 300, 900, 7);  // Out of order.
+  obs::RecordRequestSpan("test.req.enqueue", 100, 200, 7);
+  const std::vector<obs::RequestTimeline> timelines =
+      obs::SnapshotRequestTimelines();
+  ASSERT_EQ(timelines.size(), 1u);
+  EXPECT_EQ(timelines[0].request_id, 7u);
+  ASSERT_EQ(timelines[0].spans.size(), 2u);
+  // Spans come back sorted by start time within the timeline.
+  EXPECT_STREQ(timelines[0].spans[0].name, "test.req.enqueue");
+  EXPECT_EQ(timelines[0].spans[0].start_ns, 100u);
+  EXPECT_EQ(timelines[0].spans[0].dur_ns, 100u);
+  EXPECT_STREQ(timelines[0].spans[1].name, "test.req.score");
+  EXPECT_EQ(timelines[0].spans[1].dur_ns, 600u);
+  EXPECT_EQ(obs::RequestTimelineDropped(), 0u);
+  // The spans also land in the ordinary ring buffer.
+  EXPECT_EQ(obs::TraceEventCount(), 2u);
+}
+
+TEST(ObsRequestTraceTest, MacroAttachesScopedSpanToTimeline) {
+  ObsGuard guard;
+  obs::EnableTracing(true);
+  obs::EnableRequestTracing(true);
+  {
+    ISREC_TRACE_SPAN_REQ("test.req.scoped", 9);
+  }
+  const std::vector<obs::RequestTimeline> timelines =
+      obs::SnapshotRequestTimelines();
+  ASSERT_EQ(timelines.size(), 1u);
+  EXPECT_EQ(timelines[0].request_id, 9u);
+  ASSERT_EQ(timelines[0].spans.size(), 1u);
+  EXPECT_STREQ(timelines[0].spans[0].name, "test.req.scoped");
+}
+
+TEST(ObsRequestTraceTest, RequestIdZeroAndDisabledIndexNothing) {
+  ObsGuard guard;
+  obs::EnableTracing(true);
+  obs::EnableRequestTracing(true);
+  obs::RecordRequestSpan("test.req.zero", 0, 10, 0);  // id 0: ring only.
+  EXPECT_TRUE(obs::SnapshotRequestTimelines().empty());
+  obs::EnableRequestTracing(false);
+  obs::RecordRequestSpan("test.req.off", 0, 10, 5);
+  EXPECT_TRUE(obs::SnapshotRequestTimelines().empty());
+  obs::EnableTracing(false);
+  obs::EnableRequestTracing(true);
+  obs::RecordRequestSpan("test.req.untraced", 0, 10, 6);
+  EXPECT_TRUE(obs::SnapshotRequestTimelines().empty());
+}
+
+TEST(ObsRequestTraceTest, NewerRequestEvictsSlotAndCountsDrops) {
+  ObsGuard guard;
+  obs::EnableTracing(true);
+  obs::EnableRequestTracing(true);
+  const uint64_t old_id = 1;
+  const uint64_t new_id = 1 + obs::kRequestTimelineSlots;  // Same slot.
+  obs::RecordRequestSpan("test.req.old", 0, 10, old_id);
+  obs::RecordRequestSpan("test.req.new", 20, 30, new_id);
+  // A late span for the evicted request is dropped, not mis-filed.
+  obs::RecordRequestSpan("test.req.late", 40, 50, old_id);
+  const std::vector<obs::RequestTimeline> timelines =
+      obs::SnapshotRequestTimelines();
+  ASSERT_EQ(timelines.size(), 1u);
+  EXPECT_EQ(timelines[0].request_id, new_id);
+  ASSERT_EQ(timelines[0].spans.size(), 1u);
+  EXPECT_STREQ(timelines[0].spans[0].name, "test.req.new");
+  EXPECT_GE(obs::RequestTimelineDropped(), 1u);
+}
+
+TEST(ObsRequestTraceTest, SampleEveryIndexesOnlySampledIds) {
+  ObsGuard guard;
+  obs::EnableTracing(true);
+  obs::EnableRequestTracing(true);
+  obs::SetRequestSampleEvery(4);
+  for (uint64_t id = 1; id <= 8; ++id) {
+    obs::RecordRequestSpan("test.req.sampled", id * 10, id * 10 + 5, id);
+  }
+  std::vector<obs::RequestTimeline> timelines =
+      obs::SnapshotRequestTimelines();
+  ASSERT_EQ(timelines.size(), 2u);  // Ids 1 and 5: (id-1) % 4 == 0.
+  // Newest request first.
+  EXPECT_EQ(timelines[0].request_id, 5u);
+  EXPECT_EQ(timelines[1].request_id, 1u);
+  // Unsampled ids are skipped silently — they are not drops.
+  EXPECT_EQ(obs::RequestTimelineDropped(), 0u);
+}
+
+TEST(ObsRequestTraceTest, SpanCapBoundsTimelineAndCountsOverflow) {
+  ObsGuard guard;
+  obs::EnableTracing(true);
+  obs::EnableRequestTracing(true);
+  const size_t n = obs::kRequestTimelineSpanCap + 10;
+  for (size_t i = 0; i < n; ++i) {
+    obs::RecordRequestSpan("test.req.capped", i * 10, i * 10 + 1, 3);
+  }
+  const std::vector<obs::RequestTimeline> timelines =
+      obs::SnapshotRequestTimelines();
+  ASSERT_EQ(timelines.size(), 1u);
+  EXPECT_EQ(timelines[0].spans.size(), obs::kRequestTimelineSpanCap);
+  EXPECT_EQ(obs::RequestTimelineDropped(), 10u);
+}
+
+TEST(ObsRequestTraceTest, ChromeExportTagsRequestContext) {
+  ObsGuard guard;
+  obs::EnableTracing(true);
+  obs::EnableRequestTracing(true);
+  obs::RecordRequestSpan("test.req.tagged", 10, 20, 42);
+  const std::string json = obs::DumpChromeTraceJson();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
+  const JsonValue& events = root.object["traceEvents"];
+  ASSERT_EQ(events.array.size(), 1u);
+  const JsonValue& event = events.array[0];
+  ASSERT_TRUE(event.object.count("args"));
+  const JsonValue& args = event.object.at("args");
+  ASSERT_TRUE(args.object.count("request_id"));
+  EXPECT_DOUBLE_EQ(args.object.at("request_id").number, 42.0);
+}
+
+TEST(ObsRequestTraceTest, ConcurrentRecordingKeepsTimelinesConsistent) {
+  ObsGuard guard;
+  obs::EnableTracing(true);
+  obs::EnableRequestTracing(true);
+  constexpr int kThreads = 4;
+  constexpr int kRequestsPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        const uint64_t id =
+            static_cast<uint64_t>(t) * kRequestsPerThread + i + 1;
+        obs::RecordRequestSpan("test.req.mt_a", 10, 20, id);
+        obs::RecordRequestSpan("test.req.mt_b", 30, 40, id);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Every surviving timeline is internally consistent: one id, spans
+  // from the expected set only.
+  const std::vector<obs::RequestTimeline> timelines =
+      obs::SnapshotRequestTimelines();
+  ASSERT_LE(timelines.size(), obs::kRequestTimelineSlots);
+  ASSERT_FALSE(timelines.empty());
+  for (const obs::RequestTimeline& timeline : timelines) {
+    EXPECT_GE(timeline.request_id, 1u);
+    EXPECT_LE(timeline.request_id,
+              static_cast<uint64_t>(kThreads) * kRequestsPerThread);
+    EXPECT_LE(timeline.spans.size(), 2u);
+    for (const obs::RequestSpan& span : timeline.spans) {
+      const std::string name = span.name;
+      EXPECT_TRUE(name == "test.req.mt_a" || name == "test.req.mt_b");
+    }
+  }
 }
 
 // -- The headline contract: obs never perturbs numerics -----------------

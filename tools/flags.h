@@ -154,6 +154,26 @@ struct EngineFlags {
   }
 };
 
+/// Admin-server flags shared by isrec_cli and isrec_serve:
+///
+///   --admin-port P    serve the live introspection plane
+///                     (/healthz /metrics /varz /statusz /tracez) on
+///                     127.0.0.1:P. 0 = off (the default); starting it
+///                     also enables metrics, tracing, and request
+///                     tracing so the endpoints have data.
+///   --admin-hold-s S  keep the process (and the admin server) alive S
+///                     extra seconds after the workload finishes, so a
+///                     human or a scraper can inspect the final state.
+struct AdminFlags {
+  Index admin_port = 0;
+  double admin_hold_s = 0.0;
+
+  void Register(FlagParser& parser) {
+    parser.Int("--admin-port", &admin_port);
+    parser.Double("--admin-hold-s", &admin_hold_s);
+  }
+};
+
 }  // namespace isrec::tools
 
 #endif  // ISREC_TOOLS_FLAGS_H_

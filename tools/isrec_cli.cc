@@ -30,13 +30,16 @@
 // Example:
 //   isrec_cli --model isrec --dataset beauty_sim --epochs 10 --trace-user 3
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "core/isrec.h"
 #include "data/io.h"
+#include "obs/admin_server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/checkpoint.h"
@@ -68,6 +71,7 @@ struct CliOptions {
   Index lambda = 8;
   Index intent_dim = 8;
   Index trace_user = -1;
+  tools::AdminFlags admin;
 };
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -85,6 +89,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
   parser.Int("--lambda", &options->lambda);
   parser.Int("--intent-dim", &options->intent_dim);
   parser.Int("--trace-user", &options->trace_user);
+  options->admin.Register(parser);
   return parser.Parse(argc, argv);
 }
 
@@ -161,8 +166,39 @@ struct ObsExporter {
   std::string trace_path;
 };
 
+// Holds the admin server for the process lifetime and, on destruction,
+// keeps it scrapeable for --admin-hold-s before stopping it.
+struct AdminGuard {
+  std::unique_ptr<obs::AdminServer> server;
+  double hold_s = 0.0;
+  ~AdminGuard() {
+    if (server != nullptr && hold_s > 0.0) {
+      std::printf("admin: holding for %.1f s (scrape away) ...\n", hold_s);
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::duration<double>(hold_s));
+    }
+  }
+};
+
 int Run(const CliOptions& options) {
   ObsExporter exporter(options);
+  AdminGuard admin;
+  if (options.admin.admin_port > 0) {
+    obs::EnableMetrics(true);
+    obs::EnableTracing(true);
+    obs::AdminServerConfig admin_config;
+    admin_config.port = static_cast<int>(options.admin.admin_port);
+    admin.server = std::make_unique<obs::AdminServer>(admin_config);
+    admin.server->SetBuildInfo("isrec_cli " __DATE__);
+    admin.hold_s = options.admin.admin_hold_s;
+    if (!admin.server->Start()) {
+      std::fprintf(stderr, "cannot start admin server on port %ld\n",
+                   static_cast<long>(options.admin.admin_port));
+      return 1;
+    }
+    std::printf("admin server on http://127.0.0.1:%d\n",
+                admin.server->port());
+  }
   data::Dataset dataset;
   if (!options.csv_prefix.empty()) {
     if (!data::LoadDatasetCsv(options.csv_prefix, &dataset)) {
@@ -281,7 +317,8 @@ int main(int argc, char** argv) {
                  "usage: %s [--model NAME] [--dataset PRESET | --csv PREFIX]"
                  " [--epochs N] [--seq-len N] [--embed-dim N] [--lambda N]"
                  " [--intent-dim N] [--trace-user U] [--save PATH]"
-                 " [--load PATH] [--metrics-json PATH] [--trace-out PATH]\n",
+                 " [--load PATH] [--metrics-json PATH] [--trace-out PATH]"
+                 " [--admin-port P] [--admin-hold-s S]\n",
                  argv[0]);
     return 2;
   }

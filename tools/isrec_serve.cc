@@ -21,9 +21,16 @@
 //                  (e.g. score_throw:0.01,score_delay_ms:50).
 //   --metrics-json: enable obs metrics (queue depth, latency/batch-size
 //                   histograms, outcome counters), print the metrics
-//                   table, and write the registry snapshot as JSON.
+//                   table, and write {"serve_stats": ..., "metrics": ...}
+//                   as JSON (serve_stats in the canonical ServeStatsJson
+//                   rendering shared with the admin server's /varz).
 //   --trace-out: enable obs tracing and write a chrome://tracing JSON
 //                timeline of batch assembly, lingering, and scoring.
+//   --admin-port: start the live introspection plane on 127.0.0.1:PORT
+//                 (/healthz /metrics /varz /statusz /tracez) for the
+//                 duration of the run; also enables metrics + request
+//                 tracing. --admin-hold-s keeps the server up that many
+//                 extra seconds after the workload so it can be scraped.
 //
 // The workload is built from the preset's leave-one-out test histories
 // (cycled to --requests). With verification on (default), every OK
@@ -32,14 +39,18 @@
 // fails verification (outcomes other than OK only appear when the
 // robustness flags above are in play).
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <map>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "data/split.h"
 #include "data/synthetic.h"
+#include "obs/admin_server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/checkpoint.h"
@@ -59,6 +70,7 @@ struct ServeOptions {
   Index k = 10;
   bool no_verify = false;
   tools::EngineFlags engine;
+  tools::AdminFlags admin;
 };
 
 bool ParseArgs(int argc, char** argv, ServeOptions* options) {
@@ -71,6 +83,7 @@ bool ParseArgs(int argc, char** argv, ServeOptions* options) {
   parser.Int("--k", &options->k);
   parser.Bool("--no-verify", &options->no_verify);
   options->engine.Register(parser);
+  options->admin.Register(parser);
   if (!parser.Parse(argc, argv)) return false;
   return !options->checkpoint.empty();
 }
@@ -87,7 +100,21 @@ struct ObsExporter {
   ~ObsExporter() {
     if (!metrics_path.empty()) {
       std::printf("%s", obs::DumpMetricsTable().c_str());
-      if (obs::WriteMetricsJson(metrics_path)) {
+      // With a serve_stats snapshot attached, the file is a combined
+      // {"serve_stats": ..., "metrics": ...} object whose serve_stats
+      // is the SAME ServeStatsJson string the admin /varz embeds (the
+      // parity contract of the three surfaces).
+      const std::string json =
+          serve_stats_json.empty()
+              ? obs::DumpMetricsJson()
+              : "{\n\"serve_stats\": " + serve_stats_json +
+                    ",\n\"metrics\": " + obs::DumpMetricsJson() + "}\n";
+      bool written = false;
+      if (std::FILE* f = std::fopen(metrics_path.c_str(), "w")) {
+        written = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+        written = (std::fclose(f) == 0) && written;
+      }
+      if (written) {
         std::printf("metrics written to %s\n", metrics_path.c_str());
       } else {
         std::fprintf(stderr, "cannot write metrics to %s\n",
@@ -106,10 +133,40 @@ struct ObsExporter {
   }
   std::string metrics_path;
   std::string trace_path;
+  std::string serve_stats_json;  // Set by Run() once stats are final.
 };
 
 int Run(const ServeOptions& options) {
   ObsExporter exporter(options);
+
+  // The admin server comes up FIRST — before the checkpoint loads — so
+  // /healthz answers (503: still loading) from the earliest moment an
+  // operator or orchestrator can probe it.
+  std::unique_ptr<obs::AdminServer> admin;
+  std::atomic<bool> admin_ready{false};
+  if (options.admin.admin_port > 0) {
+    obs::EnableMetrics(true);
+    obs::EnableTracing(true);
+    obs::EnableRequestTracing(true);
+    obs::AdminServerConfig admin_config;
+    admin_config.port = static_cast<int>(options.admin.admin_port);
+    admin = std::make_unique<obs::AdminServer>(admin_config);
+    admin->SetBuildInfo("isrec_serve " __DATE__);
+    admin->SetHealthProvider([&admin_ready] {
+      return admin_ready.load() ? std::make_pair(true, std::string("serving"))
+                                : std::make_pair(false,
+                                                 std::string("loading"));
+    });
+    if (!admin->Start()) {
+      std::fprintf(stderr, "cannot start admin server on port %ld\n",
+                   static_cast<long>(options.admin.admin_port));
+      return 1;
+    }
+    std::printf("admin server on http://127.0.0.1:%d (healthz metrics varz "
+                "statusz tracez)\n",
+                admin->port());
+  }
+
   serve::ServableModel loaded = serve::LoadCheckpoint(options.checkpoint);
   if (loaded.model == nullptr) {
     std::fprintf(stderr, "cannot load checkpoint %s\n",
@@ -184,6 +241,10 @@ int Run(const ServeOptions& options) {
   }
   serve::ServingEngine engine(*loaded.model, loaded.dataset->num_items,
                               engine_config);
+  if (admin != nullptr) {
+    serve::RegisterAdminSections(*admin, engine);
+    admin_ready.store(true);
+  }
 
   // Fire the whole workload asynchronously so the batch window has
   // concurrent traffic to coalesce, then harvest.
@@ -201,15 +262,22 @@ int Run(const ServeOptions& options) {
   std::printf("%s\n", stats.ToTableString().c_str());
   std::printf("speedup over sequential Score: %.2fx\n",
               stats.qps / baseline_qps);
-  std::map<std::string, Index> outcome_counts;
-  for (const auto& response : responses) {
-    ++outcome_counts[std::string(StatusCodeName(response.code()))];
+  // The canonical outcomes line (serve::OutcomesLine) — the same
+  // counters /varz and --metrics-json render, from the same snapshot.
+  std::printf("%s\n", serve::OutcomesLine(stats).c_str());
+  exporter.serve_stats_json = serve::ServeStatsJson(stats);
+
+  if (admin != nullptr) {
+    if (options.admin.admin_hold_s > 0.0) {
+      std::printf("admin: holding for %.1f s (scrape away) ...\n",
+                  options.admin.admin_hold_s);
+      std::fflush(stdout);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(options.admin.admin_hold_s));
+    }
+    // Stop BEFORE the engine can die: the admin sections capture it.
+    admin->Stop();
   }
-  std::printf("outcomes:");
-  for (const auto& [code, count] : outcome_counts) {
-    std::printf(" %s=%ld", code.c_str(), static_cast<long>(count));
-  }
-  std::printf("\n");
 
   if (!options.no_verify) {
     if (options.engine.cache_capacity > 0) {
@@ -243,7 +311,7 @@ int main(int argc, char** argv) {
         " [--requests N] [--k K] [--max-batch B] [--batch-window-us W]"
         " [--cache CAP] [--no-verify] [--deadline-ms D] [--shed-watermark H]"
         " [--allow-degraded] [--fault SPEC] [--metrics-json PATH]"
-        " [--trace-out PATH]\n",
+        " [--trace-out PATH] [--admin-port P] [--admin-hold-s S]\n",
         argv[0]);
     return 2;
   }
