@@ -10,7 +10,18 @@
 // core the entire speedup comes from micro-batching amortization (one
 // ScoreBatch forward instead of B per-request forwards); multi-core
 // machines additionally overlap batches across workers.
+//
+// --router switches to the sharded-tier benchmark (DESIGN.md §11):
+// aggregate QPS + client-observed p50/p99 through isrec_router over 4
+// in-process replicas vs the same HTTP workload against one replica
+// directly, plus a drain-under-load pass whose outcome counts prove the
+// zero-drop property at benchmark concurrency. Writes BENCH_router.json
+// (override with --out PATH). On one hardware core the router arm pays
+// an extra HTTP hop and JSON round-trip with no extra compute to win,
+// so the interesting numbers are the overhead and the drain outcomes,
+// not a speedup.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -27,7 +38,10 @@
 #include "obs/http.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "router/router.h"
 #include "serve/engine.h"
+#include "serve/recommend_http.h"
+#include "utils/json.h"
 #include "utils/stopwatch.h"
 #include "utils/table.h"
 
@@ -262,13 +276,334 @@ int Run(const std::string& out_path) {
   return 0;
 }
 
+// -- Sharded-tier benchmark (--router) -------------------------------------
+
+/// Client-observed aggregate over one HTTP workload.
+struct HttpLoadStats {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  long ok = 0;
+  long failed = 0;  // Transport failures + any non-value protocol status.
+};
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t index = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+/// Fans `requests` round-robin over `num_clients` threads, each POSTing
+/// to http://127.0.0.1:port/recommend with its own connection-per-request
+/// HttpClient (the protocol's actual wire path, not an in-process
+/// shortcut), and aggregates client-observed latency and outcomes.
+HttpLoadStats DriveHttpLoad(int port,
+                            const std::vector<serve::Request>& requests,
+                            int num_clients) {
+  std::vector<std::vector<double>> latencies(num_clients);
+  std::vector<long> ok(num_clients, 0);
+  std::vector<long> failed(num_clients, 0);
+  Stopwatch wall;
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      obs::HttpClient client;
+      for (size_t i = c; i < requests.size();
+           i += static_cast<size_t>(num_clients)) {
+        Stopwatch sw;
+        const obs::HttpClient::Result result =
+            client.Post("127.0.0.1", port, "/recommend", "application/json",
+                        serve::RecommendRequestToJson(requests[i]));
+        latencies[c].push_back(sw.ElapsedSeconds() * 1000.0);
+        serve::RecommendResponse response;
+        std::string error;
+        if (result.ok &&
+            serve::RecommendResponseFromJson(result.body, &response, &error) &&
+            response.has_value) {
+          ++ok[c];
+        } else {
+          ++failed[c];
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double wall_s = wall.ElapsedSeconds();
+
+  HttpLoadStats stats;
+  std::vector<double> all;
+  for (int c = 0; c < num_clients; ++c) {
+    stats.ok += ok[c];
+    stats.failed += failed[c];
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+  }
+  std::sort(all.begin(), all.end());
+  stats.qps = wall_s > 0.0 ? static_cast<double>(all.size()) / wall_s : 0.0;
+  stats.p50_ms = Percentile(all, 0.50);
+  stats.p99_ms = Percentile(all, 0.99);
+  return stats;
+}
+
+/// One in-process replica, assembled exactly like `isrec_serve --serve`:
+/// engine + admin server carrying POST /recommend and the /varz load
+/// signals the router's prober reads.
+struct BenchReplica {
+  std::unique_ptr<serve::ServingEngine> engine;
+  std::unique_ptr<obs::AdminServer> admin;
+
+  bool Start(core::IsrecModel& model, Index num_items) {
+    serve::EngineConfig config;
+    config.num_threads = 2;
+    config.max_batch_size = 32;
+    config.batch_window_us = 200;
+    engine = std::make_unique<serve::ServingEngine>(model, num_items, config);
+    obs::AdminServerConfig admin_config;
+    admin_config.num_workers = 4;
+    admin = std::make_unique<obs::AdminServer>(admin_config);
+    serve::RegisterAdminSections(*admin, *engine);
+    serve::RegisterRecommendEndpoint(*admin, *engine);
+    return admin->Start();
+  }
+  void Stop() {
+    if (admin != nullptr) admin->Stop();
+  }
+};
+
+void PrintDecisions(const char* label, const router::RouterDecisions& d) {
+  std::printf(
+      "%s: requests %llu forwarded %llu spilled %llu drain_rerouted %llu "
+      "down_rerouted %llu retried %llu transport_errors %llu rejected %llu "
+      "expired %llu\n",
+      label, static_cast<unsigned long long>(d.requests),
+      static_cast<unsigned long long>(d.forwarded),
+      static_cast<unsigned long long>(d.spilled),
+      static_cast<unsigned long long>(d.drain_rerouted),
+      static_cast<unsigned long long>(d.down_rerouted),
+      static_cast<unsigned long long>(d.retried),
+      static_cast<unsigned long long>(d.transport_errors),
+      static_cast<unsigned long long>(d.rejected),
+      static_cast<unsigned long long>(d.expired));
+}
+
+void DecisionsJson(std::FILE* out, const router::RouterDecisions& d) {
+  std::fprintf(out,
+               "{\"requests\": %llu, \"forwarded\": %llu, \"spilled\": %llu, "
+               "\"drain_rerouted\": %llu, \"down_rerouted\": %llu, "
+               "\"retried\": %llu, \"transport_errors\": %llu, "
+               "\"rejected\": %llu, \"expired\": %llu}",
+               static_cast<unsigned long long>(d.requests),
+               static_cast<unsigned long long>(d.forwarded),
+               static_cast<unsigned long long>(d.spilled),
+               static_cast<unsigned long long>(d.drain_rerouted),
+               static_cast<unsigned long long>(d.down_rerouted),
+               static_cast<unsigned long long>(d.retried),
+               static_cast<unsigned long long>(d.transport_errors),
+               static_cast<unsigned long long>(d.rejected),
+               static_cast<unsigned long long>(d.expired));
+}
+
+int RunRouter(const std::string& out_path) {
+  obs::EnableMetrics(true);
+  data::Dataset dataset;
+  for (const auto& preset : data::AllPresets()) {
+    if (preset.name == "beauty_sim") {
+      dataset = data::GenerateSyntheticDataset(preset);
+    }
+  }
+  data::LeaveOneOutSplit split(dataset);
+
+  core::IsrecConfig config;
+  config.seq.seq_len = 12;
+  config.seq.epochs = 1;
+  config.seq.verbose = false;
+  core::IsrecModel model(config);
+  std::printf("training %s on %s (1 epoch, %ld items)...\n",
+              model.name().c_str(), dataset.name.c_str(),
+              static_cast<long>(dataset.num_items));
+  model.Fit(dataset, split);
+  model.SetTraining(false);
+
+  const Index kRequests = 800;
+  const int kClients = 8;
+  const Index kTopK = 10;
+  const std::vector<Index>& users = split.evaluable_users();
+  std::vector<serve::Request> requests;
+  requests.reserve(kRequests);
+  for (Index i = 0; i < kRequests; ++i) {
+    const Index u = users[i % users.size()];
+    requests.push_back({u, split.TestHistory(u), kTopK, {}, {}});
+  }
+
+  // Arm 1: the same HTTP workload straight at one replica — the
+  // "single process" deployment the router tier replaces. Same wire
+  // protocol, same client, no router hop.
+  HttpLoadStats single;
+  {
+    BenchReplica replica;
+    if (!replica.Start(model, dataset.num_items)) {
+      std::fprintf(stderr, "cannot start the single-replica arm\n");
+      return 1;
+    }
+    std::printf("single replica on :%d, %ld requests x %d clients...\n",
+                replica.admin->port(), static_cast<long>(kRequests),
+                kClients);
+    single = DriveHttpLoad(replica.admin->port(), requests, kClients);
+    replica.Stop();
+  }
+
+  // Arm 2: router over four replicas, then the drain-under-load pass on
+  // the same live tier.
+  HttpLoadStats routed;
+  HttpLoadStats drain_load;
+  router::RouterDecisions steady{};
+  router::RouterDecisions final_decisions{};
+  bool drained = false;
+  bool drain_http_ok = false;
+  {
+    constexpr int kReplicas = 4;
+    BenchReplica replicas[kReplicas];
+    router::RouterConfig router_config;
+    for (int i = 0; i < kReplicas; ++i) {
+      if (!replicas[i].Start(model, dataset.num_items)) {
+        std::fprintf(stderr, "cannot start replica %d\n", i);
+        return 1;
+      }
+      router_config.replicas.push_back({"r" + std::to_string(i + 1),
+                                        "127.0.0.1",
+                                        replicas[i].admin->port()});
+    }
+    router_config.probe.period_ms = 100.0;
+    router_config.admin.num_workers = 8;
+    router::Router router(std::move(router_config));
+    if (!router.Start()) {
+      std::fprintf(stderr, "cannot start the router\n");
+      return 1;
+    }
+    for (int i = 0; i < 200 && router.table().NumRoutable() < kReplicas; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (router.table().NumRoutable() < kReplicas) {
+      std::fprintf(stderr, "replicas never became routable\n");
+      return 1;
+    }
+    std::printf("router on :%d over %d replicas, same workload...\n",
+                router.port(), kReplicas);
+    routed = DriveHttpLoad(router.port(), requests, kClients);
+    steady = router.decisions();
+
+    // Drain under load: re-issue the workload and, mid-flight, drain r1
+    // with wait_ms so the HTTP answer itself certifies in_flight hit
+    // zero. Zero-drop means every request of this pass still gets a
+    // valued answer.
+    std::printf("drain-under-load pass (drain r1 mid-workload)...\n");
+    std::thread load([&] {
+      drain_load = DriveHttpLoad(router.port(), requests, kClients);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    obs::HttpClient admin_client;
+    const obs::HttpClient::Result drain_result = admin_client.Get(
+        "127.0.0.1", router.port(), "/admin/drain?replica=r1&wait_ms=15000");
+    load.join();
+    drain_http_ok = drain_result.ok && drain_result.status == 200;
+    if (drain_http_ok) {
+      json::JsonValue body;
+      if (json::JsonParser(drain_result.body).Parse(&body)) {
+        const json::JsonValue* flag = body.Find("drained");
+        drained = flag != nullptr && flag->kind == json::JsonValue::kBool &&
+                  flag->boolean;
+      }
+    }
+    final_decisions = router.decisions();
+    router.Stop();
+    for (int i = 0; i < kReplicas; ++i) replicas[i].Stop();
+  }
+
+  const double overhead_pct =
+      single.qps > 0.0 ? (single.qps - routed.qps) / single.qps * 100.0 : 0.0;
+  Table table({"arm", "qps", "p50_ms", "p99_ms", "ok", "failed"});
+  table.AddRow({"single replica (direct HTTP)", FormatFloat(single.qps, 1),
+                FormatFloat(single.p50_ms, 2), FormatFloat(single.p99_ms, 2),
+                std::to_string(single.ok), std::to_string(single.failed)});
+  table.AddRow({"router + 4 replicas", FormatFloat(routed.qps, 1),
+                FormatFloat(routed.p50_ms, 2), FormatFloat(routed.p99_ms, 2),
+                std::to_string(routed.ok), std::to_string(routed.failed)});
+  table.AddRow({"router + 4, r1 draining", FormatFloat(drain_load.qps, 1),
+                FormatFloat(drain_load.p50_ms, 2),
+                FormatFloat(drain_load.p99_ms, 2),
+                std::to_string(drain_load.ok),
+                std::to_string(drain_load.failed)});
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("router hop overhead: %.1f%% of single-replica qps "
+              "(single core: the hop buys fault domains, not speed)\n",
+              overhead_pct);
+  PrintDecisions("steady-state decisions", steady);
+  PrintDecisions("after drain pass", final_decisions);
+  std::printf("drain answered ok: %s, drained (in_flight hit 0): %s\n",
+              drain_http_ok ? "yes" : "NO", drained ? "yes" : "NO");
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"dataset\": \"%s\",\n", dataset.name.c_str());
+  std::fprintf(out, "  \"requests\": %ld,\n  \"clients\": %d,\n  \"k\": %ld,\n",
+               static_cast<long>(kRequests), kClients,
+               static_cast<long>(kTopK));
+  std::fprintf(out,
+               "  \"single_replica\": {\"qps\": %.1f, \"p50_ms\": %.3f, "
+               "\"p99_ms\": %.3f, \"ok\": %ld, \"failed\": %ld},\n",
+               single.qps, single.p50_ms, single.p99_ms, single.ok,
+               single.failed);
+  std::fprintf(out,
+               "  \"router_4_replicas\": {\"qps\": %.1f, \"p50_ms\": %.3f, "
+               "\"p99_ms\": %.3f, \"ok\": %ld, \"failed\": %ld},\n",
+               routed.qps, routed.p50_ms, routed.p99_ms, routed.ok,
+               routed.failed);
+  std::fprintf(out, "  \"router_overhead_pct\": %.2f,\n", overhead_pct);
+  std::fprintf(out, "  \"steady_decisions\": ");
+  DecisionsJson(out, steady);
+  std::fprintf(out, ",\n");
+  std::fprintf(out,
+               "  \"drain_under_load\": {\"qps\": %.1f, \"p50_ms\": %.3f, "
+               "\"p99_ms\": %.3f, \"ok\": %ld, \"failed\": %ld, "
+               "\"drain_http_ok\": %s, \"drained\": %s, \"decisions\": ",
+               drain_load.qps, drain_load.p50_ms, drain_load.p99_ms,
+               drain_load.ok, drain_load.failed,
+               drain_http_ok ? "true" : "false", drained ? "true" : "false");
+  DecisionsJson(out, final_decisions);
+  std::fprintf(out, "}\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // The bench doubles as a correctness gate: every request of every arm
+  // must come back with a valued answer, and the drain must certify.
+  if (single.failed != 0 || routed.failed != 0 || drain_load.failed != 0) {
+    std::fprintf(stderr, "FAILED: some requests were not answered OK\n");
+    return 1;
+  }
+  if (!drain_http_ok || !drained) {
+    std::fprintf(stderr, "FAILED: drain did not certify zero in-flight\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace isrec
 
 int main(int argc, char** argv) {
-  std::string out_path = "BENCH_serving.json";
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--out") out_path = argv[i + 1];
+  bool router_mode = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--router") router_mode = true;
+    if (std::string(argv[i]) == "--out" && i + 1 < argc) {
+      out_path = argv[i + 1];
+    }
   }
-  return isrec::Run(out_path);
+  if (out_path.empty()) {
+    out_path = router_mode ? "BENCH_router.json" : "BENCH_serving.json";
+  }
+  return router_mode ? isrec::RunRouter(out_path) : isrec::Run(out_path);
 }

@@ -21,4 +21,12 @@ for b in build/bench/bench_table3_datasets build/bench/bench_table4_concepts \
   "$b" >> "$out" 2>/dev/null
   echo "" >> "$out"
 done
+# Sharded tier: router + 4 replicas vs a single replica over the same
+# HTTP workload, plus a drain-under-load pass; regenerates
+# BENCH_router.json and exits nonzero on any dropped request or an
+# uncertified drain.
+echo "##### build/bench/bench_serving --router #####" >> "$out"
+build/bench/bench_serving --router --out /root/repo/BENCH_router.json \
+  >> "$out" 2>/dev/null
+echo "" >> "$out"
 echo "ALL BENCHES DONE" >> "$out"

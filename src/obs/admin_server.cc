@@ -102,7 +102,8 @@ AdminServer::~AdminServer() { Stop(); }
 bool AdminServer::Start() {
   if (started_) return false;
   if (!http_.Start(config_.bind, config_.port,
-                   [this](const HttpRequest& r) { return Handle(r); })) {
+                   [this](const HttpRequest& r) { return Handle(r); },
+                   config_.num_workers)) {
     return false;
   }
   started_ = true;
@@ -143,6 +144,11 @@ void AdminServer::SetHealthProvider(HealthProvider provider) {
   health_ = std::move(provider);
 }
 
+void AdminServer::AddHandler(const std::string& path, HttpHandler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  handlers_.emplace_back(path, std::move(handler));
+}
+
 void AdminServer::SetBuildInfo(const std::string& info) {
   std::lock_guard<std::mutex> lock(mutex_);
   build_info_ = info;
@@ -171,6 +177,17 @@ HttpResponse AdminServer::Handle(const HttpRequest& request) {
   if (request.path == "/varz") return HandleVarz();
   if (request.path == "/statusz") return HandleStatusz();
   if (request.path == "/tracez") return HandleTracez(request);
+  HttpHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [path, h] : handlers_) {
+      if (path == request.path) {
+        handler = h;
+        break;
+      }
+    }
+  }
+  if (handler) return handler(request);
   HttpResponse response;
   response.status = 404;
   response.body = "not found: " + request.path + "\n";

@@ -35,6 +35,11 @@ struct AdminServerConfig {
   int port = 0;                      // 0 = ephemeral (see port()).
   std::string bind = "127.0.0.1";    // Loopback only by default.
   double sample_period_s = 1.0;      // Rolling-window sampling cadence.
+  /// HTTP worker threads. 1 (the default) keeps the original
+  /// one-connection-at-a-time admin behavior; data-plane embedders (a
+  /// replica's /recommend, the isrec_router front-end) raise it so slow
+  /// requests don't serialize behind each other.
+  int num_workers = 1;
 };
 
 class AdminServer {
@@ -74,6 +79,15 @@ class AdminServer {
   /// Overrides /healthz (default: healthy, "ok").
   void SetHealthProvider(HealthProvider provider);
 
+  /// Routes `path` (exact match, consulted before the built-in 404) to
+  /// `handler` — the extension point for data-plane endpoints that want
+  /// to live on the same server as the introspection plane: a replica's
+  /// POST /recommend, the router's /admin/drain. Handlers run on the
+  /// HTTP worker threads (concurrently when num_workers > 1) and must
+  /// be thread-safe. Built-in paths (/healthz, /metrics, ...) cannot be
+  /// overridden. Register before Start().
+  void AddHandler(const std::string& path, HttpHandler handler);
+
   /// One-line build/version string shown on /statusz and /varz.
   void SetBuildInfo(const std::string& info);
 
@@ -94,6 +108,7 @@ class AdminServer {
   mutable std::mutex mutex_;  // Guards the provider lists + build info.
   std::vector<std::pair<std::string, JsonProvider>> varz_sections_;
   std::vector<std::pair<std::string, HtmlProvider>> statusz_sections_;
+  std::vector<std::pair<std::string, HttpHandler>> handlers_;
   HealthProvider health_;
   std::string build_info_;
 

@@ -1,12 +1,15 @@
 #include "obs/http.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -18,14 +21,19 @@
 namespace isrec::obs {
 namespace {
 
-// Caps one request's header block; admin requests are a few hundred
-// bytes, so anything larger is garbage or abuse.
-constexpr size_t kMaxRequestBytes = 16 * 1024;
+// Caps one request's header block + body; recommend payloads are a few
+// KB of history ids, so anything larger is garbage or abuse.
+constexpr size_t kMaxRequestBytes = 256 * 1024;
 constexpr int kSocketTimeoutS = 5;
+// Accepted-but-unserved connections the server will hold before it
+// starts closing new ones (backpressure to the kernel, not unbounded
+// memory).
+constexpr size_t kMaxPendingConnections = 1024;
 
-void SetSocketTimeouts(int fd) {
+void SetSocketTimeoutsMs(int fd, int timeout_ms) {
   timeval tv{};
-  tv.tv_sec = kSocketTimeoutS;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
@@ -52,6 +60,7 @@ const char* StatusText(int status) {
     case 405: return "Method Not Allowed";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     default:  return "Unknown";
   }
 }
@@ -115,12 +124,84 @@ bool ParseRequestLine(const std::string& line, HttpRequest* out) {
   return true;
 }
 
+/// Case-insensitive "Content-Length: N" lookup within a header block;
+/// -1 when absent or malformed.
+long ContentLength(const std::string& headers) {
+  size_t pos = 0;
+  while (pos < headers.size()) {
+    size_t eol = headers.find("\r\n", pos);
+    if (eol == std::string::npos) eol = headers.size();
+    const std::string line = headers.substr(pos, eol - pos);
+    const size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string name = line.substr(0, colon);
+      for (char& c : name) c = static_cast<char>(std::tolower(c));
+      if (name == "content-length") {
+        return std::atol(line.c_str() + colon + 1);
+      }
+    }
+    pos = eol + 2;
+  }
+  return -1;
+}
+
+/// Connects to host:port with a bounded connect timeout (non-blocking
+/// connect + poll), then restores blocking mode with read/send
+/// timeouts. Returns the fd, or -1 with `error` filled.
+int ConnectWithTimeout(const std::string& host, int port,
+                       const HttpClientOptions& options, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad host '" + host + "' (IPv4 dotted quad expected)";
+    ::close(fd);
+    return -1;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      *error = std::string("connect: ") + std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, options.connect_timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc <= 0) {
+      *error = rc == 0 ? "connect timeout"
+                       : std::string("poll: ") + std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+    if (so_error != 0) {
+      *error = std::string("connect: ") + std::strerror(so_error);
+      ::close(fd);
+      return -1;
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  SetSocketTimeoutsMs(fd, options.read_timeout_ms);
+  return fd;
+}
+
 }  // namespace
 
 HttpServer::~HttpServer() { Stop(); }
 
 bool HttpServer::Start(const std::string& bind_address, int port,
-                       HttpHandler handler) {
+                       HttpHandler handler, int num_workers) {
   if (listen_fd_ >= 0) return false;  // Already started.
   handler_ = std::move(handler);
 
@@ -148,7 +229,7 @@ bool HttpServer::Start(const std::string& bind_address, int port,
     ::close(fd);
     return false;
   }
-  if (::listen(fd, 16) != 0) {
+  if (::listen(fd, 128) != 0) {
     std::fprintf(stderr, "[obs] http: listen() failed: %s\n",
                  std::strerror(errno));
     ::close(fd);
@@ -163,7 +244,13 @@ bool HttpServer::Start(const std::string& bind_address, int port,
     port_ = port;
   }
   listen_fd_ = fd;
-  thread_ = std::thread([this] { ServeLoop(); });
+  stopping_ = false;
+  const int workers = num_workers < 1 ? 1 : num_workers;
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
   return true;
 }
 
@@ -171,32 +258,82 @@ void HttpServer::Stop() {
   if (listen_fd_ < 0) return;
   // shutdown() wakes the blocked accept() (which then fails and exits
   // the loop); close after the join so the fd can't be reused while the
-  // serve thread still references it.
+  // accept thread still references it.
   ::shutdown(listen_fd_, SHUT_RDWR);
-  if (thread_.joinable()) thread_.join();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // Workers drain pending_fds_ before exiting; anything still queued
+  // (stopping_ raced an accept) is closed unanswered.
+  for (int fd : pending_fds_) ::close(fd);
+  pending_fds_.clear();
   ::close(listen_fd_);
   listen_fd_ = -1;
   port_ = 0;
 }
 
-void HttpServer::ServeLoop() {
+void HttpServer::AcceptLoop() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      return;  // Listener shut down (EINVAL) or broken: stop serving.
+      return;  // Listener shut down (EINVAL) or broken: stop accepting.
     }
-    SetSocketTimeouts(fd);
-    ServeConnection(fd);
-    ::close(fd);
+    SetSocketTimeoutsMs(fd, kSocketTimeoutS * 1000);
+    bool queued = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (pending_fds_.size() < kMaxPendingConnections) {
+        pending_fds_.push_back(fd);
+        queued = true;
+      }
+    }
+    if (queued) {
+      queue_cv_.notify_one();
+    } else {
+      ::close(fd);  // Saturated: shed at the door rather than queue forever.
+      if (MetricsEnabled()) {
+        static Counter& overflow = GetCounter("http.overflow_closed");
+        overflow.Add(1);
+      }
+    }
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return stopping_ || !pending_fds_.empty(); });
+      if (!pending_fds_.empty()) {
+        fd = pending_fds_.front();
+        pending_fds_.pop_front();
+      } else if (stopping_) {
+        return;
+      }
+    }
+    if (fd >= 0) {
+      ServeConnection(fd);
+      ::close(fd);
+    }
   }
 }
 
 void HttpServer::ServeConnection(int fd) {
   std::string raw;
   char chunk[4096];
-  // Headers only — admin endpoints are GET, bodies are ignored.
-  while (raw.find("\r\n\r\n") == std::string::npos) {
+  // Read until the full header block has arrived.
+  size_t header_end = std::string::npos;
+  while ((header_end = raw.find("\r\n\r\n")) == std::string::npos) {
     if (raw.size() > kMaxRequestBytes) return;
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n <= 0) {
@@ -209,13 +346,41 @@ void HttpServer::ServeConnection(int fd) {
   HttpResponse response;
   HttpRequest request;
   const std::string request_line = raw.substr(0, raw.find("\r\n"));
+  bool run_handler = false;
   if (!ParseRequestLine(request_line, &request)) {
     response.status = 400;
     response.body = "bad request\n";
+  } else if (request.method == "POST") {
+    // Read the Content-Length body (the rest may already be buffered).
+    const std::string headers = raw.substr(0, header_end);
+    const long content_length = ContentLength(headers);
+    const size_t body_start = header_end + 4;
+    if (content_length < 0 ||
+        static_cast<size_t>(content_length) >
+            kMaxRequestBytes) {
+      response.status = 400;
+      response.body = "POST requires a bounded Content-Length\n";
+    } else {
+      while (raw.size() - body_start <
+             static_cast<size_t>(content_length)) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) {
+          if (n < 0 && errno == EINTR) continue;
+          return;  // Body never arrived; nothing sensible to answer.
+        }
+        raw.append(chunk, static_cast<size_t>(n));
+      }
+      request.body =
+          raw.substr(body_start, static_cast<size_t>(content_length));
+      run_handler = true;
+    }
   } else if (request.method != "GET" && request.method != "HEAD") {
     response.status = 405;
-    response.body = "only GET is supported\n";
+    response.body = "only GET, HEAD, and POST are supported\n";
   } else {
+    run_handler = true;
+  }
+  if (run_handler) {
     try {
       response = handler_(request);
     } catch (const std::exception& e) {
@@ -248,28 +413,43 @@ void HttpServer::ServeConnection(int fd) {
   }
 }
 
-bool HttpGet(const std::string& host, int port, const std::string& target,
-             int* status, std::string* body) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return false;
-  SetSocketTimeouts(fd);
+HttpClient::Result HttpClient::Get(const std::string& host, int port,
+                                   const std::string& target) {
+  return Fetch(host, port, target, "GET", "", "");
+}
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
-      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return false;
+HttpClient::Result HttpClient::Post(const std::string& host, int port,
+                                    const std::string& target,
+                                    const std::string& content_type,
+                                    const std::string& request_body) {
+  return Fetch(host, port, target, "POST", content_type, request_body);
+}
+
+HttpClient::Result HttpClient::Fetch(const std::string& host, int port,
+                                     const std::string& target,
+                                     const char* method,
+                                     const std::string& content_type,
+                                     const std::string& request_body) {
+  Result result;
+  const int fd = ConnectWithTimeout(host, port, options_, &result.error);
+  if (fd < 0) return result;
+
+  std::string request = std::string(method) + " " + target +
+                        " HTTP/1.1\r\nHost: " + host +
+                        "\r\nConnection: close\r\n";
+  if (std::strcmp(method, "POST") == 0) {
+    request += "Content-Type: " +
+               (content_type.empty() ? "application/octet-stream"
+                                     : content_type) +
+               "\r\nContent-Length: " + std::to_string(request_body.size()) +
+               "\r\n";
   }
-
-  char request[512];
-  std::snprintf(request, sizeof(request),
-                "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n",
-                target.c_str(), host.c_str());
-  if (!SendAll(fd, request, std::strlen(request))) {
+  request += "\r\n";
+  request += request_body;
+  if (!SendAll(fd, request.data(), request.size())) {
+    result.error = std::string("send: ") + std::strerror(errno);
     ::close(fd);
-    return false;
+    return result;
   }
 
   std::string raw;
@@ -277,21 +457,51 @@ bool HttpGet(const std::string& host, int port, const std::string& target,
   for (;;) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;
+    if (n < 0) {
+      result.error = errno == EAGAIN || errno == EWOULDBLOCK
+                         ? "read timeout"
+                         : std::string("recv: ") + std::strerror(errno);
+      ::close(fd);
+      return result;
+    }
+    if (n == 0) break;
     raw.append(chunk, static_cast<size_t>(n));
   }
   ::close(fd);
 
   // "HTTP/1.1 200 OK\r\n...\r\n\r\n<body>"
-  if (raw.rfind("HTTP/1.", 0) != 0) return false;
+  if (raw.rfind("HTTP/1.", 0) != 0) {
+    result.error = "malformed response";
+    return result;
+  }
   const size_t sp = raw.find(' ');
-  if (sp == std::string::npos || sp + 4 > raw.size()) return false;
+  if (sp == std::string::npos || sp + 4 > raw.size()) {
+    result.error = "malformed status line";
+    return result;
+  }
   const int parsed_status = std::atoi(raw.c_str() + sp + 1);
-  if (parsed_status < 100) return false;
+  if (parsed_status < 100) {
+    result.error = "malformed status code";
+    return result;
+  }
   const size_t header_end = raw.find("\r\n\r\n");
-  if (header_end == std::string::npos) return false;
-  if (status != nullptr) *status = parsed_status;
-  if (body != nullptr) *body = raw.substr(header_end + 4);
+  if (header_end == std::string::npos) {
+    result.error = "truncated response headers";
+    return result;
+  }
+  result.ok = true;
+  result.status = parsed_status;
+  result.body = raw.substr(header_end + 4);
+  return result;
+}
+
+bool HttpGet(const std::string& host, int port, const std::string& target,
+             int* status, std::string* body) {
+  HttpClient client;
+  const HttpClient::Result result = client.Get(host, port, target);
+  if (!result.ok) return false;
+  if (status != nullptr) *status = result.status;
+  if (body != nullptr) *body = result.body;
   return true;
 }
 

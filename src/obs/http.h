@@ -1,27 +1,35 @@
 #ifndef ISREC_OBS_HTTP_H_
 #define ISREC_OBS_HTTP_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace isrec::obs {
 
 /// Minimal dependency-free HTTP/1.1 server (DESIGN.md "Admin server &
-/// request tracing"). Blocking sockets, one background accept thread,
-/// one connection served at a time, `Connection: close` on every
-/// response — deliberately the simplest thing that a browser, curl, and
-/// a Prometheus scraper can all talk to. Not a general-purpose server:
-/// it exists to expose in-process introspection endpoints.
+/// request tracing"). Blocking sockets, one background accept thread
+/// handing connections to a small worker pool (1 worker by default, so
+/// the admin plane keeps its original one-at-a-time behavior),
+/// `Connection: close` on every response — deliberately the simplest
+/// thing that a browser, curl, a Prometheus scraper, and the
+/// isrec_router data plane can all talk to. GET, HEAD, and POST (with a
+/// Content-Length body) are supported; anything else is a 405.
 
-/// A parsed request line: method, path, and decoded query parameters
-/// ("/tracez?format=json" → path "/tracez", query {{"format","json"}}).
+/// A parsed request: method, path, decoded query parameters
+/// ("/tracez?format=json" → path "/tracez", query {{"format","json"}}),
+/// and — for POST — the request body.
 struct HttpRequest {
   std::string method;
   std::string path;
   std::map<std::string, std::string> query;
+  std::string body;  // POST payload; empty for GET/HEAD.
 
   /// Query value or `fallback` when the key is absent.
   const std::string& QueryOr(const std::string& key,
@@ -37,7 +45,8 @@ struct HttpResponse {
   std::string body;
 };
 
-/// Produces the response for one request. Runs on the server thread;
+/// Produces the response for one request. Runs on a server worker
+/// thread (concurrently with other workers when num_workers > 1);
 /// exceptions become a 500.
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 
@@ -50,29 +59,86 @@ class HttpServer {
   HttpServer& operator=(const HttpServer&) = delete;
 
   /// Binds `bind_address:port` (port 0 picks an ephemeral port, readable
-  /// afterwards via port()) and starts the accept thread. False (with a
-  /// log line) when the socket can't be bound.
-  bool Start(const std::string& bind_address, int port, HttpHandler handler);
+  /// afterwards via port()) and starts the accept thread plus
+  /// max(1, num_workers) handler threads. A data-plane server (the
+  /// router, a replica's /recommend) wants several workers so slow
+  /// requests don't serialize; the admin default of 1 preserves the
+  /// original one-connection-at-a-time behavior. False (with a log
+  /// line) when the socket can't be bound.
+  bool Start(const std::string& bind_address, int port, HttpHandler handler,
+             int num_workers = 1);
 
-  /// Stops accepting, closes the listener, joins the thread. Idempotent.
+  /// Stops accepting, drains queued connections, closes the listener,
+  /// joins all threads. Idempotent.
   void Stop();
 
   /// The bound port; 0 before a successful Start.
   int port() const { return port_; }
 
  private:
-  void ServeLoop();
+  void AcceptLoop();
+  void WorkerLoop();
   void ServeConnection(int fd);
 
   HttpHandler handler_;
-  std::thread thread_;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
   int listen_fd_ = -1;
   int port_ = 0;
+
+  // Accepted fds waiting for a worker. Bounded: past the cap the accept
+  // loop closes the connection instead of queueing unboundedly (counted
+  // in obs http.overflow_closed when metrics are on).
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_fds_;
+  bool stopping_ = false;
 };
 
-/// Blocking GET client for tests, benches, and in-process smoke checks:
+/// Blocking HTTP client with per-request connect/read timeouts, used by
+/// the router's prober + forwarder and by tests/benches. One request
+/// per connection (`Connection: close`), IPv4 dotted-quad hosts only —
+/// exactly the peer the HttpServer above is.
+struct HttpClientOptions {
+  int connect_timeout_ms = 1000;
+  /// Socket receive/send timeout; also bounds how long one Fetch can
+  /// stall on a wedged peer.
+  int read_timeout_ms = 5000;
+};
+
+class HttpClient {
+ public:
+  explicit HttpClient(HttpClientOptions options = {}) : options_(options) {}
+
+  struct Result {
+    bool ok = false;        // Transport success (any HTTP status counts).
+    int status = 0;         // HTTP status when ok.
+    std::string body;
+    std::string error;      // Transport failure detail when !ok.
+  };
+
+  /// GET http://host:port{target}.
+  Result Get(const std::string& host, int port, const std::string& target);
+
+  /// POST `request_body` (with the given Content-Type) to
+  /// http://host:port{target}.
+  Result Post(const std::string& host, int port, const std::string& target,
+              const std::string& content_type,
+              const std::string& request_body);
+
+  const HttpClientOptions& options() const { return options_; }
+
+ private:
+  Result Fetch(const std::string& host, int port, const std::string& target,
+               const char* method, const std::string& content_type,
+               const std::string& request_body);
+
+  HttpClientOptions options_;
+};
+
+/// Blocking GET for tests, benches, and in-process smoke checks:
 /// fetches http://host:port{target}, fills `status` and `body`. False on
-/// connect/read failure. 5s socket timeouts.
+/// connect/read failure. Wraps HttpClient at its default (5s) timeouts.
 bool HttpGet(const std::string& host, int port, const std::string& target,
              int* status, std::string* body);
 

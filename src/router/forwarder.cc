@@ -1,0 +1,38 @@
+#include "router/forwarder.h"
+
+#include <algorithm>
+
+namespace isrec::router {
+
+ForwardResult Forwarder::Forward(const std::string& host, int port,
+                                 const serve::Request& request,
+                                 double timeout_ms) const {
+  obs::HttpClientOptions options = options_;
+  if (timeout_ms > 0.0) {
+    const int capped = std::max(1, static_cast<int>(timeout_ms));
+    options.connect_timeout_ms = std::min(options.connect_timeout_ms, capped);
+    options.read_timeout_ms = std::min(options.read_timeout_ms, capped);
+  }
+  obs::HttpClient client(options);
+  const obs::HttpClient::Result http =
+      client.Post(host, port, "/recommend", "application/json",
+                  serve::RecommendRequestToJson(request));
+  ForwardResult result;
+  if (!http.ok) {
+    result.transport_error = http.error;
+    return result;
+  }
+  std::string parse_error;
+  if (!serve::RecommendResponseFromJson(http.body, &result.response,
+                                        &parse_error)) {
+    // A peer that answers HTTP but not the protocol is as useless as a
+    // dead one — treat it as a transport failure so the router re-homes.
+    result.transport_error = "unparseable response (HTTP " +
+                             std::to_string(http.status) + "): " + parse_error;
+    return result;
+  }
+  result.answered = true;
+  return result;
+}
+
+}  // namespace isrec::router

@@ -1,0 +1,44 @@
+#ifndef ISREC_ROUTER_FORWARDER_H_
+#define ISREC_ROUTER_FORWARDER_H_
+
+#include <string>
+
+#include "obs/http.h"
+#include "serve/recommend_http.h"
+
+namespace isrec::router {
+
+/// Outcome of forwarding one recommend request to one replica.
+struct ForwardResult {
+  /// True when an HTTP exchange completed AND the body parsed as a
+  /// protocol response — the replica answered, whatever its status.
+  /// False is a transport-level failure (refused, reset, timeout,
+  /// garbage body): the router marks the replica DOWN and re-homes.
+  bool answered = false;
+  serve::RecommendResponse response;   // Valid iff answered.
+  std::string transport_error;         // Filled iff !answered.
+};
+
+/// Synchronous HTTP forwarder: serializes a Request, POSTs it to a
+/// replica's /recommend, parses the protocol response. Stateless apart
+/// from client timeouts; safe to call from many router workers at once.
+class Forwarder {
+ public:
+  explicit Forwarder(obs::HttpClientOptions options = {})
+      : options_(options) {}
+
+  /// Forwards `request` to host:port. `timeout_ms` > 0 caps both the
+  /// connect and read timeouts for this attempt (the remaining deadline
+  /// budget, plus slack, from the router); <= 0 uses the configured
+  /// client defaults.
+  ForwardResult Forward(const std::string& host, int port,
+                        const serve::Request& request,
+                        double timeout_ms = 0.0) const;
+
+ private:
+  obs::HttpClientOptions options_;
+};
+
+}  // namespace isrec::router
+
+#endif  // ISREC_ROUTER_FORWARDER_H_

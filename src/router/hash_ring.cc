@@ -1,0 +1,108 @@
+#include "router/hash_ring.h"
+
+#include <algorithm>
+
+namespace isrec::router {
+namespace {
+
+/// splitmix64 finalizer: cheap, well-mixed, and stable across platforms
+/// — the determinism of the whole placement scheme rests on it.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over the replica name, so point positions depend only on the
+/// name string (not pointer identity or insertion order).
+uint64_t HashName(const std::string& name) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+uint64_t PointHash(uint64_t name_hash, int vnode) {
+  return Mix64(name_hash ^ Mix64(static_cast<uint64_t>(vnode)));
+}
+
+}  // namespace
+
+HashRing::HashRing(int virtual_nodes)
+    : virtual_nodes_(virtual_nodes < 1 ? 1 : virtual_nodes) {}
+
+bool HashRing::AddReplica(const std::string& name) {
+  if (Contains(name)) return false;
+  replicas_.push_back(name);
+  const uint64_t name_hash = HashName(name);
+  points_.reserve(points_.size() + static_cast<size_t>(virtual_nodes_));
+  for (int vnode = 0; vnode < virtual_nodes_; ++vnode) {
+    points_.push_back(Point{PointHash(name_hash, vnode), name});
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              // Tie-break on name so placement is a total order even in
+              // the (astronomically unlikely) event of a point collision.
+              return a.hash != b.hash ? a.hash < b.hash
+                                      : a.replica < b.replica;
+            });
+  return true;
+}
+
+bool HashRing::RemoveReplica(const std::string& name) {
+  const auto it = std::find(replicas_.begin(), replicas_.end(), name);
+  if (it == replicas_.end()) return false;
+  replicas_.erase(it);
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [&name](const Point& p) {
+                                 return p.replica == name;
+                               }),
+                points_.end());
+  return true;
+}
+
+bool HashRing::Contains(const std::string& name) const {
+  return std::find(replicas_.begin(), replicas_.end(), name) !=
+         replicas_.end();
+}
+
+uint64_t HashRing::KeyForUser(Index user) {
+  // Offset keeps user 0 away from Mix64(0)'s fixed structure; any
+  // constant works as long as it never changes.
+  return Mix64(static_cast<uint64_t>(user) ^ 0x5151ec51ec0de000ULL);
+}
+
+std::string HashRing::Owner(uint64_t key) const {
+  if (points_.empty()) return "";
+  auto it = std::lower_bound(points_.begin(), points_.end(), key,
+                             [](const Point& p, uint64_t k) {
+                               return p.hash < k;
+                             });
+  if (it == points_.end()) it = points_.begin();  // Wrap around.
+  return it->replica;
+}
+
+std::vector<std::string> HashRing::Preference(uint64_t key) const {
+  std::vector<std::string> order;
+  if (points_.empty()) return order;
+  order.reserve(replicas_.size());
+  auto first = std::lower_bound(points_.begin(), points_.end(), key,
+                                [](const Point& p, uint64_t k) {
+                                  return p.hash < k;
+                                });
+  const size_t start =
+      first == points_.end() ? 0 : static_cast<size_t>(first - points_.begin());
+  for (size_t step = 0;
+       step < points_.size() && order.size() < replicas_.size(); ++step) {
+    const std::string& replica = points_[(start + step) % points_.size()].replica;
+    if (std::find(order.begin(), order.end(), replica) == order.end()) {
+      order.push_back(replica);
+    }
+  }
+  return order;
+}
+
+}  // namespace isrec::router

@@ -1,0 +1,72 @@
+#ifndef ISREC_ROUTER_HASH_RING_H_
+#define ISREC_ROUTER_HASH_RING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace isrec::router {
+
+/// Consistent hash ring with virtual nodes (DESIGN.md §11): each
+/// replica contributes `virtual_nodes` deterministic points on a 64-bit
+/// ring; a key is owned by the replica of the first point clockwise
+/// from the key's hash. Properties the router (and router_test) rely
+/// on:
+///
+///   - Deterministic: points are pure functions of (replica name, vnode
+///     index) — no wall clock, no process randomness — so placement is
+///     identical across process restarts and insertion orders.
+///   - Balanced: with >= 64 vnodes per replica, key shares stay within
+///     a small factor of fair.
+///   - Minimal movement: adding/removing a replica only moves keys
+///     whose owning point belongs to that replica; every other key
+///     keeps its owner.
+///
+/// Not thread-safe: the router mutates membership only at construction
+/// and reads concurrently afterwards (safe), or guards it with its own
+/// lock.
+class HashRing {
+ public:
+  explicit HashRing(int virtual_nodes = 128);
+
+  /// Adds `name`'s vnodes. No-op (false) when already present.
+  bool AddReplica(const std::string& name);
+
+  /// Removes `name`'s vnodes. False when absent.
+  bool RemoveReplica(const std::string& name);
+
+  bool Contains(const std::string& name) const;
+  size_t num_replicas() const { return replicas_.size(); }
+  int virtual_nodes() const { return virtual_nodes_; }
+
+  /// The ring hash of a user id — the routing key of the recommend
+  /// protocol (all of one user's requests land on one replica, so a
+  /// replica-local response cache keeps working behind the router).
+  static uint64_t KeyForUser(Index user);
+
+  /// The owning replica of `key`; empty when the ring is empty.
+  std::string Owner(uint64_t key) const;
+
+  /// Every replica in preference order for `key`: the owner first, then
+  /// each further distinct replica in ring order. The router walks this
+  /// list to re-home keys past DRAINING/DOWN replicas and to spill load
+  /// off a DEGRADED owner — the walk is what keeps re-homing
+  /// deterministic and minimal.
+  std::vector<std::string> Preference(uint64_t key) const;
+
+ private:
+  struct Point {
+    uint64_t hash;
+    std::string replica;
+  };
+
+  int virtual_nodes_;
+  std::vector<Point> points_;       // Sorted by hash.
+  std::vector<std::string> replicas_;
+};
+
+}  // namespace isrec::router
+
+#endif  // ISREC_ROUTER_HASH_RING_H_

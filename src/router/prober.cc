@@ -1,0 +1,101 @@
+#include "router/prober.h"
+
+#include <chrono>
+
+#include "utils/json.h"
+
+namespace isrec::router {
+
+Prober::Prober(ReplicaTable& table, const ProberConfig& config)
+    : table_(table),
+      config_(config),
+      client_(obs::HttpClientOptions{
+          static_cast<int>(config.connect_timeout_ms),
+          static_cast<int>(config.read_timeout_ms)}) {}
+
+Prober::~Prober() { Stop(); }
+
+void Prober::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) return;
+    running_ = true;
+    stopping_ = false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Prober::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+uint64_t Prober::sweeps() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sweeps_;
+}
+
+void Prober::Loop() {
+  const auto period = std::chrono::microseconds(
+      static_cast<int64_t>(config_.period_ms * 1000.0));
+  while (true) {
+    ProbeAllOnce();
+    std::unique_lock<std::mutex> lock(mutex_);
+    sweeps_ += 1;
+    if (cv_.wait_for(lock, period, [this] { return stopping_; })) return;
+  }
+}
+
+void Prober::ProbeAllOnce() {
+  // Snapshot identities first; probes must not hold the table lock.
+  for (const ReplicaSnapshot& replica : table_.SnapshotAll()) {
+    ProbeOne(replica.name, replica.host, replica.port);
+  }
+}
+
+void Prober::ProbeOne(const std::string& name, const std::string& host,
+                      int port) {
+  const obs::HttpClient::Result health = client_.Get(host, port, "/healthz");
+  if (!health.ok || health.status != 200) {
+    table_.ApplyProbe(name, /*healthy=*/false, 0, false,
+                      config_.degrade_queue_depth, config_.fail_threshold,
+                      health.ok ? "healthz returned " +
+                                      std::to_string(health.status)
+                                : health.error);
+    return;
+  }
+  // Liveness is good; now scrape load. A replica without a serve_stats
+  // varz section (or an unparseable /varz) still counts as healthy with
+  // zero load — liveness, not introspection, gates routability.
+  uint64_t queue_depth = 0;
+  bool shedding = false;
+  const obs::HttpClient::Result varz = client_.Get(host, port, "/varz");
+  if (varz.ok && varz.status == 200) {
+    json::JsonValue root;
+    if (json::JsonParser(varz.body).Parse(&root)) {
+      if (const json::JsonValue* stats = root.Find("serve_stats")) {
+        if (const json::JsonValue* depth = stats->Find("queue_depth")) {
+          if (depth->kind == json::JsonValue::kNumber) {
+            queue_depth = static_cast<uint64_t>(depth->number);
+          }
+        }
+        if (const json::JsonValue* shed = stats->Find("shedding")) {
+          if (shed->kind == json::JsonValue::kBool) {
+            shedding = shed->boolean;
+          }
+        }
+      }
+    }
+  }
+  table_.ApplyProbe(name, /*healthy=*/true, queue_depth, shedding,
+                    config_.degrade_queue_depth, config_.fail_threshold, "");
+}
+
+}  // namespace isrec::router

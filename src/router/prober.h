@@ -1,0 +1,73 @@
+#ifndef ISREC_ROUTER_PROBER_H_
+#define ISREC_ROUTER_PROBER_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "obs/http.h"
+#include "router/replica_table.h"
+
+namespace isrec::router {
+
+struct ProberConfig {
+  /// Delay between full probe sweeps.
+  double period_ms = 200.0;
+  /// Consecutive failed probes before a replica goes DOWN.
+  int fail_threshold = 2;
+  /// Replica-reported queue depth at which the router treats it as
+  /// DEGRADED even when it is not shedding yet.
+  uint64_t degrade_queue_depth = 64;
+  /// Probe socket timeouts. Kept tight: a probe that cannot connect in
+  /// this window is a failed probe, not a slow one.
+  double connect_timeout_ms = 250.0;
+  double read_timeout_ms = 500.0;
+};
+
+/// Background health/load poller (DESIGN.md §11): every period it
+/// sweeps all replicas, issuing GET /healthz (liveness) and GET /varz
+/// (queue_depth + shedding from the serve_stats section), and feeds the
+/// results into ReplicaTable::ApplyProbe — the only place replicas are
+/// promoted back into the serving set. Probes run without the table
+/// lock, so slow or dead replicas never stall routing.
+class Prober {
+ public:
+  Prober(ReplicaTable& table, const ProberConfig& config);
+  ~Prober();
+
+  Prober(const Prober&) = delete;
+  Prober& operator=(const Prober&) = delete;
+
+  /// Starts the probe thread. The first sweep runs immediately, so a
+  /// healthy fleet is routable roughly one probe round-trip after
+  /// Start().
+  void Start();
+
+  /// Stops and joins the probe thread. Idempotent.
+  void Stop();
+
+  /// One synchronous sweep of every replica; used by Start()'s thread
+  /// and directly by tests that want deterministic probe timing.
+  void ProbeAllOnce();
+
+  uint64_t sweeps() const;
+
+ private:
+  void Loop();
+  void ProbeOne(const std::string& name, const std::string& host, int port);
+
+  ReplicaTable& table_;
+  const ProberConfig config_;
+  obs::HttpClient client_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool running_ = false;
+  uint64_t sweeps_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace isrec::router
+
+#endif  // ISREC_ROUTER_PROBER_H_

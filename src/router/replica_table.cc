@@ -1,0 +1,243 @@
+#include "router/replica_table.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "utils/check.h"
+
+namespace isrec::router {
+
+std::string_view ReplicaStateName(ReplicaState state) {
+  switch (state) {
+    case ReplicaState::kUp:
+      return "UP";
+    case ReplicaState::kDegraded:
+      return "DEGRADED";
+    case ReplicaState::kDraining:
+      return "DRAINING";
+    case ReplicaState::kDown:
+      return "DOWN";
+  }
+  return "UNKNOWN";
+}
+
+ReplicaTable::ReplicaTable(std::vector<ReplicaConfig> replicas) {
+  entries_.reserve(replicas.size());
+  for (ReplicaConfig& config : replicas) {
+    ISREC_CHECK_MSG(FindLocked(config.name) == nullptr,
+                    "duplicate replica name: " << config.name);
+    Entry entry;
+    entry.config = std::move(config);
+    entries_.push_back(std::move(entry));
+  }
+}
+
+ReplicaTable::Entry* ReplicaTable::FindLocked(const std::string& name) {
+  for (Entry& entry : entries_) {
+    if (entry.config.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+const ReplicaTable::Entry* ReplicaTable::FindLocked(
+    const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.config.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+size_t ReplicaTable::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::vector<std::string> ReplicaTable::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& entry : entries_) names.push_back(entry.config.name);
+  return names;
+}
+
+bool ReplicaTable::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return FindLocked(name) != nullptr;
+}
+
+bool ReplicaTable::AcquireTarget(const std::vector<std::string>& preference,
+                                 const std::vector<std::string>& exclude,
+                                 ReplicaConfig* target,
+                                 AcquireDecision* decision) {
+  const auto excluded = [&exclude](const std::string& name) {
+    return std::find(exclude.begin(), exclude.end(), name) != exclude.end();
+  };
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry* first_routable = nullptr;
+  Entry* first_up = nullptr;
+  AcquireDecision skips;  // Reasons seen before the first routable choice.
+  for (const std::string& name : preference) {
+    Entry* entry = FindLocked(name);
+    if (entry == nullptr || excluded(name)) continue;
+    if (!Routable(entry->state)) {
+      if (first_routable == nullptr) {
+        if (entry->state == ReplicaState::kDraining) {
+          skips.skipped_draining = true;
+        } else {
+          skips.skipped_down = true;
+        }
+      }
+      continue;
+    }
+    if (first_routable == nullptr) first_routable = entry;
+    if (entry->state == ReplicaState::kUp) {
+      first_up = entry;
+      break;  // Nothing later can beat the first UP replica.
+    }
+  }
+  if (first_routable == nullptr) return false;
+  Entry* chosen = first_routable;
+  if (first_routable->state == ReplicaState::kDegraded &&
+      first_up != nullptr) {
+    chosen = first_up;
+    skips.spilled = true;
+  }
+  chosen->in_flight += 1;
+  chosen->forwarded += 1;
+  *target = chosen->config;
+  *decision = skips;
+  return true;
+}
+
+void ReplicaTable::ReleaseTarget(const std::string& name,
+                                 const std::string& transport_error) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry* entry = FindLocked(name);
+    ISREC_CHECK_MSG(entry != nullptr,
+                    "ReleaseTarget: unknown replica " << name);
+    ISREC_CHECK_MSG(entry->in_flight > 0,
+                    "ReleaseTarget without AcquireTarget for " << name);
+    entry->in_flight -= 1;
+    if (!transport_error.empty()) {
+      entry->transport_errors += 1;
+      entry->last_error = transport_error;
+      entry->state = ReplicaState::kDown;
+    }
+  }
+  drain_cv_.notify_all();
+}
+
+void ReplicaTable::ApplyProbe(const std::string& name, bool healthy,
+                              uint64_t queue_depth, bool shedding,
+                              uint64_t degrade_queue_depth, int fail_threshold,
+                              const std::string& error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry* entry = FindLocked(name);
+  if (entry == nullptr) return;
+  if (healthy) {
+    entry->consecutive_probe_failures = 0;
+    entry->probes_ok += 1;
+    entry->queue_depth = queue_depth;
+    entry->shedding = shedding;
+    entry->last_error.clear();
+    if (entry->state != ReplicaState::kDraining) {
+      entry->state = (shedding || queue_depth >= degrade_queue_depth)
+                         ? ReplicaState::kDegraded
+                         : ReplicaState::kUp;
+    }
+    return;
+  }
+  entry->consecutive_probe_failures += 1;
+  entry->probes_failed += 1;
+  entry->last_error = error;
+  if (entry->consecutive_probe_failures >= fail_threshold) {
+    // Including DRAINING: the drained process died or restarted, and a
+    // later healthy probe should bring the fresh process back.
+    entry->state = ReplicaState::kDown;
+  }
+}
+
+bool ReplicaTable::StartDrain(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry* entry = FindLocked(name);
+    if (entry == nullptr) return false;
+    entry->state = ReplicaState::kDraining;
+  }
+  drain_cv_.notify_all();
+  return true;
+}
+
+bool ReplicaTable::WaitDrained(const std::string& name, double timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(static_cast<int64_t>(timeout_ms * 1000.0));
+  std::unique_lock<std::mutex> lock(mutex_);
+  const Entry* entry = FindLocked(name);
+  if (entry == nullptr) return false;
+  return drain_cv_.wait_until(lock, deadline, [entry] {
+    return entry->state == ReplicaState::kDraining && entry->in_flight == 0;
+  });
+}
+
+bool ReplicaTable::Undrain(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry* entry = FindLocked(name);
+  if (entry == nullptr || entry->state != ReplicaState::kDraining) {
+    return false;
+  }
+  // DOWN, not UP: the prober owns promotion, so a replica that died
+  // while draining cannot be undrained straight into the serving set.
+  entry->state = ReplicaState::kDown;
+  entry->consecutive_probe_failures = 0;
+  return true;
+}
+
+ReplicaSnapshot ReplicaTable::SnapshotEntry(const Entry& entry) {
+  ReplicaSnapshot snapshot;
+  snapshot.name = entry.config.name;
+  snapshot.host = entry.config.host;
+  snapshot.port = entry.config.port;
+  snapshot.state = entry.state;
+  snapshot.in_flight = entry.in_flight;
+  snapshot.queue_depth = entry.queue_depth;
+  snapshot.shedding = entry.shedding;
+  snapshot.consecutive_probe_failures = entry.consecutive_probe_failures;
+  snapshot.probes_ok = entry.probes_ok;
+  snapshot.probes_failed = entry.probes_failed;
+  snapshot.forwarded = entry.forwarded;
+  snapshot.transport_errors = entry.transport_errors;
+  snapshot.last_error = entry.last_error;
+  return snapshot;
+}
+
+bool ReplicaTable::Snapshot(const std::string& name,
+                            ReplicaSnapshot* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* entry = FindLocked(name);
+  if (entry == nullptr) return false;
+  *out = SnapshotEntry(*entry);
+  return true;
+}
+
+std::vector<ReplicaSnapshot> ReplicaTable::SnapshotAll() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ReplicaSnapshot> snapshots;
+  snapshots.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    snapshots.push_back(SnapshotEntry(entry));
+  }
+  return snapshots;
+}
+
+size_t ReplicaTable::NumRoutable() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t count = 0;
+  for (const Entry& entry : entries_) {
+    if (Routable(entry.state)) ++count;
+  }
+  return count;
+}
+
+}  // namespace isrec::router

@@ -1,0 +1,161 @@
+#ifndef ISREC_ROUTER_REPLICA_TABLE_H_
+#define ISREC_ROUTER_REPLICA_TABLE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace isrec::router {
+
+/// Health/routing state of one backend replica (DESIGN.md §11).
+///
+///   UP        — probes healthy, load normal: full traffic.
+///   DEGRADED  — probes healthy but the replica reports shedding or a
+///               deep queue: still routable, but the router spills its
+///               keys to an UP replica when one exists.
+///   DRAINING  — administratively draining (/admin/drain): no new
+///               traffic; in-flight requests finish. Sticky: probes do
+///               not lift it. A failed probe (replica restarted) moves
+///               it to DOWN, after which a healthy probe revives it —
+///               that is the zero-drop restart workflow.
+///   DOWN      — consecutive probe failures or a transport error while
+///               forwarding: no traffic until a probe succeeds.
+enum class ReplicaState { kUp, kDegraded, kDraining, kDown };
+
+std::string_view ReplicaStateName(ReplicaState state);
+
+/// Static identity of one backend, from router configuration.
+struct ReplicaConfig {
+  std::string name;  // Ring identity; stable across restarts.
+  std::string host;
+  int port = 0;
+};
+
+/// Point-in-time copy of one replica's entry, for /varz, /statusz and
+/// tests. All counters are since router start.
+struct ReplicaSnapshot {
+  std::string name;
+  std::string host;
+  int port = 0;
+  ReplicaState state = ReplicaState::kDown;
+  uint64_t in_flight = 0;          // Requests the router forwarded, unanswered.
+  uint64_t queue_depth = 0;        // Replica-reported, from /varz.
+  bool shedding = false;           // Replica-reported, from /varz.
+  int consecutive_probe_failures = 0;
+  uint64_t probes_ok = 0;
+  uint64_t probes_failed = 0;
+  uint64_t forwarded = 0;          // Requests sent to this replica.
+  uint64_t transport_errors = 0;   // Forwards that failed at the socket.
+  std::string last_error;          // Most recent probe/forward error.
+};
+
+/// Per-replica skip reasons recorded while acquiring a target; the
+/// router turns these into its decision counters.
+struct AcquireDecision {
+  bool spilled = false;          // Owner was DEGRADED; an UP replica took it.
+  bool skipped_draining = false; // A DRAINING replica preceded the target.
+  bool skipped_down = false;     // A DOWN replica preceded the target.
+};
+
+/// Thread-safe table of replica entries. One mutex guards every entry;
+/// the critical property is that routing eligibility and the in-flight
+/// increment happen under the SAME lock (AcquireTarget), so once
+/// StartDrain flips a replica to DRAINING its in-flight count can only
+/// fall — WaitDrained()==true therefore means the replica answered
+/// every request the router ever sent it: zero-drop drain.
+class ReplicaTable {
+ public:
+  explicit ReplicaTable(std::vector<ReplicaConfig> replicas);
+
+  ReplicaTable(const ReplicaTable&) = delete;
+  ReplicaTable& operator=(const ReplicaTable&) = delete;
+
+  size_t size() const;
+  std::vector<std::string> Names() const;
+  bool Contains(const std::string& name) const;
+
+  /// Picks the forwarding target for one attempt: the first routable
+  /// (UP or DEGRADED) replica in `preference` that is not in `exclude`,
+  /// except that a DEGRADED first choice spills to the first UP choice
+  /// when one exists. Atomically increments the target's in-flight
+  /// count and returns true with identity + skip reasons filled; false
+  /// when no routable replica remains.
+  ///
+  /// Every successful AcquireTarget MUST be paired with ReleaseTarget.
+  bool AcquireTarget(const std::vector<std::string>& preference,
+                     const std::vector<std::string>& exclude,
+                     ReplicaConfig* target, AcquireDecision* decision);
+
+  /// Ends one forward: decrements in-flight, records the outcome, and
+  /// wakes drain waiters. `transport_error`, when non-empty, marks the
+  /// replica DOWN immediately (connection refused/reset means the
+  /// process is gone; waiting for the prober would misroute more
+  /// requests).
+  void ReleaseTarget(const std::string& name,
+                     const std::string& transport_error = "");
+
+  /// Applies one probe result. Healthy probes reset the failure streak
+  /// and set UP or DEGRADED from the load signals (DRAINING stays).
+  /// Failed probes increment the streak and flip to DOWN at
+  /// `fail_threshold` — including from DRAINING (the replica died or
+  /// restarted; a later healthy probe revives it).
+  void ApplyProbe(const std::string& name, bool healthy,
+                  uint64_t queue_depth, bool shedding,
+                  uint64_t degrade_queue_depth, int fail_threshold,
+                  const std::string& error);
+
+  /// Starts draining `name` (idempotent). False for an unknown replica.
+  bool StartDrain(const std::string& name);
+
+  /// Blocks until `name` is DRAINING with zero in-flight requests, or
+  /// `timeout_ms` elapses. True means drained.
+  bool WaitDrained(const std::string& name, double timeout_ms);
+
+  /// Reverses a drain: moves a DRAINING `name` to DOWN with a cleared
+  /// failure streak, so the next healthy probe returns it to service.
+  /// False for an unknown replica or one not DRAINING.
+  bool Undrain(const std::string& name);
+
+  /// Snapshot of one replica; false for an unknown name.
+  bool Snapshot(const std::string& name, ReplicaSnapshot* out) const;
+
+  /// Snapshots of every replica, in configuration order.
+  std::vector<ReplicaSnapshot> SnapshotAll() const;
+
+  /// Number of replicas currently routable (UP or DEGRADED).
+  size_t NumRoutable() const;
+
+ private:
+  struct Entry {
+    ReplicaConfig config;
+    ReplicaState state = ReplicaState::kDown;  // Prober promotes to UP.
+    uint64_t in_flight = 0;
+    uint64_t queue_depth = 0;
+    bool shedding = false;
+    int consecutive_probe_failures = 0;
+    uint64_t probes_ok = 0;
+    uint64_t probes_failed = 0;
+    uint64_t forwarded = 0;
+    uint64_t transport_errors = 0;
+    std::string last_error;
+  };
+
+  static bool Routable(ReplicaState state) {
+    return state == ReplicaState::kUp || state == ReplicaState::kDegraded;
+  }
+
+  Entry* FindLocked(const std::string& name);
+  const Entry* FindLocked(const std::string& name) const;
+  static ReplicaSnapshot SnapshotEntry(const Entry& entry);
+
+  mutable std::mutex mutex_;
+  std::condition_variable drain_cv_;
+  std::vector<Entry> entries_;  // Configuration order; names unique.
+};
+
+}  // namespace isrec::router
+
+#endif  // ISREC_ROUTER_REPLICA_TABLE_H_

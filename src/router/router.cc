@@ -1,0 +1,327 @@
+#include "router/router.h"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "utils/json.h"
+
+namespace isrec::router {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+obs::HttpResponse JsonError(int status, const std::string& message) {
+  obs::HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body = "{\"error\": " + json::Escape(message) + "}";
+  return response;
+}
+
+}  // namespace
+
+Router::Router(RouterConfig config)
+    : config_(std::move(config)),
+      ring_(config_.virtual_nodes),
+      table_(config_.replicas),
+      prober_(table_, config_.probe),
+      forwarder_(obs::HttpClientOptions{
+          static_cast<int>(config_.forward_connect_timeout_ms),
+          static_cast<int>(config_.forward_read_timeout_ms)}),
+      admin_(config_.admin) {
+  for (const ReplicaConfig& replica : config_.replicas) {
+    ring_.AddReplica(replica.name);
+  }
+}
+
+Router::~Router() { Stop(); }
+
+bool Router::Start() {
+  admin_.SetHealthProvider([this] {
+    const size_t routable = table_.NumRoutable();
+    return std::make_pair(
+        routable > 0, std::to_string(routable) + "/" +
+                          std::to_string(table_.size()) +
+                          " replicas routable");
+  });
+  admin_.AddVarzSection("router", [this] { return VarzJson(); });
+  admin_.AddStatuszSection("Router replicas", [this] { return StatuszHtml(); });
+  admin_.AddHandler("/recommend", [this](const obs::HttpRequest& request) {
+    return HandleRecommend(request);
+  });
+  admin_.AddHandler("/admin/drain", [this](const obs::HttpRequest& request) {
+    return HandleDrain(request);
+  });
+  admin_.AddHandler("/admin/undrain", [this](const obs::HttpRequest& request) {
+    return HandleUndrain(request);
+  });
+  if (!admin_.Start()) return false;
+  prober_.Start();
+  return true;
+}
+
+void Router::Stop() {
+  admin_.Stop();
+  prober_.Stop();
+}
+
+void Router::Count(std::atomic<uint64_t>& local, const char* metric) {
+  local.fetch_add(1, std::memory_order_relaxed);
+  if (obs::MetricsEnabled()) obs::GetCounter(metric).Add(1);
+}
+
+RouterDecisions Router::decisions() const {
+  RouterDecisions d;
+  d.requests = requests_.load(std::memory_order_relaxed);
+  d.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  d.forwarded = forwarded_.load(std::memory_order_relaxed);
+  d.spilled = spilled_.load(std::memory_order_relaxed);
+  d.drain_rerouted = drain_rerouted_.load(std::memory_order_relaxed);
+  d.down_rerouted = down_rerouted_.load(std::memory_order_relaxed);
+  d.retried = retried_.load(std::memory_order_relaxed);
+  d.transport_errors = transport_errors_.load(std::memory_order_relaxed);
+  d.rejected = rejected_.load(std::memory_order_relaxed);
+  d.expired = expired_.load(std::memory_order_relaxed);
+  d.drains = drains_.load(std::memory_order_relaxed);
+  return d;
+}
+
+obs::HttpResponse Router::HandleRecommend(const obs::HttpRequest& http) {
+  obs::HttpResponse out;
+  out.content_type = "application/json";
+  if (http.method != "POST") {
+    out.status = 405;
+    out.body = "{\"status\": \"INVALID_ARGUMENT\", "
+               "\"message\": \"POST a JSON request body\"}";
+    return out;
+  }
+  serve::Request request;
+  std::string error;
+  if (!serve::RecommendRequestFromJson(http.body, &request, &error)) {
+    Count(bad_requests_, "router.bad_requests");
+    out.status = 400;
+    serve::RecommendResponse response;
+    response.status = Status::InvalidArgument(error);
+    out.body = serve::RecommendResponseToJson(response);
+    return out;
+  }
+  Count(requests_, "router.requests");
+  const serve::RecommendResponse response = Route(request, &out.status);
+  out.body = serve::RecommendResponseToJson(response);
+  return out;
+}
+
+serve::RecommendResponse Router::Route(const serve::Request& request,
+                                       int* http_status) {
+  const Clock::time_point arrival = Clock::now();
+  const bool has_deadline = request.options.deadline_ms > 0.0;
+  const std::vector<std::string> preference =
+      ring_.Preference(HashRing::KeyForUser(request.user));
+
+  serve::RecommendResponse answer;
+  std::vector<std::string> tried;
+  int overload_retries = 0;
+  std::string last_transport_error;
+  serve::RecommendResponse last_overloaded;
+  bool have_overloaded = false;
+  while (true) {
+    double remaining_ms = 0.0;
+    if (has_deadline) {
+      remaining_ms = request.options.deadline_ms - MsSince(arrival);
+      if (remaining_ms <= 0.0) {
+        Count(expired_, "router.expired");
+        answer.status = Status::DeadlineExceeded(
+            "deadline exhausted at router after " +
+            std::to_string(tried.size()) + " attempt(s)");
+        *http_status = serve::HttpStatusForCode(answer.status.code());
+        return answer;
+      }
+    }
+
+    ReplicaConfig target;
+    AcquireDecision decision;
+    if (!table_.AcquireTarget(preference, tried, &target, &decision)) {
+      if (have_overloaded) {
+        // A replica DID answer (overloaded) and no alternative remains:
+        // relay its answer rather than synthesizing one.
+        *http_status =
+            serve::HttpStatusForCode(last_overloaded.status.code());
+        return last_overloaded;
+      }
+      Count(rejected_, "router.rejected");
+      answer.status = Status::Overloaded(
+          last_transport_error.empty()
+              ? "no routable replica"
+              : "no routable replica (last transport error: " +
+                    last_transport_error + ")");
+      *http_status = serve::HttpStatusForCode(answer.status.code());
+      return answer;
+    }
+    if (decision.spilled) Count(spilled_, "router.spilled");
+    if (decision.skipped_draining) {
+      Count(drain_rerouted_, "router.drain_rerouted");
+    }
+    if (decision.skipped_down) Count(down_rerouted_, "router.down_rerouted");
+    Count(forwarded_, "router.forwarded");
+
+    serve::Request forwarded = request;
+    double attempt_timeout_ms = 0.0;  // 0 = forwarder defaults.
+    if (has_deadline) {
+      forwarded.options.deadline_ms = remaining_ms;
+      attempt_timeout_ms = remaining_ms + config_.forward_deadline_slack_ms;
+    }
+    const ForwardResult result = forwarder_.Forward(
+        target.host, target.port, forwarded, attempt_timeout_ms);
+    table_.ReleaseTarget(target.name,
+                         result.answered ? "" : result.transport_error);
+    tried.push_back(target.name);
+
+    if (!result.answered) {
+      // ReleaseTarget already marked the replica DOWN; re-home to the
+      // next preference (bounded by the fleet size via `tried`).
+      Count(transport_errors_, "router.transport_errors");
+      last_transport_error = target.name + ": " + result.transport_error;
+      continue;
+    }
+    if (result.response.status.code() == StatusCode::kOverloaded &&
+        overload_retries < config_.max_overload_retries &&
+        (!has_deadline ||
+         request.options.deadline_ms - MsSince(arrival) >
+             config_.retry_min_budget_ms)) {
+      Count(retried_, "router.retried");
+      ++overload_retries;
+      last_overloaded = result.response;
+      have_overloaded = true;
+      continue;
+    }
+    *http_status = serve::HttpStatusForCode(result.response.status.code());
+    return result.response;
+  }
+}
+
+obs::HttpResponse Router::HandleDrain(const obs::HttpRequest& http) {
+  const std::string name = http.QueryOr("replica", "");
+  if (name.empty()) {
+    return JsonError(400, "missing query parameter 'replica'");
+  }
+  if (!table_.StartDrain(name)) {
+    return JsonError(404, "unknown replica '" + name + "'");
+  }
+  Count(drains_, "router.drains");
+  const double wait_ms = std::atof(http.QueryOr("wait_ms", "0").c_str());
+  bool drained = false;
+  if (wait_ms > 0.0) drained = table_.WaitDrained(name, wait_ms);
+
+  ReplicaSnapshot snapshot;
+  table_.Snapshot(name, &snapshot);
+  obs::HttpResponse out;
+  out.content_type = "application/json";
+  out.body = "{\"replica\": " + json::Escape(name) +
+             ", \"state\": " +
+             json::Escape(std::string(ReplicaStateName(snapshot.state))) +
+             ", \"in_flight\": " + std::to_string(snapshot.in_flight) +
+             ", \"drained\": " +
+             ((drained || (wait_ms <= 0.0 && snapshot.in_flight == 0 &&
+                           snapshot.state == ReplicaState::kDraining))
+                  ? "true"
+                  : "false") +
+             "}";
+  return out;
+}
+
+obs::HttpResponse Router::HandleUndrain(const obs::HttpRequest& http) {
+  const std::string name = http.QueryOr("replica", "");
+  if (name.empty()) {
+    return JsonError(400, "missing query parameter 'replica'");
+  }
+  if (!table_.Contains(name)) {
+    return JsonError(404, "unknown replica '" + name + "'");
+  }
+  if (!table_.Undrain(name)) {
+    return JsonError(409, "replica '" + name + "' is not draining");
+  }
+  obs::HttpResponse out;
+  out.content_type = "application/json";
+  out.body = "{\"replica\": " + json::Escape(name) +
+             ", \"state\": \"DOWN\", "
+             "\"note\": \"returns to service on the next healthy probe\"}";
+  return out;
+}
+
+std::string Router::VarzJson() const {
+  const RouterDecisions d = decisions();
+  std::string out = "{\"routable\": " + std::to_string(table_.NumRoutable());
+  out += ", \"decisions\": {";
+  out += "\"requests\": " + std::to_string(d.requests);
+  out += ", \"bad_requests\": " + std::to_string(d.bad_requests);
+  out += ", \"forwarded\": " + std::to_string(d.forwarded);
+  out += ", \"spilled\": " + std::to_string(d.spilled);
+  out += ", \"drain_rerouted\": " + std::to_string(d.drain_rerouted);
+  out += ", \"down_rerouted\": " + std::to_string(d.down_rerouted);
+  out += ", \"retried\": " + std::to_string(d.retried);
+  out += ", \"transport_errors\": " + std::to_string(d.transport_errors);
+  out += ", \"rejected\": " + std::to_string(d.rejected);
+  out += ", \"expired\": " + std::to_string(d.expired);
+  out += ", \"drains\": " + std::to_string(d.drains);
+  out += "}, \"replicas\": [";
+  bool first = true;
+  for (const ReplicaSnapshot& r : table_.SnapshotAll()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"name\": " + json::Escape(r.name);
+    out += ", \"address\": " +
+           json::Escape(r.host + ":" + std::to_string(r.port));
+    out += ", \"state\": " +
+           json::Escape(std::string(ReplicaStateName(r.state)));
+    out += ", \"in_flight\": " + std::to_string(r.in_flight);
+    out += ", \"queue_depth\": " + std::to_string(r.queue_depth);
+    out += std::string(", \"shedding\": ") + (r.shedding ? "true" : "false");
+    out += ", \"forwarded\": " + std::to_string(r.forwarded);
+    out += ", \"transport_errors\": " + std::to_string(r.transport_errors);
+    out += ", \"probes_ok\": " + std::to_string(r.probes_ok);
+    out += ", \"probes_failed\": " + std::to_string(r.probes_failed);
+    out += ", \"last_error\": " + json::Escape(r.last_error);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Router::StatuszHtml() const {
+  std::string out =
+      "<table><tr><th>replica</th><th>address</th><th>state</th>"
+      "<th>in-flight</th><th>queue</th><th>shedding</th><th>forwarded</th>"
+      "<th>transport errors</th><th>probes ok/failed</th>"
+      "<th>last error</th></tr>";
+  for (const ReplicaSnapshot& r : table_.SnapshotAll()) {
+    out += "<tr><td>" + r.name + "</td>";
+    out += "<td>" + r.host + ":" + std::to_string(r.port) + "</td>";
+    out += "<td>" + std::string(ReplicaStateName(r.state)) + "</td>";
+    out += "<td>" + std::to_string(r.in_flight) + "</td>";
+    out += "<td>" + std::to_string(r.queue_depth) + "</td>";
+    out += std::string("<td>") + (r.shedding ? "yes" : "no") + "</td>";
+    out += "<td>" + std::to_string(r.forwarded) + "</td>";
+    out += "<td>" + std::to_string(r.transport_errors) + "</td>";
+    out += "<td>" + std::to_string(r.probes_ok) + "/" +
+           std::to_string(r.probes_failed) + "</td>";
+    out += "<td>" + r.last_error + "</td></tr>";
+  }
+  out += "</table>";
+  const RouterDecisions d = decisions();
+  out += "<p>decisions: forwarded " + std::to_string(d.forwarded) +
+         ", spilled " + std::to_string(d.spilled) + ", retried " +
+         std::to_string(d.retried) + ", rerouted (drain " +
+         std::to_string(d.drain_rerouted) + ", down " +
+         std::to_string(d.down_rerouted) + "), rejected " +
+         std::to_string(d.rejected) + ", drains " + std::to_string(d.drains) +
+         "</p>";
+  return out;
+}
+
+}  // namespace isrec::router

@@ -179,6 +179,16 @@ Outcome<Recommendation> ServingEngine::FailOrDegrade(const Request& request,
   return Outcome<Recommendation>(std::move(error));
 }
 
+ServeStats ServingEngine::Stats() const {
+  ServeStats stats = stats_.Snapshot();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stats.queue_depth = queue_.size();
+    stats.shedding = shedding_;
+  }
+  return stats;
+}
+
 void ServingEngine::Answer(Pending&& pending,
                            Outcome<Recommendation> outcome) {
   stats_.RecordOutcome(outcome.code());

@@ -172,7 +172,9 @@ class ServingEngine {
   /// ISREC_FAULT env spec). Install test hooks before traffic flows.
   FaultInjector& fault_injector() { return fault_; }
 
-  ServeStats Stats() const { return stats_.Snapshot(); }
+  /// Snapshot of the recorder plus the instantaneous load signals
+  /// (queue_depth, shedding) read under the queue lock.
+  ServeStats Stats() const;
   void ResetStats() { stats_.Reset(); }
 
   const EngineConfig& config() const { return config_; }
@@ -211,7 +213,7 @@ class ServingEngine {
   // Bounded MPMC queue. Close() (from the destructor) wakes everything;
   // workers answer remaining queued requests with kOverloaded before
   // exiting (never drop, never a broken promise).
-  std::mutex queue_mutex_;
+  mutable std::mutex queue_mutex_;  // const Stats() samples depth under it.
   std::condition_variable queue_not_empty_;
   std::condition_variable queue_not_full_;
   std::deque<Pending> queue_;

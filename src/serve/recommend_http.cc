@@ -1,0 +1,269 @@
+#include "serve/recommend_http.h"
+
+#include <cstdio>
+
+#include "obs/admin_server.h"
+#include "utils/json.h"
+
+namespace isrec::serve {
+namespace {
+
+std::string IndexArrayJson(const std::vector<Index>& values) {
+  std::string out = "[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(values[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::string FloatArrayJson(const std::vector<float>& values) {
+  char buffer[48];
+  std::string out = "[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ",";
+    // %.9g round-trips every float32 exactly, so the router relays the
+    // replica's scores bit-for-bit.
+    std::snprintf(buffer, sizeof(buffer), "%.9g",
+                  static_cast<double>(values[i]));
+    out += buffer;
+  }
+  out += "]";
+  return out;
+}
+
+/// Reads an optional numeric field into `out`; false only when the
+/// field exists with a non-numeric type.
+bool ReadNumber(const json::JsonValue& object, const std::string& key,
+                double* out, std::string* error) {
+  const json::JsonValue* value = object.Find(key);
+  if (value == nullptr) return true;
+  if (value->kind != json::JsonValue::kNumber) {
+    *error = "field '" + key + "' must be a number";
+    return false;
+  }
+  *out = value->number;
+  return true;
+}
+
+bool ReadIndexArray(const json::JsonValue& object, const std::string& key,
+                    std::vector<Index>* out, std::string* error) {
+  const json::JsonValue* value = object.Find(key);
+  if (value == nullptr) return true;
+  if (value->kind != json::JsonValue::kArray) {
+    *error = "field '" + key + "' must be an array";
+    return false;
+  }
+  out->clear();
+  out->reserve(value->array.size());
+  for (const json::JsonValue& element : value->array) {
+    if (element.kind != json::JsonValue::kNumber) {
+      *error = "field '" + key + "' must contain only numbers";
+      return false;
+    }
+    out->push_back(static_cast<Index>(element.number));
+  }
+  return true;
+}
+
+}  // namespace
+
+RecommendResponse RecommendResponse::FromOutcome(
+    const Outcome<Recommendation>& outcome) {
+  RecommendResponse response;
+  response.status = outcome.status();
+  if (outcome.has_value()) {
+    response.recommendation = outcome.value();
+    response.has_value = true;
+  }
+  return response;
+}
+
+std::string RecommendRequestToJson(const Request& request) {
+  std::string out = "{";
+  out += "\"user\": " + std::to_string(request.user);
+  out += ", \"history\": " + IndexArrayJson(request.history);
+  out += ", \"k\": " + std::to_string(request.k);
+  if (!request.candidates.empty()) {
+    out += ", \"candidates\": " + IndexArrayJson(request.candidates);
+  }
+  if (request.options.deadline_ms > 0.0) {
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", request.options.deadline_ms);
+    out += ", \"deadline_ms\": " + std::string(buffer);
+  }
+  if (request.options.priority != 0) {
+    out += ", \"priority\": " + std::to_string(request.options.priority);
+  }
+  if (request.options.allow_degraded) {
+    out += ", \"allow_degraded\": true";
+  }
+  if (request.id != 0) {
+    out += ", \"id\": " + std::to_string(request.id);
+  }
+  out += "}";
+  return out;
+}
+
+bool RecommendRequestFromJson(const std::string& body, Request* request,
+                              std::string* error) {
+  json::JsonValue root;
+  if (!json::JsonParser(body).Parse(&root) ||
+      root.kind != json::JsonValue::kObject) {
+    *error = "malformed JSON request body";
+    return false;
+  }
+  const json::JsonValue* user = root.Find("user");
+  if (user == nullptr || user->kind != json::JsonValue::kNumber) {
+    *error = "required numeric field 'user' missing";
+    return false;
+  }
+  *request = Request{};
+  request->user = static_cast<Index>(user->number);
+  if (!ReadIndexArray(root, "history", &request->history, error)) return false;
+  double k = static_cast<double>(request->k);
+  if (!ReadNumber(root, "k", &k, error)) return false;
+  request->k = static_cast<Index>(k);
+  if (!ReadIndexArray(root, "candidates", &request->candidates, error)) {
+    return false;
+  }
+  if (!ReadNumber(root, "deadline_ms", &request->options.deadline_ms, error)) {
+    return false;
+  }
+  double priority = 0.0;
+  if (!ReadNumber(root, "priority", &priority, error)) return false;
+  request->options.priority = static_cast<int>(priority);
+  if (const json::JsonValue* degraded = root.Find("allow_degraded")) {
+    if (degraded->kind != json::JsonValue::kBool) {
+      *error = "field 'allow_degraded' must be a bool";
+      return false;
+    }
+    request->options.allow_degraded = degraded->boolean;
+  }
+  double id = 0.0;
+  if (!ReadNumber(root, "id", &id, error)) return false;
+  request->id = static_cast<uint64_t>(id);
+  return true;
+}
+
+std::string RecommendResponseToJson(const RecommendResponse& response) {
+  std::string out = "{";
+  out += "\"status\": " +
+         json::Escape(std::string(StatusCodeName(response.status.code())));
+  out += ", \"message\": " + json::Escape(response.status.message());
+  if (response.has_value) {
+    out += ", \"items\": " + IndexArrayJson(response.recommendation.items);
+    out += ", \"scores\": " + FloatArrayJson(response.recommendation.scores);
+    out += ", \"from_cache\": " +
+           std::string(response.recommendation.from_cache ? "true" : "false");
+  }
+  out += "}";
+  return out;
+}
+
+bool RecommendResponseFromJson(const std::string& body,
+                               RecommendResponse* response,
+                               std::string* error) {
+  json::JsonValue root;
+  if (!json::JsonParser(body).Parse(&root) ||
+      root.kind != json::JsonValue::kObject) {
+    *error = "malformed JSON response body";
+    return false;
+  }
+  const json::JsonValue* status = root.Find("status");
+  if (status == nullptr || status->kind != json::JsonValue::kString) {
+    *error = "required string field 'status' missing";
+    return false;
+  }
+  StatusCode code;
+  if (!StatusCodeFromName(status->str, &code)) {
+    *error = "unknown status '" + status->str + "'";
+    return false;
+  }
+  *response = RecommendResponse{};
+  std::string message;
+  if (const json::JsonValue* m = root.Find("message")) message = m->str;
+  response->status = Status(code, std::move(message));
+  if (const json::JsonValue* items = root.Find("items")) {
+    if (!ReadIndexArray(root, "items", &response->recommendation.items,
+                        error)) {
+      return false;
+    }
+    response->has_value = true;
+    if (const json::JsonValue* scores = root.Find("scores")) {
+      if (scores->kind != json::JsonValue::kArray) {
+        *error = "field 'scores' must be an array";
+        return false;
+      }
+      response->recommendation.scores.reserve(scores->array.size());
+      for (const json::JsonValue& s : scores->array) {
+        response->recommendation.scores.push_back(
+            static_cast<float>(s.number));
+      }
+    }
+    if (const json::JsonValue* cached = root.Find("from_cache")) {
+      response->recommendation.from_cache = cached->boolean;
+    }
+    (void)items;
+  }
+  return true;
+}
+
+int HttpStatusForCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+    case StatusCode::kDegraded:
+      return 200;
+    case StatusCode::kInvalidArgument:
+      return 400;
+    case StatusCode::kModelError:
+      return 500;
+    case StatusCode::kOverloaded:
+      return 503;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+  }
+  return 500;
+}
+
+bool StatusCodeFromName(const std::string& name, StatusCode* code) {
+  for (StatusCode candidate :
+       {StatusCode::kOk, StatusCode::kDeadlineExceeded, StatusCode::kOverloaded,
+        StatusCode::kInvalidArgument, StatusCode::kModelError,
+        StatusCode::kDegraded}) {
+    if (name == StatusCodeName(candidate)) {
+      *code = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+void RegisterRecommendEndpoint(obs::AdminServer& admin,
+                               ServingEngine& engine) {
+  admin.AddHandler("/recommend", [&engine](const obs::HttpRequest& http) {
+    obs::HttpResponse out;
+    out.content_type = "application/json";
+    if (http.method != "POST") {
+      out.status = 405;
+      out.body = "{\"status\": \"INVALID_ARGUMENT\", "
+                 "\"message\": \"POST a JSON request body\"}";
+      return out;
+    }
+    Request request;
+    std::string error;
+    if (!RecommendRequestFromJson(http.body, &request, &error)) {
+      out.status = 400;
+      out.body = RecommendResponseToJson(RecommendResponse::FromOutcome(
+          Outcome<Recommendation>(Status::InvalidArgument(error))));
+      return out;
+    }
+    const Outcome<Recommendation> outcome = engine.Recommend(request);
+    out.status = HttpStatusForCode(outcome.code());
+    out.body = RecommendResponseToJson(RecommendResponse::FromOutcome(outcome));
+    return out;
+  });
+}
+
+}  // namespace isrec::serve

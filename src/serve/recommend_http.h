@@ -1,0 +1,80 @@
+#ifndef ISREC_SERVE_RECOMMEND_HTTP_H_
+#define ISREC_SERVE_RECOMMEND_HTTP_H_
+
+// The JSON-over-HTTP recommend protocol (DESIGN.md §11 "Sharded serving
+// tier"): one codec shared by the replica's POST /recommend endpoint
+// and the isrec_router forwarder, so the two sides cannot drift.
+//
+// Request body (all fields except "user" optional):
+//   {"user": 7, "history": [1,2,3], "k": 10, "candidates": [],
+//    "deadline_ms": 50.0, "priority": 1, "allow_degraded": false,
+//    "id": 12345}
+//
+// Response body:
+//   {"status": "OK", "message": "", "items": [9,4,1],
+//    "scores": [3.5,2.0,1.0], "from_cache": false}
+//
+// "status" is the StatusCodeName of the outcome; items/scores are
+// present exactly when the outcome carries a value (kOk or kDegraded).
+// The HTTP status mirrors it (200 OK/DEGRADED, 400 INVALID_ARGUMENT,
+// 500 MODEL_ERROR, 503 OVERLOADED, 504 DEADLINE_EXCEEDED) so plain
+// curl and load balancers see sensible codes, but the JSON "status"
+// field is authoritative for protocol peers.
+
+#include <string>
+
+#include "serve/engine.h"
+#include "utils/status.h"
+
+namespace isrec::obs {
+class AdminServer;
+}  // namespace isrec::obs
+
+namespace isrec::serve {
+
+/// Wire form of one recommend answer: the outcome's code + message and,
+/// when it carries a value, the ranking.
+struct RecommendResponse {
+  Status status;
+  Recommendation recommendation;  // Meaningful iff has_value.
+  bool has_value = false;
+
+  /// Builds the wire response from an engine outcome.
+  static RecommendResponse FromOutcome(const Outcome<Recommendation>& outcome);
+};
+
+/// Serializes `request` as the protocol's JSON request body.
+std::string RecommendRequestToJson(const Request& request);
+
+/// Parses a JSON request body. False (with `error` filled) on malformed
+/// JSON or wrong field types; absent optional fields keep the Request
+/// defaults.
+bool RecommendRequestFromJson(const std::string& body, Request* request,
+                              std::string* error);
+
+/// Serializes `response` as the protocol's JSON response body.
+std::string RecommendResponseToJson(const RecommendResponse& response);
+
+/// Parses a JSON response body. False (with `error` filled) on
+/// malformed JSON or an unknown "status" name.
+bool RecommendResponseFromJson(const std::string& body,
+                               RecommendResponse* response,
+                               std::string* error);
+
+/// HTTP status code mirroring a protocol outcome code.
+int HttpStatusForCode(StatusCode code);
+
+/// Inverse of StatusCodeName; false on an unknown name.
+bool StatusCodeFromName(const std::string& name, StatusCode* code);
+
+/// Installs the POST /recommend endpoint on `admin`, answering with
+/// engine.Recommend. Blocking: the handler occupies one HTTP worker for
+/// the request's queue+score time, so replicas should run the admin
+/// server with several workers (AdminServerConfig::num_workers). The
+/// engine must outlive the admin server — or the server must be
+/// Stop()ped first (same contract as RegisterAdminSections).
+void RegisterRecommendEndpoint(obs::AdminServer& admin, ServingEngine& engine);
+
+}  // namespace isrec::serve
+
+#endif  // ISREC_SERVE_RECOMMEND_HTTP_H_

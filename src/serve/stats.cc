@@ -281,6 +281,8 @@ std::string ServeStats::ToTableString() const {
   table.AddRow({"degraded", std::to_string(degraded)});
   table.AddRow({"invalid_arguments", std::to_string(invalid_arguments)});
   table.AddRow({"model_errors", std::to_string(model_errors)});
+  table.AddRow({"queue_depth", std::to_string(queue_depth)});
+  table.AddRow({"shedding", shedding ? "true" : "false"});
   table.AddSeparator();
   for (size_t b = 1; b < batch_size_histogram.size(); ++b) {
     if (batch_size_histogram[b] == 0) continue;
@@ -297,7 +299,11 @@ std::string ServeStatsJson(const ServeStats& stats) {
     return std::string(buffer);
   };
   std::string out = "{";
-  out += "\"requests\": " + std::to_string(stats.num_requests);
+  // Load signals first: the router's poller scrapes these two from the
+  // front of the object (satellite contract, pinned by admin_server_test).
+  out += "\"queue_depth\": " + std::to_string(stats.queue_depth);
+  out += ", \"shedding\": " + std::string(stats.shedding ? "true" : "false");
+  out += ", \"requests\": " + std::to_string(stats.num_requests);
   out += ", \"elapsed_s\": " + num(stats.elapsed_seconds);
   out += ", \"qps\": " + num(stats.qps);
   out += ", \"p50_ms\": " + num(stats.p50_ms);

@@ -40,6 +40,15 @@ struct ServeStats {
   uint64_t invalid_arguments = 0;   // kInvalidArgument.
   uint64_t model_errors = 0;        // kModelError.
 
+  /// Instantaneous load signals, filled by ServingEngine::Stats() from
+  /// the queue state (a StatsRecorder alone doesn't know them). They
+  /// lead the ServeStatsJson rendering as cheap top-level fields — the
+  /// router's load poller reads exactly these two from a replica's
+  /// /varz without touching the full registry snapshot (field names
+  /// pinned by admin_server_test).
+  uint64_t queue_depth = 0;  // Requests queued right now.
+  bool shedding = false;     // Admission control currently shedding.
+
   double cache_hit_rate() const {
     const uint64_t lookups = cache_hits + cache_misses;
     return lookups == 0 ? 0.0 : static_cast<double>(cache_hits) / lookups;

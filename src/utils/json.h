@@ -1,0 +1,177 @@
+#ifndef ISREC_UTILS_JSON_H_
+#define ISREC_UTILS_JSON_H_
+
+// Minimal recursive-descent JSON parser shared by the router's control
+// plane (parsing replica /varz load snapshots and /recommend bodies)
+// and the test binaries' schema checks on the exporters. Grown out of
+// tests/test_json.h once production code needed it. Not a
+// general-purpose parser: escape handling is just good enough for the
+// JSON our own surfaces emit — \" and \\ pass through, exotic escapes
+// (\uXXXX) are kept verbatim.
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace isrec::json {
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  /// object[key], or nullptr when this is not an object / key is absent
+  /// — the lookup the router's tolerant /varz scraping wants (a missing
+  /// field means "old replica build", not a crash).
+  const JsonValue* Find(const std::string& key) const {
+    if (kind != kObject) return nullptr;
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        out->push_back(text_[pos_++]);  // Good enough for our exporters.
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::kObject;
+      SkipWs();
+      if (Consume('}')) return true;
+      for (;;) {
+        SkipWs();
+        std::string key;
+        if (!ParseString(&key)) return false;
+        SkipWs();
+        if (!Consume(':')) return false;
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->object.emplace(std::move(key), std::move(value));
+        SkipWs();
+        if (Consume(',')) continue;
+        return Consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::kArray;
+      SkipWs();
+      if (Consume(']')) return true;
+      for (;;) {
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->array.push_back(std::move(value));
+        SkipWs();
+        if (Consume(',')) continue;
+        return Consume(']');
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::kString;
+      return ParseString(&out->str);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->kind = JsonValue::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->kind = JsonValue::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      out->kind = JsonValue::kNull;
+      pos_ += 4;
+      return true;
+    }
+    char* end = nullptr;
+    const std::string buffer(text_.substr(pos_));
+    out->number = std::strtod(buffer.c_str(), &end);
+    if (end == buffer.c_str()) return false;
+    out->kind = JsonValue::kNumber;
+    pos_ += end - buffer.c_str();
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+/// JSON string literal: escapes '"' and '\' (matching what JsonParser
+/// understands) plus control characters.
+inline std::string Escape(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buffer;
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace isrec::json
+
+#endif  // ISREC_UTILS_JSON_H_

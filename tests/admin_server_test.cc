@@ -152,16 +152,87 @@ TEST(HttpServerTest, HandlerStatusAndExceptionsPropagate) {
   EXPECT_EQ(status, 500);
 }
 
-TEST(HttpServerTest, RejectsNonGetAndMalformedRequests) {
+TEST(HttpServerTest, RejectsUnsupportedMethodsAndMalformedRequests) {
   obs::HttpServer server;
   ASSERT_TRUE(server.Start("127.0.0.1", 0, [](const obs::HttpRequest&) {
     return obs::HttpResponse{};
   }));
-  const std::string post = RawExchange(
+  const std::string put = RawExchange(
+      server.port(), "PUT /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(put.find("405"), std::string::npos) << put;
+  // POST is supported but REQUIRES a Content-Length body.
+  const std::string post_without_length = RawExchange(
       server.port(), "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
-  EXPECT_NE(post.find("405"), std::string::npos) << post;
+  EXPECT_NE(post_without_length.find("400"), std::string::npos)
+      << post_without_length;
   const std::string garbage = RawExchange(server.port(), "not-http\r\n\r\n");
   EXPECT_NE(garbage.find("400"), std::string::npos) << garbage;
+}
+
+TEST(HttpServerTest, DeliversPostBodiesToHandlers) {
+  obs::HttpServer server;
+  ASSERT_TRUE(server.Start("127.0.0.1", 0, [](const obs::HttpRequest& r) {
+    obs::HttpResponse response;
+    response.body = r.method + "|" + r.path + "|" + r.body;
+    return response;
+  }));
+  obs::HttpClient client;
+  const obs::HttpClient::Result result = client.Post(
+      "127.0.0.1", server.port(), "/recommend", "application/json",
+      "{\"user\": 7}");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.status, 200);
+  EXPECT_EQ(result.body, "POST|/recommend|{\"user\": 7}");
+}
+
+// -- HttpClient error paths (satellite) ----------------------------------
+
+TEST(HttpClientTest, ConnectionRefusedReportsTransportError) {
+  // Bind an ephemeral port, note it, close it: nothing listens there.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const int dead_port = ntohs(addr.sin_port);
+  ::close(fd);
+
+  obs::HttpClient client({/*connect_timeout_ms=*/500, /*read_timeout_ms=*/500});
+  const obs::HttpClient::Result result =
+      client.Get("127.0.0.1", dead_port, "/healthz");
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+  EXPECT_EQ(result.status, 0);
+}
+
+TEST(HttpClientTest, ReadTimeoutReportsTransportError) {
+  // A listener that never accepts: the kernel completes the handshake
+  // into the backlog, the request is sent, and the response never comes
+  // — exactly a wedged replica. The client's read timeout must fire.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(fd, 4), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+
+  obs::HttpClient client({/*connect_timeout_ms=*/500, /*read_timeout_ms=*/200});
+  const auto start = std::chrono::steady_clock::now();
+  const obs::HttpClient::Result result =
+      client.Get("127.0.0.1", ntohs(addr.sin_port), "/healthz");
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+  EXPECT_LT(elapsed_s, 5.0) << "timeout did not bound the stall";
+  ::close(fd);
 }
 
 // -- Prometheus text exposition (satellite: pinned by hand) -------------
@@ -603,6 +674,40 @@ TEST(AdminIntegrationTest, MetricsSumMatchAndTimelineUnderLoad) {
   EXPECT_GT(scrapes.load(), 0);
 
   admin.Stop();  // Before the engine the sections capture dies.
+}
+
+// Pins the /varz serve_stats load-signal contract the isrec_router
+// prober scrapes (satellite): `queue_depth` (number) and `shedding`
+// (bool) must exist under exactly these names as cheap top-level
+// fields. Renaming them silently breaks DEGRADED detection fleet-wide.
+TEST(AdminIntegrationTest, VarzServeStatsExposesRouterLoadSignals) {
+  ObsGuard guard;
+  obs::EnableMetrics(true);
+  FakeModel model;
+  serve::EngineConfig config;
+  config.num_threads = 1;
+  config.max_batch_size = 4;
+  config.batch_window_us = 0;
+  serve::ServingEngine engine(model, /*num_items=*/50, config);
+  obs::AdminServer admin;
+  serve::RegisterAdminSections(admin, engine);
+  ASSERT_TRUE(admin.Start());
+
+  int status = 0;
+  const std::string body = Fetch(admin, "/varz", &status);
+  EXPECT_EQ(status, 200);
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(body).Parse(&root)) << body;
+  ASSERT_TRUE(root.object.count("serve_stats")) << body;
+  const JsonValue& stats = root.object.at("serve_stats");
+  ASSERT_TRUE(stats.object.count("queue_depth"));
+  EXPECT_EQ(stats.object.at("queue_depth").kind, JsonValue::kNumber);
+  ASSERT_TRUE(stats.object.count("shedding"));
+  EXPECT_EQ(stats.object.at("shedding").kind, JsonValue::kBool);
+  // Idle engine: empty queue, not shedding.
+  EXPECT_DOUBLE_EQ(stats.object.at("queue_depth").number, 0.0);
+  EXPECT_FALSE(stats.object.at("shedding").boolean);
+  admin.Stop();
 }
 
 // The happy-path identity contract: with the admin plane never started

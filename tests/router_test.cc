@@ -1,0 +1,904 @@
+// Tests of the sharded serving tier (DESIGN.md §11): the consistent
+// hash ring's property suite (balance, minimal movement, determinism),
+// the replica state machine, the recommend JSON codec, routing policy
+// against scripted fake replicas (overload retry, degraded spillover,
+// admin validation), and the end-to-end acceptance contract — a router
+// over two real engines answers identically to a direct engine call,
+// re-homes around a killed replica, and drains a replica under
+// concurrent load with zero dropped requests.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eval/recommender.h"
+#include "gtest/gtest.h"
+#include "obs/admin_server.h"
+#include "obs/http.h"
+#include "obs/metrics.h"
+#include "router/forwarder.h"
+#include "router/hash_ring.h"
+#include "router/prober.h"
+#include "router/replica_table.h"
+#include "router/router.h"
+#include "serve/engine.h"
+#include "serve/recommend_http.h"
+#include "utils/json.h"
+
+namespace isrec {
+namespace {
+
+// -- HashRing properties (satellite) -------------------------------------
+
+std::vector<std::string> ReplicaNames(int n) {
+  std::vector<std::string> names;
+  for (int i = 0; i < n; ++i) names.push_back("replica-" + std::to_string(i));
+  return names;
+}
+
+// With 128 vnodes, every replica's share of a large key population must
+// be within [0.5, 2.0]x fair — the bound the router's capacity planning
+// assumes.
+TEST(HashRingTest, BalancedAcrossFleetSizes) {
+  constexpr int kKeys = 20000;
+  for (int fleet : {2, 4, 8}) {
+    router::HashRing ring(/*virtual_nodes=*/128);
+    for (const std::string& name : ReplicaNames(fleet)) ring.AddReplica(name);
+    std::map<std::string, int> owned;
+    for (Index user = 0; user < kKeys; ++user) {
+      owned[ring.Owner(router::HashRing::KeyForUser(user))] += 1;
+    }
+    ASSERT_EQ(owned.size(), static_cast<size_t>(fleet));
+    const double fair = static_cast<double>(kKeys) / fleet;
+    for (const auto& [name, count] : owned) {
+      EXPECT_GE(count, fair * 0.5) << fleet << " replicas, " << name;
+      EXPECT_LE(count, fair * 2.0) << fleet << " replicas, " << name;
+    }
+  }
+}
+
+// Adding a replica only moves keys TO the new replica; removing one
+// only moves the removed replica's keys. Everything else stays put.
+TEST(HashRingTest, MinimalMovementOnAddAndRemove) {
+  constexpr int kKeys = 5000;
+  router::HashRing ring(128);
+  for (const std::string& name : ReplicaNames(4)) ring.AddReplica(name);
+  std::vector<std::string> before(kKeys);
+  for (Index user = 0; user < kKeys; ++user) {
+    before[user] = ring.Owner(router::HashRing::KeyForUser(user));
+  }
+
+  ASSERT_TRUE(ring.AddReplica("replica-new"));
+  int moved = 0;
+  for (Index user = 0; user < kKeys; ++user) {
+    const std::string after = ring.Owner(router::HashRing::KeyForUser(user));
+    if (after != before[user]) {
+      EXPECT_EQ(after, "replica-new") << "key moved between old replicas";
+      ++moved;
+    }
+  }
+  // The newcomer takes roughly 1/5 of the keyspace — and nothing else
+  // reshuffles.
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, kKeys / 2);
+
+  ASSERT_TRUE(ring.RemoveReplica("replica-new"));
+  for (Index user = 0; user < kKeys; ++user) {
+    EXPECT_EQ(ring.Owner(router::HashRing::KeyForUser(user)), before[user]);
+  }
+}
+
+// Placement is a pure function of the member set: insertion order and
+// process lifetime must not matter (a restarted router routes the same).
+TEST(HashRingTest, DeterministicPlacementRegardlessOfInsertionOrder) {
+  router::HashRing forward(64), reverse(64);
+  const std::vector<std::string> names = ReplicaNames(5);
+  for (const std::string& name : names) forward.AddReplica(name);
+  for (auto it = names.rbegin(); it != names.rend(); ++it) {
+    reverse.AddReplica(*it);
+  }
+  for (Index user = 0; user < 2000; ++user) {
+    const uint64_t key = router::HashRing::KeyForUser(user);
+    EXPECT_EQ(forward.Owner(key), reverse.Owner(key));
+    EXPECT_EQ(forward.Preference(key), reverse.Preference(key));
+  }
+}
+
+// Preference lists start at the owner and enumerate every replica
+// exactly once — the re-homing walk can always find a survivor.
+TEST(HashRingTest, PreferenceListsEveryReplicaOnceOwnerFirst) {
+  router::HashRing ring(128);
+  for (const std::string& name : ReplicaNames(4)) ring.AddReplica(name);
+  for (Index user = 0; user < 500; ++user) {
+    const uint64_t key = router::HashRing::KeyForUser(user);
+    const std::vector<std::string> preference = ring.Preference(key);
+    ASSERT_EQ(preference.size(), 4u);
+    EXPECT_EQ(preference[0], ring.Owner(key));
+    const std::set<std::string> distinct(preference.begin(), preference.end());
+    EXPECT_EQ(distinct.size(), 4u);
+  }
+}
+
+TEST(HashRingTest, EmptyAndDuplicateMembership) {
+  router::HashRing ring(8);
+  EXPECT_EQ(ring.Owner(123), "");
+  EXPECT_TRUE(ring.Preference(123).empty());
+  EXPECT_TRUE(ring.AddReplica("a"));
+  EXPECT_FALSE(ring.AddReplica("a"));  // Duplicate.
+  EXPECT_EQ(ring.num_replicas(), 1u);
+  EXPECT_FALSE(ring.RemoveReplica("b"));
+  EXPECT_EQ(ring.Owner(123), "a");
+}
+
+// -- ReplicaTable state machine -------------------------------------------
+
+std::vector<router::ReplicaConfig> TwoReplicas() {
+  return {{"r1", "127.0.0.1", 1001}, {"r2", "127.0.0.1", 1002}};
+}
+
+router::ReplicaState StateOf(const router::ReplicaTable& table,
+                             const std::string& name) {
+  router::ReplicaSnapshot snapshot;
+  EXPECT_TRUE(table.Snapshot(name, &snapshot));
+  return snapshot.state;
+}
+
+TEST(ReplicaTableTest, ProbeDrivenStateMachine) {
+  router::ReplicaTable table(TwoReplicas());
+  // Replicas start DOWN: the prober must prove them healthy first.
+  EXPECT_EQ(StateOf(table, "r1"), router::ReplicaState::kDown);
+  EXPECT_EQ(table.NumRoutable(), 0u);
+
+  table.ApplyProbe("r1", true, 0, false, 64, 2, "");
+  EXPECT_EQ(StateOf(table, "r1"), router::ReplicaState::kUp);
+
+  // Shedding or a deep queue degrades; recovery restores UP.
+  table.ApplyProbe("r1", true, 0, true, 64, 2, "");
+  EXPECT_EQ(StateOf(table, "r1"), router::ReplicaState::kDegraded);
+  table.ApplyProbe("r1", true, 64, false, 64, 2, "");
+  EXPECT_EQ(StateOf(table, "r1"), router::ReplicaState::kDegraded);
+  table.ApplyProbe("r1", true, 3, false, 64, 2, "");
+  EXPECT_EQ(StateOf(table, "r1"), router::ReplicaState::kUp);
+
+  // One failed probe (below threshold 2) keeps it routable; the second
+  // flips DOWN; a healthy probe revives.
+  table.ApplyProbe("r1", false, 0, false, 64, 2, "refused");
+  EXPECT_EQ(StateOf(table, "r1"), router::ReplicaState::kUp);
+  table.ApplyProbe("r1", false, 0, false, 64, 2, "refused");
+  EXPECT_EQ(StateOf(table, "r1"), router::ReplicaState::kDown);
+  table.ApplyProbe("r1", true, 0, false, 64, 2, "");
+  EXPECT_EQ(StateOf(table, "r1"), router::ReplicaState::kUp);
+}
+
+TEST(ReplicaTableTest, DrainIsStickyUnderHealthyProbesAndUndrainReverses) {
+  router::ReplicaTable table(TwoReplicas());
+  table.ApplyProbe("r1", true, 0, false, 64, 2, "");
+  ASSERT_TRUE(table.StartDrain("r1"));
+  EXPECT_EQ(StateOf(table, "r1"), router::ReplicaState::kDraining);
+
+  // Healthy probes must NOT lift a drain.
+  table.ApplyProbe("r1", true, 0, false, 64, 2, "");
+  EXPECT_EQ(StateOf(table, "r1"), router::ReplicaState::kDraining);
+
+  // Undrain hands the replica back to the prober (DOWN, then UP).
+  ASSERT_TRUE(table.Undrain("r1"));
+  EXPECT_EQ(StateOf(table, "r1"), router::ReplicaState::kDown);
+  EXPECT_FALSE(table.Undrain("r1"));  // Only DRAINING undrains.
+  table.ApplyProbe("r1", true, 0, false, 64, 2, "");
+  EXPECT_EQ(StateOf(table, "r1"), router::ReplicaState::kUp);
+
+  // A drained replica that dies (restart workflow) goes DOWN via probe
+  // failures and returns on the next healthy probe.
+  ASSERT_TRUE(table.StartDrain("r1"));
+  table.ApplyProbe("r1", false, 0, false, 64, 2, "refused");
+  table.ApplyProbe("r1", false, 0, false, 64, 2, "refused");
+  EXPECT_EQ(StateOf(table, "r1"), router::ReplicaState::kDown);
+
+  EXPECT_FALSE(table.StartDrain("nope"));
+  EXPECT_FALSE(table.Undrain("nope"));
+}
+
+TEST(ReplicaTableTest, AcquireSkipsUnroutableAndSpillsOffDegraded) {
+  router::ReplicaTable table(TwoReplicas());
+  const std::vector<std::string> preference = {"r1", "r2"};
+  router::ReplicaConfig target;
+  router::AcquireDecision decision;
+
+  // Nothing routable yet.
+  EXPECT_FALSE(table.AcquireTarget(preference, {}, &target, &decision));
+
+  table.ApplyProbe("r1", true, 0, false, 64, 2, "");
+  table.ApplyProbe("r2", true, 0, false, 64, 2, "");
+  ASSERT_TRUE(table.AcquireTarget(preference, {}, &target, &decision));
+  EXPECT_EQ(target.name, "r1");  // Owner first.
+  EXPECT_FALSE(decision.spilled);
+  table.ReleaseTarget("r1");
+
+  // Degraded owner spills to the UP second choice.
+  table.ApplyProbe("r1", true, 0, true, 64, 2, "");
+  ASSERT_TRUE(table.AcquireTarget(preference, {}, &target, &decision));
+  EXPECT_EQ(target.name, "r2");
+  EXPECT_TRUE(decision.spilled);
+  table.ReleaseTarget("r2");
+
+  // Both degraded: no spill target, the owner keeps its keys.
+  table.ApplyProbe("r2", true, 0, true, 64, 2, "");
+  ASSERT_TRUE(table.AcquireTarget(preference, {}, &target, &decision));
+  EXPECT_EQ(target.name, "r1");
+  EXPECT_FALSE(decision.spilled);
+  table.ReleaseTarget("r1");
+
+  // Draining owner: skip is recorded, traffic re-homes.
+  table.ApplyProbe("r1", true, 0, false, 64, 2, "");
+  table.ApplyProbe("r2", true, 0, false, 64, 2, "");
+  ASSERT_TRUE(table.StartDrain("r1"));
+  ASSERT_TRUE(table.AcquireTarget(preference, {}, &target, &decision));
+  EXPECT_EQ(target.name, "r2");
+  EXPECT_TRUE(decision.skipped_draining);
+  table.ReleaseTarget("r2");
+
+  // Exclusion (a retry that already tried r2) leaves nothing.
+  EXPECT_FALSE(table.AcquireTarget(preference, {"r2"}, &target, &decision));
+}
+
+TEST(ReplicaTableTest, TransportErrorOnReleaseMarksDown) {
+  router::ReplicaTable table(TwoReplicas());
+  table.ApplyProbe("r1", true, 0, false, 64, 2, "");
+  router::ReplicaConfig target;
+  router::AcquireDecision decision;
+  ASSERT_TRUE(table.AcquireTarget({"r1"}, {}, &target, &decision));
+  table.ReleaseTarget("r1", "connection reset");
+  router::ReplicaSnapshot snapshot;
+  ASSERT_TRUE(table.Snapshot("r1", &snapshot));
+  EXPECT_EQ(snapshot.state, router::ReplicaState::kDown);
+  EXPECT_EQ(snapshot.in_flight, 0u);
+  EXPECT_EQ(snapshot.transport_errors, 1u);
+  EXPECT_EQ(snapshot.last_error, "connection reset");
+}
+
+TEST(ReplicaTableTest, WaitDrainedBlocksUntilInFlightReachesZero) {
+  router::ReplicaTable table(TwoReplicas());
+  table.ApplyProbe("r1", true, 0, false, 64, 2, "");
+  router::ReplicaConfig target;
+  router::AcquireDecision decision;
+  ASSERT_TRUE(table.AcquireTarget({"r1"}, {}, &target, &decision));
+  ASSERT_TRUE(table.StartDrain("r1"));
+
+  // One request still in flight: the drain cannot complete.
+  EXPECT_FALSE(table.WaitDrained("r1", 50.0));
+
+  std::thread releaser([&table] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    table.ReleaseTarget("r1");
+  });
+  EXPECT_TRUE(table.WaitDrained("r1", 5000.0));
+  releaser.join();
+
+  router::ReplicaSnapshot snapshot;
+  ASSERT_TRUE(table.Snapshot("r1", &snapshot));
+  EXPECT_EQ(snapshot.in_flight, 0u);
+  EXPECT_EQ(snapshot.state, router::ReplicaState::kDraining);
+}
+
+// -- Recommend protocol codec ---------------------------------------------
+
+TEST(RecommendCodecTest, RequestRoundTripsThroughJson) {
+  serve::Request request;
+  request.user = 42;
+  request.history = {7, 8, 9};
+  request.k = 5;
+  request.candidates = {1, 2, 3};
+  request.options.deadline_ms = 12.5;
+  request.options.priority = 2;
+  request.options.allow_degraded = true;
+  request.id = 99;
+
+  serve::Request decoded;
+  std::string error;
+  ASSERT_TRUE(serve::RecommendRequestFromJson(
+      serve::RecommendRequestToJson(request), &decoded, &error))
+      << error;
+  EXPECT_EQ(decoded.user, 42);
+  EXPECT_EQ(decoded.history, (std::vector<Index>{7, 8, 9}));
+  EXPECT_EQ(decoded.k, 5);
+  EXPECT_EQ(decoded.candidates, (std::vector<Index>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(decoded.options.deadline_ms, 12.5);
+  EXPECT_EQ(decoded.options.priority, 2);
+  EXPECT_TRUE(decoded.options.allow_degraded);
+  EXPECT_EQ(decoded.id, 99u);
+}
+
+TEST(RecommendCodecTest, ResponseRoundTripsWithExactScores) {
+  serve::RecommendResponse response;
+  response.status = Status::Degraded("fallback ranking");
+  response.has_value = true;
+  response.recommendation.items = {4, 2, 0};
+  // Values chosen to be awkward in decimal: %.9g must round-trip them.
+  response.recommendation.scores = {0.1f, 3.14159274f, 1.0f / 3.0f};
+  response.recommendation.from_cache = true;
+
+  serve::RecommendResponse decoded;
+  std::string error;
+  ASSERT_TRUE(serve::RecommendResponseFromJson(
+      serve::RecommendResponseToJson(response), &decoded, &error))
+      << error;
+  EXPECT_EQ(decoded.status.code(), StatusCode::kDegraded);
+  EXPECT_EQ(decoded.status.message(), "fallback ranking");
+  ASSERT_TRUE(decoded.has_value);
+  EXPECT_EQ(decoded.recommendation.items, (std::vector<Index>{4, 2, 0}));
+  ASSERT_EQ(decoded.recommendation.scores.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(decoded.recommendation.scores[i],
+              response.recommendation.scores[i])
+        << i;
+  }
+  EXPECT_TRUE(decoded.recommendation.from_cache);
+}
+
+TEST(RecommendCodecTest, ValuelessResponseOmitsItems) {
+  serve::RecommendResponse response;
+  response.status = Status::Overloaded("queue full");
+  const std::string json = serve::RecommendResponseToJson(response);
+  EXPECT_EQ(json.find("items"), std::string::npos);
+  serve::RecommendResponse decoded;
+  std::string error;
+  ASSERT_TRUE(serve::RecommendResponseFromJson(json, &decoded, &error));
+  EXPECT_FALSE(decoded.has_value);
+  EXPECT_EQ(decoded.status.code(), StatusCode::kOverloaded);
+}
+
+TEST(RecommendCodecTest, RejectsMalformedRequests) {
+  serve::Request request;
+  std::string error;
+  EXPECT_FALSE(serve::RecommendRequestFromJson("not json", &request, &error));
+  EXPECT_FALSE(serve::RecommendRequestFromJson("{}", &request, &error));
+  EXPECT_FALSE(serve::RecommendRequestFromJson(
+      "{\"user\": \"seven\"}", &request, &error));
+  EXPECT_FALSE(serve::RecommendRequestFromJson(
+      "{\"user\": 1, \"history\": [1, \"x\"]}", &request, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(RecommendCodecTest, HttpStatusMirrorsProtocolStatus) {
+  EXPECT_EQ(serve::HttpStatusForCode(StatusCode::kOk), 200);
+  EXPECT_EQ(serve::HttpStatusForCode(StatusCode::kDegraded), 200);
+  EXPECT_EQ(serve::HttpStatusForCode(StatusCode::kInvalidArgument), 400);
+  EXPECT_EQ(serve::HttpStatusForCode(StatusCode::kModelError), 500);
+  EXPECT_EQ(serve::HttpStatusForCode(StatusCode::kOverloaded), 503);
+  EXPECT_EQ(serve::HttpStatusForCode(StatusCode::kDeadlineExceeded), 504);
+
+  StatusCode code;
+  ASSERT_TRUE(serve::StatusCodeFromName("OVERLOADED", &code));
+  EXPECT_EQ(code, StatusCode::kOverloaded);
+  EXPECT_FALSE(serve::StatusCodeFromName("NO_SUCH_STATUS", &code));
+}
+
+// -- Routing policy against scripted fake replicas ------------------------
+
+// A protocol-speaking fake replica: /healthz and /varz as the prober
+// expects, /recommend answering a canned (settable) protocol response.
+class FakeReplica {
+ public:
+  bool Start() {
+    return server_.Start(
+        "127.0.0.1", 0,
+        [this](const obs::HttpRequest& request) { return Handle(request); },
+        /*num_workers=*/2);
+  }
+  void Stop() { server_.Stop(); }
+  int port() const { return server_.port(); }
+
+  void set_response(const serve::RecommendResponse& response) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    response_json_ = serve::RecommendResponseToJson(response);
+    response_status_ = serve::HttpStatusForCode(response.status.code());
+  }
+  void set_load(uint64_t queue_depth, bool shedding) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_depth_ = queue_depth;
+    shedding_ = shedding;
+  }
+  int recommends() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return recommends_;
+  }
+
+ private:
+  obs::HttpResponse Handle(const obs::HttpRequest& request) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    obs::HttpResponse out;
+    if (request.path == "/healthz") {
+      out.body = "ok\n";
+    } else if (request.path == "/varz") {
+      out.content_type = "application/json";
+      out.body = "{\"serve_stats\": {\"queue_depth\": " +
+                 std::to_string(queue_depth_) + ", \"shedding\": " +
+                 (shedding_ ? "true" : "false") + "}}";
+    } else if (request.path == "/recommend") {
+      ++recommends_;
+      out.status = response_status_;
+      out.content_type = "application/json";
+      out.body = response_json_;
+    } else {
+      out.status = 404;
+    }
+    return out;
+  }
+
+  obs::HttpServer server_;
+  mutable std::mutex mutex_;
+  std::string response_json_ =
+      "{\"status\": \"OK\", \"message\": \"\", \"items\": [1], "
+      "\"scores\": [1], \"from_cache\": false}";
+  int response_status_ = 200;
+  uint64_t queue_depth_ = 0;
+  bool shedding_ = false;
+  int recommends_ = 0;
+};
+
+obs::HttpRequest PostRecommend(Index user) {
+  obs::HttpRequest request;
+  request.method = "POST";
+  request.path = "/recommend";
+  serve::Request protocol_request;
+  protocol_request.user = user;
+  protocol_request.history = {1, 2};
+  protocol_request.k = 1;
+  request.body = serve::RecommendRequestToJson(protocol_request);
+  return request;
+}
+
+router::RouterConfig TwoFakeConfig(const FakeReplica& a,
+                                   const FakeReplica& b) {
+  router::RouterConfig config;
+  config.replicas = {{"r1", "127.0.0.1", a.port()},
+                     {"r2", "127.0.0.1", b.port()}};
+  // Probing is driven manually (ProbeAllOnce) for determinism: park the
+  // background sweep far away.
+  config.probe.period_ms = 60000.0;
+  config.admin.num_workers = 2;
+  return config;
+}
+
+TEST(RouterPolicyTest, RetriesOverloadedWithinBoundThenRelays) {
+  FakeReplica a, b;
+  ASSERT_TRUE(a.Start());
+  ASSERT_TRUE(b.Start());
+  serve::RecommendResponse overloaded;
+  overloaded.status = Status::Overloaded("queue full");
+  a.set_response(overloaded);
+  b.set_response(overloaded);
+
+  router::RouterConfig config = TwoFakeConfig(a, b);
+  config.max_overload_retries = 1;
+  router::Router router(std::move(config));
+  ASSERT_TRUE(router.Start());
+  router.prober().ProbeAllOnce();
+  ASSERT_EQ(router.table().NumRoutable(), 2u);
+
+  const obs::HttpResponse response = router.HandleRecommend(PostRecommend(7));
+  EXPECT_EQ(response.status, 503);  // Relayed after the retry budget.
+  EXPECT_NE(response.body.find("OVERLOADED"), std::string::npos);
+  const router::RouterDecisions d = router.decisions();
+  EXPECT_EQ(d.requests, 1u);
+  EXPECT_EQ(d.forwarded, 2u);  // Original + exactly one retry.
+  EXPECT_EQ(d.retried, 1u);
+  EXPECT_EQ(a.recommends() + b.recommends(), 2);
+
+  router.Stop();
+  a.Stop();
+  b.Stop();
+}
+
+TEST(RouterPolicyTest, SpillsDegradedOwnersTrafficToUpReplica) {
+  FakeReplica a, b;
+  ASSERT_TRUE(a.Start());
+  ASSERT_TRUE(b.Start());
+  a.set_load(0, /*shedding=*/true);  // r1 reports shedding -> DEGRADED.
+
+  router::Router router(TwoFakeConfig(a, b));
+  ASSERT_TRUE(router.Start());
+  router.prober().ProbeAllOnce();
+  router::ReplicaSnapshot snapshot;
+  ASSERT_TRUE(router.table().Snapshot("r1", &snapshot));
+  ASSERT_EQ(snapshot.state, router::ReplicaState::kDegraded);
+
+  // Hit enough users that some are owned by r1; ALL answers must come
+  // from r2 while r1 is degraded and r2 is UP.
+  for (Index user = 0; user < 40; ++user) {
+    const obs::HttpResponse response =
+        router.HandleRecommend(PostRecommend(user));
+    EXPECT_EQ(response.status, 200);
+  }
+  EXPECT_EQ(a.recommends(), 0);
+  EXPECT_EQ(b.recommends(), 40);
+  const router::RouterDecisions d = router.decisions();
+  EXPECT_EQ(d.forwarded, 40u);
+  // With 128 vnodes, some of 40 users are deterministically r1-owned;
+  // each of those was a spill.
+  EXPECT_GT(d.spilled, 0u);
+  EXPECT_LT(d.spilled, 40u);
+
+  router.Stop();
+  a.Stop();
+  b.Stop();
+}
+
+TEST(RouterPolicyTest, NoRoutableReplicaAnswersOverloadedLocally) {
+  FakeReplica a, b;
+  ASSERT_TRUE(a.Start());
+  ASSERT_TRUE(b.Start());
+  // Deliberately NOT Start()ed: no probe ever runs (Start's first sweep
+  // would mark the fakes UP), so everything stays DOWN and the handler
+  // is driven directly.
+  router::Router router(TwoFakeConfig(a, b));
+  const obs::HttpResponse response = router.HandleRecommend(PostRecommend(1));
+  EXPECT_EQ(response.status, 503);
+  EXPECT_NE(response.body.find("no routable replica"), std::string::npos);
+  EXPECT_EQ(router.decisions().rejected, 1u);
+
+  // Malformed bodies are a router-local 400.
+  obs::HttpRequest bad;
+  bad.method = "POST";
+  bad.path = "/recommend";
+  bad.body = "{\"no_user\": true}";
+  EXPECT_EQ(router.HandleRecommend(bad).status, 400);
+  EXPECT_EQ(router.decisions().bad_requests, 1u);
+
+  router.Stop();
+  a.Stop();
+  b.Stop();
+}
+
+TEST(RouterPolicyTest, AdminDrainEndpointsValidateInput) {
+  FakeReplica a, b;
+  ASSERT_TRUE(a.Start());
+  ASSERT_TRUE(b.Start());
+  router::Router router(TwoFakeConfig(a, b));
+  ASSERT_TRUE(router.Start());
+  router.prober().ProbeAllOnce();
+
+  obs::HttpRequest request;
+  request.method = "GET";
+  request.path = "/admin/drain";
+  EXPECT_EQ(router.HandleDrain(request).status, 400);  // Missing replica=.
+  request.query["replica"] = "ghost";
+  EXPECT_EQ(router.HandleDrain(request).status, 404);
+  EXPECT_EQ(router.HandleUndrain(request).status, 404);
+
+  request.query["replica"] = "r1";
+  EXPECT_EQ(router.HandleUndrain(request).status, 409);  // Not draining.
+  const obs::HttpResponse drain = router.HandleDrain(request);
+  EXPECT_EQ(drain.status, 200);
+  EXPECT_NE(drain.body.find("\"state\": \"DRAINING\""), std::string::npos);
+  EXPECT_NE(drain.body.find("\"drained\": true"), std::string::npos);
+  EXPECT_EQ(router.HandleUndrain(request).status, 200);
+  EXPECT_EQ(StateOf(router.table(), "r1"), router::ReplicaState::kDown);
+
+  router.Stop();
+  a.Stop();
+  b.Stop();
+}
+
+// -- End-to-end: router over two real serving engines ---------------------
+
+// Deterministic scoring stand-in (same shape as serve_test's FakeModel):
+// score(c) = c % 97, cheap and order-stable.
+class FakeModel : public eval::Recommender {
+ public:
+  std::string name() const override { return "fake"; }
+  void Fit(const data::Dataset&, const data::LeaveOneOutSplit&) override {}
+  std::vector<float> Score(Index, const std::vector<Index>&,
+                           const std::vector<Index>& candidates) override {
+    std::vector<float> scores;
+    scores.reserve(candidates.size());
+    for (Index c : candidates) scores.push_back(static_cast<float>(c % 97));
+    return scores;
+  }
+};
+
+// One in-process replica: engine + admin server with POST /recommend,
+// exactly what `isrec_serve --serve` assembles.
+struct TestReplica {
+  FakeModel model;
+  std::unique_ptr<serve::ServingEngine> engine;
+  std::unique_ptr<obs::AdminServer> admin;
+
+  bool Start() {
+    serve::EngineConfig config;
+    config.num_threads = 2;
+    config.max_batch_size = 8;
+    config.batch_window_us = 0;
+    engine = std::make_unique<serve::ServingEngine>(model, /*num_items=*/100,
+                                                    config);
+    obs::AdminServerConfig admin_config;
+    admin_config.num_workers = 4;
+    admin = std::make_unique<obs::AdminServer>(admin_config);
+    serve::RegisterAdminSections(*admin, *engine);
+    serve::RegisterRecommendEndpoint(*admin, *engine);
+    return admin->Start();
+  }
+  void Stop() {
+    if (admin != nullptr) admin->Stop();
+  }
+  ~TestReplica() { Stop(); }
+};
+
+struct RouterOverTwoEngines {
+  TestReplica replicas[2];
+  std::unique_ptr<router::Router> router;
+
+  bool Start(int fail_threshold = 2) {
+    if (!replicas[0].Start() || !replicas[1].Start()) return false;
+    router::RouterConfig config;
+    config.replicas = {{"r1", "127.0.0.1", replicas[0].admin->port()},
+                       {"r2", "127.0.0.1", replicas[1].admin->port()}};
+    config.probe.period_ms = 50.0;
+    config.probe.fail_threshold = fail_threshold;
+    config.admin.num_workers = 4;
+    router = std::make_unique<router::Router>(std::move(config));
+    if (!router->Start()) return false;
+    // The first probe sweep runs immediately; wait for both replicas.
+    for (int i = 0; i < 200 && router->table().NumRoutable() < 2; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return router->table().NumRoutable() == 2;
+  }
+  void Stop() {
+    if (router != nullptr) router->Stop();
+    replicas[0].Stop();
+    replicas[1].Stop();
+  }
+};
+
+serve::RecommendResponse PostViaHttp(obs::HttpClient& client, int port,
+                                     const serve::Request& request,
+                                     int* http_status) {
+  const obs::HttpClient::Result result =
+      client.Post("127.0.0.1", port, "/recommend", "application/json",
+                  serve::RecommendRequestToJson(request));
+  EXPECT_TRUE(result.ok) << result.error;
+  *http_status = result.status;
+  serve::RecommendResponse response;
+  std::string error;
+  EXPECT_TRUE(serve::RecommendResponseFromJson(result.body, &response,
+                                               &error))
+      << error << ": " << result.body;
+  return response;
+}
+
+// Acceptance: routed answers are byte-identical to a direct engine call.
+TEST(RouterIntegrationTest, RoutedAnswersMatchDirectEngine) {
+  RouterOverTwoEngines tier;
+  ASSERT_TRUE(tier.Start());
+  obs::HttpClient client;
+  for (Index user = 0; user < 20; ++user) {
+    serve::Request request;
+    request.user = user;
+    request.history = {user % 7, (user * 3) % 11};
+    request.k = 5;
+    int http_status = 0;
+    const serve::RecommendResponse routed =
+        PostViaHttp(client, tier.router->port(), request, &http_status);
+    EXPECT_EQ(http_status, 200);
+    ASSERT_TRUE(routed.has_value) << routed.status.message();
+
+    const Outcome<serve::Recommendation> direct =
+        tier.replicas[0].engine->Recommend(request);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(routed.recommendation.items, direct.value().items) << user;
+    EXPECT_EQ(routed.recommendation.scores, direct.value().scores) << user;
+  }
+  // Consistent hashing spread the 20 users over both replicas.
+  router::ReplicaSnapshot r1, r2;
+  ASSERT_TRUE(tier.router->table().Snapshot("r1", &r1));
+  ASSERT_TRUE(tier.router->table().Snapshot("r2", &r2));
+  EXPECT_GT(r1.forwarded, 0u);
+  EXPECT_GT(r2.forwarded, 0u);
+  EXPECT_EQ(r1.forwarded + r2.forwarded, 20u);
+  tier.Stop();
+}
+
+// Acceptance: killing a replica re-homes its keys with no failed answers.
+TEST(RouterIntegrationTest, KilledReplicaGoesDownAndTrafficRehomes) {
+  RouterOverTwoEngines tier;
+  // An effectively-infinite probe failure threshold: only the forward
+  // path's transport error may mark r2 DOWN, so the first request after
+  // the kill deterministically hits the dead socket and re-homes.
+  ASSERT_TRUE(tier.Start(/*fail_threshold=*/1000000));
+
+  // Find a user whose ring owner is r2, then kill r2's server.
+  Index victim_user = -1;
+  for (Index user = 0; user < 1000; ++user) {
+    if (tier.router->ring().Owner(router::HashRing::KeyForUser(user)) ==
+        "r2") {
+      victim_user = user;
+      break;
+    }
+  }
+  ASSERT_GE(victim_user, 0);
+  tier.replicas[1].Stop();
+
+  serve::Request request;
+  request.user = victim_user;
+  request.history = {1, 2, 3};
+  request.k = 3;
+  obs::HttpClient client;
+  int http_status = 0;
+  const serve::RecommendResponse response =
+      PostViaHttp(client, tier.router->port(), request, &http_status);
+  // First attempt hits the dead replica, errors at transport, re-homes
+  // to r1, and still answers OK.
+  EXPECT_EQ(http_status, 200);
+  EXPECT_TRUE(response.has_value) << response.status.message();
+
+  const router::RouterDecisions d = tier.router->decisions();
+  EXPECT_GE(d.transport_errors, 1u);
+  EXPECT_EQ(d.rejected, 0u);
+  EXPECT_EQ(StateOf(tier.router->table(), "r2"), router::ReplicaState::kDown);
+
+  // Subsequent requests skip the DOWN replica up front.
+  const serve::RecommendResponse again =
+      PostViaHttp(client, tier.router->port(), request, &http_status);
+  EXPECT_EQ(http_status, 200);
+  EXPECT_TRUE(again.has_value);
+  EXPECT_GT(tier.router->decisions().down_rerouted, 0u);
+  tier.Stop();
+}
+
+// THE acceptance test of the drain story: drain a replica while
+// concurrent clients hammer the router — every single request must be
+// answered OK (zero drops), the drained replica must quiesce to zero
+// in-flight, and the books (client-side counts vs router decisions vs
+// replica engine stats) must balance exactly.
+TEST(RouterIntegrationTest, DrainUnderLoadDropsNothing) {
+  RouterOverTwoEngines tier;
+  ASSERT_TRUE(tier.Start());
+  tier.replicas[0].engine->ResetStats();
+  tier.replicas[1].engine->ResetStats();
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20;
+  std::atomic<int> ok{0}, not_ok{0};
+  std::atomic<bool> start{false};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      obs::HttpClient client;
+      while (!start.load()) std::this_thread::yield();
+      for (int i = 0; i < kPerThread; ++i) {
+        serve::Request request;
+        request.user = t * 100 + i;
+        request.history = {1, 2};
+        request.k = 3;
+        int http_status = 0;
+        const serve::RecommendResponse response =
+            PostViaHttp(client, tier.router->port(), request, &http_status);
+        if (http_status == 200 && response.status.code() == StatusCode::kOk) {
+          ok.fetch_add(1);
+        } else {
+          not_ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  start.store(true);
+  // Mid-load, drain r1 through the router's own admin plane and wait
+  // for quiescence — the zero-drop drain sequence of DESIGN.md §11.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  obs::HttpClient admin_client;
+  const obs::HttpClient::Result drain = admin_client.Get(
+      "127.0.0.1", tier.router->port(),
+      "/admin/drain?replica=r1&wait_ms=10000");
+  ASSERT_TRUE(drain.ok) << drain.error;
+  EXPECT_EQ(drain.status, 200);
+  EXPECT_NE(drain.body.find("\"drained\": true"), std::string::npos)
+      << drain.body;
+  for (std::thread& client : clients) client.join();
+
+  // Zero drops: every request answered OK, none rejected/expired/errored.
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);
+  EXPECT_EQ(not_ok.load(), 0);
+  const router::RouterDecisions d = tier.router->decisions();
+  EXPECT_EQ(d.requests, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(d.rejected, 0u);
+  EXPECT_EQ(d.expired, 0u);
+  EXPECT_EQ(d.transport_errors, 0u);
+
+  // The drained replica quiesced and stayed DRAINING.
+  router::ReplicaSnapshot r1;
+  ASSERT_TRUE(tier.router->table().Snapshot("r1", &r1));
+  EXPECT_EQ(r1.state, router::ReplicaState::kDraining);
+  EXPECT_EQ(r1.in_flight, 0u);
+
+  // The books balance: what the router forwarded is exactly what the
+  // two engines answered (no retries fired, so forwarded == requests),
+  // verified against the replicas' own serve stats.
+  const serve::ServeStats stats1 = tier.replicas[0].engine->Stats();
+  const serve::ServeStats stats2 = tier.replicas[1].engine->Stats();
+  EXPECT_EQ(stats1.ok + stats2.ok,
+            static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(d.forwarded, d.requests);
+
+  // Post-drain traffic to an r1-owned user re-homes (drain_rerouted).
+  Index r1_user = -1;
+  for (Index user = 0; user < 1000; ++user) {
+    if (tier.router->ring().Owner(router::HashRing::KeyForUser(user)) ==
+        "r1") {
+      r1_user = user;
+      break;
+    }
+  }
+  ASSERT_GE(r1_user, 0);
+  serve::Request request;
+  request.user = r1_user;
+  request.history = {1};
+  request.k = 1;
+  int http_status = 0;
+  const serve::RecommendResponse rehomed =
+      PostViaHttp(admin_client, tier.router->port(), request, &http_status);
+  EXPECT_EQ(http_status, 200);
+  EXPECT_TRUE(rehomed.has_value);
+  EXPECT_GT(tier.router->decisions().drain_rerouted, 0u);
+  const serve::ServeStats drained_stats = tier.replicas[0].engine->Stats();
+  EXPECT_EQ(drained_stats.ok, stats1.ok) << "drained replica got traffic";
+
+  tier.Stop();
+}
+
+// The router's own obs plane: /varz decisions mirror decisions(), the
+// per-replica table is present, and /metrics exposes router_* counters.
+TEST(RouterIntegrationTest, RouterAdminPlaneExposesDecisionsAndReplicas) {
+  const bool metrics_were_enabled = obs::MetricsEnabled();
+  obs::EnableMetrics(true);
+  RouterOverTwoEngines tier;
+  ASSERT_TRUE(tier.Start());
+  obs::HttpClient client;
+  serve::Request request;
+  request.user = 5;
+  request.history = {1};
+  request.k = 2;
+  int http_status = 0;
+  PostViaHttp(client, tier.router->port(), request, &http_status);
+  EXPECT_EQ(http_status, 200);
+
+  const obs::HttpClient::Result varz =
+      client.Get("127.0.0.1", tier.router->port(), "/varz");
+  ASSERT_TRUE(varz.ok);
+  json::JsonValue root;
+  ASSERT_TRUE(json::JsonParser(varz.body).Parse(&root)) << varz.body;
+  const json::JsonValue* router_section = root.Find("router");
+  ASSERT_NE(router_section, nullptr);
+  const json::JsonValue* decisions = router_section->Find("decisions");
+  ASSERT_NE(decisions, nullptr);
+  ASSERT_NE(decisions->Find("requests"), nullptr);
+  EXPECT_DOUBLE_EQ(decisions->Find("requests")->number,
+                   static_cast<double>(tier.router->decisions().requests));
+  const json::JsonValue* replicas = router_section->Find("replicas");
+  ASSERT_NE(replicas, nullptr);
+  ASSERT_EQ(replicas->array.size(), 2u);
+  EXPECT_EQ(replicas->array[0].Find("state")->str, "UP");
+
+  const obs::HttpClient::Result metrics =
+      client.Get("127.0.0.1", tier.router->port(), "/metrics");
+  ASSERT_TRUE(metrics.ok);
+  EXPECT_NE(metrics.body.find("router_forwarded"), std::string::npos);
+
+  const obs::HttpClient::Result healthz =
+      client.Get("127.0.0.1", tier.router->port(), "/healthz");
+  ASSERT_TRUE(healthz.ok);
+  EXPECT_EQ(healthz.status, 200);
+  EXPECT_NE(healthz.body.find("2/2 replicas routable"), std::string::npos);
+
+  tier.Stop();
+  obs::EnableMetrics(metrics_were_enabled);
+  obs::ResetAllMetrics();
+}
+
+}  // namespace
+}  // namespace isrec

@@ -719,8 +719,14 @@ TEST(EngineOutcomeTest, ProducerBlockedOnFullQueueIsReleasedAtShutdown) {
   std::future<Outcome<Recommendation>> b =
       engine->RecommendAsync({1, {2}, 5, {}, {}});
   std::optional<Outcome<Recommendation>> c;
+  // The producer must use a pre-loaded raw pointer: reading the
+  // unique_ptr's own storage would race the destroyer's reset() below
+  // (the test orders "blocked inside Recommend" vs "destructor runs"
+  // by sleeping, which is deliberate — but sleeps are not
+  // synchronization for the pointer load itself).
+  ServingEngine* raw_engine = engine.get();
   std::thread producer(
-      [&] { c = engine->Recommend({2, {3}, 5, {}, {}}); });
+      [&c, raw_engine] { c = raw_engine->Recommend({2, {3}, 5, {}, {}}); });
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
 
   std::thread destroyer([&engine] { engine.reset(); });

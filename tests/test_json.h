@@ -1,142 +1,18 @@
 #ifndef ISREC_TESTS_TEST_JSON_H_
 #define ISREC_TESTS_TEST_JSON_H_
 
-// Minimal JSON parser shared by the test binaries for schema checks on
-// the exporters (DumpMetricsJson, chrome traces, /varz, /tracez). Not a
-// general-purpose parser: escape handling is just good enough for the
-// strings our own exporters emit.
+// The JSON parser the test binaries use for schema checks on the
+// exporters (DumpMetricsJson, chrome traces, /varz, /tracez). The
+// implementation moved to src/utils/json.h when the router started
+// parsing JSON in production; this header keeps the isrec::testing
+// names the existing tests use.
 
-#include <cctype>
-#include <cstdlib>
-#include <map>
-#include <string>
-#include <string_view>
-#include <vector>
+#include "utils/json.h"
 
 namespace isrec::testing {
 
-struct JsonValue {
-  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  bool Parse(JsonValue* out) {
-    SkipWs();
-    if (!ParseValue(out)) return false;
-    SkipWs();
-    return pos_ == text_.size();
-  }
-
- private:
-  void SkipWs() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool ParseString(std::string* out) {
-    if (!Consume('"')) return false;
-    out->clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return false;
-        out->push_back(text_[pos_++]);  // Good enough for our exporters.
-      } else {
-        out->push_back(c);
-      }
-    }
-    return false;
-  }
-
-  bool ParseValue(JsonValue* out) {
-    SkipWs();
-    if (pos_ >= text_.size()) return false;
-    const char c = text_[pos_];
-    if (c == '{') {
-      ++pos_;
-      out->kind = JsonValue::kObject;
-      SkipWs();
-      if (Consume('}')) return true;
-      for (;;) {
-        SkipWs();
-        std::string key;
-        if (!ParseString(&key)) return false;
-        SkipWs();
-        if (!Consume(':')) return false;
-        JsonValue value;
-        if (!ParseValue(&value)) return false;
-        out->object.emplace(std::move(key), std::move(value));
-        SkipWs();
-        if (Consume(',')) continue;
-        return Consume('}');
-      }
-    }
-    if (c == '[') {
-      ++pos_;
-      out->kind = JsonValue::kArray;
-      SkipWs();
-      if (Consume(']')) return true;
-      for (;;) {
-        JsonValue value;
-        if (!ParseValue(&value)) return false;
-        out->array.push_back(std::move(value));
-        SkipWs();
-        if (Consume(',')) continue;
-        return Consume(']');
-      }
-    }
-    if (c == '"') {
-      out->kind = JsonValue::kString;
-      return ParseString(&out->str);
-    }
-    if (text_.compare(pos_, 4, "true") == 0) {
-      out->kind = JsonValue::kBool;
-      out->boolean = true;
-      pos_ += 4;
-      return true;
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      out->kind = JsonValue::kBool;
-      pos_ += 5;
-      return true;
-    }
-    if (text_.compare(pos_, 4, "null") == 0) {
-      out->kind = JsonValue::kNull;
-      pos_ += 4;
-      return true;
-    }
-    char* end = nullptr;
-    const std::string buffer(text_.substr(pos_));
-    out->number = std::strtod(buffer.c_str(), &end);
-    if (end == buffer.c_str()) return false;
-    out->kind = JsonValue::kNumber;
-    pos_ += end - buffer.c_str();
-    return true;
-  }
-
-  std::string_view text_;
-  size_t pos_ = 0;
-};
+using JsonValue = ::isrec::json::JsonValue;
+using JsonParser = ::isrec::json::JsonParser;
 
 }  // namespace isrec::testing
 

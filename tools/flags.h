@@ -41,6 +41,11 @@ class FlagParser {
   void Bool(const char* name, bool* target) {
     specs_.push_back({name, Kind::kBool, target});
   }
+  /// Repeatable string flag: each `--name VALUE` appends to *target
+  /// (e.g. isrec_router --replica HOST:PORT --replica HOST:PORT).
+  void StringList(const char* name, std::vector<std::string>* target) {
+    specs_.push_back({name, Kind::kStringList, target});
+  }
 
   /// Parses argv. Returns false — with a diagnostic on stderr for
   /// anything except an explicit --help/-h — on an unknown flag or a
@@ -73,6 +78,10 @@ class FlagParser {
         case Kind::kDouble:
           *static_cast<double*>(spec->target) = std::atof(value);
           break;
+        case Kind::kStringList:
+          static_cast<std::vector<std::string>*>(spec->target)
+              ->push_back(value);
+          break;
         case Kind::kBool:
           break;  // Handled above.
       }
@@ -81,7 +90,7 @@ class FlagParser {
   }
 
  private:
-  enum class Kind { kString, kInt, kDouble, kBool };
+  enum class Kind { kString, kInt, kDouble, kBool, kStringList };
   struct Spec {
     std::string name;
     Kind kind;

@@ -1,0 +1,178 @@
+// Sharded serving front-end (DESIGN.md §11): consistent-hashes users
+// across isrec_serve replica backends, probes their health and load,
+// and forwards the JSON recommend protocol with re-homing, spillover,
+// bounded overload retry, and zero-drop administrative drain.
+//
+// Usage:
+//   isrec_router --replica HOST:PORT [--replica HOST:PORT ...]
+//                [--port P] [--bind ADDR] [--vnodes N] [--workers N]
+//                [--probe-interval-ms D] [--probe-fail-threshold N]
+//                [--degrade-queue-depth N] [--max-retries N]
+//                [--forward-timeout-ms D] [--hold-s S]
+//
+//   --replica: one backend per flag, either HOST:PORT (ring name =
+//              "HOST:PORT") or NAME=HOST:PORT for a stable ring name
+//              that survives the backend moving between addresses.
+//   --port:    HTTP port for both planes — POST /recommend data plane
+//              and the admin plane (/healthz /metrics /varz /statusz,
+//              /admin/drain, /admin/undrain). 0 picks an ephemeral port
+//              (printed).
+//   --hold-s:  exit after S seconds; 0 (default) serves until
+//              SIGINT/SIGTERM.
+//
+// Operational walkthrough: README "Running a sharded tier".
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "router/router.h"
+#include "flags.h"
+
+namespace isrec {
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleSignal(int) { g_shutdown = 1; }
+
+struct RouterOptions {
+  std::vector<std::string> replica_specs;
+  Index port = 0;
+  std::string bind = "127.0.0.1";
+  Index vnodes = 128;
+  Index workers = 8;
+  double probe_interval_ms = 200.0;
+  Index probe_fail_threshold = 2;
+  Index degrade_queue_depth = 64;
+  Index max_retries = 1;
+  double forward_timeout_ms = 5000.0;
+  double hold_s = 0.0;
+};
+
+bool ParseArgs(int argc, char** argv, RouterOptions* options) {
+  tools::FlagParser parser;
+  parser.StringList("--replica", &options->replica_specs);
+  parser.Int("--port", &options->port);
+  parser.String("--bind", &options->bind);
+  parser.Int("--vnodes", &options->vnodes);
+  parser.Int("--workers", &options->workers);
+  parser.Double("--probe-interval-ms", &options->probe_interval_ms);
+  parser.Int("--probe-fail-threshold", &options->probe_fail_threshold);
+  parser.Int("--degrade-queue-depth", &options->degrade_queue_depth);
+  parser.Int("--max-retries", &options->max_retries);
+  parser.Double("--forward-timeout-ms", &options->forward_timeout_ms);
+  parser.Double("--hold-s", &options->hold_s);
+  if (!parser.Parse(argc, argv)) return false;
+  return !options->replica_specs.empty();
+}
+
+/// Parses "HOST:PORT" or "NAME=HOST:PORT" into a ReplicaConfig.
+bool ParseReplicaSpec(const std::string& spec, router::ReplicaConfig* out) {
+  std::string name, address = spec;
+  const size_t eq = spec.find('=');
+  if (eq != std::string::npos) {
+    name = spec.substr(0, eq);
+    address = spec.substr(eq + 1);
+  }
+  const size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == address.size()) {
+    return false;
+  }
+  out->host = address.substr(0, colon);
+  out->port = std::atoi(address.c_str() + colon + 1);
+  out->name = name.empty() ? address : name;
+  return out->port > 0;
+}
+
+int Run(const RouterOptions& options) {
+  router::RouterConfig config;
+  for (const std::string& spec : options.replica_specs) {
+    router::ReplicaConfig replica;
+    if (!ParseReplicaSpec(spec, &replica)) {
+      std::fprintf(stderr,
+                   "malformed --replica '%s' (want HOST:PORT or "
+                   "NAME=HOST:PORT)\n",
+                   spec.c_str());
+      return 2;
+    }
+    config.replicas.push_back(std::move(replica));
+  }
+  config.virtual_nodes = static_cast<int>(options.vnodes);
+  config.probe.period_ms = options.probe_interval_ms;
+  config.probe.fail_threshold = static_cast<int>(options.probe_fail_threshold);
+  config.probe.degrade_queue_depth =
+      static_cast<uint64_t>(options.degrade_queue_depth);
+  config.max_overload_retries = static_cast<int>(options.max_retries);
+  config.forward_read_timeout_ms = options.forward_timeout_ms;
+  config.admin.port = static_cast<int>(options.port);
+  config.admin.bind = options.bind;
+  config.admin.num_workers = static_cast<int>(options.workers);
+
+  obs::EnableMetrics(true);
+  obs::EnableTracing(true);
+
+  router::Router router(std::move(config));
+  if (!router.Start()) {
+    std::fprintf(stderr, "cannot start router on %s:%ld\n",
+                 options.bind.c_str(), static_cast<long>(options.port));
+    return 1;
+  }
+  std::printf("router on http://%s:%d (%zu replicas, %ld vnodes each)\n",
+              options.bind.c_str(), router.port(),
+              router.table().size(), static_cast<long>(options.vnodes));
+  for (const router::ReplicaSnapshot& r : router.table().SnapshotAll()) {
+    std::printf("  replica %s -> %s:%d\n", r.name.c_str(), r.host.c_str(),
+                r.port);
+  }
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  const auto started = std::chrono::steady_clock::now();
+  while (g_shutdown == 0) {
+    if (options.hold_s > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+                .count() >= options.hold_s) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  router.Stop();
+  const router::RouterDecisions d = router.decisions();
+  std::printf("router shut down: %llu requests, %llu forwarded, %llu "
+              "spilled, %llu retried, %llu rejected\n",
+              static_cast<unsigned long long>(d.requests),
+              static_cast<unsigned long long>(d.forwarded),
+              static_cast<unsigned long long>(d.spilled),
+              static_cast<unsigned long long>(d.retried),
+              static_cast<unsigned long long>(d.rejected));
+  return 0;
+}
+
+}  // namespace
+}  // namespace isrec
+
+int main(int argc, char** argv) {
+  isrec::RouterOptions options;
+  if (!isrec::ParseArgs(argc, argv, &options)) {
+    std::fprintf(
+        stderr,
+        "usage: %s --replica HOST:PORT [--replica HOST:PORT ...] [--port P]"
+        " [--bind ADDR] [--vnodes N] [--workers N] [--probe-interval-ms D]"
+        " [--probe-fail-threshold N] [--degrade-queue-depth N]"
+        " [--max-retries N] [--forward-timeout-ms D] [--hold-s S]\n",
+        argv[0]);
+    return 2;
+  }
+  return isrec::Run(options);
+}

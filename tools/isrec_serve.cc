@@ -1,7 +1,9 @@
 // Online inference server harness: loads a checkpoint written by
 // `isrec_cli --save`, replays a request workload through the
 // ServingEngine, and reports serve_stats plus the speedup over
-// sequential per-request Score calls.
+// sequential per-request Score calls. With --serve it instead runs as a
+// long-lived replica answering the JSON recommend protocol over HTTP —
+// the backend isrec_router shards across.
 //
 // Usage:
 //   isrec_serve --checkpoint PATH [--dataset PRESET] [--threads N]
@@ -9,6 +11,17 @@
 //               [--batch-window-us W] [--cache CAP] [--no-verify]
 //               [--deadline-ms D] [--shed-watermark H] [--allow-degraded]
 //               [--fault SPEC] [--metrics-json PATH] [--trace-out PATH]
+//
+//   --serve: replica mode. Starts the admin server (--admin-port; 0
+//            picks an ephemeral port, printed as "replica on ...") with
+//            POST /recommend registered next to the introspection
+//            plane, then serves until SIGINT/SIGTERM (or --admin-hold-s
+//            seconds, when set). /healthz answers 503 while the
+//            checkpoint loads, 200 once serving — exactly the signal
+//            the router's prober consumes, alongside queue_depth and
+//            shedding in /varz serve_stats. --admin-workers sets the
+//            HTTP worker pool (default 4) so probes don't queue behind
+//            in-flight recommends.
 //
 //   --deadline-ms: per-request deadline; late requests are answered
 //                  DEADLINE_EXCEEDED instead of arriving late.
@@ -41,6 +54,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -55,6 +69,7 @@
 #include "obs/trace.h"
 #include "serve/checkpoint.h"
 #include "serve/engine.h"
+#include "serve/recommend_http.h"
 #include "flags.h"
 #include "utils/stopwatch.h"
 
@@ -69,6 +84,8 @@ struct ServeOptions {
   Index requests = 2000;
   Index k = 10;
   bool no_verify = false;
+  bool serve = false;          // Long-lived replica mode.
+  Index admin_workers = 4;     // HTTP worker pool in replica mode.
   tools::EngineFlags engine;
   tools::AdminFlags admin;
 };
@@ -82,10 +99,83 @@ bool ParseArgs(int argc, char** argv, ServeOptions* options) {
   parser.Int("--requests", &options->requests);
   parser.Int("--k", &options->k);
   parser.Bool("--no-verify", &options->no_verify);
+  parser.Bool("--serve", &options->serve);
+  parser.Int("--admin-workers", &options->admin_workers);
   options->engine.Register(parser);
   options->admin.Register(parser);
   if (!parser.Parse(argc, argv)) return false;
   return !options->checkpoint.empty();
+}
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleShutdownSignal(int) { g_shutdown = 1; }
+
+/// Replica mode: checkpoint -> engine -> admin server with
+/// POST /recommend, serving until a signal (or --admin-hold-s).
+int RunServe(const ServeOptions& options) {
+  obs::EnableMetrics(true);
+  obs::EnableTracing(true);
+  obs::EnableRequestTracing(true);
+
+  // Admin plane first, health = loading, so orchestrators (and the
+  // router's prober) can watch the replica come up.
+  std::atomic<bool> ready{false};
+  obs::AdminServerConfig admin_config;
+  admin_config.port = static_cast<int>(options.admin.admin_port);
+  admin_config.num_workers = static_cast<int>(options.admin_workers);
+  obs::AdminServer admin(admin_config);
+  admin.SetBuildInfo("isrec_serve --serve " __DATE__);
+  admin.SetHealthProvider([&ready] {
+    return ready.load() ? std::make_pair(true, std::string("serving"))
+                        : std::make_pair(false, std::string("loading"));
+  });
+
+  serve::ServableModel loaded = serve::LoadCheckpoint(options.checkpoint);
+  if (loaded.model == nullptr) {
+    std::fprintf(stderr, "cannot load checkpoint %s\n",
+                 options.checkpoint.c_str());
+    return 1;
+  }
+  serve::EngineConfig engine_config;
+  if (!options.engine.ToEngineConfig(&engine_config)) return 2;
+  serve::ServingEngine engine(*loaded.model, loaded.dataset->num_items,
+                              engine_config);
+
+  serve::RegisterAdminSections(admin, engine);
+  serve::RegisterRecommendEndpoint(admin, engine);
+  if (!admin.Start()) {
+    std::fprintf(stderr, "cannot start replica server on port %ld\n",
+                 static_cast<long>(options.admin.admin_port));
+    return 1;
+  }
+  ready.store(true);
+  std::printf("replica on http://127.0.0.1:%d (model %s, %ld items; "
+              "POST /recommend + admin plane, %ld workers)\n",
+              admin.port(), loaded.model->name().c_str(),
+              static_cast<long>(loaded.dataset->num_items),
+              static_cast<long>(options.admin_workers));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+  const auto started = std::chrono::steady_clock::now();
+  while (g_shutdown == 0) {
+    if (options.admin.admin_hold_s > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+                .count() >= options.admin.admin_hold_s) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  // Stop the server BEFORE the engine dies: handlers capture it.
+  admin.Stop();
+  const serve::ServeStats stats = engine.Stats();
+  std::printf("replica shut down\n%s\n", stats.ToTableString().c_str());
+  std::printf("%s\n", serve::OutcomesLine(stats).c_str());
+  return 0;
 }
 
 // Enables obs systems up front and exports on destruction, so every
@@ -137,6 +227,7 @@ struct ObsExporter {
 };
 
 int Run(const ServeOptions& options) {
+  if (options.serve) return RunServe(options);
   ObsExporter exporter(options);
 
   // The admin server comes up FIRST — before the checkpoint loads — so
@@ -311,7 +402,8 @@ int main(int argc, char** argv) {
         " [--requests N] [--k K] [--max-batch B] [--batch-window-us W]"
         " [--cache CAP] [--no-verify] [--deadline-ms D] [--shed-watermark H]"
         " [--allow-degraded] [--fault SPEC] [--metrics-json PATH]"
-        " [--trace-out PATH] [--admin-port P] [--admin-hold-s S]\n",
+        " [--trace-out PATH] [--admin-port P] [--admin-hold-s S]"
+        " [--serve] [--admin-workers N]\n",
         argv[0]);
     return 2;
   }

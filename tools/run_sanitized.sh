@@ -10,8 +10,10 @@
 # paths: deadlines, shedding, fault injection, shutdown draining), the
 # status/fault primitives, the obs registry/trace buffers, and the
 # admin HTTP server (endpoint handlers racing the serving workers and
-# the rolling sampler) — the code paths where a data race would
-# silently break the determinism contract or leave a promise
+# the rolling sampler), and the sharded router tier (the replica
+# table's acquire/release/drain protocol racing the prober, forwarder
+# workers, and concurrent clients) — the code paths where a data race
+# would silently break the determinism contract or leave a promise
 # unresolved.
 set -eu
 cd "$(dirname "$0")/.."
@@ -26,7 +28,7 @@ build="build-$(echo "$san" | tr -d '+')san"
 cmake -B "$build" -S . -DISREC_SANITIZE="$san" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 tests="thread_pool_test parallel_ops_test lru_cache_test status_test \
-serve_test obs_test admin_server_test"
+serve_test obs_test admin_server_test router_test"
 # shellcheck disable=SC2086  # Word-splitting the target list is intended.
 cmake --build "$build" -j --target $tests
 
