@@ -7,7 +7,15 @@
 //    result is BITWISE identical to the single-thread run — the
 //    enforceable half of the determinism contract in DESIGN.md
 //    "Threading model". Exits nonzero on any mismatch.
-//  2. The google-benchmark suite, for regression-testing the substrate
+//  2. With --kernels, a kernel-ISA sweep: scalar vs the best compiled
+//    SIMD tier vs the int8 serving path, per shape, with inputs built
+//    OUTSIDE the timed region (unlike the thread sweep, whose run()
+//    regenerates inputs — fine for a determinism check, but RNG time
+//    swamps the kernel). Emitted as a "kernel_sweep" JSON section with
+//    "isa" / "dtype" fields; EXACT-class kernels are asserted bitwise
+//    identical to the scalar reference, and the serving-shaped GEMM
+//    must beat scalar by >= 2x when a SIMD tier is available.
+//  3. The google-benchmark suite, for regression-testing the substrate
 //    and the sparse-vs-dense GCN design choice.
 //
 // The sweep JSON also carries an "obs_overhead" block (instrumentation
@@ -20,9 +28,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,6 +40,7 @@
 #include "nn/attention.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/kernels/registry.h"
 #include "tensor/ops.h"
 #include "tensor/sparse.h"
 #include "utils/parallel.h"
@@ -296,7 +307,225 @@ ObsOverhead MeasureObsOverhead() {
   return result;
 }
 
-int RunThreadSweep(const std::string& out_path) {
+// -- Kernel ISA sweep (--kernels) ---------------------------------------
+
+/// One measured point: a (kernel, ISA, dtype) triple. Speedups are
+/// against the row's scalar fp32 baseline, so fp32-SIMD and int8
+/// numbers in the same row are directly comparable.
+struct IsaPoint {
+  std::string isa;
+  std::string dtype;
+  double ms = 0.0;
+  double speedup = 1.0;
+  bool identical = true;
+};
+
+struct IsaRow {
+  std::string name;
+  std::string shape;
+  std::vector<IsaPoint> points;
+};
+
+/// One timed body at a fixed dtype. `exact` marks EXACT-class kernels
+/// (DESIGN.md §12): every ISA must reproduce the scalar run bitwise.
+/// ULP-class rows (the trans_b reduction GEMMs) record `identical` as
+/// informational only. `inner` is how many times the body repeats the
+/// kernel per timed call (reported ms is divided by it) — the serving
+/// shape is small enough that one output allocation + result copy
+/// would otherwise swamp the kernel itself.
+struct IsaVariant {
+  std::string dtype;
+  bool exact;
+  int inner;
+  std::function<std::vector<float>()> run;
+};
+
+struct IsaCase {
+  std::string name;
+  std::string shape;
+  std::vector<IsaVariant> variants;
+};
+
+std::vector<IsaCase> KernelSweepCases() {
+  std::vector<IsaCase> cases;
+  Rng rng(201);
+
+  // Training FFN GEMM — plain variant, EXACT class.
+  {
+    Tensor a = Tensor::Randn({1280, 64}, 1.0f, rng);
+    Tensor b = Tensor::Randn({64, 256}, 1.0f, rng);
+    cases.push_back({"gemm_train",
+                     "[1280,64]x[64,256]",
+                     {{"fp32", true, 1, [a, b] {
+                         NoGradGuard no_grad;
+                         return BatchMatMul(a, b, false, false).ToVector();
+                       }}}});
+  }
+
+  // Tied-weight logits GEMM — trans_b, ULP class (FMA reduction).
+  {
+    Tensor states = Tensor::Randn({1280, 64}, 1.0f, rng);
+    Tensor table = Tensor::Randn({3706, 64}, 1.0f, rng);
+    cases.push_back({"gemm_logits_trans_b",
+                     "[1280,64]x[3706,64]^T",
+                     {{"fp32", false, 1, [states, table] {
+                         NoGradGuard no_grad;
+                         return BatchMatMul(states, table, false, true)
+                             .ToVector();
+                       }}}});
+  }
+
+  // Serving-shaped GEMM in both dtypes. The int8 operands are quantized
+  // once, outside timing, with the shared scalar quantizer — so the
+  // int8 scores (EXACT across ISAs) must match bitwise everywhere.
+  {
+    constexpr Index kB = 32, kV = 3706, kD = 64;
+    Tensor states = Tensor::Randn({kB, kD}, 1.0f, rng);
+    Tensor table = Tensor::Randn({kV, kD}, 1.0f, rng);
+    auto qa = std::make_shared<std::vector<int8_t>>(kB * kD);
+    auto qa_scales = std::make_shared<std::vector<float>>(kB);
+    auto qb = std::make_shared<std::vector<int8_t>>(kV * kD);
+    auto qb_scales = std::make_shared<std::vector<float>>(kV);
+    const kernels::KernelTable* scalar = kernels::ScalarKernelTable();
+    scalar->quantize_rows_i8(states.data(), qa->data(), qa_scales->data(), 0,
+                             kB, kD);
+    scalar->quantize_rows_i8(table.data(), qb->data(), qb_scales->data(), 0,
+                             kV, kD);
+    constexpr int kInner = 8;
+    cases.push_back(
+        {"gemm_serving",
+         "[32,64]x[3706,64]^T",
+         {{"fp32", false, kInner,
+           [states, table] {
+             NoGradGuard no_grad;
+             Tensor scores;
+             for (int r = 0; r < kInner; ++r) {
+               scores = BatchMatMul(states, table, false, true);
+             }
+             return scores.ToVector();
+           }},
+          {"int8", true, kInner, [qa, qa_scales, qb, qb_scales] {
+             std::vector<float> out(kB * kV);
+             for (int r = 0; r < kInner; ++r) {
+               kernels::Active().gemm_i8_rows(qa->data(), qa_scales->data(),
+                                              qb->data(), qb_scales->data(),
+                                              out.data(), 0, kB, kV, kD);
+             }
+             return out;
+           }}}});
+  }
+
+  // CSR SpMM — EXACT class.
+  {
+    std::vector<std::pair<Index, Index>> edges;
+    for (Index i = 0; i < 600; ++i) {
+      for (Index d = 1; d <= 3; ++d) edges.push_back({i, (i + d) % 600});
+    }
+    auto adj = std::make_shared<SparseMatrix>(
+        SparseMatrix::NormalizedAdjacency(600, edges));
+    Tensor x = Tensor::Randn({64, 600, 32}, 1.0f, rng);
+    cases.push_back({"spmm_gcn",
+                     "adj[600,600] * x[64,600,32]",
+                     {{"fp32", true, 1, [adj, x] {
+                         NoGradGuard no_grad;
+                         return SpMM(*adj, x).ToVector();
+                       }}}});
+  }
+
+  // Row-wise softmax — EXACT class (sums keep scalar order).
+  {
+    Tensor x = Tensor::Randn({1024, 101}, 1.0f, rng);
+    cases.push_back({"softmax",
+                     "[1024,101]",
+                     {{"fp32", true, 1, [x] {
+                         NoGradGuard no_grad;
+                         return Softmax(x).ToVector();
+                       }}}});
+  }
+  return cases;
+}
+
+/// Times every sweep case under every runtime-available ISA tier at one
+/// thread (isolating the ISA effect from sharding). Returns the number
+/// of failures: an EXACT-class result differing from scalar, or — when
+/// a SIMD tier exists — the serving-shaped GEMM not clearing 2x.
+int RunKernelIsaSweep(std::vector<IsaRow>* rows) {
+  utils::SetNumThreads(1);
+  std::vector<kernels::Isa> isas;
+  for (kernels::Isa isa : {kernels::Isa::kScalar, kernels::Isa::kAvx2,
+                           kernels::Isa::kNeon}) {
+    if (kernels::Table(isa) != nullptr) isas.push_back(isa);
+  }
+  std::printf(
+      "== kernel ISA sweep (1 thread; inputs prebuilt outside timing) ==\n");
+  int failures = 0;
+  for (const IsaCase& kcase : KernelSweepCases()) {
+    IsaRow row{kcase.name, kcase.shape, {}};
+    double scalar_fp32_ms = 0.0;
+    for (const IsaVariant& variant : kcase.variants) {
+      std::vector<float> reference;
+      for (kernels::Isa isa : isas) {
+        if (!kernels::SetActiveForTesting(isa)) continue;
+        std::vector<float> result;
+        const double ms =
+            TimeKernel({kcase.name, kcase.shape, variant.run}, &result) /
+            variant.inner;
+        IsaPoint point;
+        point.isa = kernels::IsaName(isa);
+        point.dtype = variant.dtype;
+        point.ms = ms;
+        if (isa == kernels::Isa::kScalar) {
+          reference = std::move(result);
+          if (variant.dtype == "fp32") scalar_fp32_ms = ms;
+        } else {
+          point.identical =
+              result.size() == reference.size() &&
+              std::memcmp(result.data(), reference.data(),
+                          reference.size() * sizeof(float)) == 0;
+          if (variant.exact && !point.identical) {
+            ++failures;
+            std::fprintf(stderr,
+                         "FAIL: %s (%s, %s) is EXACT-class but differs "
+                         "from the scalar reference\n",
+                         kcase.name.c_str(), point.isa.c_str(),
+                         variant.dtype.c_str());
+          }
+        }
+        const double baseline = scalar_fp32_ms > 0.0 ? scalar_fp32_ms : ms;
+        point.speedup = baseline / ms;
+        std::printf("  %-20s %-24s %-6s %-4s %8.3f ms  %6.2fx  %s\n",
+                    kcase.name.c_str(), kcase.shape.c_str(),
+                    point.isa.c_str(), point.dtype.c_str(), point.ms,
+                    point.speedup,
+                    point.identical ? "bitwise==scalar" : "ulp-class");
+        row.points.push_back(std::move(point));
+      }
+    }
+    rows->push_back(std::move(row));
+  }
+  kernels::ResetActiveForTesting();
+
+  // Acceptance: with a SIMD tier compiled in and usable, the serving-
+  // shaped GEMM must beat the scalar fp32 baseline by at least 2x.
+  if (isas.size() > 1) {
+    double best = 0.0;
+    for (const IsaRow& row : *rows) {
+      if (row.name != "gemm_serving") continue;
+      for (const IsaPoint& point : row.points) {
+        if (point.isa != "scalar") best = std::max(best, point.speedup);
+      }
+    }
+    if (best < 2.0) {
+      ++failures;
+      std::fprintf(stderr,
+                   "FAIL: gemm_serving best non-scalar speedup %.2fx < 2x\n",
+                   best);
+    }
+  }
+  return failures;
+}
+
+int RunThreadSweep(const std::string& out_path, bool kernel_sweep) {
   struct Point {
     Index threads;
     double ms;
@@ -337,6 +566,9 @@ int RunThreadSweep(const std::string& out_path) {
     rows.push_back(std::move(row));
   }
   utils::SetNumThreads(1);
+
+  std::vector<IsaRow> isa_rows;
+  if (kernel_sweep) mismatches += RunKernelIsaSweep(&isa_rows);
 
   // The sweep above runs with obs disabled so its timings stay
   // comparable across revisions; the instrumentation cost is measured
@@ -382,6 +614,26 @@ int RunThreadSweep(const std::string& out_path) {
     std::fprintf(f, "\n    ]}%s\n", k + 1 == rows.size() ? "" : ",");
   }
   std::fprintf(f, "  ],\n");
+  if (!isa_rows.empty()) {
+    std::fprintf(f, "  \"kernel_sweep\": [\n");
+    for (size_t k = 0; k < isa_rows.size(); ++k) {
+      const IsaRow& row = isa_rows[k];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"shape\": \"%s\", \"results\": [",
+                   row.name.c_str(), row.shape.c_str());
+      for (size_t p = 0; p < row.points.size(); ++p) {
+        const IsaPoint& pt = row.points[p];
+        std::fprintf(
+            f,
+            "%s\n      {\"isa\": \"%s\", \"dtype\": \"%s\", \"ms\": %.4f, "
+            "\"speedup\": %.3f, \"identical\": %s}",
+            p == 0 ? "" : ",", pt.isa.c_str(), pt.dtype.c_str(), pt.ms,
+            pt.speedup, pt.identical ? "true" : "false");
+      }
+      std::fprintf(f, "\n    ]}%s\n", k + 1 == isa_rows.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ],\n");
+  }
   std::fprintf(f,
                "  \"obs_overhead\": {\"kernel\": \"gemm_logits_trans_b\", "
                "\"disabled_ms\": %.4f, \"enabled_ms\": %.4f, "
@@ -404,15 +656,18 @@ int RunThreadSweep(const std::string& out_path) {
 
 int main(int argc, char** argv) {
   std::string sweep_out = "BENCH_tensor_ops.json";
+  bool kernel_sweep = false;
   std::vector<char*> bench_args = {argv[0]};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sweep-out") == 0 && i + 1 < argc) {
       sweep_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--kernels") == 0) {
+      kernel_sweep = true;
     } else {
       bench_args.push_back(argv[i]);
     }
   }
-  const int sweep_status = isrec::RunThreadSweep(sweep_out);
+  const int sweep_status = isrec::RunThreadSweep(sweep_out, kernel_sweep);
 
   int bench_argc = static_cast<int>(bench_args.size());
   benchmark::Initialize(&bench_argc, bench_args.data());

@@ -4,11 +4,13 @@
 set -u
 out=/root/repo/bench_output.txt
 : > "$out"
-# bench_ops also runs the thread-count sweep and regenerates
-# BENCH_tensor_ops.json (exits nonzero if any parallel kernel result
-# is not bitwise identical to the serial run).
-echo "##### build/bench/bench_ops (thread sweep) #####" >> "$out"
-build/bench/bench_ops --sweep-out /root/repo/BENCH_tensor_ops.json \
+# bench_ops also runs the thread-count sweep plus the kernel-ISA sweep
+# (--kernels: scalar vs SIMD vs int8) and regenerates
+# BENCH_tensor_ops.json (exits nonzero if any parallel kernel result is
+# not bitwise identical to the serial run, if an EXACT-class SIMD
+# kernel differs from scalar, or if the serving GEMM misses 2x).
+echo "##### build/bench/bench_ops (thread + kernel sweep) #####" >> "$out"
+build/bench/bench_ops --kernels --sweep-out /root/repo/BENCH_tensor_ops.json \
   >> "$out" 2>/dev/null
 echo "" >> "$out"
 for b in build/bench/bench_table3_datasets build/bench/bench_table4_concepts \

@@ -213,13 +213,11 @@ std::vector<float> SequentialModelBase::Score(
   return ScoreBatch({user}, {history}, {candidates})[0];
 }
 
-std::vector<std::vector<float>> SequentialModelBase::ScoreBatch(
+Tensor SequentialModelBase::EncodeStatesForServing(
     const std::vector<Index>& users,
-    const std::vector<std::vector<Index>>& histories,
-    const std::vector<std::vector<Index>>& candidate_lists) {
+    const std::vector<std::vector<Index>>& histories) {
   ISREC_CHECK_MSG(dataset_ != nullptr, "Score called before Fit");
   ISREC_CHECK_EQ(users.size(), histories.size());
-  ISREC_CHECK_EQ(users.size(), candidate_lists.size());
 
   NoGradGuard no_grad;
   // Only toggle training mode when needed: in serving steady state the
@@ -250,7 +248,25 @@ std::vector<std::vector<float>> SequentialModelBase::ScoreBatch(
   const auto prepared = PrepareInferenceHistories(histories);
   const data::SequenceBatch batch = data::SequenceBatcher::InferenceBatch(
       prepared, config_.seq_len, users);
-  Tensor last = EncodeLastState(batch);  // [B, d]
+  return EncodeLastState(batch);  // [B, d]
+}
+
+const Tensor& SequentialModelBase::item_embedding_table() const {
+  ISREC_CHECK_MSG(item_embedding_ != nullptr,
+                  "item_embedding_table called before Build");
+  return item_embedding_->table();
+}
+
+std::vector<std::vector<float>> SequentialModelBase::ScoreBatch(
+    const std::vector<Index>& users,
+    const std::vector<std::vector<Index>>& histories,
+    const std::vector<std::vector<Index>>& candidate_lists) {
+  ISREC_CHECK_EQ(users.size(), candidate_lists.size());
+
+  // The encode seam installs its own mode guard; scoring below only
+  // reads the table, so it needs no guard of its own.
+  NoGradGuard no_grad;
+  Tensor last = EncodeStatesForServing(users, histories);  // [B, d]
 
   std::vector<std::vector<float>> result;
   result.reserve(users.size());

@@ -77,6 +77,20 @@ class SequentialModelBase : public eval::Recommender, public nn::Module {
       const std::vector<std::vector<Index>>& histories,
       const std::vector<std::vector<Index>>& candidate_lists) override;
 
+  /// Inference seam for external scorers (the int8 quantized serving
+  /// path wraps the fp32 encoder but scores the catalog itself):
+  /// encodes histories to last-position states [B, d] with the same
+  /// no-grad / refcounted-eval-mode discipline as ScoreBatch.
+  /// Thread-safe for concurrent calls.
+  Tensor EncodeStatesForServing(
+      const std::vector<Index>& users,
+      const std::vector<std::vector<Index>>& histories);
+
+  /// Read-only view of the tied item embedding table ([vocab, d]; the
+  /// first num_items rows score the catalog). For checkpoint-load
+  /// quantization. Valid after Build/Fit.
+  const Tensor& item_embedding_table() const;
+
   const SeqModelConfig& config() const { return config_; }
 
   /// Dataset bound by Fit/Build (nullptr before either). Checkpointing

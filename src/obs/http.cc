@@ -9,6 +9,7 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cstdio>
@@ -29,6 +30,10 @@ constexpr int kSocketTimeoutS = 5;
 // starts closing new ones (backpressure to the kernel, not unbounded
 // memory).
 constexpr size_t kMaxPendingConnections = 1024;
+// How long a worker waits for the NEXT request on a kept-alive
+// connection before closing it. Short on purpose: an idle keep-alive
+// peer must not pin a worker that other connections are queueing for.
+constexpr int kKeepAliveIdleMs = 500;
 
 void SetSocketTimeoutsMs(int fd, int timeout_ms) {
   timeval tv{};
@@ -143,6 +148,44 @@ long ContentLength(const std::string& headers) {
     pos = eol + 2;
   }
   return -1;
+}
+
+/// Case-insensitive scan of a header block for `name: value` (value
+/// compared after trimming surrounding spaces, case-insensitively).
+bool HeaderEquals(const std::string& headers, const std::string& name,
+                  const std::string& value) {
+  size_t pos = 0;
+  while (pos < headers.size()) {
+    size_t eol = headers.find("\r\n", pos);
+    if (eol == std::string::npos) eol = headers.size();
+    const std::string line = headers.substr(pos, eol - pos);
+    const size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string got_name = line.substr(0, colon);
+      for (char& c : got_name) c = static_cast<char>(std::tolower(c));
+      if (got_name == name) {
+        std::string got_value = line.substr(colon + 1);
+        const size_t first = got_value.find_first_not_of(" \t");
+        const size_t last = got_value.find_last_not_of(" \t");
+        if (first == std::string::npos) return value.empty();
+        got_value = got_value.substr(first, last - first + 1);
+        for (char& c : got_value) c = static_cast<char>(std::tolower(c));
+        return got_value == value;
+      }
+    }
+    pos = eol + 2;
+  }
+  return false;
+}
+
+/// Waits up to `timeout_ms` for `fd` to become readable.
+bool WaitReadable(int fd, int timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  return rc > 0;
 }
 
 /// Connects to host:port with a bounded connect timeout (non-blocking
@@ -329,114 +372,267 @@ void HttpServer::WorkerLoop() {
 }
 
 void HttpServer::ServeConnection(int fd) {
-  std::string raw;
+  std::string raw;       // Carries pipelined bytes across requests.
+  bool first_request = true;
   char chunk[4096];
-  // Read until the full header block has arrived.
-  size_t header_end = std::string::npos;
-  while ((header_end = raw.find("\r\n\r\n")) == std::string::npos) {
-    if (raw.size() > kMaxRequestBytes) return;
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return;  // Timeout or hangup before a full request arrived.
-    }
-    raw.append(chunk, static_cast<size_t>(n));
-  }
-
-  HttpResponse response;
-  HttpRequest request;
-  const std::string request_line = raw.substr(0, raw.find("\r\n"));
-  bool run_handler = false;
-  if (!ParseRequestLine(request_line, &request)) {
-    response.status = 400;
-    response.body = "bad request\n";
-  } else if (request.method == "POST") {
-    // Read the Content-Length body (the rest may already be buffered).
-    const std::string headers = raw.substr(0, header_end);
-    const long content_length = ContentLength(headers);
-    const size_t body_start = header_end + 4;
-    if (content_length < 0 ||
-        static_cast<size_t>(content_length) >
-            kMaxRequestBytes) {
-      response.status = 400;
-      response.body = "POST requires a bounded Content-Length\n";
-    } else {
-      while (raw.size() - body_start <
-             static_cast<size_t>(content_length)) {
-        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-        if (n <= 0) {
-          if (n < 0 && errno == EINTR) continue;
-          return;  // Body never arrived; nothing sensible to answer.
-        }
-        raw.append(chunk, static_cast<size_t>(n));
+  for (;;) {
+    // Read until the full header block has arrived.
+    size_t header_end = std::string::npos;
+    while ((header_end = raw.find("\r\n\r\n")) == std::string::npos) {
+      if (raw.size() > kMaxRequestBytes) return;
+      if (!first_request && raw.empty() &&
+          !WaitReadable(fd, kKeepAliveIdleMs)) {
+        return;  // Idle kept-alive peer: give the worker back.
       }
-      request.body =
-          raw.substr(body_start, static_cast<size_t>(content_length));
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return;  // Timeout or hangup before a full request arrived.
+      }
+      raw.append(chunk, static_cast<size_t>(n));
+    }
+
+    HttpResponse response;
+    HttpRequest request;
+    const std::string headers = raw.substr(0, header_end);
+    const std::string request_line = raw.substr(0, raw.find("\r\n"));
+    size_t consumed = header_end + 4;
+    bool run_handler = false;
+    bool parse_failed = false;
+    if (!ParseRequestLine(request_line, &request)) {
+      response.status = 400;
+      response.body = "bad request\n";
+      parse_failed = true;  // Framing unknown: must close after answering.
+    } else if (request.method == "POST") {
+      // Read the Content-Length body (the rest may already be buffered).
+      const long content_length = ContentLength(headers);
+      const size_t body_start = header_end + 4;
+      if (content_length < 0 ||
+          static_cast<size_t>(content_length) > kMaxRequestBytes) {
+        response.status = 400;
+        response.body = "POST requires a bounded Content-Length\n";
+        parse_failed = true;
+      } else {
+        while (raw.size() - body_start <
+               static_cast<size_t>(content_length)) {
+          const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+          if (n <= 0) {
+            if (n < 0 && errno == EINTR) continue;
+            return;  // Body never arrived; nothing sensible to answer.
+          }
+          raw.append(chunk, static_cast<size_t>(n));
+        }
+        request.body =
+            raw.substr(body_start, static_cast<size_t>(content_length));
+        consumed = body_start + static_cast<size_t>(content_length);
+        run_handler = true;
+      }
+    } else if (request.method != "GET" && request.method != "HEAD") {
+      response.status = 405;
+      response.body = "only GET, HEAD, and POST are supported\n";
+    } else {
       run_handler = true;
     }
-  } else if (request.method != "GET" && request.method != "HEAD") {
-    response.status = 405;
-    response.body = "only GET, HEAD, and POST are supported\n";
-  } else {
-    run_handler = true;
-  }
-  if (run_handler) {
-    try {
-      response = handler_(request);
-    } catch (const std::exception& e) {
-      response = HttpResponse{};
-      response.status = 500;
-      response.body = std::string("handler error: ") + e.what() + "\n";
-    } catch (...) {
-      response = HttpResponse{};
-      response.status = 500;
-      response.body = "handler error\n";
+    // Keep-alive is opt-in per request: only an explicit header keeps
+    // the connection, so every pre-existing client (curl, the prober,
+    // one-shot HttpGet) still gets the historical one-request behavior.
+    const bool keep_alive =
+        !parse_failed && HeaderEquals(headers, "connection", "keep-alive");
+    if (run_handler) {
+      try {
+        response = handler_(request);
+      } catch (const std::exception& e) {
+        response = HttpResponse{};
+        response.status = 500;
+        response.body = std::string("handler error: ") + e.what() + "\n";
+      } catch (...) {
+        response = HttpResponse{};
+        response.status = 500;
+        response.body = "handler error\n";
+      }
     }
-  }
-  if (MetricsEnabled()) {
-    static Counter& requests = GetCounter("http.requests");
-    requests.Add(1);
-  }
+    if (MetricsEnabled()) {
+      static Counter& requests = GetCounter("http.requests");
+      requests.Add(1);
+      if (!first_request) {
+        static Counter& reuses = GetCounter("http.keepalive_reuses");
+        reuses.Add(1);
+      }
+    }
 
-  char header[256];
-  std::snprintf(header, sizeof(header),
-                "HTTP/1.1 %d %s\r\n"
-                "Content-Type: %s\r\n"
-                "Content-Length: %zu\r\n"
-                "Connection: close\r\n"
-                "\r\n",
-                response.status, StatusText(response.status),
-                response.content_type.c_str(), response.body.size());
-  if (!SendAll(fd, header, std::strlen(header))) return;
-  if (request.method != "HEAD") {
-    SendAll(fd, response.body.data(), response.body.size());
+    char header[256];
+    std::snprintf(header, sizeof(header),
+                  "HTTP/1.1 %d %s\r\n"
+                  "Content-Type: %s\r\n"
+                  "Content-Length: %zu\r\n"
+                  "Connection: %s\r\n"
+                  "\r\n",
+                  response.status, StatusText(response.status),
+                  response.content_type.c_str(), response.body.size(),
+                  keep_alive ? "keep-alive" : "close");
+    if (!SendAll(fd, header, std::strlen(header))) return;
+    if (request.method != "HEAD" &&
+        !SendAll(fd, response.body.data(), response.body.size())) {
+      return;
+    }
+    if (!keep_alive) return;
+    raw.erase(0, consumed);
+    first_request = false;
   }
 }
 
+HttpClient::~HttpClient() {
+  for (const auto& [key, fd] : pool_) ::close(fd);
+}
+
+size_t HttpClient::pooled_connections() const {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  return pool_.size();
+}
+
+int HttpClient::TakePooled(const std::string& host, int port) {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  auto it = pool_.find({host, port});
+  if (it == pool_.end()) return -1;
+  const int fd = it->second;
+  pool_.erase(it);
+  return fd;
+}
+
+void HttpClient::ReturnPooled(const std::string& host, int port, int fd) {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    // One pooled connection per peer: if a concurrent request already
+    // parked one, the younger connection is the one we drop.
+    if (pool_.emplace(std::make_pair(host, port), fd).second) return;
+  }
+  ::close(fd);
+}
+
 HttpClient::Result HttpClient::Get(const std::string& host, int port,
-                                   const std::string& target) {
-  return Fetch(host, port, target, "GET", "", "");
+                                   const std::string& target,
+                                   int timeout_ms) {
+  return Fetch(host, port, target, "GET", "", "", timeout_ms);
 }
 
 HttpClient::Result HttpClient::Post(const std::string& host, int port,
                                     const std::string& target,
                                     const std::string& content_type,
-                                    const std::string& request_body) {
-  return Fetch(host, port, target, "POST", content_type, request_body);
+                                    const std::string& request_body,
+                                    int timeout_ms) {
+  return Fetch(host, port, target, "POST", content_type, request_body,
+               timeout_ms);
 }
+
+namespace {
+
+/// One request/response exchange on an already-connected fd. On success
+/// fills status/body and sets `poolable` when the response was
+/// Content-Length framed AND advertised keep-alive; on failure fills
+/// `error` (the caller decides whether a failure on a REUSED connection
+/// warrants a fresh-connection retry).
+bool ExchangeOnFd(int fd, const std::string& request, bool* poolable,
+                  int* status, std::string* body, std::string* error) {
+  *poolable = false;
+  if (!SendAll(fd, request.data(), request.size())) {
+    *error = std::string("send: ") + std::strerror(errno);
+    return false;
+  }
+  std::string raw;
+  char chunk[4096];
+  size_t header_end = std::string::npos;
+  while ((header_end = raw.find("\r\n\r\n")) == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      *error = errno == EAGAIN || errno == EWOULDBLOCK
+                   ? "read timeout"
+                   : std::string("recv: ") + std::strerror(errno);
+      return false;
+    }
+    if (n == 0) {
+      *error = "peer closed before response headers";
+      return false;
+    }
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+
+  // "HTTP/1.1 200 OK\r\n...\r\n\r\n<body>"
+  if (raw.rfind("HTTP/1.", 0) != 0) {
+    *error = "malformed response";
+    return false;
+  }
+  const size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) {
+    *error = "malformed status line";
+    return false;
+  }
+  const int parsed_status = std::atoi(raw.c_str() + sp + 1);
+  if (parsed_status < 100) {
+    *error = "malformed status code";
+    return false;
+  }
+  const std::string headers = raw.substr(0, header_end);
+  const size_t body_start = header_end + 4;
+  const long content_length = ContentLength(headers);
+  if (content_length >= 0) {
+    // Framed response: read exactly the advertised body, leaving the
+    // connection positioned at the next response — reusable.
+    while (raw.size() - body_start < static_cast<size_t>(content_length)) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        *error = n == 0 ? "peer closed mid-body"
+                        : (errno == EAGAIN || errno == EWOULDBLOCK
+                               ? "read timeout"
+                               : std::string("recv: ") +
+                                     std::strerror(errno));
+        return false;
+      }
+      raw.append(chunk, static_cast<size_t>(n));
+    }
+    *body = raw.substr(body_start, static_cast<size_t>(content_length));
+    *poolable = HeaderEquals(headers, "connection", "keep-alive");
+  } else {
+    // Unframed: the peer delimits the body by closing — drain to EOF.
+    for (;;) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0) {
+        *error = errno == EAGAIN || errno == EWOULDBLOCK
+                     ? "read timeout"
+                     : std::string("recv: ") + std::strerror(errno);
+        return false;
+      }
+      if (n == 0) break;
+      raw.append(chunk, static_cast<size_t>(n));
+    }
+    *body = raw.substr(body_start);
+  }
+  *status = parsed_status;
+  return true;
+}
+
+}  // namespace
 
 HttpClient::Result HttpClient::Fetch(const std::string& host, int port,
                                      const std::string& target,
                                      const char* method,
                                      const std::string& content_type,
-                                     const std::string& request_body) {
+                                     const std::string& request_body,
+                                     int timeout_ms) {
   Result result;
-  const int fd = ConnectWithTimeout(host, port, options_, &result.error);
-  if (fd < 0) return result;
+  HttpClientOptions options = options_;
+  if (timeout_ms > 0) {
+    options.connect_timeout_ms =
+        std::min(options.connect_timeout_ms, timeout_ms);
+    options.read_timeout_ms = std::min(options.read_timeout_ms, timeout_ms);
+  }
 
-  std::string request = std::string(method) + " " + target +
-                        " HTTP/1.1\r\nHost: " + host +
-                        "\r\nConnection: close\r\n";
+  std::string request =
+      std::string(method) + " " + target + " HTTP/1.1\r\nHost: " + host +
+      "\r\nConnection: " +
+      (options_.keep_alive ? "keep-alive" : "close") + "\r\n";
   if (std::strcmp(method, "POST") == 0) {
     request += "Content-Type: " +
                (content_type.empty() ? "application/octet-stream"
@@ -446,52 +642,43 @@ HttpClient::Result HttpClient::Fetch(const std::string& host, int port,
   }
   request += "\r\n";
   request += request_body;
-  if (!SendAll(fd, request.data(), request.size())) {
-    result.error = std::string("send: ") + std::strerror(errno);
-    ::close(fd);
-    return result;
-  }
 
-  std::string raw;
-  char chunk[4096];
-  for (;;) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n < 0) {
-      result.error = errno == EAGAIN || errno == EWOULDBLOCK
-                         ? "read timeout"
-                         : std::string("recv: ") + std::strerror(errno);
-      ::close(fd);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    bool reused = false;
+    int fd = -1;
+    if (options_.keep_alive) {
+      fd = TakePooled(host, port);
+      reused = fd >= 0;
+    }
+    if (fd < 0) {
+      fd = ConnectWithTimeout(host, port, options, &result.error);
+      if (fd < 0) return result;
+    } else {
+      // The pooled fd carries the timeouts of whichever call created
+      // it; re-arm for this call's budget.
+      SetSocketTimeoutsMs(fd, options.read_timeout_ms);
+    }
+    bool poolable = false;
+    std::string error;
+    if (ExchangeOnFd(fd, request, &poolable, &result.status, &result.body,
+                     &error)) {
+      if (options_.keep_alive && poolable) {
+        ReturnPooled(host, port, fd);
+      } else {
+        ::close(fd);
+      }
+      result.ok = true;
+      result.error.clear();
       return result;
     }
-    if (n == 0) break;
-    raw.append(chunk, static_cast<size_t>(n));
+    ::close(fd);
+    if (!reused) {
+      result.error = error;
+      return result;
+    }
+    // The reused connection was stale (closed or wedged since it was
+    // pooled): retry exactly once on a fresh connection.
   }
-  ::close(fd);
-
-  // "HTTP/1.1 200 OK\r\n...\r\n\r\n<body>"
-  if (raw.rfind("HTTP/1.", 0) != 0) {
-    result.error = "malformed response";
-    return result;
-  }
-  const size_t sp = raw.find(' ');
-  if (sp == std::string::npos || sp + 4 > raw.size()) {
-    result.error = "malformed status line";
-    return result;
-  }
-  const int parsed_status = std::atoi(raw.c_str() + sp + 1);
-  if (parsed_status < 100) {
-    result.error = "malformed status code";
-    return result;
-  }
-  const size_t header_end = raw.find("\r\n\r\n");
-  if (header_end == std::string::npos) {
-    result.error = "truncated response headers";
-    return result;
-  }
-  result.ok = true;
-  result.status = parsed_status;
-  result.body = raw.substr(header_end + 4);
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace isrec::obs {
@@ -16,11 +17,16 @@ namespace isrec::obs {
 /// Minimal dependency-free HTTP/1.1 server (DESIGN.md "Admin server &
 /// request tracing"). Blocking sockets, one background accept thread
 /// handing connections to a small worker pool (1 worker by default, so
-/// the admin plane keeps its original one-at-a-time behavior),
-/// `Connection: close` on every response — deliberately the simplest
-/// thing that a browser, curl, a Prometheus scraper, and the
-/// isrec_router data plane can all talk to. GET, HEAD, and POST (with a
-/// Content-Length body) are supported; anything else is a 405.
+/// the admin plane keeps its original one-at-a-time behavior) —
+/// deliberately the simplest thing that a browser, curl, a Prometheus
+/// scraper, and the isrec_router data plane can all talk to. GET, HEAD,
+/// and POST (with a Content-Length body) are supported; anything else
+/// is a 405. Responses default to `Connection: close`; a client that
+/// sends an explicit `Connection: keep-alive` request header gets the
+/// connection held open for further requests (the router's forwarder
+/// does, so steady-state forwarding pays no per-request TCP handshake).
+/// An idle kept-alive connection is closed after a short wait so it
+/// cannot pin a worker.
 
 /// A parsed request: method, path, decoded query parameters
 /// ("/tracez?format=json" → path "/tracez", query {{"format","json"}}),
@@ -96,19 +102,30 @@ class HttpServer {
 };
 
 /// Blocking HTTP client with per-request connect/read timeouts, used by
-/// the router's prober + forwarder and by tests/benches. One request
-/// per connection (`Connection: close`), IPv4 dotted-quad hosts only —
-/// exactly the peer the HttpServer above is.
+/// the router's prober + forwarder and by tests/benches. IPv4
+/// dotted-quad hosts only — exactly the peer the HttpServer above is.
+/// By default each request opens its own connection (`Connection:
+/// close`); with keep_alive the client holds ONE pooled connection per
+/// (host, port) and reuses it across requests, falling back to a fresh
+/// connection (one retry) when a pooled connection turns out to be
+/// stale — the peer may close an idle connection at any time.
 struct HttpClientOptions {
   int connect_timeout_ms = 1000;
   /// Socket receive/send timeout; also bounds how long one Fetch can
   /// stall on a wedged peer.
   int read_timeout_ms = 5000;
+  /// Reuse connections (HTTP keep-alive). A pooled connection is only
+  /// kept when the server's response advertises keep-alive too.
+  bool keep_alive = false;
 };
 
 class HttpClient {
  public:
   explicit HttpClient(HttpClientOptions options = {}) : options_(options) {}
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
 
   struct Result {
     bool ok = false;        // Transport success (any HTTP status counts).
@@ -117,23 +134,34 @@ class HttpClient {
     std::string error;      // Transport failure detail when !ok.
   };
 
-  /// GET http://host:port{target}.
-  Result Get(const std::string& host, int port, const std::string& target);
+  /// GET http://host:port{target}. `timeout_ms` > 0 caps the configured
+  /// connect/read timeouts for this one call.
+  Result Get(const std::string& host, int port, const std::string& target,
+             int timeout_ms = 0);
 
   /// POST `request_body` (with the given Content-Type) to
   /// http://host:port{target}.
   Result Post(const std::string& host, int port, const std::string& target,
               const std::string& content_type,
-              const std::string& request_body);
+              const std::string& request_body, int timeout_ms = 0);
 
   const HttpClientOptions& options() const { return options_; }
+
+  /// Connections currently parked in the keep-alive pool (tests).
+  size_t pooled_connections() const;
 
  private:
   Result Fetch(const std::string& host, int port, const std::string& target,
                const char* method, const std::string& content_type,
-               const std::string& request_body);
+               const std::string& request_body, int timeout_ms);
+
+  // Takes/returns the single pooled fd for (host, port); -1 when none.
+  int TakePooled(const std::string& host, int port);
+  void ReturnPooled(const std::string& host, int port, int fd);
 
   HttpClientOptions options_;
+  mutable std::mutex pool_mutex_;
+  std::map<std::pair<std::string, int>, int> pool_;
 };
 
 /// Blocking GET for tests, benches, and in-process smoke checks:

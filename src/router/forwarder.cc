@@ -7,16 +7,11 @@ namespace isrec::router {
 ForwardResult Forwarder::Forward(const std::string& host, int port,
                                  const serve::Request& request,
                                  double timeout_ms) const {
-  obs::HttpClientOptions options = options_;
-  if (timeout_ms > 0.0) {
-    const int capped = std::max(1, static_cast<int>(timeout_ms));
-    options.connect_timeout_ms = std::min(options.connect_timeout_ms, capped);
-    options.read_timeout_ms = std::min(options.read_timeout_ms, capped);
-  }
-  obs::HttpClient client(options);
+  const int capped =
+      timeout_ms > 0.0 ? std::max(1, static_cast<int>(timeout_ms)) : 0;
   const obs::HttpClient::Result http =
-      client.Post(host, port, "/recommend", "application/json",
-                  serve::RecommendRequestToJson(request));
+      client_.Post(host, port, "/recommend", "application/json",
+                   serve::RecommendRequestToJson(request), capped);
   ForwardResult result;
   if (!http.ok) {
     result.transport_error = http.error;

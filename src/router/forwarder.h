@@ -20,12 +20,17 @@ struct ForwardResult {
 };
 
 /// Synchronous HTTP forwarder: serializes a Request, POSTs it to a
-/// replica's /recommend, parses the protocol response. Stateless apart
-/// from client timeouts; safe to call from many router workers at once.
+/// replica's /recommend, parses the protocol response. Holds one
+/// persistent keep-alive client, so in steady state each replica is
+/// reached over a pooled connection instead of a fresh TCP handshake
+/// per request (a stale pooled connection falls back to a reconnect,
+/// retried once inside the client). Safe to call from many router
+/// workers at once: the client hands the pooled connection to exactly
+/// one caller and the others open their own.
 class Forwarder {
  public:
   explicit Forwarder(obs::HttpClientOptions options = {})
-      : options_(options) {}
+      : client_(WithKeepAlive(options)) {}
 
   /// Forwards `request` to host:port. `timeout_ms` > 0 caps both the
   /// connect and read timeouts for this attempt (the remaining deadline
@@ -35,8 +40,18 @@ class Forwarder {
                         const serve::Request& request,
                         double timeout_ms = 0.0) const;
 
+  /// Replica connections currently parked for reuse (tests/varz).
+  size_t pooled_connections() const { return client_.pooled_connections(); }
+
  private:
-  obs::HttpClientOptions options_;
+  static obs::HttpClientOptions WithKeepAlive(obs::HttpClientOptions options) {
+    options.keep_alive = true;
+    return options;
+  }
+
+  // Mutable: Forward is logically const (no forwarder state the caller
+  // can observe changes) but connection pooling mutates the client.
+  mutable obs::HttpClient client_;
 };
 
 }  // namespace isrec::router

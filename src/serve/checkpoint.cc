@@ -322,9 +322,22 @@ ServableModel LoadCheckpointImpl(const std::string& path) {
 }  // namespace
 
 ServableModel LoadCheckpoint(const std::string& path) {
+  return LoadCheckpoint(path, LoadOptions{});
+}
+
+ServableModel LoadCheckpoint(const std::string& path,
+                             const LoadOptions& options) {
   ISREC_TRACE_SPAN("checkpoint.load");
   const Stopwatch sw;
   ServableModel result = LoadCheckpointImpl(path);
+  if (result.model != nullptr &&
+      options.quantization == Quantization::kInt8) {
+    // Quantize the restored item table for int8 catalog scoring. The
+    // fp32 model stays intact underneath (the scorer reuses its
+    // encoder), so a replica can compare both paths from one load.
+    result.quantized = std::make_unique<QuantizedScorer>(
+        *result.model, result.dataset->num_items);
+  }
   if (obs::MetricsEnabled()) {
     static obs::Histogram& load_ms = obs::GetHistogram(
         "serve.checkpoint_load_ms", obs::LatencyBucketsMs());

@@ -6,6 +6,8 @@
 
 #include "core/isrec.h"
 #include "data/dataset.h"
+#include "eval/recommender.h"
+#include "serve/quantized.h"
 
 namespace isrec::serve {
 
@@ -27,6 +29,20 @@ namespace isrec::serve {
 /// not belong in a model artifact.
 inline constexpr uint32_t kCheckpointVersion = 1;
 
+/// Post-load weight transform applied to the restored model's serving
+/// path. The checkpoint file itself always stores fp32 parameters;
+/// quantization is a load-time decision, so one artifact serves both
+/// exact and quantized replicas.
+enum class Quantization {
+  kNone,  // fp32 scoring, bitwise-identical to the saved model.
+  kInt8,  // int8 catalog scoring (QuantizedScorer); ranking-level
+          // agreement only, see quantized.h for the tolerance contract.
+};
+
+struct LoadOptions {
+  Quantization quantization = Quantization::kNone;
+};
+
 /// A model restored from a checkpoint, ready to Score. The dataset owns
 /// the vocabulary (item-concept matrix + intention graph) the model was
 /// built against and must stay alive as long as the model (the model
@@ -34,6 +50,16 @@ inline constexpr uint32_t kCheckpointVersion = 1;
 struct ServableModel {
   std::unique_ptr<data::Dataset> dataset;
   std::unique_ptr<core::IsrecModel> model;
+  /// Set iff loaded with Quantization::kInt8 (wraps *model).
+  std::unique_ptr<QuantizedScorer> quantized;
+
+  /// The recommender serving traffic should score through: the int8
+  /// wrapper when quantization was requested, else the fp32 model.
+  /// nullptr iff the load failed.
+  eval::Recommender* scorer() {
+    if (quantized != nullptr) return quantized.get();
+    return model.get();
+  }
 };
 
 /// Serializes a trained IsrecModel — config, vocabulary, and all
@@ -48,6 +74,13 @@ void SaveCheckpoint(const core::IsrecModel& model, const std::string& path);
 /// be opened, is not a checkpoint, has a different version, or is
 /// truncated/corrupt in any section.
 ServableModel LoadCheckpoint(const std::string& path);
+
+/// As above, optionally quantizing the restored item table for serving
+/// (options.quantization == kInt8 builds ServableModel::quantized).
+/// Quantization happens after the fp32 parameters are restored; a failed
+/// load never reaches it.
+ServableModel LoadCheckpoint(const std::string& path,
+                             const LoadOptions& options);
 
 }  // namespace isrec::serve
 

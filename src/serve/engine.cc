@@ -9,6 +9,7 @@
 #include "obs/admin_server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/kernels/registry.h"
 #include "utils/check.h"
 
 namespace isrec::serve {
@@ -560,6 +561,10 @@ void RegisterAdminSections(obs::AdminServer& admin, ServingEngine& engine) {
   admin.AddVarzSection("serve_stats", [&engine] {
     return ServeStatsJson(engine.Stats());
   });
+  // Which SIMD kernel set this replica runs (compiled-in ISA targets,
+  // runtime-selected table, per-kernel dispatch counts) — the serving
+  // counterpart of the `kernels:` line in the build info string.
+  admin.AddVarzSection("kernels", [] { return kernels::VarzJson(); });
   admin.AddStatuszSection("Serving", [&engine] {
     const ServeStats stats = engine.Stats();
     const EngineConfig& config = engine.config();

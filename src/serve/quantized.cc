@@ -1,0 +1,161 @@
+#include "serve/quantized.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tensor/kernels/registry.h"
+#include "utils/check.h"
+#include "utils/parallel.h"
+
+namespace isrec::serve {
+
+QuantizedMatrix QuantizeRowsInt8(const float* src, Index rows, Index cols) {
+  ISREC_CHECK_GE(rows, 0);
+  ISREC_CHECK_GT(cols, 0);
+  QuantizedMatrix q;
+  q.rows = rows;
+  q.cols = cols;
+  q.data.resize(static_cast<size_t>(rows) * cols);
+  q.scales.resize(static_cast<size_t>(rows));
+  if (rows == 0) return q;
+  const kernels::KernelTable& kt = kernels::Active();
+  kernels::CountDispatch(kernels::KernelId::kQuantizeI8);
+  utils::ParallelFor(0, rows, utils::GrainForCost(2 * cols),
+                     [&](Index r0, Index r1) {
+                       kt.quantize_rows_i8(src, q.data.data(),
+                                           q.scales.data(), r0, r1, cols);
+                     });
+  return q;
+}
+
+QuantizedScorer::QuantizedScorer(models::SequentialModelBase& base,
+                                 Index num_items)
+    : base_(base), num_items_(num_items) {
+  ISREC_CHECK_GT(num_items, 0);
+  QuantizeItemTable();
+}
+
+void QuantizedScorer::QuantizeItemTable() {
+  const Tensor& table = base_.item_embedding_table();  // [vocab, d]
+  ISREC_CHECK_EQ(table.ndim(), 2);
+  ISREC_CHECK_GE(table.dim(0), num_items_);
+  dim_ = table.dim(1);
+  items_ = QuantizeRowsInt8(table.data(), num_items_, dim_);
+}
+
+std::string QuantizedScorer::name() const { return base_.name() + "+int8"; }
+
+void QuantizedScorer::Fit(const data::Dataset& dataset,
+                          const data::LeaveOneOutSplit& split) {
+  base_.Fit(dataset, split);
+  QuantizeItemTable();
+}
+
+std::vector<float> QuantizedScorer::Score(
+    Index user, const std::vector<Index>& history,
+    const std::vector<Index>& candidates) {
+  return ScoreBatch({user}, {history}, {candidates})[0];
+}
+
+std::vector<std::vector<float>> QuantizedScorer::ScoreBatch(
+    const std::vector<Index>& users,
+    const std::vector<std::vector<Index>>& histories,
+    const std::vector<std::vector<Index>>& candidate_lists) {
+  ISREC_CHECK_EQ(users.size(), candidate_lists.size());
+  ISREC_TRACE_SPAN("quantized.score_batch");
+
+  // fp32 encoder (unchanged vs the base model), then per-row symmetric
+  // quantization of the query states. Catalog side was quantized once
+  // at construction.
+  Tensor last = base_.EncodeStatesForServing(users, histories);  // [B, d]
+  const Index b_n = static_cast<Index>(users.size());
+  QuantizedMatrix q_states = QuantizeRowsInt8(last.data(), b_n, dim_);
+
+  const kernels::KernelTable& kt = kernels::Active();
+  std::vector<std::vector<float>> result;
+  result.reserve(users.size());
+
+  const bool shared_candidates =
+      b_n > 1 &&
+      std::all_of(candidate_lists.begin() + 1, candidate_lists.end(),
+                  [&](const std::vector<Index>& c) {
+                    return c == candidate_lists[0];
+                  });
+
+  // Gathers candidate rows of the quantized item table into a dense
+  // [C, d] int8 matrix (+ per-row scales) that gemm_i8_rows can stream.
+  auto gather = [&](const std::vector<Index>& cand, std::vector<int8_t>* rows,
+                    std::vector<float>* scales) {
+    rows->resize(cand.size() * static_cast<size_t>(dim_));
+    scales->resize(cand.size());
+    for (size_t j = 0; j < cand.size(); ++j) {
+      const Index id = cand[j];
+      ISREC_CHECK_GE(id, 0);
+      ISREC_CHECK_LT(id, num_items_);
+      std::memcpy(rows->data() + j * dim_, items_.data.data() + id * dim_,
+                  static_cast<size_t>(dim_));
+      (*scales)[j] = items_.scales[id];
+    }
+  };
+
+  if (shared_candidates || b_n == 1) {
+    const std::vector<Index>& cand = candidate_lists[0];
+    const Index c_n = static_cast<Index>(cand.size());
+
+    // Full-catalog fast path: candidates are exactly [0, num_items), so
+    // the quantized table is used in place — no gather at all. This is
+    // the serving hot path (ServingEngine ranks the whole catalog).
+    bool identity = c_n == num_items_;
+    if (identity) {
+      for (Index j = 0; j < c_n; ++j) {
+        if (cand[j] != j) {
+          identity = false;
+          break;
+        }
+      }
+    }
+    std::vector<int8_t> gathered;
+    std::vector<float> gathered_scales;
+    const int8_t* brows = items_.data.data();
+    const float* bscales = items_.scales.data();
+    if (!identity) {
+      gather(cand, &gathered, &gathered_scales);
+      brows = gathered.data();
+      bscales = gathered_scales.data();
+    }
+
+    std::vector<float> scores(static_cast<size_t>(b_n) * c_n);
+    kernels::CountDispatch(kernels::KernelId::kGemmI8);
+    utils::ParallelFor(0, b_n, utils::GrainForCost(c_n * dim_),
+                       [&](Index i0, Index i1) {
+                         kt.gemm_i8_rows(q_states.data.data(),
+                                         q_states.scales.data(), brows,
+                                         bscales, scores.data(), i0, i1, c_n,
+                                         dim_);
+                       });
+    const float* data = scores.data();
+    for (Index i = 0; i < b_n; ++i) {
+      result.emplace_back(data + i * c_n, data + (i + 1) * c_n);
+    }
+  } else {
+    // Mixed-candidate traffic: per-request gather + one-row int8 gemm.
+    kernels::CountDispatch(kernels::KernelId::kGemmI8);
+    for (Index i = 0; i < b_n; ++i) {
+      const std::vector<Index>& cand = candidate_lists[i];
+      const Index c_n = static_cast<Index>(cand.size());
+      std::vector<int8_t> gathered;
+      std::vector<float> gathered_scales;
+      gather(cand, &gathered, &gathered_scales);
+      std::vector<float> scores(static_cast<size_t>(c_n));
+      kt.gemm_i8_rows(q_states.data.data() + i * dim_,
+                      q_states.scales.data() + i, gathered.data(),
+                      gathered_scales.data(), scores.data(), 0, 1, c_n, dim_);
+      result.push_back(std::move(scores));
+    }
+  }
+  return result;
+}
+
+}  // namespace isrec::serve

@@ -1,0 +1,530 @@
+// AVX2 (+FMA for reduction kernels) implementations. This TU is
+// compiled with -mavx2 -mfma -ffp-contract=off (see
+// src/tensor/CMakeLists.txt): contraction is disabled so the EXACT
+// kernels' separate _mm256_mul_ps/_mm256_add_ps pairs are never fused
+// behind our back — fusing would change rounding and break the
+// bitwise-identity contract with the scalar reference. Kernels in the
+// ULP class use _mm256_fmadd_ps explicitly.
+//
+// Exactness recipe for the EXACT kernels: vectorize only across
+// independent output elements (the j sweep of an axpy, the per-element
+// map of an elementwise op) and keep every per-element rounding
+// sequence identical to the scalar reference — same number of
+// multiplies and adds, same order, zero-skips preserved. Reduction
+// kernels (trans_b / transab dots) reassociate into 8-wide partial
+// sums; their accumulation tree depends only on k, never on shard
+// boundaries, so they are deterministic per ISA even though they
+// differ from scalar by a few ULP.
+
+#include "tensor/kernels/kernels.h"
+
+#if defined(ISREC_KERNELS_AVX2) && defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace isrec::kernels {
+namespace {
+
+// Fixed-tree horizontal sum of 8 lanes: (0+4, 1+5, 2+6, 3+7) -> pairs.
+inline float Hsum(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  __m128 sh = _mm_movehl_ps(lo, lo);
+  lo = _mm_add_ps(lo, sh);
+  sh = _mm_shuffle_ps(lo, lo, 0x1);
+  lo = _mm_add_ss(lo, sh);
+  return _mm_cvtss_f32(lo);
+}
+
+inline int32_t HsumEpi32(__m256i v) {
+  __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  lo = _mm_add_epi32(lo, hi);
+  lo = _mm_add_epi32(lo, _mm_shuffle_epi32(lo, 0x4e));  // 2,3,0,1
+  lo = _mm_add_epi32(lo, _mm_shuffle_epi32(lo, 0xb1));  // 1,0,3,2
+  return _mm_cvtsi128_si32(lo);
+}
+
+// crow[j] += av * brow[j]; one mul + one add per element, exactly the
+// scalar axpy rounding.
+inline void AxpyRow(const float* brow, float av, float* crow, Index n) {
+  const __m256 vav = _mm256_set1_ps(av);
+  Index j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m256 c = _mm256_loadu_ps(crow + j);
+    c = _mm256_add_ps(c, _mm256_mul_ps(vav, _mm256_loadu_ps(brow + j)));
+    _mm256_storeu_ps(crow + j, c);
+  }
+  for (; j < n; ++j) crow[j] += av * brow[j];
+}
+
+// [EXACT] Same blocking and zero-skip structure as the scalar
+// reference; the 8-step accumulation per c[i, j] happens in the same
+// ascending-p order with one rounding per step.
+void GemmRowsPlain(const float* a, const float* b, float* c, Index i0,
+                   Index i1, Index /*m*/, Index n, Index k) {
+  for (Index i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    Index p = 0;
+    for (; p + 8 <= k; p += 8) {
+      bool all_nonzero = true;
+      for (Index q = p; q < p + 8; ++q) {
+        all_nonzero = all_nonzero && arow[q] != 0.0f;
+      }
+      if (!all_nonzero) {
+        for (Index q = p; q < p + 8; ++q) {
+          const float av = arow[q];
+          if (av == 0.0f) continue;
+          AxpyRow(b + q * n, av, crow, n);
+        }
+        continue;
+      }
+      const __m256 av0 = _mm256_set1_ps(arow[p]);
+      const __m256 av1 = _mm256_set1_ps(arow[p + 1]);
+      const __m256 av2 = _mm256_set1_ps(arow[p + 2]);
+      const __m256 av3 = _mm256_set1_ps(arow[p + 3]);
+      const __m256 av4 = _mm256_set1_ps(arow[p + 4]);
+      const __m256 av5 = _mm256_set1_ps(arow[p + 5]);
+      const __m256 av6 = _mm256_set1_ps(arow[p + 6]);
+      const __m256 av7 = _mm256_set1_ps(arow[p + 7]);
+      const float* b0 = b + p * n;
+      const float* b1 = b0 + n;
+      const float* b2 = b1 + n;
+      const float* b3 = b2 + n;
+      const float* b4 = b3 + n;
+      const float* b5 = b4 + n;
+      const float* b6 = b5 + n;
+      const float* b7 = b6 + n;
+      Index j = 0;
+      for (; j + 8 <= n; j += 8) {
+        __m256 acc = _mm256_loadu_ps(crow + j);
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(av0, _mm256_loadu_ps(b0 + j)));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(av1, _mm256_loadu_ps(b1 + j)));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(av2, _mm256_loadu_ps(b2 + j)));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(av3, _mm256_loadu_ps(b3 + j)));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(av4, _mm256_loadu_ps(b4 + j)));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(av5, _mm256_loadu_ps(b5 + j)));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(av6, _mm256_loadu_ps(b6 + j)));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(av7, _mm256_loadu_ps(b7 + j)));
+        _mm256_storeu_ps(crow + j, acc);
+      }
+      for (; j < n; ++j) {
+        float acc = crow[j];
+        acc += arow[p] * b0[j];
+        acc += arow[p + 1] * b1[j];
+        acc += arow[p + 2] * b2[j];
+        acc += arow[p + 3] * b3[j];
+        acc += arow[p + 4] * b4[j];
+        acc += arow[p + 5] * b5[j];
+        acc += arow[p + 6] * b6[j];
+        acc += arow[p + 7] * b7[j];
+        crow[j] = acc;
+      }
+    }
+    for (; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      AxpyRow(b + p * n, av, crow, n);
+    }
+  }
+}
+
+// [EXACT] Per-p axpy with zero skip, same as the scalar reference.
+void GemmRowsTransA(const float* a, const float* b, float* c, Index i0,
+                    Index i1, Index m, Index n, Index k) {
+  for (Index i = i0; i < i1; ++i) {
+    float* crow = c + i * n;
+    for (Index p = 0; p < k; ++p) {
+      const float av = a[p * m + i];
+      if (av == 0.0f) continue;
+      AxpyRow(b + p * n, av, crow, n);
+    }
+  }
+}
+
+// Dot of two contiguous k-vectors: 8-wide FMA partial sums, fixed
+// reduction tree, scalar tail in ascending order. The result depends
+// only on the data and k (never on the caller's shard or the output
+// position), which keeps batched-vs-sequential scoring bit-identical.
+inline float DotContiguous(const float* x, const float* y, Index k) {
+  __m256 acc = _mm256_setzero_ps();
+  Index p = 0;
+  for (; p + 8 <= k; p += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(x + p), _mm256_loadu_ps(y + p), acc);
+  }
+  float dot = Hsum(acc);
+  for (; p < k; ++p) dot += x[p] * y[p];
+  return dot;
+}
+
+// [ULP] trans_b rows: both A rows and B rows are contiguous in the
+// [n, k] storage — the natural layout of catalog scoring
+// ([batch, d] x [items, d]^T) — so this is a straight dot per output
+// with no transpose scratch. j is blocked by 4 only to reuse the A-row
+// loads; each output's accumulation order is identical in the block
+// and tail paths.
+void GemmRowsTransB(const float* a, const float* b, float* c, Index i0,
+                    Index i1, Index /*m*/, Index n, Index k) {
+  for (Index i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    Index j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = b + j * k;
+      const float* b1 = b0 + k;
+      const float* b2 = b1 + k;
+      const float* b3 = b2 + k;
+      __m256 acc0 = _mm256_setzero_ps();
+      __m256 acc1 = _mm256_setzero_ps();
+      __m256 acc2 = _mm256_setzero_ps();
+      __m256 acc3 = _mm256_setzero_ps();
+      Index p = 0;
+      for (; p + 8 <= k; p += 8) {
+        const __m256 va = _mm256_loadu_ps(arow + p);
+        acc0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b0 + p), acc0);
+        acc1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b1 + p), acc1);
+        acc2 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b2 + p), acc2);
+        acc3 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b3 + p), acc3);
+      }
+      float d0 = Hsum(acc0);
+      float d1 = Hsum(acc1);
+      float d2 = Hsum(acc2);
+      float d3 = Hsum(acc3);
+      for (; p < k; ++p) {
+        const float av = arow[p];
+        d0 += av * b0[p];
+        d1 += av * b1[p];
+        d2 += av * b2[p];
+        d3 += av * b3[p];
+      }
+      crow[j] += d0;
+      crow[j + 1] += d1;
+      crow[j + 2] += d2;
+      crow[j + 3] += d3;
+    }
+    for (; j < n; ++j) {
+      crow[j] += DotContiguous(arow, b + j * k, k);
+    }
+  }
+}
+
+// [ULP] Double-transpose rows: A's i-column is strided by m, gathered
+// 8 elements at a time; B rows are contiguous.
+void GemmRowsTransAB(const float* a, const float* b, float* c, Index i0,
+                     Index i1, Index m, Index n, Index k) {
+  const __m256i stride =
+      _mm256_setr_epi32(0, static_cast<int>(m), static_cast<int>(2 * m),
+                        static_cast<int>(3 * m), static_cast<int>(4 * m),
+                        static_cast<int>(5 * m), static_cast<int>(6 * m),
+                        static_cast<int>(7 * m));
+  for (Index i = i0; i < i1; ++i) {
+    float* crow = c + i * n;
+    for (Index j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      __m256 acc = _mm256_setzero_ps();
+      Index p = 0;
+      for (; p + 8 <= k; p += 8) {
+        const __m256 va =
+            _mm256_i32gather_ps(a + p * m + i, stride, sizeof(float));
+        acc = _mm256_fmadd_ps(va, _mm256_loadu_ps(brow + p), acc);
+      }
+      float dot = Hsum(acc);
+      for (; p < k; ++p) dot += a[p * m + i] * brow[p];
+      crow[j] += dot;
+    }
+  }
+}
+
+// [EXACT] CSR rows: memset + ascending-CSR-order axpy (no zero skip,
+// matching the reference).
+void SpmmRows(const Index* row_ptr, const Index* col_idx, const float* values,
+              const float* x, Index cols, float* y, Index r0, Index r1) {
+  std::memset(y + r0 * cols, 0, sizeof(float) * (r1 - r0) * cols);
+  for (Index r = r0; r < r1; ++r) {
+    float* yr = y + r * cols;
+    for (Index p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+      AxpyRow(x + col_idx[p] * cols, values[p], yr, cols);
+    }
+  }
+}
+
+void AddF32(const float* a, const float* b, float* out, Index n) {
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_add_ps(_mm256_loadu_ps(a + i),
+                                            _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+void SubF32(const float* a, const float* b, float* out, Index n) {
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_sub_ps(_mm256_loadu_ps(a + i),
+                                            _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] - b[i];
+}
+void MulF32(const float* a, const float* b, float* out, Index n) {
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_loadu_ps(a + i),
+                                            _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] * b[i];
+}
+void DivF32(const float* a, const float* b, float* out, Index n) {
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_div_ps(_mm256_loadu_ps(a + i),
+                                            _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] / b[i];
+}
+void AddScalarF32(const float* a, float s, float* out, Index n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_add_ps(_mm256_loadu_ps(a + i), vs));
+  }
+  for (; i < n; ++i) out[i] = a[i] + s;
+}
+void MulScalarF32(const float* a, float s, float* out, Index n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), vs));
+  }
+  for (; i < n; ++i) out[i] = a[i] * s;
+}
+void ReluF32(const float* a, float* out, Index n) {
+  // maxps(x, +0) returns the second operand for x == -0.0 and for NaN,
+  // matching the scalar `x > 0 ? x : 0.0f` in both cases.
+  const __m256 zero = _mm256_setzero_ps();
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_max_ps(_mm256_loadu_ps(a + i), zero));
+  }
+  for (; i < n; ++i) out[i] = a[i] > 0 ? a[i] : 0.0f;
+}
+
+// Max over a row; max is associative so the 8-wide scan is exact.
+inline float RowMax(const float* x, Index cols) {
+  float max_v = x[0];
+  Index c = 1;
+  if (cols >= 9) {
+    __m256 vmax = _mm256_loadu_ps(x + 1);
+    for (c = 9; c + 8 <= cols; c += 8) {
+      vmax = _mm256_max_ps(vmax, _mm256_loadu_ps(x + c));
+    }
+    __m128 m = _mm_max_ps(_mm256_castps256_ps128(vmax),
+                          _mm256_extractf128_ps(vmax, 1));
+    m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+    m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 0x1));
+    max_v = std::max(max_v, _mm_cvtss_f32(m));
+  }
+  for (; c < cols; ++c) max_v = std::max(max_v, x[c]);
+  return max_v;
+}
+
+// [EXACT] Vector max scan + scalar exp/sum (reference accumulation
+// order) + vector scale sweep.
+void SoftmaxRows(const float* in, float* out, Index r0, Index r1, Index cols) {
+  for (Index r = r0; r < r1; ++r) {
+    const float* x = in + r * cols;
+    float* y = out + r * cols;
+    const float max_v = RowMax(x, cols);
+    float total = 0.0f;
+    for (Index c = 0; c < cols; ++c) {
+      y[c] = std::exp(x[c] - max_v);
+      total += y[c];
+    }
+    const float inv = 1.0f / total;
+    MulScalarF32(y, inv, y, cols);
+  }
+}
+
+void LogSoftmaxRows(const float* in, float* out, Index r0, Index r1,
+                    Index cols) {
+  for (Index r = r0; r < r1; ++r) {
+    const float* x = in + r * cols;
+    float* y = out + r * cols;
+    const float max_v = RowMax(x, cols);
+    float total = 0.0f;
+    for (Index c = 0; c < cols; ++c) total += std::exp(x[c] - max_v);
+    const float lse = max_v + std::log(total);
+    // y = x - lse, one subtract per element like the reference.
+    AddScalarF32(x, -lse, y, cols);
+  }
+}
+
+// [EXACT] Scalar mean/variance reductions (reference order) + vector
+// normalize sweep with the reference's sub/mul/mul/add rounding
+// sequence.
+void LayerNormRows(const float* in, const float* gm, const float* bt,
+                   float eps, float* out, float* mean, float* inv_std,
+                   Index r0, Index r1, Index cols) {
+  for (Index r = r0; r < r1; ++r) {
+    const float* x = in + r * cols;
+    float* y = out + r * cols;
+    float mu = 0.0f;
+    for (Index c = 0; c < cols; ++c) mu += x[c];
+    mu /= static_cast<float>(cols);
+    float var = 0.0f;
+    for (Index c = 0; c < cols; ++c) {
+      const float d = x[c] - mu;
+      var += d * d;
+    }
+    var /= static_cast<float>(cols);
+    const float is = 1.0f / std::sqrt(var + eps);
+    mean[r] = mu;
+    inv_std[r] = is;
+    const __m256 vmu = _mm256_set1_ps(mu);
+    const __m256 vis = _mm256_set1_ps(is);
+    Index c = 0;
+    for (; c + 8 <= cols; c += 8) {
+      __m256 v = _mm256_sub_ps(_mm256_loadu_ps(x + c), vmu);
+      v = _mm256_mul_ps(v, vis);
+      v = _mm256_mul_ps(v, _mm256_loadu_ps(gm + c));
+      v = _mm256_add_ps(v, _mm256_loadu_ps(bt + c));
+      _mm256_storeu_ps(y + c, v);
+    }
+    for (; c < cols; ++c) y[c] = (x[c] - mu) * is * gm[c] + bt[c];
+  }
+}
+
+// int8 dot of 16 lanes: widen to int16, pairwise multiply-add to
+// int32. |a*b| <= 127*127 so the int16 product pairs cannot overflow
+// the madd int32 lanes.
+inline __m256i MaddI8x16(__m128i a, __m128i b) {
+  return _mm256_madd_epi16(_mm256_cvtepi8_epi16(a), _mm256_cvtepi8_epi16(b));
+}
+
+inline __m256i MaddLoadI8x16(const int8_t* p16, __m256i a16) {
+  return _mm256_madd_epi16(
+      a16, _mm256_cvtepi8_epi16(
+               _mm_loadu_si128(reinterpret_cast<const __m128i*>(p16))));
+}
+
+// [EXACT across ISAs] int8 x int8 -> int32 dots, one fp32 rescale per
+// output in the same (dot * a_scale) * b_scale order as the scalar
+// reference, so results are bit-identical to it. j is blocked by 4 to
+// share the widened A-row loads and fold the four horizontal
+// reductions into one hadd tree — integer adds are associative, so any
+// reduction order produces the same dot, and the elementwise _mm_mul_ps
+// rescales round exactly like the scalar multiplies.
+void GemmI8Rows(const int8_t* a, const float* a_scales, const int8_t* b,
+                const float* b_scales, float* c, Index i0, Index i1, Index n,
+                Index k) {
+  for (Index i = i0; i < i1; ++i) {
+    const int8_t* arow = a + i * k;
+    float* crow = c + i * n;
+    const float as = a_scales[i];
+    const __m128 vas = _mm_set1_ps(as);
+    Index j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const int8_t* b0 = b + j * k;
+      const int8_t* b1 = b0 + k;
+      const int8_t* b2 = b1 + k;
+      const int8_t* b3 = b2 + k;
+      __m256i acc0 = _mm256_setzero_si256();
+      __m256i acc1 = _mm256_setzero_si256();
+      __m256i acc2 = _mm256_setzero_si256();
+      __m256i acc3 = _mm256_setzero_si256();
+      Index p = 0;
+      for (; p + 16 <= k; p += 16) {
+        const __m256i va16 = _mm256_cvtepi8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(arow + p)));
+        acc0 = _mm256_add_epi32(acc0, MaddLoadI8x16(b0 + p, va16));
+        acc1 = _mm256_add_epi32(acc1, MaddLoadI8x16(b1 + p, va16));
+        acc2 = _mm256_add_epi32(acc2, MaddLoadI8x16(b2 + p, va16));
+        acc3 = _mm256_add_epi32(acc3, MaddLoadI8x16(b3 + p, va16));
+      }
+      // hadd(acc0, acc1) interleaves pair sums of both accumulators;
+      // a second hadd plus the 128-lane fold yields [d0, d1, d2, d3].
+      const __m256i h01 = _mm256_hadd_epi32(acc0, acc1);
+      const __m256i h23 = _mm256_hadd_epi32(acc2, acc3);
+      const __m256i h = _mm256_hadd_epi32(h01, h23);
+      __m128i dots = _mm_add_epi32(_mm256_castsi256_si128(h),
+                                   _mm256_extracti128_si256(h, 1));
+      if (p < k) {
+        alignas(16) int32_t d[4];
+        _mm_store_si128(reinterpret_cast<__m128i*>(d), dots);
+        for (; p < k; ++p) {
+          const int32_t av = arow[p];
+          d[0] += av * static_cast<int32_t>(b0[p]);
+          d[1] += av * static_cast<int32_t>(b1[p]);
+          d[2] += av * static_cast<int32_t>(b2[p]);
+          d[3] += av * static_cast<int32_t>(b3[p]);
+        }
+        dots = _mm_load_si128(reinterpret_cast<const __m128i*>(d));
+      }
+      __m128 f = _mm_cvtepi32_ps(dots);
+      f = _mm_mul_ps(f, vas);
+      f = _mm_mul_ps(f, _mm_loadu_ps(b_scales + j));
+      _mm_storeu_ps(crow + j, f);
+    }
+    for (; j < n; ++j) {
+      const int8_t* brow = b + j * k;
+      __m256i acc = _mm256_setzero_si256();
+      Index p = 0;
+      for (; p + 16 <= k; p += 16) {
+        acc = _mm256_add_epi32(
+            acc, MaddI8x16(_mm_loadu_si128(
+                               reinterpret_cast<const __m128i*>(arow + p)),
+                           _mm_loadu_si128(
+                               reinterpret_cast<const __m128i*>(brow + p))));
+      }
+      int32_t dot = HsumEpi32(acc);
+      for (; p < k; ++p) {
+        dot += static_cast<int32_t>(arow[p]) * static_cast<int32_t>(brow[p]);
+      }
+      crow[j] = static_cast<float>(dot) * as * b_scales[j];
+    }
+  }
+}
+
+}  // namespace
+
+const KernelTable* Avx2KernelTable() {
+  // Start from the scalar table so slots without an AVX2 version
+  // (notably quantize_rows_i8, deliberately shared so quantized values
+  // match across ISAs) inherit the reference implementation.
+  static const KernelTable table = [] {
+    KernelTable t = *ScalarKernelTable();
+    t.isa_name = "avx2";
+    t.gemm_rows_plain = GemmRowsPlain;
+    t.gemm_rows_transa = GemmRowsTransA;
+    t.gemm_rows_transb = GemmRowsTransB;
+    t.gemm_rows_transab = GemmRowsTransAB;
+    t.spmm_rows = SpmmRows;
+    t.add_f32 = AddF32;
+    t.sub_f32 = SubF32;
+    t.mul_f32 = MulF32;
+    t.div_f32 = DivF32;
+    t.add_scalar_f32 = AddScalarF32;
+    t.mul_scalar_f32 = MulScalarF32;
+    t.relu_f32 = ReluF32;
+    t.softmax_rows = SoftmaxRows;
+    t.logsoftmax_rows = LogSoftmaxRows;
+    t.layernorm_rows = LayerNormRows;
+    t.gemm_i8_rows = GemmI8Rows;
+    return t;
+  }();
+  return &table;
+}
+
+}  // namespace isrec::kernels
+
+#else  // !(ISREC_KERNELS_AVX2 && __AVX2__ && __FMA__)
+
+namespace isrec::kernels {
+const KernelTable* Avx2KernelTable() { return nullptr; }
+}  // namespace isrec::kernels
+
+#endif

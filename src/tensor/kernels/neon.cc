@@ -1,0 +1,342 @@
+// NEON implementations for aarch64. Same exactness recipe as avx2.cc:
+// EXACT kernels vectorize only across independent outputs and keep the
+// scalar per-element rounding sequence (separate vmulq/vaddq, TU built
+// with -ffp-contract=off so the compiler cannot fuse them); ULP
+// reduction kernels use vfmaq_f32 explicitly with a fixed 4-wide
+// reduction tree.
+
+#include "tensor/kernels/kernels.h"
+
+#if defined(ISREC_KERNELS_NEON) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace isrec::kernels {
+namespace {
+
+inline void AxpyRow(const float* brow, float av, float* crow, Index n) {
+  const float32x4_t vav = vdupq_n_f32(av);
+  Index j = 0;
+  for (; j + 4 <= n; j += 4) {
+    float32x4_t c = vld1q_f32(crow + j);
+    c = vaddq_f32(c, vmulq_f32(vav, vld1q_f32(brow + j)));
+    vst1q_f32(crow + j, c);
+  }
+  for (; j < n; ++j) crow[j] += av * brow[j];
+}
+
+// [EXACT] Same blocking and zero-skip structure as the scalar
+// reference.
+void GemmRowsPlain(const float* a, const float* b, float* c, Index i0,
+                   Index i1, Index /*m*/, Index n, Index k) {
+  for (Index i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    Index p = 0;
+    for (; p + 8 <= k; p += 8) {
+      bool all_nonzero = true;
+      for (Index q = p; q < p + 8; ++q) {
+        all_nonzero = all_nonzero && arow[q] != 0.0f;
+      }
+      if (!all_nonzero) {
+        for (Index q = p; q < p + 8; ++q) {
+          const float av = arow[q];
+          if (av == 0.0f) continue;
+          AxpyRow(b + q * n, av, crow, n);
+        }
+        continue;
+      }
+      float32x4_t av_lane[8];
+      const float* brows[8];
+      for (int q = 0; q < 8; ++q) {
+        av_lane[q] = vdupq_n_f32(arow[p + q]);
+        brows[q] = b + (p + q) * n;
+      }
+      Index j = 0;
+      for (; j + 4 <= n; j += 4) {
+        float32x4_t acc = vld1q_f32(crow + j);
+        for (int q = 0; q < 8; ++q) {
+          acc = vaddq_f32(acc, vmulq_f32(av_lane[q], vld1q_f32(brows[q] + j)));
+        }
+        vst1q_f32(crow + j, acc);
+      }
+      for (; j < n; ++j) {
+        float acc = crow[j];
+        for (int q = 0; q < 8; ++q) acc += arow[p + q] * brows[q][j];
+        crow[j] = acc;
+      }
+    }
+    for (; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      AxpyRow(b + p * n, av, crow, n);
+    }
+  }
+}
+
+// [EXACT]
+void GemmRowsTransA(const float* a, const float* b, float* c, Index i0,
+                    Index i1, Index m, Index n, Index k) {
+  for (Index i = i0; i < i1; ++i) {
+    float* crow = c + i * n;
+    for (Index p = 0; p < k; ++p) {
+      const float av = a[p * m + i];
+      if (av == 0.0f) continue;
+      AxpyRow(b + p * n, av, crow, n);
+    }
+  }
+}
+
+// 4-wide dot with a fixed reduction tree; depends only on k.
+inline float DotContiguous(const float* x, const float* y, Index k) {
+  float32x4_t acc = vdupq_n_f32(0.0f);
+  Index p = 0;
+  for (; p + 4 <= k; p += 4) {
+    acc = vfmaq_f32(acc, vld1q_f32(x + p), vld1q_f32(y + p));
+  }
+  float dot = vaddvq_f32(acc);
+  for (; p < k; ++p) dot += x[p] * y[p];
+  return dot;
+}
+
+// [ULP] Direct dot per output, both rows contiguous.
+void GemmRowsTransB(const float* a, const float* b, float* c, Index i0,
+                    Index i1, Index /*m*/, Index n, Index k) {
+  for (Index i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (Index j = 0; j < n; ++j) {
+      crow[j] += DotContiguous(arow, b + j * k, k);
+    }
+  }
+}
+
+// [ULP] Strided A column loaded lane-by-lane, contiguous B row.
+void GemmRowsTransAB(const float* a, const float* b, float* c, Index i0,
+                     Index i1, Index m, Index n, Index k) {
+  for (Index i = i0; i < i1; ++i) {
+    float* crow = c + i * n;
+    for (Index j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float32x4_t acc = vdupq_n_f32(0.0f);
+      Index p = 0;
+      for (; p + 4 <= k; p += 4) {
+        const float lanes[4] = {a[p * m + i], a[(p + 1) * m + i],
+                                a[(p + 2) * m + i], a[(p + 3) * m + i]};
+        acc = vfmaq_f32(acc, vld1q_f32(lanes), vld1q_f32(brow + p));
+      }
+      float dot = vaddvq_f32(acc);
+      for (; p < k; ++p) dot += a[p * m + i] * brow[p];
+      crow[j] += dot;
+    }
+  }
+}
+
+// [EXACT]
+void SpmmRows(const Index* row_ptr, const Index* col_idx, const float* values,
+              const float* x, Index cols, float* y, Index r0, Index r1) {
+  std::memset(y + r0 * cols, 0, sizeof(float) * (r1 - r0) * cols);
+  for (Index r = r0; r < r1; ++r) {
+    float* yr = y + r * cols;
+    for (Index p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+      AxpyRow(x + col_idx[p] * cols, values[p], yr, cols);
+    }
+  }
+}
+
+void AddF32(const float* a, const float* b, float* out, Index n) {
+  Index i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(out + i, vaddq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+void SubF32(const float* a, const float* b, float* out, Index n) {
+  Index i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(out + i, vsubq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] - b[i];
+}
+void MulF32(const float* a, const float* b, float* out, Index n) {
+  Index i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(out + i, vmulq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] * b[i];
+}
+void DivF32(const float* a, const float* b, float* out, Index n) {
+  Index i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(out + i, vdivq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] / b[i];
+}
+void AddScalarF32(const float* a, float s, float* out, Index n) {
+  const float32x4_t vs = vdupq_n_f32(s);
+  Index i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(out + i, vaddq_f32(vld1q_f32(a + i), vs));
+  }
+  for (; i < n; ++i) out[i] = a[i] + s;
+}
+void MulScalarF32(const float* a, float s, float* out, Index n) {
+  const float32x4_t vs = vdupq_n_f32(s);
+  Index i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(out + i, vmulq_f32(vld1q_f32(a + i), vs));
+  }
+  for (; i < n; ++i) out[i] = a[i] * s;
+}
+void ReluF32(const float* a, float* out, Index n) {
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  Index i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(out + i, vmaxq_f32(vld1q_f32(a + i), zero));
+  }
+  for (; i < n; ++i) out[i] = a[i] > 0 ? a[i] : 0.0f;
+}
+
+inline float RowMax(const float* x, Index cols) {
+  float max_v = x[0];
+  Index c = 1;
+  if (cols >= 5) {
+    float32x4_t vmax = vld1q_f32(x + 1);
+    for (c = 5; c + 4 <= cols; c += 4) {
+      vmax = vmaxq_f32(vmax, vld1q_f32(x + c));
+    }
+    max_v = std::max(max_v, vmaxvq_f32(vmax));
+  }
+  for (; c < cols; ++c) max_v = std::max(max_v, x[c]);
+  return max_v;
+}
+
+// [EXACT] Vector max scan + scalar exp/sum + vector scale.
+void SoftmaxRows(const float* in, float* out, Index r0, Index r1, Index cols) {
+  for (Index r = r0; r < r1; ++r) {
+    const float* x = in + r * cols;
+    float* y = out + r * cols;
+    const float max_v = RowMax(x, cols);
+    float total = 0.0f;
+    for (Index c = 0; c < cols; ++c) {
+      y[c] = std::exp(x[c] - max_v);
+      total += y[c];
+    }
+    MulScalarF32(y, 1.0f / total, y, cols);
+  }
+}
+
+void LogSoftmaxRows(const float* in, float* out, Index r0, Index r1,
+                    Index cols) {
+  for (Index r = r0; r < r1; ++r) {
+    const float* x = in + r * cols;
+    float* y = out + r * cols;
+    const float max_v = RowMax(x, cols);
+    float total = 0.0f;
+    for (Index c = 0; c < cols; ++c) total += std::exp(x[c] - max_v);
+    AddScalarF32(x, -(max_v + std::log(total)), y, cols);
+  }
+}
+
+// [EXACT] Scalar reductions + vector normalize sweep.
+void LayerNormRows(const float* in, const float* gm, const float* bt,
+                   float eps, float* out, float* mean, float* inv_std,
+                   Index r0, Index r1, Index cols) {
+  for (Index r = r0; r < r1; ++r) {
+    const float* x = in + r * cols;
+    float* y = out + r * cols;
+    float mu = 0.0f;
+    for (Index c = 0; c < cols; ++c) mu += x[c];
+    mu /= static_cast<float>(cols);
+    float var = 0.0f;
+    for (Index c = 0; c < cols; ++c) {
+      const float d = x[c] - mu;
+      var += d * d;
+    }
+    var /= static_cast<float>(cols);
+    const float is = 1.0f / std::sqrt(var + eps);
+    mean[r] = mu;
+    inv_std[r] = is;
+    const float32x4_t vmu = vdupq_n_f32(mu);
+    const float32x4_t vis = vdupq_n_f32(is);
+    Index c = 0;
+    for (; c + 4 <= cols; c += 4) {
+      float32x4_t v = vsubq_f32(vld1q_f32(x + c), vmu);
+      v = vmulq_f32(v, vis);
+      v = vmulq_f32(v, vld1q_f32(gm + c));
+      v = vaddq_f32(v, vld1q_f32(bt + c));
+      vst1q_f32(y + c, v);
+    }
+    for (; c < cols; ++c) y[c] = (x[c] - mu) * is * gm[c] + bt[c];
+  }
+}
+
+// [EXACT across ISAs] Integer dots via widening multiply-accumulate.
+void GemmI8Rows(const int8_t* a, const float* a_scales, const int8_t* b,
+                const float* b_scales, float* c, Index i0, Index i1, Index n,
+                Index k) {
+  for (Index i = i0; i < i1; ++i) {
+    const int8_t* arow = a + i * k;
+    float* crow = c + i * n;
+    const float as = a_scales[i];
+    for (Index j = 0; j < n; ++j) {
+      const int8_t* brow = b + j * k;
+      int32x4_t acc = vdupq_n_s32(0);
+      Index p = 0;
+      for (; p + 16 <= k; p += 16) {
+        const int8x16_t va = vld1q_s8(arow + p);
+        const int8x16_t vb = vld1q_s8(brow + p);
+        const int16x8_t lo = vmull_s8(vget_low_s8(va), vget_low_s8(vb));
+        const int16x8_t hi = vmull_s8(vget_high_s8(va), vget_high_s8(vb));
+        acc = vpadalq_s16(acc, lo);
+        acc = vpadalq_s16(acc, hi);
+      }
+      int32_t dot = vaddvq_s32(acc);
+      for (; p < k; ++p) {
+        dot += static_cast<int32_t>(arow[p]) * static_cast<int32_t>(brow[p]);
+      }
+      crow[j] = static_cast<float>(dot) * as * b_scales[j];
+    }
+  }
+}
+
+}  // namespace
+
+const KernelTable* NeonKernelTable() {
+  static const KernelTable table = [] {
+    KernelTable t = *ScalarKernelTable();
+    t.isa_name = "neon";
+    t.gemm_rows_plain = GemmRowsPlain;
+    t.gemm_rows_transa = GemmRowsTransA;
+    t.gemm_rows_transb = GemmRowsTransB;
+    t.gemm_rows_transab = GemmRowsTransAB;
+    t.spmm_rows = SpmmRows;
+    t.add_f32 = AddF32;
+    t.sub_f32 = SubF32;
+    t.mul_f32 = MulF32;
+    t.div_f32 = DivF32;
+    t.add_scalar_f32 = AddScalarF32;
+    t.mul_scalar_f32 = MulScalarF32;
+    t.relu_f32 = ReluF32;
+    t.softmax_rows = SoftmaxRows;
+    t.logsoftmax_rows = LogSoftmaxRows;
+    t.layernorm_rows = LayerNormRows;
+    t.gemm_i8_rows = GemmI8Rows;
+    return t;
+  }();
+  return &table;
+}
+
+}  // namespace isrec::kernels
+
+#else  // !(ISREC_KERNELS_NEON && __ARM_NEON)
+
+namespace isrec::kernels {
+const KernelTable* NeonKernelTable() { return nullptr; }
+}  // namespace isrec::kernels
+
+#endif

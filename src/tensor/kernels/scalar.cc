@@ -1,0 +1,277 @@
+// Portable scalar reference kernels. These are the extracted bodies of
+// the historical op loops, unchanged: every other ISA table is checked
+// against this one (tests/checker.h), and a forced
+// ISREC_KERNEL_ISA=scalar run must stay bitwise identical to
+// pre-registry builds.
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "tensor/kernels/kernels.h"
+
+namespace isrec::kernels {
+namespace {
+
+// Rows [i0, i1) of C[m, n] += A[m, k] * B[k, n].
+//
+// i-k-j loop order for cache friendliness; the j sweep carries no
+// reduction, so the compiler vectorizes it. Blocking eight p steps into
+// one j sweep keeps c[i, j] in a register across eight multiply-adds
+// instead of storing/reloading it each step. The adds still happen one
+// at a time in ascending p order (and zero skips fall back to the
+// one-step form), so results stay bitwise identical to the unblocked
+// loop.
+void GemmRowsPlain(const float* a, const float* b, float* c, Index i0,
+                   Index i1, Index /*m*/, Index n, Index k) {
+  for (Index i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    Index p = 0;
+    for (; p + 8 <= k; p += 8) {
+      bool all_nonzero = true;
+      for (Index q = p; q < p + 8; ++q) {
+        all_nonzero = all_nonzero && arow[q] != 0.0f;
+      }
+      if (!all_nonzero) {
+        for (Index q = p; q < p + 8; ++q) {
+          const float av = arow[q];
+          if (av == 0.0f) continue;
+          const float* brow = b + q * n;
+          for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+        continue;
+      }
+      const float av0 = arow[p];
+      const float av1 = arow[p + 1];
+      const float av2 = arow[p + 2];
+      const float av3 = arow[p + 3];
+      const float av4 = arow[p + 4];
+      const float av5 = arow[p + 5];
+      const float av6 = arow[p + 6];
+      const float av7 = arow[p + 7];
+      const float* b0 = b + p * n;
+      const float* b1 = b0 + n;
+      const float* b2 = b1 + n;
+      const float* b3 = b2 + n;
+      const float* b4 = b3 + n;
+      const float* b5 = b4 + n;
+      const float* b6 = b5 + n;
+      const float* b7 = b6 + n;
+      for (Index j = 0; j < n; ++j) {
+        float acc = crow[j];
+        acc += av0 * b0[j];
+        acc += av1 * b1[j];
+        acc += av2 * b2[j];
+        acc += av3 * b3[j];
+        acc += av4 * b4[j];
+        acc += av5 * b5[j];
+        acc += av6 * b6[j];
+        acc += av7 * b7[j];
+        crow[j] = acc;
+      }
+    }
+    for (; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// Rows of the trans_a variant (A stored [k, m]). Each c[i, j]
+// accumulates its k terms in ascending p order.
+void GemmRowsTransA(const float* a, const float* b, float* c, Index i0,
+                    Index i1, Index m, Index n, Index k) {
+  for (Index i = i0; i < i1; ++i) {
+    float* crow = c + i * n;
+    for (Index p = 0; p < k; ++p) {
+      const float av = a[p * m + i];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// Rows of the double-transpose variant (A stored [k, m], B stored
+// [n, k]): per-element dot product with a local accumulator.
+void GemmRowsTransAB(const float* a, const float* b, float* c, Index i0,
+                     Index i1, Index m, Index n, Index k) {
+  for (Index i = i0; i < i1; ++i) {
+    float* crow = c + i * n;
+    for (Index j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (Index p = 0; p < k; ++p) acc += a[p * m + i] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+// Rows [r0, r1) of y = CSR * x: memset then ascending-CSR-order axpy,
+// exactly the historical CsrMultiply shard body.
+void SpmmRows(const Index* row_ptr, const Index* col_idx, const float* values,
+              const float* x, Index cols, float* y, Index r0, Index r1) {
+  std::memset(y + r0 * cols, 0, sizeof(float) * (r1 - r0) * cols);
+  for (Index r = r0; r < r1; ++r) {
+    float* yr = y + r * cols;
+    for (Index p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+      const float v = values[p];
+      const float* xr = x + col_idx[p] * cols;
+      for (Index c = 0; c < cols; ++c) yr[c] += v * xr[c];
+    }
+  }
+}
+
+void AddF32(const float* a, const float* b, float* out, Index n) {
+  for (Index i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+void SubF32(const float* a, const float* b, float* out, Index n) {
+  for (Index i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+void MulF32(const float* a, const float* b, float* out, Index n) {
+  for (Index i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+void DivF32(const float* a, const float* b, float* out, Index n) {
+  for (Index i = 0; i < n; ++i) out[i] = a[i] / b[i];
+}
+void AddScalarF32(const float* a, float s, float* out, Index n) {
+  for (Index i = 0; i < n; ++i) out[i] = a[i] + s;
+}
+void MulScalarF32(const float* a, float s, float* out, Index n) {
+  for (Index i = 0; i < n; ++i) out[i] = a[i] * s;
+}
+void ReluF32(const float* a, float* out, Index n) {
+  for (Index i = 0; i < n; ++i) out[i] = a[i] > 0 ? a[i] : 0.0f;
+}
+
+void SoftmaxRows(const float* in, float* out, Index r0, Index r1, Index cols) {
+  for (Index r = r0; r < r1; ++r) {
+    const float* x = in + r * cols;
+    float* y = out + r * cols;
+    float max_v = x[0];
+    for (Index c = 1; c < cols; ++c) max_v = std::max(max_v, x[c]);
+    float total = 0.0f;
+    for (Index c = 0; c < cols; ++c) {
+      y[c] = std::exp(x[c] - max_v);
+      total += y[c];
+    }
+    const float inv = 1.0f / total;
+    for (Index c = 0; c < cols; ++c) y[c] *= inv;
+  }
+}
+
+void LogSoftmaxRows(const float* in, float* out, Index r0, Index r1,
+                    Index cols) {
+  for (Index r = r0; r < r1; ++r) {
+    const float* x = in + r * cols;
+    float* y = out + r * cols;
+    float max_v = x[0];
+    for (Index c = 1; c < cols; ++c) max_v = std::max(max_v, x[c]);
+    float total = 0.0f;
+    for (Index c = 0; c < cols; ++c) total += std::exp(x[c] - max_v);
+    const float lse = max_v + std::log(total);
+    for (Index c = 0; c < cols; ++c) y[c] = x[c] - lse;
+  }
+}
+
+void LayerNormRows(const float* in, const float* gm, const float* bt,
+                   float eps, float* out, float* mean, float* inv_std,
+                   Index r0, Index r1, Index cols) {
+  for (Index r = r0; r < r1; ++r) {
+    const float* x = in + r * cols;
+    float* y = out + r * cols;
+    float mu = 0.0f;
+    for (Index c = 0; c < cols; ++c) mu += x[c];
+    mu /= static_cast<float>(cols);
+    float var = 0.0f;
+    for (Index c = 0; c < cols; ++c) {
+      const float d = x[c] - mu;
+      var += d * d;
+    }
+    var /= static_cast<float>(cols);
+    const float is = 1.0f / std::sqrt(var + eps);
+    mean[r] = mu;
+    inv_std[r] = is;
+    for (Index c = 0; c < cols; ++c) {
+      y[c] = (x[c] - mu) * is * gm[c] + bt[c];
+    }
+  }
+}
+
+void QuantizeRowsI8(const float* x, int8_t* q, float* scales, Index r0,
+                    Index r1, Index cols) {
+  for (Index r = r0; r < r1; ++r) {
+    const float* xr = x + r * cols;
+    int8_t* qr = q + r * cols;
+    float amax = 0.0f;
+    for (Index c = 0; c < cols; ++c) amax = std::max(amax, std::fabs(xr[c]));
+    if (amax == 0.0f) {
+      // All-zero row: scale 0 marks "no information"; the dot-product
+      // rescale multiplies by it, so the scored contribution is exactly
+      // 0 instead of 0/0.
+      scales[r] = 0.0f;
+      std::memset(qr, 0, static_cast<size_t>(cols));
+      continue;
+    }
+    scales[r] = amax / 127.0f;
+    const float inv = 127.0f / amax;
+    for (Index c = 0; c < cols; ++c) {
+      const long v = std::lrintf(xr[c] * inv);
+      qr[c] = static_cast<int8_t>(std::clamp<long>(v, -127, 127));
+    }
+  }
+}
+
+void GemmI8Rows(const int8_t* a, const float* a_scales, const int8_t* b,
+                const float* b_scales, float* c, Index i0, Index i1, Index n,
+                Index k) {
+  for (Index i = i0; i < i1; ++i) {
+    const int8_t* arow = a + i * k;
+    float* crow = c + i * n;
+    const float as = a_scales[i];
+    for (Index j = 0; j < n; ++j) {
+      const int8_t* brow = b + j * k;
+      int32_t dot = 0;
+      for (Index p = 0; p < k; ++p) {
+        dot += static_cast<int32_t>(arow[p]) * static_cast<int32_t>(brow[p]);
+      }
+      crow[j] = static_cast<float>(dot) * as * b_scales[j];
+    }
+  }
+}
+
+}  // namespace
+
+const KernelTable* ScalarKernelTable() {
+  static const KernelTable table = [] {
+    KernelTable t;
+    t.isa_name = "scalar";
+    t.gemm_rows_plain = GemmRowsPlain;
+    t.gemm_rows_transa = GemmRowsTransA;
+    // gemm_rows_transb stays null: the op layer's historical
+    // transpose-then-plain path is the scalar reference for trans_b
+    // (bitwise identical to pre-registry builds).
+    t.gemm_rows_transb = nullptr;
+    t.gemm_rows_transab = GemmRowsTransAB;
+    t.spmm_rows = SpmmRows;
+    t.add_f32 = AddF32;
+    t.sub_f32 = SubF32;
+    t.mul_f32 = MulF32;
+    t.div_f32 = DivF32;
+    t.add_scalar_f32 = AddScalarF32;
+    t.mul_scalar_f32 = MulScalarF32;
+    t.relu_f32 = ReluF32;
+    t.softmax_rows = SoftmaxRows;
+    t.logsoftmax_rows = LogSoftmaxRows;
+    t.layernorm_rows = LayerNormRows;
+    t.quantize_rows_i8 = QuantizeRowsI8;
+    t.gemm_i8_rows = GemmI8Rows;
+    return t;
+  }();
+  return &table;
+}
+
+}  // namespace isrec::kernels

@@ -1,6 +1,8 @@
 #include <cmath>
 #include <functional>
+#include <type_traits>
 
+#include "tensor/kernels/registry.h"
 #include "tensor/ops.h"
 #include "utils/check.h"
 #include "utils/parallel.h"
@@ -91,8 +93,11 @@ void ForEachBroadcast(const Shape& out, const std::vector<Index>& sa,
 // fwd(a, b) -> out
 // da(a, b, g) -> gradient contribution to a
 // db(a, b, g) -> gradient contribution to b
+// fast: optional registry kernel for the same-shape forward sweep
+//       (bitwise identical to the fwd lambda by the EXACT contract).
 template <typename Fwd, typename Da, typename Db>
-Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, Da da, Db db) {
+Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, Da da, Db db,
+                kernels::MapBinaryFn fast = nullptr) {
   ISREC_CHECK(a.defined());
   ISREC_CHECK(b.defined());
   const Shape out_shape = BroadcastShape(a.shape(), b.shape());
@@ -135,8 +140,13 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, Da da, Db db) {
       const float* pa = ia->data.data();
       const float* pb = ib->data.data();
       const Index n = result.numel();
+      if (fast != nullptr) kernels::CountDispatch(kernels::KernelId::kEltwise);
       utils::ParallelFor(0, n, utils::GrainForCost(1),
                          [&](Index i0, Index i1) {
+                           if (fast != nullptr) {
+                             fast(pa + i0, pb + i0, out + i0, i1 - i0);
+                             return;
+                           }
                            for (Index i = i0; i < i1; ++i) {
                              out[i] = fwd(pa[i], pb[i]);
                            }
@@ -151,8 +161,12 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, Da da, Db db) {
 }
 
 // Generic elementwise unary op. bwd(x, y, g) -> gradient wrt x.
-template <typename Fwd, typename Bwd>
-Tensor UnaryOp(const Tensor& a, Fwd fwd, Bwd bwd) {
+// fast: optional shard-level callable `fast(in, out, len)` backed by a
+// registry kernel (bitwise identical to the fwd lambda by the EXACT
+// contract); null disables the fast path.
+template <typename Fwd, typename Bwd,
+          typename Fast = void (*)(const float*, float*, Index)>
+Tensor UnaryOp(const Tensor& a, Fwd fwd, Bwd bwd, Fast fast = nullptr) {
   ISREC_CHECK(a.defined());
   Tensor result = internal::MakeOpResult(
       a.shape(), {a},
@@ -174,9 +188,19 @@ Tensor UnaryOp(const Tensor& a, Fwd fwd, Bwd bwd) {
   const float* in = a.data();
   float* out = result.data();
   const Index n = a.numel();
-  utils::ParallelFor(0, n, utils::GrainForCost(1), [&](Index i0, Index i1) {
-    for (Index i = i0; i < i1; ++i) out[i] = fwd(in[i]);
-  });
+  constexpr bool kHasFast =
+      !std::is_same_v<Fast, void (*)(const float*, float*, Index)>;
+  if constexpr (kHasFast) {
+    kernels::CountDispatch(kernels::KernelId::kEltwise);
+    utils::ParallelFor(0, n, utils::GrainForCost(1), [&](Index i0, Index i1) {
+      fast(in + i0, out + i0, i1 - i0);
+    });
+  } else {
+    (void)fast;
+    utils::ParallelFor(0, n, utils::GrainForCost(1), [&](Index i0, Index i1) {
+      for (Index i = i0; i < i1; ++i) out[i] = fwd(in[i]);
+    });
+  }
   return result;
 }
 
@@ -214,40 +238,47 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   return BinaryOp(
       a, b, [](float x, float y) { return x + y; },
       [](float, float, float g) { return g; },
-      [](float, float, float g) { return g; });
+      [](float, float, float g) { return g; }, kernels::Active().add_f32);
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   return BinaryOp(
       a, b, [](float x, float y) { return x - y; },
       [](float, float, float g) { return g; },
-      [](float, float, float g) { return -g; });
+      [](float, float, float g) { return -g; }, kernels::Active().sub_f32);
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   return BinaryOp(
       a, b, [](float x, float y) { return x * y; },
       [](float, float y, float g) { return g * y; },
-      [](float x, float, float g) { return g * x; });
+      [](float x, float, float g) { return g * x; }, kernels::Active().mul_f32);
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
   return BinaryOp(
       a, b, [](float x, float y) { return x / y; },
       [](float, float y, float g) { return g / y; },
-      [](float x, float y, float g) { return -g * x / (y * y); });
+      [](float x, float y, float g) { return -g * x / (y * y); },
+      kernels::Active().div_f32);
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
   return UnaryOp(
       a, [s](float x) { return x + s; },
-      [](float, float, float g) { return g; });
+      [](float, float, float g) { return g; },
+      [s](const float* in, float* out, Index n) {
+        kernels::Active().add_scalar_f32(in, s, out, n);
+      });
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
   return UnaryOp(
       a, [s](float x) { return x * s; },
-      [s](float, float, float g) { return g * s; });
+      [s](float, float, float g) { return g * s; },
+      [s](const float* in, float* out, Index n) {
+        kernels::Active().mul_scalar_f32(in, s, out, n);
+      });
 }
 
 Tensor PowScalar(const Tensor& a, float exponent) {
@@ -281,7 +312,10 @@ Tensor Sqrt(const Tensor& a) {
 Tensor Relu(const Tensor& a) {
   return UnaryOp(
       a, [](float x) { return x > 0 ? x : 0.0f; },
-      [](float x, float, float g) { return x > 0 ? g : 0.0f; });
+      [](float x, float, float g) { return x > 0 ? g : 0.0f; },
+      [](const float* in, float* out, Index n) {
+        kernels::Active().relu_f32(in, out, n);
+      });
 }
 
 Tensor Sigmoid(const Tensor& a) {

@@ -2,6 +2,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/kernels/registry.h"
 #include "tensor/ops.h"
 #include "utils/check.h"
 #include "utils/parallel.h"
@@ -9,123 +10,42 @@
 namespace isrec {
 namespace {
 
-// Row range [i0, i1) of C[m, n] += A[m, k] * B[k, n] (no transposes).
-//
-// i-k-j loop order for cache friendliness; the j sweep carries no
-// reduction, so the compiler vectorizes it. Blocking eight p steps
-// into one j sweep keeps c[i, j] in a register across eight
-// multiply-adds instead of storing/reloading it each step. The adds
-// still happen one at a time in ascending p order (and zero skips
-// fall back to the one-step form), so results stay bitwise
-// identical to the unblocked loop.
-void GemmRowsPlain(const float* a, const float* b, float* c, Index i0,
-                   Index i1, Index n, Index k) {
-  for (Index i = i0; i < i1; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    Index p = 0;
-    for (; p + 8 <= k; p += 8) {
-      bool all_nonzero = true;
-      for (Index q = p; q < p + 8; ++q) {
-        all_nonzero = all_nonzero && arow[q] != 0.0f;
-      }
-      if (!all_nonzero) {
-        for (Index q = p; q < p + 8; ++q) {
-          const float av = arow[q];
-          if (av == 0.0f) continue;
-          const float* brow = b + q * n;
-          for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-        continue;
-      }
-      const float av0 = arow[p];
-      const float av1 = arow[p + 1];
-      const float av2 = arow[p + 2];
-      const float av3 = arow[p + 3];
-      const float av4 = arow[p + 4];
-      const float av5 = arow[p + 5];
-      const float av6 = arow[p + 6];
-      const float av7 = arow[p + 7];
-      const float* b0 = b + p * n;
-      const float* b1 = b0 + n;
-      const float* b2 = b1 + n;
-      const float* b3 = b2 + n;
-      const float* b4 = b3 + n;
-      const float* b5 = b4 + n;
-      const float* b6 = b5 + n;
-      const float* b7 = b6 + n;
-      for (Index j = 0; j < n; ++j) {
-        float acc = crow[j];
-        acc += av0 * b0[j];
-        acc += av1 * b1[j];
-        acc += av2 * b2[j];
-        acc += av3 * b3[j];
-        acc += av4 * b4[j];
-        acc += av5 * b5[j];
-        acc += av6 * b6[j];
-        acc += av7 * b7[j];
-        crow[j] = acc;
-      }
-    }
-    for (; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-// Row range of the trans_a variant (A stored [k, m]). The i-outer order
-// makes rows of C independent shards; each c[i, j] still accumulates its
-// k terms in ascending p order, so results are bitwise identical to the
-// historical p-outer loop.
-void GemmRowsTransA(const float* a, const float* b, float* c, Index i0,
-                    Index i1, Index m, Index n, Index k) {
-  for (Index i = i0; i < i1; ++i) {
-    float* crow = c + i * n;
-    for (Index p = 0; p < k; ++p) {
-      const float av = a[p * m + i];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-// Row range of the double-transpose variant (A stored [k, m], B stored
-// [n, k]): per-element dot product with a local accumulator.
-void GemmRowsTransAB(const float* a, const float* b, float* c, Index i0,
-                     Index i1, Index m, Index n, Index k) {
-  for (Index i = i0; i < i1; ++i) {
-    float* crow = c + i * n;
-    for (Index j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (Index p = 0; p < k; ++p) acc += a[p * m + i] * brow[p];
-      crow[j] += acc;
-    }
-  }
-}
-
 // C[m, n] += A[m, k] * B[k, n], with optional transposes interpreted on
 // the logical (pre-transpose) layouts:
 //   trans_a: A is stored [k, m]
 //   trans_b: B is stored [n, k]
 //
-// Parallelized over disjoint row ranges of C: every worker writes
-// non-overlapping memory and each element keeps the serial accumulation
-// order, so results are bitwise identical at any thread count.
+// The inner loops live in the runtime-dispatched kernel registry
+// (src/tensor/kernels/); this layer only picks the variant and shards
+// the output rows. Parallelized over disjoint row ranges of C: every
+// worker writes non-overlapping memory and each element's accumulation
+// order is fixed by the kernel independent of shard boundaries, so
+// results are bitwise identical at any thread count.
 void GemmAccumulate(const float* a, const float* b, float* c, Index m, Index n,
                     Index k, bool trans_a, bool trans_b) {
+  const kernels::KernelTable& kt = kernels::Active();
   if (!trans_a && trans_b) {
-    // Transposing B up front turns the inner dot-product reduction (which
-    // cannot vectorize without reassociating the sum) into the same axpy
-    // sweep as the plain case. Each c[i, j] still accumulates its k terms
-    // in ascending p order, so results are bitwise identical to the
-    // direct form. The scratch is thread_local: serving calls this from
-    // many worker threads at once, and nested shards (which run on other
-    // threads) only read it.
+    if (kt.gemm_rows_transb != nullptr) {
+      // SIMD tiers score trans_b directly: in the [n, k] storage both
+      // operand rows are contiguous, so each output is a straight dot
+      // product (the serving logits shape [batch, d] x [items, d]^T
+      // never pays a transpose). ULP class: the dot reassociates into
+      // vector partial sums but depends only on k, so any shard split
+      // or batch size produces identical bits for the same rows.
+      kernels::CountDispatch(kernels::KernelId::kGemmTransB);
+      utils::ParallelFor(0, m, utils::GrainForCost(n * k),
+                         [&](Index i0, Index i1) {
+                           kt.gemm_rows_transb(a, b, c, i0, i1, m, n, k);
+                         });
+      return;
+    }
+    // Scalar reference path, bitwise identical to pre-registry builds:
+    // transposing B up front turns the inner dot-product reduction
+    // (which cannot vectorize without reassociating the sum) into the
+    // same axpy sweep as the plain case. Each c[i, j] still accumulates
+    // its k terms in ascending p order. The scratch is thread_local:
+    // serving calls this from many worker threads at once, and nested
+    // shards (which run on other threads) only read it.
     thread_local std::vector<float> b_transposed;
     b_transposed.resize(static_cast<size_t>(k) * n);
     float* bt = b_transposed.data();
@@ -140,14 +60,17 @@ void GemmAccumulate(const float* a, const float* b, float* c, Index m, Index n,
     GemmAccumulate(a, bt, c, m, n, k, /*trans_a=*/false, /*trans_b=*/false);
     return;
   }
+  kernels::CountDispatch(!trans_a ? kernels::KernelId::kGemmPlain
+                                  : (!trans_b ? kernels::KernelId::kGemmTransA
+                                              : kernels::KernelId::kGemmTransAB));
   utils::ParallelFor(0, m, utils::GrainForCost(n * k),
                      [&](Index i0, Index i1) {
                        if (!trans_a) {
-                         GemmRowsPlain(a, b, c, i0, i1, n, k);
+                         kt.gemm_rows_plain(a, b, c, i0, i1, m, n, k);
                        } else if (!trans_b) {
-                         GemmRowsTransA(a, b, c, i0, i1, m, n, k);
+                         kt.gemm_rows_transa(a, b, c, i0, i1, m, n, k);
                        } else {
-                         GemmRowsTransAB(a, b, c, i0, i1, m, n, k);
+                         kt.gemm_rows_transab(a, b, c, i0, i1, m, n, k);
                        }
                      });
 }

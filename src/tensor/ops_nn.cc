@@ -2,6 +2,7 @@
 #include <cstring>
 #include <memory>
 
+#include "tensor/kernels/registry.h"
 #include "tensor/ops.h"
 #include "utils/check.h"
 #include "utils/parallel.h"
@@ -52,21 +53,11 @@ Tensor Softmax(const Tensor& a) {
   {
     const float* in = a.data();
     float* out = result.data();
+    const kernels::KernelTable& kt = kernels::Active();
+    kernels::CountDispatch(kernels::KernelId::kSoftmax);
     utils::ParallelFor(
         0, rows, utils::GrainForCost(4 * cols), [&](Index r0, Index r1) {
-          for (Index r = r0; r < r1; ++r) {
-            const float* x = in + r * cols;
-            float* y = out + r * cols;
-            float max_v = x[0];
-            for (Index c = 1; c < cols; ++c) max_v = std::max(max_v, x[c]);
-            float total = 0.0f;
-            for (Index c = 0; c < cols; ++c) {
-              y[c] = std::exp(x[c] - max_v);
-              total += y[c];
-            }
-            const float inv = 1.0f / total;
-            for (Index c = 0; c < cols; ++c) y[c] *= inv;
-          }
+          kt.softmax_rows(in, out, r0, r1, cols);
         });
   }
   return result;
@@ -104,18 +95,11 @@ Tensor LogSoftmax(const Tensor& a) {
   {
     const float* in = a.data();
     float* out = result.data();
+    const kernels::KernelTable& kt = kernels::Active();
+    kernels::CountDispatch(kernels::KernelId::kLogSoftmax);
     utils::ParallelFor(
         0, rows, utils::GrainForCost(4 * cols), [&](Index r0, Index r1) {
-          for (Index r = r0; r < r1; ++r) {
-            const float* x = in + r * cols;
-            float* y = out + r * cols;
-            float max_v = x[0];
-            for (Index c = 1; c < cols; ++c) max_v = std::max(max_v, x[c]);
-            float total = 0.0f;
-            for (Index c = 0; c < cols; ++c) total += std::exp(x[c] - max_v);
-            const float lse = max_v + std::log(total);
-            for (Index c = 0; c < cols; ++c) y[c] = x[c] - lse;
-          }
+          kt.logsoftmax_rows(in, out, r0, r1, cols);
         });
   }
   return result;
@@ -184,27 +168,12 @@ Tensor LayerNormOp(const Tensor& a, const Tensor& gamma, const Tensor& beta,
     float* out = result.data();
     // Forward rows are independent; the backward stays serial because
     // every row accumulates into the shared gamma/beta gradients.
+    const kernels::KernelTable& kt = kernels::Active();
+    kernels::CountDispatch(kernels::KernelId::kLayerNorm);
     utils::ParallelFor(
         0, rows, utils::GrainForCost(4 * cols), [&](Index r0, Index r1) {
-          for (Index r = r0; r < r1; ++r) {
-            const float* x = in + r * cols;
-            float* y = out + r * cols;
-            float mu = 0.0f;
-            for (Index c = 0; c < cols; ++c) mu += x[c];
-            mu /= static_cast<float>(cols);
-            float var = 0.0f;
-            for (Index c = 0; c < cols; ++c) {
-              const float d = x[c] - mu;
-              var += d * d;
-            }
-            var /= static_cast<float>(cols);
-            const float is = 1.0f / std::sqrt(var + eps);
-            (*mean)[r] = mu;
-            (*inv_std)[r] = is;
-            for (Index c = 0; c < cols; ++c) {
-              y[c] = (x[c] - mu) * is * gm[c] + bt[c];
-            }
-          }
+          kt.layernorm_rows(in, gm, bt, eps, out, mean->data(),
+                            inv_std->data(), r0, r1, cols);
         });
   }
   return result;

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/kernels/registry.h"
 #include "utils/check.h"
 #include "utils/parallel.h"
 
@@ -24,21 +25,17 @@ void CsrMultiply(const std::vector<Index>& row_ptr,
   const Index nnz = static_cast<Index>(values.size());
   const Index cost_per_row =
       num_rows == 0 ? 1 : (nnz * cols) / num_rows + cols;
+  const kernels::KernelTable& kt = kernels::Active();
+  kernels::CountDispatch(kernels::KernelId::kSpmm);
   utils::ParallelFor(
       0, num_rows, utils::GrainForCost(cost_per_row),
       [&](Index r0, Index r1) {
         // Defense in depth: an empty/inverted shard must not reach the
-        // memset, whose size argument would wrap to a huge size_t.
+        // kernel's memset, whose size argument would wrap to a huge
+        // size_t.
         if (r1 <= r0) return;
-        std::memset(y + r0 * cols, 0, sizeof(float) * (r1 - r0) * cols);
-        for (Index r = r0; r < r1; ++r) {
-          float* yr = y + r * cols;
-          for (Index p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
-            const float v = values[p];
-            const float* xr = x + col_idx[p] * cols;
-            for (Index c = 0; c < cols; ++c) yr[c] += v * xr[c];
-          }
-        }
+        kt.spmm_rows(row_ptr.data(), col_idx.data(), values.data(), x, cols,
+                     y, r0, r1);
       });
 }
 

@@ -235,6 +235,63 @@ TEST(HttpClientTest, ReadTimeoutReportsTransportError) {
   ::close(fd);
 }
 
+// -- HTTP keep-alive (satellite) -----------------------------------------
+
+TEST(HttpKeepAliveTest, ClientReusesOnePooledConnectionPerPeer) {
+  obs::HttpServer server;
+  ASSERT_TRUE(server.Start("127.0.0.1", 0, [](const obs::HttpRequest& r) {
+    obs::HttpResponse response;
+    response.body = "echo:" + r.body;
+    return response;
+  }));
+
+  obs::HttpClient client({/*connect_timeout_ms=*/1000,
+                          /*read_timeout_ms=*/2000, /*keep_alive=*/true});
+  EXPECT_EQ(client.pooled_connections(), 0u);
+  for (int i = 0; i < 10; ++i) {
+    const obs::HttpClient::Result result =
+        client.Post("127.0.0.1", server.port(), "/recommend",
+                    "application/json", "r" + std::to_string(i));
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.status, 200);
+    EXPECT_EQ(result.body, "echo:r" + std::to_string(i));
+    // After every exchange the (single) connection is parked for reuse.
+    EXPECT_EQ(client.pooled_connections(), 1u) << "request " << i;
+  }
+}
+
+TEST(HttpKeepAliveTest, StalePooledConnectionFallsBackToReconnect) {
+  obs::HttpServer server;
+  ASSERT_TRUE(server.Start("127.0.0.1", 0, [](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    response.body = "ok";
+    return response;
+  }));
+
+  obs::HttpClient client({/*connect_timeout_ms=*/1000,
+                          /*read_timeout_ms=*/2000, /*keep_alive=*/true});
+  ASSERT_TRUE(client.Get("127.0.0.1", server.port(), "/x").ok);
+  ASSERT_EQ(client.pooled_connections(), 1u);
+  // The server closes an idle kept-alive connection after its short
+  // idle window; the pooled fd is then stale and the next request must
+  // transparently reconnect.
+  std::this_thread::sleep_for(std::chrono::milliseconds(900));
+  const obs::HttpClient::Result result =
+      client.Get("127.0.0.1", server.port(), "/y");
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.body, "ok");
+}
+
+TEST(HttpKeepAliveTest, DefaultClientStillClosesPerRequest) {
+  obs::HttpServer server;
+  ASSERT_TRUE(server.Start("127.0.0.1", 0, [](const obs::HttpRequest&) {
+    return obs::HttpResponse{};
+  }));
+  obs::HttpClient client;  // keep_alive off: historical behavior.
+  ASSERT_TRUE(client.Get("127.0.0.1", server.port(), "/x").ok);
+  EXPECT_EQ(client.pooled_connections(), 0u);
+}
+
 // -- Prometheus text exposition (satellite: pinned by hand) -------------
 
 TEST(PrometheusTextTest, ExpositionMatchesHandComputedString) {

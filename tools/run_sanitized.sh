@@ -14,7 +14,9 @@
 # table's acquire/release/drain protocol racing the prober, forwarder
 # workers, and concurrent clients) — the code paths where a data race
 # would silently break the determinism contract or leave a promise
-# unresolved.
+# unresolved. Also runs the SIMD kernel checker and the int8
+# quantization tests: hand-written intrinsics and raw int8 buffers are
+# exactly where ASan/UBSan catch out-of-bounds lanes and bad casts.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -28,7 +30,8 @@ build="build-$(echo "$san" | tr -d '+')san"
 cmake -B "$build" -S . -DISREC_SANITIZE="$san" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 tests="thread_pool_test parallel_ops_test lru_cache_test status_test \
-serve_test obs_test admin_server_test router_test"
+serve_test obs_test admin_server_test router_test kernel_checker_test \
+quantize_test"
 # shellcheck disable=SC2086  # Word-splitting the target list is intended.
 cmake --build "$build" -j --target $tests
 
