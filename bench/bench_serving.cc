@@ -6,7 +6,10 @@
 // Prints a utils::Table and writes a machine-readable summary to
 // BENCH_serving.json (override with --out PATH), including a "metrics"
 // block with the obs registry snapshot (engine queue/latency/batch-size
-// instruments plus train.* from the one-epoch fit). On a single hardware
+// instruments plus train.* from the one-epoch fit) and two warn-not-fail
+// overhead A/Bs: the admin plane (scraped /metrics) and the fleet
+// observability plane (distributed trace propagation + /fleet/metrics
+// aggregation through a 2-replica router). On a single hardware
 // core the entire speedup comes from micro-batching amortization (one
 // ScoreBatch forward instead of B per-request forwards); multi-core
 // machines additionally overlap batches across workers.
@@ -79,6 +82,143 @@ double RunDefaultConfigQps(core::IsrecModel& model,
   }
   for (auto& future : futures) future.get();
   return engine.Stats().qps;
+}
+
+/// Client-observed aggregate over one HTTP workload.
+struct HttpLoadStats {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  long ok = 0;
+  long failed = 0;  // Transport failures + any non-value protocol status.
+};
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t index = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+/// Fans `requests` round-robin over `num_clients` threads, each POSTing
+/// to http://127.0.0.1:port/recommend with its own connection-per-request
+/// HttpClient (the protocol's actual wire path, not an in-process
+/// shortcut), and aggregates client-observed latency and outcomes.
+HttpLoadStats DriveHttpLoad(int port,
+                            const std::vector<serve::Request>& requests,
+                            int num_clients) {
+  std::vector<std::vector<double>> latencies(num_clients);
+  std::vector<long> ok(num_clients, 0);
+  std::vector<long> failed(num_clients, 0);
+  Stopwatch wall;
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      obs::HttpClient client;
+      for (size_t i = c; i < requests.size();
+           i += static_cast<size_t>(num_clients)) {
+        Stopwatch sw;
+        const obs::HttpClient::Result result =
+            client.Post("127.0.0.1", port, "/recommend", "application/json",
+                        serve::RecommendRequestToJson(requests[i]));
+        latencies[c].push_back(sw.ElapsedSeconds() * 1000.0);
+        serve::RecommendResponse response;
+        std::string error;
+        if (result.ok &&
+            serve::RecommendResponseFromJson(result.body, &response, &error) &&
+            response.has_value) {
+          ++ok[c];
+        } else {
+          ++failed[c];
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double wall_s = wall.ElapsedSeconds();
+
+  HttpLoadStats stats;
+  std::vector<double> all;
+  for (int c = 0; c < num_clients; ++c) {
+    stats.ok += ok[c];
+    stats.failed += failed[c];
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+  }
+  std::sort(all.begin(), all.end());
+  stats.qps = wall_s > 0.0 ? static_cast<double>(all.size()) / wall_s : 0.0;
+  stats.p50_ms = Percentile(all, 0.50);
+  stats.p99_ms = Percentile(all, 0.99);
+  return stats;
+}
+
+/// One in-process replica, assembled exactly like `isrec_serve --serve`:
+/// engine + admin server carrying POST /recommend and the /varz load
+/// signals the router's prober reads.
+struct BenchReplica {
+  std::unique_ptr<serve::ServingEngine> engine;
+  std::unique_ptr<obs::AdminServer> admin;
+
+  bool Start(core::IsrecModel& model, Index num_items) {
+    serve::EngineConfig config;
+    config.num_threads = 2;
+    config.max_batch_size = 32;
+    config.batch_window_us = 200;
+    engine = std::make_unique<serve::ServingEngine>(model, num_items, config);
+    obs::AdminServerConfig admin_config;
+    admin_config.num_workers = 4;
+    admin = std::make_unique<obs::AdminServer>(admin_config);
+    serve::RegisterAdminSections(*admin, *engine);
+    serve::RegisterRecommendEndpoint(*admin, *engine);
+    return admin->Start();
+  }
+  void Stop() {
+    if (admin != nullptr) admin->Stop();
+  }
+};
+
+/// One arm of the fleet-plane A/B: a router over two fresh replicas with
+/// the whole fleet observability plane flipped by `fleet_on` — off is
+/// trace_sample_every=0 and fleet_metrics=false (the pre-tracing wire
+/// bytes on every hop), on mints a distributed trace every 16th request
+/// with replica span echo and has the prober pulling full metrics
+/// snapshots for /fleet/metrics at 10 Hz. Returns client-observed qps,
+/// or a negative value when the tier fails to come up.
+double RunFleetArmQps(core::IsrecModel& model, const data::Dataset& dataset,
+                      const std::vector<serve::Request>& requests,
+                      bool fleet_on) {
+  constexpr int kReplicas = 2;
+  constexpr int kClients = 8;
+  BenchReplica replicas[kReplicas];
+  router::RouterConfig router_config;
+  for (int i = 0; i < kReplicas; ++i) {
+    if (!replicas[i].Start(model, dataset.num_items)) return -1.0;
+    router_config.replicas.push_back(
+        {"r" + std::to_string(i + 1), "127.0.0.1", replicas[i].admin->port()});
+  }
+  router_config.probe.period_ms = 100.0;
+  router_config.admin.num_workers = 8;
+  router_config.trace_sample_every = fleet_on ? 16 : 0;
+  router_config.fleet_metrics = fleet_on;
+  obs::EnableTracing(fleet_on);
+  obs::EnableRequestTracing(fleet_on);
+  double qps = -1.0;
+  {
+    router::Router router(std::move(router_config));
+    if (router.Start()) {
+      for (int i = 0; i < 200 && router.table().NumRoutable() < kReplicas;
+           ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      if (router.table().NumRoutable() >= kReplicas) {
+        qps = DriveHttpLoad(router.port(), requests, kClients).qps;
+      }
+      router.Stop();
+    }
+  }
+  for (int i = 0; i < kReplicas; ++i) replicas[i].Stop();
+  obs::EnableRequestTracing(false);
+  obs::EnableTracing(false);
+  return qps;
 }
 
 int Run(const std::string& out_path) {
@@ -216,6 +356,39 @@ int Run(const std::string& out_path) {
                 admin_delta_pct, kAdminAcceptancePct);
   }
 
+  // A/B: the fleet observability plane off vs on, through a router over
+  // two replicas on the real wire path. Off disables trace propagation
+  // and fleet aggregation entirely (replica requests are byte-identical
+  // to the pre-tracing protocol); on samples a stitched trace every 16th
+  // request and folds prober-pulled metrics snapshots into
+  // /fleet/metrics. Same warn-not-fail policy as the admin A/B: a
+  // single-run qps delta is noisy, so the 2% bar records rather than
+  // gates.
+  const double kFleetAcceptancePct = 2.0;
+  std::printf("fleet-plane A/B (router over 2 replicas, 8 clients)...\n");
+  const double qps_fleet_off =
+      RunFleetArmQps(model, dataset, requests, /*fleet_on=*/false);
+  const double qps_fleet_on =
+      RunFleetArmQps(model, dataset, requests, /*fleet_on=*/true);
+  if (qps_fleet_off < 0.0 || qps_fleet_on < 0.0) {
+    std::fprintf(stderr, "cannot run the fleet-plane A/B\n");
+    return 1;
+  }
+  const double fleet_delta_pct =
+      qps_fleet_off > 0.0
+          ? (qps_fleet_off - qps_fleet_on) / qps_fleet_off * 100.0
+          : 0.0;
+  const bool fleet_within = fleet_delta_pct < kFleetAcceptancePct;
+  std::printf(
+      "fleet plane A/B (trace every 16th + /fleet/metrics folding): "
+      "off %.1f qps, on %.1f qps, delta %.2f%%\n",
+      qps_fleet_off, qps_fleet_on, fleet_delta_pct);
+  if (!fleet_within) {
+    std::printf("WARNING: fleet-plane overhead %.2f%% exceeds the %.1f%% "
+                "acceptance bar\n",
+                fleet_delta_pct, kFleetAcceptancePct);
+  }
+
   Table table({"threads", "max_batch", "window_us", "qps", "p50_ms", "p95_ms",
                "p99_ms", "mean_batch", "speedup", "identical"});
   table.AddRow({"1 (sequential Score)", "-", "-", FormatFloat(baseline_qps, 1),
@@ -266,6 +439,12 @@ int Run(const std::string& out_path) {
                "\"acceptance_pct\": %.1f, \"within_acceptance\": %s},\n",
                qps_admin_off, qps_admin_on, admin_delta_pct,
                kAdminAcceptancePct, admin_within ? "true" : "false");
+  std::fprintf(out,
+               "  \"fleet_plane_overhead\": {\"qps_off\": %.1f, "
+               "\"qps_on\": %.1f, \"delta_pct\": %.2f, "
+               "\"acceptance_pct\": %.1f, \"within_acceptance\": %s},\n",
+               qps_fleet_off, qps_fleet_on, fleet_delta_pct,
+               kFleetAcceptancePct, fleet_within ? "true" : "false");
   std::fprintf(out, "  \"metrics\": %s}\n", obs::DumpMetricsJson().c_str());
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
@@ -277,98 +456,6 @@ int Run(const std::string& out_path) {
 }
 
 // -- Sharded-tier benchmark (--router) -------------------------------------
-
-/// Client-observed aggregate over one HTTP workload.
-struct HttpLoadStats {
-  double qps = 0.0;
-  double p50_ms = 0.0;
-  double p99_ms = 0.0;
-  long ok = 0;
-  long failed = 0;  // Transport failures + any non-value protocol status.
-};
-
-double Percentile(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const size_t index = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
-  return sorted[std::min(index, sorted.size() - 1)];
-}
-
-/// Fans `requests` round-robin over `num_clients` threads, each POSTing
-/// to http://127.0.0.1:port/recommend with its own connection-per-request
-/// HttpClient (the protocol's actual wire path, not an in-process
-/// shortcut), and aggregates client-observed latency and outcomes.
-HttpLoadStats DriveHttpLoad(int port,
-                            const std::vector<serve::Request>& requests,
-                            int num_clients) {
-  std::vector<std::vector<double>> latencies(num_clients);
-  std::vector<long> ok(num_clients, 0);
-  std::vector<long> failed(num_clients, 0);
-  Stopwatch wall;
-  std::vector<std::thread> clients;
-  clients.reserve(num_clients);
-  for (int c = 0; c < num_clients; ++c) {
-    clients.emplace_back([&, c] {
-      obs::HttpClient client;
-      for (size_t i = c; i < requests.size();
-           i += static_cast<size_t>(num_clients)) {
-        Stopwatch sw;
-        const obs::HttpClient::Result result =
-            client.Post("127.0.0.1", port, "/recommend", "application/json",
-                        serve::RecommendRequestToJson(requests[i]));
-        latencies[c].push_back(sw.ElapsedSeconds() * 1000.0);
-        serve::RecommendResponse response;
-        std::string error;
-        if (result.ok &&
-            serve::RecommendResponseFromJson(result.body, &response, &error) &&
-            response.has_value) {
-          ++ok[c];
-        } else {
-          ++failed[c];
-        }
-      }
-    });
-  }
-  for (std::thread& t : clients) t.join();
-  const double wall_s = wall.ElapsedSeconds();
-
-  HttpLoadStats stats;
-  std::vector<double> all;
-  for (int c = 0; c < num_clients; ++c) {
-    stats.ok += ok[c];
-    stats.failed += failed[c];
-    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
-  }
-  std::sort(all.begin(), all.end());
-  stats.qps = wall_s > 0.0 ? static_cast<double>(all.size()) / wall_s : 0.0;
-  stats.p50_ms = Percentile(all, 0.50);
-  stats.p99_ms = Percentile(all, 0.99);
-  return stats;
-}
-
-/// One in-process replica, assembled exactly like `isrec_serve --serve`:
-/// engine + admin server carrying POST /recommend and the /varz load
-/// signals the router's prober reads.
-struct BenchReplica {
-  std::unique_ptr<serve::ServingEngine> engine;
-  std::unique_ptr<obs::AdminServer> admin;
-
-  bool Start(core::IsrecModel& model, Index num_items) {
-    serve::EngineConfig config;
-    config.num_threads = 2;
-    config.max_batch_size = 32;
-    config.batch_window_us = 200;
-    engine = std::make_unique<serve::ServingEngine>(model, num_items, config);
-    obs::AdminServerConfig admin_config;
-    admin_config.num_workers = 4;
-    admin = std::make_unique<obs::AdminServer>(admin_config);
-    serve::RegisterAdminSections(*admin, *engine);
-    serve::RegisterRecommendEndpoint(*admin, *engine);
-    return admin->Start();
-  }
-  void Stop() {
-    if (admin != nullptr) admin->Stop();
-  }
-};
 
 void PrintDecisions(const char* label, const router::RouterDecisions& d) {
   std::printf(

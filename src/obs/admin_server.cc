@@ -169,14 +169,9 @@ void AdminServer::SamplerLoop() {
 }
 
 HttpResponse AdminServer::Handle(const HttpRequest& request) {
-  if (request.path == "/" || request.path == "/index.html") {
-    return HandleIndex();
-  }
-  if (request.path == "/healthz") return HandleHealthz();
-  if (request.path == "/metrics") return HandleMetrics();
-  if (request.path == "/varz") return HandleVarz();
-  if (request.path == "/statusz") return HandleStatusz();
-  if (request.path == "/tracez") return HandleTracez(request);
+  // Custom handlers are consulted before the built-ins so an embedder
+  // can override a built-in page (the router replaces /tracez with its
+  // stitched cross-process view).
   HttpHandler handler;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -188,6 +183,14 @@ HttpResponse AdminServer::Handle(const HttpRequest& request) {
     }
   }
   if (handler) return handler(request);
+  if (request.path == "/" || request.path == "/index.html") {
+    return HandleIndex();
+  }
+  if (request.path == "/healthz") return HandleHealthz();
+  if (request.path == "/metrics") return HandleMetrics();
+  if (request.path == "/varz") return HandleVarz();
+  if (request.path == "/statusz") return HandleStatusz();
+  if (request.path == "/tracez") return HandleTracez(request);
   HttpResponse response;
   response.status = 404;
   response.body = "not found: " + request.path + "\n";
@@ -253,6 +256,10 @@ HttpResponse AdminServer::HandleVarz() const {
   for (const auto& [key, provider] : sections) {
     body += JsonEscape(key) + ": " + provider() + ",\n";
   }
+  // The trace clock reading lets a poller (the router's prober) estimate
+  // this process's clock offset from the request round-trip (midpoint
+  // method) and translate echoed span timestamps.
+  body += "\"trace_clock_ns\": " + std::to_string(TraceClockNs()) + ",\n";
   body += "\"metrics\": " + DumpMetricsJson() + "}\n";
   HttpResponse response;
   response.content_type = "application/json";

@@ -79,13 +79,14 @@ class AdminServer {
   /// Overrides /healthz (default: healthy, "ok").
   void SetHealthProvider(HealthProvider provider);
 
-  /// Routes `path` (exact match, consulted before the built-in 404) to
-  /// `handler` — the extension point for data-plane endpoints that want
-  /// to live on the same server as the introspection plane: a replica's
-  /// POST /recommend, the router's /admin/drain. Handlers run on the
-  /// HTTP worker threads (concurrently when num_workers > 1) and must
-  /// be thread-safe. Built-in paths (/healthz, /metrics, ...) cannot be
-  /// overridden. Register before Start().
+  /// Routes `path` (exact match, consulted before the built-in pages)
+  /// to `handler` — the extension point for data-plane endpoints that
+  /// want to live on the same server as the introspection plane: a
+  /// replica's POST /recommend, the router's /admin/drain. A handler on
+  /// a built-in path (/tracez, ...) replaces that page — the router
+  /// serves its stitched cross-process /tracez this way. Handlers run
+  /// on the HTTP worker threads (concurrently when num_workers > 1) and
+  /// must be thread-safe. Register before Start().
   void AddHandler(const std::string& path, HttpHandler handler);
 
   /// One-line build/version string shown on /statusz and /varz.

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -127,6 +128,40 @@ bool ParseRequestLine(const std::string& line, HttpRequest* out) {
     }
   }
   return true;
+}
+
+/// Parses a request header block (everything after the request line)
+/// into `out`: names lowercased, values trimmed, first occurrence of a
+/// repeated name wins. `headers` is the raw block INCLUDING the request
+/// line; the first line is skipped.
+void ParseHeaderBlock(const std::string& headers,
+                      std::map<std::string, std::string>* out) {
+  size_t pos = headers.find("\r\n");
+  pos = pos == std::string::npos ? headers.size() : pos + 2;
+  while (pos < headers.size()) {
+    size_t eol = headers.find("\r\n", pos);
+    if (eol == std::string::npos) eol = headers.size();
+    const std::string line = headers.substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = line.substr(0, colon);
+    for (char& c : name) c = static_cast<char>(std::tolower(c));
+    std::string value = line.substr(colon + 1);
+    const size_t first = value.find_first_not_of(" \t");
+    const size_t last = value.find_last_not_of(" \t");
+    value = first == std::string::npos
+                ? std::string()
+                : value.substr(first, last - first + 1);
+    out->emplace(std::move(name), std::move(value));
+  }
+}
+
+/// Monotonic milliseconds for keep-alive pool idle-age tracking.
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 /// Case-insensitive "Content-Length: N" lookup within a header block;
@@ -403,41 +438,49 @@ void HttpServer::ServeConnection(int fd) {
       response.status = 400;
       response.body = "bad request\n";
       parse_failed = true;  // Framing unknown: must close after answering.
-    } else if (request.method == "POST") {
-      // Read the Content-Length body (the rest may already be buffered).
-      const long content_length = ContentLength(headers);
-      const size_t body_start = header_end + 4;
-      if (content_length < 0 ||
-          static_cast<size_t>(content_length) > kMaxRequestBytes) {
-        response.status = 400;
-        response.body = "POST requires a bounded Content-Length\n";
-        parse_failed = true;
-      } else {
-        while (raw.size() - body_start <
-               static_cast<size_t>(content_length)) {
-          const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-          if (n <= 0) {
-            if (n < 0 && errno == EINTR) continue;
-            return;  // Body never arrived; nothing sensible to answer.
+    } else {
+      ParseHeaderBlock(headers, &request.headers);
+      if (request.method == "POST") {
+        // Read the Content-Length body (the rest may already be
+        // buffered).
+        const std::string length_value =
+            request.HeaderOr("content-length", "");
+        const long content_length =
+            length_value.empty() ? -1 : std::atol(length_value.c_str());
+        const size_t body_start = header_end + 4;
+        if (content_length < 0 ||
+            static_cast<size_t>(content_length) > kMaxRequestBytes) {
+          response.status = 400;
+          response.body = "POST requires a bounded Content-Length\n";
+          parse_failed = true;
+        } else {
+          while (raw.size() - body_start <
+                 static_cast<size_t>(content_length)) {
+            const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+            if (n <= 0) {
+              if (n < 0 && errno == EINTR) continue;
+              return;  // Body never arrived; nothing sensible to answer.
+            }
+            raw.append(chunk, static_cast<size_t>(n));
           }
-          raw.append(chunk, static_cast<size_t>(n));
+          request.body =
+              raw.substr(body_start, static_cast<size_t>(content_length));
+          consumed = body_start + static_cast<size_t>(content_length);
+          run_handler = true;
         }
-        request.body =
-            raw.substr(body_start, static_cast<size_t>(content_length));
-        consumed = body_start + static_cast<size_t>(content_length);
+      } else if (request.method != "GET" && request.method != "HEAD") {
+        response.status = 405;
+        response.body = "only GET, HEAD, and POST are supported\n";
+      } else {
         run_handler = true;
       }
-    } else if (request.method != "GET" && request.method != "HEAD") {
-      response.status = 405;
-      response.body = "only GET, HEAD, and POST are supported\n";
-    } else {
-      run_handler = true;
     }
     // Keep-alive is opt-in per request: only an explicit header keeps
     // the connection, so every pre-existing client (curl, the prober,
     // one-shot HttpGet) still gets the historical one-request behavior.
-    const bool keep_alive =
-        !parse_failed && HeaderEquals(headers, "connection", "keep-alive");
+    std::string connection_value = request.HeaderOr("connection", "");
+    for (char& c : connection_value) c = static_cast<char>(std::tolower(c));
+    const bool keep_alive = !parse_failed && connection_value == "keep-alive";
     if (run_handler) {
       try {
         response = handler_(request);
@@ -482,7 +525,7 @@ void HttpServer::ServeConnection(int fd) {
 }
 
 HttpClient::~HttpClient() {
-  for (const auto& [key, fd] : pool_) ::close(fd);
+  for (const auto& [key, conn] : pool_) ::close(conn.fd);
 }
 
 size_t HttpClient::pooled_connections() const {
@@ -491,37 +534,60 @@ size_t HttpClient::pooled_connections() const {
 }
 
 int HttpClient::TakePooled(const std::string& host, int port) {
-  std::lock_guard<std::mutex> lock(pool_mutex_);
-  auto it = pool_.find({host, port});
-  if (it == pool_.end()) return -1;
-  const int fd = it->second;
-  pool_.erase(it);
+  int stale_fd = -1;
+  int fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    auto it = pool_.find({host, port});
+    if (it == pool_.end()) return -1;
+    // A connection idled past the server's close window is almost
+    // certainly dead on arrival: reusing it pays a doomed send plus the
+    // stale-retry reconnect. Close it here and let the caller open a
+    // fresh connection directly.
+    if (options_.keepalive_max_idle_ms > 0 &&
+        SteadyNowMs() - it->second.last_use_ms >
+            options_.keepalive_max_idle_ms) {
+      stale_fd = it->second.fd;
+    } else {
+      fd = it->second.fd;
+    }
+    pool_.erase(it);
+  }
+  if (stale_fd >= 0) {
+    ::close(stale_fd);
+    if (MetricsEnabled()) {
+      static Counter& avoided = GetCounter("http.keepalive_stale_avoided");
+      avoided.Add(1);
+    }
+  }
   return fd;
 }
 
 void HttpClient::ReturnPooled(const std::string& host, int port, int fd) {
+  const PooledConnection conn{fd, SteadyNowMs()};
   {
     std::lock_guard<std::mutex> lock(pool_mutex_);
     // One pooled connection per peer: if a concurrent request already
     // parked one, the younger connection is the one we drop.
-    if (pool_.emplace(std::make_pair(host, port), fd).second) return;
+    if (pool_.emplace(std::make_pair(host, port), conn).second) return;
   }
   ::close(fd);
 }
 
 HttpClient::Result HttpClient::Get(const std::string& host, int port,
-                                   const std::string& target,
-                                   int timeout_ms) {
-  return Fetch(host, port, target, "GET", "", "", timeout_ms);
+                                   const std::string& target, int timeout_ms,
+                                   const HttpHeaderList& extra_headers) {
+  return Fetch(host, port, target, "GET", "", "", timeout_ms, extra_headers);
 }
 
 HttpClient::Result HttpClient::Post(const std::string& host, int port,
                                     const std::string& target,
                                     const std::string& content_type,
                                     const std::string& request_body,
-                                    int timeout_ms) {
+                                    int timeout_ms,
+                                    const HttpHeaderList& extra_headers) {
   return Fetch(host, port, target, "POST", content_type, request_body,
-               timeout_ms);
+               timeout_ms, extra_headers);
 }
 
 namespace {
@@ -620,7 +686,8 @@ HttpClient::Result HttpClient::Fetch(const std::string& host, int port,
                                      const char* method,
                                      const std::string& content_type,
                                      const std::string& request_body,
-                                     int timeout_ms) {
+                                     int timeout_ms,
+                                     const HttpHeaderList& extra_headers) {
   Result result;
   HttpClientOptions options = options_;
   if (timeout_ms > 0) {
@@ -633,6 +700,9 @@ HttpClient::Result HttpClient::Fetch(const std::string& host, int port,
       std::string(method) + " " + target + " HTTP/1.1\r\nHost: " + host +
       "\r\nConnection: " +
       (options_.keep_alive ? "keep-alive" : "close") + "\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    request += name + ": " + value + "\r\n";
+  }
   if (std::strcmp(method, "POST") == 0) {
     request += "Content-Type: " +
                (content_type.empty() ? "application/octet-stream"

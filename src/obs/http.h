@@ -30,11 +30,16 @@ namespace isrec::obs {
 
 /// A parsed request: method, path, decoded query parameters
 /// ("/tracez?format=json" → path "/tracez", query {{"format","json"}}),
-/// and — for POST — the request body.
+/// request headers, and — for POST — the request body.
 struct HttpRequest {
   std::string method;
   std::string path;
   std::map<std::string, std::string> query;
+  /// Header name → value, names lowercased and values trimmed (header
+  /// names are case-insensitive on the wire; a repeated name keeps the
+  /// first occurrence). This is how trace context crosses the router →
+  /// replica hop (X-Isrec-Trace, obs/trace_context.h).
+  std::map<std::string, std::string> headers;
   std::string body;  // POST payload; empty for GET/HEAD.
 
   /// Query value or `fallback` when the key is absent.
@@ -42,6 +47,15 @@ struct HttpRequest {
                              const std::string& fallback) const {
     auto it = query.find(key);
     return it == query.end() ? fallback : it->second;
+  }
+
+  /// Header value (by lowercase name) or `fallback` when absent.
+  /// Returns by value: a reference would dangle whenever the fallback
+  /// is a temporary (the common `HeaderOr("name", "")` call shape).
+  std::string HeaderOr(const std::string& lowercase_name,
+                       const std::string& fallback) const {
+    auto it = headers.find(lowercase_name);
+    return it == headers.end() ? fallback : it->second;
   }
 };
 
@@ -117,7 +131,19 @@ struct HttpClientOptions {
   /// Reuse connections (HTTP keep-alive). A pooled connection is only
   /// kept when the server's response advertises keep-alive too.
   bool keep_alive = false;
+  /// Oldest a pooled connection may be (since its last use) and still
+  /// be reused. The HttpServer above closes an idle kept-alive
+  /// connection after its ~500 ms wait, so a client that reuses an
+  /// older fd pays a doomed send + fresh-connect retry on every burst
+  /// edge; staying under the server's window reconnects proactively
+  /// instead (counted as http.keepalive_stale_avoided). <= 0 disables
+  /// the age check.
+  int keepalive_max_idle_ms = 400;
 };
+
+/// Extra request headers for HttpClient calls, sent verbatim as
+/// "Name: value" lines (e.g. the X-Isrec-Trace propagation headers).
+using HttpHeaderList = std::vector<std::pair<std::string, std::string>>;
 
 class HttpClient {
  public:
@@ -135,15 +161,17 @@ class HttpClient {
   };
 
   /// GET http://host:port{target}. `timeout_ms` > 0 caps the configured
-  /// connect/read timeouts for this one call.
+  /// connect/read timeouts for this one call. `extra_headers` are sent
+  /// verbatim after the standard request headers.
   Result Get(const std::string& host, int port, const std::string& target,
-             int timeout_ms = 0);
+             int timeout_ms = 0, const HttpHeaderList& extra_headers = {});
 
   /// POST `request_body` (with the given Content-Type) to
   /// http://host:port{target}.
   Result Post(const std::string& host, int port, const std::string& target,
               const std::string& content_type,
-              const std::string& request_body, int timeout_ms = 0);
+              const std::string& request_body, int timeout_ms = 0,
+              const HttpHeaderList& extra_headers = {});
 
   const HttpClientOptions& options() const { return options_; }
 
@@ -153,15 +181,25 @@ class HttpClient {
  private:
   Result Fetch(const std::string& host, int port, const std::string& target,
                const char* method, const std::string& content_type,
-               const std::string& request_body, int timeout_ms);
+               const std::string& request_body, int timeout_ms,
+               const HttpHeaderList& extra_headers);
 
-  // Takes/returns the single pooled fd for (host, port); -1 when none.
+  // One parked connection with its last-use time, for the idle-age
+  // check in TakePooled.
+  struct PooledConnection {
+    int fd = -1;
+    int64_t last_use_ms = 0;
+  };
+
+  // Takes/returns the single pooled fd for (host, port); -1 when none
+  // (including when the parked fd idled past keepalive_max_idle_ms and
+  // was proactively closed).
   int TakePooled(const std::string& host, int port);
   void ReturnPooled(const std::string& host, int port, int fd);
 
   HttpClientOptions options_;
   mutable std::mutex pool_mutex_;
-  std::map<std::pair<std::string, int>, int> pool_;
+  std::map<std::pair<std::string, int>, PooledConnection> pool_;
 };
 
 /// Blocking GET for tests, benches, and in-process smoke checks:

@@ -224,6 +224,25 @@ void RecordRequestSpan(const char* name, uint64_t start_ns, uint64_t end_ns,
   internal::RecordSpan(name, start_ns, end_ns, request_id);
 }
 
+bool FindRequestTimeline(uint64_t request_id, RequestTimeline* out) {
+  if (request_id == 0) return false;
+  RequestTraceState& state = ReqState();
+  const uint64_t every =
+      std::max<uint64_t>(1, state.sample_every.load(std::memory_order_relaxed));
+  if ((request_id - 1) % every != 0) return false;  // Never indexed.
+  TimelineSlot& slot =
+      state.slots[((request_id - 1) / every) % kRequestTimelineSlots];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  if (slot.request_id != request_id || slot.spans.empty()) return false;
+  out->request_id = request_id;
+  out->spans = slot.spans;
+  std::stable_sort(out->spans.begin(), out->spans.end(),
+                   [](const RequestSpan& a, const RequestSpan& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return true;
+}
+
 std::vector<RequestTimeline> SnapshotRequestTimelines() {
   RequestTraceState& state = ReqState();
   struct Entry {

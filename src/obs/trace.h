@@ -149,6 +149,12 @@ void RecordRequestSpan(const char* name, uint64_t start_ns, uint64_t end_ns,
 /// within a timeline are sorted by start time.
 std::vector<RequestTimeline> SnapshotRequestTimelines();
 
+/// Copies the timeline indexed for one request id (spans start-sorted).
+/// False when the id is unsampled, was never indexed, or has been
+/// evicted by a newer request. Used by the recommend endpoint to echo a
+/// replica's spans back to the router for cross-process stitching.
+bool FindRequestTimeline(uint64_t request_id, RequestTimeline* out);
+
 /// Spans that could not be indexed since the last Clear (timeline
 /// evicted, span cap reached, or unsampled slot conflict).
 uint64_t RequestTimelineDropped();

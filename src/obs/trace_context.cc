@@ -1,0 +1,87 @@
+#include "obs/trace_context.h"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+
+namespace isrec::obs {
+namespace {
+
+/// splitmix64 finalizer — cheap, full-period, and good enough avalanche
+/// that sequential counter inputs come out looking independent.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t ProcessSeed() {
+  static const uint64_t seed = [] {
+    std::random_device rd;
+    const uint64_t entropy =
+        (static_cast<uint64_t>(rd()) << 32) ^ static_cast<uint64_t>(rd());
+    const uint64_t clock_bits = static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    return entropy ^ SplitMix64(clock_bits);
+  }();
+  return seed;
+}
+
+}  // namespace
+
+uint64_t NewTraceId() {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t id = 0;
+  // fetch_add guarantees distinct counter values, so the only way to
+  // loop is the 1-in-2^64 zero output.
+  do {
+    id = SplitMix64(ProcessSeed() + counter.fetch_add(1));
+  } while (id == 0);
+  return id;
+}
+
+std::string FormatTraceId(uint64_t trace_id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return std::string(buf);
+}
+
+bool ParseTraceId(const std::string& text, uint64_t* out) {
+  if (text.empty() || text.size() > 16) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 16);
+  if (errno != 0 || end != text.c_str() + text.size() || value == 0) {
+    return false;
+  }
+  *out = static_cast<uint64_t>(value);
+  return true;
+}
+
+TraceContext TraceContextFromHeaders(const HttpRequest& request) {
+  TraceContext context;
+  uint64_t trace_id = 0;
+  if (!ParseTraceId(request.HeaderOr("x-isrec-trace", ""), &trace_id)) {
+    return context;  // Inactive: untraced request.
+  }
+  context.trace_id = trace_id;
+  const std::string hop = request.HeaderOr("x-isrec-trace-hop", "");
+  context.hop = hop.empty() ? 0 : std::atoi(hop.c_str());
+  if (context.hop < 0) context.hop = 0;
+  context.echo = request.HeaderOr("x-isrec-trace-echo", "") == "1";
+  return context;
+}
+
+void AppendTraceHeaders(const TraceContext& context, HttpHeaderList* headers) {
+  if (!context.active()) return;
+  headers->emplace_back(kTraceHeader, FormatTraceId(context.trace_id));
+  headers->emplace_back(kTraceHopHeader, std::to_string(context.hop));
+  if (context.echo) headers->emplace_back(kTraceEchoHeader, "1");
+}
+
+}  // namespace isrec::obs

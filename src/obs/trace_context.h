@@ -1,0 +1,57 @@
+#ifndef ISREC_OBS_TRACE_CONTEXT_H_
+#define ISREC_OBS_TRACE_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/http.h"
+
+namespace isrec::obs {
+
+/// Cross-process trace context (DESIGN.md "Distributed tracing & fleet
+/// metrics"). A trace id is a nonzero 64-bit value minted once at the
+/// edge (the router, or whichever process first samples the request)
+/// and carried across HTTP hops as headers, so router-side and
+/// replica-side spans recorded under the same id can be stitched into
+/// one timeline. The id doubles as the serve::Request id on the
+/// replica, which is how it reaches the per-request span timeline.
+struct TraceContext {
+  uint64_t trace_id = 0;  // 0 = no trace context (propagation off).
+  int hop = 0;            // 0 at the edge; +1 per forwarded hop.
+  bool echo = false;      // Peer should return its span timeline.
+
+  bool active() const { return trace_id != 0; }
+};
+
+/// Wire header names. Values: trace id as 16 lowercase hex chars, hop
+/// as a small decimal, echo as "1" (absent means no echo).
+inline constexpr char kTraceHeader[] = "X-Isrec-Trace";
+inline constexpr char kTraceHopHeader[] = "X-Isrec-Trace-Hop";
+inline constexpr char kTraceEchoHeader[] = "X-Isrec-Trace-Echo";
+
+/// Mints a fresh nonzero trace id: a per-process random base (seeded
+/// from the OS entropy pool and the clock) mixed with an atomic counter
+/// through splitmix64, so ids are unique within a process and collide
+/// across processes only by 64-bit chance.
+uint64_t NewTraceId();
+
+/// 16 lowercase hex chars, zero-padded ("00000000000004d2").
+std::string FormatTraceId(uint64_t trace_id);
+
+/// Parses FormatTraceId output (any-case hex, with or without
+/// padding). False — leaving `out` untouched — on empty, non-hex, or
+/// zero input.
+bool ParseTraceId(const std::string& text, uint64_t* out);
+
+/// Extracts the trace context a peer sent on `request`'s headers. An
+/// absent or unparseable trace header yields an inactive context (the
+/// request is simply untraced); a malformed hop defaults to 0.
+TraceContext TraceContextFromHeaders(const HttpRequest& request);
+
+/// Appends the wire headers for `context` to `headers` (for
+/// HttpClient's extra_headers). No-op when the context is inactive.
+void AppendTraceHeaders(const TraceContext& context, HttpHeaderList* headers);
+
+}  // namespace isrec::obs
+
+#endif  // ISREC_OBS_TRACE_CONTEXT_H_

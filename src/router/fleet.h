@@ -1,0 +1,93 @@
+#ifndef ISREC_ROUTER_FLEET_H_
+#define ISREC_ROUTER_FLEET_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/rollup.h"
+#include "utils/json.h"
+
+namespace isrec::router {
+
+/// Fleet metrics aggregation (DESIGN.md "Distributed tracing & fleet
+/// metrics"). The prober already polls every replica's /varz; the
+/// "metrics" object in that response is a full registry snapshot, which
+/// the router feeds into a FleetAggregator. The aggregator keeps, per
+/// replica, an ACCUMULATED view built from clamped deltas between
+/// consecutive polls (the RollingAggregator convention: a counter that
+/// went backwards means the replica restarted, and that poll's delta is
+/// 0 rather than negative) — so fleet totals never jump backwards and,
+/// absent restarts, equal the replica's own lifetime totals.
+
+/// Rebuilds a MetricsSnapshot from the DumpMetricsJson() object shape
+/// ({"counters": {...}, "gauges": {...}, "histograms": {...}}), i.e.
+/// the "metrics" section of a replica's /varz. Tolerant: unknown keys
+/// are ignored, malformed entries are skipped. False only when
+/// `metrics` is not a JSON object.
+bool MetricsSnapshotFromJson(const json::JsonValue& metrics,
+                             obs::MetricsSnapshot* out);
+
+class FleetAggregator {
+ public:
+  /// Folds one polled snapshot of `replica` (taken at t_ms on the
+  /// router's clock) into the per-replica accumulation. Counters and
+  /// histogram buckets accumulate max(0, new - last) per poll; gauges
+  /// are instantaneous and simply replaced.
+  void Update(const std::string& replica, int64_t t_ms,
+              const obs::MetricsSnapshot& snapshot);
+
+  /// Accumulated (restart-safe) view of one replica; false when the
+  /// replica has never been polled.
+  bool Accumulated(const std::string& replica, obs::MetricsSnapshot* out) const;
+
+  /// Sum of the accumulated views across all replicas: counters and
+  /// histogram buckets add (histograms merge only across identical
+  /// bounds — ours all come from the same binary); gauges add too
+  /// (queue depths, pool sizes: fleet-wide totals).
+  obs::MetricsSnapshot FleetTotals() const;
+
+  /// Prometheus text exposition of the fleet: every series once per
+  /// replica with a {replica="name"} label, then an unlabeled
+  /// fleet-summed series, so `grep '^serve_requests '` reads the fleet
+  /// total and the labeled series break it down.
+  std::string PrometheusFleetText() const;
+
+  /// HTML fleet table for the router's /statusz: per replica, polls,
+  /// request rate over the trailing window, latency percentiles from
+  /// the window's delta-histograms, and the outcome mix from
+  /// accumulated counters; plus a fleet-total row.
+  std::string StatuszHtml(double window_s = 10.0) const;
+
+  /// Replicas polled at least once.
+  size_t replica_count() const;
+
+  /// Total Update() calls (varz polls folded in).
+  uint64_t updates() const;
+
+ private:
+  struct ReplicaAgg {
+    bool has_last = false;
+    obs::MetricsSnapshot last;  // Raw snapshot from the newest poll.
+    // Accumulated clamped deltas, name-sorted like MetricsSnapshot.
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<obs::HistogramSnapshot> histograms;
+    // Windowed view for statusz rates/percentiles. Capacity ~60 polls.
+    obs::RollingAggregator rolling;
+    uint64_t polls = 0;
+  };
+
+  void FoldLocked(ReplicaAgg* agg, const obs::MetricsSnapshot& snapshot);
+  obs::MetricsSnapshot FleetTotalsLocked() const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, ReplicaAgg> replicas_;
+  uint64_t updates_ = 0;
+};
+
+}  // namespace isrec::router
+
+#endif  // ISREC_ROUTER_FLEET_H_

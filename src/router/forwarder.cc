@@ -6,12 +6,20 @@ namespace isrec::router {
 
 ForwardResult Forwarder::Forward(const std::string& host, int port,
                                  const serve::Request& request,
-                                 double timeout_ms) const {
+                                 double timeout_ms,
+                                 const obs::TraceContext* trace) const {
   const int capped =
       timeout_ms > 0.0 ? std::max(1, static_cast<int>(timeout_ms)) : 0;
+  obs::HttpHeaderList extra_headers;
+  if (trace != nullptr && trace->active()) {
+    obs::TraceContext next = *trace;
+    next.hop += 1;  // The replica is one hop deeper than this router.
+    obs::AppendTraceHeaders(next, &extra_headers);
+  }
   const obs::HttpClient::Result http =
       client_.Post(host, port, "/recommend", "application/json",
-                   serve::RecommendRequestToJson(request), capped);
+                   serve::RecommendRequestToJson(request), capped,
+                   extra_headers);
   ForwardResult result;
   if (!http.ok) {
     result.transport_error = http.error;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/http.h"
+#include "obs/trace_context.h"
 #include "serve/recommend_http.h"
 
 namespace isrec::router {
@@ -35,10 +36,13 @@ class Forwarder {
   /// Forwards `request` to host:port. `timeout_ms` > 0 caps both the
   /// connect and read timeouts for this attempt (the remaining deadline
   /// budget, plus slack, from the router); <= 0 uses the configured
-  /// client defaults.
+  /// client defaults. An active `trace` is propagated as X-Isrec-Trace
+  /// headers with the hop depth advanced by one; null or inactive sends
+  /// the exact pre-tracing request bytes.
   ForwardResult Forward(const std::string& host, int port,
                         const serve::Request& request,
-                        double timeout_ms = 0.0) const;
+                        double timeout_ms = 0.0,
+                        const obs::TraceContext* trace = nullptr) const;
 
   /// Replica connections currently parked for reuse (tests/varz).
   size_t pooled_connections() const { return client_.pooled_connections(); }

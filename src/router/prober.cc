@@ -1,17 +1,61 @@
 #include "router/prober.h"
 
+#include <algorithm>
 #include <chrono>
+#include <random>
 
+#include "obs/trace.h"
+#include "router/fleet.h"
 #include "utils/json.h"
 
 namespace isrec::router {
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int64_t JitteredPeriodUs(int64_t base_us, double jitter, uint64_t* state) {
+  if (jitter <= 0.0 || base_us <= 0) return base_us;
+  *state += 1;
+  const uint64_t bits = SplitMix64(*state);
+  // 53 high bits → u uniform in [0, 1); map to [-1, 1].
+  const double unit = static_cast<double>(bits >> 11) * 0x1.0p-53;
+  const double u = 2.0 * unit - 1.0;
+  const double scaled =
+      static_cast<double>(base_us) * (1.0 + std::min(jitter, 1.0) * u);
+  return std::max<int64_t>(1, static_cast<int64_t>(scaled));
+}
 
 Prober::Prober(ReplicaTable& table, const ProberConfig& config)
     : table_(table),
       config_(config),
       client_(obs::HttpClientOptions{
           static_cast<int>(config.connect_timeout_ms),
-          static_cast<int>(config.read_timeout_ms)}) {}
+          static_cast<int>(config.read_timeout_ms)}) {
+  if (config_.jitter_seed != 0) {
+    jitter_state_ = config_.jitter_seed;
+  } else {
+    // Per-process auto-seed: two routers with identical configs must
+    // not share a jitter stream — that would re-synchronize the very
+    // probe bursts the jitter exists to break up.
+    std::random_device rd;
+    jitter_state_ = (static_cast<uint64_t>(rd()) << 32) ^
+                    static_cast<uint64_t>(rd()) ^
+                    reinterpret_cast<uintptr_t>(this);
+  }
+}
 
 Prober::~Prober() { Stop(); }
 
@@ -43,10 +87,11 @@ uint64_t Prober::sweeps() const {
 }
 
 void Prober::Loop() {
-  const auto period = std::chrono::microseconds(
-      static_cast<int64_t>(config_.period_ms * 1000.0));
+  const int64_t base_us = static_cast<int64_t>(config_.period_ms * 1000.0);
   while (true) {
     ProbeAllOnce();
+    const auto period = std::chrono::microseconds(
+        JitteredPeriodUs(base_us, config_.period_jitter, &jitter_state_));
     std::unique_lock<std::mutex> lock(mutex_);
     sweeps_ += 1;
     if (cv_.wait_for(lock, period, [this] { return stopping_; })) return;
@@ -76,7 +121,12 @@ void Prober::ProbeOne(const std::string& name, const std::string& host,
   // zero load — liveness, not introspection, gates routability.
   uint64_t queue_depth = 0;
   bool shedding = false;
+  // Timestamps around the /varz exchange double as a clock-offset
+  // measurement (midpoint method): if the reply carries the replica's
+  // trace clock t1, then offset ≈ t1 − (t0+t2)/2 with error ≤ rtt/2.
+  const uint64_t t0_ns = obs::TraceClockNs();
   const obs::HttpClient::Result varz = client_.Get(host, port, "/varz");
+  const uint64_t t2_ns = obs::TraceClockNs();
   if (varz.ok && varz.status == 200) {
     json::JsonValue root;
     if (json::JsonParser(varz.body).Parse(&root)) {
@@ -89,6 +139,24 @@ void Prober::ProbeOne(const std::string& name, const std::string& host,
         if (const json::JsonValue* shed = stats->Find("shedding")) {
           if (shed->kind == json::JsonValue::kBool) {
             shedding = shed->boolean;
+          }
+        }
+      }
+      if (const json::JsonValue* clock = root.Find("trace_clock_ns")) {
+        if (clock->kind == json::JsonValue::kNumber) {
+          const int64_t t1 = static_cast<int64_t>(clock->number);
+          const int64_t midpoint =
+              static_cast<int64_t>(t0_ns / 2 + t2_ns / 2);
+          table_.ApplyClockSync(name, /*offset_ns=*/midpoint - t1,
+                                /*rtt_ns=*/static_cast<int64_t>(t2_ns) -
+                                    static_cast<int64_t>(t0_ns));
+        }
+      }
+      if (sink_) {
+        if (const json::JsonValue* metrics = root.Find("metrics")) {
+          obs::MetricsSnapshot snapshot;
+          if (MetricsSnapshotFromJson(*metrics, &snapshot)) {
+            sink_(name, NowMs(), snapshot);
           }
         }
       }

@@ -2,10 +2,12 @@
 #define ISREC_ROUTER_PROBER_H_
 
 #include <condition_variable>
+#include <functional>
 #include <mutex>
 #include <thread>
 
 #include "obs/http.h"
+#include "obs/metrics.h"
 #include "router/replica_table.h"
 
 namespace isrec::router {
@@ -22,7 +24,22 @@ struct ProberConfig {
   /// this window is a failed probe, not a slow one.
   double connect_timeout_ms = 250.0;
   double read_timeout_ms = 500.0;
+  /// Fractional jitter on the sweep period: each wait is scaled by
+  /// (1 + jitter·u) with u uniform in [-1, 1], so N routers probing the
+  /// same replicas decorrelate instead of bursting in lockstep. 0
+  /// disables jitter (tests that count sweeps against a wall clock).
+  double period_jitter = 0.2;
+  /// Seed for the jitter stream. 0 (the default) derives a per-process
+  /// seed, which is what production wants — two routers started from
+  /// the same config must still jitter differently. Nonzero gives a
+  /// reproducible stream for tests.
+  uint64_t jitter_seed = 0;
 };
+
+/// One jittered period draw: scales `base_us` by (1 + jitter·u), u
+/// uniform in [-1, 1] from a splitmix64 stream advanced through
+/// `state`. Exposed for tests; the prober's loop calls it per sweep.
+int64_t JitteredPeriodUs(int64_t base_us, double jitter, uint64_t* state);
 
 /// Background health/load poller (DESIGN.md §11): every period it
 /// sweeps all replicas, issuing GET /healthz (liveness) and GET /varz
@@ -32,11 +49,23 @@ struct ProberConfig {
 /// lock, so slow or dead replicas never stall routing.
 class Prober {
  public:
+  /// Receives the full metrics snapshot parsed from one replica's /varz
+  /// ("metrics" section): (replica name, router-clock poll time in ms,
+  /// snapshot). Runs on the probe thread.
+  using SnapshotSink = std::function<void(
+      const std::string&, int64_t, const obs::MetricsSnapshot&)>;
+
   Prober(ReplicaTable& table, const ProberConfig& config);
   ~Prober();
 
   Prober(const Prober&) = delete;
   Prober& operator=(const Prober&) = delete;
+
+  /// Installs the fleet-metrics sink (the router's FleetAggregator).
+  /// Without a sink the /varz "metrics" object is never parsed — the
+  /// fleet plane costs nothing unless someone consumes it. Set before
+  /// Start().
+  void SetSnapshotSink(SnapshotSink sink) { sink_ = std::move(sink); }
 
   /// Starts the probe thread. The first sweep runs immediately, so a
   /// healthy fleet is routable roughly one probe round-trip after
@@ -59,6 +88,8 @@ class Prober {
   ReplicaTable& table_;
   const ProberConfig config_;
   obs::HttpClient client_;
+  SnapshotSink sink_;
+  uint64_t jitter_state_ = 0;  // Probe-thread only.
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

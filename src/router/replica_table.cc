@@ -158,6 +158,24 @@ void ReplicaTable::ApplyProbe(const std::string& name, bool healthy,
   }
 }
 
+void ReplicaTable::ApplyClockSync(const std::string& name, int64_t offset_ns,
+                                  int64_t rtt_ns) {
+  if (rtt_ns < 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry* entry = FindLocked(name);
+  if (entry == nullptr) return;
+  if (!entry->clock_synced || rtt_ns <= entry->clock_rtt_ns) {
+    entry->clock_offset_ns = offset_ns;
+    entry->clock_rtt_ns = rtt_ns;
+    entry->clock_synced = true;
+  } else {
+    // Rejected: age the champion's RTT so a replica whose clock (or
+    // network) shifted is eventually re-measured rather than trusting
+    // one lucky low-RTT probe forever.
+    entry->clock_rtt_ns += std::max<int64_t>(1, entry->clock_rtt_ns / 16);
+  }
+}
+
 bool ReplicaTable::StartDrain(const std::string& name) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -209,6 +227,9 @@ ReplicaSnapshot ReplicaTable::SnapshotEntry(const Entry& entry) {
   snapshot.forwarded = entry.forwarded;
   snapshot.transport_errors = entry.transport_errors;
   snapshot.last_error = entry.last_error;
+  snapshot.clock_offset_ns = entry.clock_offset_ns;
+  snapshot.clock_rtt_ns = entry.clock_rtt_ns;
+  snapshot.clock_synced = entry.clock_synced;
   return snapshot;
 }
 

@@ -50,6 +50,13 @@ struct ReplicaSnapshot {
   uint64_t forwarded = 0;          // Requests sent to this replica.
   uint64_t transport_errors = 0;   // Forwards that failed at the socket.
   std::string last_error;          // Most recent probe/forward error.
+  // Trace clock sync (midpoint method, see ApplyClockSync): the offset
+  // to ADD to a replica-clock timestamp to land on the router's trace
+  // clock, and the round-trip of the probe that measured it (the offset
+  // error is bounded by rtt/2). Valid iff clock_synced.
+  int64_t clock_offset_ns = 0;
+  int64_t clock_rtt_ns = 0;
+  bool clock_synced = false;
 };
 
 /// Per-replica skip reasons recorded while acquiring a target; the
@@ -107,6 +114,15 @@ class ReplicaTable {
                   uint64_t degrade_queue_depth, int fail_threshold,
                   const std::string& error);
 
+  /// Records one clock-offset measurement for `name` (prober, midpoint
+  /// method: offset = replica_clock − (t0+t2)/2 with rtt = t2−t0). The
+  /// lowest-RTT measurement wins — its midpoint error bound (rtt/2) is
+  /// the tightest — but the stored RTT is aged upward on each rejected
+  /// update so a drifting clock re-converges instead of being pinned to
+  /// one lucky early probe forever.
+  void ApplyClockSync(const std::string& name, int64_t offset_ns,
+                      int64_t rtt_ns);
+
   /// Starts draining `name` (idempotent). False for an unknown replica.
   bool StartDrain(const std::string& name);
 
@@ -141,6 +157,9 @@ class ReplicaTable {
     uint64_t forwarded = 0;
     uint64_t transport_errors = 0;
     std::string last_error;
+    int64_t clock_offset_ns = 0;
+    int64_t clock_rtt_ns = 0;
+    bool clock_synced = false;
   };
 
   static bool Routable(ReplicaState state) {

@@ -1,9 +1,12 @@
 #include "router/router.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "utils/json.h"
 
 namespace isrec::router {
@@ -24,6 +27,47 @@ obs::HttpResponse JsonError(int status, const std::string& message) {
   return response;
 }
 
+std::string HtmlEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Earliest start among a trace's replica-side (non-"router") spans, or
+/// 0 when it has none. The gap between the router's forward span start
+/// and this is the request's network + server-accept latency.
+uint64_t EarliestReplicaStart(const StitchedTrace& trace,
+                              std::string* process) {
+  uint64_t earliest = 0;
+  bool found = false;
+  for (const StitchedSpan& span : trace.spans) {
+    if (span.process == "router") continue;
+    if (!found || span.start_ns < earliest) {
+      earliest = span.start_ns;
+      *process = span.process;
+      found = true;
+    }
+  }
+  return found ? earliest : 0;
+}
+
+/// Start of the FIRST router.req.forward span, or 0 when absent.
+uint64_t FirstForwardStart(const StitchedTrace& trace) {
+  for (const StitchedSpan& span : trace.spans) {
+    if (span.name == "router.req.forward") return span.start_ns;
+  }
+  return 0;
+}
+
 }  // namespace
 
 Router::Router(RouterConfig config)
@@ -34,7 +78,8 @@ Router::Router(RouterConfig config)
       forwarder_(obs::HttpClientOptions{
           static_cast<int>(config_.forward_connect_timeout_ms),
           static_cast<int>(config_.forward_read_timeout_ms)}),
-      admin_(config_.admin) {
+      admin_(config_.admin),
+      traces_(config_.trace_capacity) {
   for (const ReplicaConfig& replica : config_.replicas) {
     ring_.AddReplica(replica.name);
   }
@@ -61,6 +106,23 @@ bool Router::Start() {
   admin_.AddHandler("/admin/undrain", [this](const obs::HttpRequest& request) {
     return HandleUndrain(request);
   });
+  // Replaces the built-in per-process /tracez: on a router the stitched
+  // cross-process view is strictly more useful.
+  admin_.AddHandler("/tracez", [this](const obs::HttpRequest& request) {
+    return HandleTracez(request);
+  });
+  if (config_.fleet_metrics) {
+    admin_.AddHandler("/fleet/metrics",
+                      [this](const obs::HttpRequest& request) {
+                        return HandleFleetMetrics(request);
+                      });
+    admin_.AddStatuszSection("Fleet", [this] { return fleet_.StatuszHtml(); });
+    prober_.SetSnapshotSink(
+        [this](const std::string& replica, int64_t t_ms,
+               const obs::MetricsSnapshot& snapshot) {
+          fleet_.Update(replica, t_ms, snapshot);
+        });
+  }
   if (!admin_.Start()) return false;
   prober_.Start();
   return true;
@@ -112,17 +174,68 @@ obs::HttpResponse Router::HandleRecommend(const obs::HttpRequest& http) {
     return out;
   }
   Count(requests_, "router.requests");
-  const serve::RecommendResponse response = Route(request, &out.status);
+  // Trace decision: adopt an upstream trace id when the caller sent
+  // one; otherwise sample per config ((n-1) % every == 0, so request
+  // #1 is always traced). Inactive context = the historical untraced
+  // path, bit for bit.
+  obs::TraceContext context = obs::TraceContextFromHeaders(http);
+  if (!context.active() && config_.trace_sample_every > 0) {
+    const uint64_t n =
+        trace_counter_.fetch_add(1, std::memory_order_relaxed);
+    if (n % config_.trace_sample_every == 0) {
+      context.trace_id = obs::NewTraceId();
+      context.hop = 0;
+    }
+  }
+  StitchedTrace trace;
+  serve::RecommendResponse response;
+  if (context.active()) {
+    context.echo = true;  // Always ask the replica for its timeline.
+    request.id = context.trace_id;
+    trace.trace_id = context.trace_id;
+    trace.hop = context.hop;
+    response = Route(request, &out.status, context, &trace);
+    traces_.Add(std::move(trace));
+  } else {
+    response = Route(request, &out.status, context, nullptr);
+  }
+  // The echo was for THIS router's stitching; the client gets the
+  // protocol response without it.
+  response.trace = serve::TraceEcho{};
   out.body = serve::RecommendResponseToJson(response);
   return out;
 }
 
 serve::RecommendResponse Router::Route(const serve::Request& request,
-                                       int* http_status) {
+                                       int* http_status,
+                                       const obs::TraceContext& context,
+                                       StitchedTrace* trace) {
   const Clock::time_point arrival = Clock::now();
   const bool has_deadline = request.options.deadline_ms > 0.0;
   const std::vector<std::string> preference =
       ring_.Preference(HashRing::KeyForUser(request.user));
+
+  // Collects one router-side span: into the stitched trace and,
+  // mirrored, into the obs ring/timeline (names are static literals, as
+  // obs requires). No-op on the untraced path.
+  const auto add_span = [&](const char* name, uint64_t start_ns,
+                            uint64_t end_ns, const std::string& detail) {
+    if (trace == nullptr) return;
+    trace->spans.push_back({name, "router", start_ns,
+                            end_ns >= start_ns ? end_ns - start_ns : 0,
+                            /*clock_offset_ns=*/0, /*offset_estimated=*/true,
+                            detail});
+    obs::RecordRequestSpan(name, start_ns, end_ns, trace->trace_id);
+  };
+  const uint64_t route_start_ns =
+      trace != nullptr ? obs::TraceClockNs() : 0;
+  // Invoked on every return path below.
+  const auto finish = [&](const serve::RecommendResponse& response) {
+    add_span("router.req.route", route_start_ns, obs::TraceClockNs(),
+             response.status.ok() ? "" : response.status.message());
+    *http_status = serve::HttpStatusForCode(response.status.code());
+    return response;
+  };
 
   serve::RecommendResponse answer;
   std::vector<std::string> tried;
@@ -139,8 +252,7 @@ serve::RecommendResponse Router::Route(const serve::Request& request,
         answer.status = Status::DeadlineExceeded(
             "deadline exhausted at router after " +
             std::to_string(tried.size()) + " attempt(s)");
-        *http_status = serve::HttpStatusForCode(answer.status.code());
-        return answer;
+        return finish(answer);
       }
     }
 
@@ -150,9 +262,7 @@ serve::RecommendResponse Router::Route(const serve::Request& request,
       if (have_overloaded) {
         // A replica DID answer (overloaded) and no alternative remains:
         // relay its answer rather than synthesizing one.
-        *http_status =
-            serve::HttpStatusForCode(last_overloaded.status.code());
-        return last_overloaded;
+        return finish(last_overloaded);
       }
       Count(rejected_, "router.rejected");
       answer.status = Status::Overloaded(
@@ -160,10 +270,16 @@ serve::RecommendResponse Router::Route(const serve::Request& request,
               ? "no routable replica"
               : "no routable replica (last transport error: " +
                     last_transport_error + ")");
-      *http_status = serve::HttpStatusForCode(answer.status.code());
-      return answer;
+      return finish(answer);
     }
-    if (decision.spilled) Count(spilled_, "router.spilled");
+    if (decision.spilled) {
+      Count(spilled_, "router.spilled");
+      if (trace != nullptr) {
+        const uint64_t now_ns = obs::TraceClockNs();
+        add_span("router.req.spill", now_ns, now_ns,
+                 "owner degraded; spilled to " + target.name);
+      }
+    }
     if (decision.skipped_draining) {
       Count(drain_rerouted_, "router.drain_rerouted");
     }
@@ -176,17 +292,49 @@ serve::RecommendResponse Router::Route(const serve::Request& request,
       forwarded.options.deadline_ms = remaining_ms;
       attempt_timeout_ms = remaining_ms + config_.forward_deadline_slack_ms;
     }
+    const uint64_t forward_start_ns =
+        trace != nullptr ? obs::TraceClockNs() : 0;
     const ForwardResult result = forwarder_.Forward(
-        target.host, target.port, forwarded, attempt_timeout_ms);
+        target.host, target.port, forwarded, attempt_timeout_ms,
+        trace != nullptr ? &context : nullptr);
+    add_span("router.req.forward", forward_start_ns, obs::TraceClockNs(),
+             target.name);
     table_.ReleaseTarget(target.name,
                          result.answered ? "" : result.transport_error);
     tried.push_back(target.name);
+
+    if (trace != nullptr && result.answered &&
+        result.response.trace.present) {
+      // Stitch the replica's echoed spans in, translated onto the
+      // router clock via the probe-measured offset. Unsynced replicas
+      // (no probe round yet) contribute raw timestamps, flagged so the
+      // rendering doesn't pretend they line up.
+      ReplicaSnapshot snapshot;
+      const bool known = table_.Snapshot(target.name, &snapshot);
+      const bool synced = known && snapshot.clock_synced;
+      const int64_t offset_ns = synced ? snapshot.clock_offset_ns : 0;
+      for (const serve::TraceEchoSpan& span : result.response.trace.spans) {
+        const int64_t translated =
+            static_cast<int64_t>(span.start_ns) + offset_ns;
+        trace->spans.push_back({span.name, target.name,
+                                translated > 0
+                                    ? static_cast<uint64_t>(translated)
+                                    : 0,
+                                span.dur_ns, offset_ns, synced, ""});
+      }
+    }
 
     if (!result.answered) {
       // ReleaseTarget already marked the replica DOWN; re-home to the
       // next preference (bounded by the fleet size via `tried`).
       Count(transport_errors_, "router.transport_errors");
       last_transport_error = target.name + ": " + result.transport_error;
+      if (trace != nullptr) {
+        const uint64_t now_ns = obs::TraceClockNs();
+        add_span("router.req.retry", now_ns, now_ns,
+                 "transport error from " + target.name + ": " +
+                     result.transport_error);
+      }
       continue;
     }
     if (result.response.status.code() == StatusCode::kOverloaded &&
@@ -198,10 +346,14 @@ serve::RecommendResponse Router::Route(const serve::Request& request,
       ++overload_retries;
       last_overloaded = result.response;
       have_overloaded = true;
+      if (trace != nullptr) {
+        const uint64_t now_ns = obs::TraceClockNs();
+        add_span("router.req.retry", now_ns, now_ns,
+                 target.name + " overloaded; retrying");
+      }
       continue;
     }
-    *http_status = serve::HttpStatusForCode(result.response.status.code());
-    return result.response;
+    return finish(result.response);
   }
 }
 
@@ -254,6 +406,132 @@ obs::HttpResponse Router::HandleUndrain(const obs::HttpRequest& http) {
   return out;
 }
 
+obs::HttpResponse Router::HandleFleetMetrics(const obs::HttpRequest&) {
+  obs::HttpResponse out;
+  out.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  out.body = fleet_.PrometheusFleetText();
+  return out;
+}
+
+obs::HttpResponse Router::HandleTracez(const obs::HttpRequest& http) {
+  const std::vector<StitchedTrace> traces = traces_.Snapshot();
+  obs::HttpResponse out;
+  if (http.QueryOr("format", "") == "json") {
+    out.content_type = "application/json";
+    std::string body =
+        "{\"added\": " + std::to_string(traces_.added()) + ", \"traces\": [";
+    for (size_t t = 0; t < traces.size(); ++t) {
+      const StitchedTrace& trace = traces[t];
+      if (t > 0) body += ", ";
+      body += "{\"trace_id\": " +
+              json::Escape(obs::FormatTraceId(trace.trace_id));
+      body += ", \"hop\": " + std::to_string(trace.hop);
+      std::string gap_process;
+      const uint64_t forward_start = FirstForwardStart(trace);
+      const uint64_t replica_start =
+          EarliestReplicaStart(trace, &gap_process);
+      if (forward_start != 0 && replica_start != 0) {
+        body += ", \"network_gap_ns\": " +
+                std::to_string(static_cast<int64_t>(replica_start) -
+                               static_cast<int64_t>(forward_start));
+      }
+      body += ", \"spans\": [";
+      for (size_t s = 0; s < trace.spans.size(); ++s) {
+        const StitchedSpan& span = trace.spans[s];
+        if (s > 0) body += ", ";
+        body += "{\"name\": " + json::Escape(span.name);
+        body += ", \"process\": " + json::Escape(span.process);
+        body += ", \"start_ns\": " + std::to_string(span.start_ns);
+        body += ", \"dur_ns\": " + std::to_string(span.dur_ns);
+        body += ", \"clock_offset_ns\": " +
+                std::to_string(span.clock_offset_ns);
+        body += std::string(", \"offset_synced\": ") +
+                (span.offset_estimated ? "true" : "false");
+        body += ", \"detail\": " + json::Escape(span.detail) + "}";
+      }
+      body += "]}";
+    }
+    body += "]}\n";
+    out.body = std::move(body);
+    return out;
+  }
+
+  out.content_type = "text/html; charset=utf-8";
+  std::string body =
+      "<!doctype html><title>isrec router tracez</title>"
+      "<style>body{font-family:monospace;margin:1.5em}"
+      "table{border-collapse:collapse;margin:.5em 0}"
+      "td,th{border:1px solid #999;padding:2px 8px;text-align:right}"
+      "th{background:#eee}td:first-child,th:first-child{text-align:left}"
+      "td:nth-child(2){text-align:left}.gap{background:#fff3cd}"
+      ".unsynced{color:#a00}</style>"
+      "<h1>stitched traces</h1><p>" +
+      std::to_string(traces_.added()) + " traced request(s) since start, " +
+      std::to_string(traces.size()) +
+      " retained (<a href=\"/tracez?format=json\">json</a>)</p>";
+  for (const StitchedTrace& trace : traces) {
+    body += "<h2>trace " + obs::FormatTraceId(trace.trace_id) + " (hop " +
+            std::to_string(trace.hop) + ")</h2>";
+    std::string gap_process;
+    const uint64_t forward_start = FirstForwardStart(trace);
+    const uint64_t replica_start = EarliestReplicaStart(trace, &gap_process);
+    body +=
+        "<table><tr><th>process</th><th>span</th><th>start µs</th>"
+        "<th>dur µs</th><th>clock</th><th>detail</th></tr>";
+    const uint64_t origin_ns =
+        trace.spans.empty() ? 0 : trace.spans.front().start_ns;
+    bool gap_marked = false;
+    char cell[64];
+    for (const StitchedSpan& span : trace.spans) {
+      // The first replica-side row IS the far edge of the network gap:
+      // mark it so the forward→enqueue hole reads as wire time, not as
+      // mystery latency inside either process.
+      const bool is_gap_edge = !gap_marked && span.process != "router" &&
+                               forward_start != 0 && replica_start != 0 &&
+                               span.start_ns == replica_start;
+      if (is_gap_edge) {
+        gap_marked = true;
+        std::snprintf(cell, sizeof(cell), "%.1f",
+                      (static_cast<double>(replica_start) -
+                       static_cast<double>(forward_start)) /
+                          1000.0);
+        body += std::string("<tr class=\"gap\"><td>network</td>"
+                            "<td>→ forward to ") +
+                HtmlEscape(span.process) + "</td><td></td><td>" + cell +
+                "</td><td></td><td>wire + accept gap</td></tr>";
+      }
+      body += "<tr><td>" + HtmlEscape(span.process) + "</td>";
+      body += "<td>" + HtmlEscape(span.name) + "</td>";
+      std::snprintf(cell, sizeof(cell), "%.1f",
+                    (static_cast<double>(span.start_ns) -
+                     static_cast<double>(origin_ns)) /
+                        1000.0);
+      body += std::string("<td>") + cell + "</td>";
+      std::snprintf(cell, sizeof(cell), "%.1f",
+                    static_cast<double>(span.dur_ns) / 1000.0);
+      body += std::string("<td>") + cell + "</td>";
+      if (span.process == "router") {
+        body += "<td></td>";
+      } else if (span.offset_estimated) {
+        std::snprintf(cell, sizeof(cell), "%+.1f µs",
+                      static_cast<double>(span.clock_offset_ns) / 1000.0);
+        body += std::string("<td>") + cell + "</td>";
+      } else {
+        body += "<td class=\"unsynced\">unsynced</td>";
+      }
+      body += "<td>" + HtmlEscape(span.detail) + "</td></tr>";
+    }
+    body += "</table>";
+  }
+  if (traces.empty()) {
+    body += "<p>no stitched traces yet (sampling: every " +
+            std::to_string(config_.trace_sample_every) +
+            " request(s); 0 = off)</p>";
+  }
+  out.body = std::move(body);
+  return out;
+}
+
 std::string Router::VarzJson() const {
   const RouterDecisions d = decisions();
   std::string out = "{\"routable\": " + std::to_string(table_.NumRoutable());
@@ -286,10 +564,20 @@ std::string Router::VarzJson() const {
     out += ", \"transport_errors\": " + std::to_string(r.transport_errors);
     out += ", \"probes_ok\": " + std::to_string(r.probes_ok);
     out += ", \"probes_failed\": " + std::to_string(r.probes_failed);
+    out += std::string(", \"clock_synced\": ") +
+           (r.clock_synced ? "true" : "false");
+    out += ", \"clock_offset_ns\": " + std::to_string(r.clock_offset_ns);
+    out += ", \"clock_rtt_ns\": " + std::to_string(r.clock_rtt_ns);
     out += ", \"last_error\": " + json::Escape(r.last_error);
     out += "}";
   }
-  out += "]}";
+  out += "], \"tracing\": {";
+  out += "\"sample_every\": " + std::to_string(config_.trace_sample_every);
+  out += ", \"stitched\": " + std::to_string(traces_.added());
+  out += "}, \"fleet\": {";
+  out += "\"replicas_polled\": " + std::to_string(fleet_.replica_count());
+  out += ", \"snapshot_updates\": " + std::to_string(fleet_.updates());
+  out += "}}";
   return out;
 }
 

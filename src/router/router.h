@@ -8,10 +8,13 @@
 
 #include "obs/admin_server.h"
 #include "obs/http.h"
+#include "obs/trace_context.h"
+#include "router/fleet.h"
 #include "router/forwarder.h"
 #include "router/hash_ring.h"
 #include "router/prober.h"
 #include "router/replica_table.h"
+#include "router/trace_store.h"
 #include "serve/recommend_http.h"
 
 namespace isrec::router {
@@ -46,6 +49,24 @@ struct RouterConfig {
   /// The router's own HTTP plane: /recommend + admin endpoints share
   /// one server. Raise num_workers for real traffic.
   obs::AdminServerConfig admin = {.num_workers = 8};
+
+  /// Distributed tracing: mint a trace id for every N-th /recommend
+  /// request ((n-1) % N == 0, so the FIRST request is always traced —
+  /// deterministic for smoke tests). The id is propagated to the
+  /// replica as X-Isrec-Trace with an echo request, and the stitched
+  /// cross-process timeline lands in /tracez. 0 disables propagation
+  /// entirely: no headers sent, the replica path stays byte-identical.
+  /// A request arriving WITH an X-Isrec-Trace header is always traced,
+  /// independent of sampling.
+  uint64_t trace_sample_every = 64;
+
+  /// Stitched traces retained for /tracez (ring, oldest evicted).
+  size_t trace_capacity = 64;
+
+  /// Aggregate replica registry snapshots from the prober's /varz polls
+  /// into /fleet/metrics and the /statusz fleet table. Off: the prober
+  /// never parses the "metrics" object.
+  bool fleet_metrics = true;
 };
 
 /// Routing decision counts since start — always tracked (independent of
@@ -77,8 +98,13 @@ struct RouterDecisions {
 ///   GET  /admin/drain?replica=NAME[&wait_ms=N]    start (and optionally
 ///                                    await) a zero-drop drain
 ///   GET  /admin/undrain?replica=NAME return a drained replica to probing
+///   GET  /tracez                     stitched cross-process timelines
+///                                    (HTML, ?format=json)
+///   GET  /fleet/metrics              Prometheus exposition aggregated
+///                                    across replicas ({replica=...}
+///                                    series + unlabeled fleet sums)
 ///   /healthz /metrics /varz /statusz the usual obs plane, with a
-///                                    per-replica table
+///                                    per-replica table and a fleet table
 class Router {
  public:
   explicit Router(RouterConfig config);
@@ -100,6 +126,8 @@ class Router {
   ReplicaTable& table() { return table_; }
   Prober& prober() { return prober_; }
   const HashRing& ring() const { return ring_; }
+  FleetAggregator& fleet() { return fleet_; }
+  TraceStore& traces() { return traces_; }
 
   RouterDecisions decisions() const;
 
@@ -108,12 +136,19 @@ class Router {
   obs::HttpResponse HandleRecommend(const obs::HttpRequest& request);
   obs::HttpResponse HandleDrain(const obs::HttpRequest& request);
   obs::HttpResponse HandleUndrain(const obs::HttpRequest& request);
+  obs::HttpResponse HandleTracez(const obs::HttpRequest& request);
+  obs::HttpResponse HandleFleetMetrics(const obs::HttpRequest& request);
 
  private:
   /// The routing loop: preference walk, acquire/forward/release,
-  /// re-home on transport failure, bounded overload retry.
+  /// re-home on transport failure, bounded overload retry. A non-null
+  /// `trace` collects router-side spans plus the replica's echoed
+  /// timeline (translated onto the router clock), and `context` is
+  /// propagated on the forward hop.
   serve::RecommendResponse Route(const serve::Request& request,
-                                 int* http_status);
+                                 int* http_status,
+                                 const obs::TraceContext& context,
+                                 StitchedTrace* trace);
 
   std::string VarzJson() const;
   std::string StatuszHtml() const;
@@ -125,6 +160,9 @@ class Router {
   Prober prober_;
   Forwarder forwarder_;
   obs::AdminServer admin_;
+  FleetAggregator fleet_;
+  TraceStore traces_;
+  std::atomic<uint64_t> trace_counter_{0};  // Requests seen, for sampling.
 
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> bad_requests_{0};

@@ -1,0 +1,30 @@
+#include "router/trace_store.h"
+
+#include <algorithm>
+
+namespace isrec::router {
+
+void TraceStore::Add(StitchedTrace trace) {
+  std::stable_sort(trace.spans.begin(), trace.spans.end(),
+                   [](const StitchedSpan& a, const StitchedSpan& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  std::lock_guard<std::mutex> lock(mutex_);
+  trace.seq = next_seq_++;
+  added_ += 1;
+  traces_.push_back(std::move(trace));
+  while (traces_.size() > capacity_) traces_.pop_front();
+}
+
+std::vector<StitchedTrace> TraceStore::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<StitchedTrace> out(traces_.rbegin(), traces_.rend());
+  return out;
+}
+
+uint64_t TraceStore::added() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return added_;
+}
+
+}  // namespace isrec::router

@@ -1,0 +1,70 @@
+#ifndef ISREC_ROUTER_TRACE_STORE_H_
+#define ISREC_ROUTER_TRACE_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace isrec::router {
+
+/// One span of a stitched cross-process timeline. Unlike the in-process
+/// obs spans, names and process labels are owned strings: replica spans
+/// arrive over the wire and have no static literal behind them.
+struct StitchedSpan {
+  std::string name;
+  std::string process;     // "router", or the replica's configured name.
+  uint64_t start_ns = 0;   // On the ROUTER's trace clock (translated).
+  uint64_t dur_ns = 0;
+  /// For replica spans: the clock offset that was ADDED to translate
+  /// the replica timestamp onto the router clock, and whether it came
+  /// from a real probe measurement (false = offset unknown, 0 used —
+  /// the rendering flags such spans as unsynced). Router spans: 0/true.
+  int64_t clock_offset_ns = 0;
+  bool offset_estimated = true;
+  std::string detail;      // Target name, retry reason, ... (may be empty).
+};
+
+/// One stitched trace: every span the router recorded for the request
+/// plus the spans its replica echoed back, on one clock.
+struct StitchedTrace {
+  uint64_t trace_id = 0;
+  int hop = 0;         // Hop depth at the router (0 = edge).
+  uint64_t seq = 0;    // Admission order, for newest-first snapshots.
+  std::vector<StitchedSpan> spans;
+};
+
+/// Bounded ring of recent stitched traces behind the router's /tracez.
+/// Thread-safe; oldest traces are evicted past `capacity`.
+class TraceStore {
+ public:
+  explicit TraceStore(size_t capacity = 64)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  TraceStore(const TraceStore&) = delete;
+  TraceStore& operator=(const TraceStore&) = delete;
+
+  /// Admits one finished trace (assigns its seq). Spans are start-sorted
+  /// on admission so readers never re-sort.
+  void Add(StitchedTrace trace);
+
+  /// Copies the stored traces, newest first.
+  std::vector<StitchedTrace> Snapshot() const;
+
+  /// Traces ever admitted (including since-evicted ones).
+  uint64_t added() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<StitchedTrace> traces_;  // Oldest first.
+  uint64_t next_seq_ = 1;
+  uint64_t added_ = 0;
+};
+
+}  // namespace isrec::router
+
+#endif  // ISREC_ROUTER_TRACE_STORE_H_

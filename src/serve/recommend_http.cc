@@ -3,6 +3,8 @@
 #include <cstdio>
 
 #include "obs/admin_server.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "utils/json.h"
 
 namespace isrec::serve {
@@ -158,6 +160,19 @@ std::string RecommendResponseToJson(const RecommendResponse& response) {
     out += ", \"from_cache\": " +
            std::string(response.recommendation.from_cache ? "true" : "false");
   }
+  if (response.trace.present) {
+    out += ", \"trace\": {\"clock_ns\": " +
+           std::to_string(response.trace.clock_ns) + ", \"spans\": [";
+    for (size_t i = 0; i < response.trace.spans.size(); ++i) {
+      const TraceEchoSpan& span = response.trace.spans[i];
+      if (i > 0) out += ",";
+      out += "{\"name\": " + json::Escape(span.name) +
+             ", \"start_ns\": " + std::to_string(span.start_ns) +
+             ", \"dur_ns\": " + std::to_string(span.dur_ns) +
+             ", \"tid\": " + std::to_string(span.tid) + "}";
+    }
+    out += "]}";
+  }
   out += "}";
   return out;
 }
@@ -206,6 +221,43 @@ bool RecommendResponseFromJson(const std::string& body,
       response->recommendation.from_cache = cached->boolean;
     }
     (void)items;
+  }
+  if (const json::JsonValue* trace = root.Find("trace")) {
+    if (trace->kind != json::JsonValue::kObject) {
+      *error = "field 'trace' must be an object";
+      return false;
+    }
+    response->trace.present = true;
+    double clock_ns = 0.0;
+    if (!ReadNumber(*trace, "clock_ns", &clock_ns, error)) return false;
+    response->trace.clock_ns = static_cast<uint64_t>(clock_ns);
+    if (const json::JsonValue* spans = trace->Find("spans")) {
+      if (spans->kind != json::JsonValue::kArray) {
+        *error = "field 'trace.spans' must be an array";
+        return false;
+      }
+      response->trace.spans.reserve(spans->array.size());
+      for (const json::JsonValue& element : spans->array) {
+        if (element.kind != json::JsonValue::kObject) {
+          *error = "field 'trace.spans' must contain only objects";
+          return false;
+        }
+        TraceEchoSpan span;
+        if (const json::JsonValue* name = element.Find("name")) {
+          span.name = name->str;
+        }
+        double start_ns = 0.0, dur_ns = 0.0, tid = 0.0;
+        if (!ReadNumber(element, "start_ns", &start_ns, error) ||
+            !ReadNumber(element, "dur_ns", &dur_ns, error) ||
+            !ReadNumber(element, "tid", &tid, error)) {
+          return false;
+        }
+        span.start_ns = static_cast<uint64_t>(start_ns);
+        span.dur_ns = static_cast<uint64_t>(dur_ns);
+        span.tid = static_cast<uint32_t>(tid);
+        response->trace.spans.push_back(std::move(span));
+      }
+    }
   }
   return true;
 }
@@ -259,9 +311,59 @@ void RegisterRecommendEndpoint(obs::AdminServer& admin,
           Outcome<Recommendation>(Status::InvalidArgument(error))));
       return out;
     }
+    // Adopt the peer's trace context (if any): the cross-process trace
+    // id becomes the engine request id, so the replica's serve.req.*
+    // spans land in the timeline the router will ask us to echo back.
+    // No header → `context` is inactive and this request runs exactly
+    // the pre-tracing path (no ids rewritten, no spans, no "trace" key).
+    const obs::TraceContext context = obs::TraceContextFromHeaders(http);
+    const bool traced = context.active() && obs::TracingEnabled();
+    if (traced) request.id = context.trace_id;
+    const uint64_t handler_start_ns = traced ? obs::TraceClockNs() : 0;
     const Outcome<Recommendation> outcome = engine.Recommend(request);
+    RecommendResponse response = RecommendResponse::FromOutcome(outcome);
+    if (traced) {
+      // The handler span bounds the whole replica-side stay. Recorded
+      // BEFORE the echo is assembled so the echo always carries at
+      // least this span (serve.req.respond is recorded by the engine
+      // worker after the promise resolves and can race the snapshot).
+      const uint64_t handler_end_ns = obs::TraceClockNs();
+      obs::RecordRequestSpan("serve.req.http", handler_start_ns,
+                             handler_end_ns, context.trace_id);
+      if (context.echo && obs::RequestTracingEnabled()) {
+        response.trace.present = true;
+        response.trace.clock_ns = obs::TraceClockNs();
+        obs::RequestTimeline timeline;
+        if (obs::FindRequestTimeline(context.trace_id, &timeline)) {
+          for (const obs::RequestSpan& span : timeline.spans) {
+            // Echo only this process's serve-side spans: an in-process
+            // embedder (tests, benches) shares the obs registry with
+            // the router, and router.req.* spans must not round-trip.
+            const std::string name = span.name;
+            if (name.rfind("serve.", 0) != 0) continue;
+            response.trace.spans.push_back(
+                {name, span.start_ns, span.dur_ns, span.tid});
+          }
+        }
+        if (response.trace.spans.empty()) {
+          // The timeline index hashes ids into 128 slots and keeps the
+          // numerically larger id on collision — with random trace ids
+          // a request can lose its slot entirely. The handler bounded
+          // the replica-side stay itself, so the echo still places
+          // this process on the stitched timeline; only the engine's
+          // pipeline breakdown is lost (counted by the index in
+          // obs.trace.request_dropped).
+          response.trace.spans.push_back(
+              {"serve.req.http", handler_start_ns,
+               handler_end_ns >= handler_start_ns
+                   ? handler_end_ns - handler_start_ns
+                   : 0,
+               0});
+        }
+      }
+    }
     out.status = HttpStatusForCode(outcome.code());
-    out.body = RecommendResponseToJson(RecommendResponse::FromOutcome(outcome));
+    out.body = RecommendResponseToJson(response);
     return out;
   });
 }

@@ -20,8 +20,22 @@
 // 500 MODEL_ERROR, 503 OVERLOADED, 504 DEADLINE_EXCEEDED) so plain
 // curl and load balancers see sensible codes, but the JSON "status"
 // field is authoritative for protocol peers.
+//
+// Distributed tracing (DESIGN.md "Distributed tracing & fleet
+// metrics"): a peer that sends X-Isrec-Trace (+ X-Isrec-Trace-Echo: 1)
+// on the POST gets an extra "trace" object in the response —
+//   "trace": {"clock_ns": 812345678, "spans":
+//     [{"name": "serve.req.enqueue", "start_ns": ..., "dur_ns": ...,
+//       "tid": 3}, ...]}
+// — the replica's span timeline for that request on the replica's own
+// trace clock, which the router translates via its per-replica clock
+// offset and stitches into one cross-process timeline. Requests without
+// the header take a byte-identical path to the pre-tracing protocol: no
+// extra work, no "trace" key.
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "serve/engine.h"
 #include "utils/status.h"
@@ -32,12 +46,31 @@ class AdminServer;
 
 namespace isrec::serve {
 
+/// One span echoed across the wire. Unlike obs::RequestSpan the name is
+/// an owned string: it crosses a process boundary as JSON, so there is
+/// no static literal to point at on the receiving side.
+struct TraceEchoSpan {
+  std::string name;
+  uint64_t start_ns = 0;  // On the RECORDING process's trace clock.
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;
+};
+
+/// The replica's span timeline for one traced request, echoed in the
+/// response when the peer asked for it (X-Isrec-Trace-Echo).
+struct TraceEcho {
+  bool present = false;   // True iff the response carried a "trace" key.
+  uint64_t clock_ns = 0;  // Replica trace clock read at respond time.
+  std::vector<TraceEchoSpan> spans;
+};
+
 /// Wire form of one recommend answer: the outcome's code + message and,
 /// when it carries a value, the ranking.
 struct RecommendResponse {
   Status status;
   Recommendation recommendation;  // Meaningful iff has_value.
   bool has_value = false;
+  TraceEcho trace;  // Serialized only when trace.present.
 
   /// Builds the wire response from an engine outcome.
   static RecommendResponse FromOutcome(const Outcome<Recommendation>& outcome);
@@ -73,6 +106,12 @@ bool StatusCodeFromName(const std::string& name, StatusCode* code);
 /// server with several workers (AdminServerConfig::num_workers). The
 /// engine must outlive the admin server — or the server must be
 /// Stop()ped first (same contract as RegisterAdminSections).
+///
+/// Trace propagation: when the request carries X-Isrec-Trace (and
+/// tracing is enabled in this process), the header's trace id becomes
+/// the engine Request id — so the replica's serve.req.* spans index
+/// under the cross-process id — and an X-Isrec-Trace-Echo peer gets the
+/// request's span timeline back in the response "trace" object.
 void RegisterRecommendEndpoint(obs::AdminServer& admin, ServingEngine& engine);
 
 }  // namespace isrec::serve

@@ -237,6 +237,26 @@ TEST(HttpClientTest, ReadTimeoutReportsTransportError) {
 
 // -- HTTP keep-alive (satellite) -----------------------------------------
 
+TEST(HttpServerTest, ParsesHeadersLowercasedIntoRequestMap) {
+  obs::HttpServer server;
+  ASSERT_TRUE(server.Start("127.0.0.1", 0, [](const obs::HttpRequest& r) {
+    obs::HttpResponse response;
+    // Names are lowercased, values trimmed, first occurrence wins.
+    response.body = r.HeaderOr("x-isrec-trace", "<absent>") + "|" +
+                    r.HeaderOr("x-isrec-trace-hop", "<absent>") + "|" +
+                    r.HeaderOr("x-nope", "<absent>");
+    return response;
+  }));
+  obs::HttpClient client;
+  const obs::HttpClient::Result result =
+      client.Get("127.0.0.1", server.port(), "/x", 0,
+                 {{"X-Isrec-Trace", "  00c0ffee00c0ffee  "},
+                  {"X-ISREC-TRACE-HOP", "1"},
+                  {"X-Isrec-Trace-Hop", "9"}});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.body, "00c0ffee00c0ffee|1|<absent>");
+}
+
 TEST(HttpKeepAliveTest, ClientReusesOnePooledConnectionPerPeer) {
   obs::HttpServer server;
   ASSERT_TRUE(server.Start("127.0.0.1", 0, [](const obs::HttpRequest& r) {
@@ -290,6 +310,42 @@ TEST(HttpKeepAliveTest, DefaultClientStillClosesPerRequest) {
   obs::HttpClient client;  // keep_alive off: historical behavior.
   ASSERT_TRUE(client.Get("127.0.0.1", server.port(), "/x").ok);
   EXPECT_EQ(client.pooled_connections(), 0u);
+}
+
+// A pooled connection older than keepalive_max_idle_ms is closed up
+// front (the server's own idle reaper is about to kill it anyway),
+// counted in http.keepalive_stale_avoided — a proactive reconnect
+// instead of a doomed send + retry.
+TEST(HttpKeepAliveTest, IdleAgedPooledConnectionReconnectsProactively) {
+  ObsGuard guard;
+  obs::EnableMetrics(true);
+  obs::HttpServer server;
+  ASSERT_TRUE(server.Start("127.0.0.1", 0, [](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    response.body = "ok";
+    return response;
+  }));
+  obs::HttpClient client({/*connect_timeout_ms=*/1000,
+                          /*read_timeout_ms=*/2000, /*keep_alive=*/true,
+                          /*keepalive_max_idle_ms=*/50});
+  obs::Counter& avoided = obs::GetCounter("http.keepalive_stale_avoided");
+  const uint64_t avoided_before = avoided.Value();
+  ASSERT_TRUE(client.Get("127.0.0.1", server.port(), "/x").ok);
+  ASSERT_EQ(client.pooled_connections(), 1u);
+
+  // Within the idle window the fd is reused: no avoidance counted.
+  ASSERT_TRUE(client.Get("127.0.0.1", server.port(), "/y").ok);
+  EXPECT_EQ(avoided.Value(), avoided_before);
+
+  // Past the window the parked fd is discarded, counted, and the
+  // request transparently runs on a fresh connection.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  const obs::HttpClient::Result result =
+      client.Get("127.0.0.1", server.port(), "/z");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.body, "ok");
+  EXPECT_EQ(avoided.Value(), avoided_before + 1);
+  EXPECT_EQ(client.pooled_connections(), 1u);  // The fresh fd is parked.
 }
 
 // -- Prometheus text exposition (satellite: pinned by hand) -------------
@@ -427,6 +483,50 @@ TEST(RollupTest, HistogramWindowDeltasGivePercentiles) {
   EXPECT_LE(delta.Percentile(0.99), 30.0);
 }
 
+// A mid-window Reset() (counts drop to zero) must clamp the histogram
+// delta to empty rather than go negative, and percentiles computed
+// after the reset reflect only post-reset observations.
+TEST(RollupTest, HistogramPercentilesSurviveMidWindowReset) {
+  obs::HistogramSnapshot shape;
+  shape.name = "roll.reset_hist";
+  shape.bounds = {10.0, 20.0, 30.0};
+
+  obs::HistogramSnapshot before_reset = shape;
+  before_reset.counts = {50, 0, 0, 0};  // All mass <= 10.
+  before_reset.total_count = 50;
+  before_reset.sum = 250.0;
+  obs::HistogramSnapshot at_reset = shape;  // Reset(): all zeros.
+  at_reset.counts = {0, 0, 0, 0};
+  obs::HistogramSnapshot after_reset = shape;
+  after_reset.counts = {0, 0, 40, 0};  // Fresh mass in (20, 30].
+  after_reset.total_count = 40;
+  after_reset.sum = 1000.0;
+
+  obs::RollingAggregator rollup(8);
+  obs::MetricsSnapshot sample;
+  sample.histograms = {before_reset};
+  rollup.AddSample(0, sample);
+  sample.histograms = {at_reset};
+  rollup.AddSample(1000, sample);
+  sample.histograms = {after_reset};
+  rollup.AddSample(2000, sample);
+
+  // The reset interval contributes nothing (clamped, not negative).
+  const obs::WindowView reset_window = rollup.Window(2.0);
+  ASSERT_TRUE(reset_window.valid);
+  ASSERT_EQ(reset_window.histograms.size(), 1u);
+  EXPECT_EQ(reset_window.histograms[0].total_count, 40u);
+  // Percentiles see only the post-reset distribution: the 50 pre-reset
+  // fast observations are gone with the reset, so p50 sits in (20, 30].
+  EXPECT_GT(reset_window.histograms[0].Percentile(0.5), 20.0);
+  EXPECT_LE(reset_window.histograms[0].Percentile(0.99), 30.0);
+
+  // A window wholly after the reset behaves as if the reset never was.
+  const obs::WindowView after_window = rollup.Window(1.0);
+  ASSERT_TRUE(after_window.valid);
+  EXPECT_EQ(after_window.histograms[0].total_count, 40u);
+}
+
 // -- AdminServer endpoints ----------------------------------------------
 
 std::string Fetch(const obs::AdminServer& admin, const std::string& target,
@@ -495,6 +595,47 @@ TEST(AdminServerTest, VarzSplicesSectionsAndRegistrySnapshot) {
                        .object.at("varztest.count")
                        .number,
                    4.0);
+  admin.Stop();
+}
+
+// /varz always carries the trace clock (the prober's clock-sync probe
+// reads it), whether or not tracing is enabled.
+TEST(AdminServerTest, VarzCarriesTraceClock) {
+  ObsGuard guard;
+  obs::AdminServer admin;
+  ASSERT_TRUE(admin.Start());
+  int status = 0;
+  const std::string body = Fetch(admin, "/varz", &status);
+  EXPECT_EQ(status, 200);
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(body).Parse(&root)) << body;
+  ASSERT_TRUE(root.object.count("trace_clock_ns"));
+  const double first = root.object.at("trace_clock_ns").number;
+  EXPECT_GT(first, 0.0);
+  // Monotone: a later scrape reads a later clock.
+  JsonValue later;
+  ASSERT_TRUE(JsonParser(Fetch(admin, "/varz", &status)).Parse(&later));
+  EXPECT_GT(later.object.at("trace_clock_ns").number, first);
+  admin.Stop();
+}
+
+// A custom handler registered on a built-in path takes precedence —
+// how the router swaps the per-process /tracez for its stitched view.
+TEST(AdminServerTest, CustomHandlerOverridesBuiltinPage) {
+  ObsGuard guard;
+  obs::AdminServer admin;
+  admin.AddHandler("/tracez", [](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    response.body = "custom tracez";
+    return response;
+  });
+  ASSERT_TRUE(admin.Start());
+  int status = 0;
+  EXPECT_EQ(Fetch(admin, "/tracez", &status), "custom tracez");
+  EXPECT_EQ(status, 200);
+  // Unreplaced built-ins still answer.
+  Fetch(admin, "/statusz", &status);
+  EXPECT_EQ(status, 200);
   admin.Stop();
 }
 

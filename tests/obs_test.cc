@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cctype>
 #include <string>
 #include <thread>
 #include <utility>
@@ -16,8 +18,10 @@
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
 #include "models/sasrec.h"
+#include "obs/http.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "tests/test_json.h"
 
 namespace isrec {
@@ -550,6 +554,94 @@ TEST(ObsDeterminismTest, TrainAndEvalBitwiseIdenticalWithObsOnOrOff) {
   EXPECT_GT(obs::TraceEventCount(), 0u);
   EXPECT_GT(obs::GetCounter("train.batches").Value(), 0u);
   EXPECT_GT(obs::GetCounter("eval.users").Value(), 0u);
+}
+
+// -- Trace context (distributed trace propagation) ------------------------
+
+TEST(TraceContextTest, FormatAndParseRoundTrip) {
+  EXPECT_EQ(obs::FormatTraceId(0x1a2b3c4d5e6f7081ull), "1a2b3c4d5e6f7081");
+  EXPECT_EQ(obs::FormatTraceId(1), "0000000000000001");
+  uint64_t id = 0;
+  ASSERT_TRUE(obs::ParseTraceId("1a2b3c4d5e6f7081", &id));
+  EXPECT_EQ(id, 0x1a2b3c4d5e6f7081ull);
+  ASSERT_TRUE(obs::ParseTraceId("1", &id));
+  EXPECT_EQ(id, 1u);
+  // Rejections: empty, overlong, non-hex, and the reserved zero id.
+  EXPECT_FALSE(obs::ParseTraceId("", &id));
+  EXPECT_FALSE(obs::ParseTraceId("11a2b3c4d5e6f7081", &id));
+  EXPECT_FALSE(obs::ParseTraceId("xyz", &id));
+  EXPECT_FALSE(obs::ParseTraceId("12 4", &id));
+  EXPECT_FALSE(obs::ParseTraceId("0", &id));
+  EXPECT_FALSE(obs::ParseTraceId("0000000000000000", &id));
+}
+
+TEST(TraceContextTest, NewTraceIdIsNonzeroAndDistinct) {
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t id = obs::NewTraceId();
+    EXPECT_NE(id, 0u);
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(TraceContextTest, HeadersRoundTripThroughAppendAndFrom) {
+  obs::TraceContext context;
+  context.trace_id = 0xdeadbeef12345678ull;
+  context.hop = 2;
+  context.echo = true;
+  obs::HttpHeaderList headers;
+  obs::AppendTraceHeaders(context, &headers);
+  ASSERT_EQ(headers.size(), 3u);
+
+  // Header names arrive lowercased (the server lowercases on parse).
+  obs::HttpRequest request;
+  for (const auto& [name, value] : headers) {
+    std::string lower = name;
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    request.headers[lower] = value;
+  }
+  const obs::TraceContext parsed = obs::TraceContextFromHeaders(request);
+  EXPECT_TRUE(parsed.active());
+  EXPECT_EQ(parsed.trace_id, context.trace_id);
+  EXPECT_EQ(parsed.hop, 2);
+  EXPECT_TRUE(parsed.echo);
+
+  // No headers → inactive context; a malformed id is ignored.
+  EXPECT_FALSE(obs::TraceContextFromHeaders(obs::HttpRequest{}).active());
+  obs::HttpRequest bad;
+  bad.headers["x-isrec-trace"] = "not-hex";
+  EXPECT_FALSE(obs::TraceContextFromHeaders(bad).active());
+  // An inactive context appends nothing.
+  obs::HttpHeaderList none;
+  obs::AppendTraceHeaders(obs::TraceContext{}, &none);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(ObsRequestTraceTest, FindRequestTimelineLooksUpOneRequest) {
+  ObsGuard guard;
+  obs::EnableTracing(true);
+  obs::EnableRequestTracing(true);
+  obs::RecordRequestSpan("test.req.b", 20, 30, 9);
+  obs::RecordRequestSpan("test.req.a", 5, 15, 9);
+
+  obs::RequestTimeline timeline;
+  ASSERT_TRUE(obs::FindRequestTimeline(9, &timeline));
+  EXPECT_EQ(timeline.request_id, 9u);
+  ASSERT_EQ(timeline.spans.size(), 2u);
+  // Start-sorted, not record-ordered.
+  EXPECT_STREQ(timeline.spans[0].name, "test.req.a");
+  EXPECT_STREQ(timeline.spans[1].name, "test.req.b");
+
+  EXPECT_FALSE(obs::FindRequestTimeline(0, &timeline));
+  EXPECT_FALSE(obs::FindRequestTimeline(9 + obs::kRequestTimelineSlots,
+                                        &timeline));
+
+  // Unsampled ids are never indexed, so lookups reject them up front.
+  obs::SetRequestSampleEvery(4);
+  obs::RecordRequestSpan("test.req.unsampled", 0, 1, 2);
+  EXPECT_FALSE(obs::FindRequestTimeline(2, &timeline));
 }
 
 }  // namespace

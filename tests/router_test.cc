@@ -7,8 +7,11 @@
 // re-homes around a killed replica, and drains a replica under
 // concurrent load with zero dropped requests.
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <set>
@@ -21,6 +24,9 @@
 #include "obs/admin_server.h"
 #include "obs/http.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
+#include "router/fleet.h"
 #include "router/forwarder.h"
 #include "router/hash_ring.h"
 #include "router/prober.h"
@@ -633,7 +639,7 @@ struct RouterOverTwoEngines {
   TestReplica replicas[2];
   std::unique_ptr<router::Router> router;
 
-  bool Start(int fail_threshold = 2) {
+  bool Start(int fail_threshold = 2, uint64_t trace_sample_every = 64) {
     if (!replicas[0].Start() || !replicas[1].Start()) return false;
     router::RouterConfig config;
     config.replicas = {{"r1", "127.0.0.1", replicas[0].admin->port()},
@@ -641,6 +647,7 @@ struct RouterOverTwoEngines {
     config.probe.period_ms = 50.0;
     config.probe.fail_threshold = fail_threshold;
     config.admin.num_workers = 4;
+    config.trace_sample_every = trace_sample_every;
     router = std::make_unique<router::Router>(std::move(config));
     if (!router->Start()) return false;
     // The first probe sweep runs immediately; wait for both replicas.
@@ -898,6 +905,377 @@ TEST(RouterIntegrationTest, RouterAdminPlaneExposesDecisionsAndReplicas) {
   tier.Stop();
   obs::EnableMetrics(metrics_were_enabled);
   obs::ResetAllMetrics();
+}
+
+// -- Fleet metrics aggregation (tentpole) ---------------------------------
+
+// A hand-built replica snapshot: requests/ok counters, a queue gauge,
+// and a small latency histogram with `fast` observations in the first
+// bucket and `slow` in the overflow bucket.
+obs::MetricsSnapshot ReplicaSnapshotOf(uint64_t requests, uint64_t fast,
+                                       uint64_t slow, double queue = 0.0) {
+  obs::MetricsSnapshot s;
+  s.counters = {{"serve.ok", requests}, {"serve.requests", requests}};
+  s.gauges = {{"serve.queue_depth", queue}};
+  obs::HistogramSnapshot h;
+  h.name = "serve.latency_ms";
+  h.bounds = {1.0, 8.0};
+  h.counts = {fast, 0, slow};
+  h.total_count = fast + slow;
+  h.sum = 0.5 * fast + 16.0 * slow;
+  s.histograms = {h};
+  return s;
+}
+
+// The fold is delta-based and restart-safe: counters that went backwards
+// contribute a zero delta (never negative), and absent restarts the
+// accumulated view equals the replica's own lifetime totals.
+TEST(FleetAggregatorTest, AccumulatesClampedDeltasAcrossRestart) {
+  router::FleetAggregator fleet;
+  fleet.Update("r1", 0, ReplicaSnapshotOf(10, 8, 2));
+  fleet.Update("r1", 1000, ReplicaSnapshotOf(25, 20, 5));
+
+  obs::MetricsSnapshot acc;
+  ASSERT_TRUE(fleet.Accumulated("r1", &acc));
+  ASSERT_EQ(acc.counters.size(), 2u);
+  EXPECT_EQ(acc.counters[1].first, "serve.requests");
+  EXPECT_EQ(acc.counters[1].second, 25u);
+  ASSERT_EQ(acc.histograms.size(), 1u);
+  EXPECT_EQ(acc.histograms[0].total_count, 25u);
+  EXPECT_EQ(acc.histograms[0].counts[0], 20u);
+  EXPECT_EQ(acc.histograms[0].counts[2], 5u);
+
+  // Restart: the replica comes back with SMALLER lifetime counts. The
+  // restart poll folds a zero delta; later polls resume accumulating.
+  fleet.Update("r1", 2000, ReplicaSnapshotOf(3, 2, 1));
+  ASSERT_TRUE(fleet.Accumulated("r1", &acc));
+  EXPECT_EQ(acc.counters[1].second, 25u);
+  fleet.Update("r1", 3000, ReplicaSnapshotOf(7, 5, 2));
+  ASSERT_TRUE(fleet.Accumulated("r1", &acc));
+  EXPECT_EQ(acc.counters[1].second, 29u);  // 25 + (7 - 3).
+  EXPECT_EQ(acc.histograms[0].total_count, 29u);
+  EXPECT_FALSE(fleet.Accumulated("ghost", &acc));
+}
+
+// Fleet totals sum the per-replica accumulations: counters, gauges, and
+// histograms bucketwise (identical bounds — same binary fleet-wide).
+TEST(FleetAggregatorTest, FleetTotalsSumAcrossReplicas) {
+  router::FleetAggregator fleet;
+  fleet.Update("r1", 0, ReplicaSnapshotOf(10, 8, 2, /*queue=*/3.0));
+  fleet.Update("r2", 0, ReplicaSnapshotOf(4, 4, 0, /*queue=*/1.0));
+  EXPECT_EQ(fleet.replica_count(), 2u);
+  EXPECT_EQ(fleet.updates(), 2u);
+
+  const obs::MetricsSnapshot totals = fleet.FleetTotals();
+  ASSERT_EQ(totals.counters.size(), 2u);
+  EXPECT_EQ(totals.counters[1].first, "serve.requests");
+  EXPECT_EQ(totals.counters[1].second, 14u);
+  ASSERT_EQ(totals.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(totals.gauges[0].second, 4.0);
+  ASSERT_EQ(totals.histograms.size(), 1u);
+  EXPECT_EQ(totals.histograms[0].total_count, 14u);
+  EXPECT_EQ(totals.histograms[0].counts[0], 12u);
+  EXPECT_EQ(totals.histograms[0].counts[2], 2u);
+}
+
+// The Prometheus exposition carries every series twice: labeled per
+// replica and unlabeled as the fleet sum, with histogram buckets in the
+// cumulative le= convention.
+TEST(FleetAggregatorTest, PrometheusTextHasLabeledAndSummedSeries) {
+  router::FleetAggregator fleet;
+  fleet.Update("r1", 0, ReplicaSnapshotOf(10, 8, 2));
+  fleet.Update("r2", 0, ReplicaSnapshotOf(4, 4, 0));
+  const std::string text = fleet.PrometheusFleetText();
+  EXPECT_NE(text.find("# TYPE serve_requests counter\n"), std::string::npos);
+  EXPECT_NE(text.find("serve_requests{replica=\"r1\"} 10\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_requests{replica=\"r2\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("\nserve_requests 14\n"), std::string::npos);
+  // Cumulative buckets: fleet-merged le="8" covers the 12 fast
+  // observations; +Inf equals the fleet count.
+  EXPECT_NE(text.find("serve_latency_ms_bucket{replica=\"r1\",le=\"1\"} 8\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_latency_ms_bucket{le=\"+Inf\"} 14\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_latency_ms_count 14\n"), std::string::npos);
+}
+
+// MetricsSnapshotFromJson inverts DumpMetricsJson: pull a real registry
+// dump through the parser and compare against the live snapshot. The
+// dump prints doubles at %.6g, so float fields round-trip to 6
+// significant digits, not bitwise — the registry is process-wide, and
+// when the whole binary runs as one process earlier tests leave
+// instruments like serve.latency_ms whose 1048.576 bound dumps as
+// "1048.58". Counts stay exact.
+double NearTol(double reference) {
+  return 1e-5 * std::max(1.0, std::fabs(reference));
+}
+
+TEST(FleetAggregatorTest, MetricsSnapshotFromJsonInvertsDump) {
+  const bool were_enabled = obs::MetricsEnabled();
+  obs::EnableMetrics(true);
+  obs::ResetAllMetrics();
+  obs::GetCounter("fleetjson.count").Add(7);
+  obs::GetGauge("fleetjson.gauge").Set(2.5);
+  obs::Histogram& h =
+      obs::GetHistogram("fleetjson.hist", obs::LinearBuckets(1.0, 1.0, 3));
+  h.Observe(0.5);
+  h.Observe(2.5);
+  h.Observe(100.0);
+
+  json::JsonValue root;
+  ASSERT_TRUE(json::JsonParser(obs::DumpMetricsJson()).Parse(&root));
+  obs::MetricsSnapshot parsed;
+  ASSERT_TRUE(router::MetricsSnapshotFromJson(root, &parsed));
+
+  const obs::MetricsSnapshot live = obs::SnapshotMetrics();
+  EXPECT_EQ(parsed.counters, live.counters);
+  ASSERT_EQ(parsed.gauges.size(), live.gauges.size());
+  for (size_t i = 0; i < live.gauges.size(); ++i) {
+    EXPECT_EQ(parsed.gauges[i].first, live.gauges[i].first);
+    EXPECT_NEAR(parsed.gauges[i].second, live.gauges[i].second,
+                NearTol(live.gauges[i].second));
+  }
+  ASSERT_EQ(parsed.histograms.size(), live.histograms.size());
+  for (size_t i = 0; i < live.histograms.size(); ++i) {
+    EXPECT_EQ(parsed.histograms[i].name, live.histograms[i].name);
+    ASSERT_EQ(parsed.histograms[i].bounds.size(),
+              live.histograms[i].bounds.size());
+    for (size_t b = 0; b < live.histograms[i].bounds.size(); ++b) {
+      EXPECT_NEAR(parsed.histograms[i].bounds[b],
+                  live.histograms[i].bounds[b],
+                  NearTol(live.histograms[i].bounds[b]));
+    }
+    EXPECT_EQ(parsed.histograms[i].counts, live.histograms[i].counts);
+    EXPECT_EQ(parsed.histograms[i].total_count,
+              live.histograms[i].total_count);
+  }
+  obs::MetricsSnapshot ignored;
+  json::JsonValue not_object;
+  EXPECT_FALSE(router::MetricsSnapshotFromJson(not_object, &ignored));
+
+  obs::ResetAllMetrics();
+  obs::EnableMetrics(were_enabled);
+}
+
+// -- Prober jitter (satellite) --------------------------------------------
+
+TEST(ProberJitterTest, JitteredPeriodStaysInBandAndIsReproducible) {
+  const int64_t base_us = 1000000;
+  uint64_t state = 42;
+  bool saw_distinct = false;
+  int64_t first = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t period =
+        router::JitteredPeriodUs(base_us, 0.2, &state);
+    EXPECT_GE(period, 800000);
+    EXPECT_LE(period, 1200000);
+    if (i == 0) first = period;
+    if (period != first) saw_distinct = true;
+  }
+  EXPECT_TRUE(saw_distinct);
+
+  // Same seed, same stream.
+  uint64_t a = 7, b = 7;
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(router::JitteredPeriodUs(base_us, 0.2, &a),
+              router::JitteredPeriodUs(base_us, 0.2, &b));
+  }
+  // Jitter off (or a degenerate base) passes through untouched.
+  uint64_t c = 7;
+  EXPECT_EQ(router::JitteredPeriodUs(base_us, 0.0, &c), base_us);
+  EXPECT_EQ(router::JitteredPeriodUs(0, 0.2, &c), 0);
+}
+
+// -- Trace echo codec (tentpole) ------------------------------------------
+
+TEST(RecommendCodecTest, TraceEchoRoundTripsThroughJson) {
+  serve::RecommendResponse response;
+  response.status = Status::Ok();
+  response.has_value = true;
+  response.recommendation.items = {3, 1};
+  response.recommendation.scores = {0.5f, 0.25f};
+  response.trace.present = true;
+  response.trace.clock_ns = 123456789;
+  response.trace.spans = {{"serve.req.enqueue", 100, 50, 7},
+                          {"serve.req.score", 200, 1000, 8}};
+
+  serve::RecommendResponse parsed;
+  std::string error;
+  ASSERT_TRUE(serve::RecommendResponseFromJson(
+      serve::RecommendResponseToJson(response), &parsed, &error))
+      << error;
+  ASSERT_TRUE(parsed.trace.present);
+  EXPECT_EQ(parsed.trace.clock_ns, 123456789u);
+  ASSERT_EQ(parsed.trace.spans.size(), 2u);
+  EXPECT_EQ(parsed.trace.spans[0].name, "serve.req.enqueue");
+  EXPECT_EQ(parsed.trace.spans[0].start_ns, 100u);
+  EXPECT_EQ(parsed.trace.spans[0].dur_ns, 50u);
+  EXPECT_EQ(parsed.trace.spans[0].tid, 7u);
+  EXPECT_EQ(parsed.trace.spans[1].name, "serve.req.score");
+}
+
+// The untraced wire format is EXACTLY the pre-tracing one: no "trace"
+// key at all, so propagation off means byte-identical responses.
+TEST(RecommendCodecTest, UntracedResponseHasNoTraceKey) {
+  serve::RecommendResponse response;
+  response.status = Status::Ok();
+  response.has_value = true;
+  response.recommendation.items = {3};
+  response.recommendation.scores = {0.5f};
+  const std::string json = serve::RecommendResponseToJson(response);
+  EXPECT_EQ(json.find("trace"), std::string::npos) << json;
+  serve::RecommendResponse parsed;
+  std::string error;
+  ASSERT_TRUE(serve::RecommendResponseFromJson(json, &parsed, &error));
+  EXPECT_FALSE(parsed.trace.present);
+}
+
+// -- Stitched tracing + fleet metrics, end to end (tentpole) --------------
+
+// A router with trace_sample_every=1 over two live replicas: every
+// request produces a stitched timeline whose spans come from BOTH
+// processes under one trace id, and the fleet metrics plane sums the
+// polled replica registries.
+//
+// (In this in-process test both "replicas" share one obs registry, so
+// each replica's /varz reports process-wide serve counters; the
+// fleet-sum identity asserted here is the aggregator's replica-sum ==
+// unlabeled-sum consistency. The true cross-process identity —
+// fleet serve_requests == Σ per-replica serve_requests — is asserted in
+// the CI router smoke job against real isrec_serve processes.)
+TEST(RouterIntegrationTest, StitchedTraceAndFleetMetricsAcrossTwoReplicas) {
+  const bool metrics_were_enabled = obs::MetricsEnabled();
+  const bool tracing_was_enabled = obs::TracingEnabled();
+  const bool request_tracing_was_enabled = obs::RequestTracingEnabled();
+  obs::EnableMetrics(true);
+  obs::EnableTracing(true);
+  obs::EnableRequestTracing(true);
+
+  RouterOverTwoEngines tier;
+  ASSERT_TRUE(tier.Start(/*fail_threshold=*/2, /*trace_sample_every=*/1));
+  obs::HttpClient client;
+  for (Index user = 0; user < 8; ++user) {
+    serve::Request request;
+    request.user = user;
+    request.history = {user % 5};
+    request.k = 3;
+    int http_status = 0;
+    const serve::RecommendResponse response =
+        PostViaHttp(client, tier.router->port(), request, &http_status);
+    EXPECT_EQ(http_status, 200);
+    ASSERT_TRUE(response.has_value);
+    // The echo is stripped before the reply reaches the client.
+    EXPECT_FALSE(response.trace.present);
+  }
+
+  // Every request was traced; each stitched trace must contain router
+  // spans AND replica spans, all under the request's single trace id.
+  EXPECT_EQ(tier.router->traces().added(), 8u);
+  const obs::HttpClient::Result tracez = client.Get(
+      "127.0.0.1", tier.router->port(), "/tracez?format=json");
+  ASSERT_TRUE(tracez.ok) << tracez.error;
+  json::JsonValue root;
+  ASSERT_TRUE(json::JsonParser(tracez.body).Parse(&root)) << tracez.body;
+  const json::JsonValue* traces = root.Find("traces");
+  ASSERT_NE(traces, nullptr);
+  ASSERT_EQ(traces->array.size(), 8u);
+  for (const json::JsonValue& trace : traces->array) {
+    const json::JsonValue* id = trace.Find("trace_id");
+    ASSERT_NE(id, nullptr);
+    EXPECT_EQ(id->str.size(), 16u);
+    uint64_t parsed_id = 0;
+    EXPECT_TRUE(obs::ParseTraceId(id->str, &parsed_id));
+    const json::JsonValue* spans = trace.Find("spans");
+    ASSERT_NE(spans, nullptr);
+    bool has_router = false, has_replica = false, has_forward = false;
+    for (const json::JsonValue& span : spans->array) {
+      const std::string& process = span.Find("process")->str;
+      const std::string& name = span.Find("name")->str;
+      if (process == "router") has_router = true;
+      if (process == "r1" || process == "r2") {
+        has_replica = true;
+        EXPECT_EQ(name.rfind("serve.", 0), 0u) << name;
+      }
+      if (name == "router.req.forward") has_forward = true;
+    }
+    EXPECT_TRUE(has_router);
+    EXPECT_TRUE(has_replica) << tracez.body;
+    EXPECT_TRUE(has_forward);
+    // Both processes present => the forward/enqueue network gap is
+    // computable and reported.
+    EXPECT_NE(trace.Find("network_gap_ns"), nullptr);
+  }
+  // The HTML rendering marks the network gap.
+  const obs::HttpClient::Result html =
+      client.Get("127.0.0.1", tier.router->port(), "/tracez");
+  ASSERT_TRUE(html.ok);
+  EXPECT_NE(html.body.find("wire + accept gap"), std::string::npos);
+
+  // Fleet metrics: wait for a probe sweep to pull both replicas' varz
+  // snapshots, then check the Prometheus page's sum identity.
+  for (int i = 0; i < 300 && tier.router->fleet().replica_count() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(tier.router->fleet().replica_count(), 2u);
+  const obs::HttpClient::Result fleet = client.Get(
+      "127.0.0.1", tier.router->port(), "/fleet/metrics");
+  ASSERT_TRUE(fleet.ok);
+  uint64_t r1 = 0, r2 = 0, total = 0;
+  size_t pos = 0;
+  int parsed_lines = 0;
+  while (pos < fleet.body.size()) {
+    const size_t eol = fleet.body.find('\n', pos);
+    const std::string line = fleet.body.substr(pos, eol - pos);
+    pos = eol == std::string::npos ? fleet.body.size() : eol + 1;
+    if (line.rfind("serve_requests{replica=\"r1\"} ", 0) == 0) {
+      r1 = std::strtoull(line.c_str() + 29, nullptr, 10);
+      ++parsed_lines;
+    } else if (line.rfind("serve_requests{replica=\"r2\"} ", 0) == 0) {
+      r2 = std::strtoull(line.c_str() + 29, nullptr, 10);
+      ++parsed_lines;
+    } else if (line.rfind("serve_requests ", 0) == 0) {
+      total = std::strtoull(line.c_str() + 15, nullptr, 10);
+      ++parsed_lines;
+    }
+  }
+  EXPECT_EQ(parsed_lines, 3) << fleet.body;
+  EXPECT_EQ(total, r1 + r2);
+  EXPECT_GT(total, 0u);
+
+  // /statusz renders the fleet table next to the replica table.
+  const obs::HttpClient::Result statusz =
+      client.Get("127.0.0.1", tier.router->port(), "/statusz");
+  ASSERT_TRUE(statusz.ok);
+  EXPECT_NE(statusz.body.find("Fleet"), std::string::npos);
+
+  tier.Stop();
+  obs::EnableRequestTracing(request_tracing_was_enabled);
+  obs::EnableTracing(tracing_was_enabled);
+  obs::EnableMetrics(metrics_were_enabled);
+  obs::ResetAllMetrics();
+}
+
+// Sampling 0 disables propagation: no trace is stitched and the replica
+// receives the exact pre-tracing request (no X-Isrec-Trace header, so
+// its handler never even looks at the trace plumbing).
+TEST(RouterIntegrationTest, SamplingZeroDisablesTracePropagation) {
+  RouterOverTwoEngines tier;
+  ASSERT_TRUE(tier.Start(/*fail_threshold=*/2, /*trace_sample_every=*/0));
+  obs::HttpClient client;
+  serve::Request request;
+  request.user = 5;
+  request.history = {1};
+  request.k = 2;
+  int http_status = 0;
+  const serve::RecommendResponse response =
+      PostViaHttp(client, tier.router->port(), request, &http_status);
+  EXPECT_EQ(http_status, 200);
+  ASSERT_TRUE(response.has_value);
+  EXPECT_FALSE(response.trace.present);
+  EXPECT_EQ(tier.router->traces().added(), 0u);
+  tier.Stop();
 }
 
 }  // namespace

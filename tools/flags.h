@@ -163,23 +163,33 @@ struct EngineFlags {
   }
 };
 
-/// Admin-server flags shared by isrec_cli and isrec_serve:
+/// Admin/observability flags shared by isrec_cli, isrec_serve and
+/// isrec_router:
 ///
-///   --admin-port P    serve the live introspection plane
-///                     (/healthz /metrics /varz /statusz /tracez) on
-///                     127.0.0.1:P. 0 = off (the default); starting it
-///                     also enables metrics, tracing, and request
-///                     tracing so the endpoints have data.
-///   --admin-hold-s S  keep the process (and the admin server) alive S
-///                     extra seconds after the workload finishes, so a
-///                     human or a scraper can inspect the final state.
+///   --admin-port P      serve the live introspection plane
+///                       (/healthz /metrics /varz /statusz /tracez) on
+///                       127.0.0.1:P. 0 = off (the default); starting it
+///                       also enables metrics, tracing, and request
+///                       tracing so the endpoints have data.
+///   --admin-hold-s S    keep the process (and the admin server) alive S
+///                       extra seconds after the workload finishes, so a
+///                       human or a scraper can inspect the final state.
+///   --metrics-json PATH enable obs metrics and dump the registry as
+///                       JSON on exit (each tool wraps it in its own
+///                       envelope — serve_stats, router decisions, ...).
+///   --trace-out PATH    enable obs tracing and write a chrome://tracing
+///                       JSON timeline of the span ring on exit.
 struct AdminFlags {
   Index admin_port = 0;
   double admin_hold_s = 0.0;
+  std::string metrics_json;
+  std::string trace_out;
 
   void Register(FlagParser& parser) {
     parser.Int("--admin-port", &admin_port);
     parser.Double("--admin-hold-s", &admin_hold_s);
+    parser.String("--metrics-json", &metrics_json);
+    parser.String("--trace-out", &trace_out);
   }
 };
 

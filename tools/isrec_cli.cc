@@ -63,8 +63,6 @@ struct CliOptions {
   std::string csv_prefix;
   std::string save_path;
   std::string load_path;
-  std::string metrics_json_path;
-  std::string trace_out_path;
   Index epochs = 10;
   Index seq_len = 12;
   Index embed_dim = 32;
@@ -81,8 +79,6 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
   parser.String("--csv", &options->csv_prefix);
   parser.String("--save", &options->save_path);
   parser.String("--load", &options->load_path);
-  parser.String("--metrics-json", &options->metrics_json_path);
-  parser.String("--trace-out", &options->trace_out_path);
   parser.Int("--epochs", &options->epochs);
   parser.Int("--seq-len", &options->seq_len);
   parser.Int("--embed-dim", &options->embed_dim);
@@ -137,8 +133,8 @@ std::unique_ptr<eval::Recommender> BuildModel(const CliOptions& options,
 // return path of Run() (including --load early exit) still flushes.
 struct ObsExporter {
   explicit ObsExporter(const CliOptions& options)
-      : metrics_path(options.metrics_json_path),
-        trace_path(options.trace_out_path) {
+      : metrics_path(options.admin.metrics_json),
+        trace_path(options.admin.trace_out) {
     if (!metrics_path.empty()) obs::EnableMetrics(true);
     if (!trace_path.empty()) obs::EnableTracing(true);
   }

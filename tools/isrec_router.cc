@@ -9,16 +9,27 @@
 //                [--probe-interval-ms D] [--probe-fail-threshold N]
 //                [--degrade-queue-depth N] [--max-retries N]
 //                [--forward-timeout-ms D] [--hold-s S]
+//                [--trace-sample N] [--metrics-json PATH]
+//                [--trace-out PATH]
 //
 //   --replica: one backend per flag, either HOST:PORT (ring name =
 //              "HOST:PORT") or NAME=HOST:PORT for a stable ring name
 //              that survives the backend moving between addresses.
 //   --port:    HTTP port for both planes — POST /recommend data plane
 //              and the admin plane (/healthz /metrics /varz /statusz,
-//              /admin/drain, /admin/undrain). 0 picks an ephemeral port
-//              (printed).
+//              /tracez, /fleet/metrics, /admin/drain, /admin/undrain).
+//              0 picks an ephemeral port (printed). --admin-port is
+//              accepted as an alias (AdminFlags parity with isrec_serve)
+//              when --port is not given.
 //   --hold-s:  exit after S seconds; 0 (default) serves until
-//              SIGINT/SIGTERM.
+//              SIGINT/SIGTERM. --admin-hold-s is an accepted alias.
+//   --trace-sample: mint a distributed trace for every N-th /recommend
+//              request (X-Isrec-Trace propagation + /tracez stitching);
+//              0 disables propagation entirely. Default 64.
+//   --metrics-json / --trace-out: the same exit exporters isrec_serve
+//              and isrec_cli have — dump the router's metrics registry
+//              (wrapped with its decision counters) and its span ring
+//              as chrome://tracing JSON on shutdown.
 //
 // Operational walkthrough: README "Running a sharded tier".
 
@@ -54,6 +65,8 @@ struct RouterOptions {
   Index max_retries = 1;
   double forward_timeout_ms = 5000.0;
   double hold_s = 0.0;
+  Index trace_sample = 64;
+  tools::AdminFlags admin;
 };
 
 bool ParseArgs(int argc, char** argv, RouterOptions* options) {
@@ -69,7 +82,13 @@ bool ParseArgs(int argc, char** argv, RouterOptions* options) {
   parser.Int("--max-retries", &options->max_retries);
   parser.Double("--forward-timeout-ms", &options->forward_timeout_ms);
   parser.Double("--hold-s", &options->hold_s);
+  parser.Int("--trace-sample", &options->trace_sample);
+  options->admin.Register(parser);
   if (!parser.Parse(argc, argv)) return false;
+  // AdminFlags aliases: the router's single server IS the admin plane,
+  // so --admin-port/--admin-hold-s fold into --port/--hold-s.
+  if (options->port == 0) options->port = options->admin.admin_port;
+  if (options->hold_s <= 0.0) options->hold_s = options->admin.admin_hold_s;
   return !options->replica_specs.empty();
 }
 
@@ -115,9 +134,13 @@ int Run(const RouterOptions& options) {
   config.admin.port = static_cast<int>(options.port);
   config.admin.bind = options.bind;
   config.admin.num_workers = static_cast<int>(options.workers);
+  config.trace_sample_every =
+      options.trace_sample > 0 ? static_cast<uint64_t>(options.trace_sample)
+                               : 0;
 
   obs::EnableMetrics(true);
   obs::EnableTracing(true);
+  obs::EnableRequestTracing(true);
 
   router::Router router(std::move(config));
   if (!router.Start()) {
@@ -156,6 +179,47 @@ int Run(const RouterOptions& options) {
               static_cast<unsigned long long>(d.spilled),
               static_cast<unsigned long long>(d.retried),
               static_cast<unsigned long long>(d.rejected));
+
+  // Exit exporters — same surface isrec_serve/isrec_cli offer, with the
+  // router's decision counters as the envelope.
+  if (!options.admin.metrics_json.empty()) {
+    std::printf("%s", obs::DumpMetricsTable().c_str());
+    const std::string json =
+        "{\n\"router_decisions\": {"
+        "\"requests\": " + std::to_string(d.requests) +
+        ", \"bad_requests\": " + std::to_string(d.bad_requests) +
+        ", \"forwarded\": " + std::to_string(d.forwarded) +
+        ", \"spilled\": " + std::to_string(d.spilled) +
+        ", \"drain_rerouted\": " + std::to_string(d.drain_rerouted) +
+        ", \"down_rerouted\": " + std::to_string(d.down_rerouted) +
+        ", \"retried\": " + std::to_string(d.retried) +
+        ", \"transport_errors\": " + std::to_string(d.transport_errors) +
+        ", \"rejected\": " + std::to_string(d.rejected) +
+        ", \"expired\": " + std::to_string(d.expired) +
+        ", \"drains\": " + std::to_string(d.drains) +
+        "},\n\"metrics\": " + obs::DumpMetricsJson() + "}\n";
+    bool written = false;
+    if (std::FILE* f = std::fopen(options.admin.metrics_json.c_str(), "w")) {
+      written = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+      written = (std::fclose(f) == 0) && written;
+    }
+    if (written) {
+      std::printf("metrics written to %s\n",
+                  options.admin.metrics_json.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   options.admin.metrics_json.c_str());
+    }
+  }
+  if (!options.admin.trace_out.empty()) {
+    if (obs::WriteChromeTrace(options.admin.trace_out)) {
+      std::printf("trace written to %s (open in chrome://tracing)\n",
+                  options.admin.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n",
+                   options.admin.trace_out.c_str());
+    }
+  }
   return 0;
 }
 
@@ -170,7 +234,8 @@ int main(int argc, char** argv) {
         "usage: %s --replica HOST:PORT [--replica HOST:PORT ...] [--port P]"
         " [--bind ADDR] [--vnodes N] [--workers N] [--probe-interval-ms D]"
         " [--probe-fail-threshold N] [--degrade-queue-depth N]"
-        " [--max-retries N] [--forward-timeout-ms D] [--hold-s S]\n",
+        " [--max-retries N] [--forward-timeout-ms D] [--hold-s S]"
+        " [--trace-sample N] [--metrics-json PATH] [--trace-out PATH]\n",
         argv[0]);
     return 2;
   }

@@ -88,8 +88,6 @@ namespace {
 struct ServeOptions {
   std::string checkpoint;
   std::string dataset = "beauty_sim";
-  std::string metrics_json_path;
-  std::string trace_out_path;
   std::string quantize;  // "" (fp32) or "int8".
   Index requests = 2000;
   Index k = 10;
@@ -104,8 +102,6 @@ bool ParseArgs(int argc, char** argv, ServeOptions* options) {
   tools::FlagParser parser;
   parser.String("--checkpoint", &options->checkpoint);
   parser.String("--dataset", &options->dataset);
-  parser.String("--metrics-json", &options->metrics_json_path);
-  parser.String("--trace-out", &options->trace_out_path);
   parser.String("--quantize", &options->quantize);
   parser.Int("--requests", &options->requests);
   parser.Int("--k", &options->k);
@@ -207,8 +203,8 @@ int RunServe(const ServeOptions& options) {
 // return path of Run() still flushes.
 struct ObsExporter {
   explicit ObsExporter(const ServeOptions& options)
-      : metrics_path(options.metrics_json_path),
-        trace_path(options.trace_out_path) {
+      : metrics_path(options.admin.metrics_json),
+        trace_path(options.admin.trace_out) {
     if (!metrics_path.empty()) obs::EnableMetrics(true);
     if (!trace_path.empty()) obs::EnableTracing(true);
   }
