@@ -73,7 +73,8 @@ double RunDefaultConfigQps(core::IsrecModel& model,
   engine_config.num_threads = 4;
   engine_config.max_batch_size = 32;
   engine_config.batch_window_us = 500;
-  serve::ServingEngine engine(model, dataset.num_items, engine_config);
+  serve::ServingEngine engine(
+      serve::ServableModel::Wrap(model, dataset.num_items), engine_config);
   engine.ResetStats();
   std::vector<std::future<Outcome<serve::Recommendation>>> futures;
   futures.reserve(requests.size());
@@ -163,7 +164,8 @@ struct BenchReplica {
     config.num_threads = 2;
     config.max_batch_size = 32;
     config.batch_window_us = 200;
-    engine = std::make_unique<serve::ServingEngine>(model, num_items, config);
+    engine = std::make_unique<serve::ServingEngine>(
+        serve::ServableModel::Wrap(model, num_items), config);
     obs::AdminServerConfig admin_config;
     admin_config.num_workers = 4;
     admin = std::make_unique<obs::AdminServer>(admin_config);
@@ -219,6 +221,79 @@ double RunFleetArmQps(core::IsrecModel& model, const data::Dataset& dataset,
   obs::EnableRequestTracing(false);
   obs::EnableTracing(false);
   return qps;
+}
+
+/// Hot-swap latency arm: publish fresh ServableModel generations into a
+/// live engine under traffic and measure publish -> first response
+/// answered by the new version. Also a correctness gate: every request
+/// fired across the swaps must come back valued (no request dropped or
+/// failed because a swap was in flight).
+struct HotSwapResult {
+  int swaps = 0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+  long requests = 0;
+  long not_ok = 0;
+  bool ok = false;
+};
+
+HotSwapResult RunHotSwapArm(core::IsrecModel& model,
+                            const data::Dataset& dataset,
+                            const std::vector<serve::Request>& requests) {
+  constexpr int kSwaps = 10;
+  constexpr int kInflightPerSwap = 32;
+  serve::EngineConfig config;
+  config.num_threads = 4;
+  config.max_batch_size = 32;
+  config.batch_window_us = 200;
+  serve::ServingEngine engine(
+      serve::ServableModel::Wrap(model, dataset.num_items), config);
+  HotSwapResult result;
+  std::vector<double> latencies;
+  size_t next = 0;
+  for (int s = 0; s < kSwaps; ++s) {
+    // Load in flight across the swap boundary: these were submitted
+    // against the old version and may be answered by either side.
+    std::vector<std::future<Outcome<serve::Recommendation>>> inflight;
+    inflight.reserve(kInflightPerSwap);
+    for (int i = 0; i < kInflightPerSwap; ++i) {
+      inflight.push_back(
+          engine.RecommendAsync(requests[next++ % requests.size()]));
+    }
+    Stopwatch sw;
+    const Outcome<uint64_t> published =
+        engine.Publish(serve::ServableModel::Wrap(model, dataset.num_items));
+    if (!published.ok()) {
+      std::fprintf(stderr, "hot-swap publish failed: %s\n",
+                   published.status().ToString().c_str());
+      return result;
+    }
+    const uint64_t version = published.value();
+    double latency_ms = -1.0;
+    while (latency_ms < 0.0) {
+      const Outcome<serve::Recommendation> outcome =
+          engine.RecommendAsync(requests[next++ % requests.size()]).get();
+      ++result.requests;
+      if (!outcome.ok()) {
+        ++result.not_ok;
+      } else if (outcome.value().model_version == version) {
+        latency_ms = sw.ElapsedSeconds() * 1000.0;
+      }
+    }
+    latencies.push_back(latency_ms);
+    ++result.swaps;
+    for (auto& future : inflight) {
+      const Outcome<serve::Recommendation> outcome = future.get();
+      ++result.requests;
+      if (!outcome.ok()) ++result.not_ok;
+    }
+  }
+  for (double ms : latencies) {
+    result.mean_ms += ms / latencies.size();
+    result.max_ms = std::max(result.max_ms, ms);
+  }
+  result.ok = result.swaps == kSwaps && result.not_ok == 0;
+  return result;
 }
 
 int Run(const std::string& out_path) {
@@ -282,7 +357,8 @@ int Run(const std::string& out_path) {
     engine_config.num_threads = point.threads;
     engine_config.max_batch_size = point.max_batch;
     engine_config.batch_window_us = point.window_us;
-    serve::ServingEngine engine(model, dataset.num_items, engine_config);
+    serve::ServingEngine engine(
+        serve::ServableModel::Wrap(model, dataset.num_items), engine_config);
     engine.ResetStats();
     std::vector<std::future<Outcome<serve::Recommendation>>> futures;
     futures.reserve(requests.size());
@@ -389,6 +465,14 @@ int Run(const std::string& out_path) {
                 fleet_delta_pct, kFleetAcceptancePct);
   }
 
+  // Hot model swap under load: publish -> first new-version response.
+  std::printf("hot-swap arm (10 publishes under load)...\n");
+  const HotSwapResult swap = RunHotSwapArm(model, dataset, requests);
+  std::printf("hot swap: %d swaps, publish->first-new-version %.2f ms mean "
+              "/ %.2f ms max, %ld requests, %ld not-ok%s\n",
+              swap.swaps, swap.mean_ms, swap.max_ms, swap.requests,
+              swap.not_ok, swap.ok ? "" : " (FAILED)");
+
   Table table({"threads", "max_batch", "window_us", "qps", "p50_ms", "p95_ms",
                "p99_ms", "mean_batch", "speedup", "identical"});
   table.AddRow({"1 (sequential Score)", "-", "-", FormatFloat(baseline_qps, 1),
@@ -445,6 +529,13 @@ int Run(const std::string& out_path) {
                "\"acceptance_pct\": %.1f, \"within_acceptance\": %s},\n",
                qps_fleet_off, qps_fleet_on, fleet_delta_pct,
                kFleetAcceptancePct, fleet_within ? "true" : "false");
+  std::fprintf(out,
+               "  \"hot_swap\": {\"swaps\": %d, "
+               "\"publish_to_first_new_version_mean_ms\": %.3f, "
+               "\"publish_to_first_new_version_max_ms\": %.3f, "
+               "\"requests\": %ld, \"not_ok\": %ld, \"ok\": %s},\n",
+               swap.swaps, swap.mean_ms, swap.max_ms, swap.requests,
+               swap.not_ok, swap.ok ? "true" : "false");
   std::fprintf(out, "  \"metrics\": %s}\n", obs::DumpMetricsJson().c_str());
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
@@ -452,6 +543,7 @@ int Run(const std::string& out_path) {
   for (const GridResult& r : results) {
     if (!r.identical) return 1;  // Batched top-K must match sequential.
   }
+  if (!swap.ok) return 1;  // Every request across 10 swaps must answer OK.
   return 0;
 }
 

@@ -1,0 +1,131 @@
+#include "data/stream.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace isrec::data {
+namespace {
+
+/// Parses one "user item" line. Returns false on anything else —
+/// missing fields, trailing junk, negative or non-numeric ids.
+bool ParseEventLine(const std::string& line, Interaction* event) {
+  long long user = 0;
+  long long item = 0;
+  int consumed = 0;
+  if (std::sscanf(line.c_str(), " %lld %lld %n", &user, &item, &consumed) != 2) {
+    return false;
+  }
+  if (static_cast<size_t>(consumed) != line.size()) return false;
+  if (user < 0 || item < 0) return false;
+  event->user = static_cast<Index>(user);
+  event->item = static_cast<Index>(item);
+  return true;
+}
+
+}  // namespace
+
+Status AppendEventStream(const std::string& path,
+                         const std::vector<Interaction>& events) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open event stream for append: " +
+                                   path + " (" + std::strerror(errno) + ")");
+  }
+  for (const Interaction& event : events) {
+    std::fprintf(f, "%lld %lld\n", static_cast<long long>(event.user),
+                 static_cast<long long>(event.item));
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+std::vector<Interaction> FreshTailEvents(const Dataset& dataset) {
+  std::vector<Interaction> events;
+  events.reserve(dataset.sequences.size());
+  for (size_t user = 0; user < dataset.sequences.size(); ++user) {
+    const std::vector<Index>& sequence = dataset.sequences[user];
+    if (sequence.empty()) continue;
+    events.push_back(
+        Interaction{static_cast<Index>(user), sequence.back()});
+  }
+  return events;
+}
+
+Index ApplyEvents(const std::vector<Interaction>& events, Dataset* dataset) {
+  Index applied = 0;
+  for (const Interaction& event : events) {
+    if (event.user < 0 ||
+        event.user >= static_cast<Index>(dataset->sequences.size()) ||
+        event.item < 0 || event.item >= dataset->num_items) {
+      continue;
+    }
+    dataset->sequences[static_cast<size_t>(event.user)].push_back(event.item);
+    ++applied;
+  }
+  return applied;
+}
+
+Outcome<std::vector<Interaction>> EventStreamTailer::Poll() {
+  std::vector<Interaction> events;
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) {
+    // Not an error: the producer may simply not have written yet.
+    return events;
+  }
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::InvalidArgument("cannot seek event stream: " + path_);
+  }
+  const long end = std::ftell(f);
+  if (end < 0) {
+    std::fclose(f);
+    return Status::InvalidArgument("cannot tell event stream size: " + path_);
+  }
+  if (static_cast<uint64_t>(end) < offset_) {
+    std::fclose(f);
+    return Status::InvalidArgument(
+        "event stream shrank below consumed offset (" + path_ +
+        " truncated? restart the tailer)");
+  }
+  if (static_cast<uint64_t>(end) == offset_) {
+    std::fclose(f);
+    return events;
+  }
+  std::fseek(f, static_cast<long>(offset_), SEEK_SET);
+  std::string chunk(static_cast<size_t>(end - static_cast<long>(offset_)),
+                    '\0');
+  const size_t read = std::fread(chunk.data(), 1, chunk.size(), f);
+  std::fclose(f);
+  chunk.resize(read);
+  offset_ += read;
+
+  // Split on newlines; anything after the last newline is a torn write
+  // still in progress — buffer it for the next Poll.
+  std::string buffer = partial_ + chunk;
+  size_t start = 0;
+  size_t newline = 0;
+  while ((newline = buffer.find('\n', start)) != std::string::npos) {
+    const std::string line = buffer.substr(start, newline - start);
+    start = newline + 1;
+    if (line.empty()) continue;
+    Interaction event;
+    if (ParseEventLine(line, &event)) {
+      events.push_back(event);
+    } else {
+      ++malformed_lines_;
+    }
+  }
+  partial_ = buffer.substr(start);
+  events_seen_ += events.size();
+  if (obs::MetricsEnabled() && !events.empty()) {
+    static obs::Counter& ingested =
+        obs::GetCounter("serve.stream_events_ingested");
+    ingested.Add(events.size());
+  }
+  return events;
+}
+
+}  // namespace isrec::data

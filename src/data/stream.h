@@ -1,0 +1,82 @@
+#ifndef ISREC_DATA_STREAM_H_
+#define ISREC_DATA_STREAM_H_
+
+// Interaction event stream: the online-learning ingest path (DESIGN.md
+// §13). Producers append "user item\n" lines to a plain text log (the
+// synthetic generator's --emit-stream mode, or any real logging
+// pipeline); an EventStreamTailer incrementally reads the newly appended
+// suffix, and ApplyEvents folds the events into a training Dataset so
+// the next incremental TrainEpoch sees the fresh tail.
+//
+// The wire format is deliberately the simplest thing a shell pipeline
+// can produce (`echo "42 7" >> events.log`): one interaction per line,
+// two non-negative integers, whitespace-separated. Malformed lines are
+// counted and skipped, never fatal — a live ingest loop must survive a
+// torn write.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+#include "utils/status.h"
+
+namespace isrec::data {
+
+/// One user->item interaction event.
+struct Interaction {
+  Index user = 0;
+  Index item = 0;
+
+  friend bool operator==(const Interaction&, const Interaction&) = default;
+};
+
+/// Appends `events` to the stream log at `path` (created if missing),
+/// one "user item\n" line each. Returns kInvalidArgument if the file
+/// cannot be opened for append.
+Status AppendEventStream(const std::string& path,
+                         const std::vector<Interaction>& events);
+
+/// The synthetic generator's --emit-stream payload: each user's most
+/// recent interaction (their sequence's last item) in user order —
+/// exactly the events a live system would log after the training
+/// snapshot that leave-one-out evaluation holds out.
+std::vector<Interaction> FreshTailEvents(const Dataset& dataset);
+
+/// Appends each in-range event to its user's sequence. Events whose
+/// user or item id falls outside the dataset's vocabulary are skipped
+/// (an online model cannot grow its embedding tables mid-flight; those
+/// events wait for the next full retrain). Returns the number applied.
+Index ApplyEvents(const std::vector<Interaction>& events, Dataset* dataset);
+
+/// Incrementally tails a stream log: each Poll() returns the complete
+/// lines appended since the previous Poll(), tracking a byte offset and
+/// buffering any trailing partial line until its newline arrives. A
+/// missing file is not an error (the producer may not have started yet);
+/// a file that SHRANK below the consumed offset is (truncation means the
+/// tailer's position is meaningless — restart from a fresh tailer).
+class EventStreamTailer {
+ public:
+  explicit EventStreamTailer(std::string path) : path_(std::move(path)) {}
+
+  /// Reads newly appended complete events. Malformed lines are counted
+  /// in malformed_lines() and skipped.
+  Outcome<std::vector<Interaction>> Poll();
+
+  const std::string& path() const { return path_; }
+  uint64_t bytes_consumed() const { return offset_; }
+  uint64_t events_seen() const { return events_seen_; }
+  uint64_t malformed_lines() const { return malformed_lines_; }
+
+ private:
+  std::string path_;
+  uint64_t offset_ = 0;
+  std::string partial_;  // Bytes after the last newline seen so far.
+  uint64_t events_seen_ = 0;
+  uint64_t malformed_lines_ = 0;
+};
+
+}  // namespace isrec::data
+
+#endif  // ISREC_DATA_STREAM_H_

@@ -87,11 +87,10 @@ void SaveParameters(const Module& module, const std::string& path) {
   std::fclose(f);
 }
 
-bool TryLoadParameters(Module& module, std::FILE* f, std::string* error) {
+Status TryLoadParameters(Module& module, std::FILE* f) {
   ISREC_CHECK(f != nullptr);
-  auto fail = [error](const std::string& message) {
-    if (error != nullptr) *error = message;
-    return false;
+  auto fail = [](const std::string& message) {
+    return Status::ModelError(message);
   };
   uint32_t magic = 0;
   uint64_t count = 0;
@@ -146,12 +145,12 @@ bool TryLoadParameters(Module& module, std::FILE* f, std::string* error) {
       return fail("truncated parameter blob (short data for " + name + ")");
     }
   }
-  return true;
+  return Status::Ok();
 }
 
 void LoadParameters(Module& module, std::FILE* f) {
-  std::string error;
-  ISREC_CHECK_MSG(TryLoadParameters(module, f, &error), error);
+  const Status status = TryLoadParameters(module, f);
+  ISREC_CHECK_MSG(status.ok(), status.message());
 }
 
 bool LoadParameters(Module& module, const std::string& path) {

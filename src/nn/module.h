@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "utils/status.h"
 
 namespace isrec::nn {
 
@@ -71,11 +72,12 @@ void SaveParameters(const Module& module, std::FILE* file);
 void LoadParameters(Module& module, std::FILE* file);
 
 /// As LoadParameters(module, file), but reports a truncated or malformed
-/// blob by returning false (diagnostic in *error) instead of
-/// CHECK-failing, so callers holding untrusted files (e.g.
-/// serve::LoadCheckpoint) can reject them gracefully. On failure the
-/// module's parameters may be partially overwritten.
-bool TryLoadParameters(Module& module, std::FILE* file, std::string* error);
+/// blob as a typed kModelError status (magic mismatch, truncation,
+/// name/shape mismatch) instead of CHECK-failing, so callers holding
+/// untrusted files (e.g. serve::ServableModel::Load) can reject them
+/// gracefully. On failure the module's parameters may be partially
+/// overwritten.
+Status TryLoadParameters(Module& module, std::FILE* file);
 
 }  // namespace isrec::nn
 

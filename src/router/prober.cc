@@ -121,6 +121,7 @@ void Prober::ProbeOne(const std::string& name, const std::string& host,
   // zero load — liveness, not introspection, gates routability.
   uint64_t queue_depth = 0;
   bool shedding = false;
+  uint64_t model_version = 0;
   // Timestamps around the /varz exchange double as a clock-offset
   // measurement (midpoint method): if the reply carries the replica's
   // trace clock t1, then offset ≈ t1 − (t0+t2)/2 with error ≤ rtt/2.
@@ -139,6 +140,11 @@ void Prober::ProbeOne(const std::string& name, const std::string& host,
         if (const json::JsonValue* shed = stats->Find("shedding")) {
           if (shed->kind == json::JsonValue::kBool) {
             shedding = shed->boolean;
+          }
+        }
+        if (const json::JsonValue* version = stats->Find("model_version")) {
+          if (version->kind == json::JsonValue::kNumber) {
+            model_version = static_cast<uint64_t>(version->number);
           }
         }
       }
@@ -163,7 +169,8 @@ void Prober::ProbeOne(const std::string& name, const std::string& host,
     }
   }
   table_.ApplyProbe(name, /*healthy=*/true, queue_depth, shedding,
-                    config_.degrade_queue_depth, config_.fail_threshold, "");
+                    config_.degrade_queue_depth, config_.fail_threshold, "",
+                    model_version);
 }
 
 }  // namespace isrec::router

@@ -131,7 +131,8 @@ void ReplicaTable::ReleaseTarget(const std::string& name,
 void ReplicaTable::ApplyProbe(const std::string& name, bool healthy,
                               uint64_t queue_depth, bool shedding,
                               uint64_t degrade_queue_depth, int fail_threshold,
-                              const std::string& error) {
+                              const std::string& error,
+                              uint64_t model_version) {
   std::lock_guard<std::mutex> lock(mutex_);
   Entry* entry = FindLocked(name);
   if (entry == nullptr) return;
@@ -140,6 +141,7 @@ void ReplicaTable::ApplyProbe(const std::string& name, bool healthy,
     entry->probes_ok += 1;
     entry->queue_depth = queue_depth;
     entry->shedding = shedding;
+    entry->model_version = model_version;
     entry->last_error.clear();
     if (entry->state != ReplicaState::kDraining) {
       entry->state = (shedding || queue_depth >= degrade_queue_depth)
@@ -221,6 +223,7 @@ ReplicaSnapshot ReplicaTable::SnapshotEntry(const Entry& entry) {
   snapshot.in_flight = entry.in_flight;
   snapshot.queue_depth = entry.queue_depth;
   snapshot.shedding = entry.shedding;
+  snapshot.model_version = entry.model_version;
   snapshot.consecutive_probe_failures = entry.consecutive_probe_failures;
   snapshot.probes_ok = entry.probes_ok;
   snapshot.probes_failed = entry.probes_failed;

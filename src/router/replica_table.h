@@ -44,6 +44,10 @@ struct ReplicaSnapshot {
   uint64_t in_flight = 0;          // Requests the router forwarded, unanswered.
   uint64_t queue_depth = 0;        // Replica-reported, from /varz.
   bool shedding = false;           // Replica-reported, from /varz.
+  uint64_t model_version = 0;      // Replica-reported, from /varz. With
+                                   // hot swaps in play, differing values
+                                   // across replicas = version skew
+                                   // (visible on the router /statusz).
   int consecutive_probe_failures = 0;
   uint64_t probes_ok = 0;
   uint64_t probes_failed = 0;
@@ -112,7 +116,7 @@ class ReplicaTable {
   void ApplyProbe(const std::string& name, bool healthy,
                   uint64_t queue_depth, bool shedding,
                   uint64_t degrade_queue_depth, int fail_threshold,
-                  const std::string& error);
+                  const std::string& error, uint64_t model_version = 0);
 
   /// Records one clock-offset measurement for `name` (prober, midpoint
   /// method: offset = replica_clock − (t0+t2)/2 with rtt = t2−t0). The
@@ -151,6 +155,7 @@ class ReplicaTable {
     uint64_t in_flight = 0;
     uint64_t queue_depth = 0;
     bool shedding = false;
+    uint64_t model_version = 0;
     int consecutive_probe_failures = 0;
     uint64_t probes_ok = 0;
     uint64_t probes_failed = 0;

@@ -560,6 +560,7 @@ std::string Router::VarzJson() const {
     out += ", \"in_flight\": " + std::to_string(r.in_flight);
     out += ", \"queue_depth\": " + std::to_string(r.queue_depth);
     out += std::string(", \"shedding\": ") + (r.shedding ? "true" : "false");
+    out += ", \"model_version\": " + std::to_string(r.model_version);
     out += ", \"forwarded\": " + std::to_string(r.forwarded);
     out += ", \"transport_errors\": " + std::to_string(r.transport_errors);
     out += ", \"probes_ok\": " + std::to_string(r.probes_ok);
@@ -584,9 +585,12 @@ std::string Router::VarzJson() const {
 std::string Router::StatuszHtml() const {
   std::string out =
       "<table><tr><th>replica</th><th>address</th><th>state</th>"
-      "<th>in-flight</th><th>queue</th><th>shedding</th><th>forwarded</th>"
+      "<th>in-flight</th><th>queue</th><th>shedding</th><th>model</th>"
+      "<th>forwarded</th>"
       "<th>transport errors</th><th>probes ok/failed</th>"
       "<th>last error</th></tr>";
+  // Differing model versions across rows = rolling-swap skew in
+  // progress (or a replica whose reload failed) — visible at a glance.
   for (const ReplicaSnapshot& r : table_.SnapshotAll()) {
     out += "<tr><td>" + r.name + "</td>";
     out += "<td>" + r.host + ":" + std::to_string(r.port) + "</td>";
@@ -594,6 +598,7 @@ std::string Router::StatuszHtml() const {
     out += "<td>" + std::to_string(r.in_flight) + "</td>";
     out += "<td>" + std::to_string(r.queue_depth) + "</td>";
     out += std::string("<td>") + (r.shedding ? "yes" : "no") + "</td>";
+    out += "<td>v" + std::to_string(r.model_version) + "</td>";
     out += "<td>" + std::to_string(r.forwarded) + "</td>";
     out += "<td>" + std::to_string(r.transport_errors) + "</td>";
     out += "<td>" + std::to_string(r.probes_ok) + "/" +

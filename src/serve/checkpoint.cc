@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -50,9 +51,9 @@ void WriteIndexVec(std::FILE* f, const std::vector<Index>& v) {
 }
 
 // Fail-soft reader: the first short read (or implausible length prefix)
-// latches ok=false, every later read returns zeros, and LoadCheckpoint
-// rejects the file in one place — a truncated or corrupt checkpoint must
-// produce a null ServableModel, not a CHECK abort.
+// latches ok=false, every later read returns zeros, and Load rejects the
+// file in one place — a truncated or corrupt checkpoint must produce a
+// typed kModelError, not a CHECK abort.
 struct Reader {
   std::FILE* f = nullptr;
   bool ok = true;
@@ -245,9 +246,34 @@ std::unique_ptr<data::Dataset> ReadVocab(Reader& r) {
   return d;
 }
 
+void WritePrior(std::FILE* f, const data::Dataset& d) {
+  std::vector<float> counts(static_cast<size_t>(d.num_items), 0.0f);
+  for (const auto& sequence : d.sequences) {
+    for (Index item : sequence) {
+      if (item >= 0 && item < d.num_items) {
+        counts[static_cast<size_t>(item)] += 1.0f;
+      }
+    }
+  }
+  WriteU64(f, counts.size());
+  for (float c : counts) WriteF32(f, c);
+}
+
+std::vector<float> ReadPrior(Reader& r, Index num_items) {
+  const uint64_t n = ReadU64(r);
+  if (!r.ok || static_cast<Index>(n) != num_items || n > kMaxVecLen) {
+    r.ok = false;
+    return {};
+  }
+  std::vector<float> prior(n);
+  for (uint64_t i = 0; i < n && r.ok; ++i) prior[i] = ReadF32(r);
+  return prior;
+}
+
 }  // namespace
 
-void SaveCheckpoint(const core::IsrecModel& model, const std::string& path) {
+void SaveCheckpoint(const core::IsrecModel& model, const std::string& path,
+                    uint64_t epoch) {
   ISREC_TRACE_SPAN("checkpoint.save");
   const Stopwatch sw;
   const data::Dataset* dataset = model.dataset();
@@ -257,8 +283,10 @@ void SaveCheckpoint(const core::IsrecModel& model, const std::string& path) {
   ISREC_CHECK_MSG(f != nullptr, "cannot open " << path << " for writing");
   WriteU32(f, kMagic);
   WriteU32(f, kCheckpointVersion);
+  WriteU64(f, epoch);
   WriteConfig(f, model.isrec_config());
   WriteVocab(f, *dataset);
+  WritePrior(f, *dataset);
   nn::SaveParameters(model, f);
   std::fclose(f);
   if (obs::MetricsEnabled()) {
@@ -270,73 +298,80 @@ void SaveCheckpoint(const core::IsrecModel& model, const std::string& path) {
 
 namespace {
 
-ServableModel LoadCheckpointImpl(const std::string& path) {
+Outcome<std::shared_ptr<ServableModel>> LoadImpl(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return {};
+  if (f == nullptr) {
+    return Status::ModelError("cannot open checkpoint: " + path);
+  }
+  // Every early return below closes f exactly once.
   Reader r{f};
   const uint32_t magic = ReadU32(r);
   if (!r.ok || magic != kMagic) {
-    ISREC_LOG(Warning) << "not an ISRec checkpoint: " << path;
     std::fclose(f);
-    return {};
+    return Status::ModelError("not an ISRec checkpoint (magic mismatch): " +
+                              path);
   }
   const uint32_t version = ReadU32(r);
   if (!r.ok || version != kCheckpointVersion) {
-    ISREC_LOG(Warning) << "checkpoint version " << version
-                       << " unsupported (want " << kCheckpointVersion
-                       << "): " << path;
     std::fclose(f);
-    return {};
+    return Status::ModelError("checkpoint version " +
+                              std::to_string(version) + " unsupported (want " +
+                              std::to_string(kCheckpointVersion) +
+                              "): " + path);
   }
+  const uint64_t epoch = ReadU64(r);
   const core::IsrecConfig config = ReadConfig(r);
   if (!r.ok || !ConfigLooksSane(config)) {
-    ISREC_LOG(Warning) << "corrupt checkpoint (bad config section): "
-                       << path;
     std::fclose(f);
-    return {};
+    return Status::ModelError("corrupt checkpoint (bad config section): " +
+                              path);
   }
 
-  ServableModel result;
-  result.dataset = ReadVocab(r);
+  auto result = std::make_shared<ServableModel>();
+  result->epoch = epoch;
+  result->dataset = ReadVocab(r);
   if (!r.ok) {
-    ISREC_LOG(Warning) << "corrupt checkpoint (bad vocabulary section): "
-                       << path;
     std::fclose(f);
-    return {};
+    return Status::ModelError(
+        "corrupt checkpoint (bad vocabulary section): " + path);
   }
-  result.model = std::make_unique<core::IsrecModel>(config);
+  result->popularity = ReadPrior(r, result->dataset->num_items);
+  if (!r.ok) {
+    std::fclose(f);
+    return Status::ModelError(
+        "corrupt checkpoint (bad popularity-prior section): " + path);
+  }
+  result->model = std::make_unique<core::IsrecModel>(config);
   // Build instantiates the exact module tree of the saved model (the
   // config and vocabulary fully determine every parameter shape), so the
   // blob restores by name 1:1.
-  result.model->Build(*result.dataset);
-  std::string error;
-  if (!nn::TryLoadParameters(*result.model, f, &error)) {
-    ISREC_LOG(Warning) << "corrupt checkpoint " << path << ": " << error;
-    std::fclose(f);
-    return {};
-  }
+  result->model->Build(*result->dataset);
+  const Status params = nn::TryLoadParameters(*result->model, f);
   std::fclose(f);
+  if (!params.ok()) {
+    return Status::ModelError("corrupt checkpoint " + path + ": " +
+                              params.message());
+  }
   return result;
 }
 
 }  // namespace
 
-ServableModel LoadCheckpoint(const std::string& path) {
-  return LoadCheckpoint(path, LoadOptions{});
-}
-
-ServableModel LoadCheckpoint(const std::string& path,
-                             const LoadOptions& options) {
+Outcome<std::shared_ptr<ServableModel>> ServableModel::Load(
+    const std::string& path, const LoadOptions& options) {
   ISREC_TRACE_SPAN("checkpoint.load");
   const Stopwatch sw;
-  ServableModel result = LoadCheckpointImpl(path);
-  if (result.model != nullptr &&
-      options.quantization == Quantization::kInt8) {
+  Outcome<std::shared_ptr<ServableModel>> result = LoadImpl(path);
+  if (result.ok() && options.quantization == Quantization::kInt8) {
     // Quantize the restored item table for int8 catalog scoring. The
     // fp32 model stays intact underneath (the scorer reuses its
     // encoder), so a replica can compare both paths from one load.
-    result.quantized = std::make_unique<QuantizedScorer>(
-        *result.model, result.dataset->num_items);
+    ServableModel& loaded = *result.value();
+    loaded.quantized = std::make_unique<QuantizedScorer>(
+        *loaded.model, loaded.dataset->num_items);
+  }
+  if (!result.ok()) {
+    ISREC_LOG(Warning) << result.status().message();
   }
   if (obs::MetricsEnabled()) {
     static obs::Histogram& load_ms = obs::GetHistogram(
@@ -344,9 +379,19 @@ ServableModel LoadCheckpoint(const std::string& path,
     static obs::Counter& failures =
         obs::GetCounter("serve.checkpoint_load_failures");
     load_ms.Observe(sw.ElapsedMillis());
-    if (result.model == nullptr) failures.Add(1);
+    if (!result.ok()) failures.Add(1);
   }
   return result;
+}
+
+std::shared_ptr<ServableModel> ServableModel::Wrap(
+    eval::Recommender& scorer, Index num_items,
+    std::vector<float> popularity) {
+  auto handle = std::make_shared<ServableModel>();
+  handle->external_scorer = &scorer;
+  handle->external_num_items = num_items;
+  handle->popularity = std::move(popularity);
+  return handle;
 }
 
 }  // namespace isrec::serve

@@ -1,33 +1,41 @@
 #ifndef ISREC_SERVE_CHECKPOINT_H_
 #define ISREC_SERVE_CHECKPOINT_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/isrec.h"
 #include "data/dataset.h"
 #include "eval/recommender.h"
 #include "serve/quantized.h"
+#include "utils/status.h"
 
 namespace isrec::serve {
 
 /// Version of the checkpoint container format. Bump whenever the layout
-/// below changes; LoadCheckpoint rejects files with a different version
-/// (forward/backward migration is out of scope — retrain or re-save).
+/// below changes; ServableModel::Load rejects files with a different
+/// version (forward/backward migration is out of scope — retrain or
+/// re-save).
 ///
 /// Layout (all integers little-endian, strings length-prefixed u64):
 ///   u32 magic "ISCK"
 ///   u32 version
+///   u64 epoch      : cumulative training epochs behind this artifact
 ///   config section : every IsrecConfig/SeqModelConfig field, fixed order
 ///   vocab section  : dataset name, num_users, num_items,
 ///                    item->concept lists (matrix E),
 ///                    concept graph (count, names, edge list)
+///   prior section  : per-item training interaction counts (f32 x
+///                    num_items) — the popularity prior degraded serving
+///                    falls back to
 ///   param section  : nn::SaveParameters blob (own magic + name/shape
 ///                    per tensor)
 /// User sequences are deliberately NOT stored: serving requests carry
 /// their own histories, and at production scale the interaction log does
 /// not belong in a model artifact.
-inline constexpr uint32_t kCheckpointVersion = 1;
+inline constexpr uint32_t kCheckpointVersion = 2;
 
 /// Post-load weight transform applied to the restored model's serving
 /// path. The checkpoint file itself always stores fp32 parameters;
@@ -43,44 +51,70 @@ struct LoadOptions {
   Quantization quantization = Quantization::kNone;
 };
 
-/// A model restored from a checkpoint, ready to Score. The dataset owns
-/// the vocabulary (item-concept matrix + intention graph) the model was
-/// built against and must stay alive as long as the model (the model
-/// keeps a pointer), hence the bundle.
+/// One immutable, refcounted serving artifact: a restored model plus
+/// everything the engine needs to score with it (vocabulary-owning
+/// dataset, optional int8 wrapper, popularity prior, training epoch).
+/// `ServingEngine` publishes these atomically via shared_ptr, so a
+/// ServableModel must never be mutated after Load/Wrap — a fresher model
+/// is a new ServableModel, never an edit to a live one.
 struct ServableModel {
   std::unique_ptr<data::Dataset> dataset;
   std::unique_ptr<core::IsrecModel> model;
   /// Set iff loaded with Quantization::kInt8 (wraps *model).
   std::unique_ptr<QuantizedScorer> quantized;
+  /// Cumulative training epochs behind this artifact (checkpoint header).
+  uint64_t epoch = 0;
+  /// Per-item training interaction counts; the degraded-serving fallback
+  /// prior. Empty when the artifact predates the prior (Wrap without one).
+  std::vector<float> popularity;
 
-  /// The recommender serving traffic should score through: the int8
-  /// wrapper when quantization was requested, else the fp32 model.
-  /// nullptr iff the load failed.
-  eval::Recommender* scorer() {
+  /// The one canonical loading entry point: restores a checkpoint
+  /// written by SaveCheckpoint — rebuilds the model from the stored
+  /// config and vocabulary, restores the parameters (scores are
+  /// bitwise-identical to the saved model's), and applies
+  /// options.quantization to the serving path. Every failure mode —
+  /// unopenable file, magic mismatch, version mismatch, corrupt
+  /// config/vocab/prior section, truncated or mismatched parameter blob —
+  /// returns a typed kModelError status instead of a handle.
+  static Outcome<std::shared_ptr<ServableModel>> Load(
+      const std::string& path, const LoadOptions& options = {});
+
+  /// Wraps an external recommender so tests and benches can drive a
+  /// ServingEngine without a checkpoint on disk. The recommender is NOT
+  /// owned and must outlive the returned handle (and every engine it is
+  /// published to). `popularity`, when given, sizes num_items items.
+  static std::shared_ptr<ServableModel> Wrap(
+      eval::Recommender& scorer, Index num_items,
+      std::vector<float> popularity = {});
+
+  /// The recommender serving traffic should score through: the external
+  /// scorer for Wrap handles, else the int8 wrapper when quantization
+  /// was requested, else the fp32 model. Never nullptr on a handle
+  /// obtained from Load or Wrap.
+  eval::Recommender* scorer() const {
+    if (external_scorer != nullptr) return external_scorer;
     if (quantized != nullptr) return quantized.get();
     return model.get();
   }
+
+  /// Catalog size requests are validated against.
+  Index num_items() const {
+    if (dataset != nullptr) return dataset->num_items;
+    return external_num_items;
+  }
+
+  // Wrap() internals (public so aggregate init stays trivial; use Wrap).
+  eval::Recommender* external_scorer = nullptr;
+  Index external_num_items = 0;
 };
 
-/// Serializes a trained IsrecModel — config, vocabulary, and all
-/// parameters — into one versioned binary file at `path`. The model must
-/// have been Fit (or Build+LoadParameters) so it is bound to a dataset.
-void SaveCheckpoint(const core::IsrecModel& model, const std::string& path);
-
-/// Restores a checkpoint written by SaveCheckpoint: rebuilds the model
-/// from the stored config and vocabulary, then restores the parameters.
-/// Scores from the result are bitwise-identical to the saved model's.
-/// Returns {nullptr, nullptr} (with a logged warning) if the file cannot
-/// be opened, is not a checkpoint, has a different version, or is
-/// truncated/corrupt in any section.
-ServableModel LoadCheckpoint(const std::string& path);
-
-/// As above, optionally quantizing the restored item table for serving
-/// (options.quantization == kInt8 builds ServableModel::quantized).
-/// Quantization happens after the fp32 parameters are restored; a failed
-/// load never reaches it.
-ServableModel LoadCheckpoint(const std::string& path,
-                             const LoadOptions& options);
+/// Serializes a trained IsrecModel — config, vocabulary, popularity
+/// prior, and all parameters — into one versioned binary file at `path`.
+/// The model must have been Fit (or Build+LoadParameters) so it is bound
+/// to a dataset. `epoch` records the cumulative training epochs behind
+/// the artifact and round-trips through ServableModel::epoch.
+void SaveCheckpoint(const core::IsrecModel& model, const std::string& path,
+                    uint64_t epoch = 0);
 
 }  // namespace isrec::serve
 

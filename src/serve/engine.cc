@@ -25,6 +25,12 @@ void SetQueueDepth(size_t depth) {
   gauge.Set(static_cast<double>(depth));
 }
 
+void SetModelVersionGauge(uint64_t version) {
+  if (!obs::MetricsEnabled()) return;
+  static obs::Gauge& gauge = obs::GetGauge("serve.model_version");
+  gauge.Set(static_cast<double>(version));
+}
+
 // FNV-1a, mixing every field that determines the response.
 uint64_t HashCombine(uint64_t hash, uint64_t value) {
   constexpr uint64_t kPrime = 1099511628211ull;
@@ -38,12 +44,58 @@ double MsSince(Clock::time_point start, Clock::time_point end) {
   return std::chrono::duration<double, std::milli>(end - start).count();
 }
 
+/// Builds the next ModelHandle generation around a validated servable.
+std::shared_ptr<const ModelHandle> MakeHandle(
+    std::shared_ptr<ServableModel> servable, uint64_t version) {
+  auto handle = std::make_shared<ModelHandle>();
+  handle->version = version;
+  handle->catalog.resize(servable->num_items());
+  std::iota(handle->catalog.begin(), handle->catalog.end(), 0);
+  handle->servable = std::move(servable);
+  return handle;
+}
+
+/// Shared by the constructor and Publish: everything that disqualifies a
+/// ServableModel from going live, checked WITHOUT touching engine state.
+/// The probe smoke-score proves the scorer can actually answer a request
+/// shaped like production traffic before any real request reaches it.
+Status ValidateServable(const std::shared_ptr<ServableModel>& model) {
+  if (model == nullptr) {
+    return Status::ModelError("publish rejected: null ServableModel");
+  }
+  if (model->scorer() == nullptr) {
+    return Status::ModelError("publish rejected: ServableModel has no scorer");
+  }
+  const Index num_items = model->num_items();
+  if (num_items <= 0) {
+    return Status::ModelError("publish rejected: empty catalog (num_items=" +
+                              std::to_string(num_items) + ")");
+  }
+  std::vector<Index> probe_candidates(
+      static_cast<size_t>(std::min<Index>(num_items, 8)));
+  std::iota(probe_candidates.begin(), probe_candidates.end(), 0);
+  const Outcome<std::vector<std::vector<float>>> probe =
+      model->scorer()->TryScoreBatch({0}, {{0}}, {probe_candidates});
+  if (!probe.has_value()) {
+    return Status::ModelError(
+        "publish rejected: probe batch failed to score (" +
+        probe.status().ToString() + ")");
+  }
+  if (probe.value().size() != 1 ||
+      probe.value()[0].size() != probe_candidates.size()) {
+    return Status::ModelError(
+        "publish rejected: probe batch returned malformed scores");
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 size_t RequestKeyHash::operator()(const RequestKey& key) const {
   uint64_t hash = 14695981039346656037ull;
   hash = HashCombine(hash, static_cast<uint64_t>(key.user));
   hash = HashCombine(hash, static_cast<uint64_t>(key.k));
+  hash = HashCombine(hash, key.model_version);
   hash = HashCombine(hash, key.history.size());
   for (Index item : key.history) {
     hash = HashCombine(hash, static_cast<uint64_t>(item));
@@ -79,23 +131,26 @@ Recommendation TopK(const std::vector<float>& scores,
   return result;
 }
 
-ServingEngine::ServingEngine(eval::Recommender& model, Index num_items,
+ServingEngine::ServingEngine(std::shared_ptr<ServableModel> model,
                              EngineConfig config)
-    : model_(model),
-      config_(config),
+    : config_(config),
       fault_(config.fault.enabled() ? config.fault : FaultConfigFromEnv()) {
   ISREC_CHECK_GT(config.num_threads, 0);
   ISREC_CHECK_GT(config.max_batch_size, 0);
   ISREC_CHECK_GT(config.queue_capacity, 0);
   ISREC_CHECK_GE(config.batch_window_us, 0);
-  ISREC_CHECK_GT(num_items, 0);
+  const Status valid = ValidateServable(model);
+  ISREC_CHECK_MSG(valid.ok(),
+                  "ServingEngine needs a servable model: " << valid.message());
+  live_ = MakeHandle(std::move(model), /*version=*/1);
+  live_version_.store(1, std::memory_order_release);
+  live_num_items_.store(live_->num_items(), std::memory_order_release);
+  SetModelVersionGauge(1);
   if (config.shed_high_watermark > 0) {
     ISREC_CHECK_GE(config.shed_low_watermark, 0);
     ISREC_CHECK_LE(config.shed_low_watermark, config.shed_high_watermark);
     ISREC_CHECK_LE(config.shed_high_watermark, config.queue_capacity);
   }
-  full_catalog_.resize(num_items);
-  std::iota(full_catalog_.begin(), full_catalog_.end(), 0);
   if (config.cache_capacity > 0) {
     cache_ =
         std::make_unique<LruCache<RequestKey, Recommendation, RequestKeyHash>>(
@@ -123,14 +178,59 @@ ServingEngine::~ServingEngine() {
     std::unique_lock<std::mutex> lock(queue_mutex_);
     leftovers.swap(queue_);
   }
+  // Release the engine's model reference BEFORE resolving leftover
+  // promises: with the workers joined, this drops the last engine-held
+  // pin, so a model generation swapped out during shutdown is freed here
+  // and can never be resurrected through the drain path below (which
+  // deliberately scores nothing and pins nothing).
+  {
+    std::lock_guard<std::mutex> lock(model_mutex_);
+    live_.reset();
+  }
   for (Pending& pending : leftovers) {
     Answer(std::move(pending),
-           FailOrDegrade(pending.request,
-                         Status::Overloaded("engine shut down")));
+           FailOrDegrade(pending.request, Status::Overloaded("engine shut down"),
+                         /*handle=*/nullptr));
   }
 }
 
-Status ServingEngine::ValidateRequest(const Request& request) const {
+std::shared_ptr<const ModelHandle> ServingEngine::CurrentModel() const {
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  return live_;
+}
+
+Outcome<uint64_t> ServingEngine::Publish(std::shared_ptr<ServableModel> model) {
+  ISREC_TRACE_SPAN("serve.publish");
+  if (Status valid = ValidateServable(model); !valid.ok()) {
+    if (obs::MetricsEnabled()) {
+      static obs::Counter& rejected =
+          obs::GetCounter("serve.model_publish_rejected");
+      rejected.Add(1);
+    }
+    return Outcome<uint64_t>(std::move(valid));
+  }
+  uint64_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(model_mutex_);
+    // The handle is fully constructed before the swap: a worker pinning
+    // concurrently sees either the old generation or the complete new
+    // one, never a partial state.
+    version = live_->version + 1;
+    live_ = MakeHandle(std::move(model), version);
+    live_num_items_.store(live_->num_items(), std::memory_order_release);
+    live_version_.store(version, std::memory_order_release);
+  }
+  model_swaps_.fetch_add(1, std::memory_order_relaxed);
+  SetModelVersionGauge(version);
+  if (obs::MetricsEnabled()) {
+    static obs::Counter& swaps = obs::GetCounter("serve.model_swaps");
+    swaps.Add(1);
+  }
+  return version;
+}
+
+Status ServingEngine::ValidateRequest(const Request& request,
+                                      Index num_items) const {
   if (request.k <= 0) {
     return Status::InvalidArgument("k must be > 0, got " +
                                    std::to_string(request.k));
@@ -138,7 +238,6 @@ Status ServingEngine::ValidateRequest(const Request& request) const {
   if (request.options.deadline_ms < 0.0) {
     return Status::InvalidArgument("deadline_ms must be >= 0");
   }
-  const Index num_items = static_cast<Index>(full_catalog_.size());
   for (Index item : request.history) {
     if (item < 0 || item >= num_items) {
       return Status::InvalidArgument(
@@ -157,25 +256,42 @@ Status ServingEngine::ValidateRequest(const Request& request) const {
 }
 
 Recommendation ServingEngine::FallbackRecommendation(
-    const Request& request) const {
+    const Request& request, const ModelHandle* handle) const {
+  const std::vector<float>& prior =
+      (handle != nullptr && !handle->popularity().empty())
+          ? handle->popularity()
+          : config_.fallback_scores;
+  // Without a pinned handle (shutdown drain) the prior itself bounds the
+  // catalog for full-catalog requests.
+  std::vector<Index> prior_catalog;
+  if (request.candidates.empty() && handle == nullptr) {
+    prior_catalog.resize(prior.size());
+    std::iota(prior_catalog.begin(), prior_catalog.end(), 0);
+  }
   const std::vector<Index>& candidates =
-      request.candidates.empty() ? full_catalog_ : request.candidates;
+      !request.candidates.empty()
+          ? request.candidates
+          : (handle != nullptr ? handle->catalog : prior_catalog);
   std::vector<float> scores;
   scores.reserve(candidates.size());
-  const Index known = static_cast<Index>(config_.fallback_scores.size());
+  const Index known = static_cast<Index>(prior.size());
   for (Index item : candidates) {
-    scores.push_back(item < known ? config_.fallback_scores[item] : 0.0f);
+    scores.push_back(item < known ? prior[item] : 0.0f);
   }
   return TopK(scores, candidates, request.k);
 }
 
 Outcome<Recommendation> ServingEngine::FailOrDegrade(const Request& request,
-                                                     Status error) {
-  if (request.options.allow_degraded && !config_.fallback_scores.empty()) {
+                                                     Status error,
+                                                     const ModelHandle* handle) {
+  const bool has_prior =
+      (handle != nullptr && !handle->popularity().empty()) ||
+      !config_.fallback_scores.empty();
+  if (request.options.allow_degraded && has_prior) {
     return Outcome<Recommendation>(
         Status::Degraded("popularity-prior fallback (" + error.ToString() +
                          ")"),
-        FallbackRecommendation(request));
+        FallbackRecommendation(request, handle));
   }
   return Outcome<Recommendation>(std::move(error));
 }
@@ -187,6 +303,14 @@ ServeStats ServingEngine::Stats() const {
     stats.queue_depth = queue_.size();
     stats.shedding = shedding_;
   }
+  {
+    std::lock_guard<std::mutex> lock(model_mutex_);
+    if (live_ != nullptr) {
+      stats.model_version = live_->version;
+      stats.model_epoch = live_->epoch();
+    }
+  }
+  stats.model_swaps = model_swaps_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -205,7 +329,13 @@ std::future<Outcome<Recommendation>> ServingEngine::RecommendAsync(
   if (request.id == 0) {
     request.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   }
-  if (Status invalid = ValidateRequest(request); !invalid.ok()) {
+  // Validation reads the live catalog size without pinning; if a swap
+  // lands between here and scoring, the worker re-validates against the
+  // generation it actually pins.
+  const uint64_t submit_version =
+      live_version_.load(std::memory_order_acquire);
+  const Index num_items = live_num_items_.load(std::memory_order_acquire);
+  if (Status invalid = ValidateRequest(request, num_items); !invalid.ok()) {
     Pending rejected;
     rejected.request = std::move(request);
     std::future<Outcome<Recommendation>> future =
@@ -215,6 +345,7 @@ std::future<Outcome<Recommendation>> ServingEngine::RecommendAsync(
   }
   Pending pending;
   pending.enqueued_at = start;
+  pending.submit_version = submit_version;
   pending.trace_submit_ns = obs::TracingEnabled() ? obs::TraceClockNs() : 0;
   pending.deadline =
       request.options.deadline_ms > 0.0
@@ -224,7 +355,7 @@ std::future<Outcome<Recommendation>> ServingEngine::RecommendAsync(
           : Clock::time_point::max();
   if (cache_ != nullptr) {
     pending.cache_key =
-        RequestKey{request.user, request.k, request.history,
+        RequestKey{request.user, request.k, submit_version, request.history,
                    request.candidates};
     if (std::optional<Recommendation> hit = cache_->Get(pending.cache_key)) {
       hit->from_cache = true;
@@ -309,25 +440,31 @@ std::future<Outcome<Recommendation>> ServingEngine::RecommendAsync(
     }
     SetQueueDepth(queue_.size());
   }
-  if (shed_victim.has_value()) {
-    if (shed_victim->trace_submit_ns != 0) {
-      obs::RecordRequestSpan("serve.req.shed", shed_victim->trace_submit_ns,
-                             obs::TraceClockNs(), shed_victim->request.id);
+  if (shed_victim.has_value() || !admitted) {
+    // Shed answers may degrade to the live model's popularity prior;
+    // pin it only on these cold paths (never per admitted request).
+    const std::shared_ptr<const ModelHandle> handle = CurrentModel();
+    if (shed_victim.has_value()) {
+      if (shed_victim->trace_submit_ns != 0) {
+        obs::RecordRequestSpan("serve.req.shed", shed_victim->trace_submit_ns,
+                               obs::TraceClockNs(), shed_victim->request.id);
+      }
+      Outcome<Recommendation> outcome = FailOrDegrade(
+          shed_victim->request,
+          Status::Overloaded("displaced by higher-priority request"),
+          handle.get());
+      Answer(std::move(*shed_victim), std::move(outcome));
     }
-    Outcome<Recommendation> outcome = FailOrDegrade(
-        shed_victim->request, Status::Overloaded("displaced by higher-"
-                                                 "priority request"));
-    Answer(std::move(*shed_victim), std::move(outcome));
-  }
-  if (!admitted) {
-    if (submit_ns != 0) {
-      obs::RecordRequestSpan("serve.req.shed", submit_ns, obs::TraceClockNs(),
-                             rid);
+    if (!admitted) {
+      if (submit_ns != 0) {
+        obs::RecordRequestSpan("serve.req.shed", submit_ns,
+                               obs::TraceClockNs(), rid);
+      }
+      Outcome<Recommendation> outcome = FailOrDegrade(
+          pending.request, std::move(reject_reason), handle.get());
+      Answer(std::move(pending), std::move(outcome));
+      return future;
     }
-    Outcome<Recommendation> outcome =
-        FailOrDegrade(pending.request, std::move(reject_reason));
-    Answer(std::move(pending), std::move(outcome));
-    return future;
   }
   if (submit_ns != 0) {
     obs::RecordRequestSpan("serve.req.enqueue", submit_ns, obs::TraceClockNs(),
@@ -403,10 +540,14 @@ void ServingEngine::WorkerLoop() {
       }
     }
     if (shutting_down) {
+      // The drain path pins NO model handle: leftovers are answered from
+      // the config-level prior (or plain kOverloaded) so shutdown never
+      // extends any model generation's lifetime.
       for (Pending& pending : drained) {
         Answer(std::move(pending),
                FailOrDegrade(pending.request,
-                             Status::Overloaded("engine shut down")));
+                             Status::Overloaded("engine shut down"),
+                             /*handle=*/nullptr));
       }
       return;
     }
@@ -441,6 +582,38 @@ void ServingEngine::WorkerLoop() {
 }
 
 void ServingEngine::ProcessBatch(std::vector<Pending> batch) {
+  // Pin the live model generation ONCE for the whole batch: every
+  // request below is scored by exactly this version, even if a Publish
+  // lands mid-score. The pin releases when `handle` leaves scope.
+  const std::shared_ptr<const ModelHandle> handle = CurrentModel();
+  ISREC_CHECK(handle != nullptr);
+  // Requests admitted under a different generation were validated
+  // against that generation's catalog; re-validate them against the one
+  // actually scoring (a shrunk catalog must reject, not index out of
+  // range). Requests submitted under this generation skip the re-check.
+  {
+    std::vector<Pending> still_valid;
+    still_valid.reserve(batch.size());
+    for (Pending& pending : batch) {
+      if (pending.submit_version != handle->version) {
+        Status revalidated =
+            ValidateRequest(pending.request, handle->num_items());
+        if (!revalidated.ok()) {
+          Answer(std::move(pending),
+                 Outcome<Recommendation>(std::move(revalidated)));
+          continue;
+        }
+        // Re-tag the cache key: entries must carry the version that
+        // produces them, so the second lookup and the Put below can
+        // never cross generations.
+        pending.cache_key.model_version = handle->version;
+        pending.submit_version = handle->version;
+      }
+      still_valid.push_back(std::move(pending));
+    }
+    batch = std::move(still_valid);
+    if (batch.empty()) return;
+  }
   // Second cache lookup: a duplicate request that was still in flight at
   // submit time (so its first lookup missed) may have completed while
   // this one waited in the queue. Bursts of repeated requests otherwise
@@ -478,7 +651,7 @@ void ServingEngine::ProcessBatch(std::vector<Pending> batch) {
     users.push_back(pending.request.user);
     histories.push_back(pending.request.history);
     candidate_lists.push_back(pending.request.candidates.empty()
-                                  ? full_catalog_
+                                  ? handle->catalog
                                   : pending.request.candidates);
   }
   const uint64_t score_start_ns =
@@ -491,7 +664,7 @@ void ServingEngine::ProcessBatch(std::vector<Pending> batch) {
       return Outcome<std::vector<std::vector<float>>>(
           Status::ModelError(e.what()));
     }
-    return model_.TryScoreBatch(users, histories, candidate_lists);
+    return handle->scorer().TryScoreBatch(users, histories, candidate_lists);
   }();
   const uint64_t score_end_ns = score_start_ns != 0 ? obs::TraceClockNs() : 0;
   if (score_end_ns != 0) {
@@ -513,7 +686,8 @@ void ServingEngine::ProcessBatch(std::vector<Pending> batch) {
     for (Pending& pending : batch) {
       const uint64_t rid = pending.request.id;
       const bool traced = pending.trace_submit_ns != 0 && score_end_ns != 0;
-      Answer(std::move(pending), FailOrDegrade(pending.request, error));
+      Answer(std::move(pending),
+             FailOrDegrade(pending.request, error, handle.get()));
       if (traced) {
         obs::RecordRequestSpan("serve.req.respond", score_end_ns,
                                obs::TraceClockNs(), rid);
@@ -536,8 +710,10 @@ void ServingEngine::ProcessBatch(std::vector<Pending> batch) {
     const bool traced = batch[i].trace_submit_ns != 0 && score_end_ns != 0;
     Recommendation rec =
         TopK(scores[i], candidate_lists[i], batch[i].request.k);
+    rec.model_version = handle->version;
     // Cache even a too-late result: it is correct, and the next
-    // identical request gets it instantly.
+    // identical request gets it instantly. The key carries the pinned
+    // version, so entries never outlive their generation's lookups.
     if (cache_ != nullptr) cache_->Put(batch[i].cache_key, rec);
     if (batch[i].deadline != Clock::time_point::max() &&
         batch[i].deadline <= done) {
@@ -579,6 +755,9 @@ void RegisterAdminSections(obs::AdminServer& admin, ServingEngine& engine) {
       return std::string(line);
     };
     std::string html = "<table><tr><th>serve_stat</th><th>value</th></tr>";
+    html += row("model_version", std::to_string(stats.model_version));
+    html += row("model_epoch", std::to_string(stats.model_epoch));
+    html += row("model_swaps", std::to_string(stats.model_swaps));
     html += row("requests", std::to_string(stats.num_requests));
     html += row("qps", num(stats.qps));
     html += row("p50_ms", num(stats.p50_ms));

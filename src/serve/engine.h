@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "eval/recommender.h"
+#include "serve/checkpoint.h"
 #include "serve/fault.h"
 #include "serve/lru_cache.h"
 #include "serve/stats.h"
@@ -39,8 +40,8 @@ struct EngineConfig {
   /// control is on (shed_high_watermark > 0), in which case producers
   /// never block — excess traffic is shed with kOverloaded instead.
   Index queue_capacity = 4096;
-  /// Entries in the (user, history, k, candidates)-keyed LRU response
-  /// cache. 0 disables caching.
+  /// Entries in the (model version, user, history, k, candidates)-keyed
+  /// LRU response cache. 0 disables caching.
   Index cache_capacity = 0;
 
   /// Admission control. When shed_high_watermark > 0: once queue depth
@@ -58,6 +59,8 @@ struct EngineConfig {
   /// requests with allow_degraded that would otherwise fail with
   /// kOverloaded or kModelError are answered with a deterministic TopK
   /// over this prior, tagged kDegraded. Items beyond the vector score 0.
+  /// A published ServableModel carrying its own popularity prior takes
+  /// precedence, so the fallback tracks the live model.
   std::vector<float> fallback_scores;
 
   /// Deterministic fault injection (tests, benches, chaos drills). When
@@ -78,7 +81,8 @@ struct RequestOptions {
   int priority = 0;
   /// Under overload shedding or model failure, accept a popularity-prior
   /// fallback ranking (status kDegraded) instead of an error, when the
-  /// engine was configured with fallback_scores.
+  /// engine was configured with fallback_scores (or the live model
+  /// carries a prior).
   bool allow_degraded = false;
 };
 
@@ -103,14 +107,22 @@ struct Recommendation {
   std::vector<Index> items;
   std::vector<float> scores;  // Aligned with items.
   bool from_cache = false;
+  /// Version of the published model that produced these scores (cache
+  /// hits carry the producing version, which may predate the live one).
+  /// 0 = not model-produced (degraded popularity fallback).
+  uint64_t model_version = 0;
 };
 
 /// The full response-cache key. The cache indexes entries by this key's
 /// equality (the FNV hash below only buckets them), so a 64-bit hash
 /// collision can never serve one user another user's recommendations.
+/// model_version keys entries to the model that produced them: after a
+/// hot swap, lookups (tagged with the live version) can never return a
+/// stale version's scores.
 struct RequestKey {
   Index user = 0;
   Index k = 0;
+  uint64_t model_version = 0;
   std::vector<Index> history;
   std::vector<Index> candidates;
 
@@ -127,7 +139,28 @@ struct RequestKeyHash {
 Recommendation TopK(const std::vector<float>& scores,
                     const std::vector<Index>& candidates, Index k);
 
-/// Online inference engine over a trained Recommender.
+/// One published model generation: an immutable, refcounted view the
+/// engine swaps atomically (RCU-style) and workers pin per batch. An
+/// in-flight batch that pinned version N keeps scoring on N even while
+/// version N+1 goes live; the old generation is freed when the last
+/// pinned batch releases it.
+struct ModelHandle {
+  std::shared_ptr<const ServableModel> servable;
+  /// Engine-assigned publish sequence number, monotonic from 1.
+  uint64_t version = 0;
+  /// The full-catalog candidate set (iota over servable->num_items()),
+  /// built once per publish so workers share it read-only.
+  std::vector<Index> catalog;
+
+  eval::Recommender& scorer() const { return *servable->scorer(); }
+  Index num_items() const { return static_cast<Index>(catalog.size()); }
+  uint64_t epoch() const { return servable->epoch; }
+  const std::vector<float>& popularity() const {
+    return servable->popularity;
+  }
+};
+
+/// Online inference engine over a published ServableModel.
 ///
 /// Callers from any thread submit requests; workers from an owned
 /// utils::ThreadPool pop up to max_batch_size requests from a bounded
@@ -137,6 +170,14 @@ Recommendation TopK(const std::vector<float>& scores,
 /// main throughput lever. An optional LRU cache short-circuits repeat
 /// requests before they reach the queue.
 ///
+/// Model lifecycle: the engine serves whatever ModelHandle is live.
+/// Publish() validates a candidate model (smoke-scores a probe batch;
+/// a kModelError rejection never touches the live handle) and swaps it
+/// in atomically. Workers pin the live handle once per batch, so every
+/// response is scored entirely by one published version — never a mix —
+/// and a swap never stalls traffic. Cache entries are keyed by the
+/// version that produced them.
+///
 /// v2 outcome contract: every submitted request's future resolves with
 /// exactly one Outcome<Recommendation> — kOk (scored), kDegraded
 /// (popularity fallback under overload/model failure), kDeadlineExceeded,
@@ -144,17 +185,17 @@ Recommendation TopK(const std::vector<float>& scores,
 /// kModelError. Futures are never left with a broken promise, including
 /// through ~ServingEngine: a batch already popped by a worker is still
 /// scored ("drained result"), and everything still queued at shutdown is
-/// answered kOverloaded. With no deadline, no faults, and admission
-/// control off, results are bitwise identical to the v1 engine.
+/// answered kOverloaded. With no deadline, no faults, admission control
+/// off, and no Publish, results are bitwise identical to the v1 engine.
 ///
-/// The model must be in eval mode and its ScoreBatch must be safe for
-/// concurrent calls (SequentialModelBase qualifies; see its header).
+/// The model's ScoreBatch must be safe for concurrent calls
+/// (SequentialModelBase qualifies; see its header).
 class ServingEngine {
  public:
-  /// `model` must outlive the engine. `num_items` bounds the full-catalog
-  /// candidate set used when a request does not supply its own.
-  ServingEngine(eval::Recommender& model, Index num_items,
-                EngineConfig config = {});
+  /// Takes shared ownership of `model` (from ServableModel::Load or
+  /// ServableModel::Wrap) and publishes it as version 1.
+  explicit ServingEngine(std::shared_ptr<ServableModel> model,
+                         EngineConfig config = {});
   ~ServingEngine();
 
   ServingEngine(const ServingEngine&) = delete;
@@ -168,12 +209,25 @@ class ServingEngine {
   /// hit, an invalid argument, or admission-control shedding.
   std::future<Outcome<Recommendation>> RecommendAsync(Request request);
 
+  /// Validates `model` (null checks, then a smoke-score of a small probe
+  /// batch through its scorer) and atomically swaps it in as the next
+  /// version. On any validation failure returns kModelError and leaves
+  /// the live model untouched — a bad artifact can never take down
+  /// serving. In-flight batches finish on the version they pinned; new
+  /// batches score on the new one. Thread-safe; returns the new version.
+  Outcome<uint64_t> Publish(std::shared_ptr<ServableModel> model);
+
+  /// Pins the live model generation (shared_ptr copy under a lock).
+  /// Never null while the engine is alive.
+  std::shared_ptr<const ModelHandle> CurrentModel() const;
+
   /// The engine's fault-injection seam (programmatic equivalent of the
   /// ISREC_FAULT env spec). Install test hooks before traffic flows.
   FaultInjector& fault_injector() { return fault_; }
 
   /// Snapshot of the recorder plus the instantaneous load signals
-  /// (queue_depth, shedding) read under the queue lock.
+  /// (queue_depth, shedding) read under the queue lock and the model
+  /// lifecycle signals (model_version, model_epoch, model_swaps).
   ServeStats Stats() const;
   void ResetStats() { stats_.Reset(); }
 
@@ -187,6 +241,10 @@ class ServingEngine {
     /// Absolute deadline; time_point::max() = none.
     std::chrono::steady_clock::time_point deadline;
     RequestKey cache_key;  // Filled only when the cache is enabled.
+    /// Live model version at submit time; the request was validated
+    /// against this generation's catalog. A worker that pins a different
+    /// version re-validates before scoring.
+    uint64_t submit_version = 0;
     /// Trace-clock timestamps for the request's timeline spans; 0 when
     /// tracing was off at submit (then no spans are emitted for it).
     uint64_t trace_submit_ns = 0;
@@ -195,20 +253,33 @@ class ServingEngine {
 
   void WorkerLoop();
   void ProcessBatch(std::vector<Pending> batch);
-  Status ValidateRequest(const Request& request) const;
-  /// kDegraded fallback if the request allows one and the engine has a
-  /// prior, else the given error. `why` names the trigger for messages.
-  Outcome<Recommendation> FailOrDegrade(const Request& request, Status error);
-  Recommendation FallbackRecommendation(const Request& request) const;
+  Status ValidateRequest(const Request& request, Index num_items) const;
+  /// kDegraded fallback if the request allows one and a prior is
+  /// available (the handle's popularity, else config fallback_scores),
+  /// else the given error. `handle` may be null (engine shutdown: the
+  /// drain path never pins a model, so a swap concurrent with shutdown
+  /// cannot resurrect an old generation through leftover promises).
+  Outcome<Recommendation> FailOrDegrade(const Request& request, Status error,
+                                        const ModelHandle* handle);
+  Recommendation FallbackRecommendation(const Request& request,
+                                        const ModelHandle* handle) const;
   /// Resolves a pending with `outcome`, recording its status code.
   void Answer(Pending&& pending, Outcome<Recommendation> outcome);
 
-  eval::Recommender& model_;
   const EngineConfig config_;
-  std::vector<Index> full_catalog_;
   FaultInjector fault_;
   /// Next auto-assigned Request::id (requests arriving with id 0).
   std::atomic<uint64_t> next_request_id_{1};
+
+  /// The live model generation. Guarded by model_mutex_ (pin = one
+  /// shared_ptr copy; cheap because workers pin per batch, not per
+  /// request). live_version_ and live_num_items_ mirror the handle for
+  /// lock-free reads on the submit path.
+  mutable std::mutex model_mutex_;
+  std::shared_ptr<const ModelHandle> live_;
+  std::atomic<uint64_t> live_version_{0};
+  std::atomic<Index> live_num_items_{0};
+  std::atomic<uint64_t> model_swaps_{0};
 
   // Bounded MPMC queue. Close() (from the destructor) wakes everything;
   // workers answer remaining queued requests with kOverloaded before
@@ -229,11 +300,12 @@ class ServingEngine {
 };
 
 /// Wires `engine` into an obs::AdminServer: a "serve_stats" /varz
-/// section (the canonical ServeStatsJson) and a "Serving" /statusz
-/// section (outcome table, reservoir percentiles, shed/queue
-/// watermarks). One shared registration point, so the tool, the tests,
-/// and any future embedder expose identical surfaces. The engine must
-/// outlive the admin server — or the server must be Stop()ped first.
+/// section (the canonical ServeStatsJson, including model
+/// version/epoch/swaps) and a "Serving" /statusz section (outcome table,
+/// reservoir percentiles, shed/queue watermarks, model lifecycle). One
+/// shared registration point, so the tool, the tests, and any future
+/// embedder expose identical surfaces. The engine must outlive the admin
+/// server — or the server must be Stop()ped first.
 void RegisterAdminSections(obs::AdminServer& admin, ServingEngine& engine);
 
 }  // namespace isrec::serve

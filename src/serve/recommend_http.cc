@@ -159,6 +159,8 @@ std::string RecommendResponseToJson(const RecommendResponse& response) {
     out += ", \"scores\": " + FloatArrayJson(response.recommendation.scores);
     out += ", \"from_cache\": " +
            std::string(response.recommendation.from_cache ? "true" : "false");
+    out += ", \"model_version\": " +
+           std::to_string(response.recommendation.model_version);
   }
   if (response.trace.present) {
     out += ", \"trace\": {\"clock_ns\": " +
@@ -220,6 +222,12 @@ bool RecommendResponseFromJson(const std::string& body,
     if (const json::JsonValue* cached = root.Find("from_cache")) {
       response->recommendation.from_cache = cached->boolean;
     }
+    double model_version = 0.0;
+    if (!ReadNumber(root, "model_version", &model_version, error)) {
+      return false;
+    }
+    response->recommendation.model_version =
+        static_cast<uint64_t>(model_version);
     (void)items;
   }
   if (const json::JsonValue* trace = root.Find("trace")) {

@@ -12,7 +12,12 @@
 //
 // Response body:
 //   {"status": "OK", "message": "", "items": [9,4,1],
-//    "scores": [3.5,2.0,1.0], "from_cache": false}
+//    "scores": [3.5,2.0,1.0], "from_cache": false, "model_version": 1}
+//
+// "model_version" is the engine's live model generation that produced
+// the ranking (0 = degraded config-level fallback) — with hot model
+// swaps in play (POST /admin/reload, online learning) it tells clients
+// and the router exactly which generation answered.
 //
 // "status" is the StatusCodeName of the outcome; items/scores are
 // present exactly when the outcome carries a value (kOk or kDegraded).

@@ -283,6 +283,9 @@ std::string ServeStats::ToTableString() const {
   table.AddRow({"model_errors", std::to_string(model_errors)});
   table.AddRow({"queue_depth", std::to_string(queue_depth)});
   table.AddRow({"shedding", shedding ? "true" : "false"});
+  table.AddRow({"model_version", std::to_string(model_version)});
+  table.AddRow({"model_epoch", std::to_string(model_epoch)});
+  table.AddRow({"model_swaps", std::to_string(model_swaps)});
   table.AddSeparator();
   for (size_t b = 1; b < batch_size_histogram.size(); ++b) {
     if (batch_size_histogram[b] == 0) continue;
@@ -303,6 +306,11 @@ std::string ServeStatsJson(const ServeStats& stats) {
   // front of the object (satellite contract, pinned by admin_server_test).
   out += "\"queue_depth\": " + std::to_string(stats.queue_depth);
   out += ", \"shedding\": " + std::string(stats.shedding ? "true" : "false");
+  // Model lifecycle next, still in the poller-friendly cheap prefix:
+  // the prober reads model_version for the fleet version-skew table.
+  out += ", \"model_version\": " + std::to_string(stats.model_version);
+  out += ", \"model_epoch\": " + std::to_string(stats.model_epoch);
+  out += ", \"model_swaps\": " + std::to_string(stats.model_swaps);
   out += ", \"requests\": " + std::to_string(stats.num_requests);
   out += ", \"elapsed_s\": " + num(stats.elapsed_seconds);
   out += ", \"qps\": " + num(stats.qps);

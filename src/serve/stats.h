@@ -49,6 +49,14 @@ struct ServeStats {
   uint64_t queue_depth = 0;  // Requests queued right now.
   bool shedding = false;     // Admission control currently shedding.
 
+  /// Model lifecycle signals, also filled by ServingEngine::Stats():
+  /// the live ModelHandle's publish version and training epoch, and how
+  /// many hot swaps this engine has performed. The router's prober reads
+  /// model_version from /varz to surface fleet version skew.
+  uint64_t model_version = 0;
+  uint64_t model_epoch = 0;
+  uint64_t model_swaps = 0;
+
   double cache_hit_rate() const {
     const uint64_t lookups = cache_hits + cache_misses;
     return lookups == 0 ? 0.0 : static_cast<double>(cache_hits) / lookups;

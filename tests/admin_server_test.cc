@@ -21,6 +21,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/isrec.h"
+#include "data/synthetic.h"
 #include "eval/recommender.h"
 #include "gtest/gtest.h"
 #include "obs/admin_server.h"
@@ -28,7 +30,9 @@
 #include "obs/metrics.h"
 #include "obs/rollup.h"
 #include "obs/trace.h"
+#include "serve/checkpoint.h"
 #include "serve/engine.h"
+#include "serve/online.h"
 #include "serve/stats.h"
 #include "tests/test_json.h"
 #include "utils/status.h"
@@ -717,7 +721,8 @@ TEST(AdminIntegrationTest, MetricsSumMatchAndTimelineUnderLoad) {
   config.shed_high_watermark = 32;
   config.shed_low_watermark = 16;
   config.fault.score_delay_ms = 1.0;  // Slow model → queue buildup → shed.
-  serve::ServingEngine engine(model, /*num_items=*/100, config);
+  serve::ServingEngine engine(
+      serve::ServableModel::Wrap(model, /*num_items=*/100), config);
 
   obs::AdminServerConfig admin_config;
   admin_config.sample_period_s = 0.05;
@@ -886,7 +891,8 @@ TEST(AdminIntegrationTest, VarzServeStatsExposesRouterLoadSignals) {
   config.num_threads = 1;
   config.max_batch_size = 4;
   config.batch_window_us = 0;
-  serve::ServingEngine engine(model, /*num_items=*/50, config);
+  serve::ServingEngine engine(
+      serve::ServableModel::Wrap(model, /*num_items=*/50), config);
   obs::AdminServer admin;
   serve::RegisterAdminSections(admin, engine);
   ASSERT_TRUE(admin.Start());
@@ -905,6 +911,82 @@ TEST(AdminIntegrationTest, VarzServeStatsExposesRouterLoadSignals) {
   // Idle engine: empty queue, not shedding.
   EXPECT_DOUBLE_EQ(stats.object.at("queue_depth").number, 0.0);
   EXPECT_FALSE(stats.object.at("shedding").boolean);
+  // Model lifecycle signals the prober also scrapes: the live version
+  // (here 1, nothing published since construction) and the swap count.
+  ASSERT_TRUE(stats.object.count("model_version"));
+  EXPECT_DOUBLE_EQ(stats.object.at("model_version").number, 1.0);
+  ASSERT_TRUE(stats.object.count("model_swaps"));
+  EXPECT_DOUBLE_EQ(stats.object.at("model_swaps").number, 0.0);
+  admin.Stop();
+}
+
+// POST /admin/reload: the operational hot-swap entry point. A missing
+// parameter is a 400, a bad artifact is a 422 that leaves the live model
+// untouched, and a valid checkpoint swaps in atomically with the new
+// version echoed back.
+TEST(AdminIntegrationTest, ReloadEndpointValidatesAndSwaps) {
+  ObsGuard guard;
+  data::Dataset dataset;
+  for (const auto& preset : data::AllPresets()) {
+    if (preset.name == "beauty_sim") {
+      dataset = data::GenerateSyntheticDataset(preset);
+    }
+  }
+  core::IsrecConfig model_config;
+  model_config.seq.embed_dim = 16;
+  model_config.seq.num_layers = 1;
+  model_config.seq.ffn_dim = 32;
+  model_config.seq.seq_len = 8;
+  model_config.intent_dim = 4;
+  model_config.num_active = 6;
+  core::IsrecModel model(model_config);
+  model.Build(dataset);  // Untrained weights are fine: swap ≠ quality.
+  const std::string v1_path = ::testing::TempDir() + "/admin_reload_v1.isrec";
+  const std::string v2_path = ::testing::TempDir() + "/admin_reload_v2.isrec";
+  serve::SaveCheckpoint(model, v1_path, /*epoch=*/3);
+  serve::SaveCheckpoint(model, v2_path, /*epoch=*/4);
+
+  Outcome<std::shared_ptr<serve::ServableModel>> loaded =
+      serve::ServableModel::Load(v1_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  serve::EngineConfig engine_config;
+  engine_config.num_threads = 1;
+  engine_config.max_batch_size = 4;
+  engine_config.batch_window_us = 0;
+  serve::ServingEngine engine(loaded.value(), engine_config);
+  obs::AdminServer admin;
+  serve::RegisterReloadEndpoint(admin, engine);
+  ASSERT_TRUE(admin.Start());
+
+  int status = 0;
+  std::string body = Fetch(admin, "/admin/reload", &status);
+  EXPECT_EQ(status, 400);
+  EXPECT_NE(body.find("checkpoint"), std::string::npos) << body;
+
+  body = Fetch(admin, "/admin/reload?checkpoint=/no/such/file", &status);
+  EXPECT_EQ(status, 422);
+  EXPECT_NE(body.find("ERROR"), std::string::npos) << body;
+  // The failed reload never touched the live model.
+  EXPECT_EQ(engine.Stats().model_version, 1u);
+  EXPECT_EQ(engine.Stats().model_epoch, 3u);
+  EXPECT_EQ(engine.Stats().model_swaps, 0u);
+
+  body = Fetch(admin, "/admin/reload?checkpoint=" + v2_path, &status);
+  EXPECT_EQ(status, 200);
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(body).Parse(&root)) << body;
+  EXPECT_EQ(root.object.at("status").str, "OK");
+  EXPECT_DOUBLE_EQ(root.object.at("model_version").number, 2.0);
+  EXPECT_EQ(engine.Stats().model_version, 2u);
+  EXPECT_EQ(engine.Stats().model_epoch, 4u);
+  EXPECT_EQ(engine.Stats().model_swaps, 1u);
+
+  // The swapped-in model serves: a request scored after the reload
+  // carries the new version.
+  const Outcome<serve::Recommendation> outcome =
+      engine.Recommend({0, {1, 2}, 3, {}, {}});
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome.value().model_version, 2u);
   admin.Stop();
 }
 
@@ -918,7 +1000,8 @@ TEST(AdminIntegrationTest, DisabledAdminPlaneLeavesServingUntouched) {
   config.num_threads = 1;
   config.max_batch_size = 4;
   config.batch_window_us = 0;
-  serve::ServingEngine engine(model, /*num_items=*/50, config);
+  serve::ServingEngine engine(
+      serve::ServableModel::Wrap(model, /*num_items=*/50), config);
   const Outcome<serve::Recommendation> outcome =
       engine.Recommend({0, {1, 2}, 3, {}, {}});
   ASSERT_TRUE(outcome.ok());

@@ -1,5 +1,8 @@
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <set>
+#include <string>
 #include <unordered_set>
 
 #include "data/batch.h"
@@ -7,8 +10,10 @@
 #include "data/dataset.h"
 #include "data/sampler.h"
 #include "data/split.h"
+#include "data/stream.h"
 #include "data/synthetic.h"
 #include "gtest/gtest.h"
+#include "utils/status.h"
 
 namespace isrec::data {
 namespace {
@@ -316,6 +321,127 @@ TEST(BatcherTest, InferenceBatchPadsHistories) {
   for (Index t : batch.targets) EXPECT_EQ(t, -1);
   EXPECT_EQ(batch.valid,
             (std::vector<bool>{true, true, true, false, false, true}));
+}
+
+// -- Event stream: the online-learning ingest path ----------------------
+
+std::string StreamPath(const std::string& tag) {
+  return ::testing::TempDir() + "/isrec_stream_" + tag + ".log";
+}
+
+TEST(EventStreamTest, AppendThenPollRoundTrips) {
+  const std::string path = StreamPath("roundtrip");
+  std::remove(path.c_str());
+  const std::vector<Interaction> events = {{0, 5}, {3, 17}, {1, 2}};
+  ASSERT_TRUE(AppendEventStream(path, events).ok());
+
+  EventStreamTailer tailer(path);
+  Outcome<std::vector<Interaction>> polled = tailer.Poll();
+  ASSERT_TRUE(polled.ok()) << polled.status().ToString();
+  EXPECT_EQ(polled.value(), events);
+  EXPECT_EQ(tailer.events_seen(), 3u);
+
+  // Nothing new: the next poll is empty, not a replay.
+  EXPECT_TRUE(tailer.Poll().value().empty());
+
+  // Appends after the first poll are picked up incrementally.
+  ASSERT_TRUE(AppendEventStream(path, {{2, 9}}).ok());
+  polled = tailer.Poll();
+  ASSERT_TRUE(polled.ok());
+  EXPECT_EQ(polled.value(), (std::vector<Interaction>{{2, 9}}));
+}
+
+TEST(EventStreamTest, MissingFileIsEmptyNotError) {
+  EventStreamTailer tailer(StreamPath("never_created"));
+  Outcome<std::vector<Interaction>> polled = tailer.Poll();
+  ASSERT_TRUE(polled.ok());  // The producer may simply not have started.
+  EXPECT_TRUE(polled.value().empty());
+}
+
+TEST(EventStreamTest, PartialLineWaitsForItsNewline) {
+  const std::string path = StreamPath("partial");
+  std::remove(path.c_str());
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "1 10\n2 2";  // Second line torn mid-write.
+  }
+  EventStreamTailer tailer(path);
+  Outcome<std::vector<Interaction>> polled = tailer.Poll();
+  ASSERT_TRUE(polled.ok());
+  // Only the complete line is delivered; "2 2" stays buffered.
+  EXPECT_EQ(polled.value(), (std::vector<Interaction>{{1, 10}}));
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "0\n3 7\n";  // Completes "2 20", then a full event.
+  }
+  polled = tailer.Poll();
+  ASSERT_TRUE(polled.ok());
+  EXPECT_EQ(polled.value(), (std::vector<Interaction>{{2, 20}, {3, 7}}));
+  EXPECT_EQ(tailer.malformed_lines(), 0u);
+}
+
+TEST(EventStreamTest, MalformedLinesAreCountedAndSkipped) {
+  const std::string path = StreamPath("malformed");
+  std::remove(path.c_str());
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "1 2\n"
+        << "garbage\n"
+        << "3\n"          // Too few fields.
+        << "4 5 extra\n"  // Trailing junk.
+        << "-1 9\n"       // Negative ids are not valid events.
+        << "6 7\n";
+  }
+  EventStreamTailer tailer(path);
+  Outcome<std::vector<Interaction>> polled = tailer.Poll();
+  ASSERT_TRUE(polled.ok());
+  EXPECT_EQ(polled.value(), (std::vector<Interaction>{{1, 2}, {6, 7}}));
+  EXPECT_EQ(tailer.malformed_lines(), 4u);
+}
+
+TEST(EventStreamTest, TruncatedFileIsATypedError) {
+  const std::string path = StreamPath("truncated");
+  std::remove(path.c_str());
+  ASSERT_TRUE(AppendEventStream(path, {{0, 1}, {2, 3}}).ok());
+  EventStreamTailer tailer(path);
+  ASSERT_TRUE(tailer.Poll().ok());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "9 9\n";  // Shorter than the consumed offset.
+  }
+  Outcome<std::vector<Interaction>> polled = tailer.Poll();
+  EXPECT_FALSE(polled.ok());
+  EXPECT_EQ(polled.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(polled.status().message().find("shrank"), std::string::npos);
+}
+
+TEST(EventStreamTest, ApplyEventsGrowsSequencesAndSkipsOutOfVocab) {
+  Dataset dataset;
+  dataset.name = "tiny";
+  dataset.num_users = 2;
+  dataset.num_items = 10;
+  dataset.sequences = {{1, 2}, {3}};
+  const std::vector<Interaction> events = {
+      {0, 4},    // Applied.
+      {1, 5},    // Applied.
+      {0, 10},   // Item outside the 10-item vocabulary: skipped.
+      {2, 1},    // User outside the vocabulary: skipped.
+      {0, 6},    // Applied.
+  };
+  EXPECT_EQ(ApplyEvents(events, &dataset), 3);
+  EXPECT_EQ(dataset.sequences[0], (std::vector<Index>{1, 2, 4, 6}));
+  EXPECT_EQ(dataset.sequences[1], (std::vector<Index>{3, 5}));
+}
+
+TEST(EventStreamTest, FreshTailEventsAreEachUsersLastInteraction) {
+  Dataset dataset;
+  dataset.name = "tiny";
+  dataset.num_users = 3;
+  dataset.num_items = 10;
+  dataset.sequences = {{1, 2}, {}, {3, 4, 5}};
+  const std::vector<Interaction> tail = FreshTailEvents(dataset);
+  // Empty sequences contribute nothing; the rest emit their last item.
+  EXPECT_EQ(tail, (std::vector<Interaction>{{0, 2}, {2, 5}}));
 }
 
 }  // namespace

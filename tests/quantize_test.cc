@@ -218,14 +218,20 @@ TEST_F(QuantizedScorerTest, CheckpointLoadWithInt8BuildsQuantizedScorer) {
   const std::string path = TempPath("int8.isrec");
   SaveCheckpoint(*model_, path);
 
-  ServableModel fp32 = LoadCheckpoint(path);
+  Outcome<std::shared_ptr<ServableModel>> fp32_loaded =
+      ServableModel::Load(path);
+  ASSERT_TRUE(fp32_loaded.ok()) << fp32_loaded.status().ToString();
+  const ServableModel& fp32 = *fp32_loaded.value();
   ASSERT_NE(fp32.model, nullptr);
   EXPECT_EQ(fp32.quantized, nullptr);
   EXPECT_EQ(fp32.scorer(), fp32.model.get());
 
   LoadOptions options;
   options.quantization = Quantization::kInt8;
-  ServableModel int8 = LoadCheckpoint(path, options);
+  Outcome<std::shared_ptr<ServableModel>> int8_loaded =
+      ServableModel::Load(path, options);
+  ASSERT_TRUE(int8_loaded.ok()) << int8_loaded.status().ToString();
+  const ServableModel& int8 = *int8_loaded.value();
   ASSERT_NE(int8.model, nullptr);
   ASSERT_NE(int8.quantized, nullptr);
   EXPECT_EQ(int8.scorer(), int8.quantized.get());
@@ -250,10 +256,11 @@ TEST_F(QuantizedScorerTest, CheckpointLoadWithInt8BuildsQuantizedScorer) {
 TEST_F(QuantizedScorerTest, LoadFailureNeverQuantizes) {
   LoadOptions options;
   options.quantization = Quantization::kInt8;
-  ServableModel missing = LoadCheckpoint(TempPath("nope"), options);
-  EXPECT_EQ(missing.model, nullptr);
-  EXPECT_EQ(missing.quantized, nullptr);
-  EXPECT_EQ(missing.scorer(), nullptr);
+  Outcome<std::shared_ptr<ServableModel>> missing =
+      ServableModel::Load(TempPath("nope"), options);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.code(), StatusCode::kModelError);
+  EXPECT_FALSE(missing.has_value());
 }
 
 }  // namespace

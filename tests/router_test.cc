@@ -620,8 +620,8 @@ struct TestReplica {
     config.num_threads = 2;
     config.max_batch_size = 8;
     config.batch_window_us = 0;
-    engine = std::make_unique<serve::ServingEngine>(model, /*num_items=*/100,
-                                                    config);
+    engine = std::make_unique<serve::ServingEngine>(
+        serve::ServableModel::Wrap(model, /*num_items=*/100), config);
     obs::AdminServerConfig admin_config;
     admin_config.num_workers = 4;
     admin = std::make_unique<obs::AdminServer>(admin_config);

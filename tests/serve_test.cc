@@ -9,17 +9,20 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <fstream>
 #include <future>
 #include <iterator>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/isrec.h"
 #include "data/split.h"
+#include "data/stream.h"
 #include "data/synthetic.h"
 #include "gtest/gtest.h"
 #include "models/pop_rec.h"
@@ -28,6 +31,7 @@
 #include "serve/checkpoint.h"
 #include "serve/engine.h"
 #include "serve/fault.h"
+#include "serve/online.h"
 #include "serve/stats.h"
 #include "utils/status.h"
 
@@ -82,18 +86,28 @@ TEST(CheckpointTest, RoundTripIsBitwiseIdentical) {
   model.SetTraining(false);
 
   const std::string path = TempPath("roundtrip.isrec");
-  SaveCheckpoint(model, path);
-  ServableModel restored = LoadCheckpoint(path);
-  ASSERT_NE(restored.model, nullptr);
-  EXPECT_EQ(restored.model->name(), model.name());
-  EXPECT_EQ(restored.dataset->num_items, dataset.num_items);
+  SaveCheckpoint(model, path, /*epoch=*/2);
+  Outcome<std::shared_ptr<ServableModel>> outcome = ServableModel::Load(path);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  const std::shared_ptr<ServableModel>& restored = outcome.value();
+  ASSERT_NE(restored->model, nullptr);
+  EXPECT_EQ(restored->model->name(), model.name());
+  EXPECT_EQ(restored->num_items(), dataset.num_items);
+  EXPECT_EQ(restored->epoch, 2u);
+  // The v2 format carries the popularity prior (per-item interaction
+  // counts) for degraded fallbacks.
+  ASSERT_EQ(restored->popularity.size(),
+            static_cast<size_t>(dataset.num_items));
+  float prior_mass = 0.0f;
+  for (float count : restored->popularity) prior_mass += count;
+  EXPECT_GT(prior_mass, 0.0f);
 
   std::vector<Index> candidates(dataset.num_items);
   for (Index i = 0; i < dataset.num_items; ++i) candidates[i] = i;
   for (const std::vector<Index>& history : ProbeHistories()) {
     const std::vector<float> expected = model.Score(0, history, candidates);
     const std::vector<float> actual =
-        restored.model->Score(0, history, candidates);
+        restored->model->Score(0, history, candidates);
     ASSERT_EQ(expected.size(), actual.size());
     for (size_t i = 0; i < expected.size(); ++i) {
       // Bitwise: the checkpoint stores raw parameter bits and scoring is
@@ -103,10 +117,14 @@ TEST(CheckpointTest, RoundTripIsBitwiseIdentical) {
   }
 }
 
-TEST(CheckpointTest, LoadOfMissingFileReturnsNull) {
-  ServableModel missing = LoadCheckpoint(TempPath("does_not_exist"));
-  EXPECT_EQ(missing.model, nullptr);
-  EXPECT_EQ(missing.dataset, nullptr);
+TEST(CheckpointTest, LoadOfMissingFileIsTypedModelError) {
+  Outcome<std::shared_ptr<ServableModel>> missing =
+      ServableModel::Load(TempPath("does_not_exist"));
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.code(), StatusCode::kModelError);
+  EXPECT_NE(missing.status().message().find("cannot open"),
+            std::string::npos)
+      << missing.status().ToString();
 }
 
 TEST(CheckpointTest, RejectsTruncatedAndCorruptFiles) {
@@ -127,26 +145,40 @@ TEST(CheckpointTest, RejectsTruncatedAndCorruptFiles) {
     out.write(contents.data(),
               static_cast<std::streamsize>(contents.size()));
     out.close();
-    return LoadCheckpoint(path);
+    return ServableModel::Load(path);
   };
 
   // Truncation at every section: header, config, vocab, and params.
+  // Every rejection is a typed kModelError with a diagnostic, never a
+  // crash or a silently-wrong model.
   for (const size_t keep :
        {size_t{2}, size_t{40}, size_t{2000}, bytes.size() - 8}) {
-    ServableModel loaded = write_and_load(bytes.substr(0, keep));
-    EXPECT_EQ(loaded.model, nullptr) << "truncated to " << keep << " bytes";
+    Outcome<std::shared_ptr<ServableModel>> loaded =
+        write_and_load(bytes.substr(0, keep));
+    EXPECT_FALSE(loaded.ok()) << "truncated to " << keep << " bytes";
+    EXPECT_EQ(loaded.code(), StatusCode::kModelError);
+    EXPECT_FALSE(loaded.status().message().empty());
   }
 
   std::string bad_magic = bytes;
   bad_magic[0] = static_cast<char>(bad_magic[0] ^ 0x5a);
-  EXPECT_EQ(write_and_load(bad_magic).model, nullptr);
+  {
+    Outcome<std::shared_ptr<ServableModel>> loaded = write_and_load(bad_magic);
+    EXPECT_EQ(loaded.code(), StatusCode::kModelError);
+    EXPECT_NE(loaded.status().message().find("magic"), std::string::npos);
+  }
 
   std::string bad_version = bytes;
   bad_version[4] = static_cast<char>(bad_version[4] + 1);
-  EXPECT_EQ(write_and_load(bad_version).model, nullptr);
+  {
+    Outcome<std::shared_ptr<ServableModel>> loaded =
+        write_and_load(bad_version);
+    EXPECT_EQ(loaded.code(), StatusCode::kModelError);
+    EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+  }
 
   // The original bytes still load — the rejections above were not luck.
-  EXPECT_NE(write_and_load(bytes).model, nullptr);
+  EXPECT_TRUE(write_and_load(bytes).ok());
 }
 
 // The engine answers a micro-batch with one ScoreBatch call and promises
@@ -334,7 +366,8 @@ TEST_F(EngineTest, ConcurrentBatchedResultsMatchSequential) {
   config.num_threads = 2;
   config.max_batch_size = 16;
   config.batch_window_us = 500;
-  ServingEngine engine(*model_, dataset_.num_items, config);
+  ServingEngine engine(ServableModel::Wrap(*model_, dataset_.num_items),
+                       config);
 
   const std::vector<Request> requests = MakeRequests(48);
   std::vector<std::future<Outcome<Recommendation>>> futures;
@@ -355,6 +388,9 @@ TEST_F(EngineTest, ConcurrentBatchedResultsMatchSequential) {
     ASSERT_EQ(got.items, want.items) << "request " << i;
     ASSERT_EQ(got.scores, want.scores) << "request " << i;
     EXPECT_FALSE(got.from_cache);
+    // No Publish happened, so everything was scored by version 1 — the
+    // no-swap happy path is the v1 engine bit for bit.
+    EXPECT_EQ(got.model_version, 1u);
   }
 
   const ServeStats stats = engine.Stats();
@@ -374,7 +410,8 @@ TEST_F(EngineTest, RepeatRequestsHitTheCache) {
   config.num_threads = 1;
   config.batch_window_us = 0;
   config.cache_capacity = 64;
-  ServingEngine engine(*model_, dataset_.num_items, config);
+  ServingEngine engine(ServableModel::Wrap(*model_, dataset_.num_items),
+                       config);
 
   const Request request = MakeRequests(1)[0];
   const Outcome<Recommendation> first = engine.Recommend(request);
@@ -403,7 +440,8 @@ TEST_F(EngineTest, InFlightDuplicateIsServedFromCache) {
   config.max_batch_size = 1;  // The duplicate can never share A's batch.
   config.batch_window_us = 0;
   config.cache_capacity = 64;
-  ServingEngine engine(*model_, dataset_.num_items, config);
+  ServingEngine engine(ServableModel::Wrap(*model_, dataset_.num_items),
+                       config);
 
   // Submit the duplicate while the original may still be in flight. Its
   // submit-time lookup can miss, but the single worker processes it
@@ -428,7 +466,8 @@ TEST_F(EngineTest, PerRequestCandidateListsAreRespected)  {
   EngineConfig config;
   config.num_threads = 1;
   config.batch_window_us = 0;
-  ServingEngine engine(*model_, dataset_.num_items, config);
+  ServingEngine engine(ServableModel::Wrap(*model_, dataset_.num_items),
+                       config);
 
   Request request = MakeRequests(1)[0];
   request.candidates = {5, 17, 42, 99, 256};
@@ -504,7 +543,8 @@ EngineConfig SingleWorkerConfig() {
 
 TEST(EngineOutcomeTest, InvalidArgumentsAreAnsweredImmediately) {
   FakeModel model;
-  ServingEngine engine(model, /*num_items=*/100, SingleWorkerConfig());
+  ServingEngine engine(ServableModel::Wrap(model, /*num_items=*/100),
+                       SingleWorkerConfig());
 
   Request bad_k{0, {1, 2}, 0, {}, {}};
   EXPECT_EQ(engine.Recommend(bad_k).code(), StatusCode::kInvalidArgument);
@@ -528,7 +568,8 @@ TEST(EngineOutcomeTest, InvalidArgumentsAreAnsweredImmediately) {
 
 TEST(EngineOutcomeTest, DeadlineExpiredBeforeDequeueIsAnsweredNotScored) {
   FakeModel model;
-  ServingEngine engine(model, /*num_items=*/100, SingleWorkerConfig());
+  ServingEngine engine(ServableModel::Wrap(model, /*num_items=*/100),
+                       SingleWorkerConfig());
   Gate gate;
   engine.fault_injector().set_before_score([&gate] { gate.Wait(); });
 
@@ -555,7 +596,8 @@ TEST(EngineOutcomeTest, DeadlineExpiredBeforeDequeueIsAnsweredNotScored) {
 
 TEST(EngineOutcomeTest, RequestScoredPastDeadlineIsAnsweredExceeded) {
   FakeModel model;
-  ServingEngine engine(model, /*num_items=*/100, SingleWorkerConfig());
+  ServingEngine engine(ServableModel::Wrap(model, /*num_items=*/100),
+                       SingleWorkerConfig());
   Gate gate;
   engine.fault_injector().set_before_score([&gate] { gate.Wait(); });
 
@@ -580,7 +622,7 @@ TEST(EngineOutcomeTest, WatermarkSheddingShedsLowestPriorityFirst) {
   EngineConfig config = SingleWorkerConfig();
   config.shed_high_watermark = 2;
   config.shed_low_watermark = 1;
-  ServingEngine engine(model, /*num_items=*/100, config);
+  ServingEngine engine(ServableModel::Wrap(model, /*num_items=*/100), config);
   Gate gate;
   engine.fault_injector().set_before_score([&gate] { gate.Wait(); });
 
@@ -620,7 +662,7 @@ TEST(EngineOutcomeTest, ModelFaultWithoutFallbackIsModelError) {
   FakeModel model;
   EngineConfig config = SingleWorkerConfig();
   config.fault.score_throw = 1.0;  // Every scoring call throws.
-  ServingEngine engine(model, /*num_items=*/100, config);
+  ServingEngine engine(ServableModel::Wrap(model, /*num_items=*/100), config);
 
   const Outcome<Recommendation> outcome =
       engine.Recommend({0, {1, 2}, 5, {}, {}});
@@ -643,7 +685,7 @@ TEST(EngineOutcomeTest, DegradedFallbackMatchesPopRecOrdering) {
     config.fallback_scores.push_back(
         static_cast<float>(pop_rec.popularity(i)));
   }
-  ServingEngine engine(model, dataset.num_items, config);
+  ServingEngine engine(ServableModel::Wrap(model, dataset.num_items), config);
 
   const Index user = split.evaluable_users()[0];
   const Request request{user, split.TestHistory(user), 10, {},
@@ -668,8 +710,8 @@ TEST(EngineOutcomeTest, DestructorAnswersEveryQueuedRequest) {
   FakeModel model;
   EngineConfig config = SingleWorkerConfig();
   config.fallback_scores = {1.0f, 3.0f, 2.0f};  // For the degraded D.
-  auto engine =
-      std::make_unique<ServingEngine>(model, /*num_items=*/100, config);
+  auto engine = std::make_unique<ServingEngine>(
+      ServableModel::Wrap(model, /*num_items=*/100), config);
   Gate gate;
   engine->fault_injector().set_before_score([&gate] { gate.Wait(); });
 
@@ -705,8 +747,8 @@ TEST(EngineOutcomeTest, ProducerBlockedOnFullQueueIsReleasedAtShutdown) {
   FakeModel model;
   EngineConfig config = SingleWorkerConfig();
   config.queue_capacity = 1;  // Blocking backpressure engages instantly.
-  auto engine =
-      std::make_unique<ServingEngine>(model, /*num_items=*/100, config);
+  auto engine = std::make_unique<ServingEngine>(
+      ServableModel::Wrap(model, /*num_items=*/100), config);
   Gate gate;
   engine->fault_injector().set_before_score([&gate] { gate.Wait(); });
 
@@ -749,7 +791,7 @@ TEST(EngineOutcomeTest, ObsOutcomeCountersMatchServeStats) {
     EngineConfig config = SingleWorkerConfig();
     config.fault.score_throw = 1.0;
     config.fallback_scores = {1.0f, 2.0f, 3.0f};
-    ServingEngine engine(model, /*num_items=*/100, config);
+    ServingEngine engine(ServableModel::Wrap(model, /*num_items=*/100), config);
 
     // One of each: degraded, model error, invalid argument.
     EXPECT_EQ(engine.Recommend({0, {1}, 5, {}, {0.0, 0, true}}).code(),
@@ -774,6 +816,390 @@ TEST(EngineOutcomeTest, ObsOutcomeCountersMatchServeStats) {
     EXPECT_EQ(obs::GetCounter("serve.deadline_exceeded").Value(), 0u);
   }
   obs::EnableMetrics(false);
+}
+
+// -- Model lifecycle: hot swap, version pinning, cache isolation --------
+//
+// Every published generation gets a distinct score offset, so a
+// response's scores identify EXACTLY which version produced it: score(c)
+// for version v is (c % 97) + 1000 * (v - 1). Any blend of two
+// generations inside one response would be visible in the raw floats.
+
+class VersionedFakeModel : public eval::Recommender {
+ public:
+  explicit VersionedFakeModel(float offset) : offset_(offset) {}
+  std::string name() const override { return "versioned-fake"; }
+  void Fit(const data::Dataset&, const data::LeaveOneOutSplit&) override {}
+  std::vector<float> Score(Index, const std::vector<Index>&,
+                           const std::vector<Index>& candidates) override {
+    std::vector<float> scores;
+    scores.reserve(candidates.size());
+    for (Index c : candidates) {
+      scores.push_back(static_cast<float>(c % 97) + offset_);
+    }
+    return scores;
+  }
+
+ private:
+  float offset_;
+};
+
+float OffsetForVersion(uint64_t version) {
+  return 1000.0f * static_cast<float>(version - 1);
+}
+
+// A model whose scoring always fails — Publish validation must reject it
+// via the probe smoke-score before any traffic can reach it.
+class BrokenModel : public eval::Recommender {
+ public:
+  std::string name() const override { return "broken"; }
+  void Fit(const data::Dataset&, const data::LeaveOneOutSplit&) override {}
+  std::vector<float> Score(Index, const std::vector<Index>&,
+                           const std::vector<Index>&) override {
+    throw std::runtime_error("deliberately broken scorer");
+  }
+};
+
+TEST(EngineSwapTest, PublishSwapsAtomicallyAndBumpsVersion) {
+  VersionedFakeModel v1(OffsetForVersion(1));
+  VersionedFakeModel v2(OffsetForVersion(2));
+  ServingEngine engine(ServableModel::Wrap(v1, /*num_items=*/100),
+                       SingleWorkerConfig());
+  EXPECT_EQ(engine.Stats().model_version, 1u);
+  EXPECT_EQ(engine.Stats().model_swaps, 0u);
+
+  const Request request{0, {1, 2}, 3, {}, {}};
+  const Outcome<Recommendation> before = engine.Recommend(request);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.value().model_version, 1u);
+
+  const Outcome<uint64_t> published =
+      engine.Publish(ServableModel::Wrap(v2, /*num_items=*/100));
+  ASSERT_TRUE(published.ok()) << published.status().ToString();
+  EXPECT_EQ(published.value(), 2u);
+  EXPECT_EQ(engine.Stats().model_version, 2u);
+  EXPECT_EQ(engine.Stats().model_swaps, 1u);
+
+  const Outcome<Recommendation> after = engine.Recommend(request);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().model_version, 2u);
+  // Same items (offsets preserve ranking), shifted scores: the response
+  // provably came from the new generation.
+  EXPECT_EQ(after.value().items, before.value().items);
+  ASSERT_EQ(after.value().scores.size(), before.value().scores.size());
+  for (size_t i = 0; i < after.value().scores.size(); ++i) {
+    EXPECT_EQ(after.value().scores[i], before.value().scores[i] + 1000.0f);
+  }
+}
+
+TEST(EngineSwapTest, PublishRejectsBadModelWithoutTouchingLive) {
+  VersionedFakeModel v1(OffsetForVersion(1));
+  ServingEngine engine(ServableModel::Wrap(v1, /*num_items=*/100),
+                       SingleWorkerConfig());
+
+  // Null handle, empty catalog, and a scorer whose probe batch throws:
+  // each is a typed kModelError, and none of them bumps the version.
+  EXPECT_EQ(engine.Publish(nullptr).code(), StatusCode::kModelError);
+  EXPECT_EQ(engine.Publish(ServableModel::Wrap(v1, /*num_items=*/0)).code(),
+            StatusCode::kModelError);
+  BrokenModel broken;
+  const Outcome<uint64_t> rejected =
+      engine.Publish(ServableModel::Wrap(broken, /*num_items=*/100));
+  EXPECT_EQ(rejected.code(), StatusCode::kModelError);
+  EXPECT_NE(rejected.status().message().find("probe"), std::string::npos)
+      << rejected.status().ToString();
+
+  // The live model is untouched: still version 1, still scoring.
+  EXPECT_EQ(engine.Stats().model_version, 1u);
+  EXPECT_EQ(engine.Stats().model_swaps, 0u);
+  const Outcome<Recommendation> outcome = engine.Recommend({0, {1}, 3, {}, {}});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().model_version, 1u);
+}
+
+TEST(EngineSwapTest, InFlightBatchFinishesOnPinnedVersion) {
+  VersionedFakeModel v1(OffsetForVersion(1));
+  VersionedFakeModel v2(OffsetForVersion(2));
+  ServingEngine engine(ServableModel::Wrap(v1, /*num_items=*/100),
+                       SingleWorkerConfig());
+  Gate gate;
+  engine.fault_injector().set_before_score([&gate] { gate.Wait(); });
+
+  // A is mid-score (its batch pinned version 1) when version 2 goes
+  // live. A must finish on the generation it pinned; B, submitted after
+  // the swap, must score on the new one.
+  std::future<Outcome<Recommendation>> a =
+      engine.RecommendAsync({0, {1}, 3, {}, {}});
+  WaitForScoreCalls(engine, 1);
+  ASSERT_TRUE(engine.Publish(ServableModel::Wrap(v2, /*num_items=*/100)).ok());
+  gate.Open();
+
+  const Outcome<Recommendation> pinned = a.get();
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_EQ(pinned.value().model_version, 1u);
+  for (size_t i = 0; i < pinned.value().scores.size(); ++i) {
+    EXPECT_LT(pinned.value().scores[i], 1000.0f) << "v2 score leaked into v1";
+  }
+  const Outcome<Recommendation> fresh = engine.Recommend({0, {1}, 3, {}, {}});
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh.value().model_version, 2u);
+}
+
+TEST(EngineSwapTest, RequestQueuedAcrossSwapIsRevalidatedAgainstNewCatalog) {
+  VersionedFakeModel v1(OffsetForVersion(1));
+  VersionedFakeModel v2(OffsetForVersion(2));
+  ServingEngine engine(ServableModel::Wrap(v1, /*num_items=*/100),
+                       SingleWorkerConfig());
+  Gate gate;
+  engine.fault_injector().set_before_score([&gate] { gate.Wait(); });
+
+  // A holds the worker; B (history item 50, valid for v1's 100-item
+  // catalog) waits in the queue while the catalog shrinks to 10 items.
+  // The worker that pins version 2 must re-validate and reject B instead
+  // of indexing outside the new catalog.
+  std::future<Outcome<Recommendation>> a =
+      engine.RecommendAsync({0, {1}, 3, {}, {}});
+  WaitForScoreCalls(engine, 1);
+  std::future<Outcome<Recommendation>> b =
+      engine.RecommendAsync({1, {50}, 3, {}, {}});
+  ASSERT_TRUE(engine.Publish(ServableModel::Wrap(v2, /*num_items=*/10)).ok());
+  gate.Open();
+
+  EXPECT_TRUE(a.get().ok());
+  const Outcome<Recommendation> rejected = b.get();
+  EXPECT_EQ(rejected.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.Stats().invalid_arguments, 1u);
+}
+
+TEST(EngineSwapTest, CacheEntriesNeverCrossVersions) {
+  VersionedFakeModel v1(OffsetForVersion(1));
+  VersionedFakeModel v2(OffsetForVersion(2));
+  EngineConfig config = SingleWorkerConfig();
+  config.cache_capacity = 64;
+  ServingEngine engine(ServableModel::Wrap(v1, /*num_items=*/100), config);
+
+  const Request request{7, {1, 2, 3}, 5, {}, {}};
+  const Outcome<Recommendation> first = engine.Recommend(request);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.value().from_cache);
+  const Outcome<Recommendation> hit = engine.Recommend(request);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit.value().from_cache);
+  EXPECT_EQ(hit.value().model_version, 1u);
+
+  ASSERT_TRUE(engine.Publish(ServableModel::Wrap(v2, /*num_items=*/100)).ok());
+
+  // The identical request after the swap must MISS (keys carry the model
+  // version) and come back freshly scored by version 2 — never version
+  // 1's cached floats.
+  const Outcome<Recommendation> after = engine.Recommend(request);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after.value().from_cache);
+  EXPECT_EQ(after.value().model_version, 2u);
+  for (size_t i = 0; i < after.value().scores.size(); ++i) {
+    EXPECT_EQ(after.value().scores[i], first.value().scores[i] + 1000.0f);
+  }
+  // And the new generation's entry is itself cached and version-tagged.
+  const Outcome<Recommendation> after_hit = engine.Recommend(request);
+  ASSERT_TRUE(after_hit.ok());
+  EXPECT_TRUE(after_hit.value().from_cache);
+  EXPECT_EQ(after_hit.value().model_version, 2u);
+}
+
+// The acceptance test for live hot swap: client threads hammer the
+// engine across ten publishes. Every request must be answered kOk, and
+// every response's scores must match exactly the generation its
+// model_version claims — proving batches pin one version and the cache
+// never serves across generations, under real concurrency.
+TEST(EngineSwapTest, HotSwapUnderConcurrentLoadNeverMixesVersions) {
+  constexpr uint64_t kSwaps = 10;
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 300;
+
+  std::vector<std::unique_ptr<VersionedFakeModel>> generations;
+  for (uint64_t v = 1; v <= kSwaps + 1; ++v) {
+    generations.push_back(
+        std::make_unique<VersionedFakeModel>(OffsetForVersion(v)));
+  }
+
+  EngineConfig config;
+  config.num_threads = 2;
+  config.max_batch_size = 8;
+  config.batch_window_us = 100;
+  config.cache_capacity = 128;  // Exercise version keying under swaps too.
+  ServingEngine engine(ServableModel::Wrap(*generations[0], /*num_items=*/100),
+                       config);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> not_ok{0};
+  std::atomic<uint64_t> mixed{0};
+  std::atomic<uint64_t> answered{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kRequestsPerClient && !stop.load(); ++i) {
+        Request request;
+        request.user = t;
+        request.history = {static_cast<Index>((t * 31 + i) % 100)};
+        request.k = 5;
+        const Outcome<Recommendation> outcome = engine.Recommend(request);
+        answered.fetch_add(1);
+        if (!outcome.ok()) {
+          not_ok.fetch_add(1);
+          continue;
+        }
+        const Recommendation& rec = outcome.value();
+        if (rec.model_version < 1 || rec.model_version > kSwaps + 1) {
+          mixed.fetch_add(1);
+          continue;
+        }
+        const float offset = OffsetForVersion(rec.model_version);
+        for (size_t j = 0; j < rec.items.size(); ++j) {
+          const float want =
+              static_cast<float>(rec.items[j] % 97) + offset;
+          if (rec.scores[j] != want) {
+            mixed.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+
+  for (uint64_t v = 2; v <= kSwaps + 1; ++v) {
+    const Outcome<uint64_t> published = engine.Publish(
+        ServableModel::Wrap(*generations[v - 1], /*num_items=*/100));
+    ASSERT_TRUE(published.ok()) << published.status().ToString();
+    EXPECT_EQ(published.value(), v);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  for (std::thread& client : clients) client.join();
+  stop.store(true);
+
+  EXPECT_EQ(answered.load(),
+            static_cast<uint64_t>(kClients) * kRequestsPerClient);
+  EXPECT_EQ(not_ok.load(), 0u) << "requests failed during hot swap";
+  EXPECT_EQ(mixed.load(), 0u)
+      << "a response's scores did not match its claimed model_version";
+  const ServeStats stats = engine.Stats();
+  EXPECT_EQ(stats.model_swaps, kSwaps);
+  EXPECT_EQ(stats.model_version, kSwaps + 1);
+}
+
+// Regression (satellite of the lifecycle work): the destructor must drop
+// the engine's model reference BEFORE resolving leftover promises, so a
+// generation swapped out during shutdown is freed and never resurrected
+// through the drain path. Pinned here by refcounts: after ~ServingEngine
+// the test's own handles must be the last owners.
+TEST(EngineSwapTest, DestructorReleasesModelBeforeAnsweringLeftovers) {
+  VersionedFakeModel v1(OffsetForVersion(1));
+  VersionedFakeModel v2(OffsetForVersion(2));
+  std::shared_ptr<ServableModel> first =
+      ServableModel::Wrap(v1, /*num_items=*/100);
+  std::shared_ptr<ServableModel> second =
+      ServableModel::Wrap(v2, /*num_items=*/100);
+
+  auto engine =
+      std::make_unique<ServingEngine>(first, SingleWorkerConfig());
+  Gate gate;
+  engine->fault_injector().set_before_score([&gate] { gate.Wait(); });
+
+  // A's batch pins generation 1 mid-score; generation 2 goes live; B is
+  // still queued when destruction starts.
+  std::future<Outcome<Recommendation>> a =
+      engine->RecommendAsync({0, {1}, 3, {}, {}});
+  WaitForScoreCalls(*engine, 1);
+  ASSERT_TRUE(engine->Publish(second).ok());
+  std::future<Outcome<Recommendation>> b =
+      engine->RecommendAsync({1, {2}, 3, {}, {}});
+
+  std::thread destroyer([&engine] { engine.reset(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  gate.Open();
+  destroyer.join();
+
+  // A finished on the version it pinned; B was drained, not scored.
+  const Outcome<Recommendation> pinned = a.get();
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_EQ(pinned.value().model_version, 1u);
+  EXPECT_EQ(b.get().code(), StatusCode::kOverloaded);
+
+  // Both generations are released: the engine dropped its reference (and
+  // every worker pin) before the drain path answered B's promise — the
+  // test's handles are the sole remaining owners.
+  EXPECT_EQ(first.use_count(), 1);
+  EXPECT_EQ(second.use_count(), 1);
+}
+
+// -- OnlineTrainer: the streaming ingest -> train -> publish loop -------
+
+// One deterministic RefreshOnce cycle end to end: skips below
+// min_new_events, then ingests the stream tail, runs an incremental
+// epoch, writes the versioned artifact, and publishes it into the live
+// engine through the canonical load-validate-swap path.
+TEST(OnlineTrainerTest, RefreshIngestsTrainsAndPublishes) {
+  data::Dataset dataset = BeautySim();
+  core::IsrecModel model(SmallIsrecConfig(/*epochs=*/1));
+  model.Build(dataset);  // Binds without the cost of a full Fit.
+  const std::string base = TempPath("online_base.isrec");
+  SaveCheckpoint(model, base, /*epoch=*/0);
+
+  Outcome<std::shared_ptr<ServableModel>> serving = ServableModel::Load(base);
+  ASSERT_TRUE(serving.ok()) << serving.status().ToString();
+  ServingEngine engine(serving.value(), SingleWorkerConfig());
+  ASSERT_EQ(engine.Stats().model_version, 1u);
+
+  // The trainer gets its own private model + dataset (checkpoints store
+  // no sequences, so the interaction log is seeded from the preset —
+  // exactly what isrec_serve --stream does).
+  Outcome<std::shared_ptr<ServableModel>> trainable = ServableModel::Load(base);
+  ASSERT_TRUE(trainable.ok());
+  trainable.value()->dataset->sequences = dataset.sequences;
+
+  const std::string stream = TempPath("online_events.log");
+  std::remove(stream.c_str());
+  OnlineTrainerConfig config;
+  config.stream_path = stream;
+  config.checkpoint_base = base;
+  config.min_new_events = 3;
+  config.epochs_per_refresh = 1;
+  OnlineTrainer trainer(std::move(trainable.value()->model),
+                        std::move(trainable.value()->dataset), config,
+                        &engine);
+
+  // No events yet: a clean skip — nothing trained, nothing published.
+  ASSERT_TRUE(trainer.RefreshOnce().ok());
+  EXPECT_EQ(trainer.Stats().skipped, 1u);
+  EXPECT_EQ(trainer.Stats().refreshes, 0u);
+  EXPECT_EQ(engine.Stats().model_version, 1u);
+
+  // Two events are below min_new_events: ingested, still no refresh.
+  ASSERT_TRUE(data::AppendEventStream(stream, {{0, 1}, {1, 2}}).ok());
+  ASSERT_TRUE(trainer.RefreshOnce().ok());
+  EXPECT_EQ(trainer.Stats().skipped, 2u);
+  EXPECT_EQ(trainer.Stats().events_applied, 2u);
+  EXPECT_EQ(engine.Stats().model_version, 1u);
+
+  // The third event crosses the threshold: train, checkpoint, publish.
+  ASSERT_TRUE(data::AppendEventStream(stream, {{2, 3}}).ok());
+  ASSERT_TRUE(trainer.RefreshOnce().ok());
+  const OnlineTrainerStats stats = trainer.Stats();
+  EXPECT_EQ(stats.refreshes, 1u);
+  EXPECT_EQ(stats.skipped, 2u);
+  EXPECT_EQ(stats.epoch, 1u);
+  EXPECT_EQ(stats.events_applied, 3u);
+  EXPECT_EQ(stats.last_published_version, 2u);
+  EXPECT_EQ(stats.last_checkpoint, base + ".v1");
+  // The versioned artifact is a real, loadable checkpoint at the
+  // cumulative epoch.
+  Outcome<std::shared_ptr<ServableModel>> artifact =
+      ServableModel::Load(stats.last_checkpoint);
+  ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+  EXPECT_EQ(artifact.value()->epoch, 1u);
+  // And the live engine is already serving it.
+  EXPECT_EQ(engine.Stats().model_version, 2u);
+  EXPECT_EQ(engine.Stats().model_epoch, 1u);
+  EXPECT_EQ(engine.Stats().model_swaps, 1u);
 }
 
 // -- StatsRecorder: reservoir percentiles and the lazy window -----------

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/checkpoint.h"
 #include "serve/engine.h"
 #include "tensor/tensor.h"
 
@@ -159,6 +160,55 @@ struct EngineFlags {
     serve::RequestOptions options;
     options.deadline_ms = deadline_ms;
     options.allow_degraded = allow_degraded;
+    return options;
+  }
+};
+
+/// Model artifact flags shared by isrec_cli, isrec_serve and
+/// bench_serving — one definition of how a tool names, loads, and
+/// refreshes a model:
+///
+///   --load PATH          checkpoint to load (ServableModel::Load).
+///                        --checkpoint is accepted as an alias; both
+///                        write the same field, last one wins.
+///   --quantize int8      serve through the int8 quantized scorer
+///                        (applies to every load, including hot reloads)
+///   --stream PATH        interaction event stream to tail for online
+///                        learning ("user item" lines; see data/stream.h)
+///   --reload-period-s S  seconds between online refresh attempts
+struct ModelFlags {
+  std::string load;
+  std::string quantize;  // "" (fp32) or "int8".
+  std::string stream;
+  double reload_period_s = 5.0;
+
+  void Register(FlagParser& parser) {
+    parser.String("--load", &load);
+    parser.String("--checkpoint", &load);  // Alias: same target.
+    parser.String("--quantize", &quantize);
+    parser.String("--stream", &stream);
+    parser.Double("--reload-period-s", &reload_period_s);
+  }
+
+  /// False (with a diagnostic) on an unsupported --quantize mode or a
+  /// non-positive --reload-period-s.
+  bool Validate() const {
+    if (!quantize.empty() && quantize != "int8") {
+      std::fprintf(stderr, "--quantize supports only: int8\n");
+      return false;
+    }
+    if (reload_period_s <= 0.0) {
+      std::fprintf(stderr, "--reload-period-s must be > 0\n");
+      return false;
+    }
+    return true;
+  }
+
+  serve::LoadOptions ToLoadOptions() const {
+    serve::LoadOptions options;
+    if (quantize == "int8") {
+      options.quantization = serve::Quantization::kInt8;
+    }
     return options;
   }
 };

@@ -5,7 +5,8 @@
 //   isrec_cli [--model NAME] [--dataset PRESET | --csv PREFIX]
 //             [--epochs N] [--seq-len N] [--embed-dim N]
 //             [--lambda N] [--intent-dim N] [--trace-user U]
-//             [--save PATH] [--load PATH]
+//             [--save PATH] [--load PATH] [--quantize int8]
+//             [--stream PATH] [--emit-stream PATH]
 //             [--metrics-json PATH] [--trace-out PATH]
 //
 //   --metrics-json: enable obs metrics, print the metrics table after
@@ -16,10 +17,22 @@
 //                and ISREC_TRACE=out.json.
 //
 //   --save: after training, write a full serving checkpoint (config +
-//           vocab + parameters) for isrec models, or a bare parameter
-//           blob for other neural models.
+//           vocab + popularity prior + parameters, stamped with the
+//           epoch count) for isrec models, or a bare parameter blob for
+//           other neural models.
 //   --load: skip training; restore an isrec checkpoint written by
-//           --save and evaluate it on the given dataset.
+//           --save (ServableModel::Load — the same entry point
+//           isrec_serve uses) and evaluate it on the given dataset.
+//           With --quantize int8 the evaluation runs through the int8
+//           quantized scorer, the exact artifact a quantized replica
+//           would serve.
+//   --stream: before training (or evaluating), ingest an interaction
+//             event stream ("user item" lines, see data/stream.h) into
+//             the dataset — how a v2 model is trained on events appended
+//             since v1 shipped.
+//   --emit-stream: append each user's freshest interaction to PATH in
+//             the event-stream format — a quick way to fabricate a
+//             plausible online stream from a preset.
 //
 //   --model: isrec (default), isrec-wognn, isrec-wointent, sasrec,
 //            bert4rec, gru4rec, gru4rec+, caser, bprmf, ncf, fpmc,
@@ -39,6 +52,7 @@
 
 #include "core/isrec.h"
 #include "data/io.h"
+#include "data/stream.h"
 #include "obs/admin_server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -62,13 +76,14 @@ struct CliOptions {
   std::string dataset = "beauty_sim";
   std::string csv_prefix;
   std::string save_path;
-  std::string load_path;
+  std::string emit_stream;
   Index epochs = 10;
   Index seq_len = 12;
   Index embed_dim = 32;
   Index lambda = 8;
   Index intent_dim = 8;
   Index trace_user = -1;
+  tools::ModelFlags artifact;  // --load / --quantize / --stream.
   tools::AdminFlags admin;
 };
 
@@ -78,15 +93,17 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
   parser.String("--dataset", &options->dataset);
   parser.String("--csv", &options->csv_prefix);
   parser.String("--save", &options->save_path);
-  parser.String("--load", &options->load_path);
+  parser.String("--emit-stream", &options->emit_stream);
   parser.Int("--epochs", &options->epochs);
   parser.Int("--seq-len", &options->seq_len);
   parser.Int("--embed-dim", &options->embed_dim);
   parser.Int("--lambda", &options->lambda);
   parser.Int("--intent-dim", &options->intent_dim);
   parser.Int("--trace-user", &options->trace_user);
+  options->artifact.Register(parser);
   options->admin.Register(parser);
-  return parser.Parse(argc, argv);
+  if (!parser.Parse(argc, argv)) return false;
+  return options->artifact.Validate();
 }
 
 std::unique_ptr<eval::Recommender> BuildModel(const CliOptions& options,
@@ -221,27 +238,67 @@ int Run(const CliOptions& options) {
               static_cast<long>(dataset.num_items),
               static_cast<long>(dataset.NumInteractions()));
 
-  data::LeaveOneOutSplit split(dataset);
-
-  if (!options.load_path.empty()) {
-    serve::ServableModel loaded = serve::LoadCheckpoint(options.load_path);
-    if (loaded.model == nullptr) {
-      std::fprintf(stderr, "cannot load checkpoint %s\n",
-                   options.load_path.c_str());
+  // Event-stream ingest: fold appended interactions into the dataset
+  // BEFORE the split/training, so the fresh tail lands in the training
+  // prefixes — this is how "train v2 on the events appended since v1
+  // shipped" works end to end.
+  if (!options.artifact.stream.empty()) {
+    data::EventStreamTailer tailer(options.artifact.stream);
+    Outcome<std::vector<data::Interaction>> polled = tailer.Poll();
+    if (!polled.ok()) {
+      std::fprintf(stderr, "cannot read event stream %s: %s\n",
+                   options.artifact.stream.c_str(),
+                   polled.status().ToString().c_str());
       return 1;
     }
-    if (loaded.dataset->num_items != dataset.num_items) {
+    const Index applied = data::ApplyEvents(polled.value(), &dataset);
+    std::printf("stream %s: %ld events, %ld applied in-vocabulary\n",
+                options.artifact.stream.c_str(),
+                static_cast<long>(polled.value().size()),
+                static_cast<long>(applied));
+  }
+
+  if (!options.emit_stream.empty()) {
+    const std::vector<data::Interaction> events =
+        data::FreshTailEvents(dataset);
+    const Status appended =
+        data::AppendEventStream(options.emit_stream, events);
+    if (!appended.ok()) {
+      std::fprintf(stderr, "%s\n", appended.ToString().c_str());
+      return 1;
+    }
+    std::printf("emitted %ld events to %s\n",
+                static_cast<long>(events.size()),
+                options.emit_stream.c_str());
+  }
+
+  data::LeaveOneOutSplit split(dataset);
+
+  if (!options.artifact.load.empty()) {
+    Outcome<std::shared_ptr<serve::ServableModel>> outcome =
+        serve::ServableModel::Load(options.artifact.load,
+                                   options.artifact.ToLoadOptions());
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "cannot load checkpoint %s: %s\n",
+                   options.artifact.load.c_str(),
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    std::shared_ptr<serve::ServableModel> loaded = outcome.value();
+    if (loaded->num_items() != dataset.num_items) {
       std::fprintf(stderr,
                    "checkpoint vocabulary (%ld items) does not match the "
                    "dataset (%ld items)\n",
-                   static_cast<long>(loaded.dataset->num_items),
+                   static_cast<long>(loaded->num_items()),
                    static_cast<long>(dataset.num_items));
       return 1;
     }
-    std::printf("loaded %s from %s (no training)\n",
-                loaded.model->name().c_str(), options.load_path.c_str());
+    std::printf("loaded %s from %s (epoch %llu, no training)\n",
+                loaded->scorer()->name().c_str(),
+                options.artifact.load.c_str(),
+                static_cast<unsigned long long>(loaded->epoch));
     eval::MetricReport report =
-        eval::EvaluateRanking(*loaded.model, dataset, split);
+        eval::EvaluateRanking(*loaded->scorer(), dataset, split);
     std::printf("test: %s\n", report.ToString().c_str());
     return 0;
   }
@@ -288,9 +345,10 @@ int Run(const CliOptions& options) {
 
   if (!options.save_path.empty()) {
     if (auto* isrec_model = dynamic_cast<core::IsrecModel*>(model.get())) {
-      serve::SaveCheckpoint(*isrec_model, options.save_path);
+      serve::SaveCheckpoint(*isrec_model, options.save_path,
+                            static_cast<uint64_t>(options.epochs));
       std::printf("checkpoint saved to %s (serve with: isrec_serve "
-                  "--checkpoint %s)\n",
+                  "--load %s)\n",
                   options.save_path.c_str(), options.save_path.c_str());
     } else if (auto* module = dynamic_cast<nn::Module*>(model.get())) {
       nn::SaveParameters(*module, options.save_path);
@@ -313,8 +371,9 @@ int main(int argc, char** argv) {
                  "usage: %s [--model NAME] [--dataset PRESET | --csv PREFIX]"
                  " [--epochs N] [--seq-len N] [--embed-dim N] [--lambda N]"
                  " [--intent-dim N] [--trace-user U] [--save PATH]"
-                 " [--load PATH] [--metrics-json PATH] [--trace-out PATH]"
-                 " [--admin-port P] [--admin-hold-s S]\n",
+                 " [--load PATH] [--quantize int8] [--stream PATH]"
+                 " [--emit-stream PATH] [--metrics-json PATH]"
+                 " [--trace-out PATH] [--admin-port P] [--admin-hold-s S]\n",
                  argv[0]);
     return 2;
   }

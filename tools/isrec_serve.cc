@@ -6,22 +6,33 @@
 // the backend isrec_router shards across.
 //
 // Usage:
-//   isrec_serve --checkpoint PATH [--dataset PRESET] [--threads N]
+//   isrec_serve --load PATH [--dataset PRESET] [--threads N]
 //               [--requests N] [--k K] [--max-batch B]
 //               [--batch-window-us W] [--cache CAP] [--no-verify]
 //               [--deadline-ms D] [--shed-watermark H] [--allow-degraded]
 //               [--fault SPEC] [--metrics-json PATH] [--trace-out PATH]
+//               [--stream PATH --reload-period-s S]
+//   (--checkpoint is accepted as an alias for --load.)
 //
 //   --serve: replica mode. Starts the admin server (--admin-port; 0
 //            picks an ephemeral port, printed as "replica on ...") with
-//            POST /recommend registered next to the introspection
-//            plane, then serves until SIGINT/SIGTERM (or --admin-hold-s
-//            seconds, when set). /healthz answers 503 while the
-//            checkpoint loads, 200 once serving — exactly the signal
-//            the router's prober consumes, alongside queue_depth and
-//            shedding in /varz serve_stats. --admin-workers sets the
-//            HTTP worker pool (default 4) so probes don't queue behind
-//            in-flight recommends.
+//            POST /recommend and POST /admin/reload registered next to
+//            the introspection plane, then serves until SIGINT/SIGTERM
+//            (or --admin-hold-s seconds, when set). /healthz answers 503
+//            while the checkpoint loads, 200 once serving — exactly the
+//            signal the router's prober consumes, alongside queue_depth,
+//            shedding, and model_version in /varz serve_stats.
+//            --admin-workers sets the HTTP worker pool (default 4) so
+//            probes don't queue behind in-flight recommends.
+//
+//   --stream PATH: replica mode only — run the online learning loop: a
+//            background OnlineTrainer tails the event stream, folds new
+//            interactions into a private copy of the training data,
+//            runs an incremental epoch every --reload-period-s seconds,
+//            writes "<load>.v<epoch>", and hot-swaps it into the live
+//            engine through the same validate-then-publish path as
+//            POST /admin/reload. In-flight requests finish on the model
+//            version they started on; /varz model_version ticks up.
 //
 //   --deadline-ms: per-request deadline; late requests are answered
 //                  DEADLINE_EXCEEDED instead of arriving late.
@@ -77,6 +88,7 @@
 #include "obs/trace.h"
 #include "serve/checkpoint.h"
 #include "serve/engine.h"
+#include "serve/online.h"
 #include "serve/recommend_http.h"
 #include "tensor/kernels/registry.h"
 #include "flags.h"
@@ -86,44 +98,48 @@ namespace isrec {
 namespace {
 
 struct ServeOptions {
-  std::string checkpoint;
   std::string dataset = "beauty_sim";
-  std::string quantize;  // "" (fp32) or "int8".
   Index requests = 2000;
   Index k = 10;
   bool no_verify = false;
   bool serve = false;          // Long-lived replica mode.
   Index admin_workers = 4;     // HTTP worker pool in replica mode.
+  tools::ModelFlags model;
   tools::EngineFlags engine;
   tools::AdminFlags admin;
 };
 
 bool ParseArgs(int argc, char** argv, ServeOptions* options) {
   tools::FlagParser parser;
-  parser.String("--checkpoint", &options->checkpoint);
   parser.String("--dataset", &options->dataset);
-  parser.String("--quantize", &options->quantize);
   parser.Int("--requests", &options->requests);
   parser.Int("--k", &options->k);
   parser.Bool("--no-verify", &options->no_verify);
   parser.Bool("--serve", &options->serve);
   parser.Int("--admin-workers", &options->admin_workers);
+  options->model.Register(parser);
   options->engine.Register(parser);
   options->admin.Register(parser);
   if (!parser.Parse(argc, argv)) return false;
-  if (!options->quantize.empty() && options->quantize != "int8") {
-    std::fprintf(stderr, "--quantize supports only: int8\n");
+  if (!options->model.Validate()) return false;
+  if (!options->model.stream.empty() && !options->serve) {
+    std::fprintf(stderr, "--stream requires --serve (replica mode)\n");
     return false;
   }
-  return !options->checkpoint.empty();
+  return !options->model.load.empty();
 }
 
-serve::LoadOptions ToLoadOptions(const ServeOptions& options) {
-  serve::LoadOptions load;
-  if (options.quantize == "int8") {
-    load.quantization = serve::Quantization::kInt8;
+/// Builds the preset workload dataset, or prints a diagnostic and
+/// returns false on an unknown preset name.
+bool BuildWorkloadDataset(const std::string& name, data::Dataset* dataset) {
+  for (const auto& preset : data::AllPresets()) {
+    if (preset.name == name) {
+      *dataset = data::GenerateSyntheticDataset(preset);
+      return true;
+    }
   }
-  return load;
+  std::fprintf(stderr, "unknown dataset preset %s\n", name.c_str());
+  return false;
 }
 
 volatile std::sig_atomic_t g_shutdown = 0;
@@ -151,31 +167,77 @@ int RunServe(const ServeOptions& options) {
                         : std::make_pair(false, std::string("loading"));
   });
 
-  serve::ServableModel loaded =
-      serve::LoadCheckpoint(options.checkpoint, ToLoadOptions(options));
-  if (loaded.model == nullptr) {
-    std::fprintf(stderr, "cannot load checkpoint %s\n",
-                 options.checkpoint.c_str());
+  const serve::LoadOptions load_options = options.model.ToLoadOptions();
+  Outcome<std::shared_ptr<serve::ServableModel>> loaded =
+      serve::ServableModel::Load(options.model.load, load_options);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load checkpoint %s: %s\n",
+                 options.model.load.c_str(),
+                 loaded.status().ToString().c_str());
     return 1;
   }
+  std::shared_ptr<serve::ServableModel> servable = loaded.value();
   serve::EngineConfig engine_config;
   if (!options.engine.ToEngineConfig(&engine_config)) return 2;
-  serve::ServingEngine engine(*loaded.scorer(), loaded.dataset->num_items,
-                              engine_config);
+  serve::ServingEngine engine(servable, engine_config);
+
+  // Online learning: a second, private Load gives the trainer its own
+  // model + dataset — the served ServableModel is immutable, so the
+  // trainer NEVER mutates what workers are scoring against. Checkpoints
+  // carry no interaction sequences; seed the trainer's dataset from the
+  // workload preset (the same data the checkpoint was trained on).
+  std::unique_ptr<serve::OnlineTrainer> trainer;
+  if (!options.model.stream.empty()) {
+    Outcome<std::shared_ptr<serve::ServableModel>> trainable =
+        serve::ServableModel::Load(options.model.load);
+    if (!trainable.ok()) {
+      std::fprintf(stderr, "cannot load trainer checkpoint %s: %s\n",
+                   options.model.load.c_str(),
+                   trainable.status().ToString().c_str());
+      return 1;
+    }
+    data::Dataset seed;
+    if (!BuildWorkloadDataset(options.dataset, &seed)) return 1;
+    if (seed.num_items != trainable.value()->num_items() ||
+        static_cast<Index>(seed.sequences.size()) !=
+            trainable.value()->dataset->num_users) {
+      std::fprintf(stderr,
+                   "--stream: dataset preset %s does not match the "
+                   "checkpoint's vocabulary — use the training preset\n",
+                   options.dataset.c_str());
+      return 1;
+    }
+    trainable.value()->dataset->sequences = std::move(seed.sequences);
+    serve::OnlineTrainerConfig trainer_config;
+    trainer_config.stream_path = options.model.stream;
+    trainer_config.checkpoint_base = options.model.load;
+    trainer_config.period_s = options.model.reload_period_s;
+    trainer_config.initial_epoch = trainable.value()->epoch;
+    trainer_config.load = load_options;
+    trainer = std::make_unique<serve::OnlineTrainer>(
+        std::move(trainable.value()->model),
+        std::move(trainable.value()->dataset), std::move(trainer_config),
+        &engine);
+  }
 
   serve::RegisterAdminSections(admin, engine);
   serve::RegisterRecommendEndpoint(admin, engine);
+  serve::RegisterReloadEndpoint(admin, engine, load_options);
   if (!admin.Start()) {
     std::fprintf(stderr, "cannot start replica server on port %ld\n",
                  static_cast<long>(options.admin.admin_port));
     return 1;
   }
   ready.store(true);
-  std::printf("replica on http://127.0.0.1:%d (model %s, %ld items; "
-              "POST /recommend + admin plane, %ld workers)\n",
-              admin.port(), loaded.scorer()->name().c_str(),
-              static_cast<long>(loaded.dataset->num_items),
-              static_cast<long>(options.admin_workers));
+  if (trainer != nullptr) trainer->Start();
+  std::printf("replica on http://127.0.0.1:%d (model %s, %ld items, "
+              "version %llu; POST /recommend + /admin/reload + admin "
+              "plane, %ld workers%s)\n",
+              admin.port(), servable->scorer()->name().c_str(),
+              static_cast<long>(servable->num_items()),
+              static_cast<unsigned long long>(engine.Stats().model_version),
+              static_cast<long>(options.admin_workers),
+              trainer != nullptr ? ", online trainer on" : "");
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleShutdownSignal);
@@ -191,7 +253,18 @@ int RunServe(const ServeOptions& options) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
-  // Stop the server BEFORE the engine dies: handlers capture it.
+  // Shutdown order: trainer first (no more publishes), then the server
+  // BEFORE the engine dies: handlers capture it.
+  if (trainer != nullptr) {
+    trainer->Stop();
+    const serve::OnlineTrainerStats ts = trainer->Stats();
+    std::printf("online trainer: %llu refreshes, %llu events applied, "
+                "epoch %llu, last published version %llu\n",
+                static_cast<unsigned long long>(ts.refreshes),
+                static_cast<unsigned long long>(ts.events_applied),
+                static_cast<unsigned long long>(ts.epoch),
+                static_cast<unsigned long long>(ts.last_published_version));
+  }
   admin.Stop();
   const serve::ServeStats stats = engine.Stats();
   std::printf("replica shut down\n%s\n", stats.ToTableString().c_str());
@@ -280,38 +353,31 @@ int Run(const ServeOptions& options) {
                 admin->port());
   }
 
-  serve::ServableModel loaded =
-      serve::LoadCheckpoint(options.checkpoint, ToLoadOptions(options));
-  if (loaded.model == nullptr) {
-    std::fprintf(stderr, "cannot load checkpoint %s\n",
-                 options.checkpoint.c_str());
+  Outcome<std::shared_ptr<serve::ServableModel>> outcome =
+      serve::ServableModel::Load(options.model.load,
+                                 options.model.ToLoadOptions());
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "cannot load checkpoint %s: %s\n",
+                 options.model.load.c_str(),
+                 outcome.status().ToString().c_str());
     return 1;
   }
-  std::printf("checkpoint %s: model %s, %ld items, %ld concepts\n",
-              options.checkpoint.c_str(), loaded.scorer()->name().c_str(),
-              static_cast<long>(loaded.dataset->num_items),
-              static_cast<long>(loaded.dataset->concepts.num_concepts()));
+  std::shared_ptr<serve::ServableModel> loaded = outcome.value();
+  std::printf("checkpoint %s: model %s, %ld items, %ld concepts, epoch %llu\n",
+              options.model.load.c_str(), loaded->scorer()->name().c_str(),
+              static_cast<long>(loaded->num_items()),
+              static_cast<long>(loaded->dataset->concepts.num_concepts()),
+              static_cast<unsigned long long>(loaded->epoch));
 
   // Workload: the preset's test histories, cycled to --requests.
   data::Dataset workload_dataset;
-  bool found = false;
-  for (const auto& preset : data::AllPresets()) {
-    if (preset.name == options.dataset) {
-      workload_dataset = data::GenerateSyntheticDataset(preset);
-      found = true;
-    }
-  }
-  if (!found) {
-    std::fprintf(stderr, "unknown dataset preset %s\n",
-                 options.dataset.c_str());
-    return 1;
-  }
-  if (workload_dataset.num_items != loaded.dataset->num_items) {
+  if (!BuildWorkloadDataset(options.dataset, &workload_dataset)) return 1;
+  if (workload_dataset.num_items != loaded->num_items()) {
     std::fprintf(stderr,
                  "workload dataset has %ld items but checkpoint was trained "
                  "on %ld — use the matching --dataset\n",
                  static_cast<long>(workload_dataset.num_items),
-                 static_cast<long>(loaded.dataset->num_items));
+                 static_cast<long>(loaded->num_items()));
     return 1;
   }
   data::LeaveOneOutSplit split(workload_dataset);
@@ -329,14 +395,14 @@ int Run(const ServeOptions& options) {
   // Sequential baseline: one Score (i.e. batch-of-one) call per request.
   const Index baseline_n =
       std::min<Index>(options.requests, std::max<Index>(1, users.size()));
-  std::vector<Index> catalog(loaded.dataset->num_items);
-  for (Index i = 0; i < loaded.dataset->num_items; ++i) catalog[i] = i;
+  std::vector<Index> catalog(loaded->num_items());
+  for (Index i = 0; i < loaded->num_items(); ++i) catalog[i] = i;
   std::vector<serve::Recommendation> baseline(baseline_n);
   Stopwatch sw;
   // (Through the same scorer the engine uses, so verification below
   // compares quantized-vs-quantized when --quantize is on.)
   for (Index i = 0; i < baseline_n; ++i) {
-    const std::vector<float> scores = loaded.scorer()->Score(
+    const std::vector<float> scores = loaded->scorer()->Score(
         requests[i].user, requests[i].history, catalog);
     baseline[i] = serve::TopK(scores, catalog, options.k);
   }
@@ -355,8 +421,7 @@ int Run(const ServeOptions& options) {
     }
     engine_config.fallback_scores = std::move(popularity);
   }
-  serve::ServingEngine engine(*loaded.scorer(), loaded.dataset->num_items,
-                              engine_config);
+  serve::ServingEngine engine(loaded, engine_config);
   if (admin != nullptr) {
     serve::RegisterAdminSections(*admin, engine);
     admin_ready.store(true);
@@ -423,12 +488,13 @@ int main(int argc, char** argv) {
   if (!isrec::ParseArgs(argc, argv, &options)) {
     std::fprintf(
         stderr,
-        "usage: %s --checkpoint PATH [--dataset PRESET] [--threads N]"
+        "usage: %s --load PATH [--dataset PRESET] [--threads N]"
         " [--requests N] [--k K] [--max-batch B] [--batch-window-us W]"
         " [--cache CAP] [--no-verify] [--deadline-ms D] [--shed-watermark H]"
         " [--allow-degraded] [--fault SPEC] [--metrics-json PATH]"
         " [--trace-out PATH] [--admin-port P] [--admin-hold-s S]"
-        " [--serve] [--admin-workers N] [--quantize int8]\n",
+        " [--serve] [--admin-workers N] [--quantize int8]"
+        " [--stream PATH] [--reload-period-s S]\n",
         argv[0]);
     return 2;
   }
