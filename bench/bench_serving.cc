@@ -38,8 +38,10 @@
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "obs/admin_server.h"
+#include "obs/heap_profiler.h"
 #include "obs/http.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "router/router.h"
 #include "serve/engine.h"
@@ -465,6 +467,66 @@ int Run(const std::string& out_path) {
                 fleet_delta_pct, kFleetAcceptancePct);
   }
 
+  // A/B: the profiling plane off vs on — the 499 Hz span-stack sampler
+  // plus the hooked-allocator heap accounting, i.e. the
+  // "/profilez is being pulled and --heap-profile is set" deployment.
+  // The on arm also records the per-request allocation baseline
+  // (hooked-totals delta over the request count) that ROADMAP item 4's
+  // zero-alloc steady state is measured against. Same warn-not-fail 2%
+  // bar as the other planes.
+  const double kProfilerAcceptancePct = 2.0;
+  const int kProfilerTrials = 3;
+  double qps_profiler_off = 0.0;
+  double qps_profiler_on = 0.0;
+  uint64_t profile_samples = 0;
+  double allocs_per_request = 0.0;
+  double alloc_bytes_per_request = 0.0;
+  // Best-of-3 per side: single-run qps deltas at this request count are
+  // noisier than the effect being measured, and the best run is the one
+  // least perturbed by the scheduler.
+  for (int trial = 0; trial < kProfilerTrials; ++trial) {
+    qps_profiler_off = std::max(qps_profiler_off,
+                                RunDefaultConfigQps(model, dataset, requests));
+  }
+  for (int trial = 0; trial < kProfilerTrials; ++trial) {
+    obs::ClearProfile();
+    obs::heap::ResetHeapProfile();
+    obs::StartProfiler(/*hz=*/499);
+    obs::heap::EnableHeapProfiling(true);
+    const obs::heap::HeapTotals before = obs::heap::SnapshotHeapTotals();
+    qps_profiler_on = std::max(qps_profiler_on,
+                               RunDefaultConfigQps(model, dataset, requests));
+    const obs::heap::HeapTotals after = obs::heap::SnapshotHeapTotals();
+    obs::heap::EnableHeapProfiling(false);
+    obs::StopProfiler();
+    profile_samples = obs::SnapshotProfile().samples;
+    if (!requests.empty()) {
+      const double n = static_cast<double>(requests.size());
+      allocs_per_request =
+          static_cast<double>(after.allocs - before.allocs) / n;
+      alloc_bytes_per_request =
+          static_cast<double>(after.alloc_bytes - before.alloc_bytes) / n;
+    }
+  }
+  const double profiler_delta_pct =
+      qps_profiler_off > 0.0
+          ? (qps_profiler_off - qps_profiler_on) / qps_profiler_off * 100.0
+          : 0.0;
+  const bool profiler_within = profiler_delta_pct < kProfilerAcceptancePct;
+  std::printf(
+      "profiling plane A/B (499 Hz sampler + heap hook): off %.1f qps, "
+      "on %.1f qps, delta %.2f%% (%llu samples, %.1f allocs/req, "
+      "%.0f bytes/req%s)\n",
+      qps_profiler_off, qps_profiler_on, profiler_delta_pct,
+      static_cast<unsigned long long>(profile_samples), allocs_per_request,
+      alloc_bytes_per_request,
+      obs::heap::HookCompiled() ? "" : ", heap hook compiled out");
+  if (!profiler_within) {
+    std::printf("WARNING: profiling-plane overhead %.2f%% exceeds the "
+                "%.1f%% acceptance bar\n",
+                profiler_delta_pct, kProfilerAcceptancePct);
+  }
+
   // Hot model swap under load: publish -> first new-version response.
   std::printf("hot-swap arm (10 publishes under load)...\n");
   const HotSwapResult swap = RunHotSwapArm(model, dataset, requests);
@@ -529,6 +591,21 @@ int Run(const std::string& out_path) {
                "\"acceptance_pct\": %.1f, \"within_acceptance\": %s},\n",
                qps_fleet_off, qps_fleet_on, fleet_delta_pct,
                kFleetAcceptancePct, fleet_within ? "true" : "false");
+  std::fprintf(out,
+               "  \"profiler_overhead\": {\"qps_off\": %.1f, "
+               "\"qps_on\": %.1f, \"delta_pct\": %.2f, "
+               "\"acceptance_pct\": %.1f, \"within_acceptance\": %s, "
+               "\"samples\": %llu},\n",
+               qps_profiler_off, qps_profiler_on, profiler_delta_pct,
+               kProfilerAcceptancePct, profiler_within ? "true" : "false",
+               static_cast<unsigned long long>(profile_samples));
+  std::fprintf(out,
+               "  \"alloc_baseline\": {\"hook_compiled\": %s, "
+               "\"requests\": %ld, \"allocs_per_request\": %.2f, "
+               "\"alloc_bytes_per_request\": %.1f},\n",
+               obs::heap::HookCompiled() ? "true" : "false",
+               static_cast<long>(requests.size()), allocs_per_request,
+               alloc_bytes_per_request);
   std::fprintf(out,
                "  \"hot_swap\": {\"swaps\": %d, "
                "\"publish_to_first_new_version_mean_ms\": %.3f, "

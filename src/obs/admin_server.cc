@@ -1,10 +1,15 @@
 #include "obs/admin_server.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
+#include "obs/heap_profiler.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
+#include "utils/logging.h"
 
 namespace isrec::obs {
 namespace {
@@ -191,6 +196,9 @@ HttpResponse AdminServer::Handle(const HttpRequest& request) {
   if (request.path == "/varz") return HandleVarz();
   if (request.path == "/statusz") return HandleStatusz();
   if (request.path == "/tracez") return HandleTracez(request);
+  if (request.path == "/profilez") return HandleProfilez(request);
+  if (request.path == "/heapz") return HandleHeapz();
+  if (request.path == "/admin/loglevel") return HandleLoglevel(request);
   HttpResponse response;
   response.status = 404;
   response.body = "not found: " + request.path + "\n";
@@ -211,6 +219,14 @@ HttpResponse AdminServer::HandleIndex() const {
                   "(rates, percentiles)</li>"
                   "<li><a href=\"/tracez\">/tracez</a> — recent request "
                   "timelines (<a href=\"/tracez?format=json\">json</a>)</li>"
+                  "<li><a href=\"/profilez?seconds=1\">/profilez</a> — "
+                  "sampling profile, folded stacks "
+                  "(<a href=\"/profilez?seconds=1&amp;format=json\">json</a>)"
+                  "</li>"
+                  "<li><a href=\"/heapz\">/heapz</a> — heap accounting "
+                  "(allocs, live bytes, top sites)</li>"
+                  "<li><a href=\"/admin/loglevel\">/admin/loglevel</a> — "
+                  "get/set the log level</li>"
                   "</ul>";
   return response;
 }
@@ -411,6 +427,68 @@ HttpResponse AdminServer::HandleTracez(const HttpRequest& request) const {
   }
   response.content_type = "text/html; charset=utf-8";
   response.body = std::move(body);
+  return response;
+}
+
+HttpResponse AdminServer::HandleProfilez(const HttpRequest& request) const {
+  // The handler blocks for the sampling window; the admin server's
+  // worker pool keeps other endpoints responsive meanwhile (and with
+  // num_workers == 1 a short window is still an acceptable stall for a
+  // hand-driven debugging endpoint).
+  double seconds = std::atof(request.QueryOr("seconds", "1").c_str());
+  if (!(seconds > 0.0)) seconds = 1.0;
+  seconds = std::min(seconds, 60.0);
+  int hz = std::atoi(request.QueryOr("hz", "499").c_str());
+  if (hz <= 0) hz = 499;
+  hz = std::min(hz, 1000);
+  const ProfileSnapshot snapshot = CollectProfileWindow(seconds, hz);
+  HttpResponse response;
+  if (request.QueryOr("format", "folded") == "json") {
+    response.content_type = "application/json";
+    response.body = ProfileSummaryJson(snapshot);
+  } else {
+    response.content_type = "text/plain; charset=utf-8";
+    response.body = FoldedStacksText(snapshot);
+  }
+  return response;
+}
+
+HttpResponse AdminServer::HandleHeapz() const {
+  HttpResponse response;
+  response.content_type = "application/json";
+  response.body = heap::HeapzJson();
+  return response;
+}
+
+HttpResponse AdminServer::HandleLoglevel(const HttpRequest& request) const {
+  HttpResponse response;
+  if (request.method == "PUT" || request.method == "POST") {
+    // Level from the body ("debug\n") or from ?level=debug — whichever
+    // is present; the body wins when both are.
+    std::string text = request.body;
+    while (!text.empty() &&
+           std::isspace(static_cast<unsigned char>(text.back()))) {
+      text.pop_back();
+    }
+    while (!text.empty() &&
+           std::isspace(static_cast<unsigned char>(text.front()))) {
+      text.erase(text.begin());
+    }
+    if (text.empty()) text = request.QueryOr("level", "");
+    LogLevel level;
+    if (!ParseLogLevel(text.c_str(), &level)) {
+      response.status = 400;
+      response.content_type = "application/json";
+      response.body =
+          "{\"error\": \"unknown log level\", \"got\": " + JsonEscape(text) +
+          "}\n";
+      return response;
+    }
+    SetLogLevel(level);
+  }
+  response.content_type = "application/json";
+  response.body = std::string("{\"level\": \"") +
+                  LogLevelName(GetLogLevel()) + "\"}\n";
   return response;
 }
 

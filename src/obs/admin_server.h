@@ -27,6 +27,10 @@ namespace isrec::obs {
 ///   /statusz   human HTML: build info, uptime, rolling 1s/10s/60s
 ///              rates + windowed percentiles, registered sections
 ///   /tracez    recent per-request timelines (HTML, ?format=json)
+///   /profilez  sampling profiler window: ?seconds=N&format=folded|json
+///              (folded = flamegraph.pl-compatible collapsed stacks)
+///   /heapz     heap-accounting snapshot (JSON): totals + top sites
+///   /admin/loglevel  GET the current log level; PUT/POST a new one
 ///
 /// Subsystems contribute without obs depending on them: they register
 /// provider callbacks (AddVarzSection / AddStatuszSection /
@@ -100,6 +104,9 @@ class AdminServer {
   HttpResponse HandleVarz() const;
   HttpResponse HandleStatusz() const;
   HttpResponse HandleTracez(const HttpRequest& request) const;
+  HttpResponse HandleProfilez(const HttpRequest& request) const;
+  HttpResponse HandleHeapz() const;
+  HttpResponse HandleLoglevel(const HttpRequest& request) const;
   void SamplerLoop();
 
   AdminServerConfig config_;

@@ -1,0 +1,112 @@
+#ifndef ISREC_OBS_HEAP_PROFILER_H_
+#define ISREC_OBS_HEAP_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace isrec::obs::heap {
+
+/// Hooked-allocator heap accounting (DESIGN.md "Profiling plane").
+/// obs/heap_profiler.cc replaces the global operator new/delete family
+/// with thin wrappers that — when heap profiling is enabled — count
+/// every allocation into sharded process totals, into the calling
+/// thread's innermost AllocationCounter scope, and into a fixed-size
+/// per-span attribution table keyed by the thread's current profiler
+/// frame (obs/profiler.h). Exact by construction: every new/delete in
+/// the process goes through the hook, so counters are counts, not
+/// samples. ROADMAP item 4's "zero heap allocations per steady-state
+/// request" is measured against exactly these numbers.
+///
+/// Gating, two layers:
+///  - compile: the CMake option ISREC_HEAP_PROFILE (default ON)
+///    compiles the operator new/delete interposition; OFF builds a
+///    hook-free binary where HookCompiled() is false and every counter
+///    reads zero.
+///  - runtime: EnableHeapProfiling(true), --heap-profile, or the
+///    ISREC_HEAP_PROFILE=1 environment variable. Disabled (the
+///    default), an allocation pays exactly one relaxed atomic load and
+///    one branch on top of malloc — the established off-path contract.
+///
+/// The accounting path is allocation-free (fixed tables, sharded
+/// atomics, trivial thread-locals), so the hook can never recurse, and
+/// everything is atomics — TSan/ASan clean under the sanitizer CI jobs.
+
+/// True when the operator new/delete interposition was compiled in
+/// (CMake -DISREC_HEAP_PROFILE=ON, the default).
+bool HookCompiled();
+
+/// True when allocations are being counted right now.
+bool HeapProfilingEnabled();
+
+/// Turns heap accounting on/off process-wide. A no-op (stays false)
+/// when the hook is compiled out.
+void EnableHeapProfiling(bool on);
+
+/// Process-wide totals since the last ResetHeapProfile. `alloc_bytes`
+/// sums requested sizes; `live_bytes` is usable-size based (what the
+/// allocator actually carved out) so allocs and frees cancel exactly.
+struct HeapTotals {
+  uint64_t allocs = 0;
+  uint64_t frees = 0;
+  uint64_t alloc_bytes = 0;
+  int64_t live_allocs = 0;  // allocs - frees; negative when frees of
+                            // pre-enable allocations outnumber allocs.
+  int64_t live_bytes = 0;
+};
+
+HeapTotals SnapshotHeapTotals();
+
+/// One row of the per-span attribution table: allocations observed
+/// while `span` (a profiler frame, static storage) was the calling
+/// thread's innermost open span. "(no_span)" collects the rest.
+struct AllocSite {
+  const char* span = nullptr;
+  uint64_t count = 0;
+  uint64_t bytes = 0;
+};
+
+/// Top allocation sites by bytes, descending (ties by count then name).
+/// The table is fixed-size; overflowing sites are counted in
+/// SiteTableOverflow() rather than dropped silently.
+std::vector<AllocSite> TopAllocationSites(size_t max_sites = 32);
+
+/// Allocations that could not claim a site row (table full).
+uint64_t SiteTableOverflow();
+
+/// Zeroes the totals and the site table (tests, benches).
+void ResetHeapProfile();
+
+/// The /heapz JSON body: gate states, totals, top sites.
+std::string HeapzJson();
+
+/// RAII scope counting the calling thread's allocations while heap
+/// profiling is enabled: the engine wraps each request phase
+/// (enqueue/batch/score/respond) in one. Scopes nest; an allocation is
+/// charged to the innermost active scope only, so sibling scopes sum
+/// exactly to the hooked totals of the code they cover (pinned by
+/// profiler_test). Inactive (heap profiling off at construction), the
+/// scope is one relaxed load + branch and counts nothing.
+class AllocationCounter {
+ public:
+  AllocationCounter();
+  ~AllocationCounter();
+
+  AllocationCounter(const AllocationCounter&) = delete;
+  AllocationCounter& operator=(const AllocationCounter&) = delete;
+
+  bool active() const { return active_; }
+  uint64_t count() const { return count_; }
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  friend struct HookAccess;
+  AllocationCounter* parent_ = nullptr;
+  uint64_t count_ = 0;
+  uint64_t bytes_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace isrec::obs::heap
+
+#endif  // ISREC_OBS_HEAP_PROFILER_H_

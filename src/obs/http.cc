@@ -440,7 +440,7 @@ void HttpServer::ServeConnection(int fd) {
       parse_failed = true;  // Framing unknown: must close after answering.
     } else {
       ParseHeaderBlock(headers, &request.headers);
-      if (request.method == "POST") {
+      if (request.method == "POST" || request.method == "PUT") {
         // Read the Content-Length body (the rest may already be
         // buffered).
         const std::string length_value =
@@ -451,7 +451,7 @@ void HttpServer::ServeConnection(int fd) {
         if (content_length < 0 ||
             static_cast<size_t>(content_length) > kMaxRequestBytes) {
           response.status = 400;
-          response.body = "POST requires a bounded Content-Length\n";
+          response.body = "POST/PUT requires a bounded Content-Length\n";
           parse_failed = true;
         } else {
           while (raw.size() - body_start <
@@ -470,7 +470,7 @@ void HttpServer::ServeConnection(int fd) {
         }
       } else if (request.method != "GET" && request.method != "HEAD") {
         response.status = 405;
-        response.body = "only GET, HEAD, and POST are supported\n";
+        response.body = "only GET, HEAD, POST, and PUT are supported\n";
       } else {
         run_handler = true;
       }

@@ -1,0 +1,105 @@
+#ifndef ISREC_OBS_PROFILER_H_
+#define ISREC_OBS_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace isrec::obs {
+
+/// Sampling wall-clock profiler (DESIGN.md "Profiling plane"). A
+/// background sampler thread periodically snapshots every thread's
+/// span-frame stack — pushed/popped by the existing ISREC_TRACE_SPAN
+/// macro family, so samples fold into span-labeled stacks without
+/// libunwind or signal handlers — and aggregates them into
+/// (stack, count) pairs exportable as collapsed/folded-stack text
+/// (flamegraph.pl-compatible) and a JSON summary.
+///
+/// What a sample means: the sampler wakes `hz` times a second and, for
+/// each live thread that has ever recorded a span, reads its current
+/// frame stack (outermost-first). A thread inside nested spans
+/// "serve.batch_assembly" > "serve.score_batch" contributes one count to
+/// the folded stack "serve.batch_assembly;serve.score_batch"; a thread
+/// with no open span contributes to "(idle)". Counts are therefore
+/// proportional to wall time spent under each span path.
+///
+/// Overhead contract (same as tracing, obs/trace.h): with the profiler
+/// stopped, a span costs the shared single relaxed-atomic branch in
+/// ScopedSpan; running, a span adds two relaxed/release atomic stores
+/// (push) and one (pop) to a thread-local fixed array. Frame reads and
+/// writes are all atomics, so the sampler never blocks a sampled thread
+/// and the whole plane is TSan-clean. Profiled code computes bitwise
+/// identical results (pinned by profiler_test).
+
+/// Frames kept per thread; deeper nesting still balances push/pop but
+/// the sampler labels the path "...;(truncated)".
+inline constexpr int kProfileMaxDepth = 16;
+
+/// True while the sampler thread runs (spans push frames).
+bool ProfilerRunning();
+
+/// Starts the sampler at `hz` samples/second (clamped to [1, 10000]).
+/// Idempotent: a second Start keeps the running sampler and its rate.
+void StartProfiler(int hz = 499);
+
+/// Stops and joins the sampler. Aggregated stacks are kept (a later
+/// Start resumes accumulation); Idempotent.
+void StopProfiler();
+
+/// Discards every aggregated stack and zeroes the sample counters.
+void ClearProfile();
+
+/// One aggregated call path: frames outermost-first, and how many
+/// samples landed there.
+struct ProfileStack {
+  std::vector<const char*> frames;
+  uint64_t count = 0;
+};
+
+/// Copy of the aggregated profile. `samples` counts every thread
+/// observation (idle included); stacks are sorted by count descending,
+/// then lexicographically, so equal inputs render identically.
+struct ProfileSnapshot {
+  uint64_t samples = 0;
+  uint64_t idle_samples = 0;
+  int hz = 0;
+  std::vector<ProfileStack> stacks;
+};
+
+ProfileSnapshot SnapshotProfile();
+
+/// Per-stack difference `later - earlier` (stacks absent from `earlier`
+/// count fully), for windowed collection against a continuously running
+/// sampler.
+ProfileSnapshot DiffProfile(const ProfileSnapshot& earlier,
+                            const ProfileSnapshot& later);
+
+/// Samples for `seconds` and returns the window's snapshot. Starts the
+/// sampler when it is not running and stops it again once no window
+/// needs it (concurrent windows share the sampler); a sampler started
+/// explicitly via StartProfiler keeps running. This is the /profilez
+/// implementation.
+ProfileSnapshot CollectProfileWindow(double seconds, int hz = 499);
+
+/// Renders a snapshot as collapsed-stack text, one line per path:
+/// "frame;frame;frame count\n" — feed to flamegraph.pl directly.
+std::string FoldedStacksText(const ProfileSnapshot& snapshot);
+
+/// JSON summary: sample counts, rate, and the top stacks.
+std::string ProfileSummaryJson(const ProfileSnapshot& snapshot);
+
+/// Writes FoldedStacksText(SnapshotProfile()) to `path`; false on I/O
+/// failure. Exit-path companion of --profile-out / ISREC_PROFILE.
+bool WriteProfile(const std::string& path);
+
+namespace internal {
+/// Innermost span frame of the calling thread, or nullptr when no span
+/// is open (or the thread never recorded one). Read by the heap hook
+/// (obs/heap_profiler.cc) to attribute allocations to spans; must stay
+/// allocation-free.
+const char* CurrentProfileFrame();
+}  // namespace internal
+
+}  // namespace isrec::obs
+
+#endif  // ISREC_OBS_PROFILER_H_

@@ -171,7 +171,15 @@ struct TraceEnvInit {
 
 namespace internal {
 
-std::atomic<bool> g_tracing_enabled{false};
+std::atomic<uint32_t> g_span_hooks{0};
+
+void SetSpanHook(uint32_t bit, bool on) {
+  if (on) {
+    g_span_hooks.fetch_or(bit, std::memory_order_relaxed);
+  } else {
+    g_span_hooks.fetch_and(~bit, std::memory_order_relaxed);
+  }
+}
 
 uint64_t TraceNowNs() {
   // Epoch = first call, so exported timestamps stay small and stable.
@@ -201,7 +209,7 @@ void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns,
 }  // namespace internal
 
 void EnableTracing(bool on) {
-  internal::g_tracing_enabled.store(on, std::memory_order_relaxed);
+  internal::SetSpanHook(internal::kSpanHookTrace, on);
 }
 
 bool RequestTracingEnabled() {

@@ -28,7 +28,16 @@ namespace isrec::obs {
 /// results with tracing on or off.
 
 namespace internal {
-extern std::atomic<bool> g_tracing_enabled;
+/// Bitmask of the consumers a ScopedSpan must feed. One relaxed load of
+/// this mask is the ENTIRE disabled-path cost of a span: tracing (ring
+/// buffers + /tracez) and the sampling profiler (obs/profiler.h) share
+/// the single branch instead of each adding one.
+inline constexpr uint32_t kSpanHookTrace = 1u << 0;
+inline constexpr uint32_t kSpanHookProfile = 1u << 1;
+extern std::atomic<uint32_t> g_span_hooks;
+
+/// Sets/clears one kSpanHook* bit.
+void SetSpanHook(uint32_t bit, bool on);
 
 /// Nanoseconds on the steady clock since the process trace epoch.
 uint64_t TraceNowNs();
@@ -38,11 +47,18 @@ uint64_t TraceNowNs();
 /// when request tracing is on, indexes it into the request timelines).
 void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns,
                 uint64_t request_id = 0);
+
+/// Pushes `name` (static storage) onto the calling thread's profiler
+/// frame stack (obs/profiler.cc). Returns false when the push was not
+/// performed (thread is shutting down) so the caller skips the pop.
+bool PushProfileFrame(const char* name);
+void PopProfileFrame();
 }  // namespace internal
 
 /// True when span recording is on.
 inline bool TracingEnabled() {
-  return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+  return (internal::g_span_hooks.load(std::memory_order_relaxed) &
+          internal::kSpanHookTrace) != 0;
 }
 
 /// Turns span recording on/off process-wide.
@@ -53,11 +69,21 @@ void EnableTracing(bool on);
 /// attaches the span to that request's timeline (see RecordRequestSpan).
 class ScopedSpan {
  public:
-  explicit ScopedSpan(const char* name, uint64_t request_id = 0)
-      : name_(TracingEnabled() ? name : nullptr),
-        start_ns_(name_ != nullptr ? internal::TraceNowNs() : 0),
-        request_id_(request_id) {}
+  explicit ScopedSpan(const char* name, uint64_t request_id = 0) {
+    const uint32_t hooks =
+        internal::g_span_hooks.load(std::memory_order_relaxed);
+    if (hooks == 0) return;
+    if ((hooks & internal::kSpanHookTrace) != 0) {
+      name_ = name;
+      start_ns_ = internal::TraceNowNs();
+      request_id_ = request_id;
+    }
+    if ((hooks & internal::kSpanHookProfile) != 0) {
+      pushed_ = internal::PushProfileFrame(name);
+    }
+  }
   ~ScopedSpan() {
+    if (pushed_) internal::PopProfileFrame();
     if (name_ != nullptr) {
       internal::RecordSpan(name_, start_ns_, internal::TraceNowNs(),
                            request_id_);
@@ -68,9 +94,10 @@ class ScopedSpan {
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
  private:
-  const char* name_;
-  uint64_t start_ns_;
-  uint64_t request_id_;
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+  uint64_t request_id_ = 0;
+  bool pushed_ = false;
 };
 
 /// Events recorded per thread before the ring buffer wraps (oldest

@@ -122,6 +122,7 @@ void Prober::ProbeOne(const std::string& name, const std::string& host,
   uint64_t queue_depth = 0;
   bool shedding = false;
   uint64_t model_version = 0;
+  double allocs_per_request = 0.0;
   // Timestamps around the /varz exchange double as a clock-offset
   // measurement (midpoint method): if the reply carries the replica's
   // trace clock t1, then offset ≈ t1 − (t0+t2)/2 with error ≤ rtt/2.
@@ -147,6 +148,11 @@ void Prober::ProbeOne(const std::string& name, const std::string& host,
             model_version = static_cast<uint64_t>(version->number);
           }
         }
+        if (const json::JsonValue* apr = stats->Find("allocs_per_request")) {
+          if (apr->kind == json::JsonValue::kNumber) {
+            allocs_per_request = apr->number;
+          }
+        }
       }
       if (const json::JsonValue* clock = root.Find("trace_clock_ns")) {
         if (clock->kind == json::JsonValue::kNumber) {
@@ -170,7 +176,7 @@ void Prober::ProbeOne(const std::string& name, const std::string& host,
   }
   table_.ApplyProbe(name, /*healthy=*/true, queue_depth, shedding,
                     config_.degrade_queue_depth, config_.fail_threshold, "",
-                    model_version);
+                    model_version, allocs_per_request);
 }
 
 }  // namespace isrec::router

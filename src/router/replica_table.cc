@@ -132,7 +132,8 @@ void ReplicaTable::ApplyProbe(const std::string& name, bool healthy,
                               uint64_t queue_depth, bool shedding,
                               uint64_t degrade_queue_depth, int fail_threshold,
                               const std::string& error,
-                              uint64_t model_version) {
+                              uint64_t model_version,
+                              double allocs_per_request) {
   std::lock_guard<std::mutex> lock(mutex_);
   Entry* entry = FindLocked(name);
   if (entry == nullptr) return;
@@ -142,6 +143,7 @@ void ReplicaTable::ApplyProbe(const std::string& name, bool healthy,
     entry->queue_depth = queue_depth;
     entry->shedding = shedding;
     entry->model_version = model_version;
+    entry->allocs_per_request = allocs_per_request;
     entry->last_error.clear();
     if (entry->state != ReplicaState::kDraining) {
       entry->state = (shedding || queue_depth >= degrade_queue_depth)
@@ -224,6 +226,7 @@ ReplicaSnapshot ReplicaTable::SnapshotEntry(const Entry& entry) {
   snapshot.queue_depth = entry.queue_depth;
   snapshot.shedding = entry.shedding;
   snapshot.model_version = entry.model_version;
+  snapshot.allocs_per_request = entry.allocs_per_request;
   snapshot.consecutive_probe_failures = entry.consecutive_probe_failures;
   snapshot.probes_ok = entry.probes_ok;
   snapshot.probes_failed = entry.probes_failed;

@@ -48,6 +48,9 @@ struct ReplicaSnapshot {
                                    // hot swaps in play, differing values
                                    // across replicas = version skew
                                    // (visible on the router /statusz).
+  double allocs_per_request = 0.0; // Replica-reported, from /varz. Zero
+                                   // unless the replica runs with heap
+                                   // profiling on (--heap-profile).
   int consecutive_probe_failures = 0;
   uint64_t probes_ok = 0;
   uint64_t probes_failed = 0;
@@ -116,7 +119,8 @@ class ReplicaTable {
   void ApplyProbe(const std::string& name, bool healthy,
                   uint64_t queue_depth, bool shedding,
                   uint64_t degrade_queue_depth, int fail_threshold,
-                  const std::string& error, uint64_t model_version = 0);
+                  const std::string& error, uint64_t model_version = 0,
+                  double allocs_per_request = 0.0);
 
   /// Records one clock-offset measurement for `name` (prober, midpoint
   /// method: offset = replica_clock − (t0+t2)/2 with rtt = t2−t0). The
@@ -156,6 +160,7 @@ class ReplicaTable {
     uint64_t queue_depth = 0;
     bool shedding = false;
     uint64_t model_version = 0;
+    double allocs_per_request = 0.0;
     int consecutive_probe_failures = 0;
     uint64_t probes_ok = 0;
     uint64_t probes_failed = 0;

@@ -561,6 +561,11 @@ std::string Router::VarzJson() const {
     out += ", \"queue_depth\": " + std::to_string(r.queue_depth);
     out += std::string(", \"shedding\": ") + (r.shedding ? "true" : "false");
     out += ", \"model_version\": " + std::to_string(r.model_version);
+    {
+      char apr[32];
+      std::snprintf(apr, sizeof(apr), "%.6g", r.allocs_per_request);
+      out += std::string(", \"allocs_per_request\": ") + apr;
+    }
     out += ", \"forwarded\": " + std::to_string(r.forwarded);
     out += ", \"transport_errors\": " + std::to_string(r.transport_errors);
     out += ", \"probes_ok\": " + std::to_string(r.probes_ok);
@@ -586,6 +591,7 @@ std::string Router::StatuszHtml() const {
   std::string out =
       "<table><tr><th>replica</th><th>address</th><th>state</th>"
       "<th>in-flight</th><th>queue</th><th>shedding</th><th>model</th>"
+      "<th>allocs/req</th>"
       "<th>forwarded</th>"
       "<th>transport errors</th><th>probes ok/failed</th>"
       "<th>last error</th></tr>";
@@ -599,6 +605,11 @@ std::string Router::StatuszHtml() const {
     out += "<td>" + std::to_string(r.queue_depth) + "</td>";
     out += std::string("<td>") + (r.shedding ? "yes" : "no") + "</td>";
     out += "<td>v" + std::to_string(r.model_version) + "</td>";
+    {
+      char apr[32];
+      std::snprintf(apr, sizeof(apr), "%.4g", r.allocs_per_request);
+      out += std::string("<td>") + apr + "</td>";
+    }
     out += "<td>" + std::to_string(r.forwarded) + "</td>";
     out += "<td>" + std::to_string(r.transport_errors) + "</td>";
     out += "<td>" + std::to_string(r.probes_ok) + "/" +

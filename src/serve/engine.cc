@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "obs/admin_server.h"
+#include "obs/heap_profiler.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/kernels/registry.h"
@@ -89,7 +90,65 @@ Status ValidateServable(const std::shared_ptr<ServableModel>& model) {
   return Status::Ok();
 }
 
+// Request phases the engine attributes allocations to (heap profiling
+// on): the indices of kAllocPhaseNames and the serve.alloc.* counters.
+enum AllocPhase {
+  kAllocEnqueue = 0,
+  kAllocBatch,
+  kAllocScore,
+  kAllocRespond,
+  kNumAllocPhases,
+};
+
+const char* const kAllocPhaseNames[kNumAllocPhases] = {"enqueue", "batch",
+                                                       "score", "respond"};
+
 }  // namespace
+
+/// RAII per-phase allocation accounting: an AllocationCounter scope
+/// whose totals flush into the owning engine when the phase ends.
+/// Inactive (heap profiling off), construction and destruction are one
+/// relaxed load + branch each — the pipeline's off-path contract.
+struct PhaseAllocScope {
+  PhaseAllocScope(ServingEngine* engine, int phase)
+      : engine(engine), phase(phase) {}
+  ~PhaseAllocScope() {
+    if (counter.active()) {
+      engine->RecordPhaseAllocations(phase, counter.count(), counter.bytes());
+    }
+  }
+
+  PhaseAllocScope(const PhaseAllocScope&) = delete;
+  PhaseAllocScope& operator=(const PhaseAllocScope&) = delete;
+
+  ServingEngine* engine;
+  int phase;
+  obs::heap::AllocationCounter counter;
+};
+
+void ServingEngine::RecordPhaseAllocations(int phase, uint64_t count,
+                                           uint64_t bytes) {
+  if (count == 0 && bytes == 0) return;
+  alloc_count_.fetch_add(count, std::memory_order_relaxed);
+  alloc_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (!obs::MetricsEnabled()) return;
+  ISREC_CHECK(phase >= 0 && phase < kNumAllocPhases);
+  // One counter pair per phase, resolved once (function-local statics).
+  static obs::Counter* const counts[kNumAllocPhases] = {
+      &obs::GetCounter("serve.alloc.enqueue.count"),
+      &obs::GetCounter("serve.alloc.batch.count"),
+      &obs::GetCounter("serve.alloc.score.count"),
+      &obs::GetCounter("serve.alloc.respond.count"),
+  };
+  static obs::Counter* const byte_counts[kNumAllocPhases] = {
+      &obs::GetCounter("serve.alloc.enqueue.bytes"),
+      &obs::GetCounter("serve.alloc.batch.bytes"),
+      &obs::GetCounter("serve.alloc.score.bytes"),
+      &obs::GetCounter("serve.alloc.respond.bytes"),
+  };
+  counts[phase]->Add(count);
+  byte_counts[phase]->Add(bytes);
+}
 
 size_t RequestKeyHash::operator()(const RequestKey& key) const {
   uint64_t hash = 14695981039346656037ull;
@@ -311,17 +370,29 @@ ServeStats ServingEngine::Stats() const {
     }
   }
   stats.model_swaps = model_swaps_.load(std::memory_order_relaxed);
+  stats.alloc_count = alloc_count_.load(std::memory_order_relaxed);
+  stats.alloc_bytes = alloc_bytes_.load(std::memory_order_relaxed);
+  stats.alloc_requests = alloc_requests_.load(std::memory_order_relaxed);
   return stats;
 }
 
 void ServingEngine::Answer(Pending&& pending,
                            Outcome<Recommendation> outcome) {
+  // Denominator of allocs/request: requests answered while the heap
+  // hook was counting (toggling profiling mid-run keeps the ratio
+  // honest — both numerator and denominator only tick while on).
+  if (obs::heap::HeapProfilingEnabled()) {
+    alloc_requests_.fetch_add(1, std::memory_order_relaxed);
+  }
   stats_.RecordOutcome(outcome.code());
   pending.promise.set_value(std::move(outcome));
 }
 
 std::future<Outcome<Recommendation>> ServingEngine::RecommendAsync(
     Request request) {
+  // Everything the submit path allocates (validation messages, the
+  // cache key, queue growth) is the "enqueue" phase.
+  PhaseAllocScope alloc_scope(this, kAllocEnqueue);
   const auto start = Clock::now();
   // The request id travels through every span the pipeline emits for
   // this request (enqueue → queued → score → respond), keying its
@@ -359,6 +430,9 @@ std::future<Outcome<Recommendation>> ServingEngine::RecommendAsync(
                    request.candidates};
     if (std::optional<Recommendation> hit = cache_->Get(pending.cache_key)) {
       hit->from_cache = true;
+      if (obs::heap::HeapProfilingEnabled()) {
+        alloc_requests_.fetch_add(1, std::memory_order_relaxed);
+      }
       stats_.RecordRequest(MsSince(start, Clock::now()), /*cache_hit=*/true);
       stats_.RecordOutcome(StatusCode::kOk);
       if (pending.trace_submit_ns != 0) {
@@ -506,6 +580,7 @@ void ServingEngine::WorkerLoop() {
         // linger up to the batch window for concurrent requests to
         // arrive. Requests found already past their deadline are set
         // aside and answered kDeadlineExceeded without scoring.
+        PhaseAllocScope alloc_scope(this, kAllocBatch);
         ISREC_TRACE_SPAN("serve.batch_assembly");
         const auto deadline =
             Clock::now() + std::chrono::microseconds(config_.batch_window_us);
@@ -641,6 +716,11 @@ void ServingEngine::ProcessBatch(std::vector<Pending> batch) {
     batch = std::move(misses);
     if (batch.empty()) return;
   }
+  // "score" covers the scorer-input build plus the ScoreBatch call;
+  // everything after (TopK, caching, answering) is "respond". optional
+  // so the score scope flushes before the respond scope opens —
+  // AllocationCounter charges the innermost scope only.
+  std::optional<PhaseAllocScope> score_alloc(std::in_place, this, kAllocScore);
   std::vector<Index> users;
   std::vector<std::vector<Index>> histories;
   std::vector<std::vector<Index>> candidate_lists;
@@ -677,6 +757,8 @@ void ServingEngine::ProcessBatch(std::vector<Pending> batch) {
                              pending.request.id);
     }
   }
+  score_alloc.reset();
+  PhaseAllocScope respond_alloc(this, kAllocRespond);
   if (!scored.has_value()) {
     // Model failure: the whole batch fails over as one — degraded
     // fallbacks where allowed, kModelError otherwise.
@@ -771,6 +853,10 @@ void RegisterAdminSections(obs::AdminServer& admin, ServingEngine& engine) {
     html += row("degraded", std::to_string(stats.degraded));
     html += row("invalid_arguments", std::to_string(stats.invalid_arguments));
     html += row("model_errors", std::to_string(stats.model_errors));
+    html += row("alloc_requests", std::to_string(stats.alloc_requests));
+    html += row("allocs_per_request", num(stats.allocs_per_request()));
+    html += row("alloc_bytes_per_request",
+                num(stats.alloc_bytes_per_request()));
     html += "</table><table><tr><th>engine config</th><th>value</th></tr>";
     html += row("num_threads", std::to_string(config.num_threads));
     html += row("max_batch_size", std::to_string(config.max_batch_size));

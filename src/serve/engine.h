@@ -25,6 +25,8 @@ class AdminServer;
 
 namespace isrec::serve {
 
+struct PhaseAllocScope;  // engine.cc: per-phase allocation accounting.
+
 struct EngineConfig {
   /// Worker threads draining the request queue. Even with one hardware
   /// core, multiple workers overlap queue waiting with scoring; the main
@@ -266,6 +268,12 @@ class ServingEngine {
   /// Resolves a pending with `outcome`, recording its status code.
   void Answer(Pending&& pending, Outcome<Recommendation> outcome);
 
+  /// Folds one request phase's AllocationCounter totals (heap profiling
+  /// on) into the engine aggregates + the serve.alloc.* registry
+  /// counters. `phase` indexes kAllocPhaseNames in engine.cc.
+  friend struct PhaseAllocScope;
+  void RecordPhaseAllocations(int phase, uint64_t count, uint64_t bytes);
+
   const EngineConfig config_;
   FaultInjector fault_;
   /// Next auto-assigned Request::id (requests arriving with id 0).
@@ -294,6 +302,14 @@ class ServingEngine {
 
   std::unique_ptr<LruCache<RequestKey, Recommendation, RequestKeyHash>> cache_;
   StatsRecorder stats_;
+
+  /// Heap-accounting aggregates (only ticked while heap profiling is
+  /// enabled): allocations/bytes attributed to the serving pipeline's
+  /// request phases, and the number of requests answered while counting
+  /// — the allocs/request denominator (ServeStats::allocs_per_request).
+  std::atomic<uint64_t> alloc_count_{0};
+  std::atomic<uint64_t> alloc_bytes_{0};
+  std::atomic<uint64_t> alloc_requests_{0};
 
   // Last member so workers die before the members they use.
   std::unique_ptr<utils::ThreadPool> pool_;

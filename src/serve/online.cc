@@ -21,6 +21,13 @@ void CountOnline(const char* metric) {
   if (obs::MetricsEnabled()) obs::GetCounter(metric).Add(1);
 }
 
+// Freshness gauges (DESIGN.md "Profiling plane" satellite): how far the
+// online trainer lags its stream. Exported to /varz and /metrics like
+// every other registry gauge.
+void SetOnlineGauge(const char* metric, double value) {
+  if (obs::MetricsEnabled()) obs::GetGauge(metric).Set(value);
+}
+
 obs::HttpResponse JsonError(int status, const std::string& message) {
   obs::HttpResponse response;
   response.status = status;
@@ -125,7 +132,20 @@ Status OnlineTrainer::RefreshOnce() {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.polls;
   }
+  // Freshness gauges, updated every cycle whether or not the poll
+  // succeeded: a stuck stream shows up as a growing last_poll_age_ms,
+  // not a silently frozen dashboard.
+  const auto poll_now = std::chrono::steady_clock::now();
+  if (polled.ok()) last_poll_ = poll_now;
+  SetOnlineGauge(
+      "serve.online.last_poll_age_ms",
+      std::chrono::duration<double, std::milli>(poll_now - last_poll_)
+          .count());
+  SetOnlineGauge("serve.online.malformed_lines",
+                 static_cast<double>(tailer_.malformed_lines()));
   if (!polled.ok()) {
+    SetOnlineGauge("serve.online.events_behind",
+                   static_cast<double>(pending_events_));
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.failures;
     stats_.last_error = polled.status().ToString();
@@ -134,6 +154,8 @@ Status OnlineTrainer::RefreshOnce() {
   const std::vector<data::Interaction>& events = polled.value();
   const Index applied = data::ApplyEvents(events, dataset_.get());
   pending_events_ += applied;
+  SetOnlineGauge("serve.online.events_behind",
+                 static_cast<double>(pending_events_));
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stats_.events_ingested += events.size();
@@ -145,6 +167,7 @@ Status OnlineTrainer::RefreshOnce() {
     return Status::Ok();
   }
   pending_events_ = 0;
+  SetOnlineGauge("serve.online.events_behind", 0.0);
 
   // 2. Incremental training on the grown dataset. The split/batcher are
   // rebuilt so the fresh tail lands in the training prefixes.

@@ -11,6 +11,7 @@
 // bad training step can be rejected (and rolled back by re-publishing an
 // older checkpoint) without touching live traffic.
 
+#include <chrono>
 #include <cstdint>
 #include <condition_variable>
 #include <memory>
@@ -127,6 +128,10 @@ class OnlineTrainer {
   ServingEngine* engine_;  // Not owned.
   data::EventStreamTailer tailer_;
   Index pending_events_ = 0;  // Applied but not yet trained on.
+  /// Last successful stream poll (construction time before the first) —
+  /// the serve.online.last_poll_age_ms gauge measures from here.
+  std::chrono::steady_clock::time_point last_poll_ =
+      std::chrono::steady_clock::now();
 
   mutable std::mutex mutex_;  // Guards stats_ (the loop owns the rest).
   OnlineTrainerStats stats_;

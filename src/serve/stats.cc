@@ -286,6 +286,12 @@ std::string ServeStats::ToTableString() const {
   table.AddRow({"model_version", std::to_string(model_version)});
   table.AddRow({"model_epoch", std::to_string(model_epoch)});
   table.AddRow({"model_swaps", std::to_string(model_swaps)});
+  if (alloc_requests > 0) {
+    table.AddRow({"alloc_count", std::to_string(alloc_count)});
+    table.AddRow({"alloc_bytes", std::to_string(alloc_bytes)});
+    table.AddRow({"alloc_requests", std::to_string(alloc_requests)});
+    table.AddRow({"allocs_per_request", FormatFloat(allocs_per_request(), 2)});
+  }
   table.AddSeparator();
   for (size_t b = 1; b < batch_size_histogram.size(); ++b) {
     if (batch_size_histogram[b] == 0) continue;
@@ -328,6 +334,15 @@ std::string ServeStatsJson(const ServeStats& stats) {
   out += ", \"degraded\": " + std::to_string(stats.degraded);
   out += ", \"invalid_arguments\": " + std::to_string(stats.invalid_arguments);
   out += ", \"model_errors\": " + std::to_string(stats.model_errors);
+  // Heap-accounting baseline (all zero with heap profiling off).
+  // Appended AFTER the established fields so the poller prefix contract
+  // above is untouched; the router's prober reads allocs_per_request.
+  out += ", \"alloc_count\": " + std::to_string(stats.alloc_count);
+  out += ", \"alloc_bytes\": " + std::to_string(stats.alloc_bytes);
+  out += ", \"alloc_requests\": " + std::to_string(stats.alloc_requests);
+  out += ", \"allocs_per_request\": " + num(stats.allocs_per_request());
+  out += ", \"alloc_bytes_per_request\": " +
+         num(stats.alloc_bytes_per_request());
   out += ", \"batch_size_histogram\": [";
   for (size_t b = 0; b < stats.batch_size_histogram.size(); ++b) {
     if (b > 0) out += ", ";

@@ -57,6 +57,28 @@ struct ServeStats {
   uint64_t model_epoch = 0;
   uint64_t model_swaps = 0;
 
+  /// Heap-accounting aggregates, filled by ServingEngine::Stats() from
+  /// its per-phase AllocationCounter scopes (obs/heap_profiler.h). All
+  /// zero unless heap profiling is enabled (--heap-profile /
+  /// ISREC_HEAP_PROFILE=1): the counters only tick while the hook is
+  /// counting. alloc_requests counts requests answered WHILE profiling
+  /// was on — the denominator for allocs/request, which stays honest
+  /// when profiling is toggled mid-run.
+  uint64_t alloc_count = 0;
+  uint64_t alloc_bytes = 0;
+  uint64_t alloc_requests = 0;
+
+  double allocs_per_request() const {
+    return alloc_requests == 0
+               ? 0.0
+               : static_cast<double>(alloc_count) / alloc_requests;
+  }
+  double alloc_bytes_per_request() const {
+    return alloc_requests == 0
+               ? 0.0
+               : static_cast<double>(alloc_bytes) / alloc_requests;
+  }
+
   double cache_hit_rate() const {
     const uint64_t lookups = cache_hits + cache_misses;
     return lookups == 0 ? 0.0 : static_cast<double>(cache_hits) / lookups;

@@ -70,6 +70,20 @@ LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
 
 void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
 
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarning:
+      return "warning";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "info";
+}
+
 bool ParseLogLevel(const char* text, LogLevel* out) {
   if (text == nullptr || *text == '\0') return false;
   if (text[1] == '\0' && text[0] >= '0' && text[0] <= '3') {

@@ -23,6 +23,11 @@ void SetLogLevel(LogLevel level);
 /// a numeric level "0".."3" into `out`; false (out untouched) otherwise.
 bool ParseLogLevel(const char* text, LogLevel* out);
 
+/// Canonical lowercase name of `level` ("debug", "info", "warning",
+/// "error") — round-trips through ParseLogLevel. Used by the admin
+/// server's GET /admin/loglevel.
+const char* LogLevelName(LogLevel level);
+
 namespace internal {
 
 /// RAII message builder: streams into a buffer, emits on destruction.

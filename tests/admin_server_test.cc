@@ -161,14 +161,18 @@ TEST(HttpServerTest, RejectsUnsupportedMethodsAndMalformedRequests) {
   ASSERT_TRUE(server.Start("127.0.0.1", 0, [](const obs::HttpRequest&) {
     return obs::HttpResponse{};
   }));
-  const std::string put = RawExchange(
-      server.port(), "PUT /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
-  EXPECT_NE(put.find("405"), std::string::npos) << put;
-  // POST is supported but REQUIRES a Content-Length body.
+  const std::string del = RawExchange(
+      server.port(), "DELETE /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(del.find("405"), std::string::npos) << del;
+  // POST and PUT are supported but REQUIRE a Content-Length body.
   const std::string post_without_length = RawExchange(
       server.port(), "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
   EXPECT_NE(post_without_length.find("400"), std::string::npos)
       << post_without_length;
+  const std::string put_without_length = RawExchange(
+      server.port(), "PUT /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(put_without_length.find("400"), std::string::npos)
+      << put_without_length;
   const std::string garbage = RawExchange(server.port(), "not-http\r\n\r\n");
   EXPECT_NE(garbage.find("400"), std::string::npos) << garbage;
 }

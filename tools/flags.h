@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/heap_profiler.h"
+#include "obs/profiler.h"
 #include "serve/checkpoint.h"
 #include "serve/engine.h"
 #include "tensor/tensor.h"
@@ -229,18 +231,66 @@ struct ModelFlags {
 ///                       envelope — serve_stats, router decisions, ...).
 ///   --trace-out PATH    enable obs tracing and write a chrome://tracing
 ///                       JSON timeline of the span ring on exit.
+///   --profile-out PATH  run the sampling profiler for the process
+///                       lifetime and write folded stacks
+///                       (flamegraph.pl input) to PATH on exit. The
+///                       live window variant is /profilez?seconds=N.
+///   --heap-profile      enable the hooked-allocator heap accounting
+///                       (/heapz, serve.alloc.* counters,
+///                       allocs/request in serve_stats).
 struct AdminFlags {
   Index admin_port = 0;
   double admin_hold_s = 0.0;
   std::string metrics_json;
   std::string trace_out;
+  std::string profile_out;
+  bool heap_profile = false;
 
   void Register(FlagParser& parser) {
     parser.Int("--admin-port", &admin_port);
     parser.Double("--admin-hold-s", &admin_hold_s);
     parser.String("--metrics-json", &metrics_json);
     parser.String("--trace-out", &trace_out);
+    parser.String("--profile-out", &profile_out);
+    parser.Bool("--heap-profile", &heap_profile);
   }
+};
+
+/// RAII wiring of the profiling flags, shared by isrec_cli, isrec_serve
+/// and isrec_router: construction enables the heap hook
+/// (--heap-profile) and starts the sampler (--profile-out); destruction
+/// writes the accumulated folded stacks. Construct it before the
+/// workload so every return path still flushes.
+struct ProfilingSession {
+  explicit ProfilingSession(const AdminFlags& flags)
+      : profile_out(flags.profile_out) {
+    if (flags.heap_profile) {
+      obs::heap::EnableHeapProfiling(true);
+      if (!obs::heap::HookCompiled()) {
+        std::fprintf(stderr,
+                     "--heap-profile: allocator hook compiled out "
+                     "(-DISREC_HEAP_PROFILE=OFF); counters stay zero\n");
+      }
+    }
+    if (!profile_out.empty()) obs::StartProfiler();
+  }
+  ~ProfilingSession() {
+    if (profile_out.empty()) return;
+    obs::StopProfiler();
+    if (obs::WriteProfile(profile_out)) {
+      std::printf("profile written to %s (folded stacks — feed to "
+                  "flamegraph.pl)\n",
+                  profile_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write profile to %s\n",
+                   profile_out.c_str());
+    }
+  }
+
+  ProfilingSession(const ProfilingSession&) = delete;
+  ProfilingSession& operator=(const ProfilingSession&) = delete;
+
+  std::string profile_out;
 };
 
 }  // namespace isrec::tools

@@ -195,6 +195,7 @@ struct AdminGuard {
 
 int Run(const CliOptions& options) {
   ObsExporter exporter(options);
+  tools::ProfilingSession profiling(options.admin);
   AdminGuard admin;
   if (options.admin.admin_port > 0) {
     obs::EnableMetrics(true);
@@ -373,7 +374,8 @@ int main(int argc, char** argv) {
                  " [--intent-dim N] [--trace-user U] [--save PATH]"
                  " [--load PATH] [--quantize int8] [--stream PATH]"
                  " [--emit-stream PATH] [--metrics-json PATH]"
-                 " [--trace-out PATH] [--admin-port P] [--admin-hold-s S]\n",
+                 " [--trace-out PATH] [--profile-out PATH] [--heap-profile]"
+                 " [--admin-port P] [--admin-hold-s S]\n",
                  argv[0]);
     return 2;
   }

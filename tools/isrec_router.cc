@@ -141,6 +141,7 @@ int Run(const RouterOptions& options) {
   obs::EnableMetrics(true);
   obs::EnableTracing(true);
   obs::EnableRequestTracing(true);
+  tools::ProfilingSession profiling(options.admin);
 
   router::Router router(std::move(config));
   if (!router.Start()) {
@@ -235,7 +236,8 @@ int main(int argc, char** argv) {
         " [--bind ADDR] [--vnodes N] [--workers N] [--probe-interval-ms D]"
         " [--probe-fail-threshold N] [--degrade-queue-depth N]"
         " [--max-retries N] [--forward-timeout-ms D] [--hold-s S]"
-        " [--trace-sample N] [--metrics-json PATH] [--trace-out PATH]\n",
+        " [--trace-sample N] [--metrics-json PATH] [--trace-out PATH]"
+        " [--profile-out PATH] [--heap-profile]\n",
         argv[0]);
     return 2;
   }

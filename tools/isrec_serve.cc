@@ -152,6 +152,7 @@ int RunServe(const ServeOptions& options) {
   obs::EnableMetrics(true);
   obs::EnableTracing(true);
   obs::EnableRequestTracing(true);
+  tools::ProfilingSession profiling(options.admin);
 
   // Admin plane first, health = loading, so orchestrators (and the
   // router's prober) can watch the replica come up.
@@ -323,6 +324,7 @@ struct ObsExporter {
 int Run(const ServeOptions& options) {
   if (options.serve) return RunServe(options);
   ObsExporter exporter(options);
+  tools::ProfilingSession profiling(options.admin);
 
   // The admin server comes up FIRST — before the checkpoint loads — so
   // /healthz answers (503: still loading) from the earliest moment an
@@ -492,7 +494,8 @@ int main(int argc, char** argv) {
         " [--requests N] [--k K] [--max-batch B] [--batch-window-us W]"
         " [--cache CAP] [--no-verify] [--deadline-ms D] [--shed-watermark H]"
         " [--allow-degraded] [--fault SPEC] [--metrics-json PATH]"
-        " [--trace-out PATH] [--admin-port P] [--admin-hold-s S]"
+        " [--trace-out PATH] [--profile-out PATH] [--heap-profile]"
+        " [--admin-port P] [--admin-hold-s S]"
         " [--serve] [--admin-workers N] [--quantize int8]"
         " [--stream PATH] [--reload-period-s S]\n",
         argv[0]);

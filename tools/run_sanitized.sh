@@ -17,6 +17,9 @@
 # unresolved. Also runs the SIMD kernel checker and the int8
 # quantization tests: hand-written intrinsics and raw int8 buffers are
 # exactly where ASan/UBSan catch out-of-bounds lanes and bad casts.
+# The profiler tests race the sampler thread against span push/pop and
+# the hooked allocator against 4 allocating threads — the profiling
+# plane's TSan/ASan-clean contract (DESIGN.md "Profiling plane").
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -31,7 +34,7 @@ cmake -B "$build" -S . -DISREC_SANITIZE="$san" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 tests="thread_pool_test parallel_ops_test lru_cache_test status_test \
 serve_test obs_test admin_server_test router_test kernel_checker_test \
-quantize_test"
+quantize_test profiler_test"
 # shellcheck disable=SC2086  # Word-splitting the target list is intended.
 cmake --build "$build" -j --target $tests
 
